@@ -1,0 +1,1 @@
+examples/ash_demo.ml: Ash Bytes Char List Printf Vcode Vcodebase Vmachine Vmips

@@ -1,0 +1,1 @@
+examples/ash_demo.mli:

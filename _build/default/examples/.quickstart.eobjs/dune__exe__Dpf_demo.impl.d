@@ -1,0 +1,1 @@
+examples/dpf_demo.ml: Dpf Fmt List Printf Unix Vcode Vcodebase Vmachine Vmips

@@ -1,0 +1,1 @@
+examples/dpf_demo.mli:

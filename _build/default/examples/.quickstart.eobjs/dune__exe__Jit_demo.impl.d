@@ -1,0 +1,1 @@
+examples/jit_demo.ml: Array List Printf Tcc Unix Vcode Vcodebase Vmachine Vmips Vmjit

@@ -1,0 +1,1 @@
+examples/jit_demo.mli:

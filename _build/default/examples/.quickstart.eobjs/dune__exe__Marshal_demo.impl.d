@@ -1,0 +1,1 @@
+examples/marshal_demo.ml: Array Gen List Printf String Vcode Vcodebase Vmachine Vmips Vtype

@@ -1,0 +1,1 @@
+examples/marshal_demo.mli:

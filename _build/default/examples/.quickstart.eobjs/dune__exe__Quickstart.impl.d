@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array List Printf Vcode Vcodebase Vmachine Vmips

@@ -1,0 +1,1 @@
+examples/tcc_demo.ml: List Printf Tcc Valpha Vcode Vcodebase Vmachine Vmips Vsparc

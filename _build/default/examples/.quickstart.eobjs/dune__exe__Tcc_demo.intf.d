@@ -1,0 +1,1 @@
+examples/tcc_demo.mli:

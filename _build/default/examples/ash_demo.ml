@@ -1,0 +1,63 @@
+(* ASH demo: dynamically composed message pipelines (paper section 4.3).
+
+   Composes copy + internet checksum + byte swap into a single
+   specialized loop generated at runtime, shows the loop (note the
+   filled branch delay slot), and compares its cost against running the
+   three operations as separate passes — the modularity-for-free result
+   of Table 4. *)
+
+module G = Ash.Make (Vmips.Mips_backend)
+module Sim = Vmips.Mips_sim
+
+let src_addr = 0x300000
+let dst_addr = 0x312000
+let nwords = 2048
+
+let install m (c : Vcode.code) =
+  Vmachine.Mem.install_code m.Sim.mem ~addr:c.Vcode.base c.Vcode.gen.Vcodebase.Gen.buf
+
+let () =
+  let ops = [ Ash.Copy; Ash.Checksum; Ash.Byteswap ] in
+  Printf.printf "pipeline: %s over a %d byte message\n\n" (Ash.pipeline_name ops) (4 * nwords);
+  let m = Sim.create Vmachine.Mconfig.dec5000 in
+  let ash = G.gen_ash ~base:0x1000 ops in
+  let passes = G.gen_separate ~base:0x4000 ops in
+  install m ash;
+  List.iter (fun (_, c) -> install m c) passes;
+  (* show the specialized inner loop *)
+  let module V = Vcode.Make (Vmips.Mips_backend) in
+  let entry_idx = (ash.Vcode.entry_addr - ash.Vcode.base) / 4 in
+  Printf.printf "the dynamically composed ASH loop (4x unrolled, delay slot filled):\n";
+  List.iteri (fun i l -> if i >= entry_idx then print_endline l) (V.dump ash.Vcode.gen);
+  (* fill the message and run both methods *)
+  let data = Bytes.init (4 * nwords) (fun i -> Char.chr ((i * 37) land 0xff)) in
+  Vmachine.Mem.blit_bytes m.Sim.mem ~addr:src_addr data;
+  let call c a b =
+    Sim.call m ~entry:c.Vcode.entry_addr [ Sim.Int a; Sim.Int b; Sim.Int nwords ];
+    Sim.ret_int m
+  in
+  let run_ash () = call ash dst_addr src_addr in
+  let run_separate () =
+    List.fold_left
+      (fun acc (op, c) ->
+        match op with
+        | Ash.Copy -> ignore (call c dst_addr src_addr); acc
+        | Ash.Checksum -> call c dst_addr dst_addr
+        | Ash.Byteswap | Ash.Xorkey _ -> ignore (call c dst_addr dst_addr); acc)
+      0 passes
+  in
+  let measure f =
+    ignore (f ());
+    Sim.reset_stats m;
+    let sum = f () in
+    (sum, m.Sim.cycles)
+  in
+  let sum_sep, cyc_sep = measure run_separate in
+  let sum_ash, cyc_ash = measure run_ash in
+  assert (sum_sep = sum_ash);
+  Printf.printf "\nchecksum: 0x%04x (both methods agree)\n" sum_ash;
+  Printf.printf "separate passes: %7d cycles (%.0f us on a DEC5000)\n" cyc_sep
+    (Vmachine.Mconfig.cycles_to_us m.Sim.cfg cyc_sep);
+  Printf.printf "ASH integrated:  %7d cycles (%.0f us) -> %.2fx faster\n" cyc_ash
+    (Vmachine.Mconfig.cycles_to_us m.Sim.cfg cyc_ash)
+    (float_of_int cyc_sep /. float_of_int cyc_ash)

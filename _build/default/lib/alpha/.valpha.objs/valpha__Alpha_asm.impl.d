@@ -1,0 +1,1 @@
+lib/alpha/alpha_asm.ml: List Printf

@@ -1,0 +1,1 @@
+lib/alpha/alpha_backend.ml: Alpha_asm Alpha_runtime Array Codebuf Gen Int32 Int64 List Machdesc Op Printf Reg Vcodebase Verror Vtype

@@ -1,0 +1,1 @@
+lib/alpha/alpha_runtime.ml: Alpha_asm Array Vmachine

@@ -1,0 +1,1 @@
+lib/alpha/alpha_sim.ml: Alpha_asm Alpha_runtime Array Cache Float Int32 Int64 List Mconfig Mem Printf Vmachine

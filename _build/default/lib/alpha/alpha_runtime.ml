@@ -1,0 +1,77 @@
+(* Alpha millicode: software integer division.
+
+   The Alpha has no integer divide instruction; the paper (section 5.2)
+   notes that VCODE's division instructions compile to subroutine calls
+   on such machines, and that the emulation routines obey a special
+   convention — they preserve (almost) all registers so that calling
+   them from a leaf procedure is safe.
+
+   This module assembles one routine, __divmodqu, placed at a fixed
+   address that {!Alpha_sim.create} installs automatically (playing the
+   role of the OS-provided millicode page):
+
+     inputs:   $24 = dividend (unsigned), $25 = divisor (unsigned)
+     outputs:  $27 = quotient, $24 = remainder
+     link:     $28 (jsr $28, ...; routine returns via ret ($28))
+     clobbers: $24, $25, $27, $28 only; borrows $8/$22/$23 through
+               stack slots below $sp and restores them.
+
+   Signed division/remainder are built around this routine by the
+   backend using cmov sign fixups.  The shift-subtract loop costs ~64
+   iterations — an honest software-division latency. *)
+
+module A = Alpha_asm
+
+let base = 0x0800
+
+(* register roles *)
+let r_a = 24
+let r_b = 25
+let r_q = 27
+let r_link = 28
+let r_i = 22
+let r_r = 23
+let r_t = 8
+let sp = 30
+let zero = 31
+
+let words : int array =
+  let code =
+    [|
+      (* 0 *) A.Beq (r_b, 22);                    (* b == 0 -> zero_div *)
+      (* 1 *) A.Stq (r_i, sp, -8);
+      (* 2 *) A.Stq (r_r, sp, -16);
+      (* 3 *) A.Stq (r_t, sp, -24);
+      (* 4 *) A.Intop (A.Bis, zero, A.R zero, r_r);   (* r = 0 *)
+      (* 5 *) A.Intop (A.Bis, zero, A.R zero, r_q);   (* q = 0 *)
+      (* 6 *) A.Lda (r_i, zero, 64);                  (* i = 64 *)
+      (* loop: *)
+      (* 7 *) A.Intop (A.Sll, r_r, A.L 1, r_r);
+      (* 8 *) A.Bge (r_a, 1);                         (* top bit clear -> skip *)
+      (* 9 *) A.Intop (A.Bis, r_r, A.L 1, r_r);
+      (* 10 *) A.Intop (A.Sll, r_a, A.L 1, r_a);
+      (* 11 *) A.Intop (A.Sll, r_q, A.L 1, r_q);
+      (* 12 *) A.Intop (A.Cmpule, r_b, A.R r_r, r_t); (* t = (b <= r) *)
+      (* 13 *) A.Beq (r_t, 2);
+      (* 14 *) A.Intop (A.Subq, r_r, A.R r_b, r_r);
+      (* 15 *) A.Intop (A.Bis, r_q, A.L 1, r_q);
+      (* 16 *) A.Intop (A.Subq, r_i, A.L 1, r_i);
+      (* 17 *) A.Bgt (r_i, -11);                      (* back to loop *)
+      (* 18 *) A.Intop (A.Bis, r_r, A.R r_r, r_a);    (* remainder out in $24 *)
+      (* 19 *) A.Ldq (r_t, sp, -24);
+      (* 20 *) A.Ldq (r_r, sp, -16);
+      (* 21 *) A.Ldq (r_i, sp, -8);
+      (* 22 *) A.Retj (zero, r_link);
+      (* zero_div: *)
+      (* 23 *) A.Intop (A.Bis, zero, A.R zero, r_q);
+      (* 24 *) A.Intop (A.Bis, zero, A.R zero, r_a);
+      (* 25 *) A.Retj (zero, r_link);
+    |]
+  in
+  Array.map A.encode code
+
+let divmodqu_addr = base
+
+(* Install the millicode into simulated memory (little-endian). *)
+let install (mem : Vmachine.Mem.t) =
+  Array.iteri (fun i w -> Vmachine.Mem.write_u32 mem (base + (4 * i)) w) words

@@ -1,0 +1,309 @@
+(* Alpha simulator.
+
+   64-bit little-endian core, no delay slots.  Integer registers hold
+   Int64 values ($31 pinned to zero); FP registers hold raw 64-bit
+   T-format bit patterns ($f31 pinned to +0.0), which models the real
+   machine: S-format loads expand to T-format in the register, and
+   cvttq leaves an *integer* bit pattern in an FP register.
+
+   The division millicode (see {!Alpha_runtime}) is installed at its
+   fixed address by [create]. *)
+
+open Vmachine
+module A = Alpha_asm
+
+let halt_addr = 0x10000000
+
+exception Machine_error of string
+
+type t = {
+  mem : Mem.t;
+  icache : Cache.t;
+  dcache : Cache.t;
+  cfg : Mconfig.t;
+  regs : int64 array;
+  fregs : int64 array; (* bit patterns *)
+  mutable pc : int;
+  mutable cycles : int;
+  mutable insns : int;
+  mutable stack_top : int;
+}
+
+let create (cfg : Mconfig.t) =
+  let mem = Mem.create ~big_endian:false ~size:cfg.mem_bytes () in
+  Alpha_runtime.install mem;
+  {
+    mem;
+    icache = Cache.create ~size_bytes:cfg.icache_bytes ~line_bytes:cfg.line_bytes
+               ~miss_penalty:cfg.imiss_penalty;
+    dcache = Cache.create ~size_bytes:cfg.dcache_bytes ~line_bytes:cfg.line_bytes
+               ~miss_penalty:cfg.dmiss_penalty;
+    cfg;
+    regs = Array.make 32 0L;
+    fregs = Array.make 32 0L;
+    pc = 0;
+    cycles = 0;
+    insns = 0;
+    stack_top = cfg.mem_bytes - 512;
+  }
+
+let get_reg m r = if r = 31 then 0L else m.regs.(r)
+let set_reg m r v = if r <> 31 then m.regs.(r) <- v
+
+let get_f m f = if f = 31 then 0L else m.fregs.(f)
+let set_f m f v = if f <> 31 then m.fregs.(f) <- v
+
+let fval m f = Int64.float_of_bits (get_f m f)
+let set_fval m f v = set_f m f (Int64.bits_of_float v)
+
+(* round a double result to single precision (S-format ops) *)
+let single v = Int32.float_of_bits (Int32.bits_of_float v)
+
+let sext32_64 (v : int64) : int64 =
+  Int64.shift_right (Int64.shift_left v 32) 32
+
+let lit_val m = function A.R r -> get_reg m r | A.L v -> Int64.of_int v
+
+let addr_of (v : int64) = Int64.to_int (Int64.logand v 0x7FFFFFFFL)
+
+let daccess m addr = m.cycles <- m.cycles + Cache.access m.dcache addr
+let waccess m addr = m.cycles <- m.cycles + Cache.write_access m.dcache addr
+
+let bool64 b = if b then 1L else 0L
+
+let step m =
+  let pc = m.pc in
+  m.cycles <- m.cycles + 1 + Cache.access m.icache pc;
+  m.insns <- m.insns + 1;
+  let w = Mem.read_u32 m.mem pc in
+  let insn =
+    try A.decode w with A.Bad_insn _ ->
+      raise (Machine_error (Printf.sprintf "illegal instruction 0x%08x at 0x%x" w pc))
+  in
+  let next = ref (pc + 4) in
+  let branch d taken = if taken then next := pc + 4 + (4 * d) in
+  (match insn with
+  | A.Lda (ra, rb, d) -> set_reg m ra (Int64.add (get_reg m rb) (Int64.of_int d))
+  | A.Ldah (ra, rb, d) ->
+    set_reg m ra (Int64.add (get_reg m rb) (Int64.of_int (d * 65536)))
+  | A.Ldl (ra, rb, d) ->
+    let a = addr_of (get_reg m rb) + d in
+    daccess m a;
+    set_reg m ra (Int64.of_int (Int32.to_int (Int32.of_int (Mem.read_u32 m.mem a))))
+  | A.Ldq (ra, rb, d) ->
+    let a = addr_of (get_reg m rb) + d in
+    daccess m a;
+    set_reg m ra (Mem.read_u64 m.mem a)
+  | A.Ldq_u (ra, rb, d) ->
+    let a = (addr_of (get_reg m rb) + d) land lnot 7 in
+    daccess m a;
+    set_reg m ra (Mem.read_u64 m.mem a)
+  | A.Stl (ra, rb, d) ->
+    let a = addr_of (get_reg m rb) + d in
+    waccess m a;
+    Mem.write_u32 m.mem a (Int64.to_int (Int64.logand (get_reg m ra) 0xFFFFFFFFL))
+  | A.Stq (ra, rb, d) ->
+    let a = addr_of (get_reg m rb) + d in
+    waccess m a;
+    Mem.write_u64 m.mem a (get_reg m ra)
+  | A.Stq_u (ra, rb, d) ->
+    let a = (addr_of (get_reg m rb) + d) land lnot 7 in
+    waccess m a;
+    Mem.write_u64 m.mem a (get_reg m ra)
+  | A.Lds (fa, rb, d) ->
+    let a = addr_of (get_reg m rb) + d in
+    daccess m a;
+    let bits32 = Mem.read_u32 m.mem a in
+    set_fval m fa (Int32.float_of_bits (Int32.of_int bits32))
+  | A.Ldt (fa, rb, d) ->
+    let a = addr_of (get_reg m rb) + d in
+    daccess m a;
+    set_f m fa (Mem.read_u64 m.mem a)
+  | A.Sts (fa, rb, d) ->
+    let a = addr_of (get_reg m rb) + d in
+    waccess m a;
+    Mem.write_u32 m.mem a
+      (Int32.to_int (Int32.bits_of_float (fval m fa)) land 0xFFFFFFFF)
+  | A.Stt (fa, rb, d) ->
+    let a = addr_of (get_reg m rb) + d in
+    waccess m a;
+    Mem.write_u64 m.mem a (get_f m fa)
+  | A.Br (ra, d) ->
+    set_reg m ra (Int64.of_int (pc + 4));
+    next := pc + 4 + (4 * d)
+  | A.Bsr (ra, d) ->
+    set_reg m ra (Int64.of_int (pc + 4));
+    next := pc + 4 + (4 * d)
+  | A.Beq (ra, d) -> branch d (get_reg m ra = 0L)
+  | A.Bne (ra, d) -> branch d (get_reg m ra <> 0L)
+  | A.Blt (ra, d) -> branch d (Int64.compare (get_reg m ra) 0L < 0)
+  | A.Ble (ra, d) -> branch d (Int64.compare (get_reg m ra) 0L <= 0)
+  | A.Bgt (ra, d) -> branch d (Int64.compare (get_reg m ra) 0L > 0)
+  | A.Bge (ra, d) -> branch d (Int64.compare (get_reg m ra) 0L >= 0)
+  | A.Fbeq (fa, d) -> branch d (fval m fa = 0.0)
+  | A.Fbne (fa, d) -> branch d (fval m fa <> 0.0)
+  | A.Jmp (ra, rb) | A.Jsr (ra, rb) | A.Retj (ra, rb) ->
+    let t = addr_of (get_reg m rb) land lnot 3 in
+    set_reg m ra (Int64.of_int (pc + 4));
+    next := t
+  | A.Intop (o, ra, rb, rc) -> (
+    let x = get_reg m ra and y = lit_val m rb in
+    let shamt = Int64.to_int (Int64.logand y 63L) in
+    match o with
+    | A.Addq -> set_reg m rc (Int64.add x y)
+    | A.Subq -> set_reg m rc (Int64.sub x y)
+    | A.Addl -> set_reg m rc (sext32_64 (Int64.add x y))
+    | A.Subl -> set_reg m rc (sext32_64 (Int64.sub x y))
+    | A.Mull ->
+      m.cycles <- m.cycles + 7;
+      set_reg m rc (sext32_64 (Int64.mul x y))
+    | A.Mulq ->
+      m.cycles <- m.cycles + 11;
+      set_reg m rc (Int64.mul x y)
+    | A.Umulh ->
+      m.cycles <- m.cycles + 11;
+      (* high 64 bits of the unsigned 128-bit product *)
+      let lo_mask = 0xFFFFFFFFL in
+      let xl = Int64.logand x lo_mask and xh = Int64.shift_right_logical x 32 in
+      let yl = Int64.logand y lo_mask and yh = Int64.shift_right_logical y 32 in
+      let ll = Int64.mul xl yl in
+      let lh = Int64.mul xl yh in
+      let hl = Int64.mul xh yl in
+      let hh = Int64.mul xh yh in
+      let s1 = Int64.add lh hl in
+      let c1 = if Int64.unsigned_compare s1 lh < 0 then 0x100000000L else 0L in
+      let s2 = Int64.add s1 (Int64.shift_right_logical ll 32) in
+      let c2 = if Int64.unsigned_compare s2 s1 < 0 then 0x100000000L else 0L in
+      set_reg m rc
+        (Int64.add hh
+           (Int64.add (Int64.shift_right_logical s2 32) (Int64.add c1 c2)))
+    | A.Cmpeq -> set_reg m rc (bool64 (Int64.equal x y))
+    | A.Cmplt -> set_reg m rc (bool64 (Int64.compare x y < 0))
+    | A.Cmple -> set_reg m rc (bool64 (Int64.compare x y <= 0))
+    | A.Cmpult -> set_reg m rc (bool64 (Int64.unsigned_compare x y < 0))
+    | A.Cmpule -> set_reg m rc (bool64 (Int64.unsigned_compare x y <= 0))
+    | A.And -> set_reg m rc (Int64.logand x y)
+    | A.Bic -> set_reg m rc (Int64.logand x (Int64.lognot y))
+    | A.Bis -> set_reg m rc (Int64.logor x y)
+    | A.Ornot -> set_reg m rc (Int64.logor x (Int64.lognot y))
+    | A.Xor -> set_reg m rc (Int64.logxor x y)
+    | A.Eqv -> set_reg m rc (Int64.lognot (Int64.logxor x y))
+    | A.Cmoveq -> if x = 0L then set_reg m rc y
+    | A.Cmovne -> if x <> 0L then set_reg m rc y
+    | A.Cmovlt -> if Int64.compare x 0L < 0 then set_reg m rc y
+    | A.Cmovge -> if Int64.compare x 0L >= 0 then set_reg m rc y
+    | A.Sll -> set_reg m rc (Int64.shift_left x shamt)
+    | A.Srl -> set_reg m rc (Int64.shift_right_logical x shamt)
+    | A.Sra -> set_reg m rc (Int64.shift_right x shamt)
+    | A.Extbl ->
+      let sh = 8 * (Int64.to_int (Int64.logand y 7L)) in
+      set_reg m rc (Int64.logand (Int64.shift_right_logical x sh) 0xFFL)
+    | A.Extwl ->
+      let sh = 8 * (Int64.to_int (Int64.logand y 7L)) in
+      set_reg m rc (Int64.logand (Int64.shift_right_logical x sh) 0xFFFFL)
+    | A.Insbl ->
+      let sh = 8 * (Int64.to_int (Int64.logand y 7L)) in
+      set_reg m rc (Int64.shift_left (Int64.logand x 0xFFL) sh)
+    | A.Inswl ->
+      let sh = 8 * (Int64.to_int (Int64.logand y 7L)) in
+      set_reg m rc (Int64.shift_left (Int64.logand x 0xFFFFL) sh)
+    | A.Mskbl ->
+      let sh = 8 * (Int64.to_int (Int64.logand y 7L)) in
+      set_reg m rc (Int64.logand x (Int64.lognot (Int64.shift_left 0xFFL sh)))
+    | A.Mskwl ->
+      let sh = 8 * (Int64.to_int (Int64.logand y 7L)) in
+      set_reg m rc (Int64.logand x (Int64.lognot (Int64.shift_left 0xFFFFL sh))))
+  | A.Fpop (o, fa, fb, fc) -> (
+    let a () = fval m fa and b () = fval m fb in
+    match o with
+    | A.Adds -> m.cycles <- m.cycles + 3; set_fval m fc (single (a () +. b ()))
+    | A.Addt -> m.cycles <- m.cycles + 3; set_fval m fc (a () +. b ())
+    | A.Subs -> m.cycles <- m.cycles + 3; set_fval m fc (single (a () -. b ()))
+    | A.Subt -> m.cycles <- m.cycles + 3; set_fval m fc (a () -. b ())
+    | A.Muls -> m.cycles <- m.cycles + 3; set_fval m fc (single (a () *. b ()))
+    | A.Mult -> m.cycles <- m.cycles + 3; set_fval m fc (a () *. b ())
+    | A.Divs -> m.cycles <- m.cycles + 15; set_fval m fc (single (a () /. b ()))
+    | A.Divt -> m.cycles <- m.cycles + 22; set_fval m fc (a () /. b ())
+    | A.Cmpteq -> set_fval m fc (if a () = b () then 2.0 else 0.0)
+    | A.Cmptlt -> set_fval m fc (if a () < b () then 2.0 else 0.0)
+    | A.Cmptle -> set_fval m fc (if a () <= b () then 2.0 else 0.0)
+    | A.Cvtqs ->
+      (* quadword integer (bits of fb) to single *)
+      set_fval m fc (single (Int64.to_float (get_f m fb)))
+    | A.Cvtqt -> set_fval m fc (Int64.to_float (get_f m fb))
+    | A.Cvttq -> set_f m fc (Int64.of_float (Float.trunc (b ())))
+    | A.Cvtts -> set_fval m fc (single (b ()))
+    | A.Cpys ->
+      (* copy sign of fa, rest of fb; cpys f,f,f is fmov *)
+      let sa = Int64.logand (get_f m fa) Int64.min_int in
+      let rest = Int64.logand (get_f m fb) Int64.max_int in
+      set_f m fc (Int64.logor sa rest)
+    | A.Cpysn ->
+      let sa = Int64.logand (Int64.lognot (get_f m fa)) Int64.min_int in
+      let rest = Int64.logand (get_f m fb) Int64.max_int in
+      set_f m fc (Int64.logor sa rest)
+    | A.Sqrts -> m.cycles <- m.cycles + 15; set_fval m fc (single (sqrt (b ())))
+    | A.Sqrtt -> m.cycles <- m.cycles + 30; set_fval m fc (sqrt (b ()))));
+  m.pc <- !next
+
+let default_fuel = 200_000_000
+
+let run ?(fuel = default_fuel) m =
+  let steps = ref 0 in
+  while m.pc <> halt_addr do
+    if !steps >= fuel then raise (Machine_error "out of fuel (infinite loop?)");
+    incr steps;
+    step m
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Harness: args in $16-$21 / $f16-$f21 by slot; further args on the
+   stack at sp+0, 8 bytes per slot.                                    *)
+
+type arg = Int of int | Int64 of int64 | Double of float | Single of float
+
+let place_args m ~sp args =
+  let slot = ref 0 in
+  List.iter
+    (fun a ->
+      let s = !slot in
+      incr slot;
+      match a with
+      | Int v ->
+        if s < 6 then set_reg m (16 + s) (Int64.of_int v)
+        else Mem.write_u64 m.mem (sp + (8 * (s - 6))) (Int64.of_int v)
+      | Int64 v ->
+        if s < 6 then set_reg m (16 + s) v else Mem.write_u64 m.mem (sp + (8 * (s - 6))) v
+      | Double v ->
+        if s < 6 then set_fval m (16 + s) v
+        else Mem.write_u64 m.mem (sp + (8 * (s - 6))) (Int64.bits_of_float v)
+      | Single v ->
+        if s < 6 then set_fval m (16 + s) v
+        else
+          Mem.write_u64 m.mem
+            (sp + (8 * (s - 6)))
+            (Int64.bits_of_float (Int32.float_of_bits (Int32.bits_of_float v))))
+    args
+
+let call ?fuel m ~entry args =
+  let sp = m.stack_top land lnot 15 in
+  set_reg m 30 (Int64.of_int sp);
+  set_reg m 26 (Int64.of_int halt_addr);
+  place_args m ~sp args;
+  m.pc <- entry;
+  run ?fuel m
+
+let ret_int64 m = m.regs.(0)
+let ret_int m = Int64.to_int m.regs.(0)
+let ret_double m = fval m 0
+let ret_single m = fval m 0
+
+let reset_stats m =
+  m.cycles <- 0;
+  m.insns <- 0;
+  Cache.reset_stats m.icache;
+  Cache.reset_stats m.dcache
+
+let flush_caches m =
+  Cache.flush m.icache;
+  Cache.flush m.dcache

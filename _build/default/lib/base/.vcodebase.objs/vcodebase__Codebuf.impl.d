@@ -1,0 +1,1 @@
+lib/base/codebuf.ml: Array Bytes Char

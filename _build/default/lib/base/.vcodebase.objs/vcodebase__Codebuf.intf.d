@@ -1,0 +1,1 @@
+lib/base/codebuf.mli: Bytes

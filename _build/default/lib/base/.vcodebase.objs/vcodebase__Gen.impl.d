@@ -1,0 +1,1 @@
+lib/base/gen.ml: Array Codebuf Int64 List Machdesc Reg Verror Vtype

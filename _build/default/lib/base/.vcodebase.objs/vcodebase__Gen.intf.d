@@ -1,0 +1,1 @@
+lib/base/gen.mli: Codebuf Machdesc Reg Vtype

@@ -1,0 +1,1 @@
+lib/base/machdesc.ml: Array Printf Reg Verror

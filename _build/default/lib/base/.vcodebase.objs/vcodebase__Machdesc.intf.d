@@ -1,0 +1,1 @@
+lib/base/machdesc.mli: Reg

@@ -1,0 +1,1 @@
+lib/base/op.ml: List Vtype

@@ -1,0 +1,1 @@
+lib/base/op.mli: Vtype

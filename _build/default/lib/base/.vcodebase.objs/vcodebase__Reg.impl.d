@@ -1,0 +1,1 @@
+lib/base/reg.ml: Fmt Printf Verror Vtype

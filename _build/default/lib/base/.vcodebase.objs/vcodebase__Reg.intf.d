@@ -1,0 +1,1 @@
+lib/base/reg.mli: Format Vtype

@@ -1,0 +1,1 @@
+lib/base/target.ml: Gen Machdesc Op Reg Vtype

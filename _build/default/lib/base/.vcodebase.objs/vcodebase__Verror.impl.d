@@ -1,0 +1,1 @@
+lib/base/verror.ml: Printexc Printf

@@ -1,0 +1,1 @@
+lib/base/vtype.ml: Fmt List Printf String Verror

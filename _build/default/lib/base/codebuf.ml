@@ -1,0 +1,82 @@
+(* The code buffer: a growable array of 32-bit instruction words.
+
+   This is the "in-place" part of VCODE: every emit call appends one
+   encoded machine instruction directly; there is no per-instruction
+   structure anywhere else in the system.  All three supported targets
+   (MIPS-I, SPARC-V8, Alpha) have fixed 32-bit instruction words, so the
+   buffer is word-oriented.  Words are stored as OCaml ints in
+   [0, 2^32). *)
+
+type t = {
+  mutable words : int array;
+  mutable len : int;
+}
+
+let create ?(capacity = 256) () =
+  { words = Array.make (max 16 capacity) 0; len = 0 }
+
+let length t = t.len
+
+let grow t =
+  let w = Array.make (2 * Array.length t.words) 0 in
+  Array.blit t.words 0 w 0 t.len;
+  t.words <- w
+
+(* Append one instruction word; returns its index. *)
+let emit t w =
+  if t.len = Array.length t.words then grow t;
+  let i = t.len in
+  t.words.(i) <- w land 0xFFFFFFFF;
+  t.len <- i + 1;
+  i
+
+(* Reserve [n] words (filled with [fill], typically a nop encoding) and
+   return the index of the first.  Used for prologue reservation. *)
+let reserve t ~n ~fill =
+  let first = t.len in
+  for _ = 1 to n do ignore (emit t fill) done;
+  first
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Codebuf.get";
+  t.words.(i)
+
+(* Backpatch a previously emitted word. *)
+let set t i w =
+  if i < 0 || i >= t.len then invalid_arg "Codebuf.set";
+  t.words.(i) <- w land 0xFFFFFFFF
+
+(* Drop words emitted after index [len]; used by the delay-slot scheduler
+   to lift an instruction into a branch's slot. *)
+let truncate t len =
+  if len < 0 || len > t.len then invalid_arg "Codebuf.truncate";
+  t.len <- len
+
+let to_array t = Array.sub t.words 0 t.len
+
+(* Serialize into bytes with the target's endianness, e.g. for loading
+   into simulated memory.  [dst] must have at least [4 * length t] bytes
+   available at [pos]. *)
+let blit_to_bytes t ~big_endian dst pos =
+  for i = 0 to t.len - 1 do
+    let w = t.words.(i) in
+    let b0 = w land 0xff and b1 = (w lsr 8) land 0xff in
+    let b2 = (w lsr 16) land 0xff and b3 = (w lsr 24) land 0xff in
+    let o = pos + (4 * i) in
+    if big_endian then begin
+      Bytes.unsafe_set dst o (Char.unsafe_chr b3);
+      Bytes.unsafe_set dst (o + 1) (Char.unsafe_chr b2);
+      Bytes.unsafe_set dst (o + 2) (Char.unsafe_chr b1);
+      Bytes.unsafe_set dst (o + 3) (Char.unsafe_chr b0)
+    end else begin
+      Bytes.unsafe_set dst o (Char.unsafe_chr b0);
+      Bytes.unsafe_set dst (o + 1) (Char.unsafe_chr b1);
+      Bytes.unsafe_set dst (o + 2) (Char.unsafe_chr b2);
+      Bytes.unsafe_set dst (o + 3) (Char.unsafe_chr b3)
+    end
+  done
+
+(* Approximate live heap words consumed by the buffer itself; used by the
+   space experiment (section 5 of the paper: in-place generation needs
+   only the emitted code plus labels/relocations). *)
+let heap_words t = Array.length t.words + 3

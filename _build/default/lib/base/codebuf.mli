@@ -1,0 +1,40 @@
+(** The code buffer: a growable array of 32-bit instruction words.
+
+    This is the concrete object behind VCODE's in-place code
+    generation: every emit call appends one encoded machine
+    instruction; no other per-instruction state exists anywhere in the
+    system.  All supported targets use fixed 32-bit instruction
+    words. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+val length : t -> int
+
+(** append one instruction word (interpreted modulo 2^32); returns the
+    word's index for later backpatching *)
+val emit : t -> int -> int
+
+(** reserve [n] words filled with [fill] (typically the target's nop);
+    returns the index of the first.  Used for the prologue area of
+    section 5.2. *)
+val reserve : t -> n:int -> fill:int -> int
+
+val get : t -> int -> int
+
+(** backpatch a previously emitted word *)
+val set : t -> int -> int -> unit
+
+(** drop words emitted after index [len]; used by the delay-slot
+    scheduler to lift an instruction into a branch's slot *)
+val truncate : t -> int -> unit
+
+val to_array : t -> int array
+
+(** serialize into [dst] at [pos] with the target's endianness (e.g.
+    for loading into simulated memory) *)
+val blit_to_bytes : t -> big_endian:bool -> Bytes.t -> int -> unit
+
+(** approximate live heap words consumed by the buffer, for the space
+    experiment *)
+val heap_words : t -> int

@@ -1,0 +1,316 @@
+(* Per-function dynamic code generation state.
+
+   This record is everything VCODE keeps while generating a function.
+   True to the paper, memory use during generation is proportional to the
+   number of labels and unresolved jumps plus the emitted code itself —
+   there is no per-instruction intermediate structure (compare the DCG
+   baseline in lib/dcg, which builds IR trees).
+
+   The target-independent machinery here covers: label creation and
+   binding, relocation recording, the register allocator, per-function
+   register-class overrides (section 5.3 "violating abstractions"),
+   callee-saved usage tracking for prologue backpatching, local-variable
+   offsets and the pending floating-point immediate pool (section 5.2). *)
+
+(* A memory-operand offset: VCODE loads/stores take base + (immediate or
+   register) offsets. *)
+type offset = Oimm of int | Oreg of Reg.t
+
+(* A jump target: VCODE jumps go to labels, registers, or absolute
+   addresses (paper Table 2: "jump to immediate, register, or label"). *)
+type jtarget = Jlabel of int | Jreg of Reg.t | Jaddr of int
+
+(* An unresolved reference from an emitted instruction to a label.  The
+   [kind] is interpreted by the target's [apply_reloc]. *)
+type reloc = { site : int; lab : int; kind : int }
+
+(* Section 5.3: clients may dynamically reclassify any physical register
+   for the duration of one generated function. *)
+type cls_override = Odefault | Ocallee | Ocaller | Ounavail
+
+type t = {
+  desc : Machdesc.t;
+  buf : Codebuf.t;
+  base : int;  (* simulated load address of buf word 0 *)
+  mutable labels : int array;  (* label id -> code index, -1 if unbound *)
+  mutable nlabels : int;
+  mutable relocs : reloc list;
+  mutable leaf : bool;
+  mutable in_function : bool;
+  mutable finished : bool;
+  mutable locals_bytes : int;
+  mutable used_callee : int;   (* bitmask: callee-saved int regs written *)
+  mutable used_fcallee : int;
+  mutable made_call : bool;
+  mutable max_call_args : int;
+  mutable prologue_at : int;    (* index of the reserved prologue area *)
+  mutable prologue_words : int; (* its size in words *)
+  mutable entry_index : int;    (* set by finish: index of first live insn *)
+  mutable epilogue_lab : int;
+  mutable ret_type : Vtype.t;
+  mutable fimms : (int * int64 * bool) list; (* site, bits, is_double *)
+  (* stack-passed incoming arguments whose reload into a register must be
+     emitted in the patched prologue: (arg slot, destination, type) *)
+  mutable arg_loads : (int * Reg.t * Vtype.t) list;
+  mutable call_args : (Vtype.t * Reg.t) list; (* reversed push_arg list *)
+  mutable int_in_use : int;  (* allocator bitmask over the int file *)
+  mutable flt_in_use : int;
+  overrides : cls_override array;
+  foverrides : cls_override array;
+  mutable insn_count : int;  (* VCODE-level instructions emitted *)
+  mutable tstate : int;      (* target-private scratch (e.g. SPARC leaf) *)
+}
+
+let create ?(base = 0) (desc : Machdesc.t) =
+  {
+    desc;
+    buf = Codebuf.create ();
+    base;
+    labels = Array.make 16 (-1);
+    nlabels = 0;
+    relocs = [];
+    leaf = false;
+    in_function = false;
+    finished = false;
+    locals_bytes = 0;
+    used_callee = 0;
+    used_fcallee = 0;
+    made_call = false;
+    max_call_args = 0;
+    prologue_at = 0;
+    prologue_words = 0;
+    entry_index = 0;
+    epilogue_lab = -1;
+    ret_type = Vtype.V;
+    fimms = [];
+    arg_loads = [];
+    call_args = [];
+    int_in_use = 0;
+    flt_in_use = 0;
+    overrides = Array.make desc.Machdesc.nregs Odefault;
+    foverrides = Array.make desc.Machdesc.nfregs Odefault;
+    insn_count = 0;
+    tstate = 0;
+  }
+
+let check_open g =
+  if g.finished then Verror.fail Verror.Already_finished
+
+(* ------------------------------------------------------------------ *)
+(* Labels and relocations                                              *)
+
+let genlabel g =
+  let l = g.nlabels in
+  if l = Array.length g.labels then begin
+    let a = Array.make (2 * l) (-1) in
+    Array.blit g.labels 0 a 0 l;
+    g.labels <- a
+  end;
+  g.labels.(l) <- -1;
+  g.nlabels <- l + 1;
+  l
+
+let bind_label g l =
+  check_open g;
+  if l < 0 || l >= g.nlabels then Verror.failf "bind_label: bad label %d" l;
+  g.labels.(l) <- Codebuf.length g.buf
+
+let label_defined g l = l >= 0 && l < g.nlabels && g.labels.(l) >= 0
+
+let add_reloc g ~site ~lab ~kind = g.relocs <- { site; lab; kind } :: g.relocs
+
+(* Resolve every recorded relocation through the target's patcher. *)
+let resolve_relocs g ~(apply : kind:int -> site:int -> dest:int -> unit) =
+  List.iter
+    (fun { site; lab; kind } ->
+      let dest = g.labels.(lab) in
+      if dest < 0 then Verror.fail (Verror.Unresolved_label lab);
+      apply ~kind ~site ~dest)
+    g.relocs;
+  g.relocs <- []
+
+(* ------------------------------------------------------------------ *)
+(* Register allocation (paper section 3: priority-ordered pools; the
+   allocator returns [None] on exhaustion and clients fall back to the
+   stack).                                                             *)
+
+let file_in_use g (r : Reg.t) =
+  match r with
+  | Reg.R n -> g.int_in_use land (1 lsl n) <> 0
+  | Reg.F n -> g.flt_in_use land (1 lsl n) <> 0
+
+let mark_in_use g (r : Reg.t) =
+  match r with
+  | Reg.R n -> g.int_in_use <- g.int_in_use lor (1 lsl n)
+  | Reg.F n -> g.flt_in_use <- g.flt_in_use lor (1 lsl n)
+
+let mark_free g (r : Reg.t) =
+  match r with
+  | Reg.R n -> g.int_in_use <- g.int_in_use land lnot (1 lsl n)
+  | Reg.F n -> g.flt_in_use <- g.flt_in_use land lnot (1 lsl n)
+
+let override_of g (r : Reg.t) =
+  match r with Reg.R n -> g.overrides.(n) | Reg.F n -> g.foverrides.(n)
+
+let set_reg_class g (r : Reg.t) (c : cls_override) =
+  (match r with
+  | Reg.R n -> g.overrides.(n) <- c
+  | Reg.F n -> g.foverrides.(n) <- c)
+
+let pool_of g ~(cls : [ `Temp | `Var ]) ~(float : bool) =
+  let d = g.desc in
+  match (cls, float) with
+  | `Temp, false -> d.Machdesc.temps
+  | `Var, false -> d.Machdesc.vars
+  | `Temp, true -> d.Machdesc.ftemps
+  | `Var, true -> d.Machdesc.fvars
+
+let getreg g ~cls ~float =
+  check_open g;
+  let pool = pool_of g ~cls ~float in
+  let n = Array.length pool in
+  let rec scan i =
+    if i >= n then None
+    else
+      let r = pool.(i) in
+      if file_in_use g r || override_of g r = Ounavail then scan (i + 1)
+      else begin
+        mark_in_use g r;
+        Some r
+      end
+  in
+  scan 0
+
+let putreg g r = mark_free g r
+
+(* ------------------------------------------------------------------ *)
+(* Callee-saved bookkeeping                                            *)
+
+(* Record that [r] was written; used at [finish] to decide which
+   registers the patched prologue must save.  A register counts as
+   callee-saved if the target says so, or if the client forced it with a
+   class override (the interrupt-handler scenario of section 5.3). *)
+let note_write g (r : Reg.t) =
+  let d = g.desc in
+  match r with
+  | Reg.R n ->
+    let forced = g.overrides.(n) = Ocallee in
+    let relaxed = g.overrides.(n) = Ocaller in
+    if (d.Machdesc.callee_mask land (1 lsl n) <> 0 && not relaxed) || forced then
+      g.used_callee <- g.used_callee lor (1 lsl n)
+  | Reg.F n ->
+    let forced = g.foverrides.(n) = Ocallee in
+    let relaxed = g.foverrides.(n) = Ocaller in
+    if (d.Machdesc.fcallee_mask land (1 lsl n) <> 0 && not relaxed) || forced then
+      g.used_fcallee <- g.used_fcallee lor (1 lsl n)
+
+let count_bits m =
+  let rec go m acc = if m = 0 then acc else go (m lsr 1) (acc + (m land 1)) in
+  go m 0
+
+(* ------------------------------------------------------------------ *)
+(* Locals                                                              *)
+
+(* Allocate [bytes] of stack space with [align]; returns a byte offset
+   interpreted by the target relative to its frame layout.  Per section
+   5.2, locals sit above a fixed maximal register-save area so their
+   offsets are known immediately. *)
+let alloc_local g ~bytes ~align =
+  check_open g;
+  let a = max 1 align in
+  let off = (g.locals_bytes + a - 1) / a * a in
+  g.locals_bytes <- off + bytes;
+  off
+
+(* ------------------------------------------------------------------ *)
+(* Shared finalization helpers used by the target ports                *)
+
+(* Place the pending floating-point immediates after the code (paper
+   section 5.2: constants live at the end of the function's instruction
+   stream so they are reclaimed with it), honoring [big_endian] word
+   order, and call [patch] with each load site and its constant's
+   address. *)
+let place_fimms g ~big_endian ~(patch : site:int -> addr:int -> unit) =
+  if g.fimms <> [] then begin
+    if (g.base + (4 * Codebuf.length g.buf)) land 7 <> 0 then
+      ignore (Codebuf.emit g.buf 0);
+    List.iter
+      (fun (site, bits, dbl) ->
+        let daddr = g.base + (4 * Codebuf.length g.buf) in
+        let lo32 = Int64.to_int (Int64.logand bits 0xFFFFFFFFL) in
+        let hi32 =
+          Int64.to_int (Int64.logand (Int64.shift_right_logical bits 32) 0xFFFFFFFFL)
+        in
+        if dbl then
+          if big_endian then begin
+            ignore (Codebuf.emit g.buf hi32);
+            ignore (Codebuf.emit g.buf lo32)
+          end
+          else begin
+            ignore (Codebuf.emit g.buf lo32);
+            ignore (Codebuf.emit g.buf hi32)
+          end
+        else begin
+          ignore (Codebuf.emit g.buf lo32);
+          ignore (Codebuf.emit g.buf 0)
+        end;
+        patch ~site ~addr:daddr)
+      (List.rev g.fimms);
+    g.fimms <- []
+  end
+
+(* Resolve a set of parallel register moves (integer file), breaking
+   cycles through [scratch].  Needed by ports whose temp pools overlap
+   the argument registers (SPARC, PowerPC), where do_call's argument
+   shuffle is a genuine parallel-move problem. *)
+let parallel_moves ~(emit_mov : int -> int -> unit) ~scratch (moves : (int * int) list) =
+  let pending = ref (List.filter (fun (d, s) -> d <> s) moves) in
+  while !pending <> [] do
+    let blocked (d, _) = List.exists (fun (_, s) -> s = d) !pending in
+    match List.partition (fun mv -> not (blocked mv)) !pending with
+    | ready, rest when ready <> [] ->
+      List.iter (fun (d, s) -> emit_mov d s) ready;
+      pending := rest
+    | _, (d, s) :: rest ->
+      emit_mov scratch d;
+      pending :=
+        (d, s) :: List.map (fun (d', s') -> if s' = d then (d', scratch) else (d', s')) rest
+    | _, [] -> ()
+  done
+
+(* The canonical register-save-area layout used by ports with explicit
+   callee saving (MIPS, Alpha, PowerPC): integer registers first (at
+   [int_bytes] strides from [first_off]), then doubles at the next
+   8-aligned offset.  Covers client-forced callee-saved registers, not
+   just the architectural set.  Fails when the area would overflow
+   [limit]. *)
+let save_layout g ~first_off ~int_bytes ~limit =
+  let slots = ref [] in
+  let off = ref first_off in
+  for n = 0 to 31 do
+    if g.used_callee land (1 lsl n) <> 0 then begin
+      slots := `Int (n, !off) :: !slots;
+      off := !off + int_bytes
+    end
+  done;
+  off := (!off + 7) land lnot 7;
+  for n = 0 to 31 do
+    if g.used_fcallee land (1 lsl n) <> 0 then begin
+      slots := `Fp (n, !off) :: !slots;
+      off := !off + 8
+    end
+  done;
+  if !off > limit then Verror.fail (Verror.Unsupported "register save area overflow");
+  List.rev !slots
+
+(* ------------------------------------------------------------------ *)
+(* Space accounting for the in-place-generation experiment             *)
+
+let live_words g =
+  Codebuf.heap_words g.buf
+  + Array.length g.labels + 3
+  + (4 * List.length g.relocs)
+  + (4 * List.length g.fimms)
+
+let code_addr g idx = g.base + (4 * idx)
+let here g = Codebuf.length g.buf

@@ -1,0 +1,130 @@
+(** Per-function dynamic code generation state.
+
+    This record is everything VCODE keeps while generating a function.
+    True to the paper, memory use during generation is proportional to
+    the number of labels and unresolved jumps plus the emitted code
+    itself — there is no per-instruction intermediate structure
+    (contrast the DCG baseline in lib/dcg).
+
+    The record is exposed because target ports (implementations of
+    {!Target.S}) read and mutate its fields during emission and
+    finalization; ordinary clients go through [Vcode.Make]. *)
+
+(** a memory-operand offset: base + (immediate or register) *)
+type offset = Oimm of int | Oreg of Reg.t
+
+(** a jump target: label, register, or absolute address (Table 2) *)
+type jtarget = Jlabel of int | Jreg of Reg.t | Jaddr of int
+
+(** an unresolved reference from an emitted instruction to a label;
+    [kind] is interpreted by the target's relocation patcher *)
+type reloc = { site : int; lab : int; kind : int }
+
+(** section 5.3: clients may dynamically reclassify any physical
+    register for the duration of one generated function *)
+type cls_override = Odefault | Ocallee | Ocaller | Ounavail
+
+type t = {
+  desc : Machdesc.t;
+  buf : Codebuf.t;
+  base : int;  (** simulated load address of buf word 0 *)
+  mutable labels : int array;  (** label id -> code index, -1 if unbound *)
+  mutable nlabels : int;
+  mutable relocs : reloc list;
+  mutable leaf : bool;
+  mutable in_function : bool;
+  mutable finished : bool;
+  mutable locals_bytes : int;
+  mutable used_callee : int;  (** bitmask: callee-saved int regs written *)
+  mutable used_fcallee : int;
+  mutable made_call : bool;
+  mutable max_call_args : int;
+  mutable prologue_at : int;    (** index of the reserved prologue area *)
+  mutable prologue_words : int;
+  mutable entry_index : int;    (** set by finish: first live instruction *)
+  mutable epilogue_lab : int;
+  mutable ret_type : Vtype.t;
+  mutable fimms : (int * int64 * bool) list;
+      (** pending FP constants: load site, bits, is_double (§5.2) *)
+  mutable arg_loads : (int * Reg.t * Vtype.t) list;
+      (** stack-passed incoming arguments to reload in the patched
+          prologue: (arg slot, destination, type) *)
+  mutable call_args : (Vtype.t * Reg.t) list;  (** reversed push_arg list *)
+  mutable int_in_use : int;  (** allocator bitmask over the int file *)
+  mutable flt_in_use : int;
+  overrides : cls_override array;
+  foverrides : cls_override array;
+  mutable insn_count : int;  (** VCODE-level instructions emitted *)
+  mutable tstate : int;      (** target-private scratch *)
+}
+
+val create : ?base:int -> Machdesc.t -> t
+
+(** @raise Verror.Error if v_end already ran *)
+val check_open : t -> unit
+
+(** {2 Labels and relocations} *)
+
+val genlabel : t -> int
+val bind_label : t -> int -> unit
+val label_defined : t -> int -> bool
+val add_reloc : t -> site:int -> lab:int -> kind:int -> unit
+
+(** resolve every recorded relocation through the target's patcher;
+    @raise Verror.Error on undefined labels *)
+val resolve_relocs : t -> apply:(kind:int -> site:int -> dest:int -> unit) -> unit
+
+(** {2 Register allocation (section 3: priority-ordered pools)} *)
+
+val file_in_use : t -> Reg.t -> bool
+val mark_in_use : t -> Reg.t -> unit
+val mark_free : t -> Reg.t -> unit
+val override_of : t -> Reg.t -> cls_override
+val set_reg_class : t -> Reg.t -> cls_override -> unit
+
+(** [None] on exhaustion: clients fall back to the stack *)
+val getreg : t -> cls:[ `Temp | `Var ] -> float:bool -> Reg.t option
+
+val putreg : t -> Reg.t -> unit
+
+(** {2 Callee-saved bookkeeping} *)
+
+(** record a register write for prologue backpatching; honours the
+    section-5.3 class overrides *)
+val note_write : t -> Reg.t -> unit
+
+val count_bits : int -> int
+
+(** {2 Locals} *)
+
+(** allocate stack space; returns a byte offset into the locals area
+    (whose sp-relative base is target-specific, see
+    {!Machdesc.t.locals_base}) *)
+val alloc_local : t -> bytes:int -> align:int -> int
+
+(** {2 Shared finalization helpers for target ports} *)
+
+(** place pending FP constants after the code and patch each load site
+    (section 5.2) *)
+val place_fimms : t -> big_endian:bool -> patch:(site:int -> addr:int -> unit) -> unit
+
+(** resolve parallel register moves, breaking cycles through [scratch];
+    used by ports whose temp pools overlap the argument registers *)
+val parallel_moves :
+  emit_mov:(int -> int -> unit) -> scratch:int -> (int * int) list -> unit
+
+(** the canonical register-save-area layout (ints from [first_off] at
+    [int_bytes] strides, then 8-aligned doubles);
+    @raise Verror.Error when the area would exceed [limit] *)
+val save_layout :
+  t ->
+  first_off:int ->
+  int_bytes:int ->
+  limit:int ->
+  [ `Int of int * int | `Fp of int * int ] list
+
+(** {2 Space accounting for the in-place-generation experiment} *)
+
+val live_words : t -> int
+val code_addr : t -> int -> int
+val here : t -> int

@@ -1,0 +1,67 @@
+(* The VCODE core instruction set (paper Table 2), expressed as the base
+   operations that compose with a {!Vtype.t}.  The concrete per-type
+   instruction names (v_addii, v_bleul, ...) live in {!module:Vcode.Names};
+   targets receive these abstract operations. *)
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | And | Or | Xor | Lsh | Rsh
+
+type unop =
+  | Com   (** bitwise complement *)
+  | Not   (** logical not: rd <- (rs == 0) *)
+  | Mov
+  | Neg
+
+type cond = Lt | Le | Gt | Ge | Eq | Ne
+
+let binop_to_string = function
+  | Add -> "add" | Sub -> "sub" | Mul -> "mul" | Div -> "div" | Mod -> "mod"
+  | And -> "and" | Or -> "or" | Xor -> "xor" | Lsh -> "lsh" | Rsh -> "rsh"
+
+let unop_to_string = function
+  | Com -> "com" | Not -> "not" | Mov -> "mov" | Neg -> "neg"
+
+let cond_to_string = function
+  | Lt -> "blt" | Le -> "ble" | Gt -> "bgt" | Ge -> "bge" | Eq -> "beq" | Ne -> "bne"
+
+let all_binops = [ Add; Sub; Mul; Div; Mod; And; Or; Xor; Lsh; Rsh ]
+let all_unops = [ Com; Not; Mov; Neg ]
+let all_conds = [ Lt; Le; Gt; Ge; Eq; Ne ]
+
+(* Types each base operation composes with, as listed in Table 2. *)
+let binop_types : binop -> Vtype.t list = function
+  | Add | Sub | Mul | Div -> [ I; U; L; UL; P; F; D ]
+  | Mod -> [ I; U; L; UL; P ]
+  | And | Or | Xor | Lsh | Rsh -> [ I; U; L; UL ]
+
+let unop_types : unop -> Vtype.t list = function
+  | Com -> [ I; U; L; UL ]
+  | Not -> [ I; U; L; UL ]
+  | Mov -> [ I; U; L; UL; P; F; D ]
+  | Neg -> [ I; U; L; UL; F; D ]
+
+let cond_types : cond -> Vtype.t list =
+  fun _ -> [ I; U; L; UL; P; F; D ]
+
+let mem_types : Vtype.t list = [ C; UC; S; US; I; U; L; UL; P; F; D ]
+let ret_types : Vtype.t list = [ V; I; U; L; UL; P; F; D ]
+let set_types : Vtype.t list = [ I; U; L; UL; P; F; D ]
+
+(* The conversion sub-matrix of Table 2: (from, to) pairs. *)
+let conversions : (Vtype.t * Vtype.t) list =
+  [ (I, U); (I, UL); (I, L); (I, F); (I, D);
+    (U, I); (U, UL); (U, L); (U, D);
+    (L, I); (L, U); (L, UL); (L, F); (L, D);
+    (UL, I); (UL, U); (UL, L); (UL, P);
+    (P, UL); (P, L);
+    (F, I); (F, L); (F, D);
+    (D, I); (D, L); (D, F) ]
+
+let conversion_ok ~from ~to_ =
+  List.exists (fun (a, b) -> a = from && b = to_) conversions
+
+(* Whether an immediate form exists for a binop at a given type: Table 2
+   footnote — immediates are allowed provided the type is not f or d. *)
+let binop_imm_ok (op : binop) (t : Vtype.t) =
+  (not (Vtype.is_float t)) && List.mem t (binop_types op)

@@ -1,0 +1,42 @@
+(** The VCODE core instruction set (paper Table 2), as the base
+    operations that compose with a {!Vtype.t}.  The concrete per-type
+    instruction names (v_addii, v_bleul, ...) live in
+    [Vcode.Make(_).Names]; targets receive these abstract operations. *)
+
+type binop = Add | Sub | Mul | Div | Mod | And | Or | Xor | Lsh | Rsh
+
+type unop =
+  | Com  (** bitwise complement *)
+  | Not  (** logical not: rd <- (rs = 0) *)
+  | Mov
+  | Neg
+
+type cond = Lt | Le | Gt | Ge | Eq | Ne
+
+val binop_to_string : binop -> string
+val unop_to_string : unop -> string
+val cond_to_string : cond -> string
+
+val all_binops : binop list
+val all_unops : unop list
+val all_conds : cond list
+
+(** the types each base operation composes with, per Table 2 (e.g. mod
+    excludes floats, logical operations exclude pointers) *)
+val binop_types : binop -> Vtype.t list
+
+val unop_types : unop -> Vtype.t list
+val cond_types : cond -> Vtype.t list
+
+val mem_types : Vtype.t list
+val ret_types : Vtype.t list
+val set_types : Vtype.t list
+
+(** the conversion sub-matrix of Table 2, as (from, to) pairs *)
+val conversions : (Vtype.t * Vtype.t) list
+
+val conversion_ok : from:Vtype.t -> to_:Vtype.t -> bool
+
+(** immediates exist for a binop at a type iff the type is not a float
+    (Table 2's footnote) *)
+val binop_imm_ok : binop -> Vtype.t -> bool

@@ -1,0 +1,36 @@
+(* Physical registers.
+
+   VCODE registers are physical machine registers handed to the client by
+   the register allocator (or named directly via the hard-coded T0/S0
+   scheme of section 5.3).  A register is an index into either the integer
+   or the floating-point register file of the target. *)
+
+type t =
+  | R of int  (** integer register file *)
+  | F of int  (** floating-point register file *)
+
+let idx = function R n -> n | F n -> n
+let is_float = function F _ -> true | R _ -> false
+let equal (a : t) (b : t) = a = b
+let compare (a : t) (b : t) = compare a b
+
+let to_string = function
+  | R n -> Printf.sprintf "r%d" n
+  | F n -> Printf.sprintf "f%d" n
+
+let pp fmt r = Fmt.string fmt (to_string r)
+
+(* Sanity helpers used by the core API wrappers. *)
+let expect_int ctx r =
+  match r with
+  | R n -> n
+  | F _ -> Verror.fail (Verror.Bad_operand (ctx ^ ": expected integer register"))
+
+let expect_float ctx r =
+  match r with
+  | F n -> n
+  | R _ -> Verror.fail (Verror.Bad_operand (ctx ^ ": expected float register"))
+
+(* The register class expected for operands of a given vtype. *)
+let matches_type (t : Vtype.t) (r : t) =
+  if Vtype.is_float t then is_float r else not (is_float r)

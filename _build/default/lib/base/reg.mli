@@ -1,0 +1,26 @@
+(** Physical registers.
+
+    VCODE registers are physical machine registers handed to the client
+    by the register allocator, or named directly via the hard-coded
+    T0/S0 scheme of section 5.3.  A register is an index into either
+    the integer or the floating-point file of the target. *)
+
+type t =
+  | R of int  (** integer register file *)
+  | F of int  (** floating-point register file *)
+
+val idx : t -> int
+val is_float : t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+(** @raise Verror.Error when the register is not in the integer file *)
+val expect_int : string -> t -> int
+
+(** @raise Verror.Error when the register is not in the float file *)
+val expect_float : string -> t -> int
+
+(** does the register's file match the vtype's class? *)
+val matches_type : Vtype.t -> t -> bool

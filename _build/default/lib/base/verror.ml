@@ -1,0 +1,39 @@
+(* Errors raised by the VCODE system.
+
+   The paper's C implementation signals misuse (e.g. calling a procedure
+   from a declared leaf, exhausting the register file when the client
+   insists on a register) through error codes and aborts.  We use a single
+   exception carrying a structured reason so clients can both
+   pattern-match on the condition and print a readable diagnostic. *)
+
+type reason =
+  | Leaf_call                 (** a call was emitted inside a [V_LEAF] function *)
+  | Registers_exhausted of string  (** no free register in the named class *)
+  | Bad_type of string        (** instruction applied to an unsupported vtype *)
+  | Bad_operand of string     (** malformed operand, e.g. float reg to integer op *)
+  | Unresolved_label of int   (** v_end reached with an undefined label *)
+  | Already_finished          (** emission attempted after v_end *)
+  | Range of string           (** value does not fit in an encodable field *)
+  | Unsupported of string     (** target cannot express the request *)
+  | Spec of string            (** error in an extension specification *)
+
+exception Error of reason
+
+let reason_to_string = function
+  | Leaf_call -> "call emitted inside a leaf procedure"
+  | Registers_exhausted c -> Printf.sprintf "register class %s exhausted" c
+  | Bad_type s -> Printf.sprintf "bad type: %s" s
+  | Bad_operand s -> Printf.sprintf "bad operand: %s" s
+  | Unresolved_label l -> Printf.sprintf "label L%d never defined" l
+  | Already_finished -> "code generation already finished (v_end called)"
+  | Range s -> Printf.sprintf "value out of range: %s" s
+  | Unsupported s -> Printf.sprintf "unsupported on this target: %s" s
+  | Spec s -> Printf.sprintf "bad extension spec: %s" s
+
+let fail r = raise (Error r)
+let failf fmt = Printf.ksprintf (fun s -> fail (Bad_operand s)) fmt
+
+let () =
+  Printexc.register_printer (function
+    | Error r -> Some ("Vcode error: " ^ reason_to_string r)
+    | _ -> None)

@@ -1,0 +1,1 @@
+lib/core/vcode.ml: Array Codebuf Fmt Gen Hashtbl Int64 List Machdesc Op Printf Reg Spec_lang Target Vcodebase Verror Vtype

@@ -1,0 +1,1 @@
+lib/core/spec_lang.ml: Buffer List Printf String Vcodebase Verror Vtype

@@ -1,0 +1,153 @@
+(* The instruction-extension specification language (paper section 5.4).
+
+   A specification has the paper's shape:
+
+     ( base-insn-name ( param-list ) [ ( type-list impl [imm-impl] ) ]+ )
+
+   e.g. the running example
+
+     (sqrt (rd, rs) (f fsqrts) (d fsqrtd))
+
+   composes the base instruction [sqrt] with types [f] and [d] and maps
+   them to the target machine instructions fsqrts/fsqrtd (which the
+   target exports through [Target.S.extra_insns]).
+
+   As in the paper, an implementation can instead be couched in terms of
+   existing VCODE instructions, which makes the extension portable to
+   every target:
+
+     (dbl (rd, rs) (i (seq (add rd rs rs))) (l (seq (add rd rs rs))))
+
+   The [seq] body may use any core ALU/mov operation; operands are
+   parameter names or integer literals (which select the immediate
+   form).  A [scratch] operand requests a temporary register for the
+   duration of the sequence ("acquiring access to scratch registers"). *)
+
+open Vcodebase
+
+type operand = Param of string | Imm of int | Scratch
+
+type vinsn = { vop : string; operands : operand list }
+
+type impl =
+  | Machine of string  (* name into Target.S.extra_insns *)
+  | Seq of vinsn list
+
+type entry = { tys : Vtype.t list; impl : impl; imm_impl : impl option }
+
+type t = { name : string; params : string list; entries : entry list }
+
+(* ------------------------------------------------------------------ *)
+(* S-expression reader (commas are whitespace, as in the paper's
+   syntax).                                                            *)
+
+type sexp = Atom of string | List of sexp list
+
+let tokenize (s : string) : string list =
+  let n = String.length s in
+  let toks = ref [] in
+  let buf = Buffer.create 16 in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      toks := Buffer.contents buf :: !toks;
+      Buffer.clear buf
+    end
+  in
+  for i = 0 to n - 1 do
+    match s.[i] with
+    | '(' | ')' ->
+      flush ();
+      toks := String.make 1 s.[i] :: !toks
+    | ' ' | '\t' | '\n' | '\r' | ',' -> flush ()
+    | c -> Buffer.add_char buf c
+  done;
+  flush ();
+  List.rev !toks
+
+let parse_sexps (toks : string list) : sexp list =
+  let rec one = function
+    | [] -> Verror.fail (Verror.Spec "unexpected end of specification")
+    | "(" :: rest ->
+      let items, rest = many rest in
+      (List items, rest)
+    | ")" :: _ -> Verror.fail (Verror.Spec "unexpected ')'")
+    | a :: rest -> (Atom a, rest)
+  and many = function
+    | ")" :: rest -> ([], rest)
+    | [] -> Verror.fail (Verror.Spec "missing ')'")
+    | toks ->
+      let x, rest = one toks in
+      let xs, rest = many rest in
+      (x :: xs, rest)
+  in
+  let rec top = function
+    | [] -> []
+    | toks ->
+      let x, rest = one toks in
+      x :: top rest
+  in
+  top toks
+
+let type_of_letter = function
+  | "v" -> Vtype.V | "c" -> Vtype.C | "uc" -> Vtype.UC | "s" -> Vtype.S
+  | "us" -> Vtype.US | "i" -> Vtype.I | "u" -> Vtype.U | "l" -> Vtype.L
+  | "ul" -> Vtype.UL | "p" -> Vtype.P | "f" -> Vtype.F | "d" -> Vtype.D
+  | other -> Verror.fail (Verror.Spec (Printf.sprintf "unknown type letter %S" other))
+
+let operand_of_atom params a =
+  match int_of_string_opt a with
+  | Some i -> Imm i
+  | None ->
+    if a = "scratch" then Scratch
+    else if List.mem a params then Param a
+    else Verror.fail (Verror.Spec (Printf.sprintf "unknown operand %S" a))
+
+let parse_vinsn params = function
+  | List (Atom vop :: args) ->
+    let operands =
+      List.map
+        (function
+          | Atom a -> operand_of_atom params a
+          | List _ -> Verror.fail (Verror.Spec "nested operand"))
+        args
+    in
+    { vop; operands }
+  | _ -> Verror.fail (Verror.Spec "malformed seq instruction")
+
+let parse_impl params = function
+  | Atom m -> Machine m
+  | List (Atom "seq" :: body) -> Seq (List.map (parse_vinsn params) body)
+  | List _ -> Verror.fail (Verror.Spec "implementation must be a machine insn or (seq ...)")
+
+let parse_entry params = function
+  | List (Atom tyl :: impl :: rest) ->
+    let imm_impl =
+      match rest with
+      | [] -> None
+      | [ i ] -> Some (parse_impl params i)
+      | _ -> Verror.fail (Verror.Spec "too many implementations in type entry")
+    in
+    { tys = [ type_of_letter tyl ]; impl = parse_impl params impl; imm_impl }
+  | _ -> Verror.fail (Verror.Spec "malformed type entry")
+
+let parse_one = function
+  | List (Atom name :: List raw_params :: entries) ->
+    let params =
+      List.map
+        (function
+          | Atom p -> p
+          | List _ -> Verror.fail (Verror.Spec "malformed parameter list"))
+        raw_params
+    in
+    { name; params; entries = List.map (parse_entry params) entries }
+  | _ -> Verror.fail (Verror.Spec "specification must be (name (params) entries...)")
+
+(* Parse a string containing one or more instruction specifications. *)
+let parse (s : string) : t list =
+  List.map parse_one (parse_sexps (tokenize s))
+
+(* Instruction name generation, paper style: v_<name><type-letter>. *)
+let instruction_names (spec : t) : (string * Vtype.t) list =
+  List.concat_map
+    (fun e -> List.map (fun ty -> ("v_" ^ spec.name ^ Vtype.to_string ty, ty)) e.tys)
+    spec.entries

@@ -1,0 +1,1094 @@
+(* VCODE: the client-facing dynamic code generation interface.
+
+   [Make] instantiates the machine-independent API over one target port
+   (MIPS, SPARC, Alpha).  The API mirrors the paper's macro interface:
+
+   - [lambda] / [end_gen] bracket the generation of one function
+     (v_lambda / v_end, section 3.2);
+   - [getreg]/[putreg], [genlabel]/[label], [local] manage VCODE objects;
+   - the generic emitters ([arith], [load], ...) plus the flat
+     paper-style instruction names in [Names] (v_addii becomes
+     [Names.addii]) specify code;
+   - [Sched] is the portable delay-slot interface of section 5.3
+     (v_schedule_delay / v_raw_load);
+   - [Strength] is the multiplication/division strength reducer built on
+     top of VCODE described in section 5.4;
+   - [Ext] is the extensible-instruction registry driven by the
+     specification language of section 5.4 (see {!Spec_lang}).
+
+   Emission is in place: each call encodes machine words directly into
+   the function's code buffer.  The only bookkeeping is labels and
+   unresolved jumps (see {!Vcodebase.Gen}). *)
+
+open Vcodebase
+
+(* Re-export: the extension specification language (section 5.4). *)
+module Spec_lang = Spec_lang
+
+(* The result of [end_gen]: everything needed to install and run the
+   dynamically generated function. *)
+type code = {
+  gen : Gen.t;
+  base : int;        (* address the code was generated for *)
+  entry_addr : int;  (* address of the first instruction to execute *)
+  code_bytes : int;
+}
+
+module type TARGET = Target.S
+
+module Make (T : Target.S) = struct
+  let desc = T.desc
+
+  type gen = Gen.t
+  type nonrec code = code
+
+  (* ---------------------------------------------------------------- *)
+  (* Lifecycle                                                         *)
+
+  (* Begin generating a function.  [sig_] is the paper's parameter type
+     string, e.g. "%i%p"; [base] is the address the code will be
+     installed at; [leaf] asserts the function makes no calls
+     (V_LEAF).  Returns the generation state and the registers holding
+     the incoming parameters. *)
+  let lambda ?(base = 0) ?(leaf = false) (sig_ : string) : gen * Reg.t array =
+    if base land 7 <> 0 then Verror.fail (Verror.Bad_operand "base must be 8-aligned");
+    let g = Gen.create ~base T.desc in
+    g.Gen.leaf <- leaf;
+    g.Gen.in_function <- true;
+    let tys = Array.of_list (Vtype.parse_signature sig_) in
+    let args = T.lambda g tys in
+    (g, args)
+
+  (* Finish generation: backpatch prologue/epilogue, place constants,
+     resolve jumps (v_end). *)
+  let end_gen (g : gen) : code =
+    Gen.check_open g;
+    T.finish g;
+    g.Gen.finished <- true;
+    {
+      gen = g;
+      base = g.Gen.base;
+      entry_addr = Gen.code_addr g g.Gen.entry_index;
+      code_bytes = 4 * Codebuf.length g.Gen.buf;
+    }
+
+  (* ---------------------------------------------------------------- *)
+  (* Registers, labels, locals                                         *)
+
+  let getreg g ~(cls : [ `Temp | `Var ]) (t : Vtype.t) : Reg.t option =
+    Gen.getreg g ~cls ~float:(Vtype.is_float t)
+
+  let getreg_exn g ~cls t =
+    match getreg g ~cls t with
+    | Some r -> r
+    | None ->
+      Verror.fail
+        (Verror.Registers_exhausted (match cls with `Temp -> "temp" | `Var -> "var"))
+
+  let putreg g r = Gen.putreg g r
+
+  (* Hard-coded register names (section 5.3): T0,T1,... and S0,S1,...
+     Constant-foldable and checked against the target's register count. *)
+  let treg n = Machdesc.hard_reg T.desc `Temp n
+  let sreg n = Machdesc.hard_reg T.desc `Var n
+
+  (* Reclassify a physical register for this function (section 5.3). *)
+  let set_reg_class g r (c : [ `Callee | `Caller | `Unavail | `Default ]) =
+    Gen.set_reg_class g r
+      (match c with
+      | `Callee -> Gen.Ocallee
+      | `Caller -> Gen.Ocaller
+      | `Unavail -> Gen.Ounavail
+      | `Default -> Gen.Odefault)
+
+  (* Section 5.3's interrupt-handler scenario in one call: "in an
+     interrupt handler all registers are live.  Therefore, for
+     correctness, VCODE must treat all registers as callee-saved."
+     Every normally caller-saved register is reclassified so the
+     backpatched prologue/epilogue saves whatever the handler uses. *)
+  let interrupt_mode g =
+    Array.iter (fun r -> Gen.set_reg_class g r Gen.Ocallee) T.desc.Machdesc.temps;
+    Array.iter (fun r -> Gen.set_reg_class g r Gen.Ocallee) T.desc.Machdesc.ftemps
+
+  let genlabel g = Gen.genlabel g
+  let label g l = Gen.bind_label g l
+
+  (* A local variable on the stack (v_local). *)
+  type local = { loc_off : int; loc_ty : Vtype.t }
+
+  let local g (t : Vtype.t) : local =
+    let wb = Machdesc.word_bytes T.desc in
+    let bytes = Vtype.size ~word_bytes:wb t in
+    let off = Gen.alloc_local g ~bytes ~align:(Vtype.align ~word_bytes:wb t) in
+    { loc_off = off; loc_ty = t }
+
+  (* A raw block of stack memory (local arrays, buffers). *)
+  let local_block g ~bytes ~align : local =
+    let off = Gen.alloc_local g ~bytes ~align in
+    { loc_off = off; loc_ty = Vtype.P }
+
+  (* ---------------------------------------------------------------- *)
+  (* Validation helpers                                                *)
+
+  let bad name t =
+    Verror.fail
+      (Verror.Bad_type (Printf.sprintf "%s.%s" name (Vtype.to_string t)))
+
+  let chk_reg name t r =
+    if not (Reg.matches_type t r) then
+      Verror.fail
+        (Verror.Bad_operand
+           (Printf.sprintf "%s.%s: register %s has the wrong class" name
+              (Vtype.to_string t) (Reg.to_string r)))
+
+  let word_ty = function
+    | Vtype.I | Vtype.U | Vtype.L | Vtype.UL | Vtype.P -> true
+    | _ -> false
+
+  let count g = g.Gen.insn_count <- g.Gen.insn_count + 1
+
+  (* ---------------------------------------------------------------- *)
+  (* Generic emitters                                                  *)
+
+  let arith g (op : Op.binop) (t : Vtype.t) rd rs1 rs2 =
+    Gen.check_open g;
+    let ok =
+      match op with
+      | Op.Add | Op.Sub | Op.Mul | Op.Div -> word_ty t || Vtype.is_float t
+      | Op.Mod -> word_ty t
+      | Op.And | Op.Or | Op.Xor | Op.Lsh | Op.Rsh -> word_ty t && t <> Vtype.P
+    in
+    if not ok then bad (Op.binop_to_string op) t;
+    chk_reg (Op.binop_to_string op) t rd;
+    chk_reg (Op.binop_to_string op) t rs1;
+    chk_reg (Op.binop_to_string op) t rs2;
+    Gen.note_write g rd;
+    count g;
+    T.arith g op t rd rs1 rs2
+
+  let arith_imm g (op : Op.binop) (t : Vtype.t) rd rs1 imm =
+    Gen.check_open g;
+    if Vtype.is_float t then bad (Op.binop_to_string op ^ "i") t;
+    if not (word_ty t) then bad (Op.binop_to_string op ^ "i") t;
+    chk_reg (Op.binop_to_string op) t rd;
+    chk_reg (Op.binop_to_string op) t rs1;
+    Gen.note_write g rd;
+    count g;
+    T.arith_imm g op t rd rs1 imm
+
+  (* materialize the address of a local variable/block into [rd] *)
+  let local_addr g (l : local) rd =
+    arith_imm g Op.Add Vtype.P rd T.desc.Machdesc.sp
+      (T.desc.Machdesc.locals_base + l.loc_off)
+
+  let unary g (op : Op.unop) (t : Vtype.t) rd rs =
+    Gen.check_open g;
+    let ok =
+      match op with
+      | Op.Com | Op.Not -> word_ty t && t <> Vtype.P
+      | Op.Mov -> word_ty t || Vtype.is_float t
+      | Op.Neg -> (word_ty t && t <> Vtype.P) || Vtype.is_float t
+    in
+    if not ok then bad (Op.unop_to_string op) t;
+    chk_reg (Op.unop_to_string op) t rd;
+    chk_reg (Op.unop_to_string op) t rs;
+    Gen.note_write g rd;
+    count g;
+    T.unary g op t rd rs
+
+  let set g (t : Vtype.t) rd imm =
+    Gen.check_open g;
+    if not (word_ty t) then bad "set" t;
+    chk_reg "set" t rd;
+    Gen.note_write g rd;
+    count g;
+    T.set g t rd imm
+
+  let setf g (t : Vtype.t) rd v =
+    Gen.check_open g;
+    if not (Vtype.is_float t) then bad "setf" t;
+    chk_reg "setf" t rd;
+    Gen.note_write g rd;
+    count g;
+    T.setf g t rd v
+
+  let cvt g ~from ~to_ rd rs =
+    Gen.check_open g;
+    if not (Op.conversion_ok ~from ~to_) then
+      bad (Printf.sprintf "cv%s2" (Vtype.to_string from)) to_;
+    chk_reg "cvt" to_ rd;
+    chk_reg "cvt" from rs;
+    Gen.note_write g rd;
+    count g;
+    T.cvt g ~from ~to_ rd rs
+
+  let load g (t : Vtype.t) rd base (off : Gen.offset) =
+    Gen.check_open g;
+    if t = Vtype.V then bad "ld" t;
+    chk_reg "ld" t rd;
+    chk_reg "ld" Vtype.P base;
+    Gen.note_write g rd;
+    count g;
+    T.load g t rd base off
+
+  let store g (t : Vtype.t) rv base (off : Gen.offset) =
+    Gen.check_open g;
+    if t = Vtype.V then bad "st" t;
+    chk_reg "st" t rv;
+    chk_reg "st" Vtype.P base;
+    count g;
+    T.store g t rv base off
+
+  let jump g (t : Gen.jtarget) =
+    Gen.check_open g;
+    count g;
+    T.jump g t
+
+  let jal g (t : Gen.jtarget) =
+    Gen.check_open g;
+    if g.Gen.leaf then Verror.fail Verror.Leaf_call;
+    g.Gen.made_call <- true;
+    count g;
+    T.jal g t
+
+  let branch g (c : Op.cond) (t : Vtype.t) rs1 rs2 lab =
+    Gen.check_open g;
+    if t = Vtype.V || (not (word_ty t)) && not (Vtype.is_float t) then
+      bad (Op.cond_to_string c) t;
+    chk_reg "branch" t rs1;
+    chk_reg "branch" t rs2;
+    count g;
+    T.branch g c t rs1 rs2 lab
+
+  let branch_imm g (c : Op.cond) (t : Vtype.t) rs1 imm lab =
+    Gen.check_open g;
+    if not (word_ty t) then bad (Op.cond_to_string c ^ "i") t;
+    chk_reg "branch" t rs1;
+    count g;
+    T.branch_imm g c t rs1 imm lab
+
+  let ret g (t : Vtype.t) (r : Reg.t option) =
+    Gen.check_open g;
+    (match (t, r) with
+    | Vtype.V, _ -> ()
+    | _, Some r -> chk_reg "ret" t r
+    | _, None -> Verror.fail (Verror.Bad_operand "ret: missing value register"));
+    count g;
+    T.ret g t r
+
+  let nop g =
+    Gen.check_open g;
+    count g;
+    T.nop g
+
+  (* ---------------------------------------------------------------- *)
+  (* Calls with dynamically constructed argument lists                 *)
+
+  let push_arg g (t : Vtype.t) (r : Reg.t) =
+    Gen.check_open g;
+    chk_reg "arg" t r;
+    T.push_arg g t r
+
+  let do_call g (target : Gen.jtarget) =
+    Gen.check_open g;
+    if g.Gen.leaf then Verror.fail Verror.Leaf_call;
+    g.Gen.made_call <- true;
+    count g;
+    T.do_call g target
+
+  let retval g (t : Vtype.t) (r : Reg.t) =
+    Gen.check_open g;
+    chk_reg "retval" t r;
+    count g;
+    T.retval g t r
+
+  (* Convenience: a complete call in one step. *)
+  let ccall g target ~(args : (Vtype.t * Reg.t) list) ~(ret : (Vtype.t * Reg.t) option) =
+    List.iter (fun (t, r) -> push_arg g t r) args;
+    do_call g target;
+    match ret with None -> () | Some (t, r) -> retval g t r
+
+  (* ---------------------------------------------------------------- *)
+  (* Locals access                                                     *)
+
+  let ld_local g (l : local) rd =
+    load g l.loc_ty rd T.desc.Machdesc.sp (Gen.Oimm (T.desc.Machdesc.locals_base + l.loc_off))
+
+  let st_local g (l : local) rv =
+    store g l.loc_ty rv T.desc.Machdesc.sp (Gen.Oimm (T.desc.Machdesc.locals_base + l.loc_off))
+
+  (* ---------------------------------------------------------------- *)
+  (* Portable instruction scheduling (section 5.3)                     *)
+
+  module Sched = struct
+    (* v_schedule_delay: emit [branch] with [slot] placed in its delay
+       slot when the target has one and [slot] is a single instruction
+       with no relocations; otherwise [slot] simply precedes the
+       branch. *)
+    let schedule_delay g ~(branch : unit -> unit) ~(slot : unit -> unit) =
+      let p0 = Codebuf.length g.Gen.buf in
+      let r0 = List.length g.Gen.relocs and f0 = List.length g.Gen.fimms in
+      slot ();
+      let n = Codebuf.length g.Gen.buf - p0 in
+      let clean =
+        List.length g.Gen.relocs = r0 && List.length g.Gen.fimms = f0
+      in
+      if T.desc.Machdesc.branch_delay_slots = 1 && n = 1 && clean then begin
+        let w = Codebuf.get g.Gen.buf p0 in
+        Codebuf.truncate g.Gen.buf p0;
+        branch ();
+        (* the target's branch emitters end with a delay-slot nop *)
+        Codebuf.set g.Gen.buf (Codebuf.length g.Gen.buf - 1) w
+      end
+      else branch ()
+
+    (* v_raw_load: emit [load]; if its result is used within [uses_in]
+       VCODE instructions, pad with nops to cover the load delay. *)
+    let raw_load g ~(load : unit -> unit) ~uses_in =
+      load ();
+      let pad = T.desc.Machdesc.load_delay - uses_in in
+      for _ = 1 to pad do T.nop g done
+  end
+
+  (* ---------------------------------------------------------------- *)
+  (* Strength reduction (section 5.4)                                  *)
+
+  module Strength = struct
+    let is_pow2 c = c > 0 && c land (c - 1) = 0
+
+    let log2 c =
+      let rec go c k = if c = 1 then k else go (c lsr 1) (k + 1) in
+      go c 0
+
+    let popcount c =
+      let rec go c acc = if c = 0 then acc else go (c lsr 1) (acc + (c land 1)) in
+      go c 0
+
+    (* rd <- rs * c using shifts and adds when profitable, otherwise the
+       plain multiply.  Never clobbers [rs]. *)
+    let mul g (t : Vtype.t) rd rs c =
+      let fallback () = arith_imm g Op.Mul t rd rs c in
+      if c = 0 then set g t rd 0L
+      else if c = 1 then unary g Op.Mov t rd rs
+      else if c = -1 then unary g Op.Neg t rd rs
+      else
+        let neg = c < 0 in
+        let c' = abs c in
+        let finish () = if neg then unary g Op.Neg t rd rd in
+        if c = min_int then fallback ()
+        else if is_pow2 c' then begin
+          arith_imm g Op.Lsh t rd rs (log2 c');
+          finish ()
+        end
+        else if popcount c' <= 4 then begin
+          match getreg g ~cls:`Temp t with
+          | None -> fallback ()
+          | Some tmp ->
+            (* accumulate shifted copies: tmp walks up the set bits *)
+            let b0 =
+              let rec low c k = if c land 1 = 1 then k else low (c lsr 1) (k + 1) in
+              low c' 0
+            in
+            if b0 = 0 then unary g Op.Mov t tmp rs
+            else arith_imm g Op.Lsh t tmp rs b0;
+            unary g Op.Mov t rd tmp;
+            let prev = ref b0 in
+            for b = b0 + 1 to 62 do
+              if c' land (1 lsl b) <> 0 then begin
+                arith_imm g Op.Lsh t tmp tmp (b - !prev);
+                arith g Op.Add t rd rd tmp;
+                prev := b
+              end
+            done;
+            putreg g tmp;
+            finish ()
+        end
+        else if is_pow2 (c' + 1) then begin
+          (* c = 2^k - 1: rd = (rs << k) - rs *)
+          match getreg g ~cls:`Temp t with
+          | None -> fallback ()
+          | Some tmp ->
+            arith_imm g Op.Lsh t tmp rs (log2 (c' + 1));
+            arith g Op.Sub t rd tmp rs;
+            putreg g tmp;
+            finish ()
+        end
+        else fallback ()
+
+    (* rd <- rs / c with C (truncating) semantics.  Powers of two get the
+       shift-with-correction sequence; everything else falls back to the
+       divide instruction. *)
+    let div g (t : Vtype.t) rd rs c =
+      let fallback () = arith_imm g Op.Div t rd rs c in
+      let signed = Vtype.is_signed t in
+      if c = 1 then unary g Op.Mov t rd rs
+      else if c > 1 && is_pow2 c then
+        let k = log2 c in
+        if not signed then arith_imm g Op.Rsh t rd rs k
+        else begin
+          match getreg g ~cls:`Temp t with
+          | None -> fallback ()
+          | Some tmp ->
+            let w = T.desc.Machdesc.word_bits in
+            (* tmp = rs < 0 ? c-1 : 0, added before the arithmetic shift *)
+            arith_imm g Op.Rsh t tmp rs (w - 1);
+            arith_imm g Op.Rsh
+              (match t with Vtype.I -> Vtype.U | Vtype.L -> Vtype.UL | t -> t)
+              tmp tmp (w - k);
+            arith g Op.Add t tmp rs tmp;
+            arith_imm g Op.Rsh t rd tmp k;
+            putreg g tmp
+        end
+      else fallback ()
+
+    (* rd <- rs mod c (C semantics: sign follows the dividend). *)
+    let rem g (t : Vtype.t) rd rs c =
+      let signed = Vtype.is_signed t in
+      if c > 1 && is_pow2 c && not signed then
+        arith_imm g Op.And t rd rs (c - 1)
+      else if c > 1 && is_pow2 c then begin
+        match getreg g ~cls:`Temp t with
+        | None -> arith_imm g Op.Mod t rd rs c
+        | Some tmp ->
+          div g t tmp rs c;
+          arith_imm g Op.Lsh t tmp tmp (log2 c);
+          arith g Op.Sub t rd rs tmp;
+          putreg g tmp
+      end
+      else arith_imm g Op.Mod t rd rs c
+  end
+
+  (* ---------------------------------------------------------------- *)
+  (* Unlimited virtual registers (section 6.2)                         *)
+
+  (* The paper describes this as an optional extension layer under
+     construction: "preliminary results indicate that the addition of
+     this (optional) support would increase code generation cost by
+     roughly a factor of two".  The layer hands out as many registers
+     as the client asks for; the first ones map to physical registers,
+     the rest live in stack slots and are shuttled through a small set
+     of reserved physical registers around each operation.  The factor-
+     of-two claim is measured by the "ablation-vregs" bench. *)
+  module Virt = struct
+    (* outer (physical) emitters, before shadowing *)
+    let g_arith = arith
+    let g_arith_imm = arith_imm
+    let g_unary = unary
+    let g_set = set
+    let g_branch = branch
+    let g_branch_imm = branch_imm
+    let g_load = load
+    let g_store = store
+    let g_ret = ret
+
+    type place = Phys of Reg.t | Slot of local
+
+    type vreg = { vid : int; vty : Vtype.t }
+
+    type t = {
+      vg : gen;
+      mutable places : place array; (* indexed by vid *)
+      mutable nv : int;
+      (* reserved shuttle registers for spilled operands *)
+      sh0 : Reg.t;
+      sh1 : Reg.t;
+      sh2 : Reg.t;
+    }
+
+    (* Begin using virtual registers on [g].  Reserves three physical
+       temporaries as shuttles; everything else left in the allocator is
+       handed to virtual registers on demand. *)
+    let start (g : gen) : t =
+      let grab () = getreg_exn g ~cls:`Temp Vtype.I in
+      let sh0 = grab () and sh1 = grab () and sh2 = grab () in
+      { vg = g; places = Array.make 16 (Phys sh0); nv = 0; sh0; sh1; sh2 }
+
+    let vreg (s : t) (ty : Vtype.t) : vreg =
+      if Vtype.is_float ty then
+        Verror.fail (Verror.Unsupported "virtual registers are integer-class");
+      let place =
+        match getreg s.vg ~cls:`Temp ty with
+        | Some r -> Phys r
+        | None -> (
+          match getreg s.vg ~cls:`Var ty with
+          | Some r ->
+            Gen.note_write s.vg r;
+            Phys r
+          | None -> Slot (local s.vg ty))
+      in
+      if s.nv = Array.length s.places then begin
+        let a = Array.make (2 * s.nv) place in
+        Array.blit s.places 0 a 0 s.nv;
+        s.places <- a
+      end;
+      s.places.(s.nv) <- place;
+      s.nv <- s.nv + 1;
+      { vid = s.nv - 1; vty = ty }
+
+    (* bring a virtual register's value into a physical register *)
+    let read (s : t) (v : vreg) (shuttle : Reg.t) : Reg.t =
+      match s.places.(v.vid) with
+      | Phys r -> r
+      | Slot l ->
+        g_load s.vg l.loc_ty shuttle T.desc.Machdesc.sp
+          (Gen.Oimm (T.desc.Machdesc.locals_base + l.loc_off));
+        shuttle
+
+    (* the physical register a result should be computed into *)
+    let write_reg (s : t) (v : vreg) : Reg.t =
+      match s.places.(v.vid) with Phys r -> r | Slot _ -> s.sh0
+
+    (* commit a result computed into [write_reg] *)
+    let commit (s : t) (v : vreg) =
+      match s.places.(v.vid) with
+      | Phys _ -> ()
+      | Slot l ->
+        g_store s.vg l.loc_ty s.sh0 T.desc.Machdesc.sp
+          (Gen.Oimm (T.desc.Machdesc.locals_base + l.loc_off))
+
+    let arith (s : t) op ty (d : vreg) (a : vreg) (b : vreg) =
+      let ra = read s a s.sh1 in
+      let rb = read s b s.sh2 in
+      g_arith s.vg op ty (write_reg s d) ra rb;
+      commit s d
+
+    let arith_imm (s : t) op ty (d : vreg) (a : vreg) imm =
+      let ra = read s a s.sh1 in
+      g_arith_imm s.vg op ty (write_reg s d) ra imm;
+      commit s d
+
+    let unary (s : t) op ty (d : vreg) (a : vreg) =
+      let ra = read s a s.sh1 in
+      g_unary s.vg op ty (write_reg s d) ra;
+      commit s d
+
+    let set (s : t) ty (d : vreg) imm =
+      g_set s.vg ty (write_reg s d) imm;
+      commit s d
+
+    let branch (s : t) c ty (a : vreg) (b : vreg) lab =
+      let ra = read s a s.sh1 in
+      let rb = read s b s.sh2 in
+      g_branch s.vg c ty ra rb lab
+
+    let branch_imm (s : t) c ty (a : vreg) imm lab =
+      let ra = read s a s.sh1 in
+      g_branch_imm s.vg c ty ra imm lab
+
+    (* move between the virtual and physical worlds *)
+    let mov_in (s : t) ty (d : vreg) (src : Reg.t) =
+      g_unary s.vg Op.Mov ty (write_reg s d) src;
+      commit s d
+
+    let mov_out (s : t) ty (dst : Reg.t) (a : vreg) =
+      let ra = read s a s.sh1 in
+      g_unary s.vg Op.Mov ty dst ra
+
+    let ret (s : t) ty (a : vreg) =
+      let ra = read s a s.sh1 in
+      g_ret s.vg ty (Some ra)
+
+    (* how many virtual registers ended up spilled (for tests) *)
+    let spilled (s : t) =
+      Array.fold_left
+        (fun acc p -> match p with Slot _ -> acc + 1 | Phys _ -> acc)
+        0
+        (Array.sub s.places 0 s.nv)
+  end
+
+  (* ---------------------------------------------------------------- *)
+  (* Extensible instructions (section 5.4)                             *)
+
+  module Ext = struct
+    type emitter = Gen.t -> Reg.t array -> unit
+    type emitter_imm = Gen.t -> Reg.t array -> int -> unit
+
+    let machine_table : (string, emitter) Hashtbl.t =
+      let h = Hashtbl.create 31 in
+      List.iter (fun (n, f) -> Hashtbl.replace h n f) T.extra_insns;
+      h
+
+    let machine_imm_table : (string, emitter_imm) Hashtbl.t =
+      let h = Hashtbl.create 31 in
+      List.iter (fun (n, f) -> Hashtbl.replace h n f) T.extra_imm_insns;
+      h
+
+    let table : (string * Vtype.t, emitter) Hashtbl.t = Hashtbl.create 31
+    let imm_table : (string * Vtype.t, emitter_imm) Hashtbl.t = Hashtbl.create 31
+
+    (* Register an extension instruction directly. *)
+    let define ~name ~(ty : Vtype.t) (f : emitter) =
+      Hashtbl.replace table (name, ty) f
+
+    (* Register the immediate form (the paper's trailing "i"). *)
+    let define_imm ~name ~(ty : Vtype.t) (f : emitter_imm) =
+      Hashtbl.replace imm_table (name, ty) f
+
+    let defined ~name ~ty = Hashtbl.mem table (name, ty)
+    let defined_imm ~name ~ty = Hashtbl.mem imm_table (name, ty)
+
+    (* Emit a previously registered extension instruction. *)
+    let emit g ~name ~(ty : Vtype.t) (args : Reg.t array) =
+      match Hashtbl.find_opt table (name, ty) with
+      | Some f ->
+        count g;
+        f g args
+      | None ->
+        Verror.fail
+          (Verror.Spec (Printf.sprintf "extension v_%s%s not defined" name (Vtype.to_string ty)))
+
+    (* Emit the immediate form: v_<name><ty>i. *)
+    let emit_imm g ~name ~(ty : Vtype.t) (args : Reg.t array) imm =
+      match Hashtbl.find_opt imm_table (name, ty) with
+      | Some f ->
+        count g;
+        f g args imm
+      | None ->
+        Verror.fail
+          (Verror.Spec
+             (Printf.sprintf "extension v_%s%si not defined" name (Vtype.to_string ty)))
+
+    (* Compile a [seq] implementation to an emitter.  Parameters are
+       positional into the call-time register array; [scratch] operands
+       allocate a temp register for the duration. *)
+    let compile_seq (params : string list) (ty : Vtype.t) (body : Spec_lang.vinsn list) :
+        emitter =
+      let index p =
+        let rec go i = function
+          | [] -> Verror.fail (Verror.Spec (Printf.sprintf "unknown parameter %s" p))
+          | q :: _ when q = p -> i
+          | _ :: rest -> go (i + 1) rest
+        in
+        go 0 params
+      in
+      (* pre-resolve operand lookups *)
+      let resolve (o : Spec_lang.operand) : [ `Arg of int | `Imm of int | `Scratch ] =
+        match o with
+        | Spec_lang.Param p -> `Arg (index p)
+        | Spec_lang.Imm i -> `Imm i
+        | Spec_lang.Scratch -> `Scratch
+      in
+      let body =
+        List.map (fun (v : Spec_lang.vinsn) -> (v.Spec_lang.vop, List.map resolve v.operands)) body
+      in
+      fun g (args : Reg.t array) ->
+        let scratch = ref None in
+        let reg = function
+          | `Arg i -> args.(i)
+          | `Scratch -> (
+            match !scratch with
+            | Some r -> r
+            | None ->
+              let r = getreg_exn g ~cls:`Temp ty in
+              scratch := Some r;
+              r)
+          | `Imm _ -> Verror.fail (Verror.Spec "immediate used where register expected")
+        in
+        let binop op = function
+          | [ d; a; `Imm i ] -> arith_imm g op ty (reg d) (reg a) i
+          | [ d; a; b ] -> arith g op ty (reg d) (reg a) (reg b)
+          | _ -> Verror.fail (Verror.Spec "binary op needs 3 operands")
+        in
+        let unop op = function
+          | [ d; s ] -> unary g op ty (reg d) (reg s)
+          | _ -> Verror.fail (Verror.Spec "unary op needs 2 operands")
+        in
+        List.iter
+          (fun (vop, operands) ->
+            match vop with
+            | "add" -> binop Op.Add operands
+            | "sub" -> binop Op.Sub operands
+            | "mul" -> binop Op.Mul operands
+            | "div" -> binop Op.Div operands
+            | "mod" -> binop Op.Mod operands
+            | "and" -> binop Op.And operands
+            | "or" -> binop Op.Or operands
+            | "xor" -> binop Op.Xor operands
+            | "lsh" -> binop Op.Lsh operands
+            | "rsh" -> binop Op.Rsh operands
+            | "mov" -> unop Op.Mov operands
+            | "neg" -> unop Op.Neg operands
+            | "com" -> unop Op.Com operands
+            | "not" -> unop Op.Not operands
+            | "set" -> (
+              match operands with
+              | [ d; `Imm i ] -> set g ty (reg d) (Int64.of_int i)
+              | _ -> Verror.fail (Verror.Spec "set needs (reg, imm)"))
+            | "nop" -> nop g
+            | other -> Verror.fail (Verror.Spec (Printf.sprintf "unknown seq op %S" other)))
+          body;
+        match !scratch with Some r -> putreg g r | None -> ()
+
+    (* Load a textual specification (the paper's one-line-per-family
+       mechanism).  Machine implementations resolve against the target's
+       [extra_insns]; [seq] implementations work on every target. *)
+    let load_spec (s : string) =
+      let specs = Spec_lang.parse s in
+      List.iter
+        (fun (sp : Spec_lang.t) ->
+          List.iter
+            (fun (e : Spec_lang.entry) ->
+              List.iter
+                (fun ty ->
+                  let em =
+                    match e.Spec_lang.impl with
+                    | Spec_lang.Machine m -> (
+                      match Hashtbl.find_opt machine_table m with
+                      | Some f -> f
+                      | None ->
+                        Verror.fail
+                          (Verror.Spec
+                             (Printf.sprintf "machine instruction %S not provided by target %s"
+                                m T.desc.Machdesc.name)))
+                    | Spec_lang.Seq body -> compile_seq sp.Spec_lang.params ty body
+                  in
+                  define ~name:sp.Spec_lang.name ~ty em;
+                  (* the optional immediate implementation *)
+                  match e.Spec_lang.imm_impl with
+                  | None -> ()
+                  | Some (Spec_lang.Machine m) -> (
+                    match Hashtbl.find_opt machine_imm_table m with
+                    | Some f -> define_imm ~name:sp.Spec_lang.name ~ty f
+                    | None ->
+                      Verror.fail
+                        (Verror.Spec
+                           (Printf.sprintf
+                              "immediate machine instruction %S not provided by target %s" m
+                              T.desc.Machdesc.name)))
+                  | Some (Spec_lang.Seq _) ->
+                    Verror.fail
+                      (Verror.Spec "immediate implementations must be machine instructions"))
+                e.Spec_lang.tys)
+            sp.Spec_lang.entries)
+        specs
+  end
+
+  (* ---------------------------------------------------------------- *)
+  (* Debugging support                                                 *)
+
+  (* Disassemble the generated buffer (the paper laments the lack of a
+     symbolic debugger for dynamic code; a disassembler over the emitted
+     words is the first half of one). *)
+  let dump (g : gen) : string list =
+    let words = Codebuf.to_array g.Gen.buf in
+    Array.to_list
+      (Array.mapi
+         (fun i w ->
+           let addr = g.Gen.base + (4 * i) in
+           Printf.sprintf "0x%06x:  %08x  %s" addr w (T.disasm ~word:w ~addr))
+         words)
+
+  let pp_dump fmt g = List.iter (fun l -> Fmt.pf fmt "%s@." l) (dump g)
+
+  (* ---------------------------------------------------------------- *)
+  (* Paper-style flat instruction names                                *)
+
+  (* One function per VCODE instruction, named as in the paper: base op,
+     type letter, trailing [i] for immediate forms (v_addii is [addii]).
+     Immediates are OCaml ints for convenience. *)
+  module Names = struct
+
+    (* arithmetic *)
+    let addi g d a b = arith g Op.Add Vtype.I d a b
+    let addu g d a b = arith g Op.Add Vtype.U d a b
+    let addl g d a b = arith g Op.Add Vtype.L d a b
+    let addul g d a b = arith g Op.Add Vtype.UL d a b
+    let addp g d a b = arith g Op.Add Vtype.P d a b
+    let addf g d a b = arith g Op.Add Vtype.F d a b
+    let addd g d a b = arith g Op.Add Vtype.D d a b
+    let addii g d a i = arith_imm g Op.Add Vtype.I d a i
+    let addui g d a i = arith_imm g Op.Add Vtype.U d a i
+    let addli g d a i = arith_imm g Op.Add Vtype.L d a i
+    let adduli g d a i = arith_imm g Op.Add Vtype.UL d a i
+    let addpi g d a i = arith_imm g Op.Add Vtype.P d a i
+
+    let subi g d a b = arith g Op.Sub Vtype.I d a b
+    let subu g d a b = arith g Op.Sub Vtype.U d a b
+    let subl g d a b = arith g Op.Sub Vtype.L d a b
+    let subul g d a b = arith g Op.Sub Vtype.UL d a b
+    let subp g d a b = arith g Op.Sub Vtype.P d a b
+    let subf g d a b = arith g Op.Sub Vtype.F d a b
+    let subd g d a b = arith g Op.Sub Vtype.D d a b
+    let subii g d a i = arith_imm g Op.Sub Vtype.I d a i
+    let subui g d a i = arith_imm g Op.Sub Vtype.U d a i
+    let subli g d a i = arith_imm g Op.Sub Vtype.L d a i
+    let subuli g d a i = arith_imm g Op.Sub Vtype.UL d a i
+    let subpi g d a i = arith_imm g Op.Sub Vtype.P d a i
+
+    let muli g d a b = arith g Op.Mul Vtype.I d a b
+    let mulu g d a b = arith g Op.Mul Vtype.U d a b
+    let mull g d a b = arith g Op.Mul Vtype.L d a b
+    let mulul g d a b = arith g Op.Mul Vtype.UL d a b
+    let mulf g d a b = arith g Op.Mul Vtype.F d a b
+    let muld g d a b = arith g Op.Mul Vtype.D d a b
+    let mulii g d a i = arith_imm g Op.Mul Vtype.I d a i
+    let mului g d a i = arith_imm g Op.Mul Vtype.U d a i
+    let mulli g d a i = arith_imm g Op.Mul Vtype.L d a i
+    let mululi g d a i = arith_imm g Op.Mul Vtype.UL d a i
+
+    let divi g d a b = arith g Op.Div Vtype.I d a b
+    let divu g d a b = arith g Op.Div Vtype.U d a b
+    let divl g d a b = arith g Op.Div Vtype.L d a b
+    let divul g d a b = arith g Op.Div Vtype.UL d a b
+    let divf g d a b = arith g Op.Div Vtype.F d a b
+    let divd g d a b = arith g Op.Div Vtype.D d a b
+    let divii g d a i = arith_imm g Op.Div Vtype.I d a i
+    let divui g d a i = arith_imm g Op.Div Vtype.U d a i
+    let divli g d a i = arith_imm g Op.Div Vtype.L d a i
+    let divuli g d a i = arith_imm g Op.Div Vtype.UL d a i
+
+    let modi g d a b = arith g Op.Mod Vtype.I d a b
+    let modu g d a b = arith g Op.Mod Vtype.U d a b
+    let modl g d a b = arith g Op.Mod Vtype.L d a b
+    let modul g d a b = arith g Op.Mod Vtype.UL d a b
+    let modii g d a i = arith_imm g Op.Mod Vtype.I d a i
+    let modui g d a i = arith_imm g Op.Mod Vtype.U d a i
+    let modli g d a i = arith_imm g Op.Mod Vtype.L d a i
+    let moduli g d a i = arith_imm g Op.Mod Vtype.UL d a i
+
+    let andi g d a b = arith g Op.And Vtype.I d a b
+    let andu g d a b = arith g Op.And Vtype.U d a b
+    let andl g d a b = arith g Op.And Vtype.L d a b
+    let andul g d a b = arith g Op.And Vtype.UL d a b
+    let andii g d a i = arith_imm g Op.And Vtype.I d a i
+    let andui g d a i = arith_imm g Op.And Vtype.U d a i
+    let andli g d a i = arith_imm g Op.And Vtype.L d a i
+    let anduli g d a i = arith_imm g Op.And Vtype.UL d a i
+
+    let ori g d a b = arith g Op.Or Vtype.I d a b
+    let oru g d a b = arith g Op.Or Vtype.U d a b
+    let orl g d a b = arith g Op.Or Vtype.L d a b
+    let orul g d a b = arith g Op.Or Vtype.UL d a b
+    let orii g d a i = arith_imm g Op.Or Vtype.I d a i
+    let orui g d a i = arith_imm g Op.Or Vtype.U d a i
+    let orli g d a i = arith_imm g Op.Or Vtype.L d a i
+    let oruli g d a i = arith_imm g Op.Or Vtype.UL d a i
+
+    let xori g d a b = arith g Op.Xor Vtype.I d a b
+    let xoru g d a b = arith g Op.Xor Vtype.U d a b
+    let xorl g d a b = arith g Op.Xor Vtype.L d a b
+    let xorul g d a b = arith g Op.Xor Vtype.UL d a b
+    let xorii g d a i = arith_imm g Op.Xor Vtype.I d a i
+    let xorui g d a i = arith_imm g Op.Xor Vtype.U d a i
+    let xorli g d a i = arith_imm g Op.Xor Vtype.L d a i
+    let xoruli g d a i = arith_imm g Op.Xor Vtype.UL d a i
+
+    let lshi g d a b = arith g Op.Lsh Vtype.I d a b
+    let lshu g d a b = arith g Op.Lsh Vtype.U d a b
+    let lshl g d a b = arith g Op.Lsh Vtype.L d a b
+    let lshul g d a b = arith g Op.Lsh Vtype.UL d a b
+    let lshii g d a i = arith_imm g Op.Lsh Vtype.I d a i
+    let lshui g d a i = arith_imm g Op.Lsh Vtype.U d a i
+    let lshli g d a i = arith_imm g Op.Lsh Vtype.L d a i
+    let lshuli g d a i = arith_imm g Op.Lsh Vtype.UL d a i
+
+    let rshi g d a b = arith g Op.Rsh Vtype.I d a b
+    let rshu g d a b = arith g Op.Rsh Vtype.U d a b
+    let rshl g d a b = arith g Op.Rsh Vtype.L d a b
+    let rshul g d a b = arith g Op.Rsh Vtype.UL d a b
+    let rshii g d a i = arith_imm g Op.Rsh Vtype.I d a i
+    let rshui g d a i = arith_imm g Op.Rsh Vtype.U d a i
+    let rshli g d a i = arith_imm g Op.Rsh Vtype.L d a i
+    let rshuli g d a i = arith_imm g Op.Rsh Vtype.UL d a i
+
+    (* unary *)
+    let comi g d s = unary g Op.Com Vtype.I d s
+    let comu g d s = unary g Op.Com Vtype.U d s
+    let coml g d s = unary g Op.Com Vtype.L d s
+    let comul g d s = unary g Op.Com Vtype.UL d s
+    let noti g d s = unary g Op.Not Vtype.I d s
+    let notu g d s = unary g Op.Not Vtype.U d s
+    let notl g d s = unary g Op.Not Vtype.L d s
+    let notul g d s = unary g Op.Not Vtype.UL d s
+    let movi g d s = unary g Op.Mov Vtype.I d s
+    let movu g d s = unary g Op.Mov Vtype.U d s
+    let movl g d s = unary g Op.Mov Vtype.L d s
+    let movul g d s = unary g Op.Mov Vtype.UL d s
+    let movp g d s = unary g Op.Mov Vtype.P d s
+    let movf g d s = unary g Op.Mov Vtype.F d s
+    let movd g d s = unary g Op.Mov Vtype.D d s
+    let negi g d s = unary g Op.Neg Vtype.I d s
+    let negu g d s = unary g Op.Neg Vtype.U d s
+    let negl g d s = unary g Op.Neg Vtype.L d s
+    let negul g d s = unary g Op.Neg Vtype.UL d s
+    let negf g d s = unary g Op.Neg Vtype.F d s
+    let negd g d s = unary g Op.Neg Vtype.D d s
+
+    (* constants *)
+    let seti g d i = set g Vtype.I d (Int64.of_int i)
+    let setu g d i = set g Vtype.U d (Int64.of_int i)
+    let setl g d i = set g Vtype.L d (Int64.of_int i)
+    let setul g d i = set g Vtype.UL d (Int64.of_int i)
+    let setp g d i = set g Vtype.P d (Int64.of_int i)
+    let setf_ g d v = setf g Vtype.F d v
+    let setd g d v = setf g Vtype.D d v
+
+    (* conversions, named cv<from>2<to> *)
+    let cvi2u g d s = cvt g ~from:Vtype.I ~to_:Vtype.U d s
+    let cvi2l g d s = cvt g ~from:Vtype.I ~to_:Vtype.L d s
+    let cvi2ul g d s = cvt g ~from:Vtype.I ~to_:Vtype.UL d s
+    let cvi2f g d s = cvt g ~from:Vtype.I ~to_:Vtype.F d s
+    let cvi2d g d s = cvt g ~from:Vtype.I ~to_:Vtype.D d s
+    let cvu2i g d s = cvt g ~from:Vtype.U ~to_:Vtype.I d s
+    let cvu2l g d s = cvt g ~from:Vtype.U ~to_:Vtype.L d s
+    let cvu2ul g d s = cvt g ~from:Vtype.U ~to_:Vtype.UL d s
+    let cvu2d g d s = cvt g ~from:Vtype.U ~to_:Vtype.D d s
+    let cvl2i g d s = cvt g ~from:Vtype.L ~to_:Vtype.I d s
+    let cvl2u g d s = cvt g ~from:Vtype.L ~to_:Vtype.U d s
+    let cvl2ul g d s = cvt g ~from:Vtype.L ~to_:Vtype.UL d s
+    let cvl2f g d s = cvt g ~from:Vtype.L ~to_:Vtype.F d s
+    let cvl2d g d s = cvt g ~from:Vtype.L ~to_:Vtype.D d s
+    let cvul2i g d s = cvt g ~from:Vtype.UL ~to_:Vtype.I d s
+    let cvul2u g d s = cvt g ~from:Vtype.UL ~to_:Vtype.U d s
+    let cvul2l g d s = cvt g ~from:Vtype.UL ~to_:Vtype.L d s
+    let cvul2p g d s = cvt g ~from:Vtype.UL ~to_:Vtype.P d s
+    let cvp2ul g d s = cvt g ~from:Vtype.P ~to_:Vtype.UL d s
+    let cvp2l g d s = cvt g ~from:Vtype.P ~to_:Vtype.L d s
+    let cvf2i g d s = cvt g ~from:Vtype.F ~to_:Vtype.I d s
+    let cvf2l g d s = cvt g ~from:Vtype.F ~to_:Vtype.L d s
+    let cvf2d g d s = cvt g ~from:Vtype.F ~to_:Vtype.D d s
+    let cvd2i g d s = cvt g ~from:Vtype.D ~to_:Vtype.I d s
+    let cvd2l g d s = cvt g ~from:Vtype.D ~to_:Vtype.L d s
+    let cvd2f g d s = cvt g ~from:Vtype.D ~to_:Vtype.F d s
+
+    (* memory: register-indexed and immediate-offset forms *)
+    let ldc g d b o = load g Vtype.C d b (Gen.Oreg o)
+    let lduc g d b o = load g Vtype.UC d b (Gen.Oreg o)
+    let lds g d b o = load g Vtype.S d b (Gen.Oreg o)
+    let ldus g d b o = load g Vtype.US d b (Gen.Oreg o)
+    let ldi g d b o = load g Vtype.I d b (Gen.Oreg o)
+    let ldu g d b o = load g Vtype.U d b (Gen.Oreg o)
+    let ldl g d b o = load g Vtype.L d b (Gen.Oreg o)
+    let ldul g d b o = load g Vtype.UL d b (Gen.Oreg o)
+    let ldp g d b o = load g Vtype.P d b (Gen.Oreg o)
+    let ldf g d b o = load g Vtype.F d b (Gen.Oreg o)
+    let ldd g d b o = load g Vtype.D d b (Gen.Oreg o)
+    let ldci g d b o = load g Vtype.C d b (Gen.Oimm o)
+    let lduci g d b o = load g Vtype.UC d b (Gen.Oimm o)
+    let ldsi g d b o = load g Vtype.S d b (Gen.Oimm o)
+    let ldusi g d b o = load g Vtype.US d b (Gen.Oimm o)
+    let ldii g d b o = load g Vtype.I d b (Gen.Oimm o)
+    let ldui g d b o = load g Vtype.U d b (Gen.Oimm o)
+    let ldli g d b o = load g Vtype.L d b (Gen.Oimm o)
+    let lduli g d b o = load g Vtype.UL d b (Gen.Oimm o)
+    let ldpi g d b o = load g Vtype.P d b (Gen.Oimm o)
+    let ldfi g d b o = load g Vtype.F d b (Gen.Oimm o)
+    let lddi g d b o = load g Vtype.D d b (Gen.Oimm o)
+
+    let stc g v b o = store g Vtype.C v b (Gen.Oreg o)
+    let stuc g v b o = store g Vtype.UC v b (Gen.Oreg o)
+    let sts g v b o = store g Vtype.S v b (Gen.Oreg o)
+    let stus g v b o = store g Vtype.US v b (Gen.Oreg o)
+    let sti g v b o = store g Vtype.I v b (Gen.Oreg o)
+    let stu g v b o = store g Vtype.U v b (Gen.Oreg o)
+    let stl g v b o = store g Vtype.L v b (Gen.Oreg o)
+    let stul g v b o = store g Vtype.UL v b (Gen.Oreg o)
+    let stp g v b o = store g Vtype.P v b (Gen.Oreg o)
+    let stf g v b o = store g Vtype.F v b (Gen.Oreg o)
+    let std g v b o = store g Vtype.D v b (Gen.Oreg o)
+    let stci g v b o = store g Vtype.C v b (Gen.Oimm o)
+    let stuci g v b o = store g Vtype.UC v b (Gen.Oimm o)
+    let stsi g v b o = store g Vtype.S v b (Gen.Oimm o)
+    let stusi g v b o = store g Vtype.US v b (Gen.Oimm o)
+    let stii g v b o = store g Vtype.I v b (Gen.Oimm o)
+    let stui g v b o = store g Vtype.U v b (Gen.Oimm o)
+    let stli g v b o = store g Vtype.L v b (Gen.Oimm o)
+    let stuli g v b o = store g Vtype.UL v b (Gen.Oimm o)
+    let stpi g v b o = store g Vtype.P v b (Gen.Oimm o)
+    let stfi g v b o = store g Vtype.F v b (Gen.Oimm o)
+    let stdi g v b o = store g Vtype.D v b (Gen.Oimm o)
+
+    (* branches *)
+    let blti g a b l = branch g Op.Lt Vtype.I a b l
+    let bltu g a b l = branch g Op.Lt Vtype.U a b l
+    let bltl g a b l = branch g Op.Lt Vtype.L a b l
+    let bltul g a b l = branch g Op.Lt Vtype.UL a b l
+    let bltp g a b l = branch g Op.Lt Vtype.P a b l
+    let bltf g a b l = branch g Op.Lt Vtype.F a b l
+    let bltd g a b l = branch g Op.Lt Vtype.D a b l
+    let blei g a b l = branch g Op.Le Vtype.I a b l
+    let bleu g a b l = branch g Op.Le Vtype.U a b l
+    let blel g a b l = branch g Op.Le Vtype.L a b l
+    let bleul g a b l = branch g Op.Le Vtype.UL a b l
+    let blep g a b l = branch g Op.Le Vtype.P a b l
+    let blef g a b l = branch g Op.Le Vtype.F a b l
+    let bled g a b l = branch g Op.Le Vtype.D a b l
+    let bgti g a b l = branch g Op.Gt Vtype.I a b l
+    let bgtu g a b l = branch g Op.Gt Vtype.U a b l
+    let bgtl g a b l = branch g Op.Gt Vtype.L a b l
+    let bgtul g a b l = branch g Op.Gt Vtype.UL a b l
+    let bgtp g a b l = branch g Op.Gt Vtype.P a b l
+    let bgtf g a b l = branch g Op.Gt Vtype.F a b l
+    let bgtd g a b l = branch g Op.Gt Vtype.D a b l
+    let bgei g a b l = branch g Op.Ge Vtype.I a b l
+    let bgeu g a b l = branch g Op.Ge Vtype.U a b l
+    let bgel g a b l = branch g Op.Ge Vtype.L a b l
+    let bgeul g a b l = branch g Op.Ge Vtype.UL a b l
+    let bgep g a b l = branch g Op.Ge Vtype.P a b l
+    let bgef g a b l = branch g Op.Ge Vtype.F a b l
+    let bged g a b l = branch g Op.Ge Vtype.D a b l
+    let beqi g a b l = branch g Op.Eq Vtype.I a b l
+    let bequ g a b l = branch g Op.Eq Vtype.U a b l
+    let beql g a b l = branch g Op.Eq Vtype.L a b l
+    let bequl g a b l = branch g Op.Eq Vtype.UL a b l
+    let beqp g a b l = branch g Op.Eq Vtype.P a b l
+    let beqf g a b l = branch g Op.Eq Vtype.F a b l
+    let beqd g a b l = branch g Op.Eq Vtype.D a b l
+    let bnei g a b l = branch g Op.Ne Vtype.I a b l
+    let bneu g a b l = branch g Op.Ne Vtype.U a b l
+    let bnel g a b l = branch g Op.Ne Vtype.L a b l
+    let bneul g a b l = branch g Op.Ne Vtype.UL a b l
+    let bnep g a b l = branch g Op.Ne Vtype.P a b l
+    let bnef g a b l = branch g Op.Ne Vtype.F a b l
+    let bned g a b l = branch g Op.Ne Vtype.D a b l
+
+    let bltii g a i l = branch_imm g Op.Lt Vtype.I a i l
+    let bltui g a i l = branch_imm g Op.Lt Vtype.U a i l
+    let bltli g a i l = branch_imm g Op.Lt Vtype.L a i l
+    let bltuli g a i l = branch_imm g Op.Lt Vtype.UL a i l
+    let bltpi g a i l = branch_imm g Op.Lt Vtype.P a i l
+    let bleii g a i l = branch_imm g Op.Le Vtype.I a i l
+    let bleui g a i l = branch_imm g Op.Le Vtype.U a i l
+    let bleli g a i l = branch_imm g Op.Le Vtype.L a i l
+    let bleuli g a i l = branch_imm g Op.Le Vtype.UL a i l
+    let blepi g a i l = branch_imm g Op.Le Vtype.P a i l
+    let bgtii g a i l = branch_imm g Op.Gt Vtype.I a i l
+    let bgtui g a i l = branch_imm g Op.Gt Vtype.U a i l
+    let bgtli g a i l = branch_imm g Op.Gt Vtype.L a i l
+    let bgtuli g a i l = branch_imm g Op.Gt Vtype.UL a i l
+    let bgtpi g a i l = branch_imm g Op.Gt Vtype.P a i l
+    let bgeii g a i l = branch_imm g Op.Ge Vtype.I a i l
+    let bgeui g a i l = branch_imm g Op.Ge Vtype.U a i l
+    let bgeli g a i l = branch_imm g Op.Ge Vtype.L a i l
+    let bgeuli g a i l = branch_imm g Op.Ge Vtype.UL a i l
+    let bgepi g a i l = branch_imm g Op.Ge Vtype.P a i l
+    let beqii g a i l = branch_imm g Op.Eq Vtype.I a i l
+    let beqni g a i l = branch_imm g Op.Eq Vtype.U a i l
+    let beqli g a i l = branch_imm g Op.Eq Vtype.L a i l
+    let bequli g a i l = branch_imm g Op.Eq Vtype.UL a i l
+    let beqpi g a i l = branch_imm g Op.Eq Vtype.P a i l
+    let bneii g a i l = branch_imm g Op.Ne Vtype.I a i l
+    let bneui g a i l = branch_imm g Op.Ne Vtype.U a i l
+    let bneli g a i l = branch_imm g Op.Ne Vtype.L a i l
+    let bneuli g a i l = branch_imm g Op.Ne Vtype.UL a i l
+    let bnepi g a i l = branch_imm g Op.Ne Vtype.P a i l
+
+    (* returns *)
+    let retv g = ret g Vtype.V None
+    let reti g r = ret g Vtype.I (Some r)
+    let retu g r = ret g Vtype.U (Some r)
+    let retl g r = ret g Vtype.L (Some r)
+    let retul g r = ret g Vtype.UL (Some r)
+    let retp g r = ret g Vtype.P (Some r)
+    let retf g r = ret g Vtype.F (Some r)
+    let retd g r = ret g Vtype.D (Some r)
+
+    (* jumps: to label, register, absolute address *)
+    let jv g l = jump g (Gen.Jlabel l)
+    let jr g r = jump g (Gen.Jreg r)
+    let jpi g a = jump g (Gen.Jaddr a)
+    let jalv g l = jal g (Gen.Jlabel l)
+    let jalr g r = jal g (Gen.Jreg r)
+    let jalpi g a = jal g (Gen.Jaddr a)
+  end
+end

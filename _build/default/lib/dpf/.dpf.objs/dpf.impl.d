@@ -1,0 +1,1 @@
+lib/dpf/dpf.ml: Array Filter Gen Hashtbl List Machdesc Mpf Op Packet Pathfinder Target Trie Vcode Vcodebase Verror Vmachine Vtype

@@ -1,0 +1,1 @@
+lib/dpf/filter.ml: Array Bytes Char List

@@ -1,0 +1,1 @@
+lib/dpf/mpf.ml: Tcc

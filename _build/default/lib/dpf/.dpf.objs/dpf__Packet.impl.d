@@ -1,0 +1,1 @@
+lib/dpf/packet.ml: Bytes Char Fmt Vmachine

@@ -1,0 +1,1 @@
+lib/dpf/pathfinder.ml: Array Filter List Tcc Trie

@@ -1,0 +1,1 @@
+lib/dpf/trie.ml: Bytes Filter List

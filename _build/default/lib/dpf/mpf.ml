@@ -1,0 +1,60 @@
+(* The MPF-style baseline: a per-filter packet-filter interpreter.
+
+   MPF (Yuhara et al., USENIX '94) is the "widely used packet filter
+   engine" of Table 3.  Its essential cost structure — interpret each
+   installed filter's predicate until one matches, touching the atom
+   operands through data structures — is reproduced by this interpreter,
+   which is itself written in the tcc C subset and compiled through
+   VCODE onto the same simulated CPU as DPF's generated code, so the
+   cycle counts are directly comparable.
+
+   Program image layout (32-bit words, built by
+   {!Filter.mpf_program}):
+
+     [nfilters] then per filter: [fid] [natoms] ([kind off size mask
+     val])*  with kind 0 = compare, 1 = header-shift.
+
+   Compare constants/masks are pre-swapped for the executing host; the
+   [swap] argument tells the interpreter to byte-swap the (arithmetic)
+   shift fields on little-endian hosts. *)
+
+let source =
+  {|
+int mpf_classify(unsigned char *pkt, int len, int *prog, int swap) {
+  int nf = prog[0];
+  int p = 1;
+  int f;
+  for (f = 0; f < nf; f = f + 1) {
+    int fid = prog[p];
+    int na = prog[p + 1];
+    int ok = 1;
+    int base = 0;
+    int j;
+    for (j = 0; j < na; j = j + 1) {
+      int k = p + 2 + j * 5;
+      int kind = prog[k];
+      int off = base + prog[k + 1];
+      int size = prog[k + 2];
+      unsigned mask = (unsigned)prog[k + 3];
+      unsigned val = (unsigned)prog[k + 4];
+      unsigned v;
+      if (off + size > len) { ok = 0; break; }
+      if (size == 1) v = pkt[off];
+      else if (size == 2) v = *((unsigned short *)(pkt + off));
+      else v = *((unsigned *)(pkt + off));
+      if (kind == 1) {
+        if (swap && size == 2) v = ((v & 0xff) << 8) | ((v >> 8) & 0xff);
+        base = base + ((v & mask) << val);
+      } else if ((v & mask) != val) { ok = 0; break; }
+    }
+    if (ok) return fid;
+    p = p + 2 + na * 5;
+  }
+  return -1;
+}
+|}
+
+let function_name = "mpf_classify"
+
+(* parameter signature for external callers *)
+let param_tys = Tcc.Ast.[ Tptr Tuchar; Tint; Tptr Tint; Tint ]

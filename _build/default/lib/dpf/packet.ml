@@ -1,0 +1,67 @@
+(* Synthetic TCP/IP packets for the demultiplexing experiments.
+
+   The paper's Table 3 workload classifies TCP/IP headers against ten
+   filters.  We synthesize IPv4+TCP headers (network byte order, as on
+   the wire) with controllable protocol, addresses and ports. *)
+
+type t = {
+  src_ip : int;
+  dst_ip : int;
+  src_port : int;
+  dst_port : int;
+  proto : int;        (* 6 = TCP *)
+  ihl : int;          (* header length in 32-bit words, >= 5 *)
+  payload_len : int;
+}
+
+let tcp ?(src_ip = 0x0A000002) ?(dst_ip = 0x0A000001) ?(src_port = 12345)
+    ?(dst_port = 80) ?(ihl = 5) ?(payload_len = 0) () =
+  { src_ip; dst_ip; src_port; dst_port; proto = 6; ihl; payload_len }
+
+let udp ?(src_ip = 0x0A000002) ?(dst_ip = 0x0A000001) ?(src_port = 12345)
+    ?(dst_port = 53) ?(payload_len = 0) () =
+  { src_ip; dst_ip; src_port; dst_port; proto = 17; ihl = 5; payload_len }
+
+let header_bytes p = (4 * p.ihl) + 20
+
+let length p = header_bytes p + p.payload_len
+
+(* Serialize in network byte order. *)
+let to_bytes (p : t) : Bytes.t =
+  let b = Bytes.make (length p) '\000' in
+  let put8 off v = Bytes.set b off (Char.chr (v land 0xff)) in
+  let put16 off v =
+    put8 off (v lsr 8);
+    put8 (off + 1) v
+  in
+  let put32 off v =
+    put16 off (v lsr 16);
+    put16 (off + 2) v
+  in
+  (* IPv4 header *)
+  put8 0 ((4 lsl 4) lor p.ihl);     (* version + IHL *)
+  put8 1 0;                         (* TOS *)
+  put16 2 (length p);               (* total length *)
+  put16 4 0x1234;                   (* identification *)
+  put16 6 0;                        (* flags/fragment *)
+  put8 8 64;                        (* TTL *)
+  put8 9 p.proto;
+  put16 10 0;                       (* checksum (not modelled here) *)
+  put32 12 p.src_ip;
+  put32 16 p.dst_ip;
+  (* options are zero-filled when ihl > 5 *)
+  let th = 4 * p.ihl in
+  (* TCP/UDP-ish transport header: ports first in both *)
+  put16 th p.src_port;
+  put16 (th + 2) p.dst_port;
+  put32 (th + 4) 0x01020304;        (* seq *)
+  put32 (th + 8) 0;
+  put16 (th + 12) 0x5000;           (* data offset *)
+  b
+
+(* Write the packet into simulated memory at [addr]. *)
+let install mem ~addr p = Vmachine.Mem.blit_bytes mem ~addr (to_bytes p)
+
+let pp fmt p =
+  Fmt.pf fmt "ip %08x->%08x proto %d ports %d->%d ihl %d" p.src_ip p.dst_ip
+    p.proto p.src_port p.dst_port p.ihl

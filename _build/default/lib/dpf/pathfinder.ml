@@ -1,0 +1,125 @@
+(* The PATHFINDER-style baseline: a trie interpreter.
+
+   PATHFINDER (Bailey et al., OSDI '94) was "the fastest packet filter
+   engine in the literature" before DPF; its advantage over MPF is
+   pattern composition — common prefixes of many filters are checked
+   once in a shared structure.  We reproduce that cost structure by
+   interpreting the *same merged trie* that DPF compiles: shared-prefix
+   checking without interpretation overhead removed.  Like MPF, the
+   interpreter is written in the tcc C subset and runs on the same
+   simulated CPU, so Table 3's three rows are directly comparable.
+
+   Encoded node layout (word offsets into the trie image):
+     kind 0 (fail):   [0]
+     kind 1 (leaf):   [1 fid]
+     kind 2 (seq):    [2 akind off size mask val child fail]
+     kind 3 (switch): [3 off size mask n fail (v child)*n]
+   Failure continuations are threaded at encode time, so the
+   interpreter needs no backtracking stack. *)
+
+(* growable int buffer *)
+type buf = { mutable a : int array; mutable len : int }
+
+let bcreate () = { a = Array.make 64 0; len = 0 }
+
+let bpush b v =
+  if b.len = Array.length b.a then begin
+    let a = Array.make (2 * Array.length b.a) 0 in
+    Array.blit b.a 0 a 0 b.len;
+    b.a <- a
+  end;
+  b.a.(b.len) <- v;
+  b.len <- b.len + 1
+
+let bemit b ws =
+  let ofs = b.len in
+  List.iter (bpush b) ws;
+  ofs
+
+(* Encode the merged trie of [filters] for a host with the given
+   endianness; returns (words, root offset). *)
+let encode ~big_endian (filters : Filter.t list) : int array * int =
+  let native = List.map (Filter.to_native ~big_endian) filters in
+  let trie = Trie.of_filters native in
+  let b = bcreate () in
+  let fail0 = bemit b [ 0 ] in
+  let rec enc (t : Trie.t) ~fail : int =
+    match t with
+    | Trie.Fail -> fail
+    | Trie.Leaf fid -> bemit b [ 1; fid ]
+    | Trie.Alt (l, r) ->
+      let ro = enc r ~fail in
+      enc l ~fail:ro
+    | Trie.Seq (Filter.Cmp a, child) ->
+      let co = enc child ~fail in
+      bemit b [ 2; 0; a.offset; a.size; a.mask; a.value; co; fail ]
+    | Trie.Seq (Filter.Shift a, child) ->
+      let co = enc child ~fail in
+      bemit b [ 2; 1; a.offset; a.size; a.mask; a.shift; co; fail ]
+    | Trie.Switch (f, edges) ->
+      let eos = List.map (fun (v, c) -> (v, enc c ~fail)) edges in
+      bemit b
+        ([ 3; f.Trie.f_offset; f.Trie.f_size; f.Trie.f_mask; List.length edges; fail ]
+        @ List.concat_map (fun (v, o) -> [ v; o ]) eos)
+  in
+  let root = enc trie ~fail:fail0 in
+  (Array.sub b.a 0 b.len, root)
+
+let source =
+  {|
+int pf_classify(unsigned char *pkt, int len, int *trie, int root, int swap) {
+  int n = root;
+  int base = 0;
+  while (1) {
+    int kind = trie[n];
+    if (kind == 0) return -1;
+    if (kind == 1) return trie[n + 1];
+    if (kind == 2) {
+      int akind = trie[n + 1];
+      int off = base + trie[n + 2];
+      int size = trie[n + 3];
+      unsigned mask = (unsigned)trie[n + 4];
+      unsigned val = (unsigned)trie[n + 5];
+      unsigned v;
+      if (off + size > len) { n = trie[n + 7]; continue; }
+      if (size == 1) v = pkt[off];
+      else if (size == 2) v = *((unsigned short *)(pkt + off));
+      else v = *((unsigned *)(pkt + off));
+      if (akind == 1) {
+        if (swap && size == 2) v = ((v & 0xff) << 8) | ((v >> 8) & 0xff);
+        base = base + ((v & mask) << val);
+        n = trie[n + 6];
+      } else if ((v & mask) == val) {
+        n = trie[n + 6];
+      } else {
+        n = trie[n + 7];
+      }
+      continue;
+    }
+    {
+      int off = base + trie[n + 1];
+      int size = trie[n + 2];
+      unsigned mask = (unsigned)trie[n + 3];
+      int ecount = trie[n + 4];
+      int nx = trie[n + 5];
+      unsigned v;
+      int i;
+      if (off + size > len) { n = nx; continue; }
+      if (size == 1) v = pkt[off];
+      else if (size == 2) v = *((unsigned short *)(pkt + off));
+      else v = *((unsigned *)(pkt + off));
+      v = v & mask;
+      for (i = 0; i < ecount; i = i + 1) {
+        if ((unsigned)trie[n + 6 + i * 2] == v) {
+          nx = trie[n + 7 + i * 2];
+          break;
+        }
+      }
+      n = nx;
+    }
+  }
+}
+|}
+
+let function_name = "pf_classify"
+let param_tys = Tcc.Ast.[ Tptr Tuchar; Tint; Tptr Tint; Tint; Tint ]

@@ -1,0 +1,1 @@
+lib/machine/mem.ml: Bytes Char Int64 Printf String Vcodebase

@@ -1,0 +1,1 @@
+lib/machine/mem.mli: Bytes Vcodebase

@@ -1,0 +1,62 @@
+(* A direct-mapped cache model with per-miss cycle penalties.
+
+   Table 4 of the paper depends on cache behaviour (messages measured
+   warm and after a flush on DECstation 3100/5000 machines with
+   direct-mapped caches), so the simulators route every instruction fetch
+   and data access through one of these.  Only hit/miss status and cycle
+   accounting are modeled; data always comes from {!Mem}, i.e. the cache
+   is a timing model, which is sufficient because the simulated machines
+   have no incoherent writers. *)
+
+type t = {
+  line_bytes : int;
+  lines : int;
+  tags : int array;        (* -1 = invalid *)
+  miss_penalty : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ~size_bytes ~line_bytes ~miss_penalty =
+  if size_bytes mod line_bytes <> 0 then invalid_arg "Cache.create";
+  let lines = size_bytes / line_bytes in
+  { line_bytes; lines; tags = Array.make lines (-1); miss_penalty; hits = 0; misses = 0 }
+
+let size_bytes t = t.lines * t.line_bytes
+
+(* Read access to [addr]; allocates the line, returns the cycle penalty
+   (0 on hit). *)
+let access t addr =
+  let line = addr / t.line_bytes in
+  let idx = line mod t.lines in
+  if t.tags.(idx) = line then begin
+    t.hits <- t.hits + 1;
+    0
+  end
+  else begin
+    t.misses <- t.misses + 1;
+    t.tags.(idx) <- line;
+    t.miss_penalty
+  end
+
+(* Write access: the DECstation caches are write-through with no write
+   allocation, so a store updates a resident line but never fills one,
+   and the write buffer absorbs the memory write (no stall modelled).
+   This is load-bearing for Table 4: data written by a copy pass is NOT
+   cache-resident for a later checksum pass. *)
+let write_access t addr =
+  let line = addr / t.line_bytes in
+  let idx = line mod t.lines in
+  if t.tags.(idx) = line then t.hits <- t.hits + 1 else t.misses <- t.misses + 1;
+  0
+
+(* Invalidate everything: models both an explicit flush (the uncached
+   rows of Table 4) and the icache invalidation VCODE's v_end performs
+   after writing instructions (section 3.2 step 4). *)
+let flush t = Array.fill t.tags 0 t.lines (-1)
+
+let reset_stats t =
+  t.hits <- 0;
+  t.misses <- 0
+
+let stats t = (t.hits, t.misses)

@@ -1,0 +1,33 @@
+(** A direct-mapped cache timing model with per-miss cycle penalties.
+
+    The simulators route every instruction fetch and data access
+    through one of these.  Only hit/miss status and cycle accounting
+    are modeled; data always comes from {!Mem}.
+
+    Writes are write-through with {e no write allocation} — a store
+    updates a resident line but never fills one — matching the
+    DECstation 3100/5000 caches.  This detail is load-bearing for the
+    paper's Table 4: data written by a copy pass is not cache-resident
+    for a later checksum pass. *)
+
+type t
+
+val create : size_bytes:int -> line_bytes:int -> miss_penalty:int -> t
+val size_bytes : t -> int
+
+(** read access: allocates the line; returns the cycle penalty (0 on a
+    hit, [miss_penalty] on a miss) *)
+val access : t -> int -> int
+
+(** write access: write-through, no allocation, no stall (the write
+    buffer absorbs it); returns 0 *)
+val write_access : t -> int -> int
+
+(** invalidate everything — both the explicit flush of Table 4's
+    uncached rows and the icache invalidation of v_end *)
+val flush : t -> unit
+
+val reset_stats : t -> unit
+
+(** [(hits, misses)] since the last [reset_stats] *)
+val stats : t -> int * int

@@ -1,0 +1,57 @@
+(* Machine configurations for the evaluation.
+
+   The paper measures on a DECstation 3100 (MIPS R2000 @ 16.7MHz, 64KB
+   I + 64KB D direct-mapped, ~6-cycle miss) and a DECstation 5000/200
+   (R3000 @ 25MHz, 64KB+64KB, ~15-cycle miss to slower-relative memory).
+   The exact penalties do not matter for reproducing Table 3/4 shape;
+   what matters is that the 5000 is faster per cycle while a miss costs
+   relatively more, which these configurations capture. *)
+
+type t = {
+  name : string;
+  clock_mhz : float;
+  icache_bytes : int;
+  dcache_bytes : int;
+  line_bytes : int;
+  imiss_penalty : int;
+  dmiss_penalty : int;
+  mem_bytes : int;
+}
+
+let dec3100 = {
+  name = "DEC3100";
+  clock_mhz = 16.67;
+  icache_bytes = 64 * 1024;
+  dcache_bytes = 64 * 1024;
+  line_bytes = 16;
+  imiss_penalty = 6;
+  dmiss_penalty = 6;
+  mem_bytes = 4 * 1024 * 1024;
+}
+
+let dec5000 = {
+  name = "DEC5000";
+  clock_mhz = 25.0;
+  icache_bytes = 64 * 1024;
+  dcache_bytes = 64 * 1024;
+  line_bytes = 16;
+  imiss_penalty = 15;
+  dmiss_penalty = 15;
+  mem_bytes = 4 * 1024 * 1024;
+}
+
+(* A generic modern-ish config used by tests that don't model a paper
+   machine: big caches so cycle counts are dominated by instruction
+   counts. *)
+let test_config = {
+  name = "test";
+  clock_mhz = 100.0;
+  icache_bytes = 256 * 1024;
+  dcache_bytes = 256 * 1024;
+  line_bytes = 16;
+  imiss_penalty = 4;
+  dmiss_penalty = 4;
+  mem_bytes = 4 * 1024 * 1024;
+}
+
+let cycles_to_us t cycles = float_of_int cycles /. t.clock_mhz

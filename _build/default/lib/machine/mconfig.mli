@@ -1,0 +1,27 @@
+(** Machine configurations for the evaluation.
+
+    The paper measures on a DECstation 3100 (MIPS R2000 @ 16.7 MHz) and
+    a DECstation 5000/200 (R3000 @ 25 MHz), both with 64KB+64KB
+    direct-mapped caches.  The exact penalties do not matter for
+    reproducing Table 3/4 shape; what matters is that the 5000 is
+    faster per cycle while a miss costs relatively more. *)
+
+type t = {
+  name : string;
+  clock_mhz : float;
+  icache_bytes : int;
+  dcache_bytes : int;
+  line_bytes : int;
+  imiss_penalty : int;
+  dmiss_penalty : int;
+  mem_bytes : int;
+}
+
+val dec3100 : t
+val dec5000 : t
+
+(** large caches, used by tests whose cycle counts should be dominated
+    by instruction counts *)
+val test_config : t
+
+val cycles_to_us : t -> int -> float

@@ -1,0 +1,118 @@
+(* Byte-addressable simulated memory.
+
+   One flat region starting at address 0; both endiannesses supported so
+   the same substrate serves the little-endian DECstation MIPS and Alpha
+   simulators and the big-endian SPARC simulator.  All multi-byte
+   accessors take naturally aligned addresses; misalignment raises
+   [Fault], which the simulators surface as a machine check — the same
+   discipline the paper's targets enforce in hardware. *)
+
+exception Fault of string
+
+type t = {
+  data : Bytes.t;
+  size : int;
+  big_endian : bool;
+}
+
+let create ?(big_endian = false) ~size () =
+  { data = Bytes.make size '\000'; size; big_endian }
+
+let size t = t.size
+let big_endian t = t.big_endian
+
+(* bounds check for bulk operations *)
+let check_bounds t addr len what =
+  if addr < 0 || addr + len > t.size then
+    raise (Fault (Printf.sprintf "%s at 0x%x (size %d) out of bounds" what addr len))
+
+(* scalar accesses additionally require natural alignment *)
+let check t addr len what =
+  check_bounds t addr len what;
+  if len > 1 && addr land (len - 1) <> 0 then
+    raise (Fault (Printf.sprintf "misaligned %s at 0x%x" what addr))
+
+let read_u8 t addr =
+  check t addr 1 "load8";
+  Char.code (Bytes.unsafe_get t.data addr)
+
+let write_u8 t addr v =
+  check t addr 1 "store8";
+  Bytes.unsafe_set t.data addr (Char.unsafe_chr (v land 0xff))
+
+let read_u16 t addr =
+  check t addr 2 "load16";
+  let b0 = Char.code (Bytes.unsafe_get t.data addr) in
+  let b1 = Char.code (Bytes.unsafe_get t.data (addr + 1)) in
+  if t.big_endian then (b0 lsl 8) lor b1 else (b1 lsl 8) lor b0
+
+let write_u16 t addr v =
+  check t addr 2 "store16";
+  let lo = v land 0xff and hi = (v lsr 8) land 0xff in
+  if t.big_endian then begin
+    Bytes.unsafe_set t.data addr (Char.unsafe_chr hi);
+    Bytes.unsafe_set t.data (addr + 1) (Char.unsafe_chr lo)
+  end
+  else begin
+    Bytes.unsafe_set t.data addr (Char.unsafe_chr lo);
+    Bytes.unsafe_set t.data (addr + 1) (Char.unsafe_chr hi)
+  end
+
+let read_u32 t addr =
+  check t addr 4 "load32";
+  let b i = Char.code (Bytes.unsafe_get t.data (addr + i)) in
+  if t.big_endian then (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3
+  else (b 3 lsl 24) lor (b 2 lsl 16) lor (b 1 lsl 8) lor b 0
+
+let write_u32 t addr v =
+  check t addr 4 "store32";
+  let set i x = Bytes.unsafe_set t.data (addr + i) (Char.unsafe_chr (x land 0xff)) in
+  if t.big_endian then begin
+    set 0 (v lsr 24); set 1 (v lsr 16); set 2 (v lsr 8); set 3 v
+  end
+  else begin
+    set 0 v; set 1 (v lsr 8); set 2 (v lsr 16); set 3 (v lsr 24)
+  end
+
+let read_u64 t addr : int64 =
+  check t addr 8 "load64";
+  let lo, hi =
+    if t.big_endian then (read_u32 t (addr + 4), read_u32 t addr)
+    else (read_u32 t addr, read_u32 t (addr + 4))
+  in
+  Int64.logor (Int64.of_int lo |> Int64.logand 0xFFFFFFFFL)
+    (Int64.shift_left (Int64.of_int hi) 32)
+
+let write_u64 t addr (v : int64) =
+  check t addr 8 "store64";
+  let lo = Int64.to_int (Int64.logand v 0xFFFFFFFFL) in
+  let hi = Int64.to_int (Int64.logand (Int64.shift_right_logical v 32) 0xFFFFFFFFL) in
+  if t.big_endian then begin
+    write_u32 t addr hi;
+    write_u32 t (addr + 4) lo
+  end
+  else begin
+    write_u32 t addr lo;
+    write_u32 t (addr + 4) hi
+  end
+
+(* Bulk helpers used by workload setup. *)
+let blit_string t ~addr s =
+  check_bounds t addr (max 1 (String.length s)) "blit";
+  Bytes.blit_string s 0 t.data addr (String.length s)
+
+let blit_bytes t ~addr b =
+  Bytes.blit b 0 t.data addr (Bytes.length b)
+
+let read_string t ~addr ~len =
+  check_bounds t addr (max 1 len) "read_string";
+  Bytes.sub_string t.data addr len
+
+let fill t ~addr ~len c = Bytes.fill t.data addr len c
+
+(* Load a code buffer at [addr], honoring this memory's endianness. *)
+let install_code t ~addr (buf : Vcodebase.Codebuf.t) =
+  let len = 4 * Vcodebase.Codebuf.length buf in
+  check_bounds t addr (max 4 len) "install_code";
+  if addr land 3 <> 0 then raise (Fault (Printf.sprintf "misaligned install_code at 0x%x" addr));
+  Vcodebase.Codebuf.blit_to_bytes buf ~big_endian:t.big_endian t.data addr

@@ -1,0 +1,1 @@
+lib/mips/mips_asm.ml: Array Printf

@@ -1,0 +1,1 @@
+lib/mips/mips_backend.ml: Array Codebuf Gen Int32 Int64 List Machdesc Mips_asm Op Printf Reg Vcodebase Verror Vtype

@@ -1,0 +1,1 @@
+lib/mips/mips_sim.ml: Array Cache Float Int32 Int64 List Mconfig Mem Mips_asm Printf Vmachine

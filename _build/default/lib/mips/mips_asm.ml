@@ -1,0 +1,436 @@
+(* MIPS-I (plus ldc1/sdc1 from MIPS-II) assembler: instruction type,
+   bit-accurate binary encoding, decoder, and disassembler.
+
+   The encoder functions are the "binary emitters" of the paper's section
+   3.3 — everything the VCODE MIPS port needs to write instructions
+   directly into the code buffer.  The decoder feeds the simulator and
+   the disassembler (our stand-in for the debugger discussed in section
+   6.2). *)
+
+(* Conventional register names. *)
+let zero = 0
+let at = 1
+let v0 = 2
+let v1 = 3
+let a0 = 4
+let a1 = 5
+let a2 = 6
+let a3 = 7
+let t0 = 8
+let t9 = 25
+let k0 = 26
+let gp = 28
+let sp = 29
+let s8 = 30
+let ra = 31
+let _ = (t0, t9, k0, gp)
+
+let reg_names =
+  [| "zero"; "at"; "v0"; "v1"; "a0"; "a1"; "a2"; "a3";
+     "t0"; "t1"; "t2"; "t3"; "t4"; "t5"; "t6"; "t7";
+     "s0"; "s1"; "s2"; "s3"; "s4"; "s5"; "s6"; "s7";
+     "t8"; "t9"; "k0"; "k1"; "gp"; "sp"; "s8"; "ra" |]
+
+let reg_name n = "$" ^ reg_names.(n land 31)
+let freg_name n = Printf.sprintf "$f%d" (n land 31)
+
+(* Float formats in the COP1 fmt field. *)
+type ffmt = FS | FD | FW
+
+let ffmt_code = function FS -> 16 | FD -> 17 | FW -> 20
+let ffmt_name = function FS -> "s" | FD -> "d" | FW -> "w"
+
+type fcmp = CEq | CLt | CLe
+
+type t =
+  (* shifts *)
+  | Sll of int * int * int   (* rd, rt, shamt *)
+  | Srl of int * int * int
+  | Sra of int * int * int
+  | Sllv of int * int * int  (* rd, rt, rs *)
+  | Srlv of int * int * int
+  | Srav of int * int * int
+  (* jumps through registers *)
+  | Jr of int
+  | Jalr of int * int        (* rd, rs *)
+  (* hi/lo *)
+  | Mfhi of int
+  | Mflo of int
+  | Mult of int * int
+  | Multu of int * int
+  | Div of int * int
+  | Divu of int * int
+  (* three-register ALU *)
+  | Addu of int * int * int  (* rd, rs, rt *)
+  | Subu of int * int * int
+  | And of int * int * int
+  | Or of int * int * int
+  | Xor of int * int * int
+  | Nor of int * int * int
+  | Slt of int * int * int
+  | Sltu of int * int * int
+  (* immediate ALU *)
+  | Addiu of int * int * int (* rt, rs, simm16 *)
+  | Slti of int * int * int
+  | Sltiu of int * int * int
+  | Andi of int * int * int  (* zimm16 *)
+  | Ori of int * int * int
+  | Xori of int * int * int
+  | Lui of int * int         (* rt, imm16 *)
+  (* control *)
+  | J of int                 (* 26-bit word target *)
+  | Jal of int
+  | Beq of int * int * int   (* rs, rt, simm16 word offset *)
+  | Bne of int * int * int
+  | Blez of int * int
+  | Bgtz of int * int
+  | Bltz of int * int
+  | Bgez of int * int
+  (* memory *)
+  | Lb of int * int * int    (* rt, base, simm16 *)
+  | Lbu of int * int * int
+  | Lh of int * int * int
+  | Lhu of int * int * int
+  | Lw of int * int * int
+  | Sb of int * int * int
+  | Sh of int * int * int
+  | Sw of int * int * int
+  | Lwc1 of int * int * int  (* ft, base, simm16 *)
+  | Swc1 of int * int * int
+  | Ldc1 of int * int * int
+  | Sdc1 of int * int * int
+  (* float <-> int register moves *)
+  | Mtc1 of int * int        (* rt, fs *)
+  | Mfc1 of int * int
+  (* float arithmetic *)
+  | Fadd of ffmt * int * int * int  (* fd, fs, ft *)
+  | Fsub of ffmt * int * int * int
+  | Fmul of ffmt * int * int * int
+  | Fdiv of ffmt * int * int * int
+  | Fmov of ffmt * int * int
+  | Fneg of ffmt * int * int
+  | Fabs of ffmt * int * int
+  | Fsqrt of ffmt * int * int
+  | Cvt of ffmt * ffmt * int * int  (* to, from, fd, fs *)
+  | Truncw of ffmt * int * int      (* fd, fs *)
+  | Fcmp of fcmp * ffmt * int * int (* fs, ft -> FCC *)
+  | Bc1t of int
+  | Bc1f of int
+  | Break of int
+  | Nop
+
+(* ------------------------------------------------------------------ *)
+(* Encoding                                                            *)
+
+let mask16 v = v land 0xFFFF
+
+let r_type ~funct ~rs ~rt ~rd ~shamt =
+  (rs lsl 21) lor (rt lsl 16) lor (rd lsl 11) lor (shamt lsl 6) lor funct
+
+let i_type ~op ~rs ~rt ~imm =
+  (op lsl 26) lor (rs lsl 21) lor (rt lsl 16) lor mask16 imm
+
+let j_type ~op ~target = (op lsl 26) lor (target land 0x3FFFFFF)
+
+let cop1_r ~funct ~fmt ~ft ~fs ~fd =
+  (0x11 lsl 26) lor (ffmt_code fmt lsl 21) lor (ft lsl 16) lor (fs lsl 11)
+  lor (fd lsl 6) lor funct
+
+let encode : t -> int = function
+  | Sll (rd, rt, sh) -> r_type ~funct:0x00 ~rs:0 ~rt ~rd ~shamt:(sh land 31)
+  | Srl (rd, rt, sh) -> r_type ~funct:0x02 ~rs:0 ~rt ~rd ~shamt:(sh land 31)
+  | Sra (rd, rt, sh) -> r_type ~funct:0x03 ~rs:0 ~rt ~rd ~shamt:(sh land 31)
+  | Sllv (rd, rt, rs) -> r_type ~funct:0x04 ~rs ~rt ~rd ~shamt:0
+  | Srlv (rd, rt, rs) -> r_type ~funct:0x06 ~rs ~rt ~rd ~shamt:0
+  | Srav (rd, rt, rs) -> r_type ~funct:0x07 ~rs ~rt ~rd ~shamt:0
+  | Jr rs -> r_type ~funct:0x08 ~rs ~rt:0 ~rd:0 ~shamt:0
+  | Jalr (rd, rs) -> r_type ~funct:0x09 ~rs ~rt:0 ~rd ~shamt:0
+  | Mfhi rd -> r_type ~funct:0x10 ~rs:0 ~rt:0 ~rd ~shamt:0
+  | Mflo rd -> r_type ~funct:0x12 ~rs:0 ~rt:0 ~rd ~shamt:0
+  | Mult (rs, rt) -> r_type ~funct:0x18 ~rs ~rt ~rd:0 ~shamt:0
+  | Multu (rs, rt) -> r_type ~funct:0x19 ~rs ~rt ~rd:0 ~shamt:0
+  | Div (rs, rt) -> r_type ~funct:0x1A ~rs ~rt ~rd:0 ~shamt:0
+  | Divu (rs, rt) -> r_type ~funct:0x1B ~rs ~rt ~rd:0 ~shamt:0
+  | Addu (rd, rs, rt) -> r_type ~funct:0x21 ~rs ~rt ~rd ~shamt:0
+  | Subu (rd, rs, rt) -> r_type ~funct:0x23 ~rs ~rt ~rd ~shamt:0
+  | And (rd, rs, rt) -> r_type ~funct:0x24 ~rs ~rt ~rd ~shamt:0
+  | Or (rd, rs, rt) -> r_type ~funct:0x25 ~rs ~rt ~rd ~shamt:0
+  | Xor (rd, rs, rt) -> r_type ~funct:0x26 ~rs ~rt ~rd ~shamt:0
+  | Nor (rd, rs, rt) -> r_type ~funct:0x27 ~rs ~rt ~rd ~shamt:0
+  | Slt (rd, rs, rt) -> r_type ~funct:0x2A ~rs ~rt ~rd ~shamt:0
+  | Sltu (rd, rs, rt) -> r_type ~funct:0x2B ~rs ~rt ~rd ~shamt:0
+  | Addiu (rt, rs, imm) -> i_type ~op:0x09 ~rs ~rt ~imm
+  | Slti (rt, rs, imm) -> i_type ~op:0x0A ~rs ~rt ~imm
+  | Sltiu (rt, rs, imm) -> i_type ~op:0x0B ~rs ~rt ~imm
+  | Andi (rt, rs, imm) -> i_type ~op:0x0C ~rs ~rt ~imm
+  | Ori (rt, rs, imm) -> i_type ~op:0x0D ~rs ~rt ~imm
+  | Xori (rt, rs, imm) -> i_type ~op:0x0E ~rs ~rt ~imm
+  | Lui (rt, imm) -> i_type ~op:0x0F ~rs:0 ~rt ~imm
+  | J target -> j_type ~op:0x02 ~target
+  | Jal target -> j_type ~op:0x03 ~target
+  | Beq (rs, rt, off) -> i_type ~op:0x04 ~rs ~rt ~imm:off
+  | Bne (rs, rt, off) -> i_type ~op:0x05 ~rs ~rt ~imm:off
+  | Blez (rs, off) -> i_type ~op:0x06 ~rs ~rt:0 ~imm:off
+  | Bgtz (rs, off) -> i_type ~op:0x07 ~rs ~rt:0 ~imm:off
+  | Bltz (rs, off) -> i_type ~op:0x01 ~rs ~rt:0 ~imm:off
+  | Bgez (rs, off) -> i_type ~op:0x01 ~rs ~rt:1 ~imm:off
+  | Lb (rt, base, off) -> i_type ~op:0x20 ~rs:base ~rt ~imm:off
+  | Lh (rt, base, off) -> i_type ~op:0x21 ~rs:base ~rt ~imm:off
+  | Lw (rt, base, off) -> i_type ~op:0x23 ~rs:base ~rt ~imm:off
+  | Lbu (rt, base, off) -> i_type ~op:0x24 ~rs:base ~rt ~imm:off
+  | Lhu (rt, base, off) -> i_type ~op:0x25 ~rs:base ~rt ~imm:off
+  | Sb (rt, base, off) -> i_type ~op:0x28 ~rs:base ~rt ~imm:off
+  | Sh (rt, base, off) -> i_type ~op:0x29 ~rs:base ~rt ~imm:off
+  | Sw (rt, base, off) -> i_type ~op:0x2B ~rs:base ~rt ~imm:off
+  | Lwc1 (ft, base, off) -> i_type ~op:0x31 ~rs:base ~rt:ft ~imm:off
+  | Ldc1 (ft, base, off) -> i_type ~op:0x35 ~rs:base ~rt:ft ~imm:off
+  | Swc1 (ft, base, off) -> i_type ~op:0x39 ~rs:base ~rt:ft ~imm:off
+  | Sdc1 (ft, base, off) -> i_type ~op:0x3D ~rs:base ~rt:ft ~imm:off
+  | Mtc1 (rt, fs) -> (0x11 lsl 26) lor (0x04 lsl 21) lor (rt lsl 16) lor (fs lsl 11)
+  | Mfc1 (rt, fs) -> (0x11 lsl 26) lor (0x00 lsl 21) lor (rt lsl 16) lor (fs lsl 11)
+  | Fadd (fmt, fd, fs, ft) -> cop1_r ~funct:0x00 ~fmt ~ft ~fs ~fd
+  | Fsub (fmt, fd, fs, ft) -> cop1_r ~funct:0x01 ~fmt ~ft ~fs ~fd
+  | Fmul (fmt, fd, fs, ft) -> cop1_r ~funct:0x02 ~fmt ~ft ~fs ~fd
+  | Fdiv (fmt, fd, fs, ft) -> cop1_r ~funct:0x03 ~fmt ~ft ~fs ~fd
+  | Fsqrt (fmt, fd, fs) -> cop1_r ~funct:0x04 ~fmt ~ft:0 ~fs ~fd
+  | Fabs (fmt, fd, fs) -> cop1_r ~funct:0x05 ~fmt ~ft:0 ~fs ~fd
+  | Fmov (fmt, fd, fs) -> cop1_r ~funct:0x06 ~fmt ~ft:0 ~fs ~fd
+  | Fneg (fmt, fd, fs) -> cop1_r ~funct:0x07 ~fmt ~ft:0 ~fs ~fd
+  | Truncw (fmt, fd, fs) -> cop1_r ~funct:0x0D ~fmt ~ft:0 ~fs ~fd
+  | Cvt (to_, from, fd, fs) ->
+    let funct = match to_ with FS -> 0x20 | FD -> 0x21 | FW -> 0x24 in
+    cop1_r ~funct ~fmt:from ~ft:0 ~fs ~fd
+  | Fcmp (c, fmt, fs, ft) ->
+    let funct = match c with CEq -> 0x32 | CLt -> 0x3C | CLe -> 0x3E in
+    cop1_r ~funct ~fmt ~ft ~fs ~fd:0
+  | Bc1t off -> (0x11 lsl 26) lor (0x08 lsl 21) lor (1 lsl 16) lor mask16 off
+  | Bc1f off -> (0x11 lsl 26) lor (0x08 lsl 21) lor (0 lsl 16) lor mask16 off
+  | Break code -> ((code land 0xFFFFF) lsl 6) lor 0x0D
+  | Nop -> 0
+
+(* Non-allocating word builders for the emission fast path.  The VCODE
+   MIPS port uses these directly so that emitting one instruction is a
+   handful of integer operations plus one array store — the concrete
+   form of the paper's in-place code generation (compare Figure 2's
+   nine-instruction expansion of v_addu).  Each builder mirrors the
+   corresponding [t] constructor; [encode] on the constructor yields the
+   same word (tested by property). *)
+module W = struct
+  let sll rd rt sh = r_type ~funct:0x00 ~rs:0 ~rt ~rd ~shamt:(sh land 31)
+  let srl rd rt sh = r_type ~funct:0x02 ~rs:0 ~rt ~rd ~shamt:(sh land 31)
+  let sra rd rt sh = r_type ~funct:0x03 ~rs:0 ~rt ~rd ~shamt:(sh land 31)
+  let sllv rd rt rs = r_type ~funct:0x04 ~rs ~rt ~rd ~shamt:0
+  let srlv rd rt rs = r_type ~funct:0x06 ~rs ~rt ~rd ~shamt:0
+  let srav rd rt rs = r_type ~funct:0x07 ~rs ~rt ~rd ~shamt:0
+  let jr rs = r_type ~funct:0x08 ~rs ~rt:0 ~rd:0 ~shamt:0
+  let mfhi rd = r_type ~funct:0x10 ~rs:0 ~rt:0 ~rd ~shamt:0
+  let mflo rd = r_type ~funct:0x12 ~rs:0 ~rt:0 ~rd ~shamt:0
+  let mult rs rt = r_type ~funct:0x18 ~rs ~rt ~rd:0 ~shamt:0
+  let multu rs rt = r_type ~funct:0x19 ~rs ~rt ~rd:0 ~shamt:0
+  let div rs rt = r_type ~funct:0x1A ~rs ~rt ~rd:0 ~shamt:0
+  let divu rs rt = r_type ~funct:0x1B ~rs ~rt ~rd:0 ~shamt:0
+  let addu rd rs rt = r_type ~funct:0x21 ~rs ~rt ~rd ~shamt:0
+  let subu rd rs rt = r_type ~funct:0x23 ~rs ~rt ~rd ~shamt:0
+  let and_ rd rs rt = r_type ~funct:0x24 ~rs ~rt ~rd ~shamt:0
+  let or_ rd rs rt = r_type ~funct:0x25 ~rs ~rt ~rd ~shamt:0
+  let xor rd rs rt = r_type ~funct:0x26 ~rs ~rt ~rd ~shamt:0
+  let nor rd rs rt = r_type ~funct:0x27 ~rs ~rt ~rd ~shamt:0
+  let slt rd rs rt = r_type ~funct:0x2A ~rs ~rt ~rd ~shamt:0
+  let sltu rd rs rt = r_type ~funct:0x2B ~rs ~rt ~rd ~shamt:0
+  let addiu rt rs imm = i_type ~op:0x09 ~rs ~rt ~imm
+  let slti rt rs imm = i_type ~op:0x0A ~rs ~rt ~imm
+  let sltiu rt rs imm = i_type ~op:0x0B ~rs ~rt ~imm
+  let andi rt rs imm = i_type ~op:0x0C ~rs ~rt ~imm
+  let ori rt rs imm = i_type ~op:0x0D ~rs ~rt ~imm
+  let xori rt rs imm = i_type ~op:0x0E ~rs ~rt ~imm
+  let lui rt imm = i_type ~op:0x0F ~rs:0 ~rt ~imm
+  let beq rs rt off = i_type ~op:0x04 ~rs ~rt ~imm:off
+  let bne rs rt off = i_type ~op:0x05 ~rs ~rt ~imm:off
+  let lb rt base off = i_type ~op:0x20 ~rs:base ~rt ~imm:off
+  let lh rt base off = i_type ~op:0x21 ~rs:base ~rt ~imm:off
+  let lw rt base off = i_type ~op:0x23 ~rs:base ~rt ~imm:off
+  let lbu rt base off = i_type ~op:0x24 ~rs:base ~rt ~imm:off
+  let lhu rt base off = i_type ~op:0x25 ~rs:base ~rt ~imm:off
+  let sb rt base off = i_type ~op:0x28 ~rs:base ~rt ~imm:off
+  let sh rt base off = i_type ~op:0x29 ~rs:base ~rt ~imm:off
+  let sw rt base off = i_type ~op:0x2B ~rs:base ~rt ~imm:off
+  let nop = 0
+end
+
+(* ------------------------------------------------------------------ *)
+(* Decoding                                                            *)
+
+exception Bad_insn of int
+
+let sext16 v = if v land 0x8000 <> 0 then v - 0x10000 else v
+
+let decode (w : int) : t =
+  if w = 0 then Nop
+  else
+    let op = (w lsr 26) land 0x3F in
+    let rs = (w lsr 21) land 31 in
+    let rt = (w lsr 16) land 31 in
+    let rd = (w lsr 11) land 31 in
+    let shamt = (w lsr 6) land 31 in
+    let imm = sext16 (w land 0xFFFF) in
+    let zimm = w land 0xFFFF in
+    match op with
+    | 0x00 -> (
+      match w land 0x3F with
+      | 0x00 -> Sll (rd, rt, shamt)
+      | 0x02 -> Srl (rd, rt, shamt)
+      | 0x03 -> Sra (rd, rt, shamt)
+      | 0x04 -> Sllv (rd, rt, rs)
+      | 0x06 -> Srlv (rd, rt, rs)
+      | 0x07 -> Srav (rd, rt, rs)
+      | 0x08 -> Jr rs
+      | 0x09 -> Jalr (rd, rs)
+      | 0x0D -> Break ((w lsr 6) land 0xFFFFF)
+      | 0x10 -> Mfhi rd
+      | 0x12 -> Mflo rd
+      | 0x18 -> Mult (rs, rt)
+      | 0x19 -> Multu (rs, rt)
+      | 0x1A -> Div (rs, rt)
+      | 0x1B -> Divu (rs, rt)
+      | 0x21 -> Addu (rd, rs, rt)
+      | 0x23 -> Subu (rd, rs, rt)
+      | 0x24 -> And (rd, rs, rt)
+      | 0x25 -> Or (rd, rs, rt)
+      | 0x26 -> Xor (rd, rs, rt)
+      | 0x27 -> Nor (rd, rs, rt)
+      | 0x2A -> Slt (rd, rs, rt)
+      | 0x2B -> Sltu (rd, rs, rt)
+      | _ -> raise (Bad_insn w))
+    | 0x01 -> if rt = 0 then Bltz (rs, imm) else if rt = 1 then Bgez (rs, imm) else raise (Bad_insn w)
+    | 0x02 -> J (w land 0x3FFFFFF)
+    | 0x03 -> Jal (w land 0x3FFFFFF)
+    | 0x04 -> Beq (rs, rt, imm)
+    | 0x05 -> Bne (rs, rt, imm)
+    | 0x06 -> Blez (rs, imm)
+    | 0x07 -> Bgtz (rs, imm)
+    | 0x09 -> Addiu (rt, rs, imm)
+    | 0x0A -> Slti (rt, rs, imm)
+    | 0x0B -> Sltiu (rt, rs, imm)
+    | 0x0C -> Andi (rt, rs, zimm)
+    | 0x0D -> Ori (rt, rs, zimm)
+    | 0x0E -> Xori (rt, rs, zimm)
+    | 0x0F -> Lui (rt, zimm)
+    | 0x11 -> (
+      let sub = rs in
+      match sub with
+      | 0x00 -> Mfc1 (rt, rd)
+      | 0x04 -> Mtc1 (rt, rd)
+      | 0x08 -> if rt land 1 = 1 then Bc1t imm else Bc1f imm
+      | 0x10 | 0x11 | 0x14 -> (
+        let fmt = match sub with 0x10 -> FS | 0x11 -> FD | _ -> FW in
+        let fd = shamt and fs = rd and ft = rt in
+        match w land 0x3F with
+        | 0x00 -> Fadd (fmt, fd, fs, ft)
+        | 0x01 -> Fsub (fmt, fd, fs, ft)
+        | 0x02 -> Fmul (fmt, fd, fs, ft)
+        | 0x03 -> Fdiv (fmt, fd, fs, ft)
+        | 0x04 -> Fsqrt (fmt, fd, fs)
+        | 0x05 -> Fabs (fmt, fd, fs)
+        | 0x06 -> Fmov (fmt, fd, fs)
+        | 0x07 -> Fneg (fmt, fd, fs)
+        | 0x0D -> Truncw (fmt, fd, fs)
+        | 0x20 -> Cvt (FS, fmt, fd, fs)
+        | 0x21 -> Cvt (FD, fmt, fd, fs)
+        | 0x24 -> Cvt (FW, fmt, fd, fs)
+        | 0x32 -> Fcmp (CEq, fmt, fs, ft)
+        | 0x3C -> Fcmp (CLt, fmt, fs, ft)
+        | 0x3E -> Fcmp (CLe, fmt, fs, ft)
+        | _ -> raise (Bad_insn w))
+      | _ -> raise (Bad_insn w))
+    | 0x20 -> Lb (rt, rs, imm)
+    | 0x21 -> Lh (rt, rs, imm)
+    | 0x23 -> Lw (rt, rs, imm)
+    | 0x24 -> Lbu (rt, rs, imm)
+    | 0x25 -> Lhu (rt, rs, imm)
+    | 0x28 -> Sb (rt, rs, imm)
+    | 0x29 -> Sh (rt, rs, imm)
+    | 0x2B -> Sw (rt, rs, imm)
+    | 0x31 -> Lwc1 (rt, rs, imm)
+    | 0x35 -> Ldc1 (rt, rs, imm)
+    | 0x39 -> Swc1 (rt, rs, imm)
+    | 0x3D -> Sdc1 (rt, rs, imm)
+    | _ -> raise (Bad_insn w)
+
+(* ------------------------------------------------------------------ *)
+(* Disassembly                                                         *)
+
+let disasm ?(addr = 0) (w : int) : string =
+  let r = reg_name and f = freg_name in
+  let btarget off = Printf.sprintf "0x%x" (addr + 4 + (off * 4)) in
+  try
+    match decode w with
+    | Nop -> "nop"
+    | Sll (rd, rt, sh) -> Printf.sprintf "sll %s, %s, %d" (r rd) (r rt) sh
+    | Srl (rd, rt, sh) -> Printf.sprintf "srl %s, %s, %d" (r rd) (r rt) sh
+    | Sra (rd, rt, sh) -> Printf.sprintf "sra %s, %s, %d" (r rd) (r rt) sh
+    | Sllv (rd, rt, rs) -> Printf.sprintf "sllv %s, %s, %s" (r rd) (r rt) (r rs)
+    | Srlv (rd, rt, rs) -> Printf.sprintf "srlv %s, %s, %s" (r rd) (r rt) (r rs)
+    | Srav (rd, rt, rs) -> Printf.sprintf "srav %s, %s, %s" (r rd) (r rt) (r rs)
+    | Jr rs -> Printf.sprintf "jr %s" (r rs)
+    | Jalr (rd, rs) -> Printf.sprintf "jalr %s, %s" (r rd) (r rs)
+    | Mfhi rd -> Printf.sprintf "mfhi %s" (r rd)
+    | Mflo rd -> Printf.sprintf "mflo %s" (r rd)
+    | Mult (rs, rt) -> Printf.sprintf "mult %s, %s" (r rs) (r rt)
+    | Multu (rs, rt) -> Printf.sprintf "multu %s, %s" (r rs) (r rt)
+    | Div (rs, rt) -> Printf.sprintf "div %s, %s" (r rs) (r rt)
+    | Divu (rs, rt) -> Printf.sprintf "divu %s, %s" (r rs) (r rt)
+    | Addu (rd, rs, rt) -> Printf.sprintf "addu %s, %s, %s" (r rd) (r rs) (r rt)
+    | Subu (rd, rs, rt) -> Printf.sprintf "subu %s, %s, %s" (r rd) (r rs) (r rt)
+    | And (rd, rs, rt) -> Printf.sprintf "and %s, %s, %s" (r rd) (r rs) (r rt)
+    | Or (rd, rs, rt) -> Printf.sprintf "or %s, %s, %s" (r rd) (r rs) (r rt)
+    | Xor (rd, rs, rt) -> Printf.sprintf "xor %s, %s, %s" (r rd) (r rs) (r rt)
+    | Nor (rd, rs, rt) -> Printf.sprintf "nor %s, %s, %s" (r rd) (r rs) (r rt)
+    | Slt (rd, rs, rt) -> Printf.sprintf "slt %s, %s, %s" (r rd) (r rs) (r rt)
+    | Sltu (rd, rs, rt) -> Printf.sprintf "sltu %s, %s, %s" (r rd) (r rs) (r rt)
+    | Addiu (rt, rs, i) -> Printf.sprintf "addiu %s, %s, %d" (r rt) (r rs) i
+    | Slti (rt, rs, i) -> Printf.sprintf "slti %s, %s, %d" (r rt) (r rs) i
+    | Sltiu (rt, rs, i) -> Printf.sprintf "sltiu %s, %s, %d" (r rt) (r rs) i
+    | Andi (rt, rs, i) -> Printf.sprintf "andi %s, %s, 0x%x" (r rt) (r rs) i
+    | Ori (rt, rs, i) -> Printf.sprintf "ori %s, %s, 0x%x" (r rt) (r rs) i
+    | Xori (rt, rs, i) -> Printf.sprintf "xori %s, %s, 0x%x" (r rt) (r rs) i
+    | Lui (rt, i) -> Printf.sprintf "lui %s, 0x%x" (r rt) i
+    | J t -> Printf.sprintf "j 0x%x" (t * 4)
+    | Jal t -> Printf.sprintf "jal 0x%x" (t * 4)
+    | Beq (rs, rt, off) -> Printf.sprintf "beq %s, %s, %s" (r rs) (r rt) (btarget off)
+    | Bne (rs, rt, off) -> Printf.sprintf "bne %s, %s, %s" (r rs) (r rt) (btarget off)
+    | Blez (rs, off) -> Printf.sprintf "blez %s, %s" (r rs) (btarget off)
+    | Bgtz (rs, off) -> Printf.sprintf "bgtz %s, %s" (r rs) (btarget off)
+    | Bltz (rs, off) -> Printf.sprintf "bltz %s, %s" (r rs) (btarget off)
+    | Bgez (rs, off) -> Printf.sprintf "bgez %s, %s" (r rs) (btarget off)
+    | Lb (rt, b, o) -> Printf.sprintf "lb %s, %d(%s)" (r rt) o (r b)
+    | Lbu (rt, b, o) -> Printf.sprintf "lbu %s, %d(%s)" (r rt) o (r b)
+    | Lh (rt, b, o) -> Printf.sprintf "lh %s, %d(%s)" (r rt) o (r b)
+    | Lhu (rt, b, o) -> Printf.sprintf "lhu %s, %d(%s)" (r rt) o (r b)
+    | Lw (rt, b, o) -> Printf.sprintf "lw %s, %d(%s)" (r rt) o (r b)
+    | Sb (rt, b, o) -> Printf.sprintf "sb %s, %d(%s)" (r rt) o (r b)
+    | Sh (rt, b, o) -> Printf.sprintf "sh %s, %d(%s)" (r rt) o (r b)
+    | Sw (rt, b, o) -> Printf.sprintf "sw %s, %d(%s)" (r rt) o (r b)
+    | Lwc1 (ft, b, o) -> Printf.sprintf "lwc1 %s, %d(%s)" (f ft) o (r b)
+    | Swc1 (ft, b, o) -> Printf.sprintf "swc1 %s, %d(%s)" (f ft) o (r b)
+    | Ldc1 (ft, b, o) -> Printf.sprintf "ldc1 %s, %d(%s)" (f ft) o (r b)
+    | Sdc1 (ft, b, o) -> Printf.sprintf "sdc1 %s, %d(%s)" (f ft) o (r b)
+    | Mtc1 (rt, fs) -> Printf.sprintf "mtc1 %s, %s" (r rt) (f fs)
+    | Mfc1 (rt, fs) -> Printf.sprintf "mfc1 %s, %s" (r rt) (f fs)
+    | Fadd (m, fd, fs, ft) -> Printf.sprintf "add.%s %s, %s, %s" (ffmt_name m) (f fd) (f fs) (f ft)
+    | Fsub (m, fd, fs, ft) -> Printf.sprintf "sub.%s %s, %s, %s" (ffmt_name m) (f fd) (f fs) (f ft)
+    | Fmul (m, fd, fs, ft) -> Printf.sprintf "mul.%s %s, %s, %s" (ffmt_name m) (f fd) (f fs) (f ft)
+    | Fdiv (m, fd, fs, ft) -> Printf.sprintf "div.%s %s, %s, %s" (ffmt_name m) (f fd) (f fs) (f ft)
+    | Fmov (m, fd, fs) -> Printf.sprintf "mov.%s %s, %s" (ffmt_name m) (f fd) (f fs)
+    | Fneg (m, fd, fs) -> Printf.sprintf "neg.%s %s, %s" (ffmt_name m) (f fd) (f fs)
+    | Fabs (m, fd, fs) -> Printf.sprintf "abs.%s %s, %s" (ffmt_name m) (f fd) (f fs)
+    | Fsqrt (m, fd, fs) -> Printf.sprintf "sqrt.%s %s, %s" (ffmt_name m) (f fd) (f fs)
+    | Cvt (to_, from, fd, fs) ->
+      Printf.sprintf "cvt.%s.%s %s, %s" (ffmt_name to_) (ffmt_name from) (f fd) (f fs)
+    | Truncw (m, fd, fs) -> Printf.sprintf "trunc.w.%s %s, %s" (ffmt_name m) (f fd) (f fs)
+    | Fcmp (c, m, fs, ft) ->
+      let cn = match c with CEq -> "eq" | CLt -> "lt" | CLe -> "le" in
+      Printf.sprintf "c.%s.%s %s, %s" cn (ffmt_name m) (f fs) (f ft)
+    | Bc1t off -> Printf.sprintf "bc1t %s" (btarget off)
+    | Bc1f off -> Printf.sprintf "bc1f %s" (btarget off)
+    | Break c -> Printf.sprintf "break %d" c
+  with Bad_insn _ -> Printf.sprintf ".word 0x%08x" w

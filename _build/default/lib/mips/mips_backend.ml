@@ -1,0 +1,608 @@
+(* The VCODE MIPS port (paper section 3.3).
+
+   Maps the VCODE core instruction set onto MIPS-I encodings, implements
+   the calling convention and activation-record management, and performs
+   the in-place prologue/epilogue backpatching of section 5.2:
+
+   - [lambda] reserves a fixed-size prologue area in the instruction
+     stream (32 words: enough to save $ra, all nine callee-saved integer
+     registers, six callee-saved doubles, adjust $sp and reload up to
+     twelve stack-passed arguments).
+   - The frame has a fixed layout so every offset is known at emission
+     time: [sp+0,64) outgoing-argument area, [sp+64,160) register-save
+     area, locals from sp+160 up.  The space-for-time tradeoff is the
+     paper's own (it wastes at most the save area per active frame).
+   - [finish] writes the real prologue into the *end* of the reserved
+     area and returns the entry index just before it, saving exactly the
+     registers recorded in [g.used_callee]/[g.used_fcallee].
+   - Return jumps carry a special relocation: if the function turns out
+     to need no frame, the backpatcher rewrites [j epilogue] into
+     [jr $ra] — the paper's "eliminate this jump" optimization.
+
+   Scratch registers: $at (the classic assembler temporary) and $v1 for
+   synthesized sequences; $f18 is the FP scratch.  None are allocatable. *)
+
+open Vcodebase
+module A = Mips_asm
+
+let reserve_words = 48
+let outarg_base = 16       (* first stack-arg slot offset *)
+let save_base = 64         (* register save area: $ra + any forced-callee set *)
+let locals_base = 240
+let max_arg_slots = 12
+
+(* reloc kinds *)
+let k_branch = 0
+let k_jump = 1
+let k_call = 2
+let k_retj = 3
+
+let scratch = 1  (* $at *)
+let scratch2 = 3 (* $v1 *)
+let fscratch = 18
+
+let rnum = Reg.idx
+
+let e g i = ignore (Codebuf.emit g.Gen.buf (A.encode i))
+
+(* fast path: emit a pre-encoded word (no allocation) *)
+let ew g w = ignore (Codebuf.emit g.Gen.buf w)
+
+let desc : Machdesc.t =
+  let r n = Reg.R n and f n = Reg.F n in
+  {
+    Machdesc.name = "mips";
+    word_bits = 32;
+    big_endian = false;
+    branch_delay_slots = 1;
+    load_delay = 1;
+    nregs = 32;
+    nfregs = 32;
+    temps = [| r 8; r 9; r 10; r 11; r 12; r 13; r 14; r 15; r 24; r 25 |];
+    vars = [| r 16; r 17; r 18; r 19; r 20; r 21; r 22; r 23; r 30 |];
+    ftemps = [| f 4; f 6; f 8; f 10; f 16 |];
+    fvars = [| f 20; f 22; f 24; f 26; f 28; f 30 |];
+    callee_mask =
+      (1 lsl 16) lor (1 lsl 17) lor (1 lsl 18) lor (1 lsl 19) lor (1 lsl 20)
+      lor (1 lsl 21) lor (1 lsl 22) lor (1 lsl 23) lor (1 lsl 30);
+    fcallee_mask =
+      (1 lsl 20) lor (1 lsl 22) lor (1 lsl 24) lor (1 lsl 26) lor (1 lsl 28) lor (1 lsl 30);
+    arg_regs = [| r 4; r 5; r 6; r 7 |];
+    farg_regs = [| f 12; f 14 |];
+    ret_reg = r 2;
+    fret_reg = f 0;
+    sp = r 29;
+    locals_base;
+    scratch = r 1;
+    reg_name = (fun reg ->
+      match reg with Reg.R n -> A.reg_name n | Reg.F n -> A.freg_name n);
+  }
+
+let fits16s v = v >= -32768 && v <= 32767
+let fits16u v = v >= 0 && v <= 65535
+let fits32 v = v >= -0x80000000 && v <= 0xFFFFFFFF
+
+(* Load a 32-bit constant into [rd]; 1-2 instructions. *)
+let load_const g rd v =
+  if not (fits32 v) then
+    Verror.fail (Verror.Range (Printf.sprintf "MIPS immediate %d" v));
+  let v32 = v land 0xFFFFFFFF in
+  let sv = if v32 land 0x80000000 <> 0 then v32 - 0x100000000 else v32 in
+  if fits16s sv then ew g (A.W.addiu rd 0 sv)
+  else begin
+    let hi = (v32 lsr 16) land 0xFFFF and lo = v32 land 0xFFFF in
+    ew g (A.W.lui rd hi);
+    if lo <> 0 then ew g (A.W.ori rd rd lo)
+  end
+
+(* %hi/%lo split with carry adjustment for lo's sign extension. *)
+let hi_lo addr =
+  let lo = addr land 0xFFFF in
+  let lo_s = if lo >= 0x8000 then lo - 0x10000 else lo in
+  let hi = ((addr - lo_s) lsr 16) land 0xFFFF in
+  (hi, lo)
+
+(* ------------------------------------------------------------------ *)
+(* ALU                                                                 *)
+
+let signed_ty (t : Vtype.t) = Vtype.is_signed t
+
+let arith g (op : Op.binop) (t : Vtype.t) rd rs1 rs2 =
+  if Vtype.is_float t then begin
+    let fmt = match t with Vtype.F -> A.FS | _ -> A.FD in
+    let d = rnum rd and a = rnum rs1 and b = rnum rs2 in
+    match op with
+    | Op.Add -> e g (A.Fadd (fmt, d, a, b))
+    | Op.Sub -> e g (A.Fsub (fmt, d, a, b))
+    | Op.Mul -> e g (A.Fmul (fmt, d, a, b))
+    | Op.Div -> e g (A.Fdiv (fmt, d, a, b))
+    | Op.Mod | Op.And | Op.Or | Op.Xor | Op.Lsh | Op.Rsh ->
+      Verror.fail (Verror.Bad_type "float bit operation")
+  end
+  else
+    let d = rnum rd and a = rnum rs1 and b = rnum rs2 in
+    match op with
+    | Op.Add -> ew g (A.W.addu d a b)
+    | Op.Sub -> ew g (A.W.subu d a b)
+    | Op.Mul ->
+      ew g (A.W.mult a b);
+      ew g (A.W.mflo d)
+    | Op.Div ->
+      ew g (if signed_ty t then A.W.div a b else A.W.divu a b);
+      ew g (A.W.mflo d)
+    | Op.Mod ->
+      ew g (if signed_ty t then A.W.div a b else A.W.divu a b);
+      ew g (A.W.mfhi d)
+    | Op.And -> ew g (A.W.and_ d a b)
+    | Op.Or -> ew g (A.W.or_ d a b)
+    | Op.Xor -> ew g (A.W.xor d a b)
+    | Op.Lsh -> ew g (A.W.sllv d a b)
+    | Op.Rsh -> ew g (if signed_ty t then A.W.srav d a b else A.W.srlv d a b)
+
+let arith_imm g (op : Op.binop) (t : Vtype.t) rd rs1 imm =
+  let d = rnum rd and a = rnum rs1 in
+  let via_reg () =
+    load_const g scratch imm;
+    arith g op t rd rs1 (Reg.R scratch)
+  in
+  match op with
+  | Op.Add -> if fits16s imm then ew g (A.W.addiu d a imm) else via_reg ()
+  | Op.Sub -> if fits16s (-imm) then ew g (A.W.addiu d a (-imm)) else via_reg ()
+  | Op.And -> if fits16u imm then ew g (A.W.andi d a imm) else via_reg ()
+  | Op.Or -> if fits16u imm then ew g (A.W.ori d a imm) else via_reg ()
+  | Op.Xor -> if fits16u imm then ew g (A.W.xori d a imm) else via_reg ()
+  | Op.Lsh -> ew g (A.W.sll d a imm)
+  | Op.Rsh -> ew g (if signed_ty t then A.W.sra d a imm else A.W.srl d a imm)
+  | Op.Mul | Op.Div | Op.Mod -> via_reg ()
+
+let unary g (op : Op.unop) (t : Vtype.t) rd rs =
+  if Vtype.is_float t then begin
+    let fmt = match t with Vtype.F -> A.FS | _ -> A.FD in
+    let d = rnum rd and s = rnum rs in
+    match op with
+    | Op.Mov -> e g (A.Fmov (fmt, d, s))
+    | Op.Neg -> e g (A.Fneg (fmt, d, s))
+    | Op.Com | Op.Not -> Verror.fail (Verror.Bad_type "float bit operation")
+  end
+  else
+    let d = rnum rd and s = rnum rs in
+    match op with
+    | Op.Com -> ew g (A.W.nor d s 0)
+    | Op.Not -> ew g (A.W.sltiu d s 1)
+    | Op.Mov -> ew g (A.W.or_ d s 0)
+    | Op.Neg -> ew g (A.W.subu d 0 s)
+
+let set g (_t : Vtype.t) rd imm64 =
+  if Int64.compare imm64 (-0x80000000L) < 0 || Int64.compare imm64 0xFFFFFFFFL > 0 then
+    Verror.fail (Verror.Range (Int64.to_string imm64));
+  load_const g (rnum rd) (Int64.to_int imm64)
+
+(* FP immediates: emit a two-word load (lui $at, 0 ; l?c1 f, 0($at)) and
+   record it; [finish] places the constant after the code and patches the
+   pair (paper section 5.2: constants at the end of the function's
+   instruction stream so they are reclaimed with it). *)
+let setf g (t : Vtype.t) rd v =
+  let dbl = match t with Vtype.D -> true | _ -> false in
+  let site = Codebuf.length g.Gen.buf in
+  e g (A.Lui (scratch, 0));
+  e g (if dbl then A.Ldc1 (rnum rd, scratch, 0) else A.Lwc1 (rnum rd, scratch, 0));
+  let bits = if dbl then Int64.bits_of_float v
+    else Int64.of_int32 (Int32.bits_of_float v) in
+  g.Gen.fimms <- (site, bits, dbl) :: g.Gen.fimms
+
+(* ------------------------------------------------------------------ *)
+(* Branches                                                            *)
+
+(* emit a branch word (offset patched at finish) plus its delay nop *)
+let emit_branch_word g w lab =
+  let site = Codebuf.length g.Gen.buf in
+  ew g w;
+  Gen.add_reloc g ~site ~lab ~kind:k_branch;
+  ew g A.W.nop (* delay slot *)
+
+let unsigned_cmp (t : Vtype.t) =
+  match t with Vtype.U | Vtype.UL | Vtype.P | Vtype.UC | Vtype.US -> true | _ -> false
+
+let branch g (c : Op.cond) (t : Vtype.t) rs1 rs2 lab =
+  if Vtype.is_float t then begin
+    let fmt = match t with Vtype.F -> A.FS | _ -> A.FD in
+    let a = rnum rs1 and b = rnum rs2 in
+    let cmp, on_true =
+      match c with
+      | Op.Lt -> (A.Fcmp (A.CLt, fmt, a, b), true)
+      | Op.Le -> (A.Fcmp (A.CLe, fmt, a, b), true)
+      | Op.Gt -> (A.Fcmp (A.CLt, fmt, b, a), true)
+      | Op.Ge -> (A.Fcmp (A.CLe, fmt, b, a), true)
+      | Op.Eq -> (A.Fcmp (A.CEq, fmt, a, b), true)
+      | Op.Ne -> (A.Fcmp (A.CEq, fmt, a, b), false)
+    in
+    e g cmp;
+    emit_branch_word g (A.encode (if on_true then A.Bc1t 0 else A.Bc1f 0)) lab
+  end
+  else begin
+    let a = rnum rs1 and b = rnum rs2 in
+    let u = unsigned_cmp t in
+    let slt x y = if u then A.W.sltu scratch x y else A.W.slt scratch x y in
+    match c with
+    | Op.Eq -> emit_branch_word g (A.W.beq a b 0) lab
+    | Op.Ne -> emit_branch_word g (A.W.bne a b 0) lab
+    | Op.Lt ->
+      ew g (slt a b);
+      emit_branch_word g (A.W.bne scratch 0 0) lab
+    | Op.Ge ->
+      ew g (slt a b);
+      emit_branch_word g (A.W.beq scratch 0 0) lab
+    | Op.Gt ->
+      ew g (slt b a);
+      emit_branch_word g (A.W.bne scratch 0 0) lab
+    | Op.Le ->
+      ew g (slt b a);
+      emit_branch_word g (A.W.beq scratch 0 0) lab
+  end
+
+let branch_imm g (c : Op.cond) (t : Vtype.t) rs1 imm lab =
+  if Vtype.is_float t then
+    Verror.fail (Verror.Bad_type "float immediate branch")
+  else
+    let a = rnum rs1 in
+    let u = unsigned_cmp t in
+    match c with
+    | Op.Eq when imm = 0 -> emit_branch_word g (A.W.beq a 0 0) lab
+    | Op.Ne when imm = 0 -> emit_branch_word g (A.W.bne a 0 0) lab
+    | Op.Lt when (not u) && imm = 0 -> emit_branch_word g (A.encode (A.Bltz (a, 0))) lab
+    | Op.Ge when (not u) && imm = 0 -> emit_branch_word g (A.encode (A.Bgez (a, 0))) lab
+    | Op.Gt when (not u) && imm = 0 -> emit_branch_word g (A.encode (A.Bgtz (a, 0))) lab
+    | Op.Le when (not u) && imm = 0 -> emit_branch_word g (A.encode (A.Blez (a, 0))) lab
+    | Op.Lt when fits16s imm ->
+      ew g (if u then A.W.sltiu scratch a imm else A.W.slti scratch a imm);
+      emit_branch_word g (A.W.bne scratch 0 0) lab
+    | Op.Ge when fits16s imm ->
+      ew g (if u then A.W.sltiu scratch a imm else A.W.slti scratch a imm);
+      emit_branch_word g (A.W.beq scratch 0 0) lab
+    | Op.Eq | Op.Ne | Op.Lt | Op.Le | Op.Gt | Op.Ge ->
+      (* general case: materialize the immediate in $at and use $v1 for
+         the comparison result where one is needed *)
+      load_const g scratch2 imm;
+      let b = scratch2 in
+      let slt x y = if u then A.W.sltu scratch x y else A.W.slt scratch x y in
+      (match c with
+      | Op.Eq -> emit_branch_word g (A.W.beq a b 0) lab
+      | Op.Ne -> emit_branch_word g (A.W.bne a b 0) lab
+      | Op.Lt ->
+        ew g (slt a b);
+        emit_branch_word g (A.W.bne scratch 0 0) lab
+      | Op.Ge ->
+        ew g (slt a b);
+        emit_branch_word g (A.W.beq scratch 0 0) lab
+      | Op.Gt ->
+        ew g (slt b a);
+        emit_branch_word g (A.W.bne scratch 0 0) lab
+      | Op.Le ->
+        ew g (slt b a);
+        emit_branch_word g (A.W.beq scratch 0 0) lab)
+
+(* ------------------------------------------------------------------ *)
+(* Conversions                                                         *)
+
+let cvt g ~(from : Vtype.t) ~(to_ : Vtype.t) rd rs =
+  if (not (Vtype.is_float from)) && not (Vtype.is_float to_) then
+    (* all word-class types share a representation on a 32-bit machine *)
+    e g (A.Or (rnum rd, rnum rs, 0))
+  else
+    match (from, to_) with
+    | (Vtype.I | Vtype.L), Vtype.F ->
+      e g (A.Mtc1 (rnum rs, fscratch));
+      e g (A.Cvt (A.FS, A.FW, rnum rd, fscratch))
+    | (Vtype.I | Vtype.L), Vtype.D ->
+      e g (A.Mtc1 (rnum rs, fscratch));
+      e g (A.Cvt (A.FD, A.FW, rnum rd, fscratch))
+    | (Vtype.U | Vtype.UL), Vtype.D ->
+      (* unsigned convert: signed convert then add 2^32 if the sign bit
+         was set *)
+      e g (A.Mtc1 (rnum rs, fscratch));
+      e g (A.Cvt (A.FD, A.FW, rnum rd, fscratch));
+      let skip = Gen.genlabel g in
+      let site = Codebuf.length g.Gen.buf in
+      e g (A.Bgez (rnum rs, 0));
+      Gen.add_reloc g ~site ~lab:skip ~kind:k_branch;
+      e g A.Nop;
+      setf g Vtype.D (Reg.F fscratch) 4294967296.0;
+      e g (A.Fadd (A.FD, rnum rd, rnum rd, fscratch));
+      Gen.bind_label g skip
+    | Vtype.F, (Vtype.I | Vtype.L) ->
+      e g (A.Truncw (A.FS, fscratch, rnum rs));
+      e g (A.Mfc1 (rnum rd, fscratch))
+    | Vtype.D, (Vtype.I | Vtype.L) ->
+      e g (A.Truncw (A.FD, fscratch, rnum rs));
+      e g (A.Mfc1 (rnum rd, fscratch))
+    | Vtype.F, Vtype.D -> e g (A.Cvt (A.FD, A.FS, rnum rd, rnum rs))
+    | Vtype.D, Vtype.F -> e g (A.Cvt (A.FS, A.FD, rnum rd, rnum rs))
+    | _ ->
+      Verror.fail
+        (Verror.Bad_type
+           (Printf.sprintf "cv%s2%s" (Vtype.to_string from) (Vtype.to_string to_)))
+
+(* ------------------------------------------------------------------ *)
+(* Memory                                                              *)
+
+let mem_addr g base (off : Gen.offset) : int * int =
+  (* returns (base register, 16-bit offset), synthesizing into $at *)
+  match off with
+  | Gen.Oimm i when fits16s i -> (rnum base, i)
+  | Gen.Oimm i ->
+    load_const g scratch i;
+    ew g (A.W.addu scratch scratch (rnum base));
+    (scratch, 0)
+  | Gen.Oreg r ->
+    ew g (A.W.addu scratch (rnum base) (rnum r));
+    (scratch, 0)
+
+let load g (t : Vtype.t) rd base off =
+  let b, o = mem_addr g base off in
+  match t with
+  | Vtype.C -> ew g (A.W.lb (rnum rd) b o)
+  | Vtype.UC -> ew g (A.W.lbu (rnum rd) b o)
+  | Vtype.S -> ew g (A.W.lh (rnum rd) b o)
+  | Vtype.US -> ew g (A.W.lhu (rnum rd) b o)
+  | Vtype.I | Vtype.U | Vtype.L | Vtype.UL | Vtype.P -> ew g (A.W.lw (rnum rd) b o)
+  | Vtype.F -> e g (A.Lwc1 (rnum rd, b, o))
+  | Vtype.D -> e g (A.Ldc1 (rnum rd, b, o))
+  | Vtype.V -> Verror.fail (Verror.Bad_type "ld.v")
+
+let store g (t : Vtype.t) rv base off =
+  let b, o = mem_addr g base off in
+  match t with
+  | Vtype.C | Vtype.UC -> ew g (A.W.sb (rnum rv) b o)
+  | Vtype.S | Vtype.US -> ew g (A.W.sh (rnum rv) b o)
+  | Vtype.I | Vtype.U | Vtype.L | Vtype.UL | Vtype.P -> ew g (A.W.sw (rnum rv) b o)
+  | Vtype.F -> e g (A.Swc1 (rnum rv, b, o))
+  | Vtype.D -> e g (A.Sdc1 (rnum rv, b, o))
+  | Vtype.V -> Verror.fail (Verror.Bad_type "st.v")
+
+(* ------------------------------------------------------------------ *)
+(* Control                                                             *)
+
+let jump g (t : Gen.jtarget) =
+  (match t with
+  | Gen.Jlabel lab ->
+    let site = Codebuf.length g.Gen.buf in
+    e g (A.J 0);
+    Gen.add_reloc g ~site ~lab ~kind:k_jump
+  | Gen.Jaddr a -> e g (A.J (a lsr 2))
+  | Gen.Jreg r -> e g (A.Jr (rnum r)));
+  e g A.Nop
+
+let jal g (t : Gen.jtarget) =
+  (match t with
+  | Gen.Jlabel lab ->
+    let site = Codebuf.length g.Gen.buf in
+    e g (A.Jal 0);
+    Gen.add_reloc g ~site ~lab ~kind:k_call
+  | Gen.Jaddr a -> e g (A.Jal (a lsr 2))
+  | Gen.Jreg r -> e g (A.Jalr (31, rnum r)));
+  e g A.Nop
+
+let nop g = e g A.Nop
+
+(* ------------------------------------------------------------------ *)
+(* Calling convention                                                  *)
+
+(* Argument slot assignment shared with Mips_sim.place_args. *)
+type arg_loc = In_ireg of int | In_freg of int | On_stack of int (* slot *)
+
+let assign_slots (tys : Vtype.t array) : (Vtype.t * arg_loc) array =
+  let slot = ref 0 and fargs = ref 0 in
+  Array.map
+    (fun t ->
+      match t with
+      | Vtype.F ->
+        let s = !slot in
+        let loc = if !fargs < 2 && s < 4 then In_freg (12 + (2 * !fargs)) else On_stack s in
+        incr fargs;
+        incr slot;
+        (t, loc)
+      | Vtype.D ->
+        if !slot land 1 = 1 then incr slot;
+        let s = !slot in
+        let loc = if !fargs < 2 && s < 4 then In_freg (12 + (2 * !fargs)) else On_stack s in
+        incr fargs;
+        slot := s + 2;
+        (t, loc)
+      | _ ->
+        let s = !slot in
+        let loc = if s < 4 then In_ireg (4 + s) else On_stack s in
+        incr slot;
+        (t, loc))
+    tys
+
+let lambda g (tys : Vtype.t array) : Reg.t array =
+  g.Gen.prologue_at <- Codebuf.reserve g.Gen.buf ~n:reserve_words ~fill:(A.encode A.Nop);
+  g.Gen.prologue_words <- reserve_words;
+  g.Gen.epilogue_lab <- Gen.genlabel g;
+  let locs = assign_slots tys in
+  Array.map
+    (fun (t, loc) ->
+      match loc with
+      | In_ireg n ->
+        let r = Reg.R n in
+        Gen.mark_in_use g r;
+        r
+      | In_freg n ->
+        let r = Reg.F n in
+        Gen.mark_in_use g r;
+        r
+      | On_stack s ->
+        let float = Vtype.is_float t in
+        let r =
+          match Gen.getreg g ~cls:`Var ~float with
+          | Some r -> r
+          | None -> (
+            match Gen.getreg g ~cls:`Temp ~float with
+            | Some r -> r
+            | None -> Verror.fail (Verror.Registers_exhausted "incoming arguments"))
+        in
+        Gen.note_write g r;
+        g.Gen.arg_loads <- (s, r, t) :: g.Gen.arg_loads;
+        r)
+    locs
+
+let frame_size g =
+  if
+    g.Gen.made_call || g.Gen.locals_bytes > 0 || g.Gen.used_callee <> 0
+    || g.Gen.used_fcallee <> 0
+  then locals_base + ((g.Gen.locals_bytes + 7) land lnot 7)
+  else 0
+
+let ret g (t : Vtype.t) (r : Reg.t option) =
+  (* The return-value move rides in the jump's delay slot, exactly as in
+     the paper's Figure 1 output (j ra ; move v0, a0). *)
+  let site = Codebuf.length g.Gen.buf in
+  e g (A.J 0);
+  Gen.add_reloc g ~site ~lab:g.Gen.epilogue_lab ~kind:k_retj;
+  match (t, r) with
+  | Vtype.V, _ | _, None -> e g A.Nop
+  | (Vtype.F as t), Some r | (Vtype.D as t), Some r ->
+    if rnum r <> 0 then unary g Op.Mov t (Reg.F 0) r else e g A.Nop
+  | t, Some r -> if rnum r <> 2 then unary g Op.Mov t (Reg.R 2) r else e g A.Nop
+
+(* Save-slot assignment: slot 0 (save_base) is $ra; integer registers
+   follow, then doubles (shared layout logic in {!Gen.save_layout}). *)
+let save_layout g =
+  Gen.save_layout g ~first_off:(save_base + 4) ~int_bytes:4 ~limit:locals_base
+
+let push_arg g (t : Vtype.t) (r : Reg.t) =
+  g.Gen.call_args <- (t, r) :: g.Gen.call_args
+
+let do_call g (target : Gen.jtarget) =
+  let args = Array.of_list (List.rev g.Gen.call_args) in
+  g.Gen.call_args <- [];
+  let tys = Array.map fst args in
+  let locs = assign_slots tys in
+  let nslots =
+    Array.fold_left
+      (fun acc (_, loc) -> match loc with On_stack s -> max acc (s + 2) | _ -> acc)
+      0 locs
+  in
+  if nslots > max_arg_slots then
+    Verror.fail (Verror.Unsupported "more than 12 outgoing argument slots");
+  g.Gen.max_call_args <- max g.Gen.max_call_args nslots;
+  (* stack args first, then register moves *)
+  Array.iteri
+    (fun i (t, loc) ->
+      let _, src = args.(i) in
+      match loc with
+      | On_stack s -> store g t src (Reg.R 29) (Gen.Oimm (outarg_base + (4 * s)))
+      | In_ireg _ | In_freg _ -> ())
+    locs;
+  Array.iteri
+    (fun i (t, loc) ->
+      let _, src = args.(i) in
+      match loc with
+      | In_ireg n -> if rnum src <> n then unary g Op.Mov t (Reg.R n) src
+      | In_freg n -> if rnum src <> n then unary g Op.Mov t (Reg.F n) src
+      | On_stack _ -> ())
+    locs;
+  jal g target
+
+let retval g (t : Vtype.t) (r : Reg.t) =
+  match t with
+  | Vtype.V -> ()
+  | Vtype.F | Vtype.D -> if rnum r <> 0 then unary g Op.Mov t r (Reg.F 0)
+  | _ -> if rnum r <> 2 then unary g Op.Mov t r (Reg.R 2)
+
+(* ------------------------------------------------------------------ *)
+(* Function finalization (section 5.2 backpatching)                    *)
+
+let finish g =
+  let frame = frame_size g in
+  let saves = save_layout g in
+  (* epilogue *)
+  Gen.bind_label g g.Gen.epilogue_lab;
+  if g.Gen.made_call then e g (A.Lw (31, 29, save_base));
+  List.iter
+    (function
+      | `Int (n, off) -> e g (A.Lw (n, 29, off))
+      | `Fp (n, off) -> e g (A.Ldc1 (n, 29, off)))
+    saves;
+  if frame <> 0 then e g (A.Addiu (29, 29, frame));
+  e g (A.Jr 31);
+  e g A.Nop;
+  (* floating-point immediate pool *)
+  Gen.place_fimms g ~big_endian:false ~patch:(fun ~site ~addr ->
+      let hi, lo = hi_lo addr in
+      Codebuf.set g.Gen.buf site (A.encode (A.Lui (scratch, hi)));
+      let old = Codebuf.get g.Gen.buf (site + 1) in
+      Codebuf.set g.Gen.buf (site + 1) ((old land 0xFFFF0000) lor (lo land 0xFFFF)));
+  (* prologue: written into the tail of the reserved area *)
+  let prologue = ref [] in
+  let add i = prologue := i :: !prologue in
+  if frame <> 0 then add (A.Addiu (29, 29, -frame));
+  if g.Gen.made_call then add (A.Sw (31, 29, save_base));
+  List.iter
+    (function
+      | `Int (n, off) -> add (A.Sw (n, 29, off))
+      | `Fp (n, off) -> add (A.Sdc1 (n, 29, off)))
+    saves;
+  List.iter
+    (fun (s, r, t) ->
+      let off = frame + outarg_base + (4 * s) in
+      match t with
+      | Vtype.F -> add (A.Lwc1 (rnum r, 29, off))
+      | Vtype.D -> add (A.Ldc1 (rnum r, 29, off))
+      | _ -> add (A.Lw (rnum r, 29, off)))
+    (List.rev g.Gen.arg_loads);
+  let pro = List.rev !prologue in
+  let k = List.length pro in
+  if k > reserve_words then Verror.fail (Verror.Unsupported "prologue overflow");
+  let start = g.Gen.prologue_at + g.Gen.prologue_words - k in
+  List.iteri (fun i insn -> Codebuf.set g.Gen.buf (start + i) (A.encode insn)) pro;
+  g.Gen.entry_index <- start;
+  (* relocations *)
+  let trivial = frame = 0 in
+  Gen.resolve_relocs g ~apply:(fun ~kind ~site ~dest ->
+      if kind = k_branch then begin
+        let off = dest - (site + 1) in
+        if off < -32768 || off > 32767 then
+          Verror.fail (Verror.Range "branch displacement");
+        let old = Codebuf.get g.Gen.buf site in
+        Codebuf.set g.Gen.buf site ((old land 0xFFFF0000) lor (off land 0xFFFF))
+      end
+      else begin
+        let addr = g.Gen.base + (4 * dest) in
+        if kind = k_jump then Codebuf.set g.Gen.buf site (A.encode (A.J (addr lsr 2)))
+        else if kind = k_call then Codebuf.set g.Gen.buf site (A.encode (A.Jal (addr lsr 2)))
+        else if kind = k_retj then begin
+          (* the paper's epilogue-jump elimination: a frameless function
+             returns directly *)
+          if trivial then Codebuf.set g.Gen.buf site (A.encode (A.Jr 31))
+          else Codebuf.set g.Gen.buf site (A.encode (A.J (addr lsr 2)))
+        end
+        else Verror.failf "unknown reloc kind %d" kind
+      end)
+
+let apply_reloc _g ~kind:_ ~site:_ ~dest:_ =
+  (* resolution happens inside [finish] where frame context is known *)
+  ()
+
+let disasm ~word ~addr = A.disasm ~addr word
+
+(* Extra machine instructions exported to the extension spec language
+   (section 5.4): the paper's running example is MIPS fsqrt. *)
+let extra_insns =
+  [
+    ("fsqrts", fun g (rs : Reg.t array) -> e g (A.Fsqrt (A.FS, rnum rs.(0), rnum rs.(1))));
+    ("fsqrtd", fun g rs -> e g (A.Fsqrt (A.FD, rnum rs.(0), rnum rs.(1))));
+    ("fabss", fun g rs -> e g (A.Fabs (A.FS, rnum rs.(0), rnum rs.(1))));
+    ("fabsd", fun g rs -> e g (A.Fabs (A.FD, rnum rs.(0), rnum rs.(1))));
+    ("mfhi", fun g rs -> e g (A.Mfhi (rnum rs.(0))));
+    ("mflo", fun g rs -> e g (A.Mflo (rnum rs.(0))));
+    ("addu", fun g rs -> ew g (A.W.addu (rnum rs.(0)) (rnum rs.(1)) (rnum rs.(2))));
+    ("subu", fun g rs -> ew g (A.W.subu (rnum rs.(0)) (rnum rs.(1)) (rnum rs.(2))));
+  ]
+
+let extra_imm_insns =
+  [
+    ("addiu", fun g (rs : Reg.t array) imm -> e g (A.Addiu (rnum rs.(0), rnum rs.(1), imm)));
+    ("ori", fun g rs imm -> e g (A.Ori (rnum rs.(0), rnum rs.(1), imm)));
+    ("sll", fun g rs imm -> e g (A.Sll (rnum rs.(0), rnum rs.(1), imm land 31)));
+  ]

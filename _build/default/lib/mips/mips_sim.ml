@@ -1,0 +1,342 @@
+(* MIPS-I simulator.
+
+   Executes the binary code emitted by the VCODE MIPS port.  This is the
+   execution substrate that replaces the paper's DECstation hardware: a
+   little-endian R2000/R3000-style core with one branch delay slot, one
+   load delay cycle, HI/LO multiply/divide results, 32 single-precision
+   FP registers paired for doubles, and direct-mapped I/D caches with
+   configurable miss penalties (see {!Vmachine.Mconfig}).
+
+   Register values are OCaml ints holding sign-extended 32-bit values;
+   every write goes through [sext32] so the invariant is maintained.
+   Cycle accounting: 1 cycle per issued instruction, plus cache miss
+   penalties, plus multi-cycle costs for mult/div and FP ops (rough R3000
+   latencies). *)
+
+open Vmachine
+
+let halt_addr = 0x10000000 (* outside simulated memory: return-to-host *)
+
+exception Machine_error of string
+
+type t = {
+  mem : Mem.t;
+  icache : Cache.t;
+  dcache : Cache.t;
+  cfg : Mconfig.t;
+  regs : int array;   (* 32, sign-extended 32-bit *)
+  fregs : int array;  (* 32, raw 32-bit patterns; doubles use even pairs *)
+  mutable hi : int;
+  mutable lo : int;
+  mutable fcc : bool;
+  mutable pc : int;
+  mutable npc : int;
+  mutable cycles : int;
+  mutable insns : int;
+  mutable stack_top : int;
+}
+
+let create (cfg : Mconfig.t) =
+  let mem = Mem.create ~big_endian:false ~size:cfg.mem_bytes () in
+  {
+    mem;
+    icache = Cache.create ~size_bytes:cfg.icache_bytes ~line_bytes:cfg.line_bytes
+               ~miss_penalty:cfg.imiss_penalty;
+    dcache = Cache.create ~size_bytes:cfg.dcache_bytes ~line_bytes:cfg.line_bytes
+               ~miss_penalty:cfg.dmiss_penalty;
+    cfg;
+    regs = Array.make 32 0;
+    fregs = Array.make 32 0;
+    hi = 0;
+    lo = 0;
+    fcc = false;
+    pc = 0;
+    npc = 4;
+    cycles = 0;
+    insns = 0;
+    stack_top = cfg.mem_bytes - 256;
+  }
+
+let sext32 v =
+  let v = v land 0xFFFFFFFF in
+  if v land 0x80000000 <> 0 then v - 0x100000000 else v
+
+let u32 v = v land 0xFFFFFFFF
+
+let set_reg m r v = if r <> 0 then m.regs.(r) <- sext32 v
+
+(* Doubles live in even/odd pairs, low word in the even register
+   (little-endian pairing). *)
+let get_double m f =
+  let lo = m.fregs.(f) land 0xFFFFFFFF and hi = m.fregs.(f + 1) land 0xFFFFFFFF in
+  Int64.float_of_bits
+    (Int64.logor (Int64.of_int lo) (Int64.shift_left (Int64.of_int hi) 32))
+
+let set_double m f v =
+  let bits = Int64.bits_of_float v in
+  m.fregs.(f) <- Int64.to_int (Int64.logand bits 0xFFFFFFFFL);
+  m.fregs.(f + 1) <- Int64.to_int (Int64.logand (Int64.shift_right_logical bits 32) 0xFFFFFFFFL)
+
+let get_single m f = Int32.float_of_bits (Int32.of_int m.fregs.(f))
+let set_single m f v = m.fregs.(f) <- Int32.to_int (Int32.bits_of_float v) land 0xFFFFFFFF
+
+let get_fmt m fmt f =
+  match fmt with
+  | Mips_asm.FS -> get_single m f
+  | Mips_asm.FD -> get_double m f
+  | Mips_asm.FW -> float_of_int (sext32 m.fregs.(f))
+
+let set_fmt m fmt f v =
+  match fmt with
+  | Mips_asm.FS -> set_single m f v
+  | Mips_asm.FD -> set_double m f v
+  | Mips_asm.FW -> m.fregs.(f) <- u32 (int_of_float v)
+
+let daccess m addr = m.cycles <- m.cycles + Cache.access m.dcache addr
+let waccess m addr = m.cycles <- m.cycles + Cache.write_access m.dcache addr
+
+(* Execute one instruction.  Returns unit; updates pc/npc. *)
+let step m =
+  let pc = m.pc in
+  m.cycles <- m.cycles + 1 + Cache.access m.icache pc;
+  m.insns <- m.insns + 1;
+  let w = Mem.read_u32 m.mem pc in
+  let insn = try Mips_asm.decode w with Mips_asm.Bad_insn _ ->
+    raise (Machine_error (Printf.sprintf "illegal instruction 0x%08x at 0x%x" w pc))
+  in
+  let r n = m.regs.(n) in
+  let next = m.npc in
+  let mutable_target = ref (m.npc + 4) in
+  let branch off taken = if taken then mutable_target := pc + 4 + (4 * off) in
+  (match insn with
+  | Nop -> ()
+  | Sll (rd, rt, sh) -> set_reg m rd (r rt lsl sh)
+  | Srl (rd, rt, sh) -> set_reg m rd (u32 (r rt) lsr sh)
+  | Sra (rd, rt, sh) -> set_reg m rd (r rt asr sh)
+  | Sllv (rd, rt, rs) -> set_reg m rd (r rt lsl (r rs land 31))
+  | Srlv (rd, rt, rs) -> set_reg m rd (u32 (r rt) lsr (r rs land 31))
+  | Srav (rd, rt, rs) -> set_reg m rd (r rt asr (r rs land 31))
+  | Jr rs -> mutable_target := u32 (r rs)
+  | Jalr (rd, rs) ->
+    set_reg m rd (pc + 8);
+    mutable_target := u32 (r rs)
+  | Mfhi rd -> set_reg m rd m.hi
+  | Mflo rd -> set_reg m rd m.lo
+  | Mult (rs, rt) ->
+    m.cycles <- m.cycles + 11;
+    let p = Int64.mul (Int64.of_int (r rs)) (Int64.of_int (r rt)) in
+    m.lo <- sext32 (Int64.to_int (Int64.logand p 0xFFFFFFFFL));
+    m.hi <- sext32 (Int64.to_int (Int64.logand (Int64.shift_right_logical p 32) 0xFFFFFFFFL))
+  | Multu (rs, rt) ->
+    m.cycles <- m.cycles + 11;
+    let p = Int64.mul (Int64.of_int (u32 (r rs))) (Int64.of_int (u32 (r rt))) in
+    m.lo <- sext32 (Int64.to_int (Int64.logand p 0xFFFFFFFFL));
+    m.hi <- sext32 (Int64.to_int (Int64.logand (Int64.shift_right_logical p 32) 0xFFFFFFFFL))
+  | Div (rs, rt) ->
+    m.cycles <- m.cycles + 34;
+    let a = r rs and b = r rt in
+    if b = 0 then begin m.lo <- 0; m.hi <- 0 end
+    else begin
+      (* C-style truncating division *)
+      let q = if (a < 0) <> (b < 0) then -(abs a / abs b) else abs a / abs b in
+      let rm = a - (q * b) in
+      m.lo <- sext32 q;
+      m.hi <- sext32 rm
+    end
+  | Divu (rs, rt) ->
+    m.cycles <- m.cycles + 34;
+    let a = u32 (r rs) and b = u32 (r rt) in
+    if b = 0 then begin m.lo <- 0; m.hi <- 0 end
+    else begin
+      m.lo <- sext32 (a / b);
+      m.hi <- sext32 (a mod b)
+    end
+  | Addu (rd, rs, rt) -> set_reg m rd (r rs + r rt)
+  | Subu (rd, rs, rt) -> set_reg m rd (r rs - r rt)
+  | And (rd, rs, rt) -> set_reg m rd (r rs land r rt)
+  | Or (rd, rs, rt) -> set_reg m rd (r rs lor r rt)
+  | Xor (rd, rs, rt) -> set_reg m rd (r rs lxor r rt)
+  | Nor (rd, rs, rt) -> set_reg m rd (lnot (r rs lor r rt))
+  | Slt (rd, rs, rt) -> set_reg m rd (if r rs < r rt then 1 else 0)
+  | Sltu (rd, rs, rt) -> set_reg m rd (if u32 (r rs) < u32 (r rt) then 1 else 0)
+  | Addiu (rt, rs, i) -> set_reg m rt (r rs + i)
+  | Slti (rt, rs, i) -> set_reg m rt (if r rs < i then 1 else 0)
+  | Sltiu (rt, rs, i) -> set_reg m rt (if u32 (r rs) < u32 (sext32 i) then 1 else 0)
+  | Andi (rt, rs, i) -> set_reg m rt (r rs land i)
+  | Ori (rt, rs, i) -> set_reg m rt (r rs lor i)
+  | Xori (rt, rs, i) -> set_reg m rt (r rs lxor i)
+  | Lui (rt, i) -> set_reg m rt (i lsl 16)
+  | J t -> mutable_target := (u32 (pc + 4) land 0xF0000000) lor (t * 4)
+  | Jal t ->
+    set_reg m 31 (pc + 8);
+    mutable_target := (u32 (pc + 4) land 0xF0000000) lor (t * 4)
+  | Beq (rs, rt, off) -> branch off (r rs = r rt)
+  | Bne (rs, rt, off) -> branch off (r rs <> r rt)
+  | Blez (rs, off) -> branch off (r rs <= 0)
+  | Bgtz (rs, off) -> branch off (r rs > 0)
+  | Bltz (rs, off) -> branch off (r rs < 0)
+  | Bgez (rs, off) -> branch off (r rs >= 0)
+  | Lb (rt, b, o) ->
+    let a = u32 (r b) + o in
+    daccess m a;
+    let v = Mem.read_u8 m.mem a in
+    set_reg m rt (if v land 0x80 <> 0 then v - 0x100 else v)
+  | Lbu (rt, b, o) ->
+    let a = u32 (r b) + o in
+    daccess m a;
+    set_reg m rt (Mem.read_u8 m.mem a)
+  | Lh (rt, b, o) ->
+    let a = u32 (r b) + o in
+    daccess m a;
+    let v = Mem.read_u16 m.mem a in
+    set_reg m rt (if v land 0x8000 <> 0 then v - 0x10000 else v)
+  | Lhu (rt, b, o) ->
+    let a = u32 (r b) + o in
+    daccess m a;
+    set_reg m rt (Mem.read_u16 m.mem a)
+  | Lw (rt, b, o) ->
+    let a = u32 (r b) + o in
+    daccess m a;
+    set_reg m rt (Mem.read_u32 m.mem a)
+  | Sb (rt, b, o) ->
+    let a = u32 (r b) + o in
+    waccess m a;
+    Mem.write_u8 m.mem a (r rt)
+  | Sh (rt, b, o) ->
+    let a = u32 (r b) + o in
+    waccess m a;
+    Mem.write_u16 m.mem a (r rt)
+  | Sw (rt, b, o) ->
+    let a = u32 (r b) + o in
+    waccess m a;
+    Mem.write_u32 m.mem a (u32 (r rt))
+  | Lwc1 (ft, b, o) ->
+    let a = u32 (r b) + o in
+    daccess m a;
+    m.fregs.(ft) <- Mem.read_u32 m.mem a
+  | Swc1 (ft, b, o) ->
+    let a = u32 (r b) + o in
+    waccess m a;
+    Mem.write_u32 m.mem a m.fregs.(ft)
+  | Ldc1 (ft, b, o) ->
+    let a = u32 (r b) + o in
+    daccess m a;
+    m.fregs.(ft) <- Mem.read_u32 m.mem a;
+    m.fregs.(ft + 1) <- Mem.read_u32 m.mem (a + 4)
+  | Sdc1 (ft, b, o) ->
+    let a = u32 (r b) + o in
+    waccess m a;
+    Mem.write_u32 m.mem a m.fregs.(ft);
+    Mem.write_u32 m.mem (a + 4) m.fregs.(ft + 1)
+  | Mtc1 (rt, fs) -> m.fregs.(fs) <- u32 (r rt)
+  | Mfc1 (rt, fs) -> set_reg m rt m.fregs.(fs)
+  | Fadd (fmt, fd, fs, ft) ->
+    m.cycles <- m.cycles + 1;
+    set_fmt m fmt fd (get_fmt m fmt fs +. get_fmt m fmt ft)
+  | Fsub (fmt, fd, fs, ft) ->
+    m.cycles <- m.cycles + 1;
+    set_fmt m fmt fd (get_fmt m fmt fs -. get_fmt m fmt ft)
+  | Fmul (fmt, fd, fs, ft) ->
+    m.cycles <- m.cycles + (match fmt with FS -> 3 | _ -> 4);
+    set_fmt m fmt fd (get_fmt m fmt fs *. get_fmt m fmt ft)
+  | Fdiv (fmt, fd, fs, ft) ->
+    m.cycles <- m.cycles + (match fmt with FS -> 11 | _ -> 18);
+    set_fmt m fmt fd (get_fmt m fmt fs /. get_fmt m fmt ft)
+  | Fsqrt (fmt, fd, fs) ->
+    m.cycles <- m.cycles + (match fmt with FS -> 13 | _ -> 25);
+    set_fmt m fmt fd (sqrt (get_fmt m fmt fs))
+  | Fabs (fmt, fd, fs) -> set_fmt m fmt fd (abs_float (get_fmt m fmt fs))
+  | Fmov (fmt, fd, fs) -> (
+    match fmt with
+    | FS | FW -> m.fregs.(fd) <- m.fregs.(fs)
+    | FD ->
+      m.fregs.(fd) <- m.fregs.(fs);
+      m.fregs.(fd + 1) <- m.fregs.(fs + 1))
+  | Fneg (fmt, fd, fs) -> set_fmt m fmt fd (-.get_fmt m fmt fs)
+  | Truncw (fmt, fd, fs) ->
+    let v = get_fmt m fmt fs in
+    m.fregs.(fd) <- u32 (int_of_float (Float.trunc v))
+  | Cvt (to_, from, fd, fs) ->
+    let v = get_fmt m from fs in
+    set_fmt m to_ fd v
+  | Fcmp (c, fmt, fs, ft) ->
+    let a = get_fmt m fmt fs and b = get_fmt m fmt ft in
+    m.fcc <- (match c with CEq -> a = b | CLt -> a < b | CLe -> a <= b)
+  | Bc1t off -> branch off m.fcc
+  | Bc1f off -> branch off (not m.fcc)
+  | Break code -> raise (Machine_error (Printf.sprintf "break %d at 0x%x" code pc)));
+  m.pc <- next;
+  m.npc <- !mutable_target
+
+(* ------------------------------------------------------------------ *)
+(* Harness                                                             *)
+
+let default_fuel = 200_000_000
+
+(* Run from [m.pc] until control reaches [halt_addr]. *)
+let run ?(fuel = default_fuel) m =
+  let steps = ref 0 in
+  while m.pc <> halt_addr do
+    if !steps >= fuel then raise (Machine_error "out of fuel (infinite loop?)");
+    incr steps;
+    step m
+  done
+
+(* The simplified O32-like argument convention shared with the backend:
+   each argument consumes one slot (doubles two, even-aligned); the first
+   four slots of integer-class args go in $a0..$a3; the first two FP args
+   go in $f12/$f14 (if their slot < 4); everything else is on the stack
+   at [16 + 4*slot] above the entry $sp. *)
+type arg = Int of int | Single of float | Double of float
+
+let place_args m ~sp args =
+  let slot = ref 0 and fargs = ref 0 in
+  List.iter
+    (fun a ->
+      match a with
+      | Int v ->
+        let s = !slot in
+        if s < 4 then set_reg m (4 + s) v
+        else Mem.write_u32 m.mem (sp + 16 + (4 * s)) (u32 v);
+        incr slot
+      | Single v ->
+        let s = !slot in
+        if !fargs < 2 && s < 4 then set_single m (12 + (2 * !fargs)) v
+        else Mem.write_u32 m.mem (sp + 16 + (4 * s)) (Int32.to_int (Int32.bits_of_float v) land 0xFFFFFFFF);
+        incr fargs;
+        incr slot
+      | Double v ->
+        if !slot land 1 = 1 then incr slot;
+        let s = !slot in
+        if !fargs < 2 && s < 4 then set_double m (12 + (2 * !fargs)) v
+        else Mem.write_u64 m.mem (sp + 16 + (4 * s)) (Int64.bits_of_float v);
+        incr fargs;
+        slot := s + 2)
+    args
+
+(* Call the generated function at [entry] with [args]; returns after the
+   function executes its epilogue (jr $ra to the halt address). *)
+let call ?fuel m ~entry args =
+  let sp = m.stack_top land lnot 7 in
+  m.regs.(Mips_asm.sp) <- sp;
+  m.regs.(Mips_asm.ra) <- halt_addr;
+  place_args m ~sp args;
+  m.pc <- entry;
+  m.npc <- entry + 4;
+  run ?fuel m
+
+let ret_int m = m.regs.(Mips_asm.v0)
+let ret_single m = get_single m 0
+let ret_double m = get_double m 0
+
+let reset_stats m =
+  m.cycles <- 0;
+  m.insns <- 0;
+  Cache.reset_stats m.icache;
+  Cache.reset_stats m.dcache
+
+let flush_caches m =
+  Cache.flush m.icache;
+  Cache.flush m.dcache
+
+let flush_dcache m = Cache.flush m.dcache

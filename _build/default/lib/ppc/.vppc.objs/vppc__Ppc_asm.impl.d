@@ -1,0 +1,1 @@
+lib/ppc/ppc_asm.ml: Printf

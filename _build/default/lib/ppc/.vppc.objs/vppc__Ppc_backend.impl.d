@@ -1,0 +1,1 @@
+lib/ppc/ppc_backend.ml: Array Codebuf Gen Int32 Int64 List Machdesc Op Ppc_asm Printf Reg Vcodebase Verror Vtype

@@ -1,0 +1,1 @@
+lib/ppc/ppc_sim.ml: Array Cache Float Int Int32 Int64 List Mconfig Mem Ppc_asm Printf Vmachine

@@ -1,0 +1,334 @@
+(* PowerPC (32-bit, 601-era) assembler: instruction type, bit-accurate
+   encoding, decoder and disassembler.
+
+   This port exists to demonstrate the paper's retargeting claim
+   (section 3.3: "a RISC retarget typically takes one to four days")
+   on a fourth architecture: once the mapping below was written, the
+   automatically generated cross-target regression tests (section 3.3
+   again) validated it without new test code.
+
+   Encodings (PowerPC Architecture, Book I):
+   - D-form:  opcd(6) RT(5) RA(5) D/SI/UI(16)
+   - X-form:  opcd(6) RT(5) RA(5) RB(5) XO(10) Rc
+   - XO-form: opcd 31 with OE bit (we never set OE or Rc)
+   - M-form:  rlwinm: opcd 21 RS RA SH MB ME Rc
+   - I-form:  b: opcd 18 LI(24) AA LK
+   - B-form:  bc: opcd 16 BO BI BD(14) AA LK
+   - A-form:  FP arithmetic under opcd 59/63
+
+   Note the field order quirk: logical D/X-forms write [RS] into the
+   first register field and the *destination* RA second. *)
+
+type t =
+  (* D-form arithmetic *)
+  | Addi of int * int * int   (* rt, ra (0 = literal zero), si16 *)
+  | Addis of int * int * int
+  | Mulli of int * int * int
+  | Cmpi of int * int         (* ra, si16 -> cr0 (signed) *)
+  | Cmpli of int * int        (* ra, ui16 -> cr0 (unsigned) *)
+  (* D-form logical: (rs, ra=dst, ui16) *)
+  | Ori of int * int * int    (* ra(dst), rs, ui16 *)
+  | Oris of int * int * int
+  | Xori of int * int * int
+  | Andi of int * int * int   (* andi. — sets cr0, which we ignore *)
+  (* X/XO-form: (rt/ra(dst), operands) *)
+  | Add of int * int * int    (* rt, ra, rb *)
+  | Subf of int * int * int   (* rt = rb - ra *)
+  | Mullw of int * int * int
+  | Divw of int * int * int
+  | Divwu of int * int * int
+  | Neg of int * int          (* rt, ra *)
+  | And of int * int * int    (* ra(dst), rs, rb *)
+  | Or of int * int * int
+  | Xor of int * int * int
+  | Nor of int * int * int
+  | Slw of int * int * int    (* ra(dst), rs, rb *)
+  | Srw of int * int * int
+  | Sraw of int * int * int
+  | Srawi of int * int * int  (* ra(dst), rs, sh *)
+  | Cntlzw of int * int       (* ra(dst), rs *)
+  | Cmp of int * int          (* ra, rb -> cr0 signed *)
+  | Cmpl of int * int         (* ra, rb -> cr0 unsigned *)
+  | Rlwinm of int * int * int * int * int (* ra(dst), rs, sh, mb, me *)
+  (* memory, D-form *)
+  | Lbz of int * int * int    (* rt, d(ra) *)
+  | Lhz of int * int * int
+  | Lha of int * int * int
+  | Lwz of int * int * int
+  | Stb of int * int * int
+  | Sth of int * int * int
+  | Stw of int * int * int
+  | Lfs of int * int * int    (* frt, d(ra) *)
+  | Lfd of int * int * int
+  | Stfs of int * int * int
+  | Stfd of int * int * int
+  (* branches *)
+  | B of int                  (* 24-bit signed word displacement *)
+  | Bl of int
+  | Bc of int * int * int     (* BO, BI, 14-bit word displacement *)
+  | Blr
+  | Bctr
+  | Bctrl
+  (* special registers *)
+  | Mflr of int
+  | Mtlr of int
+  | Mtctr of int
+  (* FP (A/X-form under 63; single variants under 59) *)
+  | Fadd of int * int * int   (* frt, fra, frb *)
+  | Fsub of int * int * int
+  | Fmul of int * int * int   (* frt, fra, frc! *)
+  | Fdiv of int * int * int
+  | Fadds of int * int * int
+  | Fsubs of int * int * int
+  | Fmuls of int * int * int
+  | Fdivs of int * int * int
+  | Fneg of int * int
+  | Fmr of int * int
+  | Frsp of int * int         (* round to single *)
+  | Fctiwz of int * int       (* convert to integer word, toward zero *)
+  | Fcmpu of int * int        (* fra, frb -> cr0 *)
+
+let reg_name n = if n = 1 then "r1(sp)" else Printf.sprintf "r%d" n
+let freg_name n = Printf.sprintf "f%d" n
+
+exception Bad_insn of int
+
+(* ------------------------------------------------------------------ *)
+(* Encoding                                                            *)
+
+let d_form ~opcd ~rt ~ra ~imm =
+  (opcd lsl 26) lor (rt lsl 21) lor (ra lsl 16) lor (imm land 0xFFFF)
+
+let x_form ~opcd ~rt ~ra ~rb ~xo =
+  (opcd lsl 26) lor (rt lsl 21) lor (ra lsl 16) lor (rb lsl 11) lor (xo lsl 1)
+
+let encode : t -> int = function
+  | Addi (rt, ra, si) -> d_form ~opcd:14 ~rt ~ra ~imm:si
+  | Addis (rt, ra, si) -> d_form ~opcd:15 ~rt ~ra ~imm:si
+  | Mulli (rt, ra, si) -> d_form ~opcd:7 ~rt ~ra ~imm:si
+  | Cmpi (ra, si) -> d_form ~opcd:11 ~rt:0 ~ra ~imm:si
+  | Cmpli (ra, ui) -> d_form ~opcd:10 ~rt:0 ~ra ~imm:ui
+  | Ori (ra, rs, ui) -> d_form ~opcd:24 ~rt:rs ~ra ~imm:ui
+  | Oris (ra, rs, ui) -> d_form ~opcd:25 ~rt:rs ~ra ~imm:ui
+  | Xori (ra, rs, ui) -> d_form ~opcd:26 ~rt:rs ~ra ~imm:ui
+  | Andi (ra, rs, ui) -> d_form ~opcd:28 ~rt:rs ~ra ~imm:ui
+  | Add (rt, ra, rb) -> x_form ~opcd:31 ~rt ~ra ~rb ~xo:266
+  | Subf (rt, ra, rb) -> x_form ~opcd:31 ~rt ~ra ~rb ~xo:40
+  | Mullw (rt, ra, rb) -> x_form ~opcd:31 ~rt ~ra ~rb ~xo:235
+  | Divw (rt, ra, rb) -> x_form ~opcd:31 ~rt ~ra ~rb ~xo:491
+  | Divwu (rt, ra, rb) -> x_form ~opcd:31 ~rt ~ra ~rb ~xo:459
+  | Neg (rt, ra) -> x_form ~opcd:31 ~rt ~ra ~rb:0 ~xo:104
+  | And (ra, rs, rb) -> x_form ~opcd:31 ~rt:rs ~ra ~rb ~xo:28
+  | Or (ra, rs, rb) -> x_form ~opcd:31 ~rt:rs ~ra ~rb ~xo:444
+  | Xor (ra, rs, rb) -> x_form ~opcd:31 ~rt:rs ~ra ~rb ~xo:316
+  | Nor (ra, rs, rb) -> x_form ~opcd:31 ~rt:rs ~ra ~rb ~xo:124
+  | Slw (ra, rs, rb) -> x_form ~opcd:31 ~rt:rs ~ra ~rb ~xo:24
+  | Srw (ra, rs, rb) -> x_form ~opcd:31 ~rt:rs ~ra ~rb ~xo:536
+  | Sraw (ra, rs, rb) -> x_form ~opcd:31 ~rt:rs ~ra ~rb ~xo:792
+  | Srawi (ra, rs, sh) -> x_form ~opcd:31 ~rt:rs ~ra ~rb:sh ~xo:824
+  | Cntlzw (ra, rs) -> x_form ~opcd:31 ~rt:rs ~ra ~rb:0 ~xo:26
+  | Cmp (ra, rb) -> x_form ~opcd:31 ~rt:0 ~ra ~rb ~xo:0
+  | Cmpl (ra, rb) -> x_form ~opcd:31 ~rt:0 ~ra ~rb ~xo:32
+  | Rlwinm (ra, rs, sh, mb, me) ->
+    (21 lsl 26) lor (rs lsl 21) lor (ra lsl 16) lor (sh lsl 11) lor (mb lsl 6) lor (me lsl 1)
+  | Lbz (rt, ra, d) -> d_form ~opcd:34 ~rt ~ra ~imm:d
+  | Lhz (rt, ra, d) -> d_form ~opcd:40 ~rt ~ra ~imm:d
+  | Lha (rt, ra, d) -> d_form ~opcd:42 ~rt ~ra ~imm:d
+  | Lwz (rt, ra, d) -> d_form ~opcd:32 ~rt ~ra ~imm:d
+  | Stb (rt, ra, d) -> d_form ~opcd:38 ~rt ~ra ~imm:d
+  | Sth (rt, ra, d) -> d_form ~opcd:44 ~rt ~ra ~imm:d
+  | Stw (rt, ra, d) -> d_form ~opcd:36 ~rt ~ra ~imm:d
+  | Lfs (frt, ra, d) -> d_form ~opcd:48 ~rt:frt ~ra ~imm:d
+  | Lfd (frt, ra, d) -> d_form ~opcd:50 ~rt:frt ~ra ~imm:d
+  | Stfs (frt, ra, d) -> d_form ~opcd:52 ~rt:frt ~ra ~imm:d
+  | Stfd (frt, ra, d) -> d_form ~opcd:54 ~rt:frt ~ra ~imm:d
+  | B li -> (18 lsl 26) lor ((li land 0xFFFFFF) lsl 2)
+  | Bl li -> (18 lsl 26) lor ((li land 0xFFFFFF) lsl 2) lor 1
+  | Bc (bo, bi, bd) -> (16 lsl 26) lor (bo lsl 21) lor (bi lsl 16) lor ((bd land 0x3FFF) lsl 2)
+  | Blr -> (19 lsl 26) lor (20 lsl 21) lor (16 lsl 1)
+  | Bctr -> (19 lsl 26) lor (20 lsl 21) lor (528 lsl 1)
+  | Bctrl -> (19 lsl 26) lor (20 lsl 21) lor (528 lsl 1) lor 1
+  | Mflr rt -> x_form ~opcd:31 ~rt ~ra:8 ~rb:0 ~xo:339
+  | Mtlr rs -> x_form ~opcd:31 ~rt:rs ~ra:8 ~rb:0 ~xo:467
+  | Mtctr rs -> x_form ~opcd:31 ~rt:rs ~ra:9 ~rb:0 ~xo:467
+  | Fadd (t, a, b) -> (63 lsl 26) lor (t lsl 21) lor (a lsl 16) lor (b lsl 11) lor (21 lsl 1)
+  | Fsub (t, a, b) -> (63 lsl 26) lor (t lsl 21) lor (a lsl 16) lor (b lsl 11) lor (20 lsl 1)
+  | Fmul (t, a, c) -> (63 lsl 26) lor (t lsl 21) lor (a lsl 16) lor (c lsl 6) lor (25 lsl 1)
+  | Fdiv (t, a, b) -> (63 lsl 26) lor (t lsl 21) lor (a lsl 16) lor (b lsl 11) lor (18 lsl 1)
+  | Fadds (t, a, b) -> (59 lsl 26) lor (t lsl 21) lor (a lsl 16) lor (b lsl 11) lor (21 lsl 1)
+  | Fsubs (t, a, b) -> (59 lsl 26) lor (t lsl 21) lor (a lsl 16) lor (b lsl 11) lor (20 lsl 1)
+  | Fmuls (t, a, c) -> (59 lsl 26) lor (t lsl 21) lor (a lsl 16) lor (c lsl 6) lor (25 lsl 1)
+  | Fdivs (t, a, b) -> (59 lsl 26) lor (t lsl 21) lor (a lsl 16) lor (b lsl 11) lor (18 lsl 1)
+  | Fneg (t, b) -> (63 lsl 26) lor (t lsl 21) lor (b lsl 11) lor (40 lsl 1)
+  | Fmr (t, b) -> (63 lsl 26) lor (t lsl 21) lor (b lsl 11) lor (72 lsl 1)
+  | Frsp (t, b) -> (63 lsl 26) lor (t lsl 21) lor (b lsl 11) lor (12 lsl 1)
+  | Fctiwz (t, b) -> (63 lsl 26) lor (t lsl 21) lor (b lsl 11) lor (15 lsl 1)
+  | Fcmpu (a, b) -> (63 lsl 26) lor (a lsl 16) lor (b lsl 11) lor (0 lsl 1)
+
+let nop_word = encode (Ori (0, 0, 0)) (* the canonical PowerPC nop *)
+
+(* ------------------------------------------------------------------ *)
+(* Decoding                                                            *)
+
+let sext16 v = if v land 0x8000 <> 0 then v - 0x10000 else v
+let sext14 v = if v land 0x2000 <> 0 then v - 0x4000 else v
+let sext24 v = if v land 0x800000 <> 0 then v - 0x1000000 else v
+
+let decode (w : int) : t =
+  let opcd = (w lsr 26) land 0x3F in
+  let rt = (w lsr 21) land 31 in
+  let ra = (w lsr 16) land 31 in
+  let rb = (w lsr 11) land 31 in
+  let imm = w land 0xFFFF in
+  let simm = sext16 imm in
+  match opcd with
+  | 14 -> Addi (rt, ra, simm)
+  | 15 -> Addis (rt, ra, simm)
+  | 7 -> Mulli (rt, ra, simm)
+  | 11 -> Cmpi (ra, simm)
+  | 10 -> Cmpli (ra, imm)
+  | 24 -> Ori (ra, rt, imm)
+  | 25 -> Oris (ra, rt, imm)
+  | 26 -> Xori (ra, rt, imm)
+  | 28 -> Andi (ra, rt, imm)
+  | 21 -> Rlwinm (ra, rt, rb, (w lsr 6) land 31, (w lsr 1) land 31)
+  | 34 -> Lbz (rt, ra, simm)
+  | 40 -> Lhz (rt, ra, simm)
+  | 42 -> Lha (rt, ra, simm)
+  | 32 -> Lwz (rt, ra, simm)
+  | 38 -> Stb (rt, ra, simm)
+  | 44 -> Sth (rt, ra, simm)
+  | 36 -> Stw (rt, ra, simm)
+  | 48 -> Lfs (rt, ra, simm)
+  | 50 -> Lfd (rt, ra, simm)
+  | 52 -> Stfs (rt, ra, simm)
+  | 54 -> Stfd (rt, ra, simm)
+  | 18 ->
+    let li = sext24 ((w lsr 2) land 0xFFFFFF) in
+    if w land 1 = 1 then Bl li else B li
+  | 16 -> Bc (rt, ra, sext14 ((w lsr 2) land 0x3FFF))
+  | 19 -> (
+    match (w lsr 1) land 0x3FF with
+    | 16 -> Blr
+    | 528 -> if w land 1 = 1 then Bctrl else Bctr
+    | _ -> raise (Bad_insn w))
+  | 31 -> (
+    match (w lsr 1) land 0x3FF with
+    | 266 -> Add (rt, ra, rb)
+    | 40 -> Subf (rt, ra, rb)
+    | 235 -> Mullw (rt, ra, rb)
+    | 491 -> Divw (rt, ra, rb)
+    | 459 -> Divwu (rt, ra, rb)
+    | 104 -> Neg (rt, ra)
+    | 28 -> And (ra, rt, rb)
+    | 444 -> Or (ra, rt, rb)
+    | 316 -> Xor (ra, rt, rb)
+    | 124 -> Nor (ra, rt, rb)
+    | 24 -> Slw (ra, rt, rb)
+    | 536 -> Srw (ra, rt, rb)
+    | 792 -> Sraw (ra, rt, rb)
+    | 824 -> Srawi (ra, rt, rb)
+    | 26 -> Cntlzw (ra, rt)
+    | 0 -> Cmp (ra, rb)
+    | 32 -> Cmpl (ra, rb)
+    | 339 -> Mflr rt
+    | 467 -> if ra = 8 then Mtlr rt else if ra = 9 then Mtctr rt else raise (Bad_insn w)
+    | _ -> raise (Bad_insn w))
+  | 59 -> (
+    match (w lsr 1) land 31 with
+    | 21 -> Fadds (rt, ra, rb)
+    | 20 -> Fsubs (rt, ra, rb)
+    | 25 -> Fmuls (rt, ra, (w lsr 6) land 31)
+    | 18 -> Fdivs (rt, ra, rb)
+    | _ -> raise (Bad_insn w))
+  | 63 -> (
+    match (w lsr 1) land 0x3FF with
+    | 40 -> Fneg (rt, rb)
+    | 72 -> Fmr (rt, rb)
+    | 12 -> Frsp (rt, rb)
+    | 15 -> Fctiwz (rt, rb)
+    | 0 -> Fcmpu (ra, rb)
+    | _ -> (
+      (* A-form: low 5 bits *)
+      match (w lsr 1) land 31 with
+      | 21 -> Fadd (rt, ra, rb)
+      | 20 -> Fsub (rt, ra, rb)
+      | 25 -> Fmul (rt, ra, (w lsr 6) land 31)
+      | 18 -> Fdiv (rt, ra, rb)
+      | _ -> raise (Bad_insn w)))
+  | _ -> raise (Bad_insn w)
+
+(* ------------------------------------------------------------------ *)
+(* Disassembly                                                         *)
+
+let disasm ?(addr = 0) (w : int) : string =
+  let r = reg_name and f = freg_name in
+  try
+    match decode w with
+    | Ori (0, 0, 0) -> "nop"
+    | Addi (rt, ra, si) ->
+      if ra = 0 then Printf.sprintf "li %s, %d" (r rt) si
+      else Printf.sprintf "addi %s, %s, %d" (r rt) (r ra) si
+    | Addis (rt, ra, si) -> Printf.sprintf "addis %s, %s, %d" (r rt) (r ra) si
+    | Mulli (rt, ra, si) -> Printf.sprintf "mulli %s, %s, %d" (r rt) (r ra) si
+    | Cmpi (ra, si) -> Printf.sprintf "cmpwi %s, %d" (r ra) si
+    | Cmpli (ra, ui) -> Printf.sprintf "cmplwi %s, %d" (r ra) ui
+    | Ori (ra, rs, ui) -> Printf.sprintf "ori %s, %s, 0x%x" (r ra) (r rs) ui
+    | Oris (ra, rs, ui) -> Printf.sprintf "oris %s, %s, 0x%x" (r ra) (r rs) ui
+    | Xori (ra, rs, ui) -> Printf.sprintf "xori %s, %s, 0x%x" (r ra) (r rs) ui
+    | Andi (ra, rs, ui) -> Printf.sprintf "andi. %s, %s, 0x%x" (r ra) (r rs) ui
+    | Add (rt, ra, rb) -> Printf.sprintf "add %s, %s, %s" (r rt) (r ra) (r rb)
+    | Subf (rt, ra, rb) -> Printf.sprintf "subf %s, %s, %s" (r rt) (r ra) (r rb)
+    | Mullw (rt, ra, rb) -> Printf.sprintf "mullw %s, %s, %s" (r rt) (r ra) (r rb)
+    | Divw (rt, ra, rb) -> Printf.sprintf "divw %s, %s, %s" (r rt) (r ra) (r rb)
+    | Divwu (rt, ra, rb) -> Printf.sprintf "divwu %s, %s, %s" (r rt) (r ra) (r rb)
+    | Neg (rt, ra) -> Printf.sprintf "neg %s, %s" (r rt) (r ra)
+    | And (ra, rs, rb) -> Printf.sprintf "and %s, %s, %s" (r ra) (r rs) (r rb)
+    | Or (ra, rs, rb) ->
+      if rs = rb then Printf.sprintf "mr %s, %s" (r ra) (r rs)
+      else Printf.sprintf "or %s, %s, %s" (r ra) (r rs) (r rb)
+    | Xor (ra, rs, rb) -> Printf.sprintf "xor %s, %s, %s" (r ra) (r rs) (r rb)
+    | Nor (ra, rs, rb) -> Printf.sprintf "nor %s, %s, %s" (r ra) (r rs) (r rb)
+    | Slw (ra, rs, rb) -> Printf.sprintf "slw %s, %s, %s" (r ra) (r rs) (r rb)
+    | Srw (ra, rs, rb) -> Printf.sprintf "srw %s, %s, %s" (r ra) (r rs) (r rb)
+    | Sraw (ra, rs, rb) -> Printf.sprintf "sraw %s, %s, %s" (r ra) (r rs) (r rb)
+    | Srawi (ra, rs, sh) -> Printf.sprintf "srawi %s, %s, %d" (r ra) (r rs) sh
+    | Cntlzw (ra, rs) -> Printf.sprintf "cntlzw %s, %s" (r ra) (r rs)
+    | Cmp (ra, rb) -> Printf.sprintf "cmpw %s, %s" (r ra) (r rb)
+    | Cmpl (ra, rb) -> Printf.sprintf "cmplw %s, %s" (r ra) (r rb)
+    | Rlwinm (ra, rs, sh, mb, me) ->
+      Printf.sprintf "rlwinm %s, %s, %d, %d, %d" (r ra) (r rs) sh mb me
+    | Lbz (rt, ra, d) -> Printf.sprintf "lbz %s, %d(%s)" (r rt) d (r ra)
+    | Lhz (rt, ra, d) -> Printf.sprintf "lhz %s, %d(%s)" (r rt) d (r ra)
+    | Lha (rt, ra, d) -> Printf.sprintf "lha %s, %d(%s)" (r rt) d (r ra)
+    | Lwz (rt, ra, d) -> Printf.sprintf "lwz %s, %d(%s)" (r rt) d (r ra)
+    | Stb (rt, ra, d) -> Printf.sprintf "stb %s, %d(%s)" (r rt) d (r ra)
+    | Sth (rt, ra, d) -> Printf.sprintf "sth %s, %d(%s)" (r rt) d (r ra)
+    | Stw (rt, ra, d) -> Printf.sprintf "stw %s, %d(%s)" (r rt) d (r ra)
+    | Lfs (t, ra, d) -> Printf.sprintf "lfs %s, %d(%s)" (f t) d (r ra)
+    | Lfd (t, ra, d) -> Printf.sprintf "lfd %s, %d(%s)" (f t) d (r ra)
+    | Stfs (t, ra, d) -> Printf.sprintf "stfs %s, %d(%s)" (f t) d (r ra)
+    | Stfd (t, ra, d) -> Printf.sprintf "stfd %s, %d(%s)" (f t) d (r ra)
+    | B li -> Printf.sprintf "b 0x%x" (addr + (4 * li))
+    | Bl li -> Printf.sprintf "bl 0x%x" (addr + (4 * li))
+    | Bc (bo, bi, bd) -> Printf.sprintf "bc %d, %d, 0x%x" bo bi (addr + (4 * bd))
+    | Blr -> "blr"
+    | Bctr -> "bctr"
+    | Bctrl -> "bctrl"
+    | Mflr rt -> Printf.sprintf "mflr %s" (r rt)
+    | Mtlr rs -> Printf.sprintf "mtlr %s" (r rs)
+    | Mtctr rs -> Printf.sprintf "mtctr %s" (r rs)
+    | Fadd (t, a, b) -> Printf.sprintf "fadd %s, %s, %s" (f t) (f a) (f b)
+    | Fsub (t, a, b) -> Printf.sprintf "fsub %s, %s, %s" (f t) (f a) (f b)
+    | Fmul (t, a, c) -> Printf.sprintf "fmul %s, %s, %s" (f t) (f a) (f c)
+    | Fdiv (t, a, b) -> Printf.sprintf "fdiv %s, %s, %s" (f t) (f a) (f b)
+    | Fadds (t, a, b) -> Printf.sprintf "fadds %s, %s, %s" (f t) (f a) (f b)
+    | Fsubs (t, a, b) -> Printf.sprintf "fsubs %s, %s, %s" (f t) (f a) (f b)
+    | Fmuls (t, a, c) -> Printf.sprintf "fmuls %s, %s, %s" (f t) (f a) (f c)
+    | Fdivs (t, a, b) -> Printf.sprintf "fdivs %s, %s, %s" (f t) (f a) (f b)
+    | Fneg (t, b) -> Printf.sprintf "fneg %s, %s" (f t) (f b)
+    | Fmr (t, b) -> Printf.sprintf "fmr %s, %s" (f t) (f b)
+    | Frsp (t, b) -> Printf.sprintf "frsp %s, %s" (f t) (f b)
+    | Fctiwz (t, b) -> Printf.sprintf "fctiwz %s, %s" (f t) (f b)
+    | Fcmpu (a, b) -> Printf.sprintf "fcmpu %s, %s" (f a) (f b)
+  with Bad_insn _ -> Printf.sprintf ".word 0x%08x" w

@@ -1,0 +1,600 @@
+(* The VCODE PowerPC (32-bit) port.
+
+   The fourth port, written after the fact to exercise the paper's
+   retargeting story end-to-end: implement {!Vcodebase.Target.S}, let
+   the generated cross-target regression tests shake out the mapping.
+
+   Notable mappings:
+   - immediate shifts are rlwinm forms; variable shifts mask the amount
+     to 31 first (slw/srw interpret six bits, VCODE's semantics use
+     five);
+   - logical-not is the classic cntlzw >> 5;
+   - mod is divw/mullw/subf (no remainder instruction);
+   - int<->float conversions use the PowerPC magic-number technique
+     (0x4330...-based), since there is no direct transfer path;
+   - following the paper ("the register allocator makes unused argument
+     registers available"), r4-r10 are in the temp pool; the
+     argument-shuffle in do_call therefore solves a general parallel
+     move problem rather than assuming conflict-free sources.
+
+   Frame layout (grows down):
+     sp+0  .. sp+7     linkage (back chain, reserved)
+     sp+8  .. sp+47    outgoing stack arguments (10 word slots)
+     sp+48 .. sp+55    int<->float transfer scratch
+     sp+56             saved LR
+     sp+60 .. sp+239   register save area (ints, then doubles)
+     sp+240 ..         locals
+
+   Scratch registers: r12 (primary), r11 (secondary), f13 (float). *)
+
+open Vcodebase
+module A = Ppc_asm
+
+let reserve_words = 48
+let outarg_base = 8
+let xfer = 48
+let save_base = 56
+let locals_base = 240
+let max_stack_slots = 10
+
+let k_branch = 0 (* 14-bit conditional displacement *)
+let k_jump = 1   (* 24-bit unconditional displacement *)
+let k_call = 2   (* 24-bit bl displacement *)
+let k_retj = 3   (* b to epilogue, elided to blr for frameless leaves *)
+
+let sp = 1
+let scratch = 12
+let scratch2 = 11
+let fscratch = 13
+
+let rnum = Reg.idx
+
+let e g i = ignore (Codebuf.emit g.Gen.buf (A.encode i))
+
+let desc : Machdesc.t =
+  let r n = Reg.R n and f n = Reg.F n in
+  {
+    Machdesc.name = "ppc";
+    word_bits = 32;
+    big_endian = true;
+    branch_delay_slots = 0;
+    load_delay = 1;
+    nregs = 32;
+    nfregs = 32;
+    temps = [| r 10; r 9; r 8; r 7; r 6; r 5; r 4 |];
+    vars = [| r 14; r 15; r 16; r 17; r 18; r 19; r 20; r 21; r 22; r 23; r 24; r 25 |];
+    ftemps = [| f 0; f 9; f 10; f 11; f 12 |];
+    fvars = [| f 14; f 15; f 16; f 17; f 18; f 19; f 20; f 21 |];
+    callee_mask =
+      (1 lsl 14) lor (1 lsl 15) lor (1 lsl 16) lor (1 lsl 17) lor (1 lsl 18)
+      lor (1 lsl 19) lor (1 lsl 20) lor (1 lsl 21) lor (1 lsl 22) lor (1 lsl 23)
+      lor (1 lsl 24) lor (1 lsl 25);
+    fcallee_mask =
+      (1 lsl 14) lor (1 lsl 15) lor (1 lsl 16) lor (1 lsl 17) lor (1 lsl 18)
+      lor (1 lsl 19) lor (1 lsl 20) lor (1 lsl 21);
+    arg_regs = [| r 3; r 4; r 5; r 6; r 7; r 8; r 9; r 10 |];
+    farg_regs = [| f 1; f 2; f 3; f 4; f 5; f 6; f 7; f 8 |];
+    ret_reg = r 3;
+    fret_reg = f 1;
+    sp = r 1;
+    locals_base;
+    scratch = r 12;
+    reg_name = (fun reg ->
+      match reg with Reg.R n -> A.reg_name n | Reg.F n -> A.freg_name n);
+  }
+
+let fits16s v = v >= -32768 && v <= 32767
+let fits16u v = v >= 0 && v <= 65535
+let fits32 v = v >= -0x80000000 && v <= 0xFFFFFFFF
+
+let load_const g rd v =
+  if not (fits32 v) then
+    Verror.fail (Verror.Range (Printf.sprintf "PowerPC immediate %d" v));
+  if fits16s v then e g (A.Addi (rd, 0, v))
+  else begin
+    let v32 = v land 0xFFFFFFFF in
+    let hi = (v32 lsr 16) land 0xFFFF and lo = v32 land 0xFFFF in
+    e g (A.Addis (rd, 0, hi));
+    if lo <> 0 then e g (A.Ori (rd, rd, lo))
+  end
+
+(* %hi/%lo split with carry adjustment for signed 16-bit displacements *)
+let hi_lo addr =
+  let lo = addr land 0xFFFF in
+  let lo_s = if lo >= 0x8000 then lo - 0x10000 else lo in
+  let hi = ((addr - lo_s) lsr 16) land 0xFFFF in
+  (hi, lo)
+
+(* ------------------------------------------------------------------ *)
+(* ALU                                                                 *)
+
+let signed_ty (t : Vtype.t) = Vtype.is_signed t
+
+let emit_mod g signed d a b =
+  e g (if signed then A.Divw (scratch, a, b) else A.Divwu (scratch, a, b));
+  e g (A.Mullw (scratch, scratch, b));
+  e g (A.Subf (d, scratch, a))
+
+let arith g (op : Op.binop) (t : Vtype.t) rd rs1 rs2 =
+  if Vtype.is_float t then begin
+    let dbl = t <> Vtype.F in
+    let d = rnum rd and a = rnum rs1 and b = rnum rs2 in
+    match op with
+    | Op.Add -> e g (if dbl then A.Fadd (d, a, b) else A.Fadds (d, a, b))
+    | Op.Sub -> e g (if dbl then A.Fsub (d, a, b) else A.Fsubs (d, a, b))
+    | Op.Mul -> e g (if dbl then A.Fmul (d, a, b) else A.Fmuls (d, a, b))
+    | Op.Div -> e g (if dbl then A.Fdiv (d, a, b) else A.Fdivs (d, a, b))
+    | Op.Mod | Op.And | Op.Or | Op.Xor | Op.Lsh | Op.Rsh ->
+      Verror.fail (Verror.Bad_type "float bit operation")
+  end
+  else
+    let d = rnum rd and a = rnum rs1 and b = rnum rs2 in
+    let masked_shift mk =
+      (* VCODE shifts use five bits of the amount; slw/srw use six *)
+      e g (A.Andi (scratch, b, 31));
+      e g (mk scratch)
+    in
+    match op with
+    | Op.Add -> e g (A.Add (d, a, b))
+    | Op.Sub -> e g (A.Subf (d, b, a))
+    | Op.Mul -> e g (A.Mullw (d, a, b))
+    | Op.Div -> e g (if signed_ty t then A.Divw (d, a, b) else A.Divwu (d, a, b))
+    | Op.Mod -> emit_mod g (signed_ty t) d a b
+    | Op.And -> e g (A.And (d, a, b))
+    | Op.Or -> e g (A.Or (d, a, b))
+    | Op.Xor -> e g (A.Xor (d, a, b))
+    | Op.Lsh -> masked_shift (fun sh -> A.Slw (d, a, sh))
+    | Op.Rsh ->
+      if signed_ty t then masked_shift (fun sh -> A.Sraw (d, a, sh))
+      else masked_shift (fun sh -> A.Srw (d, a, sh))
+
+let arith_imm g (op : Op.binop) (t : Vtype.t) rd rs1 imm =
+  let d = rnum rd and a = rnum rs1 in
+  let via_reg () =
+    load_const g scratch2 imm;
+    arith g op t rd rs1 (Reg.R scratch2)
+  in
+  match op with
+  | Op.Add -> if fits16s imm then e g (A.Addi (d, a, imm)) else via_reg ()
+  | Op.Sub -> if fits16s (-imm) then e g (A.Addi (d, a, -imm)) else via_reg ()
+  | Op.And -> if fits16u imm then e g (A.Andi (d, a, imm)) else via_reg ()
+  | Op.Or -> if fits16u imm then e g (A.Ori (d, a, imm)) else via_reg ()
+  | Op.Xor -> if fits16u imm then e g (A.Xori (d, a, imm)) else via_reg ()
+  | Op.Lsh ->
+    let sh = imm land 31 in
+    if sh = 0 then e g (A.Or (d, a, a)) else e g (A.Rlwinm (d, a, sh, 0, 31 - sh))
+  | Op.Rsh ->
+    let sh = imm land 31 in
+    if signed_ty t then e g (A.Srawi (d, a, sh))
+    else if sh = 0 then e g (A.Or (d, a, a))
+    else e g (A.Rlwinm (d, a, 32 - sh, sh, 31))
+  | Op.Mul -> if fits16s imm then e g (A.Mulli (d, a, imm)) else via_reg ()
+  | Op.Div | Op.Mod -> via_reg ()
+
+let unary g (op : Op.unop) (t : Vtype.t) rd rs =
+  if Vtype.is_float t then begin
+    let d = rnum rd and s = rnum rs in
+    match op with
+    | Op.Mov -> e g (A.Fmr (d, s))
+    | Op.Neg -> e g (A.Fneg (d, s))
+    | Op.Com | Op.Not -> Verror.fail (Verror.Bad_type "float bit operation")
+  end
+  else
+    let d = rnum rd and s = rnum rs in
+    match op with
+    | Op.Com -> e g (A.Nor (d, s, s))
+    | Op.Not ->
+      (* the classic PowerPC sequence: cntlzw; >> 5 *)
+      e g (A.Cntlzw (d, s));
+      e g (A.Rlwinm (d, d, 32 - 5, 5, 31))
+    | Op.Mov -> e g (A.Or (d, s, s))
+    | Op.Neg -> e g (A.Neg (d, s))
+
+let set g (_t : Vtype.t) rd imm64 =
+  if Int64.compare imm64 (-0x80000000L) < 0 || Int64.compare imm64 0xFFFFFFFFL > 0 then
+    Verror.fail (Verror.Range (Int64.to_string imm64));
+  load_const g (rnum rd) (Int64.to_int imm64)
+
+let setf g (t : Vtype.t) rd v =
+  let dbl = match t with Vtype.D -> true | _ -> false in
+  let site = Codebuf.length g.Gen.buf in
+  e g (A.Addis (scratch, 0, 0));
+  e g (if dbl then A.Lfd (rnum rd, scratch, 0) else A.Lfs (rnum rd, scratch, 0));
+  let bits = if dbl then Int64.bits_of_float v else Int64.of_int32 (Int32.bits_of_float v) in
+  g.Gen.fimms <- (site, bits, dbl) :: g.Gen.fimms
+
+(* ------------------------------------------------------------------ *)
+(* Branches                                                            *)
+
+let emit_branch_to g ~bo ~bi lab =
+  let site = Codebuf.length g.Gen.buf in
+  e g (A.Bc (bo, bi, 0));
+  Gen.add_reloc g ~site ~lab ~kind:k_branch
+
+(* BO/BI for each condition after a cmp: bit 0 = lt, 1 = gt, 2 = eq *)
+let cond_bo_bi = function
+  | Op.Lt -> (12, 0)
+  | Op.Gt -> (12, 1)
+  | Op.Eq -> (12, 2)
+  | Op.Ge -> (4, 0)
+  | Op.Le -> (4, 1)
+  | Op.Ne -> (4, 2)
+
+let unsigned_cmp (t : Vtype.t) =
+  match t with Vtype.U | Vtype.UL | Vtype.P | Vtype.UC | Vtype.US -> true | _ -> false
+
+let branch g (c : Op.cond) (t : Vtype.t) rs1 rs2 lab =
+  if Vtype.is_float t then begin
+    e g (A.Fcmpu (rnum rs1, rnum rs2));
+    let bo, bi = cond_bo_bi c in
+    emit_branch_to g ~bo ~bi lab
+  end
+  else begin
+    e g
+      (if unsigned_cmp t then A.Cmpl (rnum rs1, rnum rs2)
+       else A.Cmp (rnum rs1, rnum rs2));
+    let bo, bi = cond_bo_bi c in
+    emit_branch_to g ~bo ~bi lab
+  end
+
+let branch_imm g (c : Op.cond) (t : Vtype.t) rs1 imm lab =
+  if Vtype.is_float t then Verror.fail (Verror.Bad_type "float immediate branch");
+  let u = unsigned_cmp t in
+  if (not u) && fits16s imm then e g (A.Cmpi (rnum rs1, imm))
+  else if u && fits16u imm then e g (A.Cmpli (rnum rs1, imm))
+  else begin
+    load_const g scratch2 imm;
+    e g (if u then A.Cmpl (rnum rs1, scratch2) else A.Cmp (rnum rs1, scratch2))
+  end;
+  let bo, bi = cond_bo_bi c in
+  emit_branch_to g ~bo ~bi lab
+
+(* ------------------------------------------------------------------ *)
+(* Conversions: the PowerPC magic-number technique                     *)
+
+let magic_signed = Int64.float_of_bits 0x4330000080000000L
+let magic_unsigned = Int64.float_of_bits 0x4330000000000000L
+
+let cvt g ~(from : Vtype.t) ~(to_ : Vtype.t) rd rs =
+  if (not (Vtype.is_float from)) && not (Vtype.is_float to_) then
+    e g (A.Or (rnum rd, rnum rs, rnum rs))
+  else
+    match (from, to_) with
+    | (Vtype.I | Vtype.L), (Vtype.F | Vtype.D) ->
+      (* build 0x43300000:(x ^ 0x80000000) in memory, subtract magic *)
+      e g (A.Addis (scratch, 0, 0x4330));
+      e g (A.Stw (scratch, sp, xfer));
+      e g (A.Addis (scratch2, rnum rs, 0x8000)); (* adds 2^31 mod 2^32 = bit flip *)
+      e g (A.Stw (scratch2, sp, xfer + 4));
+      e g (A.Lfd (rnum rd, sp, xfer));
+      setf g Vtype.D (Reg.F fscratch) magic_signed;
+      e g (A.Fsub (rnum rd, rnum rd, fscratch));
+      if to_ = Vtype.F then e g (A.Frsp (rnum rd, rnum rd))
+    | (Vtype.U | Vtype.UL), Vtype.D ->
+      e g (A.Addis (scratch, 0, 0x4330));
+      e g (A.Stw (scratch, sp, xfer));
+      e g (A.Stw (rnum rs, sp, xfer + 4));
+      e g (A.Lfd (rnum rd, sp, xfer));
+      setf g Vtype.D (Reg.F fscratch) magic_unsigned;
+      e g (A.Fsub (rnum rd, rnum rd, fscratch))
+    | (Vtype.F | Vtype.D), (Vtype.I | Vtype.L) ->
+      e g (A.Fctiwz (fscratch, rnum rs));
+      e g (A.Stfd (fscratch, sp, xfer));
+      (* big-endian: the integer word is the low word, at +4 *)
+      e g (A.Lwz (rnum rd, sp, xfer + 4))
+    | Vtype.F, Vtype.D -> e g (A.Fmr (rnum rd, rnum rs))
+    | Vtype.D, Vtype.F -> e g (A.Frsp (rnum rd, rnum rs))
+    | _ ->
+      Verror.fail
+        (Verror.Bad_type
+           (Printf.sprintf "cv%s2%s" (Vtype.to_string from) (Vtype.to_string to_)))
+
+(* ------------------------------------------------------------------ *)
+(* Memory                                                              *)
+
+let mem_addr g base (off : Gen.offset) : int * int =
+  match off with
+  | Gen.Oimm i when fits16s i -> (rnum base, i)
+  | Gen.Oimm i ->
+    load_const g scratch i;
+    e g (A.Add (scratch, scratch, rnum base));
+    (scratch, 0)
+  | Gen.Oreg r ->
+    e g (A.Add (scratch, rnum base, rnum r));
+    (scratch, 0)
+
+let load g (t : Vtype.t) rd base off =
+  let b, o = mem_addr g base off in
+  match t with
+  | Vtype.C ->
+    e g (A.Lbz (rnum rd, b, o));
+    (* sign-extend the byte: rotate it to the top, arithmetic shift *)
+    e g (A.Rlwinm (rnum rd, rnum rd, 24, 0, 31));
+    e g (A.Srawi (rnum rd, rnum rd, 24))
+  | Vtype.UC -> e g (A.Lbz (rnum rd, b, o))
+  | Vtype.S -> e g (A.Lha (rnum rd, b, o))
+  | Vtype.US -> e g (A.Lhz (rnum rd, b, o))
+  | Vtype.I | Vtype.U | Vtype.L | Vtype.UL | Vtype.P -> e g (A.Lwz (rnum rd, b, o))
+  | Vtype.F -> e g (A.Lfs (rnum rd, b, o))
+  | Vtype.D -> e g (A.Lfd (rnum rd, b, o))
+  | Vtype.V -> Verror.fail (Verror.Bad_type "ld.v")
+
+let store g (t : Vtype.t) rv base off =
+  let b, o = mem_addr g base off in
+  match t with
+  | Vtype.C | Vtype.UC -> e g (A.Stb (rnum rv, b, o))
+  | Vtype.S | Vtype.US -> e g (A.Sth (rnum rv, b, o))
+  | Vtype.I | Vtype.U | Vtype.L | Vtype.UL | Vtype.P -> e g (A.Stw (rnum rv, b, o))
+  | Vtype.F -> e g (A.Stfs (rnum rv, b, o))
+  | Vtype.D -> e g (A.Stfd (rnum rv, b, o))
+  | Vtype.V -> Verror.fail (Verror.Bad_type "st.v")
+
+(* ------------------------------------------------------------------ *)
+(* Control                                                             *)
+
+let jump g (t : Gen.jtarget) =
+  match t with
+  | Gen.Jlabel lab ->
+    let site = Codebuf.length g.Gen.buf in
+    e g (A.B 0);
+    Gen.add_reloc g ~site ~lab ~kind:k_jump
+  | Gen.Jaddr a ->
+    load_const g scratch a;
+    e g (A.Mtctr scratch);
+    e g A.Bctr
+  | Gen.Jreg r ->
+    e g (A.Mtctr (rnum r));
+    e g A.Bctr
+
+let jal g (t : Gen.jtarget) =
+  match t with
+  | Gen.Jlabel lab ->
+    let site = Codebuf.length g.Gen.buf in
+    e g (A.Bl 0);
+    Gen.add_reloc g ~site ~lab ~kind:k_call
+  | Gen.Jaddr a ->
+    let here = g.Gen.base + (4 * Codebuf.length g.Gen.buf) in
+    e g (A.Bl ((a - here) asr 2))
+  | Gen.Jreg r ->
+    e g (A.Mtctr (rnum r));
+    e g A.Bctrl
+
+let nop g = ignore (Codebuf.emit g.Gen.buf A.nop_word)
+
+(* ------------------------------------------------------------------ *)
+(* Calling convention                                                  *)
+
+type arg_loc = In_ireg of int | In_freg of int | On_stack of int (* stack idx *)
+
+(* identical slot logic to Ppc_sim.place_args *)
+let assign_slots (tys : Vtype.t array) : (Vtype.t * arg_loc) array =
+  let islot = ref 0 and fslot = ref 0 and stack = ref 0 in
+  Array.map
+    (fun (t : Vtype.t) ->
+      if Vtype.is_float t then
+        if !fslot < 8 then begin
+          let l = In_freg (1 + !fslot) in
+          incr fslot;
+          (t, l)
+        end
+        else begin
+          if !stack land 1 = 1 then incr stack;
+          let l = On_stack !stack in
+          stack := !stack + 2;
+          (t, l)
+        end
+      else if !islot < 8 then begin
+        let l = In_ireg (3 + !islot) in
+        incr islot;
+        (t, l)
+      end
+      else begin
+        let l = On_stack !stack in
+        incr stack;
+        (t, l)
+      end)
+    tys
+
+let lambda g (tys : Vtype.t array) : Reg.t array =
+  g.Gen.prologue_at <- Codebuf.reserve g.Gen.buf ~n:reserve_words ~fill:A.nop_word;
+  g.Gen.prologue_words <- reserve_words;
+  g.Gen.epilogue_lab <- Gen.genlabel g;
+  let locs = assign_slots tys in
+  Array.map
+    (fun ((t : Vtype.t), loc) ->
+      match loc with
+      | In_ireg n ->
+        let r = Reg.R n in
+        Gen.mark_in_use g r;
+        r
+      | In_freg n ->
+        let r = Reg.F n in
+        Gen.mark_in_use g r;
+        r
+      | On_stack s ->
+        let float = Vtype.is_float t in
+        let r =
+          match Gen.getreg g ~cls:`Var ~float with
+          | Some r -> r
+          | None -> (
+            match Gen.getreg g ~cls:`Temp ~float with
+            | Some r -> r
+            | None -> Verror.fail (Verror.Registers_exhausted "incoming arguments"))
+        in
+        Gen.note_write g r;
+        g.Gen.arg_loads <- (s, r, t) :: g.Gen.arg_loads;
+        r)
+    locs
+
+let frame_size g =
+  if
+    g.Gen.made_call || g.Gen.locals_bytes > 0 || g.Gen.used_callee <> 0
+    || g.Gen.used_fcallee <> 0
+  then locals_base + ((g.Gen.locals_bytes + 7) land lnot 7)
+  else 0
+
+let ret g (t : Vtype.t) (r : Reg.t option) =
+  (match (t, r) with
+  | Vtype.V, _ | _, None -> ()
+  | (Vtype.F | Vtype.D), Some r -> if rnum r <> 1 then e g (A.Fmr (1, rnum r))
+  | _, Some r -> if rnum r <> 3 then e g (A.Or (3, rnum r, rnum r)));
+  let site = Codebuf.length g.Gen.buf in
+  e g (A.B 0);
+  Gen.add_reloc g ~site ~lab:g.Gen.epilogue_lab ~kind:k_retj
+
+let push_arg g (t : Vtype.t) (r : Reg.t) = g.Gen.call_args <- (t, r) :: g.Gen.call_args
+
+(* Argument moves are a parallel-move problem on this target (the temp
+   pool overlaps the argument registers); cycles break through r12. *)
+let parallel_moves g (moves : (int * int) list) =
+  Gen.parallel_moves ~scratch
+    ~emit_mov:(fun d s -> if d <> s then e g (A.Or (d, s, s)))
+    moves
+
+let do_call g (target : Gen.jtarget) =
+  let args = Array.of_list (List.rev g.Gen.call_args) in
+  g.Gen.call_args <- [];
+  let tys = Array.map fst args in
+  let locs = assign_slots tys in
+  let nstack =
+    Array.fold_left
+      (fun acc (_, loc) -> match loc with On_stack s -> max acc (s + 2) | _ -> acc)
+      0 locs
+  in
+  if nstack > max_stack_slots then
+    Verror.fail (Verror.Unsupported "more than 10 outgoing stack slots");
+  (* stack stores first *)
+  Array.iteri
+    (fun i ((t : Vtype.t), loc) ->
+      let _, src = args.(i) in
+      match loc with
+      | On_stack s -> (
+        let off = outarg_base + (4 * s) in
+        match t with
+        | Vtype.F -> e g (A.Stfs (rnum src, sp, off))
+        | Vtype.D -> e g (A.Stfd (rnum src, sp, off))
+        | _ -> e g (A.Stw (rnum src, sp, off)))
+      | In_ireg _ | In_freg _ -> ())
+    locs;
+  (* register moves: floats are conflict-free (sources are never f1-f8
+     unless already in place); integers go through the resolver *)
+  Array.iteri
+    (fun i (_, loc) ->
+      let _, src = args.(i) in
+      match loc with
+      | In_freg n -> if rnum src <> n then e g (A.Fmr (n, rnum src))
+      | In_ireg _ | On_stack _ -> ())
+    locs;
+  let imoves = ref [] in
+  Array.iteri
+    (fun i (_, loc) ->
+      let _, src = args.(i) in
+      match loc with
+      | In_ireg n -> imoves := (n, rnum src) :: !imoves
+      | In_freg _ | On_stack _ -> ())
+    locs;
+  parallel_moves g (List.rev !imoves);
+  jal g target
+
+let retval g (t : Vtype.t) (r : Reg.t) =
+  match t with
+  | Vtype.V -> ()
+  | Vtype.F | Vtype.D -> if rnum r <> 1 then e g (A.Fmr (rnum r, 1))
+  | _ -> if rnum r <> 3 then e g (A.Or (rnum r, 3, 3))
+
+(* ------------------------------------------------------------------ *)
+(* Finalization                                                        *)
+
+let save_layout g =
+  Gen.save_layout g ~first_off:(save_base + 4) ~int_bytes:4 ~limit:locals_base
+
+let finish g =
+  let frame = frame_size g in
+  let saves = save_layout g in
+  (* epilogue *)
+  Gen.bind_label g g.Gen.epilogue_lab;
+  if g.Gen.made_call then begin
+    e g (A.Lwz (scratch, sp, save_base));
+    e g (A.Mtlr scratch)
+  end;
+  List.iter
+    (function
+      | `Int (n, off) -> e g (A.Lwz (n, sp, off))
+      | `Fp (n, off) -> e g (A.Lfd (n, sp, off)))
+    saves;
+  if frame <> 0 then e g (A.Addi (sp, sp, frame));
+  e g A.Blr;
+  (* constant pool *)
+  Gen.place_fimms g ~big_endian:true ~patch:(fun ~site ~addr ->
+      let hi, lo = hi_lo addr in
+      Codebuf.set g.Gen.buf site (A.encode (A.Addis (scratch, 0, hi)));
+      let old = Codebuf.get g.Gen.buf (site + 1) in
+      Codebuf.set g.Gen.buf (site + 1) ((old land 0xFFFF0000) lor (lo land 0xFFFF)));
+  (* prologue *)
+  let prologue = ref [] in
+  let add i = prologue := i :: !prologue in
+  if frame <> 0 then add (A.Addi (sp, sp, -frame));
+  if g.Gen.made_call then begin
+    add (A.Mflr scratch);
+    add (A.Stw (scratch, sp, save_base))
+  end;
+  List.iter
+    (function
+      | `Int (n, off) -> add (A.Stw (n, sp, off))
+      | `Fp (n, off) -> add (A.Stfd (n, sp, off)))
+    saves;
+  List.iter
+    (fun (s, r, (t : Vtype.t)) ->
+      let off = frame + outarg_base + (4 * s) in
+      match t with
+      | Vtype.F -> add (A.Lfs (rnum r, sp, off))
+      | Vtype.D -> add (A.Lfd (rnum r, sp, off))
+      | _ -> add (A.Lwz (rnum r, sp, off)))
+    (List.rev g.Gen.arg_loads);
+  let pro = List.rev !prologue in
+  let k = List.length pro in
+  if k > reserve_words then Verror.fail (Verror.Unsupported "prologue overflow");
+  let start = g.Gen.prologue_at + g.Gen.prologue_words - k in
+  List.iteri (fun i insn -> Codebuf.set g.Gen.buf (start + i) (A.encode insn)) pro;
+  g.Gen.entry_index <- start;
+  (* relocations *)
+  let trivial = frame = 0 in
+  Gen.resolve_relocs g ~apply:(fun ~kind ~site ~dest ->
+      let disp = dest - site in
+      if kind = k_branch then begin
+        if disp < -8192 || disp > 8191 then
+          Verror.fail (Verror.Range "conditional branch displacement");
+        let old = Codebuf.get g.Gen.buf site in
+        Codebuf.set g.Gen.buf site ((old land lnot 0xFFFC) lor ((disp land 0x3FFF) lsl 2))
+      end
+      else if kind = k_jump || kind = k_call then begin
+        if disp < -0x800000 || disp > 0x7FFFFF then
+          Verror.fail (Verror.Range "branch displacement");
+        let old = Codebuf.get g.Gen.buf site in
+        Codebuf.set g.Gen.buf site ((old land lnot 0x3FFFFFC) lor ((disp land 0xFFFFFF) lsl 2))
+      end
+      else if kind = k_retj then begin
+        if trivial then Codebuf.set g.Gen.buf site (A.encode A.Blr)
+        else begin
+          let old = Codebuf.get g.Gen.buf site in
+          Codebuf.set g.Gen.buf site ((old land lnot 0x3FFFFFC) lor ((disp land 0xFFFFFF) lsl 2))
+        end
+      end
+      else Verror.failf "unknown reloc kind %d" kind)
+
+let apply_reloc _g ~kind:_ ~site:_ ~dest:_ = ()
+
+let disasm ~word ~addr = A.disasm ~addr word
+
+let extra_insns =
+  [
+    ("cntlzw", fun g (rs : Reg.t array) -> e g (A.Cntlzw (rnum rs.(0), rnum rs.(1))));
+    ("frsp", fun g rs -> e g (A.Frsp (rnum rs.(0), rnum rs.(1))));
+    ("mulli3", fun g rs -> e g (A.Mulli (rnum rs.(0), rnum rs.(1), 3)));
+  ]
+
+let extra_imm_insns =
+  [
+    ("addi", fun g (rs : Reg.t array) imm -> e g (A.Addi (rnum rs.(0), rnum rs.(1), imm)));
+    ("ori", fun g rs imm -> e g (A.Ori (rnum rs.(0), rnum rs.(1), imm)));
+  ]

@@ -1,0 +1,313 @@
+(* PowerPC (32-bit) simulator.
+
+   Big-endian core, no delay slots.  Integer registers hold
+   sign-extended 32-bit values in OCaml ints; FP registers hold 64-bit
+   IEEE bit patterns (fctiwz leaves an integer word in an FP register,
+   as on hardware).  CR0's lt/gt/eq bits, LR and CTR are modeled; other
+   CR fields, XER and the record forms are not needed by the VCODE
+   port. *)
+
+open Vmachine
+module A = Ppc_asm
+
+let halt_addr = 0x10000000
+
+exception Machine_error of string
+
+type t = {
+  mem : Mem.t;
+  icache : Cache.t;
+  dcache : Cache.t;
+  cfg : Mconfig.t;
+  regs : int array;    (* 32, sign-extended 32-bit *)
+  fregs : int64 array; (* 32, raw bit patterns *)
+  mutable lr : int;
+  mutable ctr : int;
+  mutable cr_lt : bool;
+  mutable cr_gt : bool;
+  mutable cr_eq : bool;
+  mutable pc : int;
+  mutable cycles : int;
+  mutable insns : int;
+  mutable stack_top : int;
+}
+
+let create (cfg : Mconfig.t) =
+  let mem = Mem.create ~big_endian:true ~size:cfg.mem_bytes () in
+  {
+    mem;
+    icache = Cache.create ~size_bytes:cfg.icache_bytes ~line_bytes:cfg.line_bytes
+               ~miss_penalty:cfg.imiss_penalty;
+    dcache = Cache.create ~size_bytes:cfg.dcache_bytes ~line_bytes:cfg.line_bytes
+               ~miss_penalty:cfg.dmiss_penalty;
+    cfg;
+    regs = Array.make 32 0;
+    fregs = Array.make 32 0L;
+    lr = 0;
+    ctr = 0;
+    cr_lt = false;
+    cr_gt = false;
+    cr_eq = false;
+    pc = 0;
+    cycles = 0;
+    insns = 0;
+    stack_top = cfg.mem_bytes - 256;
+  }
+
+let sext32 v =
+  let v = v land 0xFFFFFFFF in
+  if v land 0x80000000 <> 0 then v - 0x100000000 else v
+
+let u32 v = v land 0xFFFFFFFF
+
+let get m r = m.regs.(r)
+let set m r v = m.regs.(r) <- sext32 v
+
+(* RA = 0 means literal zero in D-form address/operand computation *)
+let get0 m r = if r = 0 then 0 else m.regs.(r)
+
+let fval m f = Int64.float_of_bits m.fregs.(f)
+let set_fval m f v = m.fregs.(f) <- Int64.bits_of_float v
+let single v = Int32.float_of_bits (Int32.bits_of_float v)
+
+let daccess m addr = m.cycles <- m.cycles + Cache.access m.dcache addr
+let waccess m addr = m.cycles <- m.cycles + Cache.write_access m.dcache addr
+
+let set_cr_signed m a b =
+  m.cr_lt <- a < b;
+  m.cr_gt <- a > b;
+  m.cr_eq <- a = b
+
+let set_cr_unsigned m a b =
+  let a = u32 a and b = u32 b in
+  m.cr_lt <- a < b;
+  m.cr_gt <- a > b;
+  m.cr_eq <- a = b
+
+let rlwinm_mask mb me =
+  let mask = ref 0 in
+  let i = ref mb in
+  let stop = ref false in
+  while not !stop do
+    mask := !mask lor (1 lsl (31 - !i));
+    if !i = me then stop := true else i := (!i + 1) land 31
+  done;
+  !mask
+
+let rotl32 v sh = u32 ((u32 v lsl sh) lor (u32 v lsr (32 - sh land 31)))
+
+let step m =
+  let pc = m.pc in
+  m.cycles <- m.cycles + 1 + Cache.access m.icache pc;
+  m.insns <- m.insns + 1;
+  let w = Mem.read_u32 m.mem pc in
+  let insn =
+    try A.decode w with A.Bad_insn _ ->
+      raise (Machine_error (Printf.sprintf "illegal instruction 0x%08x at 0x%x" w pc))
+  in
+  let next = ref (pc + 4) in
+  (match insn with
+  | A.Addi (rt, ra, si) -> set m rt (get0 m ra + si)
+  | A.Addis (rt, ra, si) -> set m rt (get0 m ra + (si * 65536))
+  | A.Mulli (rt, ra, si) ->
+    m.cycles <- m.cycles + 4;
+    set m rt (get m ra * si)
+  | A.Cmpi (ra, si) -> set_cr_signed m (get m ra) si
+  | A.Cmpli (ra, ui) -> set_cr_unsigned m (get m ra) ui
+  | A.Ori (ra, rs, ui) -> set m ra (get m rs lor ui)
+  | A.Oris (ra, rs, ui) -> set m ra (get m rs lor (ui lsl 16))
+  | A.Xori (ra, rs, ui) -> set m ra (get m rs lxor ui)
+  | A.Andi (ra, rs, ui) ->
+    let v = get m rs land ui in
+    set m ra v;
+    set_cr_signed m (sext32 v) 0
+  | A.Add (rt, ra, rb) -> set m rt (get m ra + get m rb)
+  | A.Subf (rt, ra, rb) -> set m rt (get m rb - get m ra)
+  | A.Mullw (rt, ra, rb) ->
+    m.cycles <- m.cycles + 4;
+    set m rt (get m ra * get m rb)
+  | A.Divw (rt, ra, rb) ->
+    m.cycles <- m.cycles + 19;
+    let a = get m ra and b = get m rb in
+    if b = 0 then set m rt 0 else set m rt (Int.div a b)
+  | A.Divwu (rt, ra, rb) ->
+    m.cycles <- m.cycles + 19;
+    let a = u32 (get m ra) and b = u32 (get m rb) in
+    if b = 0 then set m rt 0 else set m rt (a / b)
+  | A.Neg (rt, ra) -> set m rt (-get m ra)
+  | A.And (ra, rs, rb) -> set m ra (get m rs land get m rb)
+  | A.Or (ra, rs, rb) -> set m ra (get m rs lor get m rb)
+  | A.Xor (ra, rs, rb) -> set m ra (get m rs lxor get m rb)
+  | A.Nor (ra, rs, rb) -> set m ra (lnot (get m rs lor get m rb))
+  | A.Slw (ra, rs, rb) ->
+    let sh = get m rb land 63 in
+    set m ra (if sh > 31 then 0 else get m rs lsl sh)
+  | A.Srw (ra, rs, rb) ->
+    let sh = get m rb land 63 in
+    set m ra (if sh > 31 then 0 else u32 (get m rs) lsr sh)
+  | A.Sraw (ra, rs, rb) ->
+    let sh = get m rb land 63 in
+    set m ra (get m rs asr min sh 31)
+  | A.Srawi (ra, rs, sh) -> set m ra (get m rs asr sh)
+  | A.Cntlzw (ra, rs) ->
+    let v = u32 (get m rs) in
+    let rec go n bit = if bit < 0 || v land (1 lsl bit) <> 0 then n else go (n + 1) (bit - 1) in
+    set m ra (if v = 0 then 32 else go 0 31)
+  | A.Cmp (ra, rb) -> set_cr_signed m (get m ra) (get m rb)
+  | A.Cmpl (ra, rb) -> set_cr_unsigned m (get m ra) (get m rb)
+  | A.Rlwinm (ra, rs, sh, mb, me) ->
+    set m ra (rotl32 (get m rs) sh land rlwinm_mask mb me)
+  | A.Lbz (rt, ra, d) ->
+    let a = u32 (get0 m ra) + d in
+    daccess m a;
+    set m rt (Mem.read_u8 m.mem a)
+  | A.Lhz (rt, ra, d) ->
+    let a = u32 (get0 m ra) + d in
+    daccess m a;
+    set m rt (Mem.read_u16 m.mem a)
+  | A.Lha (rt, ra, d) ->
+    let a = u32 (get0 m ra) + d in
+    daccess m a;
+    let v = Mem.read_u16 m.mem a in
+    set m rt (if v land 0x8000 <> 0 then v - 0x10000 else v)
+  | A.Lwz (rt, ra, d) ->
+    let a = u32 (get0 m ra) + d in
+    daccess m a;
+    set m rt (Mem.read_u32 m.mem a)
+  | A.Stb (rt, ra, d) ->
+    let a = u32 (get0 m ra) + d in
+    waccess m a;
+    Mem.write_u8 m.mem a (get m rt)
+  | A.Sth (rt, ra, d) ->
+    let a = u32 (get0 m ra) + d in
+    waccess m a;
+    Mem.write_u16 m.mem a (get m rt)
+  | A.Stw (rt, ra, d) ->
+    let a = u32 (get0 m ra) + d in
+    waccess m a;
+    Mem.write_u32 m.mem a (u32 (get m rt))
+  | A.Lfs (t, ra, d) ->
+    let a = u32 (get0 m ra) + d in
+    daccess m a;
+    set_fval m t (Int32.float_of_bits (Int32.of_int (Mem.read_u32 m.mem a)))
+  | A.Lfd (t, ra, d) ->
+    let a = u32 (get0 m ra) + d in
+    daccess m a;
+    m.fregs.(t) <- Mem.read_u64 m.mem a
+  | A.Stfs (t, ra, d) ->
+    let a = u32 (get0 m ra) + d in
+    waccess m a;
+    Mem.write_u32 m.mem a (Int32.to_int (Int32.bits_of_float (fval m t)) land 0xFFFFFFFF)
+  | A.Stfd (t, ra, d) ->
+    let a = u32 (get0 m ra) + d in
+    waccess m a;
+    Mem.write_u64 m.mem a m.fregs.(t)
+  | A.B li -> next := pc + (4 * li)
+  | A.Bl li ->
+    m.lr <- pc + 4;
+    next := pc + (4 * li)
+  | A.Bc (bo, bi, bd) ->
+    let bit = match bi with 0 -> m.cr_lt | 1 -> m.cr_gt | 2 -> m.cr_eq | _ -> false in
+    let taken =
+      match bo with
+      | 12 -> bit
+      | 4 -> not bit
+      | 20 -> true
+      | _ -> raise (Machine_error (Printf.sprintf "unsupported BO %d at 0x%x" bo pc))
+    in
+    if taken then next := pc + (4 * bd)
+  | A.Blr -> next := u32 m.lr
+  | A.Bctr -> next := u32 m.ctr
+  | A.Bctrl ->
+    m.lr <- pc + 4;
+    next := u32 m.ctr
+  | A.Mflr rt -> set m rt m.lr
+  | A.Mtlr rs -> m.lr <- u32 (get m rs)
+  | A.Mtctr rs -> m.ctr <- u32 (get m rs)
+  | A.Fadd (t, a, b) -> m.cycles <- m.cycles + 2; set_fval m t (fval m a +. fval m b)
+  | A.Fsub (t, a, b) -> m.cycles <- m.cycles + 2; set_fval m t (fval m a -. fval m b)
+  | A.Fmul (t, a, c) -> m.cycles <- m.cycles + 3; set_fval m t (fval m a *. fval m c)
+  | A.Fdiv (t, a, b) -> m.cycles <- m.cycles + 17; set_fval m t (fval m a /. fval m b)
+  | A.Fadds (t, a, b) -> m.cycles <- m.cycles + 2; set_fval m t (single (fval m a +. fval m b))
+  | A.Fsubs (t, a, b) -> m.cycles <- m.cycles + 2; set_fval m t (single (fval m a -. fval m b))
+  | A.Fmuls (t, a, c) -> m.cycles <- m.cycles + 3; set_fval m t (single (fval m a *. fval m c))
+  | A.Fdivs (t, a, b) -> m.cycles <- m.cycles + 17; set_fval m t (single (fval m a /. fval m b))
+  | A.Fneg (t, b) -> set_fval m t (-.fval m b)
+  | A.Fmr (t, b) -> m.fregs.(t) <- m.fregs.(b)
+  | A.Frsp (t, b) -> set_fval m t (single (fval m b))
+  | A.Fctiwz (t, b) ->
+    let v = Int64.of_float (Float.trunc (fval m b)) in
+    m.fregs.(t) <- Int64.logand v 0xFFFFFFFFL
+  | A.Fcmpu (a, b) ->
+    let x = fval m a and y = fval m b in
+    m.cr_lt <- x < y;
+    m.cr_gt <- x > y;
+    m.cr_eq <- x = y);
+  m.pc <- !next
+
+let default_fuel = 200_000_000
+
+let run ?(fuel = default_fuel) m =
+  let steps = ref 0 in
+  while m.pc <> halt_addr do
+    if !steps >= fuel then raise (Machine_error "out of fuel (infinite loop?)");
+    incr steps;
+    step m
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Harness: args in r3-r10 / f1-f8 by class; further args on the stack
+   at sp+8, 4 bytes per word slot (doubles 8-aligned pairs).           *)
+
+type arg = Int of int | Single of float | Double of float
+
+let arg_base = 8
+
+let place_args m ~sp args =
+  let islot = ref 0 and fslot = ref 0 and stack = ref 0 in
+  List.iter
+    (fun a ->
+      match a with
+      | Int v ->
+        if !islot < 8 then begin
+          set m (3 + !islot) v;
+          incr islot
+        end
+        else begin
+          Mem.write_u32 m.mem (sp + arg_base + (4 * !stack)) (u32 v);
+          incr stack
+        end
+      | Single v | Double v ->
+        let v = match a with Single v -> single v | _ -> v in
+        if !fslot < 8 then begin
+          set_fval m (1 + !fslot) v;
+          incr fslot
+        end
+        else begin
+          if !stack land 1 = 1 then incr stack;
+          Mem.write_u64 m.mem (sp + arg_base + (4 * !stack)) (Int64.bits_of_float v);
+          stack := !stack + 2
+        end)
+    args
+
+let call ?fuel m ~entry args =
+  let sp = m.stack_top land lnot 7 in
+  set m 1 sp;
+  m.lr <- halt_addr;
+  place_args m ~sp args;
+  m.pc <- entry;
+  run ?fuel m
+
+let ret_int m = m.regs.(3)
+let ret_double m = fval m 1
+let ret_single m = fval m 1
+
+let reset_stats m =
+  m.cycles <- 0;
+  m.insns <- 0;
+  Cache.reset_stats m.icache;
+  Cache.reset_stats m.dcache
+
+let flush_caches m =
+  Cache.flush m.icache;
+  Cache.flush m.dcache

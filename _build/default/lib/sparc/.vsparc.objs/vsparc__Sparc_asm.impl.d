@@ -1,0 +1,1 @@
+lib/sparc/sparc_asm.ml: Array Printf

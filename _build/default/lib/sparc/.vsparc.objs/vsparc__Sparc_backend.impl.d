@@ -1,0 +1,1 @@
+lib/sparc/sparc_backend.ml: Array Codebuf Gen Int32 Int64 List Machdesc Op Printf Reg Sparc_asm Vcodebase Verror Vtype

@@ -1,0 +1,1 @@
+lib/sparc/sparc_sim.ml: Array Cache Float Int32 Int64 List Mconfig Mem Printf Sparc_asm Vmachine

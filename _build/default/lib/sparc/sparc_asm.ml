@@ -1,0 +1,308 @@
+(* SPARC-V8 assembler: instruction type, bit-accurate encoding, decoder
+   and disassembler for the subset the VCODE SPARC port emits.
+
+   Formats (The SPARC Architecture Manual, Version 8):
+   - format 1 (op=1):  call, 30-bit word displacement
+   - format 2 (op=0):  sethi (op2=4), Bicc (op2=2), FBfcc (op2=6)
+   - format 3 (op=2):  ALU / jmpl / save / restore / FPops
+     (op=3):  loads and stores
+   Register operand 2 is either a register (i=0) or simm13 (i=1). *)
+
+(* integer condition codes (Bicc cond field) *)
+type icond =
+  | BA | BN | BNE | BE | BG | BLE | BGE | BL | BGU | BLEU | BCC | BCS | BPOS | BNEG
+
+(* float condition codes (FBfcc cond field, after fcmp) *)
+type fcond = FBNE | FBL | FBG | FBE | FBGE | FBLE
+
+let icond_code = function
+  | BN -> 0 | BE -> 1 | BLE -> 2 | BL -> 3 | BLEU -> 4 | BCS -> 5
+  | BNEG -> 6 | BA -> 8 | BNE -> 9 | BG -> 10 | BGE -> 11 | BGU -> 12
+  | BCC -> 13 | BPOS -> 14
+
+let fcond_code = function
+  | FBNE -> 1 | FBL -> 4 | FBG -> 6 | FBE -> 9 | FBGE -> 11 | FBLE -> 13
+
+let icond_name = function
+  | BA -> "ba" | BN -> "bn" | BNE -> "bne" | BE -> "be" | BG -> "bg"
+  | BLE -> "ble" | BGE -> "bge" | BL -> "bl" | BGU -> "bgu" | BLEU -> "bleu"
+  | BCC -> "bcc" | BCS -> "bcs" | BPOS -> "bpos" | BNEG -> "bneg"
+
+let fcond_name = function
+  | FBNE -> "fbne" | FBL -> "fbl" | FBG -> "fbg" | FBE -> "fbe"
+  | FBGE -> "fbge" | FBLE -> "fble"
+
+(* register-or-immediate second operand *)
+type ri = R of int | Imm of int
+
+(* ALU op3 codes used (format 3, op=2) *)
+type alu =
+  | Add | And | Or | Xor | Sub | Andn | Orn | Xnor
+  | Addx
+  | Umul | Smul | Udiv | Sdiv
+  | Addcc | Subcc
+  | Sll | Srl | Sra
+
+let alu_op3 = function
+  | Add -> 0x00 | And -> 0x01 | Or -> 0x02 | Xor -> 0x03 | Sub -> 0x04
+  | Andn -> 0x05 | Orn -> 0x06 | Xnor -> 0x07
+  | Addx -> 0x08
+  | Umul -> 0x0A | Smul -> 0x0B | Udiv -> 0x0E | Sdiv -> 0x0F
+  | Addcc -> 0x10 | Subcc -> 0x14
+  | Sll -> 0x25 | Srl -> 0x26 | Sra -> 0x27
+
+let alu_name = function
+  | Add -> "add" | And -> "and" | Or -> "or" | Xor -> "xor" | Sub -> "sub"
+  | Andn -> "andn" | Orn -> "orn" | Xnor -> "xnor"
+  | Addx -> "addx"
+  | Umul -> "umul" | Smul -> "smul" | Udiv -> "udiv" | Sdiv -> "sdiv"
+  | Addcc -> "addcc" | Subcc -> "subcc"
+  | Sll -> "sll" | Srl -> "srl" | Sra -> "sra"
+
+(* FPop1 opf codes *)
+type fpop =
+  | Fadds | Faddd | Fsubs | Fsubd | Fmuls | Fmuld | Fdivs | Fdivd
+  | Fmovs | Fnegs | Fabss | Fsqrts | Fsqrtd
+  | Fitos | Fitod | Fstoi | Fdtoi | Fstod | Fdtos
+
+let fpop_opf = function
+  | Fadds -> 0x41 | Faddd -> 0x42 | Fsubs -> 0x45 | Fsubd -> 0x46
+  | Fmuls -> 0x49 | Fmuld -> 0x4A | Fdivs -> 0x4D | Fdivd -> 0x4E
+  | Fmovs -> 0x01 | Fnegs -> 0x05 | Fabss -> 0x09
+  | Fsqrts -> 0x29 | Fsqrtd -> 0x2A
+  | Fitos -> 0xC4 | Fitod -> 0xC8 | Fstoi -> 0xD1 | Fdtoi -> 0xD2
+  | Fstod -> 0xC9 | Fdtos -> 0xC6
+
+let fpop_name = function
+  | Fadds -> "fadds" | Faddd -> "faddd" | Fsubs -> "fsubs" | Fsubd -> "fsubd"
+  | Fmuls -> "fmuls" | Fmuld -> "fmuld" | Fdivs -> "fdivs" | Fdivd -> "fdivd"
+  | Fmovs -> "fmovs" | Fnegs -> "fnegs" | Fabss -> "fabss"
+  | Fsqrts -> "fsqrts" | Fsqrtd -> "fsqrtd"
+  | Fitos -> "fitos" | Fitod -> "fitod" | Fstoi -> "fstoi" | Fdtoi -> "fdtoi"
+  | Fstod -> "fstod" | Fdtos -> "fdtos"
+
+type t =
+  | Alu of alu * int * int * ri        (* rd, rs1, rs2/imm *)
+  | Sethi of int * int                 (* rd, imm22 *)
+  | Bicc of icond * int                (* word displacement *)
+  | Fbfcc of fcond * int
+  | Call of int                        (* 30-bit word displacement *)
+  | Jmpl of int * int * ri             (* rd, rs1, rs2/imm *)
+  | Save of int * int * ri
+  | Restore of int * int * ri
+  | Rdy of int                         (* rd <- %y *)
+  | Wry of int * ri                    (* %y <- rs1 xor ri *)
+  | Ld of int * int * ri               (* rd, [rs1 + ri] *)
+  | Ldsb of int * int * ri
+  | Ldub of int * int * ri
+  | Ldsh of int * int * ri
+  | Lduh of int * int * ri
+  | St of int * int * ri
+  | Stb of int * int * ri
+  | Sth of int * int * ri
+  | Ldf of int * int * ri              (* %f rd *)
+  | Lddf of int * int * ri
+  | Stf of int * int * ri
+  | Stdf of int * int * ri
+  | Fpop of fpop * int * int * int     (* rd, rs1, rs2 (rs1 unused except arith) *)
+  | Fcmps of int * int
+  | Fcmpd of int * int
+  | Nop
+
+let reg_names =
+  [| "g0"; "g1"; "g2"; "g3"; "g4"; "g5"; "g6"; "g7";
+     "o0"; "o1"; "o2"; "o3"; "o4"; "o5"; "sp"; "o7";
+     "l0"; "l1"; "l2"; "l3"; "l4"; "l5"; "l6"; "l7";
+     "i0"; "i1"; "i2"; "i3"; "i4"; "i5"; "fp"; "i7" |]
+
+let reg_name n = "%" ^ reg_names.(n land 31)
+let freg_name n = Printf.sprintf "%%f%d" (n land 31)
+
+exception Bad_insn of int
+
+(* ------------------------------------------------------------------ *)
+(* Encoding                                                            *)
+
+let simm13_ok v = v >= -4096 && v <= 4095
+
+let ri_bits = function
+  | R r -> r land 31
+  | Imm v ->
+    if not (simm13_ok v) then raise (Bad_insn v);
+    (1 lsl 13) lor (v land 0x1FFF)
+
+let f3 ~op ~rd ~op3 ~rs1 ~ri =
+  (op lsl 30) lor (rd lsl 25) lor (op3 lsl 19) lor (rs1 lsl 14) lor ri_bits ri
+
+let f3r ~op ~rd ~op3 ~rs1 ~opf ~rs2 =
+  (op lsl 30) lor (rd lsl 25) lor (op3 lsl 19) lor (rs1 lsl 14) lor (opf lsl 5) lor rs2
+
+let encode : t -> int = function
+  | Alu (a, rd, rs1, ri) -> f3 ~op:2 ~rd ~op3:(alu_op3 a) ~rs1 ~ri
+  | Sethi (rd, imm22) -> (0 lsl 30) lor (rd lsl 25) lor (4 lsl 22) lor (imm22 land 0x3FFFFF)
+  | Bicc (c, disp) ->
+    (0 lsl 30) lor (icond_code c lsl 25) lor (2 lsl 22) lor (disp land 0x3FFFFF)
+  | Fbfcc (c, disp) ->
+    (0 lsl 30) lor (fcond_code c lsl 25) lor (6 lsl 22) lor (disp land 0x3FFFFF)
+  | Call disp -> (1 lsl 30) lor (disp land 0x3FFFFFFF)
+  | Jmpl (rd, rs1, ri) -> f3 ~op:2 ~rd ~op3:0x38 ~rs1 ~ri
+  | Save (rd, rs1, ri) -> f3 ~op:2 ~rd ~op3:0x3C ~rs1 ~ri
+  | Restore (rd, rs1, ri) -> f3 ~op:2 ~rd ~op3:0x3D ~rs1 ~ri
+  | Rdy rd -> f3 ~op:2 ~rd ~op3:0x28 ~rs1:0 ~ri:(R 0)
+  | Wry (rs1, ri) -> f3 ~op:2 ~rd:0 ~op3:0x30 ~rs1 ~ri
+  | Ld (rd, rs1, ri) -> f3 ~op:3 ~rd ~op3:0x00 ~rs1 ~ri
+  | Ldub (rd, rs1, ri) -> f3 ~op:3 ~rd ~op3:0x01 ~rs1 ~ri
+  | Lduh (rd, rs1, ri) -> f3 ~op:3 ~rd ~op3:0x02 ~rs1 ~ri
+  | Ldsb (rd, rs1, ri) -> f3 ~op:3 ~rd ~op3:0x09 ~rs1 ~ri
+  | Ldsh (rd, rs1, ri) -> f3 ~op:3 ~rd ~op3:0x0A ~rs1 ~ri
+  | St (rd, rs1, ri) -> f3 ~op:3 ~rd ~op3:0x04 ~rs1 ~ri
+  | Stb (rd, rs1, ri) -> f3 ~op:3 ~rd ~op3:0x05 ~rs1 ~ri
+  | Sth (rd, rs1, ri) -> f3 ~op:3 ~rd ~op3:0x06 ~rs1 ~ri
+  | Ldf (rd, rs1, ri) -> f3 ~op:3 ~rd ~op3:0x20 ~rs1 ~ri
+  | Lddf (rd, rs1, ri) -> f3 ~op:3 ~rd ~op3:0x23 ~rs1 ~ri
+  | Stf (rd, rs1, ri) -> f3 ~op:3 ~rd ~op3:0x24 ~rs1 ~ri
+  | Stdf (rd, rs1, ri) -> f3 ~op:3 ~rd ~op3:0x27 ~rs1 ~ri
+  | Fpop (p, rd, rs1, rs2) -> f3r ~op:2 ~rd ~op3:0x34 ~rs1 ~opf:(fpop_opf p) ~rs2
+  | Fcmps (rs1, rs2) -> f3r ~op:2 ~rd:0 ~op3:0x35 ~rs1 ~opf:0x51 ~rs2
+  | Fcmpd (rs1, rs2) -> f3r ~op:2 ~rd:0 ~op3:0x35 ~rs1 ~opf:0x52 ~rs2
+  | Nop -> (0 lsl 30) lor (4 lsl 22) (* sethi %g0, 0 *)
+
+(* ------------------------------------------------------------------ *)
+(* Decoding                                                            *)
+
+let sext13 v = if v land 0x1000 <> 0 then v - 0x2000 else v
+let sext22 v = if v land 0x200000 <> 0 then v - 0x400000 else v
+let sext30 v = if v land 0x20000000 <> 0 then v - 0x40000000 else v
+
+let decode_ri w = if w land (1 lsl 13) <> 0 then Imm (sext13 (w land 0x1FFF)) else R (w land 31)
+
+let decode (w : int) : t =
+  let op = (w lsr 30) land 3 in
+  let rd = (w lsr 25) land 31 in
+  let rs1 = (w lsr 14) land 31 in
+  match op with
+  | 1 -> Call (sext30 (w land 0x3FFFFFFF))
+  | 0 -> (
+    let op2 = (w lsr 22) land 7 in
+    match op2 with
+    | 4 -> if rd = 0 && w land 0x3FFFFF = 0 then Nop else Sethi (rd, w land 0x3FFFFF)
+    | 2 ->
+      let disp = sext22 (w land 0x3FFFFF) in
+      let cond = (w lsr 25) land 15 in
+      let c =
+        match cond with
+        | 0 -> BN | 1 -> BE | 2 -> BLE | 3 -> BL | 4 -> BLEU | 5 -> BCS
+        | 6 -> BNEG | 8 -> BA | 9 -> BNE | 10 -> BG | 11 -> BGE | 12 -> BGU
+        | 13 -> BCC | 14 -> BPOS | _ -> raise (Bad_insn w)
+      in
+      Bicc (c, disp)
+    | 6 ->
+      let disp = sext22 (w land 0x3FFFFF) in
+      let cond = (w lsr 25) land 15 in
+      let c =
+        match cond with
+        | 1 -> FBNE | 4 -> FBL | 6 -> FBG | 9 -> FBE | 11 -> FBGE | 13 -> FBLE
+        | _ -> raise (Bad_insn w)
+      in
+      Fbfcc (c, disp)
+    | _ -> raise (Bad_insn w))
+  | 2 -> (
+    let op3 = (w lsr 19) land 0x3F in
+    match op3 with
+    | 0x34 -> (
+      let opf = (w lsr 5) land 0x1FF in
+      let rs2 = w land 31 in
+      let p =
+        match opf with
+        | 0x41 -> Fadds | 0x42 -> Faddd | 0x45 -> Fsubs | 0x46 -> Fsubd
+        | 0x49 -> Fmuls | 0x4A -> Fmuld | 0x4D -> Fdivs | 0x4E -> Fdivd
+        | 0x01 -> Fmovs | 0x05 -> Fnegs | 0x09 -> Fabss
+        | 0x29 -> Fsqrts | 0x2A -> Fsqrtd
+        | 0xC4 -> Fitos | 0xC8 -> Fitod | 0xD1 -> Fstoi | 0xD2 -> Fdtoi
+        | 0xC9 -> Fstod | 0xC6 -> Fdtos
+        | _ -> raise (Bad_insn w)
+      in
+      Fpop (p, rd, rs1, rs2))
+    | 0x35 -> (
+      let opf = (w lsr 5) land 0x1FF in
+      let rs2 = w land 31 in
+      match opf with
+      | 0x51 -> Fcmps (rs1, rs2)
+      | 0x52 -> Fcmpd (rs1, rs2)
+      | _ -> raise (Bad_insn w))
+    | 0x38 -> Jmpl (rd, rs1, decode_ri w)
+    | 0x3C -> Save (rd, rs1, decode_ri w)
+    | 0x3D -> Restore (rd, rs1, decode_ri w)
+    | 0x28 -> Rdy rd
+    | 0x30 -> Wry (rs1, decode_ri w)
+    | _ ->
+      let a =
+        match op3 with
+        | 0x00 -> Add | 0x01 -> And | 0x02 -> Or | 0x03 -> Xor | 0x04 -> Sub
+        | 0x05 -> Andn | 0x06 -> Orn | 0x07 -> Xnor
+        | 0x08 -> Addx
+        | 0x0A -> Umul | 0x0B -> Smul | 0x0E -> Udiv | 0x0F -> Sdiv
+        | 0x10 -> Addcc | 0x14 -> Subcc
+        | 0x25 -> Sll | 0x26 -> Srl | 0x27 -> Sra
+        | _ -> raise (Bad_insn w)
+      in
+      Alu (a, rd, rs1, decode_ri w))
+  | _ -> (
+    let op3 = (w lsr 19) land 0x3F in
+    let ri = decode_ri w in
+    match op3 with
+    | 0x00 -> Ld (rd, rs1, ri)
+    | 0x01 -> Ldub (rd, rs1, ri)
+    | 0x02 -> Lduh (rd, rs1, ri)
+    | 0x09 -> Ldsb (rd, rs1, ri)
+    | 0x0A -> Ldsh (rd, rs1, ri)
+    | 0x04 -> St (rd, rs1, ri)
+    | 0x05 -> Stb (rd, rs1, ri)
+    | 0x06 -> Sth (rd, rs1, ri)
+    | 0x20 -> Ldf (rd, rs1, ri)
+    | 0x23 -> Lddf (rd, rs1, ri)
+    | 0x24 -> Stf (rd, rs1, ri)
+    | 0x27 -> Stdf (rd, rs1, ri)
+    | _ -> raise (Bad_insn w))
+
+(* ------------------------------------------------------------------ *)
+(* Disassembly                                                         *)
+
+let ri_str = function R r -> reg_name r | Imm v -> string_of_int v
+
+let disasm ?(addr = 0) (w : int) : string =
+  try
+    match decode w with
+    | Nop -> "nop"
+    | Alu (a, rd, rs1, ri) ->
+      Printf.sprintf "%s %s, %s, %s" (alu_name a) (reg_name rs1) (ri_str ri) (reg_name rd)
+    | Sethi (rd, imm) -> Printf.sprintf "sethi %%hi(0x%x), %s" (imm lsl 10) (reg_name rd)
+    | Bicc (c, d) -> Printf.sprintf "%s 0x%x" (icond_name c) (addr + (4 * d))
+    | Fbfcc (c, d) -> Printf.sprintf "%s 0x%x" (fcond_name c) (addr + (4 * d))
+    | Call d -> Printf.sprintf "call 0x%x" (addr + (4 * d))
+    | Jmpl (rd, rs1, ri) ->
+      if rd = 0 then Printf.sprintf "jmp %s + %s" (reg_name rs1) (ri_str ri)
+      else Printf.sprintf "jmpl %s + %s, %s" (reg_name rs1) (ri_str ri) (reg_name rd)
+    | Save (rd, rs1, ri) ->
+      Printf.sprintf "save %s, %s, %s" (reg_name rs1) (ri_str ri) (reg_name rd)
+    | Restore (rd, rs1, ri) ->
+      Printf.sprintf "restore %s, %s, %s" (reg_name rs1) (ri_str ri) (reg_name rd)
+    | Rdy rd -> Printf.sprintf "rd %%y, %s" (reg_name rd)
+    | Wry (rs1, ri) -> Printf.sprintf "wr %s, %s, %%y" (reg_name rs1) (ri_str ri)
+    | Ld (rd, rs1, ri) -> Printf.sprintf "ld [%s + %s], %s" (reg_name rs1) (ri_str ri) (reg_name rd)
+    | Ldsb (rd, rs1, ri) -> Printf.sprintf "ldsb [%s + %s], %s" (reg_name rs1) (ri_str ri) (reg_name rd)
+    | Ldub (rd, rs1, ri) -> Printf.sprintf "ldub [%s + %s], %s" (reg_name rs1) (ri_str ri) (reg_name rd)
+    | Ldsh (rd, rs1, ri) -> Printf.sprintf "ldsh [%s + %s], %s" (reg_name rs1) (ri_str ri) (reg_name rd)
+    | Lduh (rd, rs1, ri) -> Printf.sprintf "lduh [%s + %s], %s" (reg_name rs1) (ri_str ri) (reg_name rd)
+    | St (rd, rs1, ri) -> Printf.sprintf "st %s, [%s + %s]" (reg_name rd) (reg_name rs1) (ri_str ri)
+    | Stb (rd, rs1, ri) -> Printf.sprintf "stb %s, [%s + %s]" (reg_name rd) (reg_name rs1) (ri_str ri)
+    | Sth (rd, rs1, ri) -> Printf.sprintf "sth %s, [%s + %s]" (reg_name rd) (reg_name rs1) (ri_str ri)
+    | Ldf (rd, rs1, ri) -> Printf.sprintf "ld [%s + %s], %s" (reg_name rs1) (ri_str ri) (freg_name rd)
+    | Lddf (rd, rs1, ri) -> Printf.sprintf "ldd [%s + %s], %s" (reg_name rs1) (ri_str ri) (freg_name rd)
+    | Stf (rd, rs1, ri) -> Printf.sprintf "st %s, [%s + %s]" (freg_name rd) (reg_name rs1) (ri_str ri)
+    | Stdf (rd, rs1, ri) -> Printf.sprintf "std %s, [%s + %s]" (freg_name rd) (reg_name rs1) (ri_str ri)
+    | Fpop (p, rd, rs1, rs2) ->
+      Printf.sprintf "%s %s, %s, %s" (fpop_name p) (freg_name rs1) (freg_name rs2) (freg_name rd)
+    | Fcmps (rs1, rs2) -> Printf.sprintf "fcmps %s, %s" (freg_name rs1) (freg_name rs2)
+    | Fcmpd (rs1, rs2) -> Printf.sprintf "fcmpd %s, %s" (freg_name rs1) (freg_name rs2)
+  with Bad_insn _ -> Printf.sprintf ".word 0x%08x" w

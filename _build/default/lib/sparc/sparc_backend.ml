@@ -1,0 +1,568 @@
+(* The VCODE SPARC-V8 port.
+
+   Calling convention: every generated function opens its own register
+   window (save %sp, -frame, %sp — backpatched when the final frame size
+   is known) and returns with ret/restore.  Because windows preserve the
+   caller's locals and ins automatically, the "callee-saved" VAR class
+   maps to %l0-%l7 with zero prologue cost — the SPARC port has no
+   register save area at all, which is exactly why the paper's SPARC
+   retarget was quick.
+
+   Argument passing (the VCODE convention on this target): the first six
+   word-class arguments travel in %o0-%o5 (seen as %i0-%i5 by the
+   callee); floats, doubles and further words go on the stack above the
+   92-byte window/home area.  Doubles occupy 8-aligned slot pairs.
+
+   Frame layout (grows down):
+     sp+0   .. sp+63    window save area (owned by the window traps)
+     sp+64  .. sp+67    hidden parameter word (ABI)
+     sp+68  .. sp+91    home slots for %o0-%o5
+     sp+92  .. sp+115   outgoing stack arguments (slots 6..11)
+     sp+104 .. sp+111   int<->float transfer scratch (reused; see note)
+     sp+120 ..          locals
+
+   Note: sp+104..111 doubles as the FP transfer scratch used by
+   conversions (SPARC has no direct int<->float register moves).  It
+   overlaps outgoing-argument slots 9-10, which is safe because argument
+   stores happen atomically inside do_call, never interleaved with a
+   conversion.
+
+   Scratch registers: %g1 (primary, like the MIPS $at) and %g5
+   (secondary, for mod and compare synthesis); %f30/f31 is the FP
+   scratch pair.  None are allocatable. *)
+
+open Vcodebase
+module A = Sparc_asm
+
+let reserve_words = 16
+let arg_bias = 92
+let fp_xfer = 104
+let locals_base = 120
+let max_arg_slots = 12
+
+let k_branch = 0 (* 22-bit Bicc/FBfcc displacement *)
+let k_call = 1   (* 30-bit call displacement *)
+
+let g0 = 0
+let g1 = 1 (* scratch *)
+let g5 = 5 (* scratch2 *)
+let o7 = 15
+let sp = 14
+let fp = 30
+let i0 = 24
+let i7 = 31
+let fscratch = 30
+
+let rnum = Reg.idx
+
+let e g i = ignore (Codebuf.emit g.Gen.buf (A.encode i))
+
+let desc : Machdesc.t =
+  let r n = Reg.R n and f n = Reg.F n in
+  {
+    Machdesc.name = "sparc";
+    word_bits = 32;
+    big_endian = true;
+    branch_delay_slots = 1;
+    load_delay = 1;
+    nregs = 32;
+    nfregs = 32;
+    temps = [| r 2; r 3; r 4; r 8; r 9; r 10; r 11; r 12; r 13 |];
+    vars = [| r 16; r 17; r 18; r 19; r 20; r 21; r 22; r 23 |];
+    ftemps = [| f 2; f 4; f 6; f 8; f 10; f 12; f 14; f 16; f 18; f 20; f 22; f 24; f 26; f 28 |];
+    fvars = [||]; (* V8 has no callee-saved FP registers *)
+    callee_mask = 0; (* windows preserve %l/%i automatically *)
+    fcallee_mask = 0;
+    arg_regs = [| r 24; r 25; r 26; r 27; r 28; r 29 |];
+    farg_regs = [||];
+    ret_reg = r 24; (* %i0, becomes the caller's %o0 after restore *)
+    fret_reg = f 0;
+    sp = r 14;
+    locals_base;
+    scratch = r 1;
+    reg_name = (fun reg ->
+      match reg with Reg.R n -> A.reg_name n | Reg.F n -> A.freg_name n);
+  }
+
+let fits13 v = A.simm13_ok v
+
+let fits32 v = v >= -0x80000000 && v <= 0xFFFFFFFF
+
+let load_const g rd v =
+  if not (fits32 v) then Verror.fail (Verror.Range (Printf.sprintf "SPARC immediate %d" v));
+  if fits13 v then e g (A.Alu (A.Or, rd, g0, A.Imm v))
+  else begin
+    let v32 = v land 0xFFFFFFFF in
+    e g (A.Sethi (rd, v32 lsr 10));
+    if v32 land 0x3FF <> 0 then e g (A.Alu (A.Or, rd, rd, A.Imm (v32 land 0x3FF)))
+  end
+
+(* ------------------------------------------------------------------ *)
+(* ALU                                                                 *)
+
+let signed_ty (t : Vtype.t) = Vtype.is_signed t
+
+let fneg_d g d s =
+  (* no fnegd on V8: negate the sign in the even (MS) word *)
+  e g (A.Fpop (A.Fnegs, d, 0, s));
+  if d <> s then e g (A.Fpop (A.Fmovs, d + 1, 0, s + 1))
+
+let fmov_d g d s =
+  if d <> s then begin
+    e g (A.Fpop (A.Fmovs, d, 0, s));
+    e g (A.Fpop (A.Fmovs, d + 1, 0, s + 1))
+  end
+
+(* signed division: Y must hold the sign extension of the dividend *)
+let emit_sdiv g rd a b_ri =
+  e g (A.Alu (A.Sra, g1, a, A.Imm 31));
+  e g (A.Wry (g1, A.Imm 0));
+  e g (A.Alu (A.Sdiv, rd, a, b_ri))
+
+let emit_udiv g rd a b_ri =
+  e g (A.Wry (g0, A.Imm 0));
+  e g (A.Alu (A.Udiv, rd, a, b_ri))
+
+let arith g (op : Op.binop) (t : Vtype.t) rd rs1 rs2 =
+  if Vtype.is_float t then begin
+    let dbl = t <> Vtype.F in
+    let d = rnum rd and a = rnum rs1 and b = rnum rs2 in
+    let p =
+      match (op, dbl) with
+      | Op.Add, false -> A.Fadds
+      | Op.Add, true -> A.Faddd
+      | Op.Sub, false -> A.Fsubs
+      | Op.Sub, true -> A.Fsubd
+      | Op.Mul, false -> A.Fmuls
+      | Op.Mul, true -> A.Fmuld
+      | Op.Div, false -> A.Fdivs
+      | Op.Div, true -> A.Fdivd
+      | (Op.Mod | Op.And | Op.Or | Op.Xor | Op.Lsh | Op.Rsh), _ ->
+        Verror.fail (Verror.Bad_type "float bit operation")
+    in
+    e g (A.Fpop (p, d, a, b))
+  end
+  else
+    let d = rnum rd and a = rnum rs1 and b = A.R (rnum rs2) in
+    match op with
+    | Op.Add -> e g (A.Alu (A.Add, d, a, b))
+    | Op.Sub -> e g (A.Alu (A.Sub, d, a, b))
+    | Op.Mul -> e g (A.Alu (A.Smul, d, a, b))
+    | Op.Div -> if signed_ty t then emit_sdiv g d a b else emit_udiv g d a b
+    | Op.Mod ->
+      (* q = a / b (into %g1, reusing the sign scratch); rd = a - q*b *)
+      if signed_ty t then emit_sdiv g g1 a b else emit_udiv g g1 a b;
+      e g (A.Alu (A.Smul, g1, g1, b));
+      e g (A.Alu (A.Sub, d, a, A.R g1))
+    | Op.And -> e g (A.Alu (A.And, d, a, b))
+    | Op.Or -> e g (A.Alu (A.Or, d, a, b))
+    | Op.Xor -> e g (A.Alu (A.Xor, d, a, b))
+    | Op.Lsh -> e g (A.Alu (A.Sll, d, a, b))
+    | Op.Rsh -> e g (A.Alu ((if signed_ty t then A.Sra else A.Srl), d, a, b))
+
+let arith_imm g (op : Op.binop) (t : Vtype.t) rd rs1 imm =
+  let d = rnum rd and a = rnum rs1 in
+  let via_reg () =
+    (* division synthesis uses %g1 internally, so wide divisor
+       immediates go through %g5 instead *)
+    let s = match op with Op.Div | Op.Mod -> g5 | _ -> g1 in
+    load_const g s imm;
+    arith g op t rd rs1 (Reg.R s)
+  in
+  match op with
+  | Op.Add -> if fits13 imm then e g (A.Alu (A.Add, d, a, A.Imm imm)) else via_reg ()
+  | Op.Sub -> if fits13 imm then e g (A.Alu (A.Sub, d, a, A.Imm imm)) else via_reg ()
+  | Op.And -> if fits13 imm then e g (A.Alu (A.And, d, a, A.Imm imm)) else via_reg ()
+  | Op.Or -> if fits13 imm then e g (A.Alu (A.Or, d, a, A.Imm imm)) else via_reg ()
+  | Op.Xor -> if fits13 imm then e g (A.Alu (A.Xor, d, a, A.Imm imm)) else via_reg ()
+  | Op.Lsh -> e g (A.Alu (A.Sll, d, a, A.Imm (imm land 31)))
+  | Op.Rsh ->
+    e g (A.Alu ((if signed_ty t then A.Sra else A.Srl), d, a, A.Imm (imm land 31)))
+  | Op.Mul when fits13 imm -> e g (A.Alu (A.Smul, d, a, A.Imm imm))
+  | Op.Mul | Op.Div | Op.Mod -> via_reg ()
+
+let unary g (op : Op.unop) (t : Vtype.t) rd rs =
+  if Vtype.is_float t then begin
+    let dbl = t <> Vtype.F in
+    let d = rnum rd and s = rnum rs in
+    match op with
+    | Op.Mov -> if dbl then fmov_d g d s else e g (A.Fpop (A.Fmovs, d, 0, s))
+    | Op.Neg -> if dbl then fneg_d g d s else e g (A.Fpop (A.Fnegs, d, 0, s))
+    | Op.Com | Op.Not -> Verror.fail (Verror.Bad_type "float bit operation")
+  end
+  else
+    let d = rnum rd and s = rnum rs in
+    match op with
+    | Op.Com -> e g (A.Alu (A.Xnor, d, s, A.R g0))
+    | Op.Not ->
+      (* rd <- (rs == 0): carry = (0 <u rs) = rs != 0, then invert *)
+      e g (A.Alu (A.Subcc, g0, g0, A.R s));
+      e g (A.Alu (A.Addx, d, g0, A.Imm 0));
+      e g (A.Alu (A.Xor, d, d, A.Imm 1))
+    | Op.Mov -> e g (A.Alu (A.Or, d, g0, A.R s))
+    | Op.Neg -> e g (A.Alu (A.Sub, d, g0, A.R s))
+
+let set g (_t : Vtype.t) rd imm64 =
+  if Int64.compare imm64 (-0x80000000L) < 0 || Int64.compare imm64 0xFFFFFFFFL > 0 then
+    Verror.fail (Verror.Range (Int64.to_string imm64));
+  load_const g (rnum rd) (Int64.to_int imm64)
+
+let setf g (t : Vtype.t) rd v =
+  let dbl = match t with Vtype.D -> true | _ -> false in
+  let site = Codebuf.length g.Gen.buf in
+  e g (A.Sethi (g1, 0));
+  e g (if dbl then A.Lddf (rnum rd, g1, A.Imm 0) else A.Ldf (rnum rd, g1, A.Imm 0));
+  let bits =
+    if dbl then Int64.bits_of_float v else Int64.of_int32 (Int32.bits_of_float v)
+  in
+  g.Gen.fimms <- (site, bits, dbl) :: g.Gen.fimms
+
+(* ------------------------------------------------------------------ *)
+(* Branches                                                            *)
+
+let emit_branch_to g ~(mk : int -> A.t) lab =
+  let site = Codebuf.length g.Gen.buf in
+  e g (mk 0);
+  Gen.add_reloc g ~site ~lab ~kind:k_branch;
+  e g A.Nop
+
+let unsigned_cmp (t : Vtype.t) =
+  match t with Vtype.U | Vtype.UL | Vtype.P | Vtype.UC | Vtype.US -> true | _ -> false
+
+let icond_for (c : Op.cond) ~unsigned =
+  match (c, unsigned) with
+  | Op.Lt, false -> A.BL
+  | Op.Le, false -> A.BLE
+  | Op.Gt, false -> A.BG
+  | Op.Ge, false -> A.BGE
+  | Op.Lt, true -> A.BCS
+  | Op.Le, true -> A.BLEU
+  | Op.Gt, true -> A.BGU
+  | Op.Ge, true -> A.BCC
+  | Op.Eq, _ -> A.BE
+  | Op.Ne, _ -> A.BNE
+
+let branch g (c : Op.cond) (t : Vtype.t) rs1 rs2 lab =
+  if Vtype.is_float t then begin
+    let a = rnum rs1 and b = rnum rs2 in
+    e g (if t = Vtype.F then A.Fcmps (a, b) else A.Fcmpd (a, b));
+    e g A.Nop; (* fcmp -> fbcc needs one intervening instruction on V8 *)
+    let fc =
+      match c with
+      | Op.Lt -> A.FBL
+      | Op.Le -> A.FBLE
+      | Op.Gt -> A.FBG
+      | Op.Ge -> A.FBGE
+      | Op.Eq -> A.FBE
+      | Op.Ne -> A.FBNE
+    in
+    emit_branch_to g ~mk:(fun d -> A.Fbfcc (fc, d)) lab
+  end
+  else begin
+    e g (A.Alu (A.Subcc, g0, rnum rs1, A.R (rnum rs2)));
+    emit_branch_to g ~mk:(fun d -> A.Bicc (icond_for c ~unsigned:(unsigned_cmp t), d)) lab
+  end
+
+let branch_imm g (c : Op.cond) (t : Vtype.t) rs1 imm lab =
+  if Vtype.is_float t then Verror.fail (Verror.Bad_type "float immediate branch");
+  if fits13 imm then e g (A.Alu (A.Subcc, g0, rnum rs1, A.Imm imm))
+  else begin
+    load_const g g1 imm;
+    e g (A.Alu (A.Subcc, g0, rnum rs1, A.R g1))
+  end;
+  emit_branch_to g ~mk:(fun d -> A.Bicc (icond_for c ~unsigned:(unsigned_cmp t), d)) lab
+
+(* ------------------------------------------------------------------ *)
+(* Conversions                                                         *)
+
+let cvt g ~(from : Vtype.t) ~(to_ : Vtype.t) rd rs =
+  if (not (Vtype.is_float from)) && not (Vtype.is_float to_) then
+    e g (A.Alu (A.Or, rnum rd, g0, A.R (rnum rs)))
+  else
+    match (from, to_) with
+    | (Vtype.I | Vtype.L), (Vtype.F | Vtype.D) ->
+      (* int -> float goes through memory on V8 *)
+      e g (A.St (rnum rs, sp, A.Imm fp_xfer));
+      e g (A.Ldf (fscratch, sp, A.Imm fp_xfer));
+      e g
+        (A.Fpop ((if to_ = Vtype.F then A.Fitos else A.Fitod), rnum rd, 0, fscratch))
+    | (Vtype.U | Vtype.UL), Vtype.D ->
+      e g (A.St (rnum rs, sp, A.Imm fp_xfer));
+      e g (A.Ldf (fscratch, sp, A.Imm fp_xfer));
+      e g (A.Fpop (A.Fitod, rnum rd, 0, fscratch));
+      let skip = Gen.genlabel g in
+      e g (A.Alu (A.Subcc, g0, rnum rs, A.Imm 0));
+      let site = Codebuf.length g.Gen.buf in
+      e g (A.Bicc (A.BGE, 0));
+      Gen.add_reloc g ~site ~lab:skip ~kind:k_branch;
+      e g A.Nop;
+      setf g Vtype.D (Reg.F fscratch) 4294967296.0;
+      e g (A.Fpop (A.Faddd, rnum rd, rnum rd, fscratch));
+      Gen.bind_label g skip
+    | (Vtype.F | Vtype.D), (Vtype.I | Vtype.L) ->
+      e g
+        (A.Fpop ((if from = Vtype.F then A.Fstoi else A.Fdtoi), fscratch, 0, rnum rs));
+      e g (A.Stf (fscratch, sp, A.Imm fp_xfer));
+      e g (A.Ld (rnum rd, sp, A.Imm fp_xfer))
+    | Vtype.F, Vtype.D -> e g (A.Fpop (A.Fstod, rnum rd, 0, rnum rs))
+    | Vtype.D, Vtype.F -> e g (A.Fpop (A.Fdtos, rnum rd, 0, rnum rs))
+    | _ ->
+      Verror.fail
+        (Verror.Bad_type
+           (Printf.sprintf "cv%s2%s" (Vtype.to_string from) (Vtype.to_string to_)))
+
+(* ------------------------------------------------------------------ *)
+(* Memory                                                              *)
+
+let mem_operand g base (off : Gen.offset) : int * A.ri =
+  match off with
+  | Gen.Oimm i when fits13 i -> (rnum base, A.Imm i)
+  | Gen.Oimm i ->
+    load_const g g1 i;
+    (rnum base, A.R g1)
+  | Gen.Oreg r -> (rnum base, A.R (rnum r))
+
+let load g (t : Vtype.t) rd base off =
+  let b, ri = mem_operand g base off in
+  match t with
+  | Vtype.C -> e g (A.Ldsb (rnum rd, b, ri))
+  | Vtype.UC -> e g (A.Ldub (rnum rd, b, ri))
+  | Vtype.S -> e g (A.Ldsh (rnum rd, b, ri))
+  | Vtype.US -> e g (A.Lduh (rnum rd, b, ri))
+  | Vtype.I | Vtype.U | Vtype.L | Vtype.UL | Vtype.P -> e g (A.Ld (rnum rd, b, ri))
+  | Vtype.F -> e g (A.Ldf (rnum rd, b, ri))
+  | Vtype.D -> e g (A.Lddf (rnum rd, b, ri))
+  | Vtype.V -> Verror.fail (Verror.Bad_type "ld.v")
+
+let store g (t : Vtype.t) rv base off =
+  let b, ri = mem_operand g base off in
+  match t with
+  | Vtype.C | Vtype.UC -> e g (A.Stb (rnum rv, b, ri))
+  | Vtype.S | Vtype.US -> e g (A.Sth (rnum rv, b, ri))
+  | Vtype.I | Vtype.U | Vtype.L | Vtype.UL | Vtype.P -> e g (A.St (rnum rv, b, ri))
+  | Vtype.F -> e g (A.Stf (rnum rv, b, ri))
+  | Vtype.D -> e g (A.Stdf (rnum rv, b, ri))
+  | Vtype.V -> Verror.fail (Verror.Bad_type "st.v")
+
+(* ------------------------------------------------------------------ *)
+(* Control                                                             *)
+
+let jump g (t : Gen.jtarget) =
+  (match t with
+  | Gen.Jlabel lab ->
+    let site = Codebuf.length g.Gen.buf in
+    e g (A.Bicc (A.BA, 0));
+    Gen.add_reloc g ~site ~lab ~kind:k_branch
+  | Gen.Jaddr a ->
+    load_const g g1 a;
+    e g (A.Jmpl (g0, g1, A.Imm 0))
+  | Gen.Jreg r -> e g (A.Jmpl (g0, rnum r, A.Imm 0)));
+  e g A.Nop
+
+let jal g (t : Gen.jtarget) =
+  (match t with
+  | Gen.Jlabel lab ->
+    let site = Codebuf.length g.Gen.buf in
+    e g (A.Call 0);
+    Gen.add_reloc g ~site ~lab ~kind:k_call
+  | Gen.Jaddr a ->
+    (* call is pc-relative and the site address is known now *)
+    let here = g.Gen.base + (4 * Codebuf.length g.Gen.buf) in
+    e g (A.Call ((a - here) asr 2))
+  | Gen.Jreg r -> e g (A.Jmpl (o7, rnum r, A.Imm 0)));
+  e g A.Nop
+
+let nop g = e g A.Nop
+
+(* ------------------------------------------------------------------ *)
+(* Calling convention                                                  *)
+
+type arg_loc = In_reg of int (* callee-view register *) | On_stack of int
+
+let assign_slots ~callee (tys : Vtype.t array) : (Vtype.t * arg_loc) array =
+  let reg_base = if callee then i0 else 8 (* %o0 *) in
+  let slot = ref 0 in
+  Array.map
+    (fun (t : Vtype.t) ->
+      match t with
+      | Vtype.F ->
+        let s = !slot in
+        incr slot;
+        (t, On_stack s)
+      | Vtype.D ->
+        if (!slot + (arg_bias / 4)) land 1 = 1 then incr slot;
+        let s = !slot in
+        slot := s + 2;
+        (t, On_stack s)
+      | _ ->
+        let s = !slot in
+        incr slot;
+        (t, if s < 6 then In_reg (reg_base + s) else On_stack s))
+    tys
+
+let lambda g (tys : Vtype.t array) : Reg.t array =
+  g.Gen.prologue_at <- Codebuf.reserve g.Gen.buf ~n:reserve_words ~fill:(A.encode A.Nop);
+  g.Gen.prologue_words <- reserve_words;
+  g.Gen.epilogue_lab <- Gen.genlabel g;
+  let locs = assign_slots ~callee:true tys in
+  Array.map
+    (fun ((t : Vtype.t), loc) ->
+      match loc with
+      | In_reg n ->
+        let r = Reg.R n in
+        Gen.mark_in_use g r;
+        r
+      | On_stack s ->
+        let float = Vtype.is_float t in
+        let r =
+          match Gen.getreg g ~cls:(if float then `Temp else `Var) ~float with
+          | Some r -> r
+          | None -> (
+            match Gen.getreg g ~cls:`Temp ~float with
+            | Some r -> r
+            | None -> Verror.fail (Verror.Registers_exhausted "incoming arguments"))
+        in
+        g.Gen.arg_loads <- (s, r, t) :: g.Gen.arg_loads;
+        r)
+    locs
+
+let frame_size g = (locals_base + g.Gen.locals_bytes + 7) land lnot 7
+
+let ret g (t : Vtype.t) (r : Reg.t option) =
+  let site = Codebuf.length g.Gen.buf in
+  e g (A.Bicc (A.BA, 0));
+  Gen.add_reloc g ~site ~lab:g.Gen.epilogue_lab ~kind:k_branch;
+  (* delay slot carries the return-value move *)
+  match (t, r) with
+  | Vtype.V, _ | _, None -> e g A.Nop
+  | Vtype.F, Some r ->
+    if rnum r <> 0 then e g (A.Fpop (A.Fmovs, 0, 0, rnum r)) else e g A.Nop
+  | Vtype.D, Some r ->
+    (* two instructions needed: do the move before the jump instead *)
+    if rnum r <> 0 then begin
+      Codebuf.truncate g.Gen.buf site;
+      g.Gen.relocs <- List.tl g.Gen.relocs;
+      fmov_d g 0 (rnum r);
+      let site = Codebuf.length g.Gen.buf in
+      e g (A.Bicc (A.BA, 0));
+      Gen.add_reloc g ~site ~lab:g.Gen.epilogue_lab ~kind:k_branch;
+      e g A.Nop
+    end
+    else e g A.Nop
+  | _, Some r ->
+    if rnum r <> i0 then e g (A.Alu (A.Or, i0, g0, A.R (rnum r))) else e g A.Nop
+
+let push_arg g (t : Vtype.t) (r : Reg.t) = g.Gen.call_args <- (t, r) :: g.Gen.call_args
+
+let do_call g (target : Gen.jtarget) =
+  let args = Array.of_list (List.rev g.Gen.call_args) in
+  g.Gen.call_args <- [];
+  let tys = Array.map fst args in
+  let locs = assign_slots ~callee:false tys in
+  let nslots =
+    Array.fold_left
+      (fun acc (_, loc) -> match loc with On_stack s -> max acc (s + 2) | _ -> acc)
+      0 locs
+  in
+  if nslots > max_arg_slots then
+    Verror.fail (Verror.Unsupported "more than 12 outgoing argument slots");
+  g.Gen.max_call_args <- max g.Gen.max_call_args nslots;
+  Array.iteri
+    (fun i ((t : Vtype.t), loc) ->
+      let _, src = args.(i) in
+      match loc with
+      | On_stack s -> (
+        let off = arg_bias + (4 * s) in
+        match t with
+        | Vtype.F -> e g (A.Stf (rnum src, sp, A.Imm off))
+        | Vtype.D -> e g (A.Stdf (rnum src, sp, A.Imm off))
+        | _ -> e g (A.St (rnum src, sp, A.Imm off)))
+      | In_reg _ -> ())
+    locs;
+  (* register moves: the temp pool includes %o0-%o5, so argument
+     sources may themselves be argument registers — solve the parallel
+     move problem, breaking cycles through %g1 *)
+  let imoves = ref [] in
+  Array.iteri
+    (fun i (_, loc) ->
+      let _, src = args.(i) in
+      match loc with
+      | In_reg n -> imoves := (n, rnum src) :: !imoves
+      | On_stack _ -> ())
+    locs;
+  Gen.parallel_moves ~scratch:g1
+    ~emit_mov:(fun d s -> if d <> s then e g (A.Alu (A.Or, d, g0, A.R s)))
+    (List.rev !imoves);
+  jal g target
+
+let retval g (t : Vtype.t) (r : Reg.t) =
+  match t with
+  | Vtype.V -> ()
+  | Vtype.F -> if rnum r <> 0 then e g (A.Fpop (A.Fmovs, rnum r, 0, 0))
+  | Vtype.D -> fmov_d g (rnum r) 0
+  | _ -> if rnum r <> 8 then e g (A.Alu (A.Or, rnum r, g0, A.R 8))
+
+(* ------------------------------------------------------------------ *)
+(* Finalization                                                        *)
+
+let finish g =
+  let frame = frame_size g in
+  (* epilogue: ret; restore *)
+  Gen.bind_label g g.Gen.epilogue_lab;
+  e g (A.Jmpl (g0, i7, A.Imm 8));
+  e g (A.Restore (g0, g0, A.R g0));
+  (* floating-point constant pool: patch sethi %hi / ld [%g1 + lo] *)
+  Gen.place_fimms g ~big_endian:true ~patch:(fun ~site ~addr ->
+      Codebuf.set g.Gen.buf site (A.encode (A.Sethi (g1, addr lsr 10)));
+      let old = Codebuf.get g.Gen.buf (site + 1) in
+      Codebuf.set g.Gen.buf (site + 1)
+        ((old land lnot 0x1FFF) lor (1 lsl 13) lor (addr land 0x3FF)));
+  (* prologue: save + incoming stack-argument reloads *)
+  let prologue = ref [ A.Save (sp, sp, A.Imm (-frame)) ] in
+  let add i = prologue := i :: !prologue in
+  List.iter
+    (fun (s, r, (t : Vtype.t)) ->
+      let off = arg_bias + (4 * s) in
+      match t with
+      | Vtype.F -> add (A.Ldf (rnum r, fp, A.Imm off))
+      | Vtype.D -> add (A.Lddf (rnum r, fp, A.Imm off))
+      | _ -> add (A.Ld (rnum r, fp, A.Imm off)))
+    (List.rev g.Gen.arg_loads);
+  let pro = List.rev !prologue in
+  let k = List.length pro in
+  if k > reserve_words then Verror.fail (Verror.Unsupported "prologue overflow");
+  let start = g.Gen.prologue_at + g.Gen.prologue_words - k in
+  List.iteri (fun i insn -> Codebuf.set g.Gen.buf (start + i) (A.encode insn)) pro;
+  g.Gen.entry_index <- start;
+  (* relocations *)
+  Gen.resolve_relocs g ~apply:(fun ~kind ~site ~dest ->
+      let disp = dest - site in
+      if kind = k_branch then begin
+        if disp < -0x200000 || disp > 0x1FFFFF then
+          Verror.fail (Verror.Range "branch displacement");
+        let old = Codebuf.get g.Gen.buf site in
+        Codebuf.set g.Gen.buf site ((old land lnot 0x3FFFFF) lor (disp land 0x3FFFFF))
+      end
+      else if kind = k_call then begin
+        let old = Codebuf.get g.Gen.buf site in
+        Codebuf.set g.Gen.buf site ((old land 0xC0000000) lor (disp land 0x3FFFFFFF))
+      end
+      else Verror.failf "unknown reloc kind %d" kind)
+
+let apply_reloc _g ~kind:_ ~site:_ ~dest:_ = ()
+
+let disasm ~word ~addr = A.disasm ~addr word
+
+let extra_insns =
+  [
+    ("fsqrts", fun g (rs : Reg.t array) -> e g (A.Fpop (A.Fsqrts, rnum rs.(0), 0, rnum rs.(1))));
+    ("fsqrtd", fun g rs -> e g (A.Fpop (A.Fsqrtd, rnum rs.(0), 0, rnum rs.(1))));
+    ("fabss", fun g rs -> e g (A.Fpop (A.Fabss, rnum rs.(0), 0, rnum rs.(1))));
+    ("rdy", fun g rs -> e g (A.Rdy (rnum rs.(0))));
+  ]
+
+let extra_imm_insns =
+  [
+    ("addi", fun g (rs : Reg.t array) imm -> e g (A.Alu (A.Add, rnum rs.(0), rnum rs.(1), A.Imm imm)));
+    ("ori", fun g rs imm -> e g (A.Alu (A.Or, rnum rs.(0), rnum rs.(1), A.Imm imm)));
+  ]

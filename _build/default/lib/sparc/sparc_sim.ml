@@ -1,0 +1,387 @@
+(* SPARC-V8 simulator.
+
+   Big-endian core with register windows (NWINDOWS = 8), one branch
+   delay slot, integer condition codes, the Y register for the 64-bit
+   multiply/divide results, and paired FP registers (doubles in
+   even/odd pairs, most-significant word in the even register).
+
+   Window model: window [w] owns 16 registers (8 locals + 8 ins); the
+   outs of window [w] are the ins of window [w-1] (save decrements the
+   current window pointer).  Overflow/underflow traps are not modeled —
+   call depth beyond NWINDOWS-1 is a machine error, which the VCODE
+   experiments never approach (the paper's SPARC port runs under the
+   same restriction in practice since trap handling lives in the OS). *)
+
+open Vmachine
+
+let halt_addr = 0x10000000
+let nwindows = 8
+
+exception Machine_error of string
+
+type t = {
+  mem : Mem.t;
+  icache : Cache.t;
+  dcache : Cache.t;
+  cfg : Mconfig.t;
+  globals : int array;              (* g0-g7; g0 pinned to 0 *)
+  wins : int array;                 (* nwindows * 16: locals + ins *)
+  mutable cwp : int;
+  mutable depth : int;              (* save depth, for overflow checking *)
+  fregs : int array;                (* 32 x 32-bit patterns *)
+  mutable y : int;
+  mutable icc_n : bool;
+  mutable icc_z : bool;
+  mutable icc_v : bool;
+  mutable icc_c : bool;
+  mutable fcc : int;                (* 0 =, 1 <, 2 > *)
+  mutable pc : int;
+  mutable npc : int;
+  mutable cycles : int;
+  mutable insns : int;
+  mutable stack_top : int;
+}
+
+let create (cfg : Mconfig.t) =
+  let mem = Mem.create ~big_endian:true ~size:cfg.mem_bytes () in
+  {
+    mem;
+    icache = Cache.create ~size_bytes:cfg.icache_bytes ~line_bytes:cfg.line_bytes
+               ~miss_penalty:cfg.imiss_penalty;
+    dcache = Cache.create ~size_bytes:cfg.dcache_bytes ~line_bytes:cfg.line_bytes
+               ~miss_penalty:cfg.dmiss_penalty;
+    cfg;
+    globals = Array.make 8 0;
+    wins = Array.make (nwindows * 16) 0;
+    cwp = 0;
+    depth = 0;
+    fregs = Array.make 32 0;
+    y = 0;
+    icc_n = false;
+    icc_z = false;
+    icc_v = false;
+    icc_c = false;
+    fcc = 0;
+    pc = 0;
+    npc = 4;
+    cycles = 0;
+    insns = 0;
+    stack_top = cfg.mem_bytes - 256;
+  }
+
+let sext32 v =
+  let v = v land 0xFFFFFFFF in
+  if v land 0x80000000 <> 0 then v - 0x100000000 else v
+
+let u32 v = v land 0xFFFFFFFF
+
+(* window-relative register access: outs of window w live as ins of
+   window (w-1) mod nwindows *)
+let win_slot m r =
+  if r < 16 then (* outs *) ((m.cwp - 1 + nwindows) mod nwindows * 16) + 8 + (r - 8)
+  else if r < 24 then (m.cwp * 16) + (r - 16) (* locals *)
+  else (m.cwp * 16) + 8 + (r - 24) (* ins *)
+
+let get_reg m r =
+  if r = 0 then 0
+  else if r < 8 then m.globals.(r)
+  else m.wins.(win_slot m r)
+
+let set_reg m r v =
+  if r = 0 then ()
+  else if r < 8 then m.globals.(r) <- sext32 v
+  else m.wins.(win_slot m r) <- sext32 v
+
+(* doubles: even register holds the most-significant word *)
+let get_double m f =
+  let hi = m.fregs.(f) land 0xFFFFFFFF and lo = m.fregs.(f + 1) land 0xFFFFFFFF in
+  Int64.float_of_bits
+    (Int64.logor (Int64.of_int lo) (Int64.shift_left (Int64.of_int hi) 32))
+
+let set_double m f v =
+  let bits = Int64.bits_of_float v in
+  m.fregs.(f + 1) <- Int64.to_int (Int64.logand bits 0xFFFFFFFFL);
+  m.fregs.(f) <- Int64.to_int (Int64.logand (Int64.shift_right_logical bits 32) 0xFFFFFFFFL)
+
+let get_single m f = Int32.float_of_bits (Int32.of_int m.fregs.(f))
+let set_single m f v = m.fregs.(f) <- Int32.to_int (Int32.bits_of_float v) land 0xFFFFFFFF
+
+let ri_val m = function Sparc_asm.R r -> get_reg m r | Sparc_asm.Imm v -> v
+
+let daccess m addr = m.cycles <- m.cycles + Cache.access m.dcache addr
+let waccess m addr = m.cycles <- m.cycles + Cache.write_access m.dcache addr
+
+let set_icc_sub m a b r =
+  m.icc_z <- u32 r = 0;
+  m.icc_n <- r land 0x80000000 <> 0;
+  m.icc_v <- (a lxor b) land (a lxor r) land 0x80000000 <> 0;
+  m.icc_c <- u32 a < u32 b
+
+let step m =
+  let pc = m.pc in
+  m.cycles <- m.cycles + 1 + Cache.access m.icache pc;
+  m.insns <- m.insns + 1;
+  let w = Mem.read_u32 m.mem pc in
+  let insn =
+    try Sparc_asm.decode w with Sparc_asm.Bad_insn _ ->
+      raise (Machine_error (Printf.sprintf "illegal instruction 0x%08x at 0x%x" w pc))
+  in
+  let next = m.npc in
+  let target = ref (m.npc + 4) in
+  let branch disp taken = if taken then target := pc + (4 * disp) in
+  (match insn with
+  | Sparc_asm.Nop -> ()
+  | Sparc_asm.Sethi (rd, imm22) -> set_reg m rd (imm22 lsl 10)
+  | Sparc_asm.Alu (a, rd, rs1, ri) -> (
+    let x = get_reg m rs1 and y = ri_val m ri in
+    match a with
+    | Sparc_asm.Add -> set_reg m rd (x + y)
+    | Sparc_asm.Sub -> set_reg m rd (x - y)
+    | Sparc_asm.And -> set_reg m rd (x land y)
+    | Sparc_asm.Or -> set_reg m rd (x lor y)
+    | Sparc_asm.Xor -> set_reg m rd (x lxor y)
+    | Sparc_asm.Andn -> set_reg m rd (x land lnot y)
+    | Sparc_asm.Orn -> set_reg m rd (x lor lnot y)
+    | Sparc_asm.Xnor -> set_reg m rd (lnot (x lxor y))
+    | Sparc_asm.Addx -> set_reg m rd (x + y + if m.icc_c then 1 else 0)
+    | Sparc_asm.Sll -> set_reg m rd (x lsl (y land 31))
+    | Sparc_asm.Srl -> set_reg m rd (u32 x lsr (y land 31))
+    | Sparc_asm.Sra -> set_reg m rd (x asr (y land 31))
+    | Sparc_asm.Umul ->
+      m.cycles <- m.cycles + 18;
+      let p = Int64.mul (Int64.of_int (u32 x)) (Int64.of_int (u32 y)) in
+      m.y <- Int64.to_int (Int64.shift_right_logical p 32) land 0xFFFFFFFF;
+      set_reg m rd (Int64.to_int (Int64.logand p 0xFFFFFFFFL))
+    | Sparc_asm.Smul ->
+      m.cycles <- m.cycles + 18;
+      let p = Int64.mul (Int64.of_int x) (Int64.of_int y) in
+      m.y <- Int64.to_int (Int64.shift_right_logical p 32) land 0xFFFFFFFF;
+      set_reg m rd (Int64.to_int (Int64.logand p 0xFFFFFFFFL))
+    | Sparc_asm.Udiv ->
+      m.cycles <- m.cycles + 36;
+      let dividend =
+        Int64.logor
+          (Int64.shift_left (Int64.of_int (u32 m.y)) 32)
+          (Int64.of_int (u32 x))
+      in
+      let dv = u32 y in
+      if dv = 0 then set_reg m rd 0
+      else set_reg m rd (Int64.to_int (Int64.div dividend (Int64.of_int dv)))
+    | Sparc_asm.Sdiv ->
+      m.cycles <- m.cycles + 36;
+      let dividend =
+        Int64.logor
+          (Int64.shift_left (Int64.of_int (u32 m.y)) 32)
+          (Int64.of_int (u32 x))
+      in
+      if y = 0 then set_reg m rd 0
+      else set_reg m rd (Int64.to_int (Int64.div dividend (Int64.of_int y)))
+    | Sparc_asm.Addcc ->
+      let r = x + y in
+      m.icc_z <- u32 r = 0;
+      m.icc_n <- r land 0x80000000 <> 0;
+      m.icc_v <- lnot (x lxor y) land (x lxor r) land 0x80000000 <> 0;
+      m.icc_c <- u32 r < u32 x;
+      set_reg m rd r
+    | Sparc_asm.Subcc ->
+      let r = x - y in
+      set_icc_sub m x y r;
+      set_reg m rd r)
+  | Sparc_asm.Bicc (c, disp) ->
+    let t =
+      let open Sparc_asm in
+      match c with
+      | BA -> true
+      | BN -> false
+      | BNE -> not m.icc_z
+      | BE -> m.icc_z
+      | BG -> not (m.icc_z || m.icc_n <> m.icc_v)
+      | BLE -> m.icc_z || m.icc_n <> m.icc_v
+      | BGE -> m.icc_n = m.icc_v
+      | BL -> m.icc_n <> m.icc_v
+      | BGU -> (not m.icc_c) && not m.icc_z
+      | BLEU -> m.icc_c || m.icc_z
+      | BCC -> not m.icc_c
+      | BCS -> m.icc_c
+      | BPOS -> not m.icc_n
+      | BNEG -> m.icc_n
+    in
+    branch disp t
+  | Sparc_asm.Fbfcc (c, disp) ->
+    let t =
+      let open Sparc_asm in
+      match c with
+      | FBE -> m.fcc = 0
+      | FBNE -> m.fcc <> 0
+      | FBL -> m.fcc = 1
+      | FBG -> m.fcc = 2
+      | FBLE -> m.fcc = 0 || m.fcc = 1
+      | FBGE -> m.fcc = 0 || m.fcc = 2
+    in
+    branch disp t
+  | Sparc_asm.Call disp ->
+    set_reg m 15 pc;
+    target := pc + (4 * disp)
+  | Sparc_asm.Jmpl (rd, rs1, ri) ->
+    set_reg m rd pc;
+    target := u32 (get_reg m rs1 + ri_val m ri)
+  | Sparc_asm.Save (rd, rs1, ri) ->
+    if m.depth >= nwindows - 2 then raise (Machine_error "register window overflow");
+    let v = get_reg m rs1 + ri_val m ri in
+    m.cwp <- (m.cwp - 1 + nwindows) mod nwindows;
+    m.depth <- m.depth + 1;
+    set_reg m rd v
+  | Sparc_asm.Restore (rd, rs1, ri) ->
+    if m.depth <= 0 then raise (Machine_error "register window underflow");
+    let v = get_reg m rs1 + ri_val m ri in
+    m.cwp <- (m.cwp + 1) mod nwindows;
+    m.depth <- m.depth - 1;
+    set_reg m rd v
+  | Sparc_asm.Rdy rd -> set_reg m rd m.y
+  | Sparc_asm.Wry (rs1, ri) -> m.y <- u32 (get_reg m rs1 lxor ri_val m ri)
+  | Sparc_asm.Ld (rd, rs1, ri) ->
+    let a = u32 (get_reg m rs1 + ri_val m ri) in
+    daccess m a;
+    set_reg m rd (Mem.read_u32 m.mem a)
+  | Sparc_asm.Ldsb (rd, rs1, ri) ->
+    let a = u32 (get_reg m rs1 + ri_val m ri) in
+    daccess m a;
+    let v = Mem.read_u8 m.mem a in
+    set_reg m rd (if v land 0x80 <> 0 then v - 0x100 else v)
+  | Sparc_asm.Ldub (rd, rs1, ri) ->
+    let a = u32 (get_reg m rs1 + ri_val m ri) in
+    daccess m a;
+    set_reg m rd (Mem.read_u8 m.mem a)
+  | Sparc_asm.Ldsh (rd, rs1, ri) ->
+    let a = u32 (get_reg m rs1 + ri_val m ri) in
+    daccess m a;
+    let v = Mem.read_u16 m.mem a in
+    set_reg m rd (if v land 0x8000 <> 0 then v - 0x10000 else v)
+  | Sparc_asm.Lduh (rd, rs1, ri) ->
+    let a = u32 (get_reg m rs1 + ri_val m ri) in
+    daccess m a;
+    set_reg m rd (Mem.read_u16 m.mem a)
+  | Sparc_asm.St (rd, rs1, ri) ->
+    let a = u32 (get_reg m rs1 + ri_val m ri) in
+    waccess m a;
+    Mem.write_u32 m.mem a (u32 (get_reg m rd))
+  | Sparc_asm.Stb (rd, rs1, ri) ->
+    let a = u32 (get_reg m rs1 + ri_val m ri) in
+    waccess m a;
+    Mem.write_u8 m.mem a (get_reg m rd)
+  | Sparc_asm.Sth (rd, rs1, ri) ->
+    let a = u32 (get_reg m rs1 + ri_val m ri) in
+    waccess m a;
+    Mem.write_u16 m.mem a (get_reg m rd)
+  | Sparc_asm.Ldf (rd, rs1, ri) ->
+    let a = u32 (get_reg m rs1 + ri_val m ri) in
+    daccess m a;
+    m.fregs.(rd) <- Mem.read_u32 m.mem a
+  | Sparc_asm.Lddf (rd, rs1, ri) ->
+    let a = u32 (get_reg m rs1 + ri_val m ri) in
+    daccess m a;
+    m.fregs.(rd) <- Mem.read_u32 m.mem a;
+    m.fregs.(rd + 1) <- Mem.read_u32 m.mem (a + 4)
+  | Sparc_asm.Stf (rd, rs1, ri) ->
+    let a = u32 (get_reg m rs1 + ri_val m ri) in
+    waccess m a;
+    Mem.write_u32 m.mem a m.fregs.(rd)
+  | Sparc_asm.Stdf (rd, rs1, ri) ->
+    let a = u32 (get_reg m rs1 + ri_val m ri) in
+    waccess m a;
+    Mem.write_u32 m.mem a m.fregs.(rd);
+    Mem.write_u32 m.mem (a + 4) m.fregs.(rd + 1)
+  | Sparc_asm.Fpop (p, rd, rs1, rs2) -> (
+    let open Sparc_asm in
+    match p with
+    | Fadds -> m.cycles <- m.cycles + 1; set_single m rd (get_single m rs1 +. get_single m rs2)
+    | Faddd -> m.cycles <- m.cycles + 1; set_double m rd (get_double m rs1 +. get_double m rs2)
+    | Fsubs -> m.cycles <- m.cycles + 1; set_single m rd (get_single m rs1 -. get_single m rs2)
+    | Fsubd -> m.cycles <- m.cycles + 1; set_double m rd (get_double m rs1 -. get_double m rs2)
+    | Fmuls -> m.cycles <- m.cycles + 3; set_single m rd (get_single m rs1 *. get_single m rs2)
+    | Fmuld -> m.cycles <- m.cycles + 4; set_double m rd (get_double m rs1 *. get_double m rs2)
+    | Fdivs -> m.cycles <- m.cycles + 12; set_single m rd (get_single m rs1 /. get_single m rs2)
+    | Fdivd -> m.cycles <- m.cycles + 18; set_double m rd (get_double m rs1 /. get_double m rs2)
+    | Fmovs -> m.fregs.(rd) <- m.fregs.(rs2)
+    | Fnegs -> set_single m rd (-.get_single m rs2)
+    | Fabss -> set_single m rd (abs_float (get_single m rs2))
+    | Fsqrts -> m.cycles <- m.cycles + 13; set_single m rd (sqrt (get_single m rs2))
+    | Fsqrtd -> m.cycles <- m.cycles + 25; set_double m rd (sqrt (get_double m rs2))
+    | Fitos -> set_single m rd (float_of_int (sext32 m.fregs.(rs2)))
+    | Fitod -> set_double m rd (float_of_int (sext32 m.fregs.(rs2)))
+    | Fstoi -> m.fregs.(rd) <- u32 (int_of_float (Float.trunc (get_single m rs2)))
+    | Fdtoi -> m.fregs.(rd) <- u32 (int_of_float (Float.trunc (get_double m rs2)))
+    | Fstod -> set_double m rd (get_single m rs2)
+    | Fdtos -> set_single m rd (get_double m rs2))
+  | Sparc_asm.Fcmps (rs1, rs2) ->
+    let a = get_single m rs1 and b = get_single m rs2 in
+    m.fcc <- (if a = b then 0 else if a < b then 1 else 2)
+  | Sparc_asm.Fcmpd (rs1, rs2) ->
+    let a = get_double m rs1 and b = get_double m rs2 in
+    m.fcc <- (if a = b then 0 else if a < b then 1 else 2));
+  m.pc <- next;
+  m.npc <- !target
+
+let default_fuel = 200_000_000
+
+let run ?(fuel = default_fuel) m =
+  let steps = ref 0 in
+  while m.pc <> halt_addr do
+    if !steps >= fuel then raise (Machine_error "out of fuel (infinite loop?)");
+    incr steps;
+    step m
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Harness: the VCODE SPARC convention — first six word-class args in
+   %o0-%o5, floats/doubles and further args on the stack at sp+92;
+   doubles take an 8-aligned pair of slots.                            *)
+
+type arg = Int of int | Single of float | Double of float
+
+let arg_bias = 92 (* window save (64) + hidden (4) + o0-o5 home (24) *)
+
+let place_args m ~sp args =
+  let slot = ref 0 in
+  List.iter
+    (fun a ->
+      match a with
+      | Int v ->
+        let s = !slot in
+        if s < 6 then set_reg m (8 + s) v
+        else Mem.write_u32 m.mem (sp + arg_bias + (4 * s)) (u32 v);
+        incr slot
+      | Single v ->
+        let s = !slot in
+        Mem.write_u32 m.mem (sp + arg_bias + (4 * s))
+          (Int32.to_int (Int32.bits_of_float v) land 0xFFFFFFFF);
+        incr slot
+      | Double v ->
+        if (!slot + (arg_bias / 4)) land 1 = 1 then incr slot;
+        let s = !slot in
+        Mem.write_u64 m.mem (sp + arg_bias + (4 * s)) (Int64.bits_of_float v);
+        slot := s + 2)
+    args
+
+let call ?fuel m ~entry args =
+  let sp = m.stack_top land lnot 7 in
+  set_reg m 14 sp; (* %sp = %o6 *)
+  set_reg m 15 (halt_addr - 8); (* %o7: ret = jmpl %i7+8 *)
+  place_args m ~sp args;
+  m.pc <- entry;
+  m.npc <- entry + 4;
+  run ?fuel m
+
+let ret_int m = get_reg m 8 (* %o0 after the callee's restore *)
+let ret_single m = get_single m 0
+let ret_double m = get_double m 0
+
+let reset_stats m =
+  m.cycles <- 0;
+  m.insns <- 0;
+  Cache.reset_stats m.icache;
+  Cache.reset_stats m.dcache
+
+let flush_caches m =
+  Cache.flush m.icache;
+  Cache.flush m.dcache

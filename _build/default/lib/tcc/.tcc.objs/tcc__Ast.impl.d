@@ -1,0 +1,1 @@
+lib/tcc/ast.ml: List

@@ -1,0 +1,1 @@
+lib/tcc/lexer.ml: Char List Printf String

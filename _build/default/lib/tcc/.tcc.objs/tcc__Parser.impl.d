@@ -1,0 +1,1 @@
+lib/tcc/parser.ml: Ast Lexer List Printf String

@@ -1,0 +1,1 @@
+lib/tcc/tcc_compile.ml: Array Ast Gen Hashtbl Int64 List Machdesc Op Parser Printf Reg String Target Vcode Vcodebase Vtype

@@ -1,0 +1,143 @@
+(* Abstract syntax for the tcc C subset.
+
+   tcc (paper section 4.1) is a C compiler that uses VCODE as its
+   abstract target machine.  This reproduction compiles a practical C
+   subset — enough to write the paper's experimental clients (the MPF
+   and PATHFINDER packet-filter interpreters of Table 3 are written in
+   it): ints/unsigned/chars, multi-level pointers with C pointer
+   arithmetic, all the usual operators including short-circuit && and
+   ||, control flow, and function calls. *)
+
+type ty =
+  | Tvoid
+  | Tint
+  | Tuint
+  | Tchar
+  | Tuchar
+  | Tushort
+  | Tptr of ty
+
+let rec ty_to_string = function
+  | Tvoid -> "void"
+  | Tint -> "int"
+  | Tuint -> "unsigned"
+  | Tchar -> "char"
+  | Tuchar -> "unsigned char"
+  | Tushort -> "unsigned short"
+  | Tptr t -> ty_to_string t ^ " *"
+
+(* size of a value of type [t] in memory, given the pointer size *)
+let ty_size ~word_bytes = function
+  | Tvoid -> 0
+  | Tchar | Tuchar -> 1
+  | Tushort -> 2
+  | Tint | Tuint -> 4
+  | Tptr _ -> word_bytes
+
+let is_pointer = function Tptr _ -> true | _ -> false
+
+let is_unsigned = function
+  | Tuint | Tuchar | Tushort | Tptr _ -> true
+  | Tvoid | Tint | Tchar -> false
+
+type binop =
+  | Badd | Bsub | Bmul | Bdiv | Bmod
+  | Band | Bor | Bxor | Bshl | Bshr
+  | Blt | Ble | Bgt | Bge | Beq | Bne
+  | Bland | Blor
+
+type unop = Uneg | Unot | Ucom | Uderef
+
+type expr =
+  | Eint of int
+  | Evar of string
+  | Eaddr of string  (* &name: the variable is forced to the stack *)
+  | Eun of unop * expr
+  | Ebin of binop * expr * expr
+  | Ecall of string * expr list
+  | Eindex of expr * expr     (* p[i] *)
+  | Eassign of expr * expr    (* lvalue = e, yields e *)
+  | Ecast of ty * expr
+
+type case_label = Cint of int | Cdefault
+
+type stmt =
+  | Sdecl of ty * string * expr option
+  | Sdecl_arr of ty * string * int  (* ty name[n]: stack array *)
+  | Sswitch of expr * (case_label list * stmt list) list
+  | Sexpr of expr
+  | Sif of expr * stmt * stmt option
+  | Swhile of expr * stmt
+  | Sdo of stmt * expr
+  | Sfor of expr option * expr option * expr option * stmt
+  | Sreturn of expr option
+  | Sblock of stmt list
+  | Sbreak
+  | Scontinue
+
+type func = {
+  fname : string;
+  fret : ty;
+  fparams : (ty * string) list;
+  fbody : stmt list;
+}
+
+(* top-level items: functions and global variables (scalars or arrays) *)
+type item = Ifunc of func | Iglobal of ty * string * int option
+
+type unit_ = item list
+
+(* does a statement list contain any call? (leaf inference) *)
+let rec expr_has_call = function
+  | Ecall _ -> true
+  | Eint _ | Evar _ | Eaddr _ -> false
+  | Eun (_, e) | Ecast (_, e) -> expr_has_call e
+  | Ebin (_, a, b) | Eindex (a, b) | Eassign (a, b) -> expr_has_call a || expr_has_call b
+
+let rec stmt_has_call = function
+  | Sdecl (_, _, Some e) | Sexpr e -> expr_has_call e
+  | Sdecl (_, _, None) | Sdecl_arr _ | Sbreak | Scontinue | Sreturn None -> false
+  | Sreturn (Some e) -> expr_has_call e
+  | Sif (c, a, b) ->
+    expr_has_call c || stmt_has_call a
+    || (match b with Some s -> stmt_has_call s | None -> false)
+  | Swhile (c, s) -> expr_has_call c || stmt_has_call s
+  | Sdo (s, c) -> expr_has_call c || stmt_has_call s
+  | Sfor (i, c, u, s) ->
+    let oe = function Some e -> expr_has_call e | None -> false in
+    oe i || oe c || oe u || stmt_has_call s
+  | Sswitch (e, arms) ->
+    expr_has_call e || List.exists (fun (_, ss) -> List.exists stmt_has_call ss) arms
+  | Sblock ss -> List.exists stmt_has_call ss
+
+let func_is_leaf f = not (List.exists stmt_has_call f.fbody)
+
+(* names whose address is taken anywhere in the function: the compiler
+   must give them stack homes *)
+let rec expr_addressed acc = function
+  | Eaddr n -> n :: acc
+  | Eint _ | Evar _ -> acc
+  | Eun (_, e) | Ecast (_, e) -> expr_addressed acc e
+  | Ebin (_, a, b) | Eindex (a, b) | Eassign (a, b) ->
+    expr_addressed (expr_addressed acc a) b
+  | Ecall (_, args) -> List.fold_left expr_addressed acc args
+
+let rec stmt_addressed acc = function
+  | Sdecl (_, _, Some e) | Sexpr e | Sreturn (Some e) -> expr_addressed acc e
+  | Sdecl (_, _, None) | Sdecl_arr _ | Sbreak | Scontinue | Sreturn None -> acc
+  | Sif (c, a, b) ->
+    let acc = expr_addressed acc c in
+    let acc = stmt_addressed acc a in
+    (match b with Some s -> stmt_addressed acc s | None -> acc)
+  | Swhile (c, s) | Sdo (s, c) -> stmt_addressed (expr_addressed acc c) s
+  | Sfor (i, c, u, s) ->
+    let oe acc = function Some e -> expr_addressed acc e | None -> acc in
+    stmt_addressed (oe (oe (oe acc i) c) u) s
+  | Sswitch (e, arms) ->
+    List.fold_left
+      (fun acc (_, ss) -> List.fold_left stmt_addressed acc ss)
+      (expr_addressed acc e) arms
+  | Sblock ss -> List.fold_left stmt_addressed acc ss
+
+let func_addressed (f : func) : string list =
+  List.sort_uniq compare (List.fold_left stmt_addressed [] f.fbody)

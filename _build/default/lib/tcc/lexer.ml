@@ -1,0 +1,109 @@
+(* Hand-written lexer for the tcc C subset. *)
+
+type token =
+  | INT of int
+  | IDENT of string
+  | KW of string    (* int, unsigned, char, void, if, else, while, do, for,
+                       return, break, continue, short *)
+  | PUNCT of string (* operators and delimiters *)
+  | EOF
+
+exception Lex_error of string * int (* message, offset *)
+
+let keywords =
+  [ "int"; "unsigned"; "char"; "void"; "if"; "else"; "while"; "do"; "for";
+    "return"; "break"; "continue"; "short"; "switch"; "case"; "default" ]
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+let is_hex c = is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+
+(* multi-character punctuators, longest first *)
+let puncts3 = [ "<<="; ">>=" ]
+let puncts2 =
+  [ "<<"; ">>"; "<="; ">="; "=="; "!="; "&&"; "||"; "+="; "-="; "*="; "/=";
+    "%="; "&="; "|="; "^="; "++"; "--" ]
+
+let tokenize (src : string) : token list =
+  let n = String.length src in
+  let toks = ref [] in
+  let push t = toks := t :: !toks in
+  let i = ref 0 in
+  let starts_with at s =
+    let l = String.length s in
+    at + l <= n && String.sub src at l = s
+  in
+  while !i < n do
+    let c = src.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if starts_with !i "/*" then begin
+      let j = ref (!i + 2) in
+      while !j + 1 < n && not (src.[!j] = '*' && src.[!j + 1] = '/') do incr j done;
+      if !j + 1 >= n then raise (Lex_error ("unterminated comment", !i));
+      i := !j + 2
+    end
+    else if starts_with !i "//" then begin
+      while !i < n && src.[!i] <> '\n' do incr i done
+    end
+    else if is_digit c then begin
+      if starts_with !i "0x" || starts_with !i "0X" then begin
+        let j = ref (!i + 2) in
+        while !j < n && is_hex src.[!j] do incr j done;
+        if !j = !i + 2 then raise (Lex_error ("bad hex literal", !i));
+        push (INT (int_of_string (String.sub src !i (!j - !i))));
+        i := !j
+      end
+      else begin
+        let j = ref !i in
+        while !j < n && is_digit src.[!j] do incr j done;
+        push (INT (int_of_string (String.sub src !i (!j - !i))));
+        i := !j
+      end
+    end
+    else if c = '\'' then begin
+      (* character literal, with the usual escapes *)
+      if !i + 2 >= n then raise (Lex_error ("bad char literal", !i));
+      if src.[!i + 1] = '\\' then begin
+        let v =
+          match src.[!i + 2] with
+          | 'n' -> 10 | 't' -> 9 | 'r' -> 13 | '0' -> 0 | '\\' -> 92 | '\'' -> 39
+          | c -> Char.code c
+        in
+        if !i + 3 >= n || src.[!i + 3] <> '\'' then
+          raise (Lex_error ("bad char literal", !i));
+        push (INT v);
+        i := !i + 4
+      end
+      else begin
+        if src.[!i + 2] <> '\'' then raise (Lex_error ("bad char literal", !i));
+        push (INT (Char.code src.[!i + 1]));
+        i := !i + 3
+      end
+    end
+    else if is_ident_start c then begin
+      let j = ref !i in
+      while !j < n && is_ident_char src.[!j] do incr j done;
+      let s = String.sub src !i (!j - !i) in
+      push (if List.mem s keywords then KW s else IDENT s);
+      i := !j
+    end
+    else begin
+      let p3 = List.find_opt (starts_with !i) puncts3 in
+      let p2 = List.find_opt (starts_with !i) puncts2 in
+      match (p3, p2) with
+      | Some p, _ ->
+        push (PUNCT p);
+        i := !i + 3
+      | None, Some p ->
+        push (PUNCT p);
+        i := !i + 2
+      | None, None ->
+        if String.contains "+-*/%&|^~!<>=(){}[];,.:" c then begin
+          push (PUNCT (String.make 1 c));
+          incr i
+        end
+        else raise (Lex_error (Printf.sprintf "unexpected character %C" c, !i))
+    end
+  done;
+  List.rev (EOF :: !toks)

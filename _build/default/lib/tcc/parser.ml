@@ -1,0 +1,521 @@
+(* Recursive-descent parser for the tcc C subset. *)
+
+open Ast
+
+exception Parse_error of string
+
+type state = { mutable toks : Lexer.token list }
+
+let peek st = match st.toks with [] -> Lexer.EOF | t :: _ -> t
+let peek2 st = match st.toks with _ :: t :: _ -> t | _ -> Lexer.EOF
+
+let advance st =
+  match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let fail msg = raise (Parse_error msg)
+
+let tok_to_string = function
+  | Lexer.INT v -> string_of_int v
+  | Lexer.IDENT s -> s
+  | Lexer.KW s -> s
+  | Lexer.PUNCT s -> s
+  | Lexer.EOF -> "<eof>"
+
+let expect st (t : Lexer.token) =
+  if peek st = t then advance st
+  else fail (Printf.sprintf "expected %s, found %s" (tok_to_string t) (tok_to_string (peek st)))
+
+let expect_punct st s = expect st (Lexer.PUNCT s)
+
+let expect_ident st =
+  match peek st with
+  | Lexer.IDENT s ->
+    advance st;
+    s
+  | t -> fail ("expected identifier, found " ^ tok_to_string t)
+
+(* --- types ---------------------------------------------------------- *)
+
+let starts_type st =
+  match peek st with
+  | Lexer.KW ("int" | "unsigned" | "char" | "void") -> true
+  | _ -> false
+
+let parse_base_type st : ty =
+  match peek st with
+  | Lexer.KW "int" ->
+    advance st;
+    Tint
+  | Lexer.KW "char" ->
+    advance st;
+    Tchar
+  | Lexer.KW "void" ->
+    advance st;
+    Tvoid
+  | Lexer.KW "unsigned" ->
+    advance st;
+    (match peek st with
+    | Lexer.KW "int" ->
+      advance st;
+      Tuint
+    | Lexer.KW "char" ->
+      advance st;
+      Tuchar
+    | Lexer.KW "short" ->
+      advance st;
+      Tushort
+    | _ -> Tuint)
+  | t -> fail ("expected type, found " ^ tok_to_string t)
+
+let parse_type st : ty =
+  let base = parse_base_type st in
+  let rec stars t =
+    if peek st = Lexer.PUNCT "*" then begin
+      advance st;
+      stars (Tptr t)
+    end
+    else t
+  in
+  stars base
+
+(* --- expressions ----------------------------------------------------- *)
+
+let rec parse_expr st : expr = parse_assign st
+
+and parse_assign st : expr =
+  let lhs = parse_lor st in
+  match peek st with
+  | Lexer.PUNCT "=" ->
+    advance st;
+    Eassign (lhs, parse_assign st)
+  | Lexer.PUNCT ("+=" | "-=" | "*=" | "/=" | "%=" | "&=" | "|=" | "^=" | "<<=" | ">>=") ->
+    let p = match peek st with Lexer.PUNCT p -> p | _ -> assert false in
+    advance st;
+    let op =
+      match String.sub p 0 (String.length p - 1) with
+      | "+" -> Badd | "-" -> Bsub | "*" -> Bmul | "/" -> Bdiv | "%" -> Bmod
+      | "&" -> Band | "|" -> Bor | "^" -> Bxor | "<<" -> Bshl | ">>" -> Bshr
+      | _ -> assert false
+    in
+    Eassign (lhs, Ebin (op, lhs, parse_assign st))
+  | _ -> lhs
+
+and parse_lor st =
+  let rec go acc =
+    if peek st = Lexer.PUNCT "||" then begin
+      advance st;
+      go (Ebin (Blor, acc, parse_land st))
+    end
+    else acc
+  in
+  go (parse_land st)
+
+and parse_land st =
+  let rec go acc =
+    if peek st = Lexer.PUNCT "&&" then begin
+      advance st;
+      go (Ebin (Bland, acc, parse_bitor st))
+    end
+    else acc
+  in
+  go (parse_bitor st)
+
+and parse_bitor st =
+  let rec go acc =
+    if peek st = Lexer.PUNCT "|" then begin
+      advance st;
+      go (Ebin (Bor, acc, parse_bitxor st))
+    end
+    else acc
+  in
+  go (parse_bitxor st)
+
+and parse_bitxor st =
+  let rec go acc =
+    if peek st = Lexer.PUNCT "^" then begin
+      advance st;
+      go (Ebin (Bxor, acc, parse_bitand st))
+    end
+    else acc
+  in
+  go (parse_bitand st)
+
+and parse_bitand st =
+  let rec go acc =
+    if peek st = Lexer.PUNCT "&" then begin
+      advance st;
+      go (Ebin (Band, acc, parse_equality st))
+    end
+    else acc
+  in
+  go (parse_equality st)
+
+and parse_equality st =
+  let rec go acc =
+    match peek st with
+    | Lexer.PUNCT "==" ->
+      advance st;
+      go (Ebin (Beq, acc, parse_relational st))
+    | Lexer.PUNCT "!=" ->
+      advance st;
+      go (Ebin (Bne, acc, parse_relational st))
+    | _ -> acc
+  in
+  go (parse_relational st)
+
+and parse_relational st =
+  let rec go acc =
+    match peek st with
+    | Lexer.PUNCT "<" ->
+      advance st;
+      go (Ebin (Blt, acc, parse_shift st))
+    | Lexer.PUNCT "<=" ->
+      advance st;
+      go (Ebin (Ble, acc, parse_shift st))
+    | Lexer.PUNCT ">" ->
+      advance st;
+      go (Ebin (Bgt, acc, parse_shift st))
+    | Lexer.PUNCT ">=" ->
+      advance st;
+      go (Ebin (Bge, acc, parse_shift st))
+    | _ -> acc
+  in
+  go (parse_shift st)
+
+and parse_shift st =
+  let rec go acc =
+    match peek st with
+    | Lexer.PUNCT "<<" ->
+      advance st;
+      go (Ebin (Bshl, acc, parse_additive st))
+    | Lexer.PUNCT ">>" ->
+      advance st;
+      go (Ebin (Bshr, acc, parse_additive st))
+    | _ -> acc
+  in
+  go (parse_additive st)
+
+and parse_additive st =
+  let rec go acc =
+    match peek st with
+    | Lexer.PUNCT "+" ->
+      advance st;
+      go (Ebin (Badd, acc, parse_multiplicative st))
+    | Lexer.PUNCT "-" ->
+      advance st;
+      go (Ebin (Bsub, acc, parse_multiplicative st))
+    | _ -> acc
+  in
+  go (parse_multiplicative st)
+
+and parse_multiplicative st =
+  let rec go acc =
+    match peek st with
+    | Lexer.PUNCT "*" ->
+      advance st;
+      go (Ebin (Bmul, acc, parse_unary st))
+    | Lexer.PUNCT "/" ->
+      advance st;
+      go (Ebin (Bdiv, acc, parse_unary st))
+    | Lexer.PUNCT "%" ->
+      advance st;
+      go (Ebin (Bmod, acc, parse_unary st))
+    | _ -> acc
+  in
+  go (parse_unary st)
+
+and parse_unary st : expr =
+  match peek st with
+  | Lexer.PUNCT "&" -> (
+    advance st;
+    match parse_unary st with
+    | Evar n -> Eaddr n
+    | _ -> fail "& applies only to named variables")
+  | Lexer.PUNCT "-" ->
+    advance st;
+    Eun (Uneg, parse_unary st)
+  | Lexer.PUNCT "!" ->
+    advance st;
+    Eun (Unot, parse_unary st)
+  | Lexer.PUNCT "~" ->
+    advance st;
+    Eun (Ucom, parse_unary st)
+  | Lexer.PUNCT "*" ->
+    advance st;
+    Eun (Uderef, parse_unary st)
+  | Lexer.PUNCT "++" ->
+    advance st;
+    let e = parse_unary st in
+    Eassign (e, Ebin (Badd, e, Eint 1))
+  | Lexer.PUNCT "--" ->
+    advance st;
+    let e = parse_unary st in
+    Eassign (e, Ebin (Bsub, e, Eint 1))
+  | Lexer.PUNCT "(" when (match peek2 st with Lexer.KW _ -> true | _ -> false) ->
+    (* cast *)
+    advance st;
+    let t = parse_type st in
+    expect_punct st ")";
+    Ecast (t, parse_unary st)
+  | _ -> parse_postfix st
+
+and parse_postfix st : expr =
+  let e = ref (parse_primary st) in
+  let continue_ = ref true in
+  while !continue_ do
+    match peek st with
+    | Lexer.PUNCT "[" ->
+      advance st;
+      let idx = parse_expr st in
+      expect_punct st "]";
+      e := Eindex (!e, idx)
+    | Lexer.PUNCT "++" ->
+      (* NOTE: value semantics are "after increment" (see ast.ml) *)
+      advance st;
+      e := Eassign (!e, Ebin (Badd, !e, Eint 1))
+    | Lexer.PUNCT "--" ->
+      advance st;
+      e := Eassign (!e, Ebin (Bsub, !e, Eint 1))
+    | _ -> continue_ := false
+  done;
+  !e
+
+and parse_primary st : expr =
+  match peek st with
+  | Lexer.INT v ->
+    advance st;
+    Eint v
+  | Lexer.IDENT name ->
+    advance st;
+    if peek st = Lexer.PUNCT "(" then begin
+      advance st;
+      let args = ref [] in
+      if peek st <> Lexer.PUNCT ")" then begin
+        args := [ parse_expr st ];
+        while peek st = Lexer.PUNCT "," do
+          advance st;
+          args := parse_expr st :: !args
+        done
+      end;
+      expect_punct st ")";
+      Ecall (name, List.rev !args)
+    end
+    else Evar name
+  | Lexer.PUNCT "(" ->
+    advance st;
+    let e = parse_expr st in
+    expect_punct st ")";
+    e
+  | t -> fail ("expected expression, found " ^ tok_to_string t)
+
+(* --- statements ------------------------------------------------------ *)
+
+let rec parse_stmt st : stmt =
+  match peek st with
+  | Lexer.PUNCT "{" ->
+    advance st;
+    let body = ref [] in
+    while peek st <> Lexer.PUNCT "}" do
+      body := parse_stmt st :: !body
+    done;
+    advance st;
+    Sblock (List.rev !body)
+  | Lexer.KW "if" ->
+    advance st;
+    expect_punct st "(";
+    let c = parse_expr st in
+    expect_punct st ")";
+    let then_ = parse_stmt st in
+    if peek st = Lexer.KW "else" then begin
+      advance st;
+      Sif (c, then_, Some (parse_stmt st))
+    end
+    else Sif (c, then_, None)
+  | Lexer.KW "while" ->
+    advance st;
+    expect_punct st "(";
+    let c = parse_expr st in
+    expect_punct st ")";
+    Swhile (c, parse_stmt st)
+  | Lexer.KW "do" ->
+    advance st;
+    let body = parse_stmt st in
+    expect st (Lexer.KW "while");
+    expect_punct st "(";
+    let c = parse_expr st in
+    expect_punct st ")";
+    expect_punct st ";";
+    Sdo (body, c)
+  | Lexer.KW "for" ->
+    advance st;
+    expect_punct st "(";
+    let init = if peek st = Lexer.PUNCT ";" then None else Some (parse_expr st) in
+    expect_punct st ";";
+    let cond = if peek st = Lexer.PUNCT ";" then None else Some (parse_expr st) in
+    expect_punct st ";";
+    let update = if peek st = Lexer.PUNCT ")" then None else Some (parse_expr st) in
+    expect_punct st ")";
+    Sfor (init, cond, update, parse_stmt st)
+  | Lexer.KW "switch" ->
+    advance st;
+    expect_punct st "(";
+    let e = parse_expr st in
+    expect_punct st ")";
+    expect_punct st "{";
+    let arms = ref [] in
+    let parse_labels () =
+      let labs = ref [] in
+      let continue_ = ref true in
+      while !continue_ do
+        match peek st with
+        | Lexer.KW "case" ->
+          advance st;
+          let v =
+            match peek st with
+            | Lexer.INT v ->
+              advance st;
+              v
+            | Lexer.PUNCT "-" -> (
+              advance st;
+              match peek st with
+              | Lexer.INT v ->
+                advance st;
+                -v
+              | _ -> fail "case expects an integer literal")
+            | _ -> fail "case expects an integer literal"
+          in
+          expect_punct st ":";
+          labs := Cint v :: !labs
+        | Lexer.KW "default" ->
+          advance st;
+          expect_punct st ":";
+          labs := Cdefault :: !labs
+        | _ -> continue_ := false
+      done;
+      List.rev !labs
+    in
+    while peek st <> Lexer.PUNCT "}" do
+      let labs = parse_labels () in
+      if labs = [] then fail "expected case or default label";
+      let body = ref [] in
+      let stop () =
+        match peek st with
+        | Lexer.PUNCT "}" | Lexer.KW "case" | Lexer.KW "default" -> true
+        | _ -> false
+      in
+      while not (stop ()) do
+        body := parse_stmt st :: !body
+      done;
+      arms := (labs, List.rev !body) :: !arms
+    done;
+    advance st;
+    Sswitch (e, List.rev !arms)
+  | Lexer.KW "return" ->
+    advance st;
+    if peek st = Lexer.PUNCT ";" then begin
+      advance st;
+      Sreturn None
+    end
+    else begin
+      let e = parse_expr st in
+      expect_punct st ";";
+      Sreturn (Some e)
+    end
+  | Lexer.KW "break" ->
+    advance st;
+    expect_punct st ";";
+    Sbreak
+  | Lexer.KW "continue" ->
+    advance st;
+    expect_punct st ";";
+    Scontinue
+  | Lexer.KW _ when starts_type st ->
+    let t = parse_type st in
+    let name = expect_ident st in
+    if peek st = Lexer.PUNCT "[" then begin
+      advance st;
+      let n =
+        match peek st with
+        | Lexer.INT n when n > 0 ->
+          advance st;
+          n
+        | _ -> fail "array size must be a positive integer literal"
+      in
+      expect_punct st "]";
+      expect_punct st ";";
+      Sdecl_arr (t, name, n)
+    end
+    else begin
+      let init =
+        if peek st = Lexer.PUNCT "=" then begin
+          advance st;
+          Some (parse_expr st)
+        end
+        else None
+      in
+      expect_punct st ";";
+      Sdecl (t, name, init)
+    end
+  | _ ->
+    let e = parse_expr st in
+    expect_punct st ";";
+    Sexpr e
+
+(* --- functions and translation units --------------------------------- *)
+
+let parse_func st fret fname : func =
+  expect_punct st "(";
+  let params = ref [] in
+  if peek st <> Lexer.PUNCT ")" then begin
+    (match peek st with
+    | Lexer.KW "void" when peek2 st = Lexer.PUNCT ")" -> advance st
+    | _ ->
+      let p () =
+        let t = parse_type st in
+        let n = expect_ident st in
+        (t, n)
+      in
+      params := [ p () ];
+      while peek st = Lexer.PUNCT "," do
+        advance st;
+        params := p () :: !params
+      done)
+  end;
+  expect_punct st ")";
+  expect_punct st "{";
+  let body = ref [] in
+  while peek st <> Lexer.PUNCT "}" do
+    body := parse_stmt st :: !body
+  done;
+  advance st;
+  { fname; fret; fparams = List.rev !params; fbody = List.rev !body }
+
+let parse_item st : item =
+  let t = parse_type st in
+  let name = expect_ident st in
+  match peek st with
+  | Lexer.PUNCT "(" -> Ifunc (parse_func st t name)
+  | Lexer.PUNCT "[" ->
+    advance st;
+    let n =
+      match peek st with
+      | Lexer.INT n when n > 0 ->
+        advance st;
+        n
+      | _ -> fail "global array size must be a positive integer literal"
+    in
+    expect_punct st "]";
+    expect_punct st ";";
+    Iglobal (t, name, Some n)
+  | Lexer.PUNCT ";" ->
+    advance st;
+    Iglobal (t, name, None)
+  | tk -> fail ("unexpected token after declarator: " ^ tok_to_string tk)
+
+let parse_unit (src : string) : unit_ =
+  let st = { toks = Lexer.tokenize src } in
+  let items = ref [] in
+  while peek st <> Lexer.EOF do
+    items := parse_item st :: !items
+  done;
+  List.rev !items

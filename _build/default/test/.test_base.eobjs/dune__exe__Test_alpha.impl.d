@@ -1,0 +1,1 @@
+test/test_alpha.ml: Alcotest Array Gen Int64 List Op Printf QCheck QCheck_alcotest Valpha Vcode Vcodebase Vmachine Vtype

@@ -1,0 +1,1 @@
+test/test_ash.ml: Alcotest Ash Bytes Char List Printf QCheck QCheck_alcotest Random Vcode Vcodebase Vmachine Vmips

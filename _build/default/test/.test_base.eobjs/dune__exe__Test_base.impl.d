@@ -1,0 +1,1 @@
+test/test_base.ml: Alcotest Array Bytes Codebuf Gen List Machdesc Op Option QCheck QCheck_alcotest Reg Vcodebase Verror Vmachine Vtype

@@ -1,0 +1,1 @@
+test/test_cross.ml: Alcotest Array Float Gen Int Int64 List Machdesc Op Printf QCheck QCheck_alcotest String Target Valpha Vcode Vcodebase Vmachine Vmips Vppc Vsparc Vtype

@@ -1,0 +1,1 @@
+test/test_dcg.ml: Alcotest Array Codebuf Dcg Gen Op Printf QCheck QCheck_alcotest Vcode Vcodebase Vmachine Vmips Vtype

@@ -1,0 +1,1 @@
+test/test_dpf.ml: Alcotest Array Bytes Char Dpf Lazy List Printf QCheck QCheck_alcotest Tcc Valpha Vcode Vcodebase Vmachine Vmips Vppc Vsparc

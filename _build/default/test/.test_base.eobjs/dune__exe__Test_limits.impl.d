@@ -1,0 +1,1 @@
+test/test_limits.ml: Alcotest Array Gen List String Tcc Vcode Vcodebase Verror Vmachine Vmips Vsparc Vtype

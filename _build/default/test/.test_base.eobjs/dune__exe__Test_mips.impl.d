@@ -1,0 +1,1 @@
+test/test_mips.ml: Alcotest Array Codebuf Gen Int List Machdesc Op Printf QCheck QCheck_alcotest Reg Vcode Vcodebase Verror Vmachine Vmips Vtype W

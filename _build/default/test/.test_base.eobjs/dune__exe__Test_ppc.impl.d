@@ -1,0 +1,1 @@
+test/test_ppc.ml: Alcotest Array Gen List Machdesc Op QCheck QCheck_alcotest Tcc Vcode Vcodebase Vmachine Vppc Vtype

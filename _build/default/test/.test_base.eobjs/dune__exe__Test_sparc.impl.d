@@ -1,0 +1,1 @@
+test/test_sparc.ml: Alcotest Array Gen Int List Machdesc Op Printf QCheck QCheck_alcotest Vcode Vcodebase Vmachine Vsparc Vtype

@@ -1,0 +1,1 @@
+test/test_sparc.mli:

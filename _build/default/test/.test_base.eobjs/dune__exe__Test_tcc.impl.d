@@ -1,0 +1,1 @@
+test/test_tcc.ml: Alcotest List Printf QCheck QCheck_alcotest Random String Tcc Valpha Vcode Vcodebase Vmachine Vmips Vsparc

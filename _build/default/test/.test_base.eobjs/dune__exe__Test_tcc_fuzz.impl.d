@@ -1,0 +1,1 @@
+test/test_tcc_fuzz.ml: Alcotest Hashtbl Int List Option Printf QCheck QCheck_alcotest String Tcc Valpha Vcode Vcodebase Vmachine Vmips Vppc Vsparc

@@ -1,0 +1,1 @@
+test/test_vcode.ml: Alcotest Array Gen List Op Printf String Vcode Vcodebase Verror Vmachine Vmips Vtype

@@ -1,0 +1,1 @@
+test/test_vmjit.ml: Alcotest Array Fmt List Printf QCheck QCheck_alcotest Tcc Vcode Vcodebase Vmachine Vmips Vmjit Vppc

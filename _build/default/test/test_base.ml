@@ -1,0 +1,354 @@
+(* Unit and property tests for the target-independent VCODE base:
+   types, code buffer, generation state, register allocation, and the
+   machine substrate (memory, caches). *)
+
+open Vcodebase
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ------------------------------------------------------------------ *)
+(* Vtype                                                               *)
+
+let test_signature_parse () =
+  check (Alcotest.list Alcotest.string) "simple"
+    [ "i" ] (List.map Vtype.to_string (Vtype.parse_signature "%i"));
+  check (Alcotest.list Alcotest.string) "multi"
+    [ "i"; "p"; "d" ]
+    (List.map Vtype.to_string (Vtype.parse_signature "%i%p%d"));
+  check (Alcotest.list Alcotest.string) "unsigned multichar"
+    [ "uc"; "us"; "ul"; "u" ]
+    (List.map Vtype.to_string (Vtype.parse_signature "%uc%us%ul%u"));
+  check (Alcotest.list Alcotest.string) "empty" []
+    (List.map Vtype.to_string (Vtype.parse_signature ""))
+
+let test_signature_errors () =
+  let bad s =
+    match Vtype.parse_signature s with
+    | _ -> Alcotest.failf "expected failure for %S" s
+    | exception Verror.Error (Verror.Bad_type _) -> ()
+  in
+  bad "i";
+  bad "%x";
+  bad "%"
+
+let test_sizes () =
+  check Alcotest.int "int is 4" 4 (Vtype.size ~word_bytes:4 Vtype.I);
+  check Alcotest.int "long follows word (32)" 4 (Vtype.size ~word_bytes:4 Vtype.L);
+  check Alcotest.int "long follows word (64)" 8 (Vtype.size ~word_bytes:8 Vtype.L);
+  check Alcotest.int "pointer follows word" 8 (Vtype.size ~word_bytes:8 Vtype.P);
+  check Alcotest.int "double is 8" 8 (Vtype.size ~word_bytes:4 Vtype.D);
+  check Alcotest.int "uchar is 1" 1 (Vtype.size ~word_bytes:4 Vtype.UC);
+  check Alcotest.int "void is 0" 0 (Vtype.size ~word_bytes:4 Vtype.V)
+
+let test_type_table () =
+  (* Table 1 has twelve types and their C equivalents *)
+  check Alcotest.int "12 types" 12 (List.length Vtype.all);
+  check Alcotest.string "p is void*" "void *" (Vtype.c_equivalent Vtype.P);
+  List.iter
+    (fun t -> Alcotest.(check bool) "c_equivalent nonempty" true (Vtype.c_equivalent t <> ""))
+    Vtype.all
+
+let test_op_tables () =
+  (* Table 2 composition rules *)
+  Alcotest.(check bool) "add takes floats" true (List.mem Vtype.F (Op.binop_types Op.Add));
+  Alcotest.(check bool) "mod excludes floats" false (List.mem Vtype.F (Op.binop_types Op.Mod));
+  Alcotest.(check bool) "lsh excludes pointer" false (List.mem Vtype.P (Op.binop_types Op.Lsh));
+  Alcotest.(check bool) "no float immediates" false (Op.binop_imm_ok Op.Add Vtype.D);
+  Alcotest.(check bool) "int immediates ok" true (Op.binop_imm_ok Op.Add Vtype.I);
+  Alcotest.(check bool) "cvi2d ok" true (Op.conversion_ok ~from:Vtype.I ~to_:Vtype.D);
+  Alcotest.(check bool) "cvd2u not listed" false (Op.conversion_ok ~from:Vtype.D ~to_:Vtype.U)
+
+(* ------------------------------------------------------------------ *)
+(* Codebuf                                                             *)
+
+let test_codebuf_basic () =
+  let b = Codebuf.create () in
+  check Alcotest.int "empty" 0 (Codebuf.length b);
+  let i0 = Codebuf.emit b 0xDEADBEEF in
+  let i1 = Codebuf.emit b 42 in
+  check Alcotest.int "index 0" 0 i0;
+  check Alcotest.int "index 1" 1 i1;
+  check Alcotest.int "get" 0xDEADBEEF (Codebuf.get b 0);
+  Codebuf.set b 0 7;
+  check Alcotest.int "patched" 7 (Codebuf.get b 0);
+  Codebuf.truncate b 1;
+  check Alcotest.int "truncated" 1 (Codebuf.length b)
+
+let test_codebuf_growth () =
+  let b = Codebuf.create ~capacity:2 () in
+  for i = 0 to 999 do ignore (Codebuf.emit b i) done;
+  check Alcotest.int "length" 1000 (Codebuf.length b);
+  for i = 0 to 999 do assert (Codebuf.get b i = i) done
+
+let test_codebuf_reserve () =
+  let b = Codebuf.create () in
+  ignore (Codebuf.emit b 1);
+  let at = Codebuf.reserve b ~n:5 ~fill:0 in
+  check Alcotest.int "reserve index" 1 at;
+  check Alcotest.int "reserve length" 6 (Codebuf.length b);
+  check Alcotest.int "fill" 0 (Codebuf.get b 3)
+
+let test_codebuf_blit_endianness () =
+  let b = Codebuf.create () in
+  ignore (Codebuf.emit b 0x11223344);
+  let le = Bytes.make 4 '\000' and be = Bytes.make 4 '\000' in
+  Codebuf.blit_to_bytes b ~big_endian:false le 0;
+  Codebuf.blit_to_bytes b ~big_endian:true be 0;
+  check Alcotest.string "little" "\x44\x33\x22\x11" (Bytes.to_string le);
+  check Alcotest.string "big" "\x11\x22\x33\x44" (Bytes.to_string be)
+
+let prop_codebuf_word_identity =
+  QCheck.Test.make ~name:"codebuf stores 32-bit words exactly" ~count:500
+    QCheck.(list (int_bound 0xFFFFFFF))
+    (fun ws ->
+      let b = Codebuf.create () in
+      List.iter (fun w -> ignore (Codebuf.emit b w)) ws;
+      List.length ws = Codebuf.length b
+      && List.for_all2 ( = ) ws (Array.to_list (Codebuf.to_array b)))
+
+(* ------------------------------------------------------------------ *)
+(* Gen: labels, relocs, allocator                                      *)
+
+let dummy_desc : Machdesc.t =
+  {
+    Machdesc.name = "dummy";
+    word_bits = 32;
+    big_endian = false;
+    branch_delay_slots = 0;
+    load_delay = 0;
+    nregs = 8;
+    nfregs = 4;
+    temps = [| Reg.R 1; Reg.R 2 |];
+    vars = [| Reg.R 3; Reg.R 4; Reg.R 5 |];
+    ftemps = [| Reg.F 0 |];
+    fvars = [| Reg.F 2 |];
+    callee_mask = (1 lsl 3) lor (1 lsl 4) lor (1 lsl 5);
+    fcallee_mask = 1 lsl 2;
+    arg_regs = [| Reg.R 6 |];
+    farg_regs = [||];
+    ret_reg = Reg.R 7;
+    fret_reg = Reg.F 0;
+    sp = Reg.R 0;
+    locals_base = 0;
+    scratch = Reg.R 0;
+    reg_name = Reg.to_string;
+  }
+
+let test_labels () =
+  let g = Gen.create dummy_desc in
+  let l0 = Gen.genlabel g and l1 = Gen.genlabel g in
+  check Alcotest.int "fresh ids" 1 l1;
+  Alcotest.(check bool) "initially unbound" false (Gen.label_defined g l0);
+  ignore (Codebuf.emit g.Gen.buf 0);
+  Gen.bind_label g l0;
+  Alcotest.(check bool) "bound" true (Gen.label_defined g l0);
+  check Alcotest.int "bound position" 1 g.Gen.labels.(l0)
+
+let test_many_labels () =
+  let g = Gen.create dummy_desc in
+  let ls = List.init 100 (fun _ -> Gen.genlabel g) in
+  check Alcotest.int "100 labels" 100 (List.length ls);
+  List.iteri (fun i l -> assert (i = l)) ls
+
+let test_reloc_resolution () =
+  let g = Gen.create dummy_desc in
+  let l = Gen.genlabel g in
+  ignore (Codebuf.emit g.Gen.buf 0);
+  Gen.add_reloc g ~site:0 ~lab:l ~kind:7;
+  ignore (Codebuf.emit g.Gen.buf 0);
+  Gen.bind_label g l;
+  let seen = ref [] in
+  Gen.resolve_relocs g ~apply:(fun ~kind ~site ~dest -> seen := (kind, site, dest) :: !seen);
+  check
+    Alcotest.(list (triple int int int))
+    "resolved" [ (7, 0, 2) ] !seen
+
+let test_unresolved_label () =
+  let g = Gen.create dummy_desc in
+  let l = Gen.genlabel g in
+  Gen.add_reloc g ~site:0 ~lab:l ~kind:0;
+  Alcotest.check_raises "unresolved" (Verror.Error (Verror.Unresolved_label l)) (fun () ->
+      Gen.resolve_relocs g ~apply:(fun ~kind:_ ~site:_ ~dest:_ -> ()))
+
+let test_regalloc_priority_order () =
+  let g = Gen.create dummy_desc in
+  check (Alcotest.option Alcotest.string) "first temp" (Some "r1")
+    (Option.map Reg.to_string (Gen.getreg g ~cls:`Temp ~float:false));
+  check (Alcotest.option Alcotest.string) "second temp" (Some "r2")
+    (Option.map Reg.to_string (Gen.getreg g ~cls:`Temp ~float:false));
+  check (Alcotest.option Alcotest.string) "exhausted" None
+    (Option.map Reg.to_string (Gen.getreg g ~cls:`Temp ~float:false))
+
+let test_regalloc_putreg () =
+  let g = Gen.create dummy_desc in
+  let r1 = Option.get (Gen.getreg g ~cls:`Temp ~float:false) in
+  let _r2 = Option.get (Gen.getreg g ~cls:`Temp ~float:false) in
+  Gen.putreg g r1;
+  check (Alcotest.option Alcotest.string) "freed register reused" (Some "r1")
+    (Option.map Reg.to_string (Gen.getreg g ~cls:`Temp ~float:false))
+
+let test_regalloc_unavailable_override () =
+  let g = Gen.create dummy_desc in
+  Gen.set_reg_class g (Reg.R 1) Gen.Ounavail;
+  check (Alcotest.option Alcotest.string) "skips unavailable" (Some "r2")
+    (Option.map Reg.to_string (Gen.getreg g ~cls:`Temp ~float:false))
+
+let test_regalloc_float_pool () =
+  let g = Gen.create dummy_desc in
+  check (Alcotest.option Alcotest.string) "float temp" (Some "f0")
+    (Option.map Reg.to_string (Gen.getreg g ~cls:`Temp ~float:true));
+  check (Alcotest.option Alcotest.string) "float var" (Some "f2")
+    (Option.map Reg.to_string (Gen.getreg g ~cls:`Var ~float:true))
+
+let test_note_write_masks () =
+  let g = Gen.create dummy_desc in
+  Gen.note_write g (Reg.R 3);
+  Gen.note_write g (Reg.R 1);
+  check Alcotest.int "only callee-saved recorded" (1 lsl 3) g.Gen.used_callee;
+  Gen.note_write g (Reg.F 2);
+  check Alcotest.int "float callee recorded" (1 lsl 2) g.Gen.used_fcallee
+
+let test_note_write_override () =
+  let g = Gen.create dummy_desc in
+  (* interrupt-handler scenario: force caller-saved r1 to be treated as
+     callee-saved *)
+  Gen.set_reg_class g (Reg.R 1) Gen.Ocallee;
+  Gen.note_write g (Reg.R 1);
+  check Alcotest.int "forced callee recorded" (1 lsl 1) g.Gen.used_callee;
+  (* and relax a callee-saved register *)
+  let g2 = Gen.create dummy_desc in
+  Gen.set_reg_class g2 (Reg.R 3) Gen.Ocaller;
+  Gen.note_write g2 (Reg.R 3);
+  check Alcotest.int "relaxed register not recorded" 0 g2.Gen.used_callee
+
+let test_locals_alignment () =
+  let g = Gen.create dummy_desc in
+  let o1 = Gen.alloc_local g ~bytes:1 ~align:1 in
+  let o2 = Gen.alloc_local g ~bytes:4 ~align:4 in
+  let o3 = Gen.alloc_local g ~bytes:8 ~align:8 in
+  check Alcotest.int "first at 0" 0 o1;
+  check Alcotest.int "word aligned" 4 o2;
+  check Alcotest.int "double aligned" 8 o3;
+  check Alcotest.int "total" 16 g.Gen.locals_bytes
+
+let prop_locals_aligned =
+  QCheck.Test.make ~name:"alloc_local always respects alignment" ~count:300
+    QCheck.(list (pair (int_range 1 16) (oneofl [ 1; 2; 4; 8 ])))
+    (fun reqs ->
+      let g = Gen.create dummy_desc in
+      List.for_all
+        (fun (bytes, align) -> Gen.alloc_local g ~bytes ~align mod align = 0)
+        reqs)
+
+let test_finished_guard () =
+  let g = Gen.create dummy_desc in
+  g.Gen.finished <- true;
+  Alcotest.check_raises "emission after v_end" (Verror.Error Verror.Already_finished)
+    (fun () -> Gen.check_open g)
+
+let test_live_words_constant_in_insns () =
+  (* the in-place property: generation state (excluding the code itself)
+     does not grow with instruction count *)
+  let g = Gen.create dummy_desc in
+  let overhead g = Gen.live_words g - Codebuf.heap_words g.Gen.buf in
+  let before = overhead g in
+  for i = 0 to 9999 do ignore (Codebuf.emit g.Gen.buf i) done;
+  check Alcotest.int "bookkeeping unchanged after 10k instructions" before (overhead g)
+
+(* ------------------------------------------------------------------ *)
+(* Mem and Cache                                                       *)
+
+let test_mem_rw () =
+  let m = Vmachine.Mem.create ~size:4096 () in
+  Vmachine.Mem.write_u32 m 0 0xCAFEBABE;
+  check Alcotest.int "u32" 0xCAFEBABE (Vmachine.Mem.read_u32 m 0);
+  check Alcotest.int "byte LE" 0xBE (Vmachine.Mem.read_u8 m 0);
+  Vmachine.Mem.write_u16 m 4 0xBEEF;
+  check Alcotest.int "u16" 0xBEEF (Vmachine.Mem.read_u16 m 4);
+  Vmachine.Mem.write_u64 m 8 0x1122334455667788L;
+  check Alcotest.int64 "u64" 0x1122334455667788L (Vmachine.Mem.read_u64 m 8)
+
+let test_mem_big_endian () =
+  let m = Vmachine.Mem.create ~big_endian:true ~size:64 () in
+  Vmachine.Mem.write_u32 m 0 0x11223344;
+  check Alcotest.int "byte BE" 0x11 (Vmachine.Mem.read_u8 m 0);
+  check Alcotest.int "u16 BE" 0x1122 (Vmachine.Mem.read_u16 m 0)
+
+let test_mem_faults () =
+  let m = Vmachine.Mem.create ~size:64 () in
+  (match Vmachine.Mem.read_u32 m 0x1000 with
+  | _ -> Alcotest.fail "expected out-of-bounds fault"
+  | exception Vmachine.Mem.Fault _ -> ());
+  match Vmachine.Mem.read_u32 m 2 with
+  | _ -> Alcotest.fail "expected misalignment fault"
+  | exception Vmachine.Mem.Fault _ -> ()
+
+let prop_mem_u64_roundtrip =
+  QCheck.Test.make ~name:"u64 read/write roundtrip both endiannesses" ~count:300
+    QCheck.(pair int64 bool)
+    (fun (v, be) ->
+      let m = Vmachine.Mem.create ~big_endian:be ~size:64 () in
+      Vmachine.Mem.write_u64 m 16 v;
+      Vmachine.Mem.read_u64 m 16 = v)
+
+let test_cache_behaviour () =
+  let c = Vmachine.Cache.create ~size_bytes:64 ~line_bytes:16 ~miss_penalty:10 in
+  check Alcotest.int "cold miss" 10 (Vmachine.Cache.access c 0);
+  check Alcotest.int "hit same line" 0 (Vmachine.Cache.access c 4);
+  check Alcotest.int "hit same line end" 0 (Vmachine.Cache.access c 15);
+  check Alcotest.int "next line misses" 10 (Vmachine.Cache.access c 16);
+  (* 64-byte direct-mapped: address 64 conflicts with 0 *)
+  check Alcotest.int "conflict miss" 10 (Vmachine.Cache.access c 64);
+  check Alcotest.int "evicted line misses again" 10 (Vmachine.Cache.access c 0);
+  Vmachine.Cache.flush c;
+  check Alcotest.int "flush invalidates" 10 (Vmachine.Cache.access c 0);
+  let hits, misses = Vmachine.Cache.stats c in
+  check Alcotest.int "hits counted" 2 hits;
+  check Alcotest.int "misses counted" 5 misses
+
+let () =
+  Alcotest.run "vcode-base"
+    [
+      ( "vtype",
+        [
+          Alcotest.test_case "signature parse" `Quick test_signature_parse;
+          Alcotest.test_case "signature errors" `Quick test_signature_errors;
+          Alcotest.test_case "sizes" `Quick test_sizes;
+          Alcotest.test_case "table 1" `Quick test_type_table;
+          Alcotest.test_case "table 2 composition" `Quick test_op_tables;
+        ] );
+      ( "codebuf",
+        [
+          Alcotest.test_case "basic" `Quick test_codebuf_basic;
+          Alcotest.test_case "growth" `Quick test_codebuf_growth;
+          Alcotest.test_case "reserve" `Quick test_codebuf_reserve;
+          Alcotest.test_case "blit endianness" `Quick test_codebuf_blit_endianness;
+          qtest prop_codebuf_word_identity;
+        ] );
+      ( "gen",
+        [
+          Alcotest.test_case "labels" `Quick test_labels;
+          Alcotest.test_case "many labels" `Quick test_many_labels;
+          Alcotest.test_case "reloc resolution" `Quick test_reloc_resolution;
+          Alcotest.test_case "unresolved label" `Quick test_unresolved_label;
+          Alcotest.test_case "allocator priority order" `Quick test_regalloc_priority_order;
+          Alcotest.test_case "putreg reuse" `Quick test_regalloc_putreg;
+          Alcotest.test_case "unavailable override" `Quick test_regalloc_unavailable_override;
+          Alcotest.test_case "float pools" `Quick test_regalloc_float_pool;
+          Alcotest.test_case "note_write masks" `Quick test_note_write_masks;
+          Alcotest.test_case "note_write override" `Quick test_note_write_override;
+          Alcotest.test_case "locals alignment" `Quick test_locals_alignment;
+          qtest prop_locals_aligned;
+          Alcotest.test_case "finished guard" `Quick test_finished_guard;
+          Alcotest.test_case "in-place space property" `Quick test_live_words_constant_in_insns;
+        ] );
+      ( "machine",
+        [
+          Alcotest.test_case "mem rw" `Quick test_mem_rw;
+          Alcotest.test_case "mem big endian" `Quick test_mem_big_endian;
+          Alcotest.test_case "mem faults" `Quick test_mem_faults;
+          qtest prop_mem_u64_roundtrip;
+          Alcotest.test_case "cache behaviour" `Quick test_cache_behaviour;
+        ] );
+    ]

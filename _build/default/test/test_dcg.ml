@@ -1,0 +1,169 @@
+(* DCG baseline tests: the IR-tree code generator must produce correct
+   code (it shares VCODE's encoders), must constant-fold, and must show
+   the space behaviour the paper contrasts with VCODE: memory
+   proportional to the number of IR nodes. *)
+
+open Vcodebase
+module D = Dcg.Make (Vmips.Mips_backend)
+module V = Vcode.Make (Vmips.Mips_backend)
+module Sim = Vmips.Mips_sim
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let run_int ?(args = []) (code : Vcode.code) =
+  let m = Sim.create Vmachine.Mconfig.test_config in
+  Vmachine.Mem.install_code m.Sim.mem ~addr:code.Vcode.base code.Vcode.gen.Gen.buf;
+  Sim.call m ~entry:code.Vcode.entry_addr args;
+  Sim.ret_int m
+
+let test_simple_expression () =
+  (* f(a, b) = (a + b) * 3 - b *)
+  let c, args = D.lambda ~base:0x1000 ~leaf:true "%i%i" in
+  let a = Dcg.Regv (Vtype.I, args.(0)) and b = Dcg.Regv (Vtype.I, args.(1)) in
+  D.stmt c
+    (Dcg.Sret
+       ( Vtype.I,
+         Some
+           (Dcg.Bin
+              ( Op.Sub,
+                Vtype.I,
+                Dcg.Bin (Op.Mul, Vtype.I, Dcg.Bin (Op.Add, Vtype.I, a, b), Dcg.Cnst (Vtype.I, 3L)),
+                b )) ));
+  let code = D.finish c in
+  check Alcotest.int "expression" (((10 + 4) * 3) - 4)
+    (run_int ~args:[ Sim.Int 10; Sim.Int 4 ] code)
+
+let test_constant_folding () =
+  (* (2 + 3) * 4 must fold to a single constant load *)
+  let c, _ = D.lambda ~base:0x1000 ~leaf:true "%i" in
+  D.stmt c
+    (Dcg.Sret
+       ( Vtype.I,
+         Some
+           (Dcg.Bin
+              ( Op.Mul,
+                Vtype.I,
+                Dcg.Bin (Op.Add, Vtype.I, Dcg.Cnst (Vtype.I, 2L), Dcg.Cnst (Vtype.I, 3L)),
+                Dcg.Cnst (Vtype.I, 4L) )) ));
+  let code = D.finish c in
+  check Alcotest.int "folded value" 20 (run_int ~args:[ Sim.Int 0 ] code);
+  (* prologue reserve (48) + set + ret-jump + delay + epilogue (2): a
+     folded constant needs very few body instructions *)
+  Alcotest.(check bool) "short body" true (code.Vcode.code_bytes / 4 < 56)
+
+let test_control_flow () =
+  (* abs(x) via cjump *)
+  let c, args = D.lambda ~base:0x1000 ~leaf:true "%i" in
+  let x = Dcg.Regv (Vtype.I, args.(0)) in
+  let l = D.genlabel c in
+  D.stmt c (Dcg.Scjump (Op.Ge, Vtype.I, x, Dcg.Cnst (Vtype.I, 0L), l));
+  D.stmt c (Dcg.Sassign (args.(0), Dcg.Un (Op.Neg, Vtype.I, x)));
+  D.stmt c (Dcg.Slabel l);
+  D.stmt c (Dcg.Sret (Vtype.I, Some x));
+  let code = D.finish c in
+  check Alcotest.int "abs(-5)" 5 (run_int ~args:[ Sim.Int (-5) ] code);
+  check Alcotest.int "abs(7)" 7 (run_int ~args:[ Sim.Int 7 ] code)
+
+let test_memory () =
+  (* mem[p + 4] <- mem[p] + 1; return mem[p + 4] *)
+  let c, args = D.lambda ~base:0x1000 ~leaf:true "%p" in
+  let p = Dcg.Regv (Vtype.P, args.(0)) in
+  D.stmt c
+    (Dcg.Sstore
+       ( Vtype.I,
+         p,
+         4,
+         Dcg.Bin (Op.Add, Vtype.I, Dcg.Ld (Vtype.I, p, 0), Dcg.Cnst (Vtype.I, 1L)) ));
+  D.stmt c (Dcg.Sret (Vtype.I, Some (Dcg.Ld (Vtype.I, p, 4))));
+  let code = D.finish c in
+  let m = Sim.create Vmachine.Mconfig.test_config in
+  Vmachine.Mem.install_code m.Sim.mem ~addr:code.Vcode.base code.Vcode.gen.Gen.buf;
+  Vmachine.Mem.write_u32 m.Sim.mem 0x40000 41;
+  Sim.call m ~entry:code.Vcode.entry_addr [ Sim.Int 0x40000 ];
+  check Alcotest.int "store/load" 42 (Sim.ret_int m);
+  check Alcotest.int "memory updated" 42 (Vmachine.Mem.read_u32 m.Sim.mem 0x40004)
+
+let prop_dcg_matches_vcode =
+  (* the same computation through DCG and through direct VCODE gives the
+     same answer *)
+  QCheck.Test.make ~name:"dcg and vcode agree on expressions" ~count:150
+    QCheck.(triple (oneofl Op.all_binops) small_signed_int small_signed_int)
+    (fun (op, a, b) ->
+      QCheck.assume (not ((op = Op.Div || op = Op.Mod) && b = 0));
+      let dcg_code =
+        let c, args = D.lambda ~base:0x1000 ~leaf:true "%i%i" in
+        D.stmt c
+          (Dcg.Sret
+             ( Vtype.I,
+               Some
+                 (Dcg.Bin
+                    (op, Vtype.I, Dcg.Regv (Vtype.I, args.(0)), Dcg.Regv (Vtype.I, args.(1))))
+             ));
+        D.finish c
+      in
+      let vcode_code =
+        let g, args = V.lambda ~base:0x1000 ~leaf:true "%i%i" in
+        V.arith g op Vtype.I args.(0) args.(0) args.(1);
+        V.ret g Vtype.I (Some args.(0));
+        V.end_gen g
+      in
+      run_int ~args:[ Sim.Int a; Sim.Int b ] dcg_code
+      = run_int ~args:[ Sim.Int a; Sim.Int b ] vcode_code)
+
+let test_deep_expression_sethi_ullman () =
+  (* a balanced depth-5 tree: 32 leaves; Sethi-Ullman order should fit
+     in the temp pool where naive left-to-right would not *)
+  let rec build depth =
+    if depth = 0 then Dcg.Cnst (Vtype.I, 1L)
+    else Dcg.Bin (Op.Add, Vtype.I, build (depth - 1), build (depth - 1))
+  in
+  let c, _ = D.lambda ~base:0x1000 ~leaf:true "%i" in
+  D.stmt c (Dcg.Sret (Vtype.I, Some (build 5)));
+  let code = D.finish c in
+  (* constant folding collapses it; value check suffices *)
+  check Alcotest.int "2^5 ones" 32 (run_int ~args:[ Sim.Int 0 ] code)
+
+let test_space_grows_with_ir () =
+  (* the paper's space contrast: DCG state grows per instruction, VCODE
+     state does not *)
+  let dcg_words n =
+    let c, args = D.lambda ~base:0x1000 ~leaf:true "%i" in
+    for _ = 1 to n do
+      D.stmt c
+        (Dcg.Sassign
+           (args.(0), Dcg.Bin (Op.Add, Vtype.I, Dcg.Regv (Vtype.I, args.(0)), Dcg.Cnst (Vtype.I, 1L))))
+    done;
+    D.live_words c
+  in
+  let vcode_overhead n =
+    let g, args = V.lambda ~base:0x1000 ~leaf:true "%i" in
+    for _ = 1 to n do
+      V.arith_imm g Op.Add Vtype.I args.(0) args.(0) 1
+    done;
+    Gen.live_words g - Codebuf.heap_words g.Gen.buf
+  in
+  let d100 = dcg_words 100 and d1000 = dcg_words 1000 in
+  Alcotest.(check bool)
+    (Printf.sprintf "dcg grows linearly (%d -> %d)" d100 d1000)
+    true
+    (d1000 > d100 + (800 * 10));
+  let v100 = vcode_overhead 100 and v1000 = vcode_overhead 1000 in
+  check Alcotest.int
+    (Printf.sprintf "vcode bookkeeping constant (%d vs %d)" v100 v1000)
+    v100 v1000
+
+let () =
+  Alcotest.run "dcg"
+    [
+      ( "codegen",
+        [
+          Alcotest.test_case "expression" `Quick test_simple_expression;
+          Alcotest.test_case "constant folding" `Quick test_constant_folding;
+          Alcotest.test_case "control flow" `Quick test_control_flow;
+          Alcotest.test_case "memory" `Quick test_memory;
+          qtest prop_dcg_matches_vcode;
+          Alcotest.test_case "sethi-ullman depth" `Quick test_deep_expression_sethi_ullman;
+        ] );
+      ("space", [ Alcotest.test_case "IR grows, in-place does not" `Quick test_space_grows_with_ir ]);
+    ]

@@ -1,0 +1,230 @@
+(* Failure injection and limits: the error paths of the generation
+   system and the machine checks of the simulators.  The paper stresses
+   that binary code generation is "frequently the source of latent bugs
+   due to boundary conditions"; these tests pin the boundaries down. *)
+
+open Vcodebase
+module V = Vcode.Make (Vmips.Mips_backend)
+module Sim = Vmips.Mips_sim
+open V.Names
+
+let check = Alcotest.check
+
+let fresh () = Sim.create Vmachine.Mconfig.test_config
+
+let install m (code : Vcode.code) =
+  Vmachine.Mem.install_code m.Sim.mem ~addr:code.Vcode.base code.Vcode.gen.Gen.buf
+
+(* ------------------------------------------------------------------ *)
+(* Generation-time errors                                              *)
+
+let test_unresolved_label_at_end () =
+  let g, args = V.lambda ~base:0x1000 "%i" in
+  let l = V.genlabel g in
+  bnei g args.(0) args.(0) l;
+  reti g args.(0);
+  match V.end_gen g with
+  | _ -> Alcotest.fail "expected unresolved label"
+  | exception Verror.Error (Verror.Unresolved_label _) -> ()
+
+let test_emission_after_end () =
+  let g, args = V.lambda ~base:0x1000 ~leaf:true "%i" in
+  reti g args.(0);
+  ignore (V.end_gen g);
+  match addii g args.(0) args.(0) 1 with
+  | _ -> Alcotest.fail "expected Already_finished"
+  | exception Verror.Error Verror.Already_finished -> ()
+
+let test_misaligned_base () =
+  match V.lambda ~base:0x1004 "%i" with
+  | _ -> Alcotest.fail "expected alignment error"
+  | exception Verror.Error (Verror.Bad_operand _) -> ()
+
+let test_immediate_out_of_range () =
+  (* a 33-bit constant cannot be materialized on a 32-bit target *)
+  let g, args = V.lambda ~base:0x1000 ~leaf:true "%i" in
+  match V.set g Vtype.I args.(0) 0x1_0000_0000L with
+  | () -> Alcotest.fail "expected Range"
+  | exception Verror.Error (Verror.Range _) -> ()
+
+let test_too_many_call_args () =
+  let g, _ = V.lambda ~base:0x1000 "%i" in
+  let r = V.getreg_exn g ~cls:`Temp Vtype.I in
+  match
+    for _ = 1 to 14 do
+      V.push_arg g Vtype.I r
+    done;
+    V.do_call g (Gen.Jaddr 0x2000)
+  with
+  | () -> Alcotest.fail "expected Unsupported"
+  | exception Verror.Error (Verror.Unsupported _) -> ()
+
+let test_huge_function_generates () =
+  (* 100k instructions: buffer growth, 16-bit branch offsets still in
+     range because the branch is local *)
+  let g, args = V.lambda ~base:0x10000 ~leaf:true "%i" in
+  for _ = 1 to 100_000 do
+    addii g args.(0) args.(0) 1
+  done;
+  reti g args.(0);
+  let code = V.end_gen g in
+  Alcotest.(check bool) "code is large" true (code.Vcode.code_bytes > 400_000);
+  let m = Sim.create { Vmachine.Mconfig.test_config with mem_bytes = 8 * 1024 * 1024 } in
+  install m code;
+  Sim.call m ~entry:code.Vcode.entry_addr [ Sim.Int 0 ];
+  check Alcotest.int "executes" 100_000 (Sim.ret_int m)
+
+let test_branch_displacement_overflow () =
+  (* a branch across ~100k instructions exceeds MIPS's 16-bit word
+     displacement: v_end must report it rather than emit garbage *)
+  let g, args = V.lambda ~base:0x10000 ~leaf:true "%i" in
+  let far = V.genlabel g in
+  beqii g args.(0) 0 far;
+  for _ = 1 to 100_000 do
+    addii g args.(0) args.(0) 1
+  done;
+  V.label g far;
+  reti g args.(0);
+  match V.end_gen g with
+  | _ -> Alcotest.fail "expected Range on branch displacement"
+  | exception Verror.Error (Verror.Range _) -> ()
+
+let test_spec_scratch_exhaustion () =
+  (* a seq extension acquiring a scratch when none are free *)
+  V.Ext.load_spec "(frob (rd, rs) (i (seq (mul scratch rs rs) (add rd rd scratch))))";
+  let g, args = V.lambda ~base:0x1000 ~leaf:true "%i" in
+  let rec burn () = match V.getreg g ~cls:`Temp Vtype.I with Some _ -> burn () | None -> () in
+  burn ();
+  match V.Ext.emit g ~name:"frob" ~ty:Vtype.I [| args.(0); args.(0) |] with
+  | () -> Alcotest.fail "expected exhaustion"
+  | exception Verror.Error (Verror.Registers_exhausted _) -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Machine checks                                                      *)
+
+let test_illegal_instruction () =
+  let m = fresh () in
+  Vmachine.Mem.write_u32 m.Sim.mem 0x1000 0xFFFFFFFF;
+  m.Sim.pc <- 0x1000;
+  m.Sim.npc <- 0x1004;
+  match Sim.run ~fuel:10 m with
+  | () -> Alcotest.fail "expected machine error"
+  | exception Sim.Machine_error _ -> ()
+
+let test_misaligned_load_faults () =
+  let g, args = V.lambda ~base:0x1000 ~leaf:true "%p" in
+  ldii g args.(0) args.(0) 2; (* 4-byte load at +2 from a 4-aligned base *)
+  retv g;
+  let code = V.end_gen g in
+  let m = fresh () in
+  install m code;
+  match Sim.call m ~entry:code.Vcode.entry_addr [ Sim.Int 0x40000 ] with
+  | () -> Alcotest.fail "expected alignment fault"
+  | exception Vmachine.Mem.Fault _ -> ()
+
+let test_out_of_fuel () =
+  let g, _ = V.lambda ~base:0x1000 ~leaf:true "%i" in
+  let top = V.genlabel g in
+  V.label g top;
+  jv g top;
+  let code = V.end_gen g in
+  let m = fresh () in
+  install m code;
+  match Sim.call ~fuel:1000 m ~entry:code.Vcode.entry_addr [] with
+  | () -> Alcotest.fail "expected fuel exhaustion"
+  | exception Sim.Machine_error _ -> ()
+
+let test_sparc_window_overflow () =
+  (* self-recursive function without a base case must hit the window
+     accounting before anything else corrupts *)
+  let module VS = Vcode.Make (Vsparc.Sparc_backend) in
+  let module SS = Vsparc.Sparc_sim in
+  let base = 0x1000 in
+  let g, args = VS.lambda ~base "%i" in
+  VS.ccall g (Gen.Jaddr base) ~args:[ (Vtype.I, args.(0)) ] ~ret:None;
+  VS.ret g Vtype.I (Some args.(0));
+  let code = VS.end_gen g in
+  let m = SS.create Vmachine.Mconfig.test_config in
+  Vmachine.Mem.install_code m.SS.mem ~addr:code.Vcode.base code.Vcode.gen.Gen.buf;
+  match SS.call ~fuel:100000 m ~entry:base [ SS.Int 1 ] with
+  | () -> Alcotest.fail "expected window overflow"
+  | exception SS.Machine_error msg ->
+    Alcotest.(check bool) ("overflow reported: " ^ msg) true
+      (String.length msg > 0)
+
+(* deep recursion on MIPS is fine (stack, not windows) *)
+let test_mips_deep_recursion_ok () =
+  let module C = Tcc.Tcc_compile.Make (Vmips.Mips_backend) in
+  let src = "int depth(int n) { if (n <= 0) return 0; return 1 + depth(n - 1); }" in
+  let prog = C.compile ~base:0x1000 src in
+  let m = fresh () in
+  List.iter (fun (_, code) -> install m code) prog.C.funcs;
+  Sim.call m ~entry:(C.entry prog "depth") [ Sim.Int 2000 ];
+  check Alcotest.int "depth 2000" 2000 (Sim.ret_int m)
+
+(* Sched fallback: a multi-instruction slot cannot be lifted into the
+   delay slot and must land before the branch *)
+let test_sched_multiword_slot_fallback () =
+  let g, args = V.lambda ~base:0x1000 ~leaf:true "%i" in
+  let l = V.genlabel g in
+  V.Sched.schedule_delay g
+    ~branch:(fun () -> jv g l)
+    ~slot:(fun () ->
+      (* two instructions: mul expands to mult+mflo *)
+      muli g args.(0) args.(0) args.(0));
+  addii g args.(0) args.(0) 100;
+  V.label g l;
+  reti g args.(0);
+  let code = V.end_gen g in
+  let m = fresh () in
+  install m code;
+  Sim.call m ~entry:code.Vcode.entry_addr [ Sim.Int 7 ];
+  check Alcotest.int "slot executed once, skip taken" 49 (Sim.ret_int m)
+
+let test_reloc_carrying_slot_not_lifted () =
+  (* a slot instruction with a pending relocation must not be moved *)
+  let g, args = V.lambda ~base:0x1000 ~leaf:true "%i" in
+  let l = V.genlabel g and l2 = V.genlabel g in
+  V.Sched.schedule_delay g
+    ~branch:(fun () -> jv g l)
+    ~slot:(fun () -> jv g l2);
+  V.label g l2;
+  addii g args.(0) args.(0) 5;
+  V.label g l;
+  reti g args.(0);
+  let code = V.end_gen g in
+  let m = fresh () in
+  install m code;
+  Sim.call m ~entry:code.Vcode.entry_addr [ Sim.Int 1 ];
+  (* the slot jump executes first and wins: +5 then fall to l *)
+  check Alcotest.int "slot jump kept whole" 6 (Sim.ret_int m)
+
+let () =
+  Alcotest.run "limits"
+    [
+      ( "generation-errors",
+        [
+          Alcotest.test_case "unresolved label" `Quick test_unresolved_label_at_end;
+          Alcotest.test_case "emission after v_end" `Quick test_emission_after_end;
+          Alcotest.test_case "misaligned base" `Quick test_misaligned_base;
+          Alcotest.test_case "immediate range" `Quick test_immediate_out_of_range;
+          Alcotest.test_case "too many call args" `Quick test_too_many_call_args;
+          Alcotest.test_case "huge function" `Slow test_huge_function_generates;
+          Alcotest.test_case "branch displacement overflow" `Slow
+            test_branch_displacement_overflow;
+          Alcotest.test_case "spec scratch exhaustion" `Quick test_spec_scratch_exhaustion;
+        ] );
+      ( "machine-checks",
+        [
+          Alcotest.test_case "illegal instruction" `Quick test_illegal_instruction;
+          Alcotest.test_case "misaligned load" `Quick test_misaligned_load_faults;
+          Alcotest.test_case "out of fuel" `Quick test_out_of_fuel;
+          Alcotest.test_case "sparc window overflow" `Quick test_sparc_window_overflow;
+          Alcotest.test_case "mips deep recursion" `Quick test_mips_deep_recursion_ok;
+        ] );
+      ( "scheduling",
+        [
+          Alcotest.test_case "multiword slot fallback" `Quick test_sched_multiword_slot_fallback;
+          Alcotest.test_case "reloc slot not lifted" `Quick test_reloc_carrying_slot_not_lifted;
+        ] );
+    ]

@@ -1,0 +1,927 @@
+(* MIPS port tests: encoder/decoder roundtrip, simulator semantics, and
+   end-to-end differential tests — VCODE-generated functions executed on
+   the simulator must agree with OCaml reference semantics. *)
+
+open Vcodebase
+module A = Vmips.Mips_asm
+module Sim = Vmips.Mips_sim
+module V = Vcode.Make (Vmips.Mips_backend)
+open V.Names
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ------------------------------------------------------------------ *)
+(* Encoder / decoder                                                   *)
+
+let insn_gen : A.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let reg = int_bound 31 in
+  let freg = map (fun n -> 2 * n) (int_bound 15) in
+  let sh = int_bound 31 in
+  let imm = map (fun i -> i - 32768) (int_bound 65535) in
+  let fmt = oneofl [ A.FS; A.FD ] in
+  oneof
+    [
+      map3 (fun a b c -> A.Sll (a, b, c)) reg reg sh;
+      map3 (fun a b c -> A.Srav (a, b, c)) reg reg reg;
+      map3 (fun a b c -> A.Addu (a, b, c)) reg reg reg;
+      map3 (fun a b c -> A.Subu (a, b, c)) reg reg reg;
+      map3 (fun a b c -> A.And (a, b, c)) reg reg reg;
+      map3 (fun a b c -> A.Nor (a, b, c)) reg reg reg;
+      map3 (fun a b c -> A.Slt (a, b, c)) reg reg reg;
+      map3 (fun a b c -> A.Sltu (a, b, c)) reg reg reg;
+      map3 (fun a b c -> A.Addiu (a, b, c)) reg reg imm;
+      map3 (fun a b c -> A.Sltiu (a, b, c)) reg reg imm;
+      map3 (fun a b c -> A.Ori (a, b, c)) reg reg (int_bound 65535);
+      map2 (fun a b -> A.Lui (a, b)) reg (int_bound 65535);
+      map3 (fun a b c -> A.Beq (a, b, c)) reg reg imm;
+      map3 (fun a b c -> A.Bne (a, b, c)) reg reg imm;
+      map2 (fun a b -> A.Blez (a, b)) reg imm;
+      map2 (fun a b -> A.Bgez (a, b)) reg imm;
+      map (fun t -> A.J t) (int_bound 0x3FFFFFF);
+      map (fun t -> A.Jal t) (int_bound 0x3FFFFFF);
+      map (fun r -> A.Jr r) reg;
+      map2 (fun a b -> A.Jalr (a, b)) reg reg;
+      map3 (fun a b c -> A.Lw (a, b, c)) reg reg imm;
+      map3 (fun a b c -> A.Sw (a, b, c)) reg reg imm;
+      map3 (fun a b c -> A.Lbu (a, b, c)) reg reg imm;
+      map3 (fun a b c -> A.Sh (a, b, c)) reg reg imm;
+      map3 (fun a b c -> A.Ldc1 (a, b, c)) freg reg imm;
+      map2 (fun a b -> A.Mtc1 (a, b)) reg freg;
+      map2 (fun a b -> A.Mfc1 (a, b)) reg freg;
+      (let q4 f = map2 (fun m (a, (b, c)) -> f m a b c) fmt (pair freg (pair freg freg)) in
+       q4 (fun m a b c -> A.Fadd (m, a, b, c)));
+      map2 (fun m (a, b) -> A.Fsqrt (m, a, b)) fmt (pair freg freg);
+      map2 (fun m (a, b) -> A.Fcmp (A.CLt, m, a, b)) fmt (pair freg freg);
+      return A.Nop;
+      map2 (fun a b -> A.Mult (a, b)) reg reg;
+      map (fun a -> A.Mflo a) reg;
+      map (fun a -> A.Mfhi a) reg;
+    ]
+
+let arbitrary_insn = QCheck.make ~print:(fun i -> A.disasm (A.encode i)) insn_gen
+
+let prop_encode_decode =
+  QCheck.Test.make ~name:"mips encode/decode roundtrip" ~count:2000 arbitrary_insn
+    (fun i ->
+      (* encode, decode, re-encode: must be bit-identical (decode may
+         normalize, e.g. Sll(0,0,0) = nop, so compare encodings) *)
+      let w = A.encode i in
+      A.encode (A.decode w) = w)
+
+let prop_disasm_total =
+  QCheck.Test.make ~name:"disasm never raises" ~count:2000
+    QCheck.(int_bound 0xFFFFFFF)
+    (fun w ->
+      ignore (A.disasm w);
+      true)
+
+let test_known_encodings () =
+  (* cross-checked against the MIPS manual / the paper's Figure 2 *)
+  check Alcotest.int "addu a1,a1,a2 opcode 0x21" 0x00A62821
+    (A.encode (A.Addu (5, 5, 6)));
+  check Alcotest.int "addiu a0,a0,1" 0x24840001 (A.encode (A.Addiu (4, 4, 1)));
+  check Alcotest.int "jr ra" 0x03E00008 (A.encode (A.Jr 31));
+  check Alcotest.int "lw v0,4(sp)" 0x8FA20004 (A.encode (A.Lw (2, 29, 4)));
+  check Alcotest.int "nop is zero" 0 (A.encode A.Nop)
+
+(* the W word-builders must agree with the constructor encoders *)
+let prop_word_builders =
+  QCheck.Test.make ~name:"W builders == encode of constructors" ~count:500
+    QCheck.(quad (int_bound 31) (int_bound 31) (int_bound 31)
+              (map (fun i -> i - 32768) (int_bound 65535)))
+    (fun (a, b, c, imm) ->
+      let open A in
+      encode (Addu (a, b, c)) = W.addu a b c
+      && encode (Subu (a, b, c)) = W.subu a b c
+      && encode (And (a, b, c)) = W.and_ a b c
+      && encode (Or (a, b, c)) = W.or_ a b c
+      && encode (Xor (a, b, c)) = W.xor a b c
+      && encode (Nor (a, b, c)) = W.nor a b c
+      && encode (Slt (a, b, c)) = W.slt a b c
+      && encode (Sltu (a, b, c)) = W.sltu a b c
+      && encode (Sllv (a, b, c)) = W.sllv a b c
+      && encode (Srlv (a, b, c)) = W.srlv a b c
+      && encode (Srav (a, b, c)) = W.srav a b c
+      && encode (Sll (a, b, c land 31)) = W.sll a b c
+      && encode (Srl (a, b, c land 31)) = W.srl a b c
+      && encode (Sra (a, b, c land 31)) = W.sra a b c
+      && encode (Addiu (a, b, imm)) = W.addiu a b imm
+      && encode (Slti (a, b, imm)) = W.slti a b imm
+      && encode (Sltiu (a, b, imm)) = W.sltiu a b imm
+      && encode (Andi (a, b, imm land 0xFFFF)) = W.andi a b (imm land 0xFFFF)
+      && encode (Ori (a, b, imm land 0xFFFF)) = W.ori a b (imm land 0xFFFF)
+      && encode (Xori (a, b, imm land 0xFFFF)) = W.xori a b (imm land 0xFFFF)
+      && encode (Lui (a, imm land 0xFFFF)) = W.lui a (imm land 0xFFFF)
+      && encode (Beq (a, b, imm)) = W.beq a b imm
+      && encode (Bne (a, b, imm)) = W.bne a b imm
+      && encode (Lw (a, b, imm)) = W.lw a b imm
+      && encode (Sw (a, b, imm)) = W.sw a b imm
+      && encode (Lb (a, b, imm)) = W.lb a b imm
+      && encode (Lbu (a, b, imm)) = W.lbu a b imm
+      && encode (Lh (a, b, imm)) = W.lh a b imm
+      && encode (Lhu (a, b, imm)) = W.lhu a b imm
+      && encode (Sb (a, b, imm)) = W.sb a b imm
+      && encode (Sh (a, b, imm)) = W.sh a b imm
+      && encode (Jr a) = W.jr a
+      && encode (Mfhi a) = W.mfhi a
+      && encode (Mflo a) = W.mflo a
+      && encode (Mult (a, b)) = W.mult a b
+      && encode (Multu (a, b)) = W.multu a b
+      && encode (Div (a, b)) = W.div a b
+      && encode (Divu (a, b)) = W.divu a b
+      && encode Nop = W.nop)
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end harness                                                  *)
+
+let code_base = 0x1000
+let aux_base = 0x8000
+
+let build ?(base = code_base) ?(leaf = false) sig_ body =
+  let g, args = V.lambda ~base ~leaf sig_ in
+  body g args;
+  V.end_gen g
+
+let fresh_machine () = Sim.create Vmachine.Mconfig.test_config
+
+let install m (code : Vcode.code) =
+  Vmachine.Mem.install_code m.Sim.mem ~addr:code.Vcode.base code.Vcode.gen.Gen.buf
+
+let run_int ?(args = []) (code : Vcode.code) =
+  let m = fresh_machine () in
+  install m code;
+  Sim.call m ~entry:code.Vcode.entry_addr args;
+  Sim.ret_int m
+
+let run_double ?(args = []) (code : Vcode.code) =
+  let m = fresh_machine () in
+  install m code;
+  Sim.call m ~entry:code.Vcode.entry_addr args;
+  Sim.ret_double m
+
+(* reference 32-bit semantics *)
+let sext32 v =
+  let v = v land 0xFFFFFFFF in
+  if v land 0x80000000 <> 0 then v - 0x100000000 else v
+
+let u32 v = v land 0xFFFFFFFF
+
+let ref_binop (op : Op.binop) signed a b =
+  match op with
+  | Op.Add -> sext32 (a + b)
+  | Op.Sub -> sext32 (a - b)
+  | Op.Mul -> sext32 (a * b)
+  | Op.Div ->
+    if signed then if b = 0 then 0 else sext32 (Int.div a b)
+    else if u32 b = 0 then 0
+    else sext32 (u32 a / u32 b)
+  | Op.Mod ->
+    if signed then if b = 0 then 0 else sext32 (Int.rem a b)
+    else if u32 b = 0 then 0
+    else sext32 (u32 a mod u32 b)
+  | Op.And -> sext32 (a land b)
+  | Op.Or -> sext32 (a lor b)
+  | Op.Xor -> sext32 (a lxor b)
+  | Op.Lsh -> sext32 (a lsl (b land 31))
+  | Op.Rsh -> if signed then sext32 (sext32 a asr (b land 31)) else sext32 (u32 a lsr (b land 31))
+
+let int32_arb = QCheck.map sext32 QCheck.int
+
+let binop_fn op ty =
+  (* (int, int) -> int doing one VCODE binop *)
+  build "%i%i" (fun g args ->
+      V.arith g op ty args.(0) args.(0) args.(1);
+      V.ret g ty (Some args.(0)))
+
+let prop_binop op ty signed name =
+  (* one generated function reused across all samples *)
+  let code = binop_fn op ty in
+  QCheck.Test.make ~name ~count:150 (QCheck.pair int32_arb int32_arb) (fun (a, b) ->
+      let expect = ref_binop op signed a b in
+      run_int ~args:[ Sim.Int a; Sim.Int b ] code = expect)
+
+let binop_props =
+  List.concat_map
+    (fun op ->
+      let n = Op.binop_to_string op in
+      [
+        prop_binop op Vtype.I true (Printf.sprintf "v_%si matches reference" n);
+        prop_binop op Vtype.U false (Printf.sprintf "v_%su matches reference" n);
+      ])
+    Op.all_binops
+
+let prop_binop_imm =
+  QCheck.Test.make ~name:"immediate binops (incl. out-of-16-bit range)" ~count:200
+    (QCheck.triple (QCheck.oneofl Op.all_binops) int32_arb int32_arb)
+    (fun (op, a, imm) ->
+      let imm = if op = Op.Lsh || op = Op.Rsh then imm land 31 else imm in
+      let code =
+        build "%i" (fun g args ->
+            V.arith_imm g op Vtype.I args.(0) args.(0) imm;
+            reti g args.(0))
+      in
+      run_int ~args:[ Sim.Int a ] code = ref_binop op true a imm)
+
+let prop_set_const =
+  QCheck.Test.make ~name:"v_seti loads any 32-bit constant" ~count:200 int32_arb
+    (fun c ->
+      let code =
+        build "%i" (fun g args ->
+            seti g args.(0) c;
+            reti g args.(0))
+      in
+      run_int ~args:[ Sim.Int 0 ] code = c)
+
+let prop_unary =
+  QCheck.Test.make ~name:"unary ops match reference" ~count:200
+    (QCheck.pair (QCheck.oneofl Op.all_unops) int32_arb)
+    (fun (op, a) ->
+      let code =
+        build "%i%i" (fun g args ->
+            V.unary g op Vtype.I args.(0) args.(1);
+            reti g args.(0))
+      in
+      let expect =
+        match op with
+        | Op.Com -> sext32 (lnot a)
+        | Op.Not -> if a = 0 then 1 else 0
+        | Op.Mov -> a
+        | Op.Neg -> sext32 (-a)
+      in
+      run_int ~args:[ Sim.Int 0; Sim.Int a ] code = expect)
+
+(* ------------------------------------------------------------------ *)
+(* Branches and control flow                                          *)
+
+let ref_cond (c : Op.cond) signed a b =
+  let a', b' = if signed then (a, b) else (u32 a, u32 b) in
+  match c with
+  | Op.Lt -> a' < b'
+  | Op.Le -> a' <= b'
+  | Op.Gt -> a' > b'
+  | Op.Ge -> a' >= b'
+  | Op.Eq -> a' = b'
+  | Op.Ne -> a' <> b'
+
+let cmp_fn c ty =
+  (* (a, b) -> 1 if a `c` b else 0, via a conditional branch *)
+  build "%i%i" (fun g args ->
+      let l = V.genlabel g in
+      let r = V.getreg_exn g ~cls:`Temp Vtype.I in
+      seti g r 1;
+      V.branch g c ty args.(0) args.(1) l;
+      seti g r 0;
+      V.label g l;
+      reti g r)
+
+let branch_props =
+  List.concat_map
+    (fun c ->
+      let n = Op.cond_to_string c in
+      [
+        (let code = cmp_fn c Vtype.I in
+         QCheck.Test.make ~name:(n ^ "i branches correctly") ~count:150
+           (QCheck.pair int32_arb int32_arb)
+           (fun (a, b) ->
+             run_int ~args:[ Sim.Int a; Sim.Int b ] code
+             = if ref_cond c true a b then 1 else 0));
+        (let code = cmp_fn c Vtype.U in
+         QCheck.Test.make ~name:(n ^ "u branches correctly") ~count:150
+           (QCheck.pair int32_arb int32_arb)
+           (fun (a, b) ->
+             run_int ~args:[ Sim.Int a; Sim.Int b ] code
+             = if ref_cond c false a b then 1 else 0));
+      ])
+    Op.all_conds
+
+let prop_branch_imm =
+  QCheck.Test.make ~name:"immediate branches (incl. 0 and wide imms)" ~count:200
+    (QCheck.triple (QCheck.oneofl Op.all_conds) int32_arb
+       (QCheck.oneof [ QCheck.always 0; int32_arb ]))
+    (fun (c, a, imm) ->
+      let code =
+        build "%i" (fun g args ->
+            let l = V.genlabel g in
+            let r = V.getreg_exn g ~cls:`Temp Vtype.I in
+            seti g r 1;
+            V.branch_imm g c Vtype.I args.(0) imm l;
+            seti g r 0;
+            V.label g l;
+            reti g r)
+      in
+      run_int ~args:[ Sim.Int a ] code = if ref_cond c true a imm then 1 else 0)
+
+let test_loop_sum () =
+  (* sum 1..n with a backward branch *)
+  let code =
+    build "%i" (fun g args ->
+        let acc = V.getreg_exn g ~cls:`Temp Vtype.I in
+        let i = V.getreg_exn g ~cls:`Temp Vtype.I in
+        seti g acc 0;
+        seti g i 1;
+        let top = V.genlabel g and done_ = V.genlabel g in
+        V.label g top;
+        bgti g i args.(0) done_;
+        addi g acc acc i;
+        addii g i i 1;
+        jv g top;
+        V.label g done_;
+        reti g acc)
+  in
+  check Alcotest.int "sum 1..10" 55 (run_int ~args:[ Sim.Int 10 ] code);
+  check Alcotest.int "sum 1..0 (empty)" 0 (run_int ~args:[ Sim.Int 0 ] code);
+  check Alcotest.int "sum 1..1000" 500500 (run_int ~args:[ Sim.Int 1000 ] code)
+
+let test_forward_and_backward_jumps () =
+  let code =
+    build "%i" (fun g args ->
+        let l1 = V.genlabel g and l2 = V.genlabel g and out = V.genlabel g in
+        jv g l2;
+        (* dead code *)
+        seti g args.(0) (-1);
+        V.label g l1;
+        addii g args.(0) args.(0) 100;
+        jv g out;
+        V.label g l2;
+        addii g args.(0) args.(0) 10;
+        jv g l1;
+        V.label g out;
+        reti g args.(0))
+  in
+  check Alcotest.int "jump threading" 117 (run_int ~args:[ Sim.Int 7 ] code)
+
+(* ------------------------------------------------------------------ *)
+(* Memory, locals                                                      *)
+
+let test_locals_roundtrip () =
+  let code =
+    build "%i%i" (fun g args ->
+        let a = V.local g Vtype.I and b = V.local g Vtype.I in
+        V.st_local g a args.(0);
+        V.st_local g b args.(1);
+        let t = V.getreg_exn g ~cls:`Temp Vtype.I in
+        V.ld_local g a t;
+        V.ld_local g b args.(0);
+        addi g t t args.(0);
+        reti g t)
+  in
+  check Alcotest.int "locals" 30 (run_int ~args:[ Sim.Int 10; Sim.Int 20 ] code)
+
+let test_subword_memory () =
+  (* write bytes/halfwords into a local and read back with both
+     signednesses *)
+  let code =
+    build "%i" (fun g args ->
+        let l = V.local g Vtype.I in
+        V.st_local g l args.(0);
+        let sp = V.desc.Machdesc.sp in
+        let off = V.desc.Machdesc.locals_base + 0 in
+        let t = V.getreg_exn g ~cls:`Temp Vtype.I in
+        let u = V.getreg_exn g ~cls:`Temp Vtype.I in
+        ldci g t sp off;  (* signed byte (little-endian lowest) *)
+        lduci g u sp off; (* unsigned byte *)
+        addi g t t u;
+        reti g t)
+  in
+  (* 0x80 -> signed -128 + unsigned 128 = 0 *)
+  check Alcotest.int "byte signedness" 0 (run_int ~args:[ Sim.Int 0x80 ] code);
+  check Alcotest.int "byte positive" 14 (run_int ~args:[ Sim.Int 7 ] code)
+
+let prop_mem_indexing =
+  QCheck.Test.make ~name:"register-indexed and wide-offset loads" ~count:100
+    (QCheck.pair (QCheck.int_bound 1000) int32_arb)
+    (fun (idx, v) ->
+      (* mem[base + 4*idx] <- v via reg offset; read back via imm offset *)
+      let code =
+        build "%p%i%i" (fun g args ->
+            let off = V.getreg_exn g ~cls:`Temp Vtype.I in
+            lshii g off args.(1) 2;
+            (* cast idx to offset register *)
+            sti g args.(2) args.(0) off;
+            ldi g args.(1) args.(0) off;
+            reti g args.(1))
+      in
+      let m = fresh_machine () in
+      let c = code in
+      install m c;
+      let bufaddr = 0x40000 in
+      Sim.call m ~entry:c.Vcode.entry_addr [ Sim.Int bufaddr; Sim.Int idx; Sim.Int v ];
+      Sim.ret_int m = v
+      && Vmachine.Mem.read_u32 m.Sim.mem (bufaddr + (4 * idx)) = u32 v)
+
+(* ------------------------------------------------------------------ *)
+(* Calls and conventions                                               *)
+
+let test_eight_args () =
+  (* 8 args: 4 in registers, 4 on the stack (reloaded by the patched
+     prologue) *)
+  let code =
+    build "%i%i%i%i%i%i%i%i" (fun g args ->
+        let acc = V.getreg_exn g ~cls:`Temp Vtype.I in
+        movi g acc args.(0);
+        for k = 1 to 7 do
+          (* weight each argument to catch permutation bugs *)
+          let t = V.getreg_exn g ~cls:`Temp Vtype.I in
+          V.Strength.mul g Vtype.I t args.(k) (k + 1);
+          addi g acc acc t;
+          V.putreg g t
+        done;
+        reti g acc)
+  in
+  let args = List.init 8 (fun i -> Sim.Int (i + 1)) in
+  (* sum (i+1)*(i+1) for i in 0..7 = 1+4+9+...+64 = 204 *)
+  check Alcotest.int "8 args weighted" 204 (run_int ~args code)
+
+let test_call_between_generated_functions () =
+  (* callee: add3(a,b,c) = a+b+c; caller: f(x) = add3(x, 2x, 3x) + 1 *)
+  let callee =
+    build ~base:aux_base ~leaf:true "%i%i%i" (fun g args ->
+        addi g args.(0) args.(0) args.(1);
+        addi g args.(0) args.(0) args.(2);
+        reti g args.(0))
+  in
+  let caller =
+    build "%i" (fun g args ->
+        let x = V.getreg_exn g ~cls:`Var Vtype.I in
+        movi g x args.(0);
+        let t2 = V.getreg_exn g ~cls:`Temp Vtype.I in
+        let t3 = V.getreg_exn g ~cls:`Temp Vtype.I in
+        addi g t2 x x;
+        addi g t3 t2 x;
+        V.ccall g (Gen.Jaddr callee.Vcode.entry_addr)
+          ~args:[ (Vtype.I, x); (Vtype.I, t2); (Vtype.I, t3) ]
+          ~ret:(Some (Vtype.I, x));
+        addii g x x 1;
+        reti g x)
+  in
+  let m = fresh_machine () in
+  install m callee;
+  install m caller;
+  Sim.call m ~entry:caller.Vcode.entry_addr [ Sim.Int 5 ];
+  check Alcotest.int "nested generated call" 31 (Sim.ret_int m)
+
+let test_callee_saved_preserved_across_call () =
+  (* callee clobbers s0/s1 (must save/restore them); caller keeps live
+     values there across the call *)
+  let callee =
+    build ~base:aux_base "%i" (fun g args ->
+        let s0 = V.sreg 0 and s1 = V.sreg 1 in
+        (* write callee-saved registers: prologue must preserve them *)
+        seti g s0 12345;
+        seti g s1 54321;
+        V.set_reg_class g s0 `Callee;
+        addi g args.(0) s0 s1 |> ignore;
+        reti g args.(0))
+  in
+  let caller =
+    build "%i" (fun g args ->
+        let a = V.getreg_exn g ~cls:`Var Vtype.I in
+        let b = V.getreg_exn g ~cls:`Var Vtype.I in
+        seti g a 1000;
+        seti g b 111;
+        V.ccall g (Gen.Jaddr callee.Vcode.entry_addr)
+          ~args:[ (Vtype.I, args.(0)) ]
+          ~ret:(Some (Vtype.I, args.(0)));
+        (* a and b must have survived *)
+        addi g a a b;
+        addi g a a args.(0);
+        reti g a)
+  in
+  let m = fresh_machine () in
+  install m callee;
+  install m caller;
+  Sim.call m ~entry:caller.Vcode.entry_addr [ Sim.Int 0 ];
+  check Alcotest.int "callee-saved preserved" (1000 + 111 + 66666) (Sim.ret_int m)
+
+let test_leaf_call_error () =
+  match
+    build ~leaf:true "%i" (fun g args ->
+        V.jal g (Gen.Jaddr 0x2000);
+        reti g args.(0))
+  with
+  | _ -> Alcotest.fail "expected Leaf_call"
+  | exception Verror.Error Verror.Leaf_call -> ()
+
+let test_register_exhaustion () =
+  let g, _ = V.lambda ~base:code_base "%i" in
+  let rec grab n = match V.getreg g ~cls:`Temp Vtype.I with
+    | Some _ -> grab (n + 1)
+    | None -> n
+  in
+  check Alcotest.int "10 temps then exhaustion" 10 (grab 0)
+
+let test_hard_reg_assertion () =
+  (* section 5.3 register assertion: asking for more hard regs than the
+     target has is a static error *)
+  (match V.treg 0 with Reg.R _ -> () | Reg.F _ -> Alcotest.fail "treg class");
+  match V.treg 99 with
+  | _ -> Alcotest.fail "expected exhaustion"
+  | exception Verror.Error (Verror.Registers_exhausted _) -> ()
+
+let test_forced_callee_temp_saved () =
+  (* section 5.3 interrupt-handler mode: force $t0 to be callee-saved in
+     the callee; the caller's $t0 must survive the call *)
+  let callee =
+    build ~base:aux_base "%i" (fun g args ->
+        let t0 = V.treg 0 in
+        V.set_reg_class g t0 `Callee;
+        seti g t0 777;
+        addi g args.(0) args.(0) t0;
+        reti g args.(0))
+  in
+  let caller =
+    build "%i" (fun g args ->
+        let t0 = V.treg 0 in
+        seti g t0 42;
+        V.ccall g (Gen.Jaddr callee.Vcode.entry_addr)
+          ~args:[ (Vtype.I, args.(0)) ]
+          ~ret:(Some (Vtype.I, args.(0)));
+        addi g args.(0) args.(0) t0;
+        reti g args.(0))
+  in
+  let m = fresh_machine () in
+  install m callee;
+  install m caller;
+  Sim.call m ~entry:caller.Vcode.entry_addr [ Sim.Int 1 ];
+  check Alcotest.int "forced callee temp preserved" (1 + 777 + 42) (Sim.ret_int m)
+
+let test_interrupt_mode () =
+  (* the section 5.3 scenario in full: a "handler" is invoked while all
+     caller-saved registers hold live values; interrupt_mode makes the
+     prologue save whatever the handler touches *)
+  let handler =
+    build ~base:aux_base "%i" (fun g args ->
+        V.interrupt_mode g;
+        (* clobber several temporaries *)
+        for k = 0 to 4 do
+          let t = V.treg k in
+          seti g t (1000 + k)
+        done;
+        addii g args.(0) args.(0) 1;
+        reti g args.(0))
+  in
+  let interrupted =
+    build "%i" (fun g args ->
+        (* live values in every temp register the handler clobbers *)
+        let keep = Array.init 5 (fun k -> V.treg k) in
+        Array.iteri (fun k r -> seti g r (10 + k)) keep;
+        V.ccall g (Gen.Jaddr handler.Vcode.entry_addr)
+          ~args:[ (Vtype.I, args.(0)) ]
+          ~ret:(Some (Vtype.I, args.(0)));
+        (* all five must have survived: sum = 10+11+12+13+14 = 60 *)
+        Array.iter (fun r -> addi g args.(0) args.(0) r) keep;
+        reti g args.(0))
+  in
+  let m = fresh_machine () in
+  install m handler;
+  install m interrupted;
+  Sim.call m ~entry:interrupted.Vcode.entry_addr [ Sim.Int 0 ];
+  check Alcotest.int "interrupted context preserved" 61 (Sim.ret_int m)
+
+(* ------------------------------------------------------------------ *)
+(* Floating point                                                      *)
+
+let test_double_arith () =
+  let code =
+    build "%d%d" (fun g args ->
+        addd g args.(0) args.(0) args.(1);
+        retd g args.(0))
+  in
+  check (Alcotest.float 1e-9) "double add" 3.5
+    (run_double ~args:[ Sim.Double 1.25; Sim.Double 2.25 ] code)
+
+let prop_double_ops =
+  QCheck.Test.make ~name:"double arith matches OCaml floats" ~count:150
+    (QCheck.triple (QCheck.oneofl [ `Add; `Sub; `Mul; `Div ])
+       (QCheck.float_bound_exclusive 1e6) (QCheck.float_range 1.0 1e6))
+    (fun (op, a, b) ->
+      let code =
+        build "%d%d" (fun g args ->
+            (match op with
+            | `Add -> addd g args.(0) args.(0) args.(1)
+            | `Sub -> subd g args.(0) args.(0) args.(1)
+            | `Mul -> muld g args.(0) args.(0) args.(1)
+            | `Div -> divd g args.(0) args.(0) args.(1));
+            retd g args.(0))
+      in
+      let expect =
+        match op with
+        | `Add -> a +. b
+        | `Sub -> a -. b
+        | `Mul -> a *. b
+        | `Div -> a /. b
+      in
+      let got = run_double ~args:[ Sim.Double a; Sim.Double b ] code in
+      got = expect || abs_float (got -. expect) < 1e-9)
+
+let test_float_immediates () =
+  (* the constant pool at the end of the function (section 5.2) *)
+  let code =
+    build "%d" (fun g args ->
+        let c = V.getreg_exn g ~cls:`Temp Vtype.D in
+        setd g c 2.5;
+        muld g args.(0) args.(0) c;
+        setd g c 0.5;
+        addd g args.(0) args.(0) c;
+        retd g args.(0))
+  in
+  check (Alcotest.float 1e-9) "two pool constants" 10.5
+    (run_double ~args:[ Sim.Double 4.0 ] code)
+
+let test_single_precision () =
+  let code =
+    build "%f%f" (fun g args ->
+        addf g args.(0) args.(0) args.(1);
+        retf g args.(0))
+  in
+  let m = fresh_machine () in
+  install m code;
+  Sim.call m ~entry:code.Vcode.entry_addr [ Sim.Single 1.5; Sim.Single 2.25 ];
+  check (Alcotest.float 1e-6) "single add" 3.75 (Sim.ret_single m)
+
+let prop_int_double_conversion =
+  QCheck.Test.make ~name:"cvi2d / cvd2i roundtrip" ~count:200
+    (QCheck.int_range (-1000000) 1000000)
+    (fun n ->
+      let code =
+        build "%i" (fun g args ->
+            let d = V.getreg_exn g ~cls:`Temp Vtype.D in
+            cvi2d g d args.(0);
+            cvd2i g args.(0) d;
+            reti g args.(0))
+      in
+      run_int ~args:[ Sim.Int n ] code = n)
+
+let prop_unsigned_conversion =
+  QCheck.Test.make ~name:"cvu2d handles the sign bit" ~count:100 int32_arb (fun n ->
+      let code =
+        build "%u" (fun g args ->
+            let d = V.getreg_exn g ~cls:`Temp Vtype.D in
+            cvu2d g d args.(0);
+            (* compare against u32(n) via doubling-free check: truncate
+               back after subtracting 2^31 when large *)
+            retd g d)
+      in
+      let got = run_double ~args:[ Sim.Int n ] code in
+      got = float_of_int (u32 n))
+
+let test_float_branch () =
+  let code =
+    build "%d%d" (fun g args ->
+        let l = V.genlabel g in
+        let r = V.getreg_exn g ~cls:`Temp Vtype.I in
+        seti g r 1;
+        bltd g args.(0) args.(1) l;
+        seti g r 0;
+        V.label g l;
+        reti g r)
+  in
+  check Alcotest.int "1.0 < 2.0" 1 (run_int ~args:[ Sim.Double 1.0; Sim.Double 2.0 ] code);
+  check Alcotest.int "2.0 < 1.0 false" 0
+    (run_int ~args:[ Sim.Double 2.0; Sim.Double 1.0 ] code)
+
+let test_fp_callee_saved () =
+  let callee =
+    build ~base:aux_base "%d" (fun g args ->
+        let f20 = Reg.F 20 in
+        Gen.mark_in_use g f20;
+        setd g f20 9.0;
+        addd g args.(0) args.(0) f20;
+        retd g args.(0))
+  in
+  let caller =
+    build "%d" (fun g args ->
+        let fv = V.getreg_exn g ~cls:`Var Vtype.D in
+        setd g fv 100.0;
+        V.ccall g (Gen.Jaddr callee.Vcode.entry_addr)
+          ~args:[ (Vtype.D, args.(0)) ]
+          ~ret:(Some (Vtype.D, args.(0)));
+        addd g args.(0) args.(0) fv;
+        retd g args.(0))
+  in
+  let m = fresh_machine () in
+  install m callee;
+  install m caller;
+  Sim.call m ~entry:caller.Vcode.entry_addr [ Sim.Double 1.0 ];
+  check (Alcotest.float 1e-9) "fp callee saved" 110.0 (Sim.ret_double m)
+
+(* ------------------------------------------------------------------ *)
+(* Strength reduction, scheduling, extensions                          *)
+
+let prop_strength_mul =
+  QCheck.Test.make ~name:"strength-reduced multiply matches" ~count:300
+    (QCheck.pair int32_arb
+       (QCheck.oneofl [ 0; 1; -1; 2; 3; 4; 5; 7; 8; 10; 12; 15; 16; 24; 100; 255; 256; 1000; -8; -10 ]))
+    (fun (a, c) ->
+      let code =
+        build "%i" (fun g args ->
+            V.Strength.mul g Vtype.I args.(0) args.(0) c;
+            reti g args.(0))
+      in
+      run_int ~args:[ Sim.Int a ] code = sext32 (a * c))
+
+let prop_strength_div =
+  QCheck.Test.make ~name:"strength-reduced divide matches C semantics" ~count:300
+    (QCheck.pair int32_arb (QCheck.oneofl [ 1; 2; 4; 8; 16; 64; 1024; 3; 7; 100 ]))
+    (fun (a, c) ->
+      let code =
+        build "%i" (fun g args ->
+            V.Strength.div g Vtype.I args.(0) args.(0) c;
+            reti g args.(0))
+      in
+      run_int ~args:[ Sim.Int a ] code = sext32 (Int.div a c))
+
+let prop_strength_rem =
+  QCheck.Test.make ~name:"strength-reduced remainder matches C semantics" ~count:300
+    (QCheck.pair int32_arb (QCheck.oneofl [ 2; 4; 8; 16; 256; 3; 10 ]))
+    (fun (a, c) ->
+      let code =
+        build "%i" (fun g args ->
+            V.Strength.rem g Vtype.I args.(0) args.(0) c;
+            reti g args.(0))
+      in
+      run_int ~args:[ Sim.Int a ] code = sext32 (Int.rem a c))
+
+let prop_strength_unsigned_div =
+  QCheck.Test.make ~name:"unsigned strength divide" ~count:200
+    (QCheck.pair int32_arb (QCheck.oneofl [ 2; 4; 32; 4096 ]))
+    (fun (a, c) ->
+      let code =
+        build "%u" (fun g args ->
+            V.Strength.div g Vtype.U args.(0) args.(0) c;
+            retu g args.(0))
+      in
+      u32 (run_int ~args:[ Sim.Int a ] code) = u32 a / c)
+
+let test_schedule_delay () =
+  (* branch with a useful instruction in the delay slot: the increment
+     must execute exactly once even though the branch is taken *)
+  let code =
+    build "%i" (fun g args ->
+        let l = V.genlabel g in
+        V.Sched.schedule_delay g
+          ~branch:(fun () -> jv g l)
+          ~slot:(fun () -> addii g args.(0) args.(0) 1);
+        (* skipped *)
+        addii g args.(0) args.(0) 100;
+        V.label g l;
+        reti g args.(0))
+  in
+  check Alcotest.int "delay slot executed once" 8 (run_int ~args:[ Sim.Int 7 ] code)
+
+let test_raw_load_pads () =
+  let g, args = V.lambda ~base:code_base "%p" in
+  let before = Codebuf.length g.Gen.buf in
+  V.Sched.raw_load g ~load:(fun () -> ldii g args.(0) args.(0) 0) ~uses_in:0;
+  let used = Codebuf.length g.Gen.buf - before in
+  check Alcotest.int "load + 1 nop" 2 used;
+  let before = Codebuf.length g.Gen.buf in
+  V.Sched.raw_load g ~load:(fun () -> ldii g args.(0) args.(0) 0) ~uses_in:3;
+  check Alcotest.int "no pad when result used later" 1 (Codebuf.length g.Gen.buf - before)
+
+let test_extension_machine_insn () =
+  (* the paper's running example: (sqrt (rd, rs) (f fsqrts) (d fsqrtd)) *)
+  V.Ext.load_spec "(sqrt (rd, rs) (f fsqrts) (d fsqrtd))";
+  Alcotest.(check bool) "defined" true (V.Ext.defined ~name:"sqrt" ~ty:Vtype.D);
+  let code =
+    build "%d" (fun g args ->
+        V.Ext.emit g ~name:"sqrt" ~ty:Vtype.D [| args.(0); args.(0) |];
+        retd g args.(0))
+  in
+  check (Alcotest.float 1e-9) "sqrt(9)" 3.0 (run_double ~args:[ Sim.Double 9.0 ] code)
+
+let test_extension_seq () =
+  (* portable extension couched in VCODE core operations *)
+  V.Ext.load_spec "(madd (rd, ra, rb) (i (seq (mul scratch ra rb) (add rd rd scratch))))";
+  let code =
+    build "%i%i%i" (fun g args ->
+        V.Ext.emit g ~name:"madd" ~ty:Vtype.I [| args.(0); args.(1); args.(2) |];
+        reti g args.(0))
+  in
+  check Alcotest.int "madd" (10 + (6 * 7))
+    (run_int ~args:[ Sim.Int 10; Sim.Int 6; Sim.Int 7 ] code)
+
+let test_extension_imm_form () =
+  (* the paper's optional [mach-imm_insn] position: the entry maps both
+     a register form and an immediate form *)
+  V.Ext.load_spec "(xadd (rd, rs) (i addu addiu))";
+  Alcotest.(check bool) "reg form" true (V.Ext.defined ~name:"xadd" ~ty:Vtype.I);
+  Alcotest.(check bool) "imm form" true (V.Ext.defined_imm ~name:"xadd" ~ty:Vtype.I);
+  let code =
+    build "%i%i" (fun g args ->
+        V.Ext.emit g ~name:"xadd" ~ty:Vtype.I [| args.(0); args.(0); args.(1) |];
+        V.Ext.emit_imm g ~name:"xadd" ~ty:Vtype.I [| args.(0); args.(0) |] 100;
+        reti g args.(0))
+  in
+  check Alcotest.int "xadd + xaddi" (3 + 4 + 100)
+    (run_int ~args:[ Sim.Int 3; Sim.Int 4 ] code)
+
+let test_extension_unknown_machine_insn () =
+  match V.Ext.load_spec "(frob (rd) (i no_such_insn))" with
+  | () -> Alcotest.fail "expected Spec error"
+  | exception Verror.Error (Verror.Spec _) -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Generation-cost sanity (the headline claim, asserted loosely)       *)
+
+let test_insn_count_tracking () =
+  let g, args = V.lambda ~base:code_base "%i" in
+  addii g args.(0) args.(0) 1;
+  addii g args.(0) args.(0) 2;
+  reti g args.(0);
+  check Alcotest.int "3 VCODE insns" 3 g.Gen.insn_count;
+  ignore (V.end_gen g)
+
+let test_space_is_labels_only () =
+  (* after generating 5000 instructions, bookkeeping is still just
+     labels + relocs: the in-place claim at the system level *)
+  let g, args = V.lambda ~base:code_base "%i" in
+  for _ = 1 to 5000 do
+    addii g args.(0) args.(0) 1
+  done;
+  let overhead = Gen.live_words g - Codebuf.heap_words g.Gen.buf in
+  Alcotest.(check bool)
+    (Printf.sprintf "bookkeeping %d words for 5000 insns" overhead)
+    true (overhead < 200);
+  reti g args.(0);
+  ignore (V.end_gen g)
+
+let () =
+  Alcotest.run "vcode-mips"
+    [
+      ( "asm",
+        [
+          qtest prop_encode_decode;
+          qtest prop_disasm_total;
+          Alcotest.test_case "known encodings" `Quick test_known_encodings;
+          qtest prop_word_builders;
+        ] );
+      ("binops", List.map qtest binop_props);
+      ( "alu",
+        [
+          qtest prop_binop_imm;
+          qtest prop_set_const;
+          qtest prop_unary;
+        ] );
+      ( "control",
+        List.map qtest branch_props
+        @ [
+            qtest prop_branch_imm;
+            Alcotest.test_case "loop sum" `Quick test_loop_sum;
+            Alcotest.test_case "jumps" `Quick test_forward_and_backward_jumps;
+          ] );
+      ( "memory",
+        [
+          Alcotest.test_case "locals" `Quick test_locals_roundtrip;
+          Alcotest.test_case "subword" `Quick test_subword_memory;
+          qtest prop_mem_indexing;
+        ] );
+      ( "calls",
+        [
+          Alcotest.test_case "8 args" `Quick test_eight_args;
+          Alcotest.test_case "generated-to-generated" `Quick test_call_between_generated_functions;
+          Alcotest.test_case "callee-saved" `Quick test_callee_saved_preserved_across_call;
+          Alcotest.test_case "leaf error" `Quick test_leaf_call_error;
+          Alcotest.test_case "register exhaustion" `Quick test_register_exhaustion;
+          Alcotest.test_case "hard reg assertion" `Quick test_hard_reg_assertion;
+          Alcotest.test_case "forced callee temp" `Quick test_forced_callee_temp_saved;
+          Alcotest.test_case "interrupt mode" `Quick test_interrupt_mode;
+        ] );
+      ( "float",
+        [
+          Alcotest.test_case "double add" `Quick test_double_arith;
+          qtest prop_double_ops;
+          Alcotest.test_case "fp immediates" `Quick test_float_immediates;
+          Alcotest.test_case "single precision" `Quick test_single_precision;
+          qtest prop_int_double_conversion;
+          qtest prop_unsigned_conversion;
+          Alcotest.test_case "float branch" `Quick test_float_branch;
+          Alcotest.test_case "fp callee saved" `Quick test_fp_callee_saved;
+        ] );
+      ( "strength",
+        [
+          qtest prop_strength_mul;
+          qtest prop_strength_div;
+          qtest prop_strength_rem;
+          qtest prop_strength_unsigned_div;
+        ] );
+      ( "sched",
+        [
+          Alcotest.test_case "schedule_delay" `Quick test_schedule_delay;
+          Alcotest.test_case "raw_load pads" `Quick test_raw_load_pads;
+        ] );
+      ( "extensions",
+        [
+          Alcotest.test_case "machine insn" `Quick test_extension_machine_insn;
+          Alcotest.test_case "seq extension" `Quick test_extension_seq;
+          Alcotest.test_case "unknown machine insn" `Quick test_extension_unknown_machine_insn;
+          Alcotest.test_case "immediate form" `Quick test_extension_imm_form;
+        ] );
+      ( "meta",
+        [
+          Alcotest.test_case "insn count" `Quick test_insn_count_tracking;
+          Alcotest.test_case "in-place space" `Quick test_space_is_labels_only;
+        ] );
+    ]

@@ -1,0 +1,348 @@
+(* PowerPC port tests.  The cross-target fuzzer (test_cross.ml) already
+   hammers the ALU mapping and calling convention; these tests cover
+   what it cannot reach: the encoder, the magic-number float
+   conversions, the constant pool, sub-word memory, the
+   parallel-move argument shuffle, and the tcc client. *)
+
+open Vcodebase
+module A = Vppc.Ppc_asm
+module Sim = Vppc.Ppc_sim
+module V = Vcode.Make (Vppc.Ppc_backend)
+open V.Names
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ------------------------------------------------------------------ *)
+(* Encoder                                                             *)
+
+let insn_gen : A.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let reg = int_bound 31 in
+  let imm = map (fun i -> i - 32768) (int_bound 65535) in
+  let uimm = int_bound 65535 in
+  let sh = int_bound 31 in
+  oneof
+    [
+      map3 (fun a b c -> A.Addi (a, b, c)) reg reg imm;
+      map3 (fun a b c -> A.Addis (a, b, c)) reg reg imm;
+      map3 (fun a b c -> A.Mulli (a, b, c)) reg reg imm;
+      map3 (fun a b c -> A.Ori (a, b, c)) reg reg uimm;
+      map3 (fun a b c -> A.Andi (a, b, c)) reg reg uimm;
+      map3 (fun a b c -> A.Xori (a, b, c)) reg reg uimm;
+      map3 (fun a b c -> A.Add (a, b, c)) reg reg reg;
+      map3 (fun a b c -> A.Subf (a, b, c)) reg reg reg;
+      map3 (fun a b c -> A.Mullw (a, b, c)) reg reg reg;
+      map3 (fun a b c -> A.Divw (a, b, c)) reg reg reg;
+      map3 (fun a b c -> A.Divwu (a, b, c)) reg reg reg;
+      map3 (fun a b c -> A.And (a, b, c)) reg reg reg;
+      map3 (fun a b c -> A.Or (a, b, c)) reg reg reg;
+      map3 (fun a b c -> A.Nor (a, b, c)) reg reg reg;
+      map3 (fun a b c -> A.Slw (a, b, c)) reg reg reg;
+      map3 (fun a b c -> A.Sraw (a, b, c)) reg reg reg;
+      map3 (fun a b c -> A.Srawi (a, b, c)) reg reg sh;
+      map2 (fun a b -> A.Neg (a, b)) reg reg;
+      map2 (fun a b -> A.Cntlzw (a, b)) reg reg;
+      map2 (fun a b -> A.Cmp (a, b)) reg reg;
+      map2 (fun a b -> A.Cmpl (a, b)) reg reg;
+      map2 (fun a b -> A.Cmpi (a, b)) reg imm;
+      (let* a = reg and* b = reg and* s = sh and* mb = sh and* me = sh in
+       return (A.Rlwinm (a, b, s, mb, me)));
+      map3 (fun a b c -> A.Lwz (a, b, c)) reg reg imm;
+      map3 (fun a b c -> A.Stw (a, b, c)) reg reg imm;
+      map3 (fun a b c -> A.Lbz (a, b, c)) reg reg imm;
+      map3 (fun a b c -> A.Lha (a, b, c)) reg reg imm;
+      map3 (fun a b c -> A.Sth (a, b, c)) reg reg imm;
+      map3 (fun a b c -> A.Lfd (a, b, c)) reg reg imm;
+      map3 (fun a b c -> A.Stfd (a, b, c)) reg reg imm;
+      map (fun li -> A.B (li - 0x800000)) (int_bound 0xFFFFFF);
+      map (fun li -> A.Bl (li - 0x800000)) (int_bound 0xFFFFFF);
+      (let* bo = oneofl [ 4; 12; 20 ] and* bi = int_bound 2 and* bd = int_bound 0x3FFF in
+       return (A.Bc (bo, bi, bd - 0x2000)));
+      return A.Blr;
+      return A.Bctr;
+      map (fun a -> A.Mflr a) reg;
+      map (fun a -> A.Mtlr a) reg;
+      map (fun a -> A.Mtctr a) reg;
+      map3 (fun a b c -> A.Fadd (a, b, c)) reg reg reg;
+      map3 (fun a b c -> A.Fmul (a, b, c)) reg reg reg;
+      map2 (fun a b -> A.Fmr (a, b)) reg reg;
+      map2 (fun a b -> A.Fctiwz (a, b)) reg reg;
+      map2 (fun a b -> A.Fcmpu (a, b)) reg reg;
+    ]
+
+let prop_encode_decode =
+  QCheck.Test.make ~name:"ppc encode/decode roundtrip" ~count:2000
+    (QCheck.make ~print:(fun i -> A.disasm (A.encode i)) insn_gen)
+    (fun i -> A.encode (A.decode (A.encode i)) = A.encode i)
+
+let prop_disasm_total =
+  QCheck.Test.make ~name:"ppc disasm never raises" ~count:2000
+    QCheck.(int_bound 0xFFFFFFF)
+    (fun w ->
+      ignore (A.disasm w);
+      true)
+
+(* ------------------------------------------------------------------ *)
+(* Harness                                                             *)
+
+let code_base = 0x1000
+
+let build ?(base = code_base) ?(leaf = false) sig_ body =
+  let g, args = V.lambda ~base ~leaf sig_ in
+  body g args;
+  V.end_gen g
+
+let fresh () = Sim.create Vmachine.Mconfig.test_config
+
+let install m (code : Vcode.code) =
+  Vmachine.Mem.install_code m.Sim.mem ~addr:code.Vcode.base code.Vcode.gen.Gen.buf
+
+let run_int ?(args = []) code =
+  let m = fresh () in
+  install m code;
+  Sim.call m ~entry:code.Vcode.entry_addr args;
+  Sim.ret_int m
+
+let run_double ?(args = []) code =
+  let m = fresh () in
+  install m code;
+  Sim.call m ~entry:code.Vcode.entry_addr args;
+  Sim.ret_double m
+
+let test_plus1 () =
+  let code =
+    build ~leaf:true "%i" (fun g a ->
+        addii g a.(0) a.(0) 1;
+        reti g a.(0))
+  in
+  check Alcotest.int "plus1(41)" 42 (run_int ~args:[ Sim.Int 41 ] code);
+  check Alcotest.int "plus1(-1)" 0 (run_int ~args:[ Sim.Int (-1) ] code)
+
+(* ------------------------------------------------------------------ *)
+(* Conversions: the magic-number sequences                             *)
+
+let prop_int_double_roundtrip =
+  QCheck.Test.make ~name:"ppc cvi2d / cvd2i roundtrip (magic numbers)" ~count:200
+    (QCheck.oneof
+       [ QCheck.int_range (-2000000000) 2000000000; QCheck.oneofl [ 0; 1; -1; max_int land 0x7FFFFFFF; -0x80000000 ] ])
+    (fun n ->
+      let code =
+        build "%i" (fun g args ->
+            let d = V.getreg_exn g ~cls:`Temp Vtype.D in
+            cvi2d g d args.(0);
+            cvd2i g args.(0) d;
+            reti g args.(0))
+      in
+      run_int ~args:[ Sim.Int n ] code = n)
+
+let prop_unsigned_double =
+  QCheck.Test.make ~name:"ppc cvu2d covers the full unsigned range" ~count:150
+    (QCheck.map (fun v -> v land 0xFFFFFFFF) QCheck.int)
+    (fun n ->
+      let code =
+        build "%u" (fun g args ->
+            let d = V.getreg_exn g ~cls:`Temp Vtype.D in
+            cvu2d g d args.(0);
+            retd g d)
+      in
+      run_double ~args:[ Sim.Int n ] code = float_of_int n)
+
+let test_double_arith_and_pool () =
+  let code =
+    build "%d%d" (fun g args ->
+        let c = V.getreg_exn g ~cls:`Temp Vtype.D in
+        setd g c 1.5;
+        addd g args.(0) args.(0) args.(1);
+        muld g args.(0) args.(0) c;
+        retd g args.(0))
+  in
+  check (Alcotest.float 1e-9) "(2+3)*1.5" 7.5
+    (run_double ~args:[ Sim.Double 2.0; Sim.Double 3.0 ] code)
+
+let test_float_branch () =
+  let code =
+    build "%d%d" (fun g args ->
+        let l = V.genlabel g in
+        let r = V.getreg_exn g ~cls:`Temp Vtype.I in
+        seti g r 1;
+        bltd g args.(0) args.(1) l;
+        seti g r 0;
+        V.label g l;
+        reti g r)
+  in
+  check Alcotest.int "lt" 1 (run_int ~args:[ Sim.Double 1.0; Sim.Double 2.0 ] code);
+  check Alcotest.int "not lt" 0 (run_int ~args:[ Sim.Double 2.5; Sim.Double 2.0 ] code)
+
+let test_single_precision () =
+  let code =
+    build "%f%f" (fun g args ->
+        addf g args.(0) args.(0) args.(1);
+        retf g args.(0))
+  in
+  let m = fresh () in
+  install m code;
+  Sim.call m ~entry:code.Vcode.entry_addr [ Sim.Single 1.5; Sim.Single 2.25 ];
+  check (Alcotest.float 1e-6) "fadds" 3.75 (Sim.ret_single m)
+
+(* ------------------------------------------------------------------ *)
+(* Memory, calls                                                       *)
+
+let test_subword_memory () =
+  let code =
+    build "%i" (fun g args ->
+        let l = V.local g Vtype.I in
+        V.st_local g l args.(0);
+        let sp = V.desc.Machdesc.sp in
+        let off = V.desc.Machdesc.locals_base in
+        let t = V.getreg_exn g ~cls:`Temp Vtype.I in
+        let u = V.getreg_exn g ~cls:`Temp Vtype.I in
+        (* big-endian: the low byte is at +3 *)
+        ldci g t sp (off + 3);
+        lduci g u sp (off + 3);
+        addi g t t u;
+        reti g t)
+  in
+  check Alcotest.int "byte signedness (BE)" 0 (run_int ~args:[ Sim.Int 0x80 ] code);
+  check Alcotest.int "positive byte" 14 (run_int ~args:[ Sim.Int 7 ] code)
+
+let test_parallel_move_cycle () =
+  (* caller passes (b, a) to a callee expecting (x, y): r3<->r4 swap,
+     which only the cycle-breaking shuffle gets right *)
+  let callee =
+    build ~base:0x8000 ~leaf:true "%i%i" (fun g a ->
+        (* returns x - y: order-sensitive *)
+        V.arith g Op.Sub Vtype.I a.(0) a.(0) a.(1);
+        reti g a.(0))
+  in
+  let caller =
+    build "%i%i" (fun g a ->
+        V.ccall g (Gen.Jaddr callee.Vcode.entry_addr)
+          ~args:[ (Vtype.I, a.(1)); (Vtype.I, a.(0)) ] (* swapped! *)
+          ~ret:(Some (Vtype.I, a.(0)));
+        reti g a.(0))
+  in
+  let m = fresh () in
+  install m callee;
+  install m caller;
+  Sim.call m ~entry:caller.Vcode.entry_addr [ Sim.Int 10; Sim.Int 3 ];
+  (* callee computes b - a = 3 - 10 *)
+  check Alcotest.int "swap through cycle" (-7) (Sim.ret_int m)
+
+let test_parallel_move_rotation () =
+  (* three-way rotation r3<-r4, r4<-r5, r5<-r3 *)
+  let callee =
+    build ~base:0x8000 ~leaf:true "%i%i%i" (fun g a ->
+        (* x + 10*y + 100*z *)
+        let t = V.getreg_exn g ~cls:`Temp Vtype.I in
+        V.Strength.mul g Vtype.I t a.(1) 10;
+        addi g a.(0) a.(0) t;
+        V.Strength.mul g Vtype.I t a.(2) 100;
+        addi g a.(0) a.(0) t;
+        reti g a.(0))
+  in
+  let caller =
+    build "%i%i%i" (fun g a ->
+        V.ccall g (Gen.Jaddr callee.Vcode.entry_addr)
+          ~args:[ (Vtype.I, a.(1)); (Vtype.I, a.(2)); (Vtype.I, a.(0)) ]
+          ~ret:(Some (Vtype.I, a.(0)));
+        reti g a.(0))
+  in
+  let m = fresh () in
+  install m callee;
+  install m caller;
+  Sim.call m ~entry:caller.Vcode.entry_addr [ Sim.Int 1; Sim.Int 2; Sim.Int 3 ];
+  (* callee sees (2, 3, 1): 2 + 30 + 100 *)
+  check Alcotest.int "rotation" 132 (Sim.ret_int m)
+
+let test_ten_args () =
+  (* 8 register args + 2 on the stack *)
+  let code =
+    build "%i%i%i%i%i%i%i%i%i%i" (fun g args ->
+        let grab () =
+          match V.getreg g ~cls:`Temp Vtype.I with
+          | Some r -> r
+          | None -> V.getreg_exn g ~cls:`Var Vtype.I
+        in
+        let acc = grab () in
+        seti g acc 0;
+        Array.iter (fun r -> addi g acc acc r) args;
+        reti g acc)
+  in
+  let args = List.init 10 (fun i -> Sim.Int (1 lsl i)) in
+  check Alcotest.int "10 args" 1023 (run_int ~args code)
+
+(* ------------------------------------------------------------------ *)
+(* tcc on PowerPC                                                      *)
+
+let test_tcc_on_ppc () =
+  let module C = Tcc.Tcc_compile.Make (Vppc.Ppc_backend) in
+  let src =
+    {|
+      int fib(int n) {
+        if (n < 2) return n;
+        return fib(n - 1) + fib(n - 2);
+      }
+      int sieve(int limit) {
+        char flags[500];
+        int i;
+        int count = 0;
+        for (i = 0; i < limit; i = i + 1) flags[i] = 1;
+        for (i = 2; i < limit; i = i + 1) {
+          if (flags[i]) {
+            int j;
+            count = count + 1;
+            for (j = i + i; j < limit; j = j + i) flags[j] = 0;
+          }
+        }
+        return count;
+      }
+    |}
+  in
+  let prog = C.compile ~base:0x1000 src in
+  let m = fresh () in
+  List.iter
+    (fun (_, code) ->
+      Vmachine.Mem.install_code m.Sim.mem ~addr:code.Vcode.base code.Vcode.gen.Gen.buf)
+    prog.C.funcs;
+  Sim.call m ~entry:(C.entry prog "fib") [ Sim.Int 15 ];
+  check Alcotest.int "fib 15 on ppc" 610 (Sim.ret_int m);
+  Sim.call m ~entry:(C.entry prog "sieve") [ Sim.Int 500 ];
+  check Alcotest.int "sieve on ppc" 95 (Sim.ret_int m)
+
+let test_extension_portability () =
+  V.Ext.load_spec "(madd (rd, ra, rb) (i (seq (mul scratch ra rb) (add rd rd scratch))))";
+  let code =
+    build "%i%i%i" (fun g args ->
+        V.Ext.emit g ~name:"madd" ~ty:Vtype.I [| args.(0); args.(1); args.(2) |];
+        reti g args.(0))
+  in
+  check Alcotest.int "portable madd on ppc" 52
+    (run_int ~args:[ Sim.Int 10; Sim.Int 6; Sim.Int 7 ] code)
+
+let () =
+  Alcotest.run "vcode-ppc"
+    [
+      ("asm", [ qtest prop_encode_decode; qtest prop_disasm_total ]);
+      ("basic", [ Alcotest.test_case "plus1" `Quick test_plus1 ]);
+      ( "float",
+        [
+          qtest prop_int_double_roundtrip;
+          qtest prop_unsigned_double;
+          Alcotest.test_case "double arith + pool" `Quick test_double_arith_and_pool;
+          Alcotest.test_case "float branch" `Quick test_float_branch;
+          Alcotest.test_case "single precision" `Quick test_single_precision;
+        ] );
+      ( "memory-calls",
+        [
+          Alcotest.test_case "subword (BE)" `Quick test_subword_memory;
+          Alcotest.test_case "parallel move cycle" `Quick test_parallel_move_cycle;
+          Alcotest.test_case "parallel move rotation" `Quick test_parallel_move_rotation;
+          Alcotest.test_case "10 args" `Quick test_ten_args;
+        ] );
+      ( "clients",
+        [
+          Alcotest.test_case "tcc on ppc" `Quick test_tcc_on_ppc;
+          Alcotest.test_case "portable extension" `Quick test_extension_portability;
+        ] );
+    ]

@@ -1,0 +1,304 @@
+(* Tests for the target-independent core layer: the extension
+   specification language parser and the flat paper-style name layer. *)
+
+open Vcodebase
+module V = Vcode.Make (Vmips.Mips_backend)
+module Sim = Vmips.Mips_sim
+open V.Names
+
+let check = Alcotest.check
+
+(* ------------------------------------------------------------------ *)
+(* Spec_lang                                                           *)
+
+let test_parse_paper_example () =
+  match Vcode.Spec_lang.parse "(sqrt (rd, rs) (f fsqrts) (d fsqrtd))" with
+  | [ sp ] ->
+    check Alcotest.string "name" "sqrt" sp.Vcode.Spec_lang.name;
+    check (Alcotest.list Alcotest.string) "params" [ "rd"; "rs" ] sp.Vcode.Spec_lang.params;
+    check Alcotest.int "two entries" 2 (List.length sp.Vcode.Spec_lang.entries);
+    (match sp.Vcode.Spec_lang.entries with
+    | [ e1; e2 ] ->
+      (match (e1.Vcode.Spec_lang.impl, e2.Vcode.Spec_lang.impl) with
+      | Vcode.Spec_lang.Machine "fsqrts", Vcode.Spec_lang.Machine "fsqrtd" -> ()
+      | _ -> Alcotest.fail "machine impls expected");
+      check (Alcotest.list Alcotest.string) "types" [ "f"; "d" ]
+        (List.map Vtype.to_string (e1.Vcode.Spec_lang.tys @ e2.Vcode.Spec_lang.tys))
+    | _ -> Alcotest.fail "entries")
+  | _ -> Alcotest.fail "one spec expected"
+
+let test_parse_multiple_specs () =
+  let specs =
+    Vcode.Spec_lang.parse
+      "(sqrt (rd, rs) (d fsqrtd))\n(dbl (rd, rs) (i (seq (add rd rs rs))))"
+  in
+  check Alcotest.int "two specs" 2 (List.length specs)
+
+let test_parse_seq_with_imm_and_scratch () =
+  match Vcode.Spec_lang.parse "(x2p1 (rd, rs) (i (seq (lsh scratch rs 1) (add rd scratch 1))))" with
+  | [ sp ] -> (
+    match sp.Vcode.Spec_lang.entries with
+    | [ { Vcode.Spec_lang.impl = Vcode.Spec_lang.Seq [ i1; i2 ]; _ } ] ->
+      check Alcotest.string "op1" "lsh" i1.Vcode.Spec_lang.vop;
+      (match i1.Vcode.Spec_lang.operands with
+      | [ Vcode.Spec_lang.Scratch; Vcode.Spec_lang.Param "rs"; Vcode.Spec_lang.Imm 1 ] -> ()
+      | _ -> Alcotest.fail "operands 1");
+      check Alcotest.string "op2" "add" i2.Vcode.Spec_lang.vop
+    | _ -> Alcotest.fail "seq body")
+  | _ -> Alcotest.fail "one spec"
+
+let test_parse_errors () =
+  let bad s =
+    match Vcode.Spec_lang.parse s with
+    | _ -> Alcotest.failf "expected parse failure: %s" s
+    | exception Verror.Error (Verror.Spec _) -> ()
+  in
+  bad "(";
+  bad "(sqrt)";
+  bad "(sqrt (rd) (q fsqrtq))";
+  bad "(sqrt (rd) (f (seq (add rd nosuch nosuch))))"
+
+let test_instruction_names () =
+  match Vcode.Spec_lang.parse "(sqrt (rd, rs) (f fsqrts) (d fsqrtd))" with
+  | [ sp ] ->
+    check
+      Alcotest.(list (pair string string))
+      "paper-style names"
+      [ ("v_sqrtf", "f"); ("v_sqrtd", "d") ]
+      (List.map (fun (n, t) -> (n, Vtype.to_string t)) (Vcode.Spec_lang.instruction_names sp))
+  | _ -> Alcotest.fail "one spec"
+
+(* ------------------------------------------------------------------ *)
+(* The flat name layer: spot-check families against the generic API    *)
+
+let run_it ?(args = []) code =
+  let m = Sim.create Vmachine.Mconfig.test_config in
+  Vmachine.Mem.install_code m.Sim.mem ~addr:code.Vcode.base code.Vcode.gen.Gen.buf;
+  Sim.call m ~entry:code.Vcode.entry_addr args;
+  Sim.ret_int m
+
+let build sig_ body =
+  let g, args = V.lambda ~base:0x1000 sig_ in
+  body g args;
+  V.end_gen g
+
+let test_names_arith_family () =
+  let code =
+    build "%i%i" (fun g a ->
+        addi g a.(0) a.(0) a.(1);
+        subii g a.(0) a.(0) 3;
+        mulii g a.(0) a.(0) 2;
+        xorii g a.(0) a.(0) 1;
+        reti g a.(0))
+  in
+  (* ((10 + 4 - 3) * 2) xor 1 = 23 *)
+  check Alcotest.int "chained names" 23 (run_it ~args:[ Sim.Int 10; Sim.Int 4 ] code)
+
+let test_names_unsigned_family () =
+  let code =
+    build "%u%u" (fun g a ->
+        divu g a.(0) a.(0) a.(1);
+        retu g a.(0))
+  in
+  (* 0xFFFFFFFE / 2 = 0x7FFFFFFF unsigned *)
+  check Alcotest.int "unsigned div" 0x7FFFFFFF
+    (run_it ~args:[ Sim.Int (-2); Sim.Int 2 ] code)
+
+let test_names_word_aliases () =
+  (* On a 32-bit target l/ul/p run through the same paths; make sure the
+     name layer dispatches all of them *)
+  let code =
+    build "%l%ul%p" (fun g a ->
+        addl g a.(0) a.(0) a.(1) |> ignore;
+        ();
+        addp g a.(2) a.(2) a.(0);
+        retp g a.(2))
+  in
+  check Alcotest.int "l/ul/p names" 111 (run_it ~args:[ Sim.Int 1; Sim.Int 10; Sim.Int 100 ] code)
+
+let test_type_errors () =
+  let expect_bad f =
+    match build "%i%d" f with
+    | _ -> Alcotest.fail "expected Bad_type/Bad_operand"
+    | exception Verror.Error (Verror.Bad_type _ | Verror.Bad_operand _) -> ()
+  in
+  (* float register into integer op *)
+  expect_bad (fun g a ->
+      addi g a.(0) a.(0) a.(1);
+      reti g a.(0));
+  (* logical op at float type *)
+  expect_bad (fun g a ->
+      V.arith g Op.And Vtype.D a.(1) a.(1) a.(1);
+      retv g);
+  (* immediate at float type *)
+  expect_bad (fun g a ->
+      V.arith_imm g Op.Add Vtype.D a.(1) a.(1) 1;
+      retv g)
+
+let test_conversion_validation () =
+  match
+    build "%d" (fun g a ->
+        V.cvt g ~from:Vtype.D ~to_:Vtype.U a.(0) a.(0);
+        retv g)
+  with
+  | _ -> Alcotest.fail "cvd2u should be rejected (not in Table 2)"
+  | exception Verror.Error (Verror.Bad_type _) -> ()
+
+(* exercise every function in the flat paper-style name layer once, in
+   one generated function, and execute the result: catches signature or
+   dispatch drift anywhere in the ~300-entry API *)
+let test_names_complete_surface () =
+  let g, a = V.lambda ~base:0x1000 "%i%u%l%ul%p%f%d" in
+  let i0 = a.(0) and u0 = a.(1) and l0 = a.(2) and ul0 = a.(3) and p0 = a.(4) in
+  let f0 = a.(5) and d0 = a.(6) in
+  let open V.Names in
+  (* arithmetic, all types *)
+  addi g i0 i0 i0; addu g u0 u0 u0; addl g l0 l0 l0; addul g ul0 ul0 ul0;
+  addp g p0 p0 p0; addf g f0 f0 f0; addd g d0 d0 d0;
+  addii g i0 i0 1; addui g u0 u0 1; addli g l0 l0 1; adduli g ul0 ul0 1;
+  addpi g p0 p0 1;
+  subi g i0 i0 i0; subu g u0 u0 u0; subl g l0 l0 l0; subul g ul0 ul0 ul0;
+  subp g p0 p0 p0; subf g f0 f0 f0; subd g d0 d0 d0;
+  subii g i0 i0 1; subui g u0 u0 1; subli g l0 l0 1; subuli g ul0 ul0 1;
+  subpi g p0 p0 1;
+  muli g i0 i0 i0; mulu g u0 u0 u0; mull g l0 l0 l0; mulul g ul0 ul0 ul0;
+  mulf g f0 f0 f0; muld g d0 d0 d0;
+  mulii g i0 i0 3; mului g u0 u0 3; mulli g l0 l0 3; mululi g ul0 ul0 3;
+  divi g i0 i0 i0; divu g u0 u0 u0; divl g l0 l0 l0; divul g ul0 ul0 ul0;
+  divf g f0 f0 f0; divd g d0 d0 d0;
+  divii g i0 i0 3; divui g u0 u0 3; divli g l0 l0 3; divuli g ul0 ul0 3;
+  modi g i0 i0 i0; modu g u0 u0 u0; modl g l0 l0 l0; modul g ul0 ul0 ul0;
+  modii g i0 i0 3; modui g u0 u0 3; modli g l0 l0 3; moduli g ul0 ul0 3;
+  andi g i0 i0 i0; andu g u0 u0 u0; andl g l0 l0 l0; andul g ul0 ul0 ul0;
+  andii g i0 i0 7; andui g u0 u0 7; andli g l0 l0 7; anduli g ul0 ul0 7;
+  ori g i0 i0 i0; oru g u0 u0 u0; orl g l0 l0 l0; orul g ul0 ul0 ul0;
+  orii g i0 i0 7; orui g u0 u0 7; orli g l0 l0 7; oruli g ul0 ul0 7;
+  xori g i0 i0 i0; xoru g u0 u0 u0; xorl g l0 l0 l0; xorul g ul0 ul0 ul0;
+  xorii g i0 i0 7; xorui g u0 u0 7; xorli g l0 l0 7; xoruli g ul0 ul0 7;
+  lshi g i0 i0 i0; lshu g u0 u0 u0; lshl g l0 l0 l0; lshul g ul0 ul0 ul0;
+  lshii g i0 i0 2; lshui g u0 u0 2; lshli g l0 l0 2; lshuli g ul0 ul0 2;
+  rshi g i0 i0 i0; rshu g u0 u0 u0; rshl g l0 l0 l0; rshul g ul0 ul0 ul0;
+  rshii g i0 i0 2; rshui g u0 u0 2; rshli g l0 l0 2; rshuli g ul0 ul0 2;
+  (* unary *)
+  comi g i0 i0; comu g u0 u0; coml g l0 l0; comul g ul0 ul0;
+  noti g i0 i0; notu g u0 u0; notl g l0 l0; notul g ul0 ul0;
+  movi g i0 i0; movu g u0 u0; movl g l0 l0; movul g ul0 ul0; movp g p0 p0;
+  movf g f0 f0; movd g d0 d0;
+  negi g i0 i0; negu g u0 u0; negl g l0 l0; negul g ul0 ul0;
+  negf g f0 f0; negd g d0 d0;
+  (* constants *)
+  seti g i0 5; setu g u0 5; setl g l0 5; setul g ul0 5; setp g p0 0x40000;
+  setf_ g f0 1.5; setd g d0 2.5;
+  (* conversions *)
+  cvi2u g u0 i0; cvi2l g l0 i0; cvi2ul g ul0 i0; cvi2f g f0 i0; cvi2d g d0 i0;
+  cvu2i g i0 u0; cvu2l g l0 u0; cvu2ul g ul0 u0; cvu2d g d0 u0;
+  cvl2i g i0 l0; cvl2u g u0 l0; cvl2ul g ul0 l0; cvl2f g f0 l0; cvl2d g d0 l0;
+  cvul2i g i0 ul0; cvul2u g u0 ul0; cvul2l g l0 ul0; cvul2p g p0 ul0;
+  cvp2ul g ul0 p0; cvp2l g l0 p0;
+  cvf2i g i0 f0; cvf2l g l0 f0; cvf2d g d0 f0;
+  cvd2i g i0 d0; cvd2l g l0 d0; cvd2f g f0 d0;
+  (* memory: register and immediate offsets for every type *)
+  setp g p0 0x40000;
+  seti g i0 0;
+  let off = V.getreg_exn g ~cls:`Temp Vtype.I in
+  seti g off 8;
+  stci g i0 p0 0; stuci g i0 p0 1; stsi g i0 p0 2; stusi g i0 p0 4;
+  stii g i0 p0 8; stui g u0 p0 12; stli g l0 p0 16; stuli g ul0 p0 20;
+  stpi g p0 p0 24; stfi g f0 p0 28; stdi g d0 p0 32;
+  stc g i0 p0 off; stuc g i0 p0 off; sts g i0 p0 off; stus g i0 p0 off;
+  sti g i0 p0 off; stu g u0 p0 off; stl g l0 p0 off; stul g ul0 p0 off;
+  stp g p0 p0 off; ignore (stf g f0 p0 off); std g d0 p0 off;
+  ldci g i0 p0 0; lduci g i0 p0 1; ldsi g i0 p0 2; ldusi g i0 p0 4;
+  ldii g i0 p0 8; ldui g u0 p0 12; ldli g l0 p0 16; lduli g ul0 p0 20;
+  ldfi g f0 p0 28; lddi g d0 p0 32;
+  ldc g i0 p0 off; lduc g i0 p0 off; lds g i0 p0 off; ldus g i0 p0 off;
+  ldi g i0 p0 off; ldu g u0 p0 off; ldl g l0 p0 off; ldul g ul0 p0 off;
+  ldf g f0 p0 off; ldd g d0 p0 off;
+  setp g p0 0x40000;
+  ldpi g p0 p0 24;
+  setp g p0 0x40000;
+  ldp g p0 p0 off;
+  (* branches: every cond x type, register and immediate forms *)
+  let l = V.genlabel g in
+  blti g i0 i0 l; bltu g u0 u0 l; bltl g l0 l0 l; bltul g ul0 ul0 l;
+  bltp g p0 p0 l; bltf g f0 f0 l; bltd g d0 d0 l;
+  blei g i0 i0 l; bleu g u0 u0 l; blel g l0 l0 l; bleul g ul0 ul0 l;
+  blep g p0 p0 l; blef g f0 f0 l; bled g d0 d0 l;
+  bgti g i0 i0 l; bgtu g u0 u0 l; bgtl g l0 l0 l; bgtul g ul0 ul0 l;
+  bgtp g p0 p0 l; bgtf g f0 f0 l; bgtd g d0 d0 l;
+  bgei g i0 i0 l; bgeu g u0 u0 l; bgel g l0 l0 l; bgeul g ul0 ul0 l;
+  bgep g p0 p0 l; bgef g f0 f0 l; bged g d0 d0 l;
+  beqi g i0 i0 l; bequ g u0 u0 l; beql g l0 l0 l; bequl g ul0 ul0 l;
+  beqp g p0 p0 l; beqf g f0 f0 l; beqd g d0 d0 l;
+  bnei g i0 i0 l; bneu g u0 u0 l; bnel g l0 l0 l; bneul g ul0 ul0 l;
+  bnep g p0 p0 l; bnef g f0 f0 l; bned g d0 d0 l;
+  bltii g i0 1 l; bltui g u0 1 l; bltli g l0 1 l; bltuli g ul0 1 l; bltpi g p0 1 l;
+  bleii g i0 1 l; bleui g u0 1 l; bleli g l0 1 l; bleuli g ul0 1 l; blepi g p0 1 l;
+  bgtii g i0 1 l; bgtui g u0 1 l; bgtli g l0 1 l; bgtuli g ul0 1 l; bgtpi g p0 1 l;
+  bgeii g i0 1 l; bgeui g u0 1 l; bgeli g l0 1 l; bgeuli g ul0 1 l; bgepi g p0 1 l;
+  beqii g i0 1 l; beqni g u0 1 l; beqli g l0 1 l; bequli g ul0 1 l; beqpi g p0 1 l;
+  bneii g i0 1 l; bneui g u0 1 l; bneli g l0 1 l; bneuli g ul0 1 l; bnepi g p0 1 l;
+  V.label g l;
+  (* jumps and calls *)
+  let l2 = V.genlabel g and l3 = V.genlabel g in
+  jv g l2;
+  V.label g l2;
+  setp g p0 0x40000;
+  V.nop g;
+  jalv g l3;
+  V.label g l3;
+  (* returns: exactly one executes *)
+  reti g i0;
+  let code = V.end_gen g in
+  (* it must actually run: install and execute on the simulator *)
+  let m = Sim.create Vmachine.Mconfig.test_config in
+  Vmachine.Mem.install_code m.Sim.mem ~addr:code.Vcode.base code.Vcode.gen.Gen.buf;
+  Sim.call m
+    ~entry:code.Vcode.entry_addr
+    [ Sim.Int 3; Sim.Int 5; Sim.Int 7; Sim.Int 9; Sim.Int 0x40000;
+      Sim.Single 1.0; Sim.Double 2.0 ];
+  Alcotest.(check bool)
+    (Printf.sprintf "covered %d VCODE instructions" code.Vcode.gen.Gen.insn_count)
+    true
+    (code.Vcode.gen.Gen.insn_count > 250)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let test_dump_readable () =
+  let g, a = V.lambda ~base:0x1000 ~leaf:true "%i" in
+  addii g a.(0) a.(0) 1;
+  reti g a.(0);
+  let code = V.end_gen g in
+  let text = String.concat "\n" (V.dump code.Vcode.gen) in
+  Alcotest.(check bool) "mentions addiu" true (contains text "addiu");
+  Alcotest.(check bool) "mentions jr" true (contains text "jr")
+
+let () =
+  Alcotest.run "vcode-core"
+    [
+      ( "spec_lang",
+        [
+          Alcotest.test_case "paper example" `Quick test_parse_paper_example;
+          Alcotest.test_case "multiple specs" `Quick test_parse_multiple_specs;
+          Alcotest.test_case "seq/imm/scratch" `Quick test_parse_seq_with_imm_and_scratch;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "generated names" `Quick test_instruction_names;
+        ] );
+      ( "names",
+        [
+          Alcotest.test_case "arith family" `Quick test_names_arith_family;
+          Alcotest.test_case "unsigned family" `Quick test_names_unsigned_family;
+          Alcotest.test_case "word aliases" `Quick test_names_word_aliases;
+        ] );
+      ( "validation",
+        [
+          Alcotest.test_case "type errors" `Quick test_type_errors;
+          Alcotest.test_case "conversion table" `Quick test_conversion_validation;
+        ] );
+      ("debug", [ Alcotest.test_case "dump" `Quick test_dump_readable ]);
+      ( "surface",
+        [ Alcotest.test_case "every flat name once" `Quick test_names_complete_surface ] );
+    ]

@@ -1,0 +1,177 @@
+(* Bytecode VM tests: the tcc-compiled interpreter and the VCODE JIT
+   must agree with the OCaml reference on fixed and randomly generated
+   structured programs; the JIT must be dramatically faster. *)
+
+module J = Vmjit.Jit (Vmips.Mips_backend)
+module C = Tcc.Tcc_compile.Make (Vmips.Mips_backend)
+module Sim = Vmips.Mips_sim
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let image_addr = 0x80000
+
+let sim_interp (prog : Vmjit.program) arg =
+  let unit_ = C.compile ~base:0x1000 Vmjit.interpreter_source in
+  let m = Sim.create Vmachine.Mconfig.test_config in
+  List.iter
+    (fun (_, code) ->
+      Vmachine.Mem.install_code m.Sim.mem ~addr:code.Vcode.base code.Vcode.gen.Vcodebase.Gen.buf)
+    unit_.C.funcs;
+  Array.iteri
+    (fun i w -> Vmachine.Mem.write_u32 m.Sim.mem (image_addr + (4 * i)) w)
+    (Vmjit.image prog);
+  Sim.call m ~entry:(C.entry unit_ Vmjit.interpreter_function)
+    [ Sim.Int image_addr; Sim.Int (Array.length prog); Sim.Int arg ];
+  (Sim.ret_int m, m.Sim.cycles)
+
+let sim_jit (prog : Vmjit.program) arg =
+  let code = J.translate ~base:0x6000 ~max_stack:8 prog in
+  let m = Sim.create Vmachine.Mconfig.test_config in
+  Vmachine.Mem.install_code m.Sim.mem ~addr:code.Vcode.base code.Vcode.gen.Vcodebase.Gen.buf;
+  Sim.call m ~entry:code.Vcode.entry_addr [ Sim.Int arg ];
+  (Sim.ret_int m, m.Sim.cycles)
+
+(* ------------------------------------------------------------------ *)
+(* The assembler                                                       *)
+
+let fib_src =
+  Vmjit.
+    [
+      Push 0; Store 1;
+      Push 1; Store 2;
+      Label "loop";
+      Push 0; Load 0; Lt;
+      Jz "end";
+      Load 2; Load 1; Load 2; Add; Store 2; Store 1;
+      Load 0; Push 1; Sub; Store 0;
+      Jmp "loop";
+      Label "end";
+      Load 1; Ret;
+    ]
+
+let test_assembler () =
+  let prog = Vmjit.assemble fib_src in
+  check Alcotest.int "instruction count" 21 (Array.length prog);
+  (* the backward jump resolves to the loop head, the forward to the end *)
+  check Alcotest.int "fib 10" 55 (Vmjit.reference prog 10);
+  check Alcotest.int "fib 0" 0 (Vmjit.reference prog 0);
+  check Alcotest.int "fib 30" 832040 (Vmjit.reference prog 30)
+
+let test_assembler_undefined_label () =
+  match Vmjit.assemble [ Vmjit.Jmp "nowhere"; Vmjit.Ret ] with
+  | _ -> Alcotest.fail "expected failure"
+  | exception Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Differential: reference == simulated interpreter == JIT             *)
+
+let test_fixed_program_all_ways () =
+  let prog = Vmjit.assemble fib_src in
+  List.iter
+    (fun n ->
+      let expect = Vmjit.reference prog n in
+      let iv, _ = sim_interp prog n in
+      let jv, _ = sim_jit prog n in
+      check Alcotest.int (Printf.sprintf "interp fib %d" n) expect iv;
+      check Alcotest.int (Printf.sprintf "jit fib %d" n) expect jv)
+    [ 0; 1; 2; 10; 25 ]
+
+(* random structured programs: a straightline prefix, one bounded
+   counted loop with a random body, a straightline suffix.  Every
+   segment element nets exactly +1 stack value; segments are flushed to
+   local 3 afterwards so depth stays small and consistent. *)
+let gen_seg ~maxlen st =
+  let open QCheck.Gen in
+  let n = 1 + int_bound (maxlen - 1) st in
+  let element =
+    oneof
+      [
+        map (fun v -> [ Vmjit.Push (v - 128) ]) (int_bound 255);
+        map (fun l -> [ Vmjit.Load l ]) (int_bound 3);
+        (let* a = int_bound 100 and* l = int_bound 3 in
+         let* op = oneofl [ Vmjit.Add; Vmjit.Sub; Vmjit.Mul; Vmjit.Lt ] in
+         return [ Vmjit.Push a; Vmjit.Load l; op ]);
+      ]
+  in
+  let segs = generate ~rand:st ~n element in
+  (List.concat segs, n)
+
+let flush k = List.init k (fun _ -> Vmjit.Store 3)
+
+let gen_program st =
+  let pre, k1 = gen_seg ~maxlen:4 st in
+  let body, k2 = gen_seg ~maxlen:3 st in
+  let iters = 1 + QCheck.Gen.int_bound 9 st in
+  Vmjit.(
+    pre @ flush k1
+    @ [ Push iters; Store 2; Label "lp" ]
+    @ [ Push 0; Load 2; Lt; Jz "done" ]
+    @ body @ flush k2
+    @ [ Load 2; Push 1; Sub; Store 2; Jmp "lp" ]
+    @ [ Label "done"; Load 3; Ret ])
+
+let prop_random_programs =
+  QCheck.Test.make ~name:"random programs: reference == interpreter == jit" ~count:60
+    (QCheck.make
+       ~print:(fun (prog, arg) ->
+         Fmt.str "arg=%d@.%a" arg Vmjit.pp_program prog)
+       QCheck.Gen.(
+         let* src = gen_program in
+         let* arg = int_bound 100 in
+         return (Vmjit.assemble src, arg)))
+    (fun (prog, arg) ->
+      match Vmjit.reference prog arg with
+      | expect ->
+        let iv, _ = sim_interp prog arg in
+        let jv, _ = sim_jit prog arg in
+        iv = expect && jv = expect
+      | exception Vmjit.Vm_error _ -> QCheck.assume_fail ())
+
+let test_jit_speedup () =
+  let prog = Vmjit.assemble fib_src in
+  let _, icycles = sim_interp prog 30 in
+  let _, jcycles = sim_jit prog 30 in
+  Alcotest.(check bool)
+    (Printf.sprintf "jit (%d) at least 10x faster than interp (%d)" jcycles icycles)
+    true
+    (icycles > 10 * jcycles)
+
+let test_jit_depth_guard () =
+  let too_deep = Vmjit.assemble (List.init 10 (fun _ -> Vmjit.Push 1) @ [ Vmjit.Ret ]) in
+  match J.translate ~max_stack:5 too_deep with
+  | _ -> Alcotest.fail "expected stack-depth failure"
+  | exception Vmjit.Vm_error _ -> ()
+
+(* the JIT is target-generic: translate and run the same program on
+   PowerPC *)
+let test_jit_on_ppc () =
+  let module JP = Vmjit.Jit (Vppc.Ppc_backend) in
+  let module S = Vppc.Ppc_sim in
+  let prog = Vmjit.assemble fib_src in
+  let code = JP.translate ~base:0x6000 prog in
+  let m = S.create Vmachine.Mconfig.test_config in
+  Vmachine.Mem.install_code m.S.mem ~addr:code.Vcode.base code.Vcode.gen.Vcodebase.Gen.buf;
+  S.call m ~entry:code.Vcode.entry_addr [ S.Int 20 ];
+  check Alcotest.int "fib 20 on ppc" 6765 (S.ret_int m)
+
+let () =
+  Alcotest.run "vmjit"
+    [
+      ( "assembler",
+        [
+          Alcotest.test_case "labels" `Quick test_assembler;
+          Alcotest.test_case "undefined label" `Quick test_assembler_undefined_label;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "fixed program" `Quick test_fixed_program_all_ways;
+          qtest prop_random_programs;
+        ] );
+      ( "jit",
+        [
+          Alcotest.test_case "speedup" `Quick test_jit_speedup;
+          Alcotest.test_case "depth guard" `Quick test_jit_depth_guard;
+          Alcotest.test_case "ppc" `Quick test_jit_on_ppc;
+        ] );
+    ]
