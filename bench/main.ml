@@ -29,6 +29,37 @@ module Sim = Vmips.Mips_sim
 let insns_per_body = 200
 
 (* ------------------------------------------------------------------ *)
+(* Machine-readable results: every section records its headline numbers
+   under a dotted key; --json FILE dumps them as one flat JSON object. *)
+
+let json_results : (string * float) list ref = ref []
+let record key v = json_results := (key, v) :: !json_results
+
+let json_float v =
+  match Float.classify_float v with
+  | FP_nan | FP_infinite -> "null"
+  | _ -> Printf.sprintf "%.6g" v
+
+let write_json path =
+  let items = List.rev !json_results in
+  let n = List.length items in
+  let oc = open_out path in
+  output_string oc "{\n";
+  List.iteri
+    (fun i (k, v) ->
+      Printf.fprintf oc "  %S: %s%s\n" k (json_float v) (if i < n - 1 then "," else ""))
+    items;
+  output_string oc "}\n";
+  close_out oc;
+  Printf.printf "wrote %d results to %s\n" n path
+
+(* dotted-key path component: lowercase, alphanumeric runs joined by _ *)
+let slug s =
+  String.map (fun c ->
+      match Char.lowercase_ascii c with 'a' .. 'z' | '0' .. '9' -> Char.lowercase_ascii c | _ -> '_')
+    s
+
+(* ------------------------------------------------------------------ *)
 (* Codegen-cost fixtures: the same 200-instruction function, specified
    through each system.                                                *)
 
@@ -156,6 +187,8 @@ let bench_codegen () =
       ("dcg (IR build + consume)", per "dcg-ir");
     ]
   in
+  List.iter (fun n -> record ("codegen." ^ slug n ^ ".ns_per_insn") (per n))
+    [ "vcode"; "vcode-hard-regs"; "vcode-raw-emitters"; "dcg-ir" ];
   Printf.printf "   %-34s %14s %10s\n" "system" "ns/generated" "vs vcode";
   let base = per "vcode" in
   List.iter
@@ -168,6 +201,10 @@ let bench_codegen () =
   Printf.printf "   paper: vcode ~6-10 host insns/insn; DCG ~35x slower than vcode.\n";
   Printf.printf "   (the raw-emitter row is the closest analogue of the paper's C\n";
   Printf.printf "   macros, which performed no per-instruction validation.)\n\n";
+  record "codegen.dcg_vs_vcode" (per "dcg-ir" /. base);
+  record "codegen.dcg_vs_raw" (per "dcg-ir" /. per "vcode-raw-emitters");
+  record "codegen.alloc_words_vcode" aw_v;
+  record "codegen.alloc_words_dcg" aw_d;
   (per "dcg-ir" /. base, per "dcg-ir" /. per "vcode-raw-emitters", aw_d /. aw_v)
 
 (* ------------------------------------------------------------------ *)
@@ -258,6 +295,10 @@ let bench_table3 () =
   Printf.printf "   %-22s %12.2f %12s %9.1fx\n" "MPF (interp)" mpf_us "35.0" (mpf_us /. dpf_us);
   Printf.printf "\n   paper shape: DPF ~10x faster than PATHFINDER, ~20x faster than MPF.\n";
   Printf.printf "   (DPF classifier: %d words of generated code.)\n\n" dpf_code_words;
+  record "table3.dpf_us" dpf_us;
+  record "table3.pathfinder_us" pf_us;
+  record "table3.mpf_us" mpf_us;
+  record "table3.dpf_code_words" (float_of_int dpf_code_words);
   (dpf_us, pf_us, mpf_us)
 
 (* ------------------------------------------------------------------ *)
@@ -327,6 +368,12 @@ let bench_table4 () =
         if mname = "DEC3100" then Vmachine.Mconfig.dec3100 else Vmachine.Mconfig.dec5000
       in
       let sep_u, sep, integ, ash, ash_u = table4_row cfg ops in
+      let key m_ = Printf.sprintf "table4.%s.%s.%s_us" (slug mname) (slug (Ash.pipeline_name ops)) m_ in
+      record (key "separate_uncached") sep_u;
+      record (key "separate") sep;
+      record (key "c_integrated") integ;
+      record (key "ash") ash;
+      record (key "ash_uncached") ash_u;
       let pr method_ v p =
         Printf.printf "   %-8s %-16s %-18s %10.0f %10.0f\n" mname (Ash.pipeline_name ops)
           method_ v p
@@ -365,7 +412,11 @@ let bench_space () =
   in
   Printf.printf "   %-10s %22s %22s\n" "insns" "vcode non-code words" "dcg live words";
   List.iter
-    (fun n -> Printf.printf "   %-10d %22d %22d\n" n (vcode_overhead n) (dcg_words n))
+    (fun n ->
+      let vw = vcode_overhead n and dw = dcg_words n in
+      record (Printf.sprintf "space.vcode_words.%d" n) (float_of_int vw);
+      record (Printf.sprintf "space.dcg_words.%d" n) (float_of_int dw);
+      Printf.printf "   %-10d %22d %22d\n" n vw dw)
     [ 100; 1000; 10000 ];
   Printf.printf "\n   paper: vcode needs only labels + unresolved jumps; IR systems\n";
   Printf.printf "   need space proportional to the number of instructions.\n\n"
@@ -410,6 +461,8 @@ let bench_ablation_dpf () =
     List.iter
       (fun (name, d) ->
         let cyc, words = measure d in
+        record (Printf.sprintf "ablation_dpf.%s.%s.cycles" (slug label) (slug name)) cyc;
+        ignore words;
         Printf.printf "   %-22s %14.1f %12d\n" name cyc words)
       [
         ("auto", Dpf.Auto);
@@ -462,6 +515,7 @@ let bench_ablation_vregs () =
   Printf.printf "   virtual registers:  %8.1f ns/insn (%.2fx)\n"
     (get "virt" /. float_of_int insns_per_body)
     (get "virt" /. get "direct");
+  record "ablation_vregs.ratio" (get "virt" /. get "direct");
   Printf.printf "   paper: the optional layer costs roughly a factor of two.\n\n"
 
 (* strength-reduction ablation (section 5.4): generated-code quality of
@@ -501,6 +555,8 @@ let bench_ablation_strength () =
   List.iter
     (fun c ->
       let plain = measure c false and red = measure c true in
+      record (Printf.sprintf "ablation_strength.mul_%d.speedup" c)
+        (float_of_int plain /. float_of_int red);
       Printf.printf "   x * %-10d %14d %14d %7.2fx\n" c plain red
         (float_of_int plain /. float_of_int red))
     [ 2; 10; 1024; 100; 7 ];
@@ -540,14 +596,252 @@ let bench_wallclock () =
            Sys.opaque_identity (Sim.ret_int m)))
   in
   let tbl = run_benchmarks [ t3; t4 ] in
-  Hashtbl.iter (fun name ns -> Printf.printf "   %-24s %12.0f ns/op\n" name ns) tbl;
+  Hashtbl.iter
+    (fun name ns ->
+      record ("wallclock." ^ slug name ^ ".ns_per_op") ns;
+      Printf.printf "   %-24s %12.0f ns/op\n" name ns)
+    tbl;
+  Printf.printf "\n"
+
+(* ------------------------------------------------------------------ *)
+(* Section: sim-throughput -- host-side simulator speed (simulated
+   instructions retired per host second), with and without the shared
+   predecode layer (Vmachine.Decode_cache).  This measures the harness
+   itself, not the paper: the simulated cycle counts above are
+   bit-identical either way (test/test_decode_cache.ml pins that). *)
+
+module type TPUT_PORT = sig
+  val name : string
+
+  (* (predecode-off, predecode-on) insns/sec executing a tight generated
+     ALU loop *)
+  val loop_rates : unit -> float * float
+end
+
+module Make_tput
+    (T : Target.S)
+    (S : sig
+      type t
+
+      val create : predecode:bool -> t
+      val install : t -> Vcode.code -> unit
+      val call_ints : t -> entry:int -> int list -> int
+      val insns : t -> int
+      val reset_stats : t -> unit
+    end) : TPUT_PORT = struct
+  module VT = Vcode.Make (T)
+
+  let name = T.desc.Machdesc.name
+
+  (* the same mixed-ALU loop the decode-cache tests time *)
+  let gen_loop () =
+    let g, args = VT.lambda ~base:0x10000 ~leaf:true "%i" in
+    let open VT.Names in
+    let acc = VT.getreg_exn g ~cls:`Temp Vtype.I in
+    let i = VT.getreg_exn g ~cls:`Temp Vtype.I in
+    seti g acc 0;
+    seti g i 0;
+    let top = VT.genlabel g and out = VT.genlabel g in
+    VT.label g top;
+    bgei g i args.(0) out;
+    addi g acc acc i;
+    orii g acc acc 3;
+    addii g i i 1;
+    jv g top;
+    VT.label g out;
+    reti g acc;
+    VT.end_gen g
+
+  (* One ~0.15s measurement window returning insns/sec.  The two modes
+     are measured in interleaved rounds (off, on, off, on, ...) and each
+     reports its best window: that way CPU-frequency drift or scheduler
+     noise hits both modes alike instead of skewing whichever happened
+     to run second, and a bad window can only deflate a single round. *)
+  let measure_window m entry =
+    S.reset_stats m;
+    let t0 = Sys.time () in
+    let elapsed = ref 0.0 in
+    while !elapsed < 0.15 do
+      ignore (S.call_ints m ~entry [ 10_000 ]);
+      elapsed := Sys.time () -. t0
+    done;
+    float_of_int (S.insns m) /. !elapsed
+
+  let loop_rates () =
+    let code = gen_loop () in
+    let entry = code.Vcode.entry_addr in
+    let setup predecode =
+      let m = S.create ~predecode in
+      S.install m code;
+      ignore (S.call_ints m ~entry [ 10_000 ]);
+      (* warm *)
+      m
+    in
+    let m_off = setup false and m_on = setup true in
+    let best_off = ref 0.0 and best_on = ref 0.0 in
+    for _ = 1 to 3 do
+      let r = measure_window m_off entry in
+      if r > !best_off then best_off := r;
+      let r = measure_window m_on entry in
+      if r > !best_on then best_on := r
+    done;
+    (!best_off, !best_on)
+end
+
+module Mips_tput =
+  Make_tput
+    (Vmips.Mips_backend)
+    (struct
+      module S = Vmips.Mips_sim
+
+      type t = S.t
+
+      let create ~predecode = S.create ~predecode Vmachine.Mconfig.test_config
+
+      let install m (c : Vcode.code) =
+        Vmachine.Mem.install_code m.S.mem ~addr:c.Vcode.base c.Vcode.gen.Gen.buf
+
+      let call_ints m ~entry vals =
+        S.call m ~entry (List.map (fun v -> S.Int v) vals);
+        S.ret_int m
+
+      let insns (m : t) = m.S.insns
+      let reset_stats = S.reset_stats
+    end)
+
+module Sparc_tput =
+  Make_tput
+    (Vsparc.Sparc_backend)
+    (struct
+      module S = Vsparc.Sparc_sim
+
+      type t = S.t
+
+      let create ~predecode = S.create ~predecode Vmachine.Mconfig.test_config
+
+      let install m (c : Vcode.code) =
+        Vmachine.Mem.install_code m.S.mem ~addr:c.Vcode.base c.Vcode.gen.Gen.buf
+
+      let call_ints m ~entry vals =
+        S.call m ~entry (List.map (fun v -> S.Int v) vals);
+        S.ret_int m
+
+      let insns (m : t) = m.S.insns
+      let reset_stats = S.reset_stats
+    end)
+
+module Alpha_tput =
+  Make_tput
+    (Valpha.Alpha_backend)
+    (struct
+      module S = Valpha.Alpha_sim
+
+      type t = S.t
+
+      let create ~predecode = S.create ~predecode Vmachine.Mconfig.test_config
+
+      let install m (c : Vcode.code) =
+        Vmachine.Mem.install_code m.S.mem ~addr:c.Vcode.base c.Vcode.gen.Gen.buf
+
+      let call_ints m ~entry vals =
+        S.call m ~entry (List.map (fun v -> S.Int v) vals);
+        S.ret_int m
+
+      let insns (m : t) = m.S.insns
+      let reset_stats = S.reset_stats
+    end)
+
+module Ppc_tput =
+  Make_tput
+    (Vppc.Ppc_backend)
+    (struct
+      module S = Vppc.Ppc_sim
+
+      type t = S.t
+
+      let create ~predecode = S.create ~predecode Vmachine.Mconfig.test_config
+
+      let install m (c : Vcode.code) =
+        Vmachine.Mem.install_code m.S.mem ~addr:c.Vcode.base c.Vcode.gen.Gen.buf
+
+      let insns (m : t) = m.S.insns
+      let reset_stats = S.reset_stats
+
+      let call_ints m ~entry vals =
+        S.call m ~entry (List.map (fun v -> S.Int v) vals);
+        S.ret_int m
+    end)
+
+let tput_ports : (module TPUT_PORT) list =
+  [ (module Mips_tput); (module Sparc_tput); (module Alpha_tput); (module Ppc_tput) ]
+
+(* the MIPS DPF classify workload (the Table 3 fixture) end-to-end;
+   same interleaved best-of-three discipline as [Make_tput] *)
+let dpf_classify_rates () =
+  let filters = Dpf.Filter.tcpip_filters 10 in
+  let c = DP.compile ~base:0x1000 ~table_base:0x200000 filters in
+  let entry = c.Dpf.entry in
+  let setup predecode =
+    let m = Sim.create ~predecode Vmachine.Mconfig.dec5000 in
+    Vmachine.Mem.install_code m.Sim.mem ~addr:c.Dpf.code.Vcode.base
+      c.Dpf.code.Vcode.gen.Gen.buf;
+    DP.install_tables m.Sim.mem c;
+    Dpf.Packet.install m.Sim.mem ~addr:pkt_addr (Dpf.Packet.tcp ~dst_port:1004 ());
+    Sim.call m ~entry [ Sim.Int pkt_addr; Sim.Int 40 ];
+    assert (Sim.ret_int m = 4);
+    (* warm *)
+    m
+  in
+  let m_off = setup false and m_on = setup true in
+  let args = [ Sim.Int pkt_addr; Sim.Int 40 ] in
+  (* classifications are short (~50 insns); batch them so the clock reads
+     stay off the measured path *)
+  let window m =
+    Sim.reset_stats m;
+    let t0 = Sys.time () in
+    let elapsed = ref 0.0 in
+    while !elapsed < 0.15 do
+      for _ = 1 to 1000 do
+        Sim.call m ~entry args
+      done;
+      elapsed := Sys.time () -. t0
+    done;
+    float_of_int m.Sim.insns /. !elapsed
+  in
+  let best_off = ref 0.0 and best_on = ref 0.0 in
+  for _ = 1 to 3 do
+    let r = window m_off in
+    if r > !best_off then best_off := r;
+    let r = window m_on in
+    if r > !best_on then best_on := r
+  done;
+  (!best_off, !best_on)
+
+let bench_sim_throughput () =
+  Printf.printf "== sim-throughput (simulated insns per host second) ==\n";
+  Printf.printf "   the decode cache memoizes instruction decode by code address;\n";
+  Printf.printf "   simulated cycle counts are identical either way.\n\n";
+  Printf.printf "   %-8s %-14s %14s %14s %9s\n" "target" "workload" "off (M/s)" "on (M/s)"
+    "speedup";
+  let row target workload off on =
+    record (Printf.sprintf "sim_throughput.%s.%s.off_insns_per_sec" (slug target) (slug workload)) off;
+    record (Printf.sprintf "sim_throughput.%s.%s.on_insns_per_sec" (slug target) (slug workload)) on;
+    record (Printf.sprintf "sim_throughput.%s.%s.speedup" (slug target) (slug workload)) (on /. off);
+    Printf.printf "   %-8s %-14s %14.2f %14.2f %8.2fx\n" target workload (off /. 1e6)
+      (on /. 1e6) (on /. off)
+  in
+  List.iter
+    (fun (module P : TPUT_PORT) ->
+      let off, on = P.loop_rates () in
+      row P.name "alu-loop" off on)
+    tput_ports;
+  let off, on = dpf_classify_rates () in
+  row "mips" "dpf-classify" off on;
   Printf.printf "\n"
 
 (* ------------------------------------------------------------------ *)
 
-let () =
-  Printf.printf "VCODE reproduction benchmarks\n";
-  Printf.printf "=============================\n\n";
+let run_all () =
   let dcg_ratio, dcg_raw_ratio, alloc_ratio = bench_codegen () in
   let dpf_us, pf_us, mpf_us = bench_table3 () in
   bench_table4 ();
@@ -556,9 +850,49 @@ let () =
   bench_ablation_vregs ();
   bench_ablation_strength ();
   bench_wallclock ();
+  bench_sim_throughput ();
   Printf.printf "== summary ==\n";
   Printf.printf
     "   codegen: dcg/vcode %.1fx (vs raw emitters %.1fx; paper ~35x), alloc ratio %.1fx\n"
     dcg_ratio dcg_raw_ratio alloc_ratio;
   Printf.printf "   table 3: DPF %.2fus, PATHFINDER %.2fus (%.1fx), MPF %.2fus (%.1fx)\n"
     dpf_us pf_us (pf_us /. dpf_us) mpf_us (mpf_us /. dpf_us)
+
+let usage () =
+  prerr_endline
+    "usage: main.exe [--json FILE] [MODE...]\n\
+     modes: all (default) codegen table3 table4 space ablations wallclock sim-throughput";
+  exit 2
+
+let run_mode = function
+  | "all" -> run_all ()
+  | "codegen" -> ignore (bench_codegen ())
+  | "table3" -> ignore (bench_table3 ())
+  | "table4" -> bench_table4 ()
+  | "space" -> bench_space ()
+  | "ablations" ->
+      bench_ablation_dpf ();
+      bench_ablation_vregs ();
+      bench_ablation_strength ()
+  | "wallclock" -> bench_wallclock ()
+  | "sim-throughput" -> bench_sim_throughput ()
+  | m ->
+      Printf.eprintf "unknown mode %S\n" m;
+      usage ()
+
+let () =
+  let rec parse modes json = function
+    | [] -> (List.rev modes, json)
+    | "--json" :: path :: rest -> parse modes (Some path) rest
+    | [ "--json" ] ->
+        prerr_endline "--json requires a file path";
+        usage ()
+    | ("--help" | "-h") :: _ -> usage ()
+    | m :: rest -> parse (m :: modes) json rest
+  in
+  let modes, json = parse [] None (List.tl (Array.to_list Sys.argv)) in
+  let modes = if modes = [] then [ "all" ] else modes in
+  Printf.printf "VCODE reproduction benchmarks\n";
+  Printf.printf "=============================\n\n";
+  List.iter run_mode modes;
+  match json with None -> () | Some path -> write_json path

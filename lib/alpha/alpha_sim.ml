@@ -20,20 +20,27 @@ type t = {
   mem : Mem.t;
   icache : Cache.t;
   dcache : Cache.t;
+  pdc : A.t Decode_cache.t; (* host-side predecode; no cycle effect *)
+  predecode : bool;
   cfg : Mconfig.t;
   regs : int64 array;
   fregs : int64 array; (* bit patterns *)
   mutable pc : int;
+  mutable nextpc : int; (* next-pc scratch for [step]; avoids a per-step ref *)
   mutable cycles : int;
   mutable insns : int;
   mutable stack_top : int;
 }
 
-let create (cfg : Mconfig.t) =
+let create ?(predecode = true) (cfg : Mconfig.t) =
   let mem = Mem.create ~big_endian:false ~size:cfg.mem_bytes () in
   Alpha_runtime.install mem;
+  let pdc = Decode_cache.create ~mem_bytes:cfg.mem_bytes in
+  Mem.set_write_watcher mem (Decode_cache.invalidate pdc);
   {
     mem;
+    pdc;
+    predecode;
     icache = Cache.create ~size_bytes:cfg.icache_bytes ~line_bytes:cfg.line_bytes
                ~miss_penalty:cfg.imiss_penalty;
     dcache = Cache.create ~size_bytes:cfg.dcache_bytes ~line_bytes:cfg.line_bytes
@@ -42,13 +49,15 @@ let create (cfg : Mconfig.t) =
     regs = Array.make 32 0L;
     fregs = Array.make 32 0L;
     pc = 0;
+    nextpc = 0;
     cycles = 0;
     insns = 0;
     stack_top = cfg.mem_bytes - 512;
   }
 
-let get_reg m r = if r = 31 then 0L else m.regs.(r)
-let set_reg m r v = if r <> 31 then m.regs.(r) <- v
+(* register numbers come out of [Alpha_asm.decode] masked to 5 bits *)
+let[@inline] get_reg m r = if r = 31 then 0L else Array.unsafe_get m.regs r
+let[@inline] set_reg m r v = if r <> 31 then Array.unsafe_set m.regs r v
 
 let get_f m f = if f = 31 then 0L else m.fregs.(f)
 let set_f m f v = if f <> 31 then m.fregs.(f) <- v
@@ -66,22 +75,37 @@ let lit_val m = function A.R r -> get_reg m r | A.L v -> Int64.of_int v
 
 let addr_of (v : int64) = Int64.to_int (Int64.logand v 0x7FFFFFFFL)
 
-let daccess m addr = m.cycles <- m.cycles + Cache.access m.dcache addr
-let waccess m addr = m.cycles <- m.cycles + Cache.write_access m.dcache addr
+let[@inline] daccess m addr =
+  let p = Cache.access m.dcache addr in
+  if p <> 0 then m.cycles <- m.cycles + p
+(* write-through: always 0 penalty, but the hit/miss stats must tick *)
+let[@inline] waccess m addr = ignore (Cache.write_access m.dcache addr : int)
 
 let bool64 b = if b then 1L else 0L
 
-let step m =
-  let pc = m.pc in
-  m.cycles <- m.cycles + 1 + Cache.access m.icache pc;
+(* Decode the word at [pc], consulting the predecode cache first.  The
+   miss path preserves the uncached fault behaviour exactly. *)
+let fetch m pc =
+  match Decode_cache.find m.pdc pc with
+  | Some i -> i
+  | None ->
+    let w = Mem.read_u32 m.mem pc in
+    let insn =
+      try A.decode w with A.Bad_insn _ ->
+        raise (Machine_error (Printf.sprintf "illegal instruction 0x%08x at 0x%x" w pc))
+    in
+    if m.predecode then Decode_cache.set m.pdc pc insn;
+    insn
+
+let[@inline] branch m pc d taken = if taken then m.nextpc <- pc + 4 + (4 * d)
+
+(* The caller is responsible for the icache timing access on [m.pc]
+   (see [run_go]/[step]): doing it in the small run loop rather than in
+   this large function keeps its register pressure out of every arm. *)
+let step_inner m pc =
   m.insns <- m.insns + 1;
-  let w = Mem.read_u32 m.mem pc in
-  let insn =
-    try A.decode w with A.Bad_insn _ ->
-      raise (Machine_error (Printf.sprintf "illegal instruction 0x%08x at 0x%x" w pc))
-  in
-  let next = ref (pc + 4) in
-  let branch d taken = if taken then next := pc + 4 + (4 * d) in
+  let insn = fetch m pc in
+  m.nextpc <- pc + 4;
   (match insn with
   | A.Lda (ra, rb, d) -> set_reg m ra (Int64.add (get_reg m rb) (Int64.of_int d))
   | A.Ldah (ra, rb, d) ->
@@ -130,22 +154,22 @@ let step m =
     Mem.write_u64 m.mem a (get_f m fa)
   | A.Br (ra, d) ->
     set_reg m ra (Int64.of_int (pc + 4));
-    next := pc + 4 + (4 * d)
+    m.nextpc <- pc + 4 + (4 * d)
   | A.Bsr (ra, d) ->
     set_reg m ra (Int64.of_int (pc + 4));
-    next := pc + 4 + (4 * d)
-  | A.Beq (ra, d) -> branch d (get_reg m ra = 0L)
-  | A.Bne (ra, d) -> branch d (get_reg m ra <> 0L)
-  | A.Blt (ra, d) -> branch d (Int64.compare (get_reg m ra) 0L < 0)
-  | A.Ble (ra, d) -> branch d (Int64.compare (get_reg m ra) 0L <= 0)
-  | A.Bgt (ra, d) -> branch d (Int64.compare (get_reg m ra) 0L > 0)
-  | A.Bge (ra, d) -> branch d (Int64.compare (get_reg m ra) 0L >= 0)
-  | A.Fbeq (fa, d) -> branch d (fval m fa = 0.0)
-  | A.Fbne (fa, d) -> branch d (fval m fa <> 0.0)
+    m.nextpc <- pc + 4 + (4 * d)
+  | A.Beq (ra, d) -> branch m pc d (get_reg m ra = 0L)
+  | A.Bne (ra, d) -> branch m pc d (get_reg m ra <> 0L)
+  | A.Blt (ra, d) -> branch m pc d (Int64.compare (get_reg m ra) 0L < 0)
+  | A.Ble (ra, d) -> branch m pc d (Int64.compare (get_reg m ra) 0L <= 0)
+  | A.Bgt (ra, d) -> branch m pc d (Int64.compare (get_reg m ra) 0L > 0)
+  | A.Bge (ra, d) -> branch m pc d (Int64.compare (get_reg m ra) 0L >= 0)
+  | A.Fbeq (fa, d) -> branch m pc d (fval m fa = 0.0)
+  | A.Fbne (fa, d) -> branch m pc d (fval m fa <> 0.0)
   | A.Jmp (ra, rb) | A.Jsr (ra, rb) | A.Retj (ra, rb) ->
     let t = addr_of (get_reg m rb) land lnot 3 in
     set_reg m ra (Int64.of_int (pc + 4));
-    next := t
+    m.nextpc <- t
   | A.Intop (o, ra, rb, rc) -> (
     let x = get_reg m ra and y = lit_val m rb in
     let shamt = Int64.to_int (Int64.logand y 63L) in
@@ -244,17 +268,56 @@ let step m =
       set_f m fc (Int64.logor sa rest)
     | A.Sqrts -> m.cycles <- m.cycles + 15; set_fval m fc (single (sqrt (b ())))
     | A.Sqrtt -> m.cycles <- m.cycles + 30; set_fval m fc (sqrt (b ()))));
-  m.pc <- !next
+  m.pc <- m.nextpc
 
 let default_fuel = 200_000_000
 
+(* Tight tail-recursive loop: the fuel check is a register countdown
+   rather than a per-step ref increment/compare. *)
+(* single-step with exact cycle accounting (the public interface) *)
+let step m =
+  let mi0 = Cache.misses m.icache in
+  (let p = Cache.access_uncounted m.icache m.pc in
+   if p <> 0 then m.cycles <- m.cycles + p);
+  step_inner m m.pc;
+  m.cycles <- m.cycles + 1;
+  Cache.add_hits m.icache (1 - (Cache.misses m.icache - mi0))
+
+(* [step_inner] defers the 1-cycle-per-instruction component of the
+   accounting to its caller; [run] adds it in bulk at exit from the
+   instruction-count delta, so the hot loop carries one counter update
+   less per step.  Totals are exact whenever [run] returns or raises. *)
+(* The icache tag probe is inlined here with its geometry held in
+   parameters (registers), falling back to the full model only on a
+   miss; [run] reconciles the hit counter at exit from the retired-
+   instruction delta, since a fetch loop performs exactly one icache
+   access per retired instruction. *)
+let rec run_go m tags shift mask fuel =
+  let pc = m.pc in
+  if pc <> halt_addr then begin
+    if fuel = 0 then raise (Machine_error "out of fuel (infinite loop?)");
+    let line = pc lsr shift in
+    if Array.unsafe_get tags (line land mask) <> line then
+      (let p = Cache.access_uncounted m.icache pc in
+       if p <> 0 then m.cycles <- m.cycles + p);
+    step_inner m pc;
+    run_go m tags shift mask (fuel - 1)
+  end
+
 let run ?(fuel = default_fuel) m =
-  let steps = ref 0 in
-  while m.pc <> halt_addr do
-    if !steps >= fuel then raise (Machine_error "out of fuel (infinite loop?)");
-    incr steps;
-    step m
-  done
+  let i0 = m.insns in
+  let mi0 = Cache.misses m.icache in
+  let finish () =
+    let retired = m.insns - i0 in
+    m.cycles <- m.cycles + retired;
+    Cache.add_hits m.icache (retired - (Cache.misses m.icache - mi0))
+  in
+  let tags, shift, mask = Cache.probe m.icache in
+  (try run_go m tags shift mask fuel
+   with e ->
+     finish ();
+     raise e);
+  finish ()
 
 (* ------------------------------------------------------------------ *)
 (* Harness: args in $16-$21 / $f16-$f21 by slot; further args on the
@@ -304,6 +367,11 @@ let reset_stats m =
   Cache.reset_stats m.icache;
   Cache.reset_stats m.dcache
 
+(* Models v_end's icache invalidation: drop both the timing caches and
+   every predecoded instruction.  (The predecode drop is belt-and-braces
+   — the write watcher already keeps it coherent — and costs nothing on
+   the simulated clock.) *)
 let flush_caches m =
   Cache.flush m.icache;
-  Cache.flush m.dcache
+  Cache.flush m.dcache;
+  Decode_cache.clear m.pdc

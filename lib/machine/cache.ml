@@ -6,36 +6,79 @@
    and data access through one of these.  Only hit/miss status and cycle
    accounting are modeled; data always comes from {!Mem}, i.e. the cache
    is a timing model, which is sufficient because the simulated machines
-   have no incoherent writers. *)
+   have no incoherent writers.
+
+   [access]/[write_access] sit on the simulators' per-instruction path,
+   so line/index extraction is shift-and-mask; [create] requires
+   power-of-two geometry to keep it that way. *)
 
 type t = {
   line_bytes : int;
   lines : int;
+  line_shift : int;        (* log2 line_bytes *)
+  idx_mask : int;          (* lines - 1 *)
   tags : int array;        (* -1 = invalid *)
   miss_penalty : int;
   mutable hits : int;
   mutable misses : int;
 }
 
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let log2 n =
+  let rec go k n = if n <= 1 then k else go (k + 1) (n lsr 1) in
+  go 0 n
+
 let create ~size_bytes ~line_bytes ~miss_penalty =
+  if (not (is_pow2 line_bytes)) || not (is_pow2 size_bytes) then
+    invalid_arg "Cache.create: geometry must be a power of two";
   if size_bytes mod line_bytes <> 0 then invalid_arg "Cache.create";
   let lines = size_bytes / line_bytes in
-  { line_bytes; lines; tags = Array.make lines (-1); miss_penalty; hits = 0; misses = 0 }
+  {
+    line_bytes;
+    lines;
+    line_shift = log2 line_bytes;
+    idx_mask = lines - 1;
+    tags = Array.make lines (-1);
+    miss_penalty;
+    hits = 0;
+    misses = 0;
+  }
 
 let size_bytes t = t.lines * t.line_bytes
 
 (* Read access to [addr]; allocates the line, returns the cycle penalty
    (0 on hit). *)
-let access t addr =
-  let line = addr / t.line_bytes in
-  let idx = line mod t.lines in
-  if t.tags.(idx) = line then begin
+(* Instruction-fetch variant: identical tag/penalty behaviour, but the
+   hit counter is NOT incremented here.  A simulator run loop performs
+   exactly one such access per retired instruction, so it reconciles in
+   bulk at exit: hits += retired - (misses now - misses at entry).  This
+   keeps a read-modify-write of a shared counter off the per-instruction
+   path while [stats] stays exact at every observation point. *)
+let[@inline] access_uncounted t addr =
+  let line = addr lsr t.line_shift in
+  let idx = line land t.idx_mask in
+  if Array.unsafe_get t.tags idx = line then 0
+  else begin
+    t.misses <- t.misses + 1;
+    Array.unsafe_set t.tags idx line;
+    t.miss_penalty
+  end
+
+let misses t = t.misses
+let probe t = (t.tags, t.line_shift, t.idx_mask)
+let add_hits t n = t.hits <- t.hits + n
+
+let[@inline] access t addr =
+  let line = addr lsr t.line_shift in
+  let idx = line land t.idx_mask in
+  if Array.unsafe_get t.tags idx = line then begin
     t.hits <- t.hits + 1;
     0
   end
   else begin
     t.misses <- t.misses + 1;
-    t.tags.(idx) <- line;
+    Array.unsafe_set t.tags idx line;
     t.miss_penalty
   end
 
@@ -44,10 +87,11 @@ let access t addr =
    and the write buffer absorbs the memory write (no stall modelled).
    This is load-bearing for Table 4: data written by a copy pass is NOT
    cache-resident for a later checksum pass. *)
-let write_access t addr =
-  let line = addr / t.line_bytes in
-  let idx = line mod t.lines in
-  if t.tags.(idx) = line then t.hits <- t.hits + 1 else t.misses <- t.misses + 1;
+let[@inline] write_access t addr =
+  let line = addr lsr t.line_shift in
+  let idx = line land t.idx_mask in
+  if Array.unsafe_get t.tags idx = line then t.hits <- t.hits + 1
+  else t.misses <- t.misses + 1;
   0
 
 (* Invalidate everything: models both an explicit flush (the uncached

@@ -19,6 +19,30 @@ val size_bytes : t -> int
     hit, [miss_penalty] on a miss) *)
 val access : t -> int -> int
 
+(** [access_uncounted] is {!access} minus the hit-counter update: tag
+    check, line fill and penalty are identical, but hits are NOT
+    recorded.  For callers that perform a statically known number of
+    accesses (an instruction-fetch loop does exactly one per retired
+    instruction) and reconcile in bulk afterwards:
+    [add_hits t (accesses - (misses t - misses_at_entry))].  Keeps a
+    shared-counter read-modify-write off the per-instruction hot path
+    while [stats] stays exact at every observation point. *)
+val access_uncounted : t -> int -> int
+
+(** current miss count (same value as [snd (stats t)]) *)
+val misses : t -> int
+
+(** [(tags, line_shift, idx_mask)] — the hit-test state, for a fetch
+    loop that wants the tag probe in registers: a hit is
+    [tags.((addr lsr line_shift) land idx_mask) = addr lsr line_shift].
+    On a mismatch the caller must fall back to [access]/
+    [access_uncounted] so fills and miss counts happen in the model.
+    [tags] aliases the live cache (never replaced, mutated by fills). *)
+val probe : t -> int array * int * int
+
+(** bulk hit-counter credit; see [access_uncounted] *)
+val add_hits : t -> int -> unit
+
 (** write access: write-through, no allocation, no stall (the write
     buffer absorbs it); returns 0 *)
 val write_access : t -> int -> int

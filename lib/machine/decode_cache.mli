@@ -1,0 +1,51 @@
+(** A predecoded-instruction cache shared by the CPU simulators.
+
+    Maps word-aligned code addresses to already-decoded instructions so
+    a simulator's hot loop decodes each instruction word once instead of
+    on every simulated cycle.  Polymorphic over the per-target decoded
+    instruction type.
+
+    Correctness contract: an entry is valid exactly until the underlying
+    word changes.  The owning simulator registers {!invalidate} as its
+    memory's write watcher ({!Mem.set_write_watcher}), which covers
+    simulated stores (self-modifying code), host-side
+    {!Mem.install_code} (regenerating code at the same address) and the
+    bulk write helpers.  {!clear} is the predecode analogue of v_end's
+    icache flush.
+
+    This is purely a host-side accelerator: the timing {!Cache} model
+    still sees every fetch, so simulated cycle counts and cache hit/miss
+    statistics are bit-identical with and without it. *)
+
+type 'a t
+
+(** [create ~mem_bytes] covers the address range [\[0, mem_bytes)].  The
+    backing store starts small and grows on demand. *)
+val create : mem_bytes:int -> 'a t
+
+(** [find t addr] is the cached decoded instruction at byte address
+    [addr], or [None] if it must be fetched and decoded (then recorded
+    with {!set}).  Misaligned or out-of-range addresses always miss, so
+    the fetch path keeps its exact fault behaviour. *)
+val find : 'a t -> int -> 'a option
+
+(** [set t addr insn] records the decode of the word at [addr].
+    Addresses outside the covered range are ignored. *)
+val set : 'a t -> int -> 'a -> unit
+
+(** [invalidate t addr len] drops every entry whose word overlaps
+    [\[addr, addr + len)].  O(1) when the range is outside the
+    predecoded span — the common case for data stores. *)
+val invalidate : 'a t -> int -> int -> unit
+
+(** drop every entry *)
+val clear : 'a t -> unit
+
+(** [(fills, invalidations)] since the last {!reset_stats}.  There is
+    deliberately no hit counter: [find] runs once per simulated
+    instruction and keeps its fast path free of shared-counter updates.
+    A cache that is engaged shows [fills] staying flat while retired
+    instructions grow. *)
+val stats : 'a t -> int * int
+
+val reset_stats : 'a t -> unit

@@ -13,34 +13,55 @@ type t = {
   data : Bytes.t;
   size : int;
   big_endian : bool;
+  mutable on_write : int -> int -> unit;
+      (* called as [f addr len] after every mutation of [data]; the
+         simulators hang predecoded-instruction invalidation here *)
 }
 
+let ignore_write _ _ = ()
+
 let create ?(big_endian = false) ~size () =
-  { data = Bytes.make size '\000'; size; big_endian }
+  { data = Bytes.make size '\000'; size; big_endian; on_write = ignore_write }
 
 let size t = t.size
 let big_endian t = t.big_endian
 
-(* bounds check for bulk operations *)
+let set_write_watcher t f = t.on_write <- f
+
+(* Fault construction lives out of line so the bounds checks inlined
+   into the simulators' load/store path stay a couple of compares. *)
+let[@inline never] bounds_fail t addr len what =
+  raise
+    (Fault
+       (Printf.sprintf "%s of %d bytes at 0x%x out of bounds (mem size 0x%x)" what len addr
+          t.size))
+
+let[@inline never] misalign_fail addr what =
+  raise (Fault (Printf.sprintf "misaligned %s at 0x%x" what addr))
+
+(* bounds check for bulk operations; a zero-length operation is a no-op
+   permitted anywhere in [0, size] *)
 let check_bounds t addr len what =
-  if addr < 0 || addr + len > t.size then
-    raise (Fault (Printf.sprintf "%s at 0x%x (size %d) out of bounds" what addr len))
+  if len < 0 then
+    raise (Fault (Printf.sprintf "%s at 0x%x with negative length %d" what addr len));
+  if addr < 0 || addr + len > t.size then bounds_fail t addr len what
 
-(* scalar accesses additionally require natural alignment *)
-let check t addr len what =
-  check_bounds t addr len what;
-  if len > 1 && addr land (len - 1) <> 0 then
-    raise (Fault (Printf.sprintf "misaligned %s at 0x%x" what addr))
+(* scalar accesses additionally require natural alignment; [len] is a
+   compile-time constant at every call site *)
+let[@inline] check t addr len what =
+  if addr < 0 || addr + len > t.size then bounds_fail t addr len what;
+  if len > 1 && addr land (len - 1) <> 0 then misalign_fail addr what
 
-let read_u8 t addr =
+let[@inline] read_u8 t addr =
   check t addr 1 "load8";
   Char.code (Bytes.unsafe_get t.data addr)
 
 let write_u8 t addr v =
   check t addr 1 "store8";
-  Bytes.unsafe_set t.data addr (Char.unsafe_chr (v land 0xff))
+  Bytes.unsafe_set t.data addr (Char.unsafe_chr (v land 0xff));
+  t.on_write addr 1
 
-let read_u16 t addr =
+let[@inline] read_u16 t addr =
   check t addr 2 "load16";
   let b0 = Char.code (Bytes.unsafe_get t.data addr) in
   let b1 = Char.code (Bytes.unsafe_get t.data (addr + 1)) in
@@ -56,9 +77,10 @@ let write_u16 t addr v =
   else begin
     Bytes.unsafe_set t.data addr (Char.unsafe_chr lo);
     Bytes.unsafe_set t.data (addr + 1) (Char.unsafe_chr hi)
-  end
+  end;
+  t.on_write addr 2
 
-let read_u32 t addr =
+let[@inline] read_u32 t addr =
   check t addr 4 "load32";
   let b i = Char.code (Bytes.unsafe_get t.data (addr + i)) in
   if t.big_endian then (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3
@@ -72,7 +94,8 @@ let write_u32 t addr v =
   end
   else begin
     set 0 v; set 1 (v lsr 8); set 2 (v lsr 16); set 3 (v lsr 24)
-  end
+  end;
+  t.on_write addr 4
 
 let read_u64 t addr : int64 =
   check t addr 8 "load64";
@@ -96,23 +119,41 @@ let write_u64 t addr (v : int64) =
     write_u32 t (addr + 4) hi
   end
 
-(* Bulk helpers used by workload setup. *)
+(* Bulk helpers used by workload setup.  All are bounds-checked against
+   the true operation length; zero-length operations are no-ops. *)
 let blit_string t ~addr s =
-  check_bounds t addr (max 1 (String.length s)) "blit";
-  Bytes.blit_string s 0 t.data addr (String.length s)
+  let len = String.length s in
+  check_bounds t addr len "blit_string";
+  if len > 0 then begin
+    Bytes.blit_string s 0 t.data addr len;
+    t.on_write addr len
+  end
 
 let blit_bytes t ~addr b =
-  Bytes.blit b 0 t.data addr (Bytes.length b)
+  let len = Bytes.length b in
+  check_bounds t addr len "blit_bytes";
+  if len > 0 then begin
+    Bytes.blit b 0 t.data addr len;
+    t.on_write addr len
+  end
 
 let read_string t ~addr ~len =
-  check_bounds t addr (max 1 len) "read_string";
+  check_bounds t addr len "read_string";
   Bytes.sub_string t.data addr len
 
-let fill t ~addr ~len c = Bytes.fill t.data addr len c
+let fill t ~addr ~len c =
+  check_bounds t addr len "fill";
+  if len > 0 then begin
+    Bytes.fill t.data addr len c;
+    t.on_write addr len
+  end
 
 (* Load a code buffer at [addr], honoring this memory's endianness. *)
 let install_code t ~addr (buf : Vcodebase.Codebuf.t) =
   let len = 4 * Vcodebase.Codebuf.length buf in
-  check_bounds t addr (max 4 len) "install_code";
+  check_bounds t addr len "install_code";
   if addr land 3 <> 0 then raise (Fault (Printf.sprintf "misaligned install_code at 0x%x" addr));
-  Vcodebase.Codebuf.blit_to_bytes buf ~big_endian:t.big_endian t.data addr
+  if len > 0 then begin
+    Vcodebase.Codebuf.blit_to_bytes buf ~big_endian:t.big_endian t.data addr;
+    t.on_write addr len
+  end

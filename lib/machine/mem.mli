@@ -14,6 +14,14 @@ val create : ?big_endian:bool -> size:int -> unit -> t
 val size : t -> int
 val big_endian : t -> bool
 
+(** [set_write_watcher t f] registers [f] to be called as [f addr len]
+    after every mutation of the memory — scalar stores, the bulk
+    helpers, and {!install_code}.  The simulators hang
+    {!Decode_cache.invalidate} here so predecoded instructions can
+    never be executed stale.  One watcher per memory; registering
+    replaces the previous one. *)
+val set_write_watcher : t -> (int -> int -> unit) -> unit
+
 val read_u8 : t -> int -> int
 val write_u8 : t -> int -> int -> unit
 val read_u16 : t -> int -> int
@@ -23,8 +31,10 @@ val write_u32 : t -> int -> int -> unit
 val read_u64 : t -> int -> int64
 val write_u64 : t -> int -> int64 -> unit
 
-(** bulk helpers for workload setup; bounds-checked but not
-    alignment-checked *)
+(** bulk helpers for workload setup; bounds-checked against the true
+    operation length but not alignment-checked.  Zero-length operations
+    are no-ops, valid for any [addr] in [\[0, size]]; negative lengths
+    raise {!Fault}. *)
 
 val blit_string : t -> addr:int -> string -> unit
 val blit_bytes : t -> addr:int -> Bytes.t -> unit

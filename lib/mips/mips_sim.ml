@@ -23,6 +23,8 @@ type t = {
   mem : Mem.t;
   icache : Cache.t;
   dcache : Cache.t;
+  pdc : Mips_asm.t Decode_cache.t; (* host-side predecode; no cycle effect *)
+  predecode : bool;
   cfg : Mconfig.t;
   regs : int array;   (* 32, sign-extended 32-bit *)
   fregs : int array;  (* 32, raw 32-bit patterns; doubles use even pairs *)
@@ -31,15 +33,20 @@ type t = {
   mutable fcc : bool;
   mutable pc : int;
   mutable npc : int;
+  mutable btarget : int; (* branch-target scratch for [step]; avoids a per-step ref *)
   mutable cycles : int;
   mutable insns : int;
   mutable stack_top : int;
 }
 
-let create (cfg : Mconfig.t) =
+let create ?(predecode = true) (cfg : Mconfig.t) =
   let mem = Mem.create ~big_endian:false ~size:cfg.mem_bytes () in
+  let pdc = Decode_cache.create ~mem_bytes:cfg.mem_bytes in
+  Mem.set_write_watcher mem (Decode_cache.invalidate pdc);
   {
     mem;
+    pdc;
+    predecode;
     icache = Cache.create ~size_bytes:cfg.icache_bytes ~line_bytes:cfg.line_bytes
                ~miss_penalty:cfg.imiss_penalty;
     dcache = Cache.create ~size_bytes:cfg.dcache_bytes ~line_bytes:cfg.line_bytes
@@ -52,18 +59,22 @@ let create (cfg : Mconfig.t) =
     fcc = false;
     pc = 0;
     npc = 4;
+    btarget = 0;
     cycles = 0;
     insns = 0;
     stack_top = cfg.mem_bytes - 256;
   }
 
-let sext32 v =
-  let v = v land 0xFFFFFFFF in
-  if v land 0x80000000 <> 0 then v - 0x100000000 else v
+(* branchless sign-extension from bit 31 (OCaml ints are 63-bit, so the
+   shift pair drops bits 32+ and replicates bit 31 upward) *)
+let[@inline] sext32 v = (v lsl 31) asr 31
 
 let u32 v = v land 0xFFFFFFFF
 
-let set_reg m r v = if r <> 0 then m.regs.(r) <- sext32 v
+(* register numbers come out of [Mips_asm.decode] masked to 5 bits, so
+   the array bounds check is dead weight on the per-step path *)
+let[@inline] set_reg m r v = if r <> 0 then Array.unsafe_set m.regs r (sext32 v)
+let[@inline] rget m n = Array.unsafe_get m.regs n
 
 (* Doubles live in even/odd pairs, low word in the even register
    (little-endian pairing). *)
@@ -92,49 +103,65 @@ let set_fmt m fmt f v =
   | Mips_asm.FD -> set_double m f v
   | Mips_asm.FW -> m.fregs.(f) <- u32 (int_of_float v)
 
-let daccess m addr = m.cycles <- m.cycles + Cache.access m.dcache addr
-let waccess m addr = m.cycles <- m.cycles + Cache.write_access m.dcache addr
+let[@inline] daccess m addr =
+  let p = Cache.access m.dcache addr in
+  if p <> 0 then m.cycles <- m.cycles + p
+(* write-through: always 0 penalty, but the hit/miss stats must tick *)
+let[@inline] waccess m addr = ignore (Cache.write_access m.dcache addr : int)
 
-(* Execute one instruction.  Returns unit; updates pc/npc. *)
-let step m =
-  let pc = m.pc in
-  m.cycles <- m.cycles + 1 + Cache.access m.icache pc;
+(* Decode the word at [pc], consulting the predecode cache first.  The
+   miss path preserves the uncached fault behaviour exactly (Mem.Fault
+   on a wild or misaligned pc, Machine_error on an illegal word). *)
+let fetch m pc =
+  match Decode_cache.find m.pdc pc with
+  | Some i -> i
+  | None ->
+    let w = Mem.read_u32 m.mem pc in
+    let insn = try Mips_asm.decode w with Mips_asm.Bad_insn _ ->
+      raise (Machine_error (Printf.sprintf "illegal instruction 0x%08x at 0x%x" w pc))
+    in
+    if m.predecode then Decode_cache.set m.pdc pc insn;
+    insn
+
+let[@inline] branch m pc off taken =
+  if taken then m.btarget <- pc + 4 + (4 * off)
+
+(* Execute one instruction.  Returns unit; updates pc/npc.
+   The caller is responsible for the icache timing access on [m.pc]
+   (see [run_go]/[step]): doing it in the small run loop rather than in
+   this large function keeps its register pressure out of every arm. *)
+let step_inner m pc =
   m.insns <- m.insns + 1;
-  let w = Mem.read_u32 m.mem pc in
-  let insn = try Mips_asm.decode w with Mips_asm.Bad_insn _ ->
-    raise (Machine_error (Printf.sprintf "illegal instruction 0x%08x at 0x%x" w pc))
-  in
-  let r n = m.regs.(n) in
+  let insn = fetch m pc in
   let next = m.npc in
-  let mutable_target = ref (m.npc + 4) in
-  let branch off taken = if taken then mutable_target := pc + 4 + (4 * off) in
+  m.btarget <- next + 4;
   (match insn with
   | Nop -> ()
-  | Sll (rd, rt, sh) -> set_reg m rd (r rt lsl sh)
-  | Srl (rd, rt, sh) -> set_reg m rd (u32 (r rt) lsr sh)
-  | Sra (rd, rt, sh) -> set_reg m rd (r rt asr sh)
-  | Sllv (rd, rt, rs) -> set_reg m rd (r rt lsl (r rs land 31))
-  | Srlv (rd, rt, rs) -> set_reg m rd (u32 (r rt) lsr (r rs land 31))
-  | Srav (rd, rt, rs) -> set_reg m rd (r rt asr (r rs land 31))
-  | Jr rs -> mutable_target := u32 (r rs)
+  | Sll (rd, rt, sh) -> set_reg m rd (rget m rt lsl sh)
+  | Srl (rd, rt, sh) -> set_reg m rd (u32 (rget m rt) lsr sh)
+  | Sra (rd, rt, sh) -> set_reg m rd (rget m rt asr sh)
+  | Sllv (rd, rt, rs) -> set_reg m rd (rget m rt lsl (rget m rs land 31))
+  | Srlv (rd, rt, rs) -> set_reg m rd (u32 (rget m rt) lsr (rget m rs land 31))
+  | Srav (rd, rt, rs) -> set_reg m rd (rget m rt asr (rget m rs land 31))
+  | Jr rs -> m.btarget <- u32 (rget m rs)
   | Jalr (rd, rs) ->
     set_reg m rd (pc + 8);
-    mutable_target := u32 (r rs)
+    m.btarget <- u32 (rget m rs)
   | Mfhi rd -> set_reg m rd m.hi
   | Mflo rd -> set_reg m rd m.lo
   | Mult (rs, rt) ->
     m.cycles <- m.cycles + 11;
-    let p = Int64.mul (Int64.of_int (r rs)) (Int64.of_int (r rt)) in
+    let p = Int64.mul (Int64.of_int (rget m rs)) (Int64.of_int (rget m rt)) in
     m.lo <- sext32 (Int64.to_int (Int64.logand p 0xFFFFFFFFL));
     m.hi <- sext32 (Int64.to_int (Int64.logand (Int64.shift_right_logical p 32) 0xFFFFFFFFL))
   | Multu (rs, rt) ->
     m.cycles <- m.cycles + 11;
-    let p = Int64.mul (Int64.of_int (u32 (r rs))) (Int64.of_int (u32 (r rt))) in
+    let p = Int64.mul (Int64.of_int (u32 (rget m rs))) (Int64.of_int (u32 (rget m rt))) in
     m.lo <- sext32 (Int64.to_int (Int64.logand p 0xFFFFFFFFL));
     m.hi <- sext32 (Int64.to_int (Int64.logand (Int64.shift_right_logical p 32) 0xFFFFFFFFL))
   | Div (rs, rt) ->
     m.cycles <- m.cycles + 34;
-    let a = r rs and b = r rt in
+    let a = rget m rs and b = rget m rt in
     if b = 0 then begin m.lo <- 0; m.hi <- 0 end
     else begin
       (* C-style truncating division *)
@@ -145,90 +172,90 @@ let step m =
     end
   | Divu (rs, rt) ->
     m.cycles <- m.cycles + 34;
-    let a = u32 (r rs) and b = u32 (r rt) in
+    let a = u32 (rget m rs) and b = u32 (rget m rt) in
     if b = 0 then begin m.lo <- 0; m.hi <- 0 end
     else begin
       m.lo <- sext32 (a / b);
       m.hi <- sext32 (a mod b)
     end
-  | Addu (rd, rs, rt) -> set_reg m rd (r rs + r rt)
-  | Subu (rd, rs, rt) -> set_reg m rd (r rs - r rt)
-  | And (rd, rs, rt) -> set_reg m rd (r rs land r rt)
-  | Or (rd, rs, rt) -> set_reg m rd (r rs lor r rt)
-  | Xor (rd, rs, rt) -> set_reg m rd (r rs lxor r rt)
-  | Nor (rd, rs, rt) -> set_reg m rd (lnot (r rs lor r rt))
-  | Slt (rd, rs, rt) -> set_reg m rd (if r rs < r rt then 1 else 0)
-  | Sltu (rd, rs, rt) -> set_reg m rd (if u32 (r rs) < u32 (r rt) then 1 else 0)
-  | Addiu (rt, rs, i) -> set_reg m rt (r rs + i)
-  | Slti (rt, rs, i) -> set_reg m rt (if r rs < i then 1 else 0)
-  | Sltiu (rt, rs, i) -> set_reg m rt (if u32 (r rs) < u32 (sext32 i) then 1 else 0)
-  | Andi (rt, rs, i) -> set_reg m rt (r rs land i)
-  | Ori (rt, rs, i) -> set_reg m rt (r rs lor i)
-  | Xori (rt, rs, i) -> set_reg m rt (r rs lxor i)
+  | Addu (rd, rs, rt) -> set_reg m rd (rget m rs + rget m rt)
+  | Subu (rd, rs, rt) -> set_reg m rd (rget m rs - rget m rt)
+  | And (rd, rs, rt) -> set_reg m rd (rget m rs land rget m rt)
+  | Or (rd, rs, rt) -> set_reg m rd (rget m rs lor rget m rt)
+  | Xor (rd, rs, rt) -> set_reg m rd (rget m rs lxor rget m rt)
+  | Nor (rd, rs, rt) -> set_reg m rd (lnot (rget m rs lor rget m rt))
+  | Slt (rd, rs, rt) -> set_reg m rd (if rget m rs < rget m rt then 1 else 0)
+  | Sltu (rd, rs, rt) -> set_reg m rd (if u32 (rget m rs) < u32 (rget m rt) then 1 else 0)
+  | Addiu (rt, rs, i) -> set_reg m rt (rget m rs + i)
+  | Slti (rt, rs, i) -> set_reg m rt (if rget m rs < i then 1 else 0)
+  | Sltiu (rt, rs, i) -> set_reg m rt (if u32 (rget m rs) < u32 (sext32 i) then 1 else 0)
+  | Andi (rt, rs, i) -> set_reg m rt (rget m rs land i)
+  | Ori (rt, rs, i) -> set_reg m rt (rget m rs lor i)
+  | Xori (rt, rs, i) -> set_reg m rt (rget m rs lxor i)
   | Lui (rt, i) -> set_reg m rt (i lsl 16)
-  | J t -> mutable_target := (u32 (pc + 4) land 0xF0000000) lor (t * 4)
+  | J t -> m.btarget <- (u32 (pc + 4) land 0xF0000000) lor (t * 4)
   | Jal t ->
     set_reg m 31 (pc + 8);
-    mutable_target := (u32 (pc + 4) land 0xF0000000) lor (t * 4)
-  | Beq (rs, rt, off) -> branch off (r rs = r rt)
-  | Bne (rs, rt, off) -> branch off (r rs <> r rt)
-  | Blez (rs, off) -> branch off (r rs <= 0)
-  | Bgtz (rs, off) -> branch off (r rs > 0)
-  | Bltz (rs, off) -> branch off (r rs < 0)
-  | Bgez (rs, off) -> branch off (r rs >= 0)
+    m.btarget <- (u32 (pc + 4) land 0xF0000000) lor (t * 4)
+  | Beq (rs, rt, off) -> branch m pc off (rget m rs = rget m rt)
+  | Bne (rs, rt, off) -> branch m pc off (rget m rs <> rget m rt)
+  | Blez (rs, off) -> branch m pc off (rget m rs <= 0)
+  | Bgtz (rs, off) -> branch m pc off (rget m rs > 0)
+  | Bltz (rs, off) -> branch m pc off (rget m rs < 0)
+  | Bgez (rs, off) -> branch m pc off (rget m rs >= 0)
   | Lb (rt, b, o) ->
-    let a = u32 (r b) + o in
+    let a = u32 (rget m b) + o in
     daccess m a;
     let v = Mem.read_u8 m.mem a in
     set_reg m rt (if v land 0x80 <> 0 then v - 0x100 else v)
   | Lbu (rt, b, o) ->
-    let a = u32 (r b) + o in
+    let a = u32 (rget m b) + o in
     daccess m a;
     set_reg m rt (Mem.read_u8 m.mem a)
   | Lh (rt, b, o) ->
-    let a = u32 (r b) + o in
+    let a = u32 (rget m b) + o in
     daccess m a;
     let v = Mem.read_u16 m.mem a in
     set_reg m rt (if v land 0x8000 <> 0 then v - 0x10000 else v)
   | Lhu (rt, b, o) ->
-    let a = u32 (r b) + o in
+    let a = u32 (rget m b) + o in
     daccess m a;
     set_reg m rt (Mem.read_u16 m.mem a)
   | Lw (rt, b, o) ->
-    let a = u32 (r b) + o in
+    let a = u32 (rget m b) + o in
     daccess m a;
     set_reg m rt (Mem.read_u32 m.mem a)
   | Sb (rt, b, o) ->
-    let a = u32 (r b) + o in
+    let a = u32 (rget m b) + o in
     waccess m a;
-    Mem.write_u8 m.mem a (r rt)
+    Mem.write_u8 m.mem a (rget m rt)
   | Sh (rt, b, o) ->
-    let a = u32 (r b) + o in
+    let a = u32 (rget m b) + o in
     waccess m a;
-    Mem.write_u16 m.mem a (r rt)
+    Mem.write_u16 m.mem a (rget m rt)
   | Sw (rt, b, o) ->
-    let a = u32 (r b) + o in
+    let a = u32 (rget m b) + o in
     waccess m a;
-    Mem.write_u32 m.mem a (u32 (r rt))
+    Mem.write_u32 m.mem a (u32 (rget m rt))
   | Lwc1 (ft, b, o) ->
-    let a = u32 (r b) + o in
+    let a = u32 (rget m b) + o in
     daccess m a;
     m.fregs.(ft) <- Mem.read_u32 m.mem a
   | Swc1 (ft, b, o) ->
-    let a = u32 (r b) + o in
+    let a = u32 (rget m b) + o in
     waccess m a;
     Mem.write_u32 m.mem a m.fregs.(ft)
   | Ldc1 (ft, b, o) ->
-    let a = u32 (r b) + o in
+    let a = u32 (rget m b) + o in
     daccess m a;
     m.fregs.(ft) <- Mem.read_u32 m.mem a;
     m.fregs.(ft + 1) <- Mem.read_u32 m.mem (a + 4)
   | Sdc1 (ft, b, o) ->
-    let a = u32 (r b) + o in
+    let a = u32 (rget m b) + o in
     waccess m a;
     Mem.write_u32 m.mem a m.fregs.(ft);
     Mem.write_u32 m.mem (a + 4) m.fregs.(ft + 1)
-  | Mtc1 (rt, fs) -> m.fregs.(fs) <- u32 (r rt)
+  | Mtc1 (rt, fs) -> m.fregs.(fs) <- u32 (rget m rt)
   | Mfc1 (rt, fs) -> set_reg m rt m.fregs.(fs)
   | Fadd (fmt, fd, fs, ft) ->
     m.cycles <- m.cycles + 1;
@@ -262,11 +289,11 @@ let step m =
   | Fcmp (c, fmt, fs, ft) ->
     let a = get_fmt m fmt fs and b = get_fmt m fmt ft in
     m.fcc <- (match c with CEq -> a = b | CLt -> a < b | CLe -> a <= b)
-  | Bc1t off -> branch off m.fcc
-  | Bc1f off -> branch off (not m.fcc)
+  | Bc1t off -> branch m pc off m.fcc
+  | Bc1f off -> branch m pc off (not m.fcc)
   | Break code -> raise (Machine_error (Printf.sprintf "break %d at 0x%x" code pc)));
   m.pc <- next;
-  m.npc <- !mutable_target
+  m.npc <- m.btarget
 
 (* ------------------------------------------------------------------ *)
 (* Harness                                                             *)
@@ -274,13 +301,47 @@ let step m =
 let default_fuel = 200_000_000
 
 (* Run from [m.pc] until control reaches [halt_addr]. *)
+(* Tight tail-recursive loop: the fuel check is a register countdown
+   rather than a per-step ref increment/compare. *)
+(* single-step with exact cycle accounting (the public interface) *)
+let step m =
+  let mi0 = Cache.misses m.icache in
+  (let p = Cache.access_uncounted m.icache m.pc in
+   if p <> 0 then m.cycles <- m.cycles + p);
+  step_inner m m.pc;
+  m.cycles <- m.cycles + 1;
+  Cache.add_hits m.icache (1 - (Cache.misses m.icache - mi0))
+
+(* [step_inner] defers the 1-cycle-per-instruction component of the
+   accounting to its caller; [run] adds it in bulk at exit from the
+   instruction-count delta, so the hot loop carries one counter update
+   less per step.  Totals are exact whenever [run] returns or raises. *)
+let rec run_go m tags shift mask fuel =
+  let pc = m.pc in
+  if pc <> halt_addr then begin
+    if fuel = 0 then raise (Machine_error "out of fuel (infinite loop?)");
+    let line = pc lsr shift in
+    if Array.unsafe_get tags (line land mask) <> line then
+      (let p = Cache.access_uncounted m.icache pc in
+       if p <> 0 then m.cycles <- m.cycles + p);
+    step_inner m pc;
+    run_go m tags shift mask (fuel - 1)
+  end
+
 let run ?(fuel = default_fuel) m =
-  let steps = ref 0 in
-  while m.pc <> halt_addr do
-    if !steps >= fuel then raise (Machine_error "out of fuel (infinite loop?)");
-    incr steps;
-    step m
-  done
+  let i0 = m.insns in
+  let mi0 = Cache.misses m.icache in
+  let finish () =
+    let retired = m.insns - i0 in
+    m.cycles <- m.cycles + retired;
+    Cache.add_hits m.icache (retired - (Cache.misses m.icache - mi0))
+  in
+  let tags, shift, mask = Cache.probe m.icache in
+  (try run_go m tags shift mask fuel
+   with e ->
+     finish ();
+     raise e);
+  finish ()
 
 (* The simplified O32-like argument convention shared with the backend:
    each argument consumes one slot (doubles two, even-aligned); the first
@@ -289,30 +350,30 @@ let run ?(fuel = default_fuel) m =
    at [16 + 4*slot] above the entry $sp. *)
 type arg = Int of int | Single of float | Double of float
 
-let place_args m ~sp args =
-  let slot = ref 0 and fargs = ref 0 in
-  List.iter
-    (fun a ->
-      match a with
-      | Int v ->
-        let s = !slot in
-        if s < 4 then set_reg m (4 + s) v
-        else Mem.write_u32 m.mem (sp + 16 + (4 * s)) (u32 v);
-        incr slot
-      | Single v ->
-        let s = !slot in
-        if !fargs < 2 && s < 4 then set_single m (12 + (2 * !fargs)) v
-        else Mem.write_u32 m.mem (sp + 16 + (4 * s)) (Int32.to_int (Int32.bits_of_float v) land 0xFFFFFFFF);
-        incr fargs;
-        incr slot
-      | Double v ->
-        if !slot land 1 = 1 then incr slot;
-        let s = !slot in
-        if !fargs < 2 && s < 4 then set_double m (12 + (2 * !fargs)) v
-        else Mem.write_u64 m.mem (sp + 16 + (4 * s)) (Int64.bits_of_float v);
-        incr fargs;
-        slot := s + 2)
-    args
+(* allocation-free: plain recursion over the list with slot/fargs as
+   accumulators, so a hot caller (the throughput bench) pays no per-call
+   ref cells or iteration closure *)
+let rec place_rest m sp args slot fargs =
+  match args with
+  | [] -> ()
+  | Int v :: rest ->
+    if slot < 4 then set_reg m (4 + slot) v
+    else Mem.write_u32 m.mem (sp + 16 + (4 * slot)) (u32 v);
+    place_rest m sp rest (slot + 1) fargs
+  | Single v :: rest ->
+    if fargs < 2 && slot < 4 then set_single m (12 + (2 * fargs)) v
+    else
+      Mem.write_u32 m.mem
+        (sp + 16 + (4 * slot))
+        (Int32.to_int (Int32.bits_of_float v) land 0xFFFFFFFF);
+    place_rest m sp rest (slot + 1) (fargs + 1)
+  | Double v :: rest ->
+    let slot = slot + (slot land 1) in
+    if fargs < 2 && slot < 4 then set_double m (12 + (2 * fargs)) v
+    else Mem.write_u64 m.mem (sp + 16 + (4 * slot)) (Int64.bits_of_float v);
+    place_rest m sp rest (slot + 2) (fargs + 1)
+
+let place_args m ~sp args = place_rest m sp args 0 0
 
 (* Call the generated function at [entry] with [args]; returns after the
    function executes its epilogue (jr $ra to the halt address). *)
@@ -335,8 +396,13 @@ let reset_stats m =
   Cache.reset_stats m.icache;
   Cache.reset_stats m.dcache
 
+(* Models v_end's icache invalidation: drop both the timing caches and
+   every predecoded instruction.  (The predecode drop is belt-and-braces
+   — the write watcher already keeps it coherent — and costs nothing on
+   the simulated clock.) *)
 let flush_caches m =
   Cache.flush m.icache;
-  Cache.flush m.dcache
+  Cache.flush m.dcache;
+  Decode_cache.clear m.pdc
 
 let flush_dcache m = Cache.flush m.dcache

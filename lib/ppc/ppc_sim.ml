@@ -18,6 +18,8 @@ type t = {
   mem : Mem.t;
   icache : Cache.t;
   dcache : Cache.t;
+  pdc : A.t Decode_cache.t; (* host-side predecode; no cycle effect *)
+  predecode : bool;
   cfg : Mconfig.t;
   regs : int array;    (* 32, sign-extended 32-bit *)
   fregs : int64 array; (* 32, raw bit patterns *)
@@ -27,15 +29,20 @@ type t = {
   mutable cr_gt : bool;
   mutable cr_eq : bool;
   mutable pc : int;
+  mutable nextpc : int; (* next-pc scratch for [step]; avoids a per-step ref *)
   mutable cycles : int;
   mutable insns : int;
   mutable stack_top : int;
 }
 
-let create (cfg : Mconfig.t) =
+let create ?(predecode = true) (cfg : Mconfig.t) =
   let mem = Mem.create ~big_endian:true ~size:cfg.mem_bytes () in
+  let pdc = Decode_cache.create ~mem_bytes:cfg.mem_bytes in
+  Mem.set_write_watcher mem (Decode_cache.invalidate pdc);
   {
     mem;
+    pdc;
+    predecode;
     icache = Cache.create ~size_bytes:cfg.icache_bytes ~line_bytes:cfg.line_bytes
                ~miss_penalty:cfg.imiss_penalty;
     dcache = Cache.create ~size_bytes:cfg.dcache_bytes ~line_bytes:cfg.line_bytes
@@ -49,29 +56,34 @@ let create (cfg : Mconfig.t) =
     cr_gt = false;
     cr_eq = false;
     pc = 0;
+    nextpc = 0;
     cycles = 0;
     insns = 0;
     stack_top = cfg.mem_bytes - 256;
   }
 
-let sext32 v =
-  let v = v land 0xFFFFFFFF in
-  if v land 0x80000000 <> 0 then v - 0x100000000 else v
+(* branchless sign-extension from bit 31 (OCaml ints are 63-bit, so the
+   shift pair drops bits 32+ and replicates bit 31 upward) *)
+let[@inline] sext32 v = (v lsl 31) asr 31
 
 let u32 v = v land 0xFFFFFFFF
 
-let get m r = m.regs.(r)
-let set m r v = m.regs.(r) <- sext32 v
+(* register numbers come out of [Ppc_asm.decode] masked to 5 bits *)
+let[@inline] get m r = Array.unsafe_get m.regs r
+let[@inline] set m r v = Array.unsafe_set m.regs r (sext32 v)
 
 (* RA = 0 means literal zero in D-form address/operand computation *)
-let get0 m r = if r = 0 then 0 else m.regs.(r)
+let[@inline] get0 m r = if r = 0 then 0 else Array.unsafe_get m.regs r
 
 let fval m f = Int64.float_of_bits m.fregs.(f)
 let set_fval m f v = m.fregs.(f) <- Int64.bits_of_float v
 let single v = Int32.float_of_bits (Int32.bits_of_float v)
 
-let daccess m addr = m.cycles <- m.cycles + Cache.access m.dcache addr
-let waccess m addr = m.cycles <- m.cycles + Cache.write_access m.dcache addr
+let[@inline] daccess m addr =
+  let p = Cache.access m.dcache addr in
+  if p <> 0 then m.cycles <- m.cycles + p
+(* write-through: always 0 penalty, but the hit/miss stats must tick *)
+let[@inline] waccess m addr = ignore (Cache.write_access m.dcache addr : int)
 
 let set_cr_signed m a b =
   m.cr_lt <- a < b;
@@ -96,16 +108,27 @@ let rlwinm_mask mb me =
 
 let rotl32 v sh = u32 ((u32 v lsl sh) lor (u32 v lsr (32 - sh land 31)))
 
-let step m =
-  let pc = m.pc in
-  m.cycles <- m.cycles + 1 + Cache.access m.icache pc;
+(* Decode the word at [pc], consulting the predecode cache first.  The
+   miss path preserves the uncached fault behaviour exactly. *)
+let fetch m pc =
+  match Decode_cache.find m.pdc pc with
+  | Some i -> i
+  | None ->
+    let w = Mem.read_u32 m.mem pc in
+    let insn =
+      try A.decode w with A.Bad_insn _ ->
+        raise (Machine_error (Printf.sprintf "illegal instruction 0x%08x at 0x%x" w pc))
+    in
+    if m.predecode then Decode_cache.set m.pdc pc insn;
+    insn
+
+(* The caller is responsible for the icache timing access on [m.pc]
+   (see [run_go]/[step]): doing it in the small run loop rather than in
+   this large function keeps its register pressure out of every arm. *)
+let step_inner m pc =
   m.insns <- m.insns + 1;
-  let w = Mem.read_u32 m.mem pc in
-  let insn =
-    try A.decode w with A.Bad_insn _ ->
-      raise (Machine_error (Printf.sprintf "illegal instruction 0x%08x at 0x%x" w pc))
-  in
-  let next = ref (pc + 4) in
+  let insn = fetch m pc in
+  m.nextpc <- pc + 4;
   (match insn with
   | A.Addi (rt, ra, si) -> set m rt (get0 m ra + si)
   | A.Addis (rt, ra, si) -> set m rt (get0 m ra + (si * 65536))
@@ -202,10 +225,10 @@ let step m =
     let a = u32 (get0 m ra) + d in
     waccess m a;
     Mem.write_u64 m.mem a m.fregs.(t)
-  | A.B li -> next := pc + (4 * li)
+  | A.B li -> m.nextpc <- pc + (4 * li)
   | A.Bl li ->
     m.lr <- pc + 4;
-    next := pc + (4 * li)
+    m.nextpc <- pc + (4 * li)
   | A.Bc (bo, bi, bd) ->
     let bit = match bi with 0 -> m.cr_lt | 1 -> m.cr_gt | 2 -> m.cr_eq | _ -> false in
     let taken =
@@ -215,12 +238,12 @@ let step m =
       | 20 -> true
       | _ -> raise (Machine_error (Printf.sprintf "unsupported BO %d at 0x%x" bo pc))
     in
-    if taken then next := pc + (4 * bd)
-  | A.Blr -> next := u32 m.lr
-  | A.Bctr -> next := u32 m.ctr
+    if taken then m.nextpc <- pc + (4 * bd)
+  | A.Blr -> m.nextpc <- u32 m.lr
+  | A.Bctr -> m.nextpc <- u32 m.ctr
   | A.Bctrl ->
     m.lr <- pc + 4;
-    next := u32 m.ctr
+    m.nextpc <- u32 m.ctr
   | A.Mflr rt -> set m rt m.lr
   | A.Mtlr rs -> m.lr <- u32 (get m rs)
   | A.Mtctr rs -> m.ctr <- u32 (get m rs)
@@ -243,17 +266,56 @@ let step m =
     m.cr_lt <- x < y;
     m.cr_gt <- x > y;
     m.cr_eq <- x = y);
-  m.pc <- !next
+  m.pc <- m.nextpc
 
 let default_fuel = 200_000_000
 
+(* Tight tail-recursive loop: the fuel check is a register countdown
+   rather than a per-step ref increment/compare. *)
+(* single-step with exact cycle accounting (the public interface) *)
+let step m =
+  let mi0 = Cache.misses m.icache in
+  (let p = Cache.access_uncounted m.icache m.pc in
+   if p <> 0 then m.cycles <- m.cycles + p);
+  step_inner m m.pc;
+  m.cycles <- m.cycles + 1;
+  Cache.add_hits m.icache (1 - (Cache.misses m.icache - mi0))
+
+(* [step_inner] defers the 1-cycle-per-instruction component of the
+   accounting to its caller; [run] adds it in bulk at exit from the
+   instruction-count delta, so the hot loop carries one counter update
+   less per step.  Totals are exact whenever [run] returns or raises. *)
+(* The icache tag probe is inlined here with its geometry held in
+   parameters (registers), falling back to the full model only on a
+   miss; [run] reconciles the hit counter at exit from the retired-
+   instruction delta, since a fetch loop performs exactly one icache
+   access per retired instruction. *)
+let rec run_go m tags shift mask fuel =
+  let pc = m.pc in
+  if pc <> halt_addr then begin
+    if fuel = 0 then raise (Machine_error "out of fuel (infinite loop?)");
+    let line = pc lsr shift in
+    if Array.unsafe_get tags (line land mask) <> line then
+      (let p = Cache.access_uncounted m.icache pc in
+       if p <> 0 then m.cycles <- m.cycles + p);
+    step_inner m pc;
+    run_go m tags shift mask (fuel - 1)
+  end
+
 let run ?(fuel = default_fuel) m =
-  let steps = ref 0 in
-  while m.pc <> halt_addr do
-    if !steps >= fuel then raise (Machine_error "out of fuel (infinite loop?)");
-    incr steps;
-    step m
-  done
+  let i0 = m.insns in
+  let mi0 = Cache.misses m.icache in
+  let finish () =
+    let retired = m.insns - i0 in
+    m.cycles <- m.cycles + retired;
+    Cache.add_hits m.icache (retired - (Cache.misses m.icache - mi0))
+  in
+  let tags, shift, mask = Cache.probe m.icache in
+  (try run_go m tags shift mask fuel
+   with e ->
+     finish ();
+     raise e);
+  finish ()
 
 (* ------------------------------------------------------------------ *)
 (* Harness: args in r3-r10 / f1-f8 by class; further args on the stack
@@ -308,6 +370,11 @@ let reset_stats m =
   Cache.reset_stats m.icache;
   Cache.reset_stats m.dcache
 
+(* Models v_end's icache invalidation: drop both the timing caches and
+   every predecoded instruction.  (The predecode drop is belt-and-braces
+   — the write watcher already keeps it coherent — and costs nothing on
+   the simulated clock.) *)
 let flush_caches m =
   Cache.flush m.icache;
-  Cache.flush m.dcache
+  Cache.flush m.dcache;
+  Decode_cache.clear m.pdc

@@ -23,6 +23,8 @@ type t = {
   mem : Mem.t;
   icache : Cache.t;
   dcache : Cache.t;
+  pdc : Sparc_asm.t Decode_cache.t; (* host-side predecode; no cycle effect *)
+  predecode : bool;
   cfg : Mconfig.t;
   globals : int array;              (* g0-g7; g0 pinned to 0 *)
   wins : int array;                 (* nwindows * 16: locals + ins *)
@@ -37,15 +39,20 @@ type t = {
   mutable fcc : int;                (* 0 =, 1 <, 2 > *)
   mutable pc : int;
   mutable npc : int;
+  mutable btarget : int; (* branch-target scratch for [step]; avoids a per-step ref *)
   mutable cycles : int;
   mutable insns : int;
   mutable stack_top : int;
 }
 
-let create (cfg : Mconfig.t) =
+let create ?(predecode = true) (cfg : Mconfig.t) =
   let mem = Mem.create ~big_endian:true ~size:cfg.mem_bytes () in
+  let pdc = Decode_cache.create ~mem_bytes:cfg.mem_bytes in
+  Mem.set_write_watcher mem (Decode_cache.invalidate pdc);
   {
     mem;
+    pdc;
+    predecode;
     icache = Cache.create ~size_bytes:cfg.icache_bytes ~line_bytes:cfg.line_bytes
                ~miss_penalty:cfg.imiss_penalty;
     dcache = Cache.create ~size_bytes:cfg.dcache_bytes ~line_bytes:cfg.line_bytes
@@ -64,14 +71,15 @@ let create (cfg : Mconfig.t) =
     fcc = 0;
     pc = 0;
     npc = 4;
+    btarget = 0;
     cycles = 0;
     insns = 0;
     stack_top = cfg.mem_bytes - 256;
   }
 
-let sext32 v =
-  let v = v land 0xFFFFFFFF in
-  if v land 0x80000000 <> 0 then v - 0x100000000 else v
+(* branchless sign-extension from bit 31 (OCaml ints are 63-bit, so the
+   shift pair drops bits 32+ and replicates bit 31 upward) *)
+let[@inline] sext32 v = (v lsl 31) asr 31
 
 let u32 v = v land 0xFFFFFFFF
 
@@ -108,8 +116,11 @@ let set_single m f v = m.fregs.(f) <- Int32.to_int (Int32.bits_of_float v) land 
 
 let ri_val m = function Sparc_asm.R r -> get_reg m r | Sparc_asm.Imm v -> v
 
-let daccess m addr = m.cycles <- m.cycles + Cache.access m.dcache addr
-let waccess m addr = m.cycles <- m.cycles + Cache.write_access m.dcache addr
+let[@inline] daccess m addr =
+  let p = Cache.access m.dcache addr in
+  if p <> 0 then m.cycles <- m.cycles + p
+(* write-through: always 0 penalty, but the hit/miss stats must tick *)
+let[@inline] waccess m addr = ignore (Cache.write_access m.dcache addr : int)
 
 let set_icc_sub m a b r =
   m.icc_z <- u32 r = 0;
@@ -117,18 +128,30 @@ let set_icc_sub m a b r =
   m.icc_v <- (a lxor b) land (a lxor r) land 0x80000000 <> 0;
   m.icc_c <- u32 a < u32 b
 
-let step m =
-  let pc = m.pc in
-  m.cycles <- m.cycles + 1 + Cache.access m.icache pc;
+(* Decode the word at [pc], consulting the predecode cache first.  The
+   miss path preserves the uncached fault behaviour exactly. *)
+let fetch m pc =
+  match Decode_cache.find m.pdc pc with
+  | Some i -> i
+  | None ->
+    let w = Mem.read_u32 m.mem pc in
+    let insn =
+      try Sparc_asm.decode w with Sparc_asm.Bad_insn _ ->
+        raise (Machine_error (Printf.sprintf "illegal instruction 0x%08x at 0x%x" w pc))
+    in
+    if m.predecode then Decode_cache.set m.pdc pc insn;
+    insn
+
+let[@inline] branch m pc disp taken = if taken then m.btarget <- pc + (4 * disp)
+
+(* The caller is responsible for the icache timing access on [m.pc]
+   (see [run_go]/[step]): doing it in the small run loop rather than in
+   this large function keeps its register pressure out of every arm. *)
+let step_inner m pc =
   m.insns <- m.insns + 1;
-  let w = Mem.read_u32 m.mem pc in
-  let insn =
-    try Sparc_asm.decode w with Sparc_asm.Bad_insn _ ->
-      raise (Machine_error (Printf.sprintf "illegal instruction 0x%08x at 0x%x" w pc))
-  in
+  let insn = fetch m pc in
   let next = m.npc in
-  let target = ref (m.npc + 4) in
-  let branch disp taken = if taken then target := pc + (4 * disp) in
+  m.btarget <- m.npc + 4;
   (match insn with
   | Sparc_asm.Nop -> ()
   | Sparc_asm.Sethi (rd, imm22) -> set_reg m rd (imm22 lsl 10)
@@ -206,7 +229,7 @@ let step m =
       | BPOS -> not m.icc_n
       | BNEG -> m.icc_n
     in
-    branch disp t
+    branch m pc disp t
   | Sparc_asm.Fbfcc (c, disp) ->
     let t =
       let open Sparc_asm in
@@ -218,13 +241,13 @@ let step m =
       | FBLE -> m.fcc = 0 || m.fcc = 1
       | FBGE -> m.fcc = 0 || m.fcc = 2
     in
-    branch disp t
+    branch m pc disp t
   | Sparc_asm.Call disp ->
     set_reg m 15 pc;
-    target := pc + (4 * disp)
+    m.btarget <- pc + (4 * disp)
   | Sparc_asm.Jmpl (rd, rs1, ri) ->
     set_reg m rd pc;
-    target := u32 (get_reg m rs1 + ri_val m ri)
+    m.btarget <- u32 (get_reg m rs1 + ri_val m ri)
   | Sparc_asm.Save (rd, rs1, ri) ->
     if m.depth >= nwindows - 2 then raise (Machine_error "register window overflow");
     let v = get_reg m rs1 + ri_val m ri in
@@ -320,17 +343,56 @@ let step m =
     let a = get_double m rs1 and b = get_double m rs2 in
     m.fcc <- (if a = b then 0 else if a < b then 1 else 2));
   m.pc <- next;
-  m.npc <- !target
+  m.npc <- m.btarget
 
 let default_fuel = 200_000_000
 
+(* Tight tail-recursive loop: the fuel check is a register countdown
+   rather than a per-step ref increment/compare. *)
+(* single-step with exact cycle accounting (the public interface) *)
+let step m =
+  let mi0 = Cache.misses m.icache in
+  (let p = Cache.access_uncounted m.icache m.pc in
+   if p <> 0 then m.cycles <- m.cycles + p);
+  step_inner m m.pc;
+  m.cycles <- m.cycles + 1;
+  Cache.add_hits m.icache (1 - (Cache.misses m.icache - mi0))
+
+(* [step_inner] defers the 1-cycle-per-instruction component of the
+   accounting to its caller; [run] adds it in bulk at exit from the
+   instruction-count delta, so the hot loop carries one counter update
+   less per step.  Totals are exact whenever [run] returns or raises. *)
+(* The icache tag probe is inlined here with its geometry held in
+   parameters (registers), falling back to the full model only on a
+   miss; [run] reconciles the hit counter at exit from the retired-
+   instruction delta, since a fetch loop performs exactly one icache
+   access per retired instruction. *)
+let rec run_go m tags shift mask fuel =
+  let pc = m.pc in
+  if pc <> halt_addr then begin
+    if fuel = 0 then raise (Machine_error "out of fuel (infinite loop?)");
+    let line = pc lsr shift in
+    if Array.unsafe_get tags (line land mask) <> line then
+      (let p = Cache.access_uncounted m.icache pc in
+       if p <> 0 then m.cycles <- m.cycles + p);
+    step_inner m pc;
+    run_go m tags shift mask (fuel - 1)
+  end
+
 let run ?(fuel = default_fuel) m =
-  let steps = ref 0 in
-  while m.pc <> halt_addr do
-    if !steps >= fuel then raise (Machine_error "out of fuel (infinite loop?)");
-    incr steps;
-    step m
-  done
+  let i0 = m.insns in
+  let mi0 = Cache.misses m.icache in
+  let finish () =
+    let retired = m.insns - i0 in
+    m.cycles <- m.cycles + retired;
+    Cache.add_hits m.icache (retired - (Cache.misses m.icache - mi0))
+  in
+  let tags, shift, mask = Cache.probe m.icache in
+  (try run_go m tags shift mask fuel
+   with e ->
+     finish ();
+     raise e);
+  finish ()
 
 (* ------------------------------------------------------------------ *)
 (* Harness: the VCODE SPARC convention — first six word-class args in
@@ -382,6 +444,11 @@ let reset_stats m =
   Cache.reset_stats m.icache;
   Cache.reset_stats m.dcache
 
+(* Models v_end's icache invalidation: drop both the timing caches and
+   every predecoded instruction.  (The predecode drop is belt-and-braces
+   — the write watcher already keeps it coherent — and costs nothing on
+   the simulated clock.) *)
 let flush_caches m =
   Cache.flush m.icache;
-  Cache.flush m.dcache
+  Cache.flush m.dcache;
+  Decode_cache.clear m.pdc

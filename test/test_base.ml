@@ -284,6 +284,55 @@ let test_mem_faults () =
   | _ -> Alcotest.fail "expected misalignment fault"
   | exception Vmachine.Mem.Fault _ -> ()
 
+let test_mem_bulk_bounds () =
+  let m = Vmachine.Mem.create ~size:64 () in
+  let expect_fault what f =
+    match f () with
+    | _ -> Alcotest.fail ("expected Fault: " ^ what)
+    | exception Vmachine.Mem.Fault _ -> ()
+  in
+  (* every bulk writer is bounds-checked and raises Fault, never a raw
+     Invalid_argument from Bytes *)
+  expect_fault "blit_bytes past end" (fun () ->
+      Vmachine.Mem.blit_bytes m ~addr:60 (Bytes.make 8 'x'));
+  expect_fault "blit_bytes negative addr" (fun () ->
+      Vmachine.Mem.blit_bytes m ~addr:(-4) (Bytes.make 2 'x'));
+  expect_fault "fill past end" (fun () -> Vmachine.Mem.fill m ~addr:60 ~len:8 'x');
+  expect_fault "fill negative addr" (fun () -> Vmachine.Mem.fill m ~addr:(-1) ~len:2 'x');
+  expect_fault "fill negative len" (fun () -> Vmachine.Mem.fill m ~addr:0 ~len:(-2) 'x');
+  expect_fault "blit_string past end" (fun () -> Vmachine.Mem.blit_string m ~addr:62 "abcd");
+  expect_fault "read_string past end" (fun () ->
+      ignore (Vmachine.Mem.read_string m ~addr:62 ~len:4));
+  expect_fault "read_string negative len" (fun () ->
+      ignore (Vmachine.Mem.read_string m ~addr:0 ~len:(-1)));
+  (* zero-length operations are no-ops, valid anywhere in [0, size] *)
+  Vmachine.Mem.blit_string m ~addr:64 "";
+  Vmachine.Mem.blit_bytes m ~addr:64 Bytes.empty;
+  Vmachine.Mem.fill m ~addr:64 ~len:0 'x';
+  check Alcotest.string "empty read at size" "" (Vmachine.Mem.read_string m ~addr:64 ~len:0);
+  expect_fault "zero-length op past size" (fun () ->
+      ignore (Vmachine.Mem.read_string m ~addr:65 ~len:0))
+
+let test_mem_write_watcher () =
+  let m = Vmachine.Mem.create ~size:256 () in
+  let log = ref [] in
+  Vmachine.Mem.set_write_watcher m (fun addr len -> log := (addr, len) :: !log);
+  Vmachine.Mem.write_u8 m 1 0xAB;
+  Vmachine.Mem.write_u16 m 2 0xCDEF;
+  Vmachine.Mem.write_u32 m 4 0xDEADBEEF;
+  Vmachine.Mem.write_u64 m 8 1L;
+  Vmachine.Mem.blit_bytes m ~addr:32 (Bytes.make 3 'x');
+  Vmachine.Mem.fill m ~addr:40 ~len:5 'y';
+  Vmachine.Mem.blit_string m ~addr:48 "hi";
+  (* zero-length bulk ops must not notify *)
+  Vmachine.Mem.blit_string m ~addr:60 "";
+  let got = List.rev !log in
+  check
+    Alcotest.(list (pair int int))
+    "watcher sees every mutation"
+    [ (1, 1); (2, 2); (4, 4); (8, 4); (12, 4); (32, 3); (40, 5); (48, 2) ]
+    got
+
 let prop_mem_u64_roundtrip =
   QCheck.Test.make ~name:"u64 read/write roundtrip both endiannesses" ~count:300
     QCheck.(pair int64 bool)
@@ -348,6 +397,8 @@ let () =
           Alcotest.test_case "mem rw" `Quick test_mem_rw;
           Alcotest.test_case "mem big endian" `Quick test_mem_big_endian;
           Alcotest.test_case "mem faults" `Quick test_mem_faults;
+          Alcotest.test_case "mem bulk bounds" `Quick test_mem_bulk_bounds;
+          Alcotest.test_case "mem write watcher" `Quick test_mem_write_watcher;
           qtest prop_mem_u64_roundtrip;
           Alcotest.test_case "cache behaviour" `Quick test_cache_behaviour;
         ] );

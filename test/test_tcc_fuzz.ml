@@ -279,7 +279,10 @@ let rec stmt_to_c ind s =
   | Sdecl (_, n, None) -> Printf.sprintf "%sint %s;" pad n
   | Sif (c, a, None) -> Printf.sprintf "%sif (%s)\n%s" pad (expr_to_c c) (stmt_to_c (ind + 2) a)
   | Sif (c, a, Some b) ->
-    Printf.sprintf "%sif (%s)\n%s\n%selse\n%s" pad (expr_to_c c) (stmt_to_c (ind + 2) a) pad
+    (* brace the then-arm: without it, a then-arm ending in an else-less
+       [if] captures our [else] when the printed source is re-parsed
+       (dangling else), and the compiled program diverges from the AST *)
+    Printf.sprintf "%sif (%s) {\n%s\n%s} else\n%s" pad (expr_to_c c) (stmt_to_c (ind + 2) a) pad
       (stmt_to_c (ind + 2) b)
   | Swhile (c, b) -> Printf.sprintf "%swhile (%s)\n%s" pad (expr_to_c c) (stmt_to_c (ind + 2) b)
   | Sblock ss -> pad ^ "{\n" ^ String.concat "\n" (List.map (stmt_to_c (ind + 2)) ss) ^ "\n" ^ pad ^ "}"
