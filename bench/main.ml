@@ -605,17 +605,22 @@ let bench_wallclock () =
 
 (* ------------------------------------------------------------------ *)
 (* Section: sim-throughput -- host-side simulator speed (simulated
-   instructions retired per host second), with and without the shared
-   predecode layer (Vmachine.Decode_cache).  This measures the harness
-   itself, not the paper: the simulated cycle counts above are
-   bit-identical either way (test/test_decode_cache.ml pins that). *)
+   instructions retired per host second) in three engine modes:
+   plain interpretation ("off"), the shared predecode layer
+   (Vmachine.Decode_cache, "predecode"), and superblock translation on
+   top of predecode (Vmachine.Block_cache, "blocks").  This measures
+   the harness itself, not the paper: the simulated cycle counts are
+   bit-identical in all three modes (test/test_decode_cache.ml and
+   test/test_block_cache.ml pin that). *)
+
+(* (interpreter, predecode, predecode+blocks) insns/sec *)
+type tput_rates = { r_off : float; r_pre : float; r_blk : float }
 
 module type TPUT_PORT = sig
   val name : string
 
-  (* (predecode-off, predecode-on) insns/sec executing a tight generated
-     ALU loop *)
-  val loop_rates : unit -> float * float
+  (* rates executing a tight generated ALU loop *)
+  val loop_rates : unit -> tput_rates
 end
 
 module Make_tput
@@ -623,7 +628,7 @@ module Make_tput
     (S : sig
       type t
 
-      val create : predecode:bool -> t
+      val create : predecode:bool -> blocks:bool -> t
       val install : t -> Vcode.code -> unit
       val call_ints : t -> entry:int -> int list -> int
       val insns : t -> int
@@ -652,11 +657,12 @@ module Make_tput
     reti g acc;
     VT.end_gen g
 
-  (* One ~0.15s measurement window returning insns/sec.  The two modes
-     are measured in interleaved rounds (off, on, off, on, ...) and each
-     reports its best window: that way CPU-frequency drift or scheduler
-     noise hits both modes alike instead of skewing whichever happened
-     to run second, and a bad window can only deflate a single round. *)
+  (* One ~0.15s measurement window returning insns/sec.  The modes are
+     measured in interleaved rounds (off, predecode, blocks, off, ...)
+     and each reports its best window: that way CPU-frequency drift or
+     scheduler noise hits every mode alike instead of skewing whichever
+     happened to run last, and a bad window can only deflate a single
+     round. *)
   let measure_window m entry =
     S.reset_stats m;
     let t0 = Sys.time () in
@@ -670,22 +676,26 @@ module Make_tput
   let loop_rates () =
     let code = gen_loop () in
     let entry = code.Vcode.entry_addr in
-    let setup predecode =
-      let m = S.create ~predecode in
+    let setup ~predecode ~blocks =
+      let m = S.create ~predecode ~blocks in
       S.install m code;
       ignore (S.call_ints m ~entry [ 10_000 ]);
       (* warm *)
       m
     in
-    let m_off = setup false and m_on = setup true in
-    let best_off = ref 0.0 and best_on = ref 0.0 in
+    let m_off = setup ~predecode:false ~blocks:false in
+    let m_pre = setup ~predecode:true ~blocks:false in
+    let m_blk = setup ~predecode:true ~blocks:true in
+    let best_off = ref 0.0 and best_pre = ref 0.0 and best_blk = ref 0.0 in
     for _ = 1 to 3 do
       let r = measure_window m_off entry in
       if r > !best_off then best_off := r;
-      let r = measure_window m_on entry in
-      if r > !best_on then best_on := r
+      let r = measure_window m_pre entry in
+      if r > !best_pre then best_pre := r;
+      let r = measure_window m_blk entry in
+      if r > !best_blk then best_blk := r
     done;
-    (!best_off, !best_on)
+    { r_off = !best_off; r_pre = !best_pre; r_blk = !best_blk }
 end
 
 module Mips_tput =
@@ -696,7 +706,7 @@ module Mips_tput =
 
       type t = S.t
 
-      let create ~predecode = S.create ~predecode Vmachine.Mconfig.test_config
+      let create ~predecode ~blocks = S.create ~predecode ~blocks Vmachine.Mconfig.test_config
 
       let install m (c : Vcode.code) =
         Vmachine.Mem.install_code m.S.mem ~addr:c.Vcode.base c.Vcode.gen.Gen.buf
@@ -717,7 +727,7 @@ module Sparc_tput =
 
       type t = S.t
 
-      let create ~predecode = S.create ~predecode Vmachine.Mconfig.test_config
+      let create ~predecode ~blocks = S.create ~predecode ~blocks Vmachine.Mconfig.test_config
 
       let install m (c : Vcode.code) =
         Vmachine.Mem.install_code m.S.mem ~addr:c.Vcode.base c.Vcode.gen.Gen.buf
@@ -738,7 +748,7 @@ module Alpha_tput =
 
       type t = S.t
 
-      let create ~predecode = S.create ~predecode Vmachine.Mconfig.test_config
+      let create ~predecode ~blocks = S.create ~predecode ~blocks Vmachine.Mconfig.test_config
 
       let install m (c : Vcode.code) =
         Vmachine.Mem.install_code m.S.mem ~addr:c.Vcode.base c.Vcode.gen.Gen.buf
@@ -759,7 +769,7 @@ module Ppc_tput =
 
       type t = S.t
 
-      let create ~predecode = S.create ~predecode Vmachine.Mconfig.test_config
+      let create ~predecode ~blocks = S.create ~predecode ~blocks Vmachine.Mconfig.test_config
 
       let install m (c : Vcode.code) =
         Vmachine.Mem.install_code m.S.mem ~addr:c.Vcode.base c.Vcode.gen.Gen.buf
@@ -781,8 +791,8 @@ let dpf_classify_rates () =
   let filters = Dpf.Filter.tcpip_filters 10 in
   let c = DP.compile ~base:0x1000 ~table_base:0x200000 filters in
   let entry = c.Dpf.entry in
-  let setup predecode =
-    let m = Sim.create ~predecode Vmachine.Mconfig.dec5000 in
+  let setup ~predecode ~blocks =
+    let m = Sim.create ~predecode ~blocks Vmachine.Mconfig.dec5000 in
     Vmachine.Mem.install_code m.Sim.mem ~addr:c.Dpf.code.Vcode.base
       c.Dpf.code.Vcode.gen.Gen.buf;
     DP.install_tables m.Sim.mem c;
@@ -792,7 +802,9 @@ let dpf_classify_rates () =
     (* warm *)
     m
   in
-  let m_off = setup false and m_on = setup true in
+  let m_off = setup ~predecode:false ~blocks:false in
+  let m_pre = setup ~predecode:true ~blocks:false in
+  let m_blk = setup ~predecode:true ~blocks:true in
   let args = [ Sim.Int pkt_addr; Sim.Int 40 ] in
   (* classifications are short (~50 insns); batch them so the clock reads
      stay off the measured path *)
@@ -808,36 +820,56 @@ let dpf_classify_rates () =
     done;
     float_of_int m.Sim.insns /. !elapsed
   in
-  let best_off = ref 0.0 and best_on = ref 0.0 in
+  let best_off = ref 0.0 and best_pre = ref 0.0 and best_blk = ref 0.0 in
   for _ = 1 to 3 do
     let r = window m_off in
     if r > !best_off then best_off := r;
-    let r = window m_on in
-    if r > !best_on then best_on := r
+    let r = window m_pre in
+    if r > !best_pre then best_pre := r;
+    let r = window m_blk in
+    if r > !best_blk then best_blk := r
   done;
-  (!best_off, !best_on)
+  { r_off = !best_off; r_pre = !best_pre; r_blk = !best_blk }
 
 let bench_sim_throughput () =
   Printf.printf "== sim-throughput (simulated insns per host second) ==\n";
-  Printf.printf "   the decode cache memoizes instruction decode by code address;\n";
-  Printf.printf "   simulated cycle counts are identical either way.\n\n";
-  Printf.printf "   %-8s %-14s %14s %14s %9s\n" "target" "workload" "off (M/s)" "on (M/s)"
-    "speedup";
-  let row target workload off on =
-    record (Printf.sprintf "sim_throughput.%s.%s.off_insns_per_sec" (slug target) (slug workload)) off;
-    record (Printf.sprintf "sim_throughput.%s.%s.on_insns_per_sec" (slug target) (slug workload)) on;
-    record (Printf.sprintf "sim_throughput.%s.%s.speedup" (slug target) (slug workload)) (on /. off);
-    Printf.printf "   %-8s %-14s %14.2f %14.2f %8.2fx\n" target workload (off /. 1e6)
-      (on /. 1e6) (on /. off)
+  Printf.printf "   predecode memoizes instruction decode by code address; blocks\n";
+  Printf.printf "   compiles decoded runs into chained closures.  Simulated cycle\n";
+  Printf.printf "   counts are identical in all three modes.\n\n";
+  Printf.printf "   %-8s %-14s %11s %11s %11s %8s %8s\n" "target" "workload" "off (M/s)"
+    "pre (M/s)" "blk (M/s)" "pre/off" "blk/pre";
+  let row target workload (r : tput_rates) =
+    let key m_ = Printf.sprintf "sim_throughput.%s.%s.%s" (slug target) (slug workload) m_ in
+    record (key "off_insns_per_sec") r.r_off;
+    record (key "predecode_insns_per_sec") r.r_pre;
+    record (key "blocks_insns_per_sec") r.r_blk;
+    record (key "predecode_speedup") (r.r_pre /. r.r_off);
+    record (key "blocks_speedup") (r.r_blk /. r.r_pre);
+    record (key "blocks_total_speedup") (r.r_blk /. r.r_off);
+    Printf.printf "   %-8s %-14s %11.2f %11.2f %11.2f %7.2fx %7.2fx\n" target workload
+      (r.r_off /. 1e6) (r.r_pre /. 1e6) (r.r_blk /. 1e6) (r.r_pre /. r.r_off)
+      (r.r_blk /. r.r_pre)
   in
   List.iter
-    (fun (module P : TPUT_PORT) ->
-      let off, on = P.loop_rates () in
-      row P.name "alu-loop" off on)
+    (fun (module P : TPUT_PORT) -> row P.name "alu-loop" (P.loop_rates ()))
     tput_ports;
-  let off, on = dpf_classify_rates () in
-  row "mips" "dpf-classify" off on;
+  row "mips" "dpf-classify" (dpf_classify_rates ());
   Printf.printf "\n"
+
+(* ------------------------------------------------------------------ *)
+(* Section: json-selftest -- deliberately record non-finite values so a
+   `--json FILE` run exercises the null fallback in [json_float]; the
+   json_check tool then verifies the file is strictly parseable. *)
+
+let bench_json_selftest () =
+  Printf.printf "== json-selftest (non-finite values must serialize as null) ==\n\n";
+  record "json_selftest.nan" Float.nan;
+  record "json_selftest.pos_inf" Float.infinity;
+  record "json_selftest.neg_inf" Float.neg_infinity;
+  record "json_selftest.finite" 1.5;
+  record "json_selftest.tiny" 1e-300;
+  record "json_selftest.huge" 1e300;
+  Printf.printf "   recorded nan/inf/-inf/finite probes under json_selftest.*\n\n"
 
 (* ------------------------------------------------------------------ *)
 
@@ -861,7 +893,8 @@ let run_all () =
 let usage () =
   prerr_endline
     "usage: main.exe [--json FILE] [MODE...]\n\
-     modes: all (default) codegen table3 table4 space ablations wallclock sim-throughput";
+     modes: all (default) codegen table3 table4 space ablations wallclock\n\
+     \       sim-throughput json-selftest";
   exit 2
 
 let run_mode = function
@@ -876,6 +909,7 @@ let run_mode = function
       bench_ablation_strength ()
   | "wallclock" -> bench_wallclock ()
   | "sim-throughput" -> bench_sim_throughput ()
+  | "json-selftest" -> bench_json_selftest ()
   | m ->
       Printf.eprintf "unknown mode %S\n" m;
       usage ()

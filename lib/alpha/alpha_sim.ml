@@ -22,25 +22,45 @@ type t = {
   dcache : Cache.t;
   pdc : A.t Decode_cache.t; (* host-side predecode; no cycle effect *)
   predecode : bool;
+  bc : block Block_cache.t; (* superblock translation cache; no cycle effect *)
+  blocks : bool;
   cfg : Mconfig.t;
   regs : int64 array;
   fregs : int64 array; (* bit patterns *)
   mutable pc : int;
   mutable nextpc : int; (* next-pc scratch for [step]; avoids a per-step ref *)
+  mutable blk_i : int; (* index of the block instruction in flight; abort-fixup scratch *)
   mutable cycles : int;
   mutable insns : int;
   mutable stack_top : int;
 }
 
-let create ?(predecode = true) (cfg : Mconfig.t) =
+(* A compiled straight-line run: one closure per instruction, ending at
+   the first control transfer (compiled in; no delay slots on Alpha) or
+   the [Block_cache.max_insns] cap. *)
+and block = {
+  entry : int;          (* code address of the first instruction *)
+  n : int;              (* instruction count, terminator included *)
+  run : unit -> unit;   (* the whole straight-line run fused into one closure:
+                           per-instruction icache probes, [blk_i] updates and
+                           the final pc/nextpc/insns commit are baked in at
+                           compile time *)
+  has_term : bool;      (* ends in a control transfer (vs. capped fallthrough) *)
+}
+
+let create ?(predecode = true) ?(blocks = true) (cfg : Mconfig.t) =
   let mem = Mem.create ~big_endian:false ~size:cfg.mem_bytes () in
   Alpha_runtime.install mem;
   let pdc = Decode_cache.create ~mem_bytes:cfg.mem_bytes in
-  Mem.set_write_watcher mem (Decode_cache.invalidate pdc);
+  let bc = Block_cache.create ~mem_bytes:cfg.mem_bytes ~len_bytes:(fun b -> 4 * b.n) in
+  Mem.add_write_watcher mem (Decode_cache.invalidate pdc);
+  Mem.add_write_watcher mem (Block_cache.invalidate bc);
   {
     mem;
     pdc;
     predecode;
+    bc;
+    blocks;
     icache = Cache.create ~size_bytes:cfg.icache_bytes ~line_bytes:cfg.line_bytes
                ~miss_penalty:cfg.imiss_penalty;
     dcache = Cache.create ~size_bytes:cfg.dcache_bytes ~line_bytes:cfg.line_bytes
@@ -50,6 +70,7 @@ let create ?(predecode = true) (cfg : Mconfig.t) =
     fregs = Array.make 32 0L;
     pc = 0;
     nextpc = 0;
+    blk_i = 0;
     cycles = 0;
     insns = 0;
     stack_top = cfg.mem_bytes - 512;
@@ -270,6 +291,447 @@ let step_inner m pc =
     | A.Sqrtt -> m.cycles <- m.cycles + 30; set_fval m fc (sqrt (b ()))));
   m.pc <- m.nextpc
 
+(* ------------------------------------------------------------------ *)
+(* Superblock translation (see {!Vmachine.Block_cache}): compile a
+   straight-line decoded run into one closure per instruction, executed
+   by [exec_chain] without per-instruction dispatch.  Each closure
+   replicates its [step_inner] arm exactly — same arithmetic, same
+   memory-access order, same cycle surcharges — so a block retires with
+   the same architectural state and timing as the interpreter.  Alpha
+   has no delay slots: a block is body instructions plus (optionally)
+   the control transfer itself, whose closure leaves the target in
+   [m.nextpc] for the block commit. *)
+
+(* Compiled action for one *body* (non-control) instruction; [None]
+   for the control transfers compiled via [term_of].  Store closures
+   test the block cache's dirty flag after writing and abort with
+   [Block_cache.Retired]. *)
+let act_of m (insn : A.t) : (unit -> unit) option =
+  match insn with
+  | A.Lda (ra, rb, d) ->
+    Some (fun () -> set_reg m ra (Int64.add (get_reg m rb) (Int64.of_int d)))
+  | A.Ldah (ra, rb, d) ->
+    let dd = d * 65536 in
+    Some (fun () -> set_reg m ra (Int64.add (get_reg m rb) (Int64.of_int dd)))
+  | A.Ldl (ra, rb, d) ->
+    Some
+      (fun () ->
+        let a = addr_of (get_reg m rb) + d in
+        daccess m a;
+        set_reg m ra (Int64.of_int (Int32.to_int (Int32.of_int (Mem.read_u32 m.mem a)))))
+  | A.Ldq (ra, rb, d) ->
+    Some
+      (fun () ->
+        let a = addr_of (get_reg m rb) + d in
+        daccess m a;
+        set_reg m ra (Mem.read_u64 m.mem a))
+  | A.Ldq_u (ra, rb, d) ->
+    Some
+      (fun () ->
+        let a = (addr_of (get_reg m rb) + d) land lnot 7 in
+        daccess m a;
+        set_reg m ra (Mem.read_u64 m.mem a))
+  | A.Stl (ra, rb, d) ->
+    Some
+      (fun () ->
+        let a = addr_of (get_reg m rb) + d in
+        waccess m a;
+        Mem.write_u32 m.mem a (Int64.to_int (Int64.logand (get_reg m ra) 0xFFFFFFFFL));
+        if Block_cache.dirty m.bc then raise Block_cache.Retired)
+  | A.Stq (ra, rb, d) ->
+    Some
+      (fun () ->
+        let a = addr_of (get_reg m rb) + d in
+        waccess m a;
+        Mem.write_u64 m.mem a (get_reg m ra);
+        if Block_cache.dirty m.bc then raise Block_cache.Retired)
+  | A.Stq_u (ra, rb, d) ->
+    Some
+      (fun () ->
+        let a = (addr_of (get_reg m rb) + d) land lnot 7 in
+        waccess m a;
+        Mem.write_u64 m.mem a (get_reg m ra);
+        if Block_cache.dirty m.bc then raise Block_cache.Retired)
+  | A.Lds (fa, rb, d) ->
+    Some
+      (fun () ->
+        let a = addr_of (get_reg m rb) + d in
+        daccess m a;
+        let bits32 = Mem.read_u32 m.mem a in
+        set_fval m fa (Int32.float_of_bits (Int32.of_int bits32)))
+  | A.Ldt (fa, rb, d) ->
+    Some
+      (fun () ->
+        let a = addr_of (get_reg m rb) + d in
+        daccess m a;
+        set_f m fa (Mem.read_u64 m.mem a))
+  | A.Sts (fa, rb, d) ->
+    Some
+      (fun () ->
+        let a = addr_of (get_reg m rb) + d in
+        waccess m a;
+        Mem.write_u32 m.mem a (Int32.to_int (Int32.bits_of_float (fval m fa)) land 0xFFFFFFFF);
+        if Block_cache.dirty m.bc then raise Block_cache.Retired)
+  | A.Stt (fa, rb, d) ->
+    Some
+      (fun () ->
+        let a = addr_of (get_reg m rb) + d in
+        waccess m a;
+        Mem.write_u64 m.mem a (get_f m fa);
+        if Block_cache.dirty m.bc then raise Block_cache.Retired)
+  | A.Intop (o, ra, rb, rc) ->
+    Some
+      (match o with
+      | A.Addq -> fun () -> set_reg m rc (Int64.add (get_reg m ra) (lit_val m rb))
+      | A.Subq -> fun () -> set_reg m rc (Int64.sub (get_reg m ra) (lit_val m rb))
+      | A.Addl -> fun () -> set_reg m rc (sext32_64 (Int64.add (get_reg m ra) (lit_val m rb)))
+      | A.Subl -> fun () -> set_reg m rc (sext32_64 (Int64.sub (get_reg m ra) (lit_val m rb)))
+      | A.Mull ->
+        fun () ->
+          m.cycles <- m.cycles + 7;
+          set_reg m rc (sext32_64 (Int64.mul (get_reg m ra) (lit_val m rb)))
+      | A.Mulq ->
+        fun () ->
+          m.cycles <- m.cycles + 11;
+          set_reg m rc (Int64.mul (get_reg m ra) (lit_val m rb))
+      | A.Umulh ->
+        fun () ->
+          m.cycles <- m.cycles + 11;
+          let x = get_reg m ra and y = lit_val m rb in
+          let lo_mask = 0xFFFFFFFFL in
+          let xl = Int64.logand x lo_mask and xh = Int64.shift_right_logical x 32 in
+          let yl = Int64.logand y lo_mask and yh = Int64.shift_right_logical y 32 in
+          let ll = Int64.mul xl yl in
+          let lh = Int64.mul xl yh in
+          let hl = Int64.mul xh yl in
+          let hh = Int64.mul xh yh in
+          let s1 = Int64.add lh hl in
+          let c1 = if Int64.unsigned_compare s1 lh < 0 then 0x100000000L else 0L in
+          let s2 = Int64.add s1 (Int64.shift_right_logical ll 32) in
+          let c2 = if Int64.unsigned_compare s2 s1 < 0 then 0x100000000L else 0L in
+          set_reg m rc
+            (Int64.add hh (Int64.add (Int64.shift_right_logical s2 32) (Int64.add c1 c2)))
+      | A.Cmpeq -> fun () -> set_reg m rc (bool64 (Int64.equal (get_reg m ra) (lit_val m rb)))
+      | A.Cmplt ->
+        fun () -> set_reg m rc (bool64 (Int64.compare (get_reg m ra) (lit_val m rb) < 0))
+      | A.Cmple ->
+        fun () -> set_reg m rc (bool64 (Int64.compare (get_reg m ra) (lit_val m rb) <= 0))
+      | A.Cmpult ->
+        fun () -> set_reg m rc (bool64 (Int64.unsigned_compare (get_reg m ra) (lit_val m rb) < 0))
+      | A.Cmpule ->
+        fun () ->
+          set_reg m rc (bool64 (Int64.unsigned_compare (get_reg m ra) (lit_val m rb) <= 0))
+      | A.And -> fun () -> set_reg m rc (Int64.logand (get_reg m ra) (lit_val m rb))
+      | A.Bic -> fun () -> set_reg m rc (Int64.logand (get_reg m ra) (Int64.lognot (lit_val m rb)))
+      | A.Bis -> fun () -> set_reg m rc (Int64.logor (get_reg m ra) (lit_val m rb))
+      | A.Ornot ->
+        fun () -> set_reg m rc (Int64.logor (get_reg m ra) (Int64.lognot (lit_val m rb)))
+      | A.Xor -> fun () -> set_reg m rc (Int64.logxor (get_reg m ra) (lit_val m rb))
+      | A.Eqv -> fun () -> set_reg m rc (Int64.lognot (Int64.logxor (get_reg m ra) (lit_val m rb)))
+      | A.Cmoveq -> fun () -> if get_reg m ra = 0L then set_reg m rc (lit_val m rb)
+      | A.Cmovne -> fun () -> if get_reg m ra <> 0L then set_reg m rc (lit_val m rb)
+      | A.Cmovlt -> fun () -> if Int64.compare (get_reg m ra) 0L < 0 then set_reg m rc (lit_val m rb)
+      | A.Cmovge ->
+        fun () -> if Int64.compare (get_reg m ra) 0L >= 0 then set_reg m rc (lit_val m rb)
+      | A.Sll ->
+        fun () ->
+          let shamt = Int64.to_int (Int64.logand (lit_val m rb) 63L) in
+          set_reg m rc (Int64.shift_left (get_reg m ra) shamt)
+      | A.Srl ->
+        fun () ->
+          let shamt = Int64.to_int (Int64.logand (lit_val m rb) 63L) in
+          set_reg m rc (Int64.shift_right_logical (get_reg m ra) shamt)
+      | A.Sra ->
+        fun () ->
+          let shamt = Int64.to_int (Int64.logand (lit_val m rb) 63L) in
+          set_reg m rc (Int64.shift_right (get_reg m ra) shamt)
+      | A.Extbl ->
+        fun () ->
+          let sh = 8 * Int64.to_int (Int64.logand (lit_val m rb) 7L) in
+          set_reg m rc (Int64.logand (Int64.shift_right_logical (get_reg m ra) sh) 0xFFL)
+      | A.Extwl ->
+        fun () ->
+          let sh = 8 * Int64.to_int (Int64.logand (lit_val m rb) 7L) in
+          set_reg m rc (Int64.logand (Int64.shift_right_logical (get_reg m ra) sh) 0xFFFFL)
+      | A.Insbl ->
+        fun () ->
+          let sh = 8 * Int64.to_int (Int64.logand (lit_val m rb) 7L) in
+          set_reg m rc (Int64.shift_left (Int64.logand (get_reg m ra) 0xFFL) sh)
+      | A.Inswl ->
+        fun () ->
+          let sh = 8 * Int64.to_int (Int64.logand (lit_val m rb) 7L) in
+          set_reg m rc (Int64.shift_left (Int64.logand (get_reg m ra) 0xFFFFL) sh)
+      | A.Mskbl ->
+        fun () ->
+          let sh = 8 * Int64.to_int (Int64.logand (lit_val m rb) 7L) in
+          set_reg m rc (Int64.logand (get_reg m ra) (Int64.lognot (Int64.shift_left 0xFFL sh)))
+      | A.Mskwl ->
+        fun () ->
+          let sh = 8 * Int64.to_int (Int64.logand (lit_val m rb) 7L) in
+          set_reg m rc (Int64.logand (get_reg m ra) (Int64.lognot (Int64.shift_left 0xFFFFL sh))))
+  | A.Fpop (o, fa, fb, fc) ->
+    Some
+      (match o with
+      | A.Adds ->
+        fun () ->
+          m.cycles <- m.cycles + 3;
+          set_fval m fc (single (fval m fa +. fval m fb))
+      | A.Addt ->
+        fun () ->
+          m.cycles <- m.cycles + 3;
+          set_fval m fc (fval m fa +. fval m fb)
+      | A.Subs ->
+        fun () ->
+          m.cycles <- m.cycles + 3;
+          set_fval m fc (single (fval m fa -. fval m fb))
+      | A.Subt ->
+        fun () ->
+          m.cycles <- m.cycles + 3;
+          set_fval m fc (fval m fa -. fval m fb)
+      | A.Muls ->
+        fun () ->
+          m.cycles <- m.cycles + 3;
+          set_fval m fc (single (fval m fa *. fval m fb))
+      | A.Mult ->
+        fun () ->
+          m.cycles <- m.cycles + 3;
+          set_fval m fc (fval m fa *. fval m fb)
+      | A.Divs ->
+        fun () ->
+          m.cycles <- m.cycles + 15;
+          set_fval m fc (single (fval m fa /. fval m fb))
+      | A.Divt ->
+        fun () ->
+          m.cycles <- m.cycles + 22;
+          set_fval m fc (fval m fa /. fval m fb)
+      | A.Cmpteq -> fun () -> set_fval m fc (if fval m fa = fval m fb then 2.0 else 0.0)
+      | A.Cmptlt -> fun () -> set_fval m fc (if fval m fa < fval m fb then 2.0 else 0.0)
+      | A.Cmptle -> fun () -> set_fval m fc (if fval m fa <= fval m fb then 2.0 else 0.0)
+      | A.Cvtqs -> fun () -> set_fval m fc (single (Int64.to_float (get_f m fb)))
+      | A.Cvtqt -> fun () -> set_fval m fc (Int64.to_float (get_f m fb))
+      | A.Cvttq -> fun () -> set_f m fc (Int64.of_float (Float.trunc (fval m fb)))
+      | A.Cvtts -> fun () -> set_fval m fc (single (fval m fb))
+      | A.Cpys ->
+        fun () ->
+          let sa = Int64.logand (get_f m fa) Int64.min_int in
+          let rest = Int64.logand (get_f m fb) Int64.max_int in
+          set_f m fc (Int64.logor sa rest)
+      | A.Cpysn ->
+        fun () ->
+          let sa = Int64.logand (Int64.lognot (get_f m fa)) Int64.min_int in
+          let rest = Int64.logand (get_f m fb) Int64.max_int in
+          set_f m fc (Int64.logor sa rest)
+      | A.Sqrts ->
+        fun () ->
+          m.cycles <- m.cycles + 15;
+          set_fval m fc (single (sqrt (fval m fb)))
+      | A.Sqrtt ->
+        fun () ->
+          m.cycles <- m.cycles + 30;
+          set_fval m fc (sqrt (fval m fb)))
+  | A.Br _ | A.Bsr _ | A.Beq _ | A.Bne _ | A.Blt _ | A.Ble _ | A.Bgt _ | A.Bge _ | A.Fbeq _
+  | A.Fbne _ | A.Jmp _ | A.Jsr _ | A.Retj _ ->
+    None
+
+(* Compiled closure for a block *terminator* at address [pc]: leaves
+   the control-transfer target in [m.nextpc] (fallthrough [pc + 4] for
+   an untaken branch) — exactly the interpreter's nextpc discipline;
+   the block commit moves nextpc into pc. *)
+let term_of m pc (insn : A.t) : (unit -> unit) option =
+  let ft = pc + 4 in
+  match insn with
+  | A.Br (ra, d) | A.Bsr (ra, d) ->
+    let tk = pc + 4 + (4 * d) in
+    Some
+      (fun () ->
+        set_reg m ra (Int64.of_int ft);
+        m.nextpc <- tk)
+  | A.Beq (ra, d) ->
+    let tk = pc + 4 + (4 * d) in
+    Some (fun () -> m.nextpc <- (if get_reg m ra = 0L then tk else ft))
+  | A.Bne (ra, d) ->
+    let tk = pc + 4 + (4 * d) in
+    Some (fun () -> m.nextpc <- (if get_reg m ra <> 0L then tk else ft))
+  | A.Blt (ra, d) ->
+    let tk = pc + 4 + (4 * d) in
+    Some (fun () -> m.nextpc <- (if Int64.compare (get_reg m ra) 0L < 0 then tk else ft))
+  | A.Ble (ra, d) ->
+    let tk = pc + 4 + (4 * d) in
+    Some (fun () -> m.nextpc <- (if Int64.compare (get_reg m ra) 0L <= 0 then tk else ft))
+  | A.Bgt (ra, d) ->
+    let tk = pc + 4 + (4 * d) in
+    Some (fun () -> m.nextpc <- (if Int64.compare (get_reg m ra) 0L > 0 then tk else ft))
+  | A.Bge (ra, d) ->
+    let tk = pc + 4 + (4 * d) in
+    Some (fun () -> m.nextpc <- (if Int64.compare (get_reg m ra) 0L >= 0 then tk else ft))
+  | A.Fbeq (fa, d) ->
+    let tk = pc + 4 + (4 * d) in
+    Some (fun () -> m.nextpc <- (if fval m fa = 0.0 then tk else ft))
+  | A.Fbne (fa, d) ->
+    let tk = pc + 4 + (4 * d) in
+    Some (fun () -> m.nextpc <- (if fval m fa <> 0.0 then tk else ft))
+  | A.Jmp (ra, rb) | A.Jsr (ra, rb) | A.Retj (ra, rb) ->
+    Some
+      (fun () ->
+        let t = addr_of (get_reg m rb) land lnot 3 in
+        set_reg m ra (Int64.of_int ft);
+        m.nextpc <- t)
+  | _ -> None
+
+(* instructions allowed before the terminator within the
+   [Block_cache.max_insns] cap *)
+let max_body = Block_cache.max_insns - 1
+
+(* Only closures for these instructions can raise: a memory fault from
+   a load/store, or [Block_cache.Retired] from a store that invalidated
+   a resident block ([Lda]/[Ldah] are pure address arithmetic).
+   Everything else [act_of] compiles is pure OCaml arithmetic that
+   cannot raise, and Alpha terminators only write [m.nextpc], so the
+   per-instruction [m.blk_i] bookkeeping is baked in at compile time
+   for can-raise instructions alone and elided everywhere else. *)
+let act_raises (insn : A.t) : bool =
+  match insn with
+  | A.Ldl _ | A.Ldq _ | A.Stl _ | A.Stq _ | A.Lds _ | A.Ldt _ | A.Sts _ | A.Stt _ -> true
+  | _ -> false
+
+(* Fuse a list of action closures into one, sequencing by direct calls
+   in chunks of four: one chunk-closure entry per four instructions
+   instead of a per-instruction array load and loop-counter update.
+   Exceptions propagate out of the fused closure unchanged. *)
+let rec seq (cs : (unit -> unit) list) : unit -> unit =
+  match cs with
+  | [] -> fun () -> ()
+  | [ a ] -> a
+  | [ a; b ] -> fun () -> a (); b ()
+  | [ a; b; c ] -> fun () -> a (); b (); c ()
+  | [ a; b; c; d ] -> fun () -> a (); b (); c (); d ()
+  | a :: b :: c :: d :: rest ->
+    let r = seq rest in
+    fun () -> a (); b (); c (); d (); r ()
+
+(* Compile the straight-line run entered at [entry]: body instructions
+   up to and including the first control transfer, a non-compilable
+   word (illegal, unmapped — left for the interpreter to trap on), or
+   the length cap.  [None] if not even one instruction compiles.
+
+   Timing is baked into the closures: the instruction that starts a new
+   icache line carries the registerized probe (a later same-line fetch
+   is a guaranteed hit — a block spans at most 256 consecutive bytes,
+   far below the icache size, so it cannot evict its own lines, and a
+   guaranteed hit is a no-op under bulk hit reconciliation).  Capturing
+   the tag array here is safe because [Cache.flush] clears it in
+   place. *)
+let compile_block m entry =
+  let tags, shift, mask = Cache.probe m.icache in
+  let fetch_opt pc =
+    match fetch m pc with
+    | i -> Some i
+    | exception (Machine_error _ | Mem.Fault _) -> None
+  in
+  let body = ref [] and nbody = ref 0 in
+  let fin = ref None in
+  let stop = ref false in
+  let pc = ref entry in
+  while (not !stop) && !nbody < max_body do
+    match fetch_opt !pc with
+    | None -> stop := true
+    | Some insn -> (
+      match act_of m insn with
+      | Some a ->
+        body := (act_raises insn, a) :: !body;
+        incr nbody;
+        pc := !pc + 4
+      | None ->
+        stop := true;
+        fin := term_of m !pc insn)
+  done;
+  let tail, has_term = match !fin with Some t -> ([ (false, t) ], true) | None -> ([], false) in
+  match List.rev_append !body tail with
+  | [] -> None
+  | all ->
+    let n = List.length all in
+    let wrap i (raises, act) =
+      let addr = entry + (4 * i) in
+      let line = addr lsr shift in
+      let boundary = i = 0 || line <> (addr - 4) lsr shift in
+      if boundary then begin
+        let idx = line land mask in
+        if raises then
+          fun () ->
+            m.blk_i <- i;
+            if Array.unsafe_get tags idx <> line then begin
+              let p = Cache.access_uncounted m.icache addr in
+              if p <> 0 then m.cycles <- m.cycles + p
+            end;
+            act ()
+        else
+          fun () ->
+            if Array.unsafe_get tags idx <> line then begin
+              let p = Cache.access_uncounted m.icache addr in
+              if p <> 0 then m.cycles <- m.cycles + p
+            end;
+            act ()
+      end
+      else if raises then
+        fun () ->
+          m.blk_i <- i;
+          act ()
+      else act
+    in
+    (* the commit is one more cannot-raise action fused onto the end:
+       if anything earlier raises, it never runs, and the fixup
+       handlers in [exec_chain] account the partial run instead *)
+    let commit =
+      if has_term then
+        fun () ->
+          m.insns <- m.insns + n;
+          m.pc <- m.nextpc
+      else begin
+        let ft = entry + (4 * n) in
+        fun () ->
+          m.insns <- m.insns + n;
+          m.nextpc <- ft;
+          m.pc <- ft
+      end
+    in
+    Some { entry; n; run = seq (List.mapi wrap all @ [ commit ]); has_term }
+
+(* Execute [b] (precondition: [b.n <= fuel]), then chain directly into
+   the next resident block while fuel lasts.  Returns the remaining
+   fuel; the three exits (clean commit, [Retired] store-abort, fault)
+   leave exactly the state the interpreter would — see the MIPS twin of
+   this function for the case analysis (simpler here: no delay slots,
+   so the post-instruction pc is always the straight-line successor for
+   aborts, and terminators never fault or abort). *)
+let rec exec_chain m (b : block) fuel =
+  Block_cache.begin_block m.bc;
+  match b.run () with
+  | () ->
+    let fuel = fuel - b.n in
+    if m.pc = halt_addr then fuel
+    else if m.pc = b.entry && b.n <= fuel then
+      (* self-loop fast path: a clean exit means no resident block was
+         invalidated, so [b] is certainly still cached for [entry] *)
+      exec_chain m b fuel
+    else (
+      match Block_cache.find m.bc m.pc with
+      | Some nb when nb.n <= fuel -> exec_chain m nb fuel
+      | _ -> fuel)
+  | exception Block_cache.Retired ->
+    let i = m.blk_i in
+    m.insns <- m.insns + i + 1;
+    let a = b.entry + (4 * i) in
+    m.nextpc <- a + 4;
+    m.pc <- a + 4;
+    fuel - (i + 1)
+  | exception e ->
+    let i = m.blk_i in
+    m.insns <- m.insns + i + 1;
+    let a = b.entry + (4 * i) in
+    m.pc <- a;
+    m.nextpc <- a + 4;
+    raise e
+
 let default_fuel = 200_000_000
 
 (* Tight tail-recursive loop: the fuel check is a register countdown
@@ -304,6 +766,41 @@ let rec run_go m tags shift mask fuel =
     run_go m tags shift mask (fuel - 1)
   end
 
+(* one interpreted instruction inside the block-dispatch loop: the
+   registerized icache probe of [run_go], then [step_inner] *)
+let[@inline] step_one m tags shift mask =
+  let pc = m.pc in
+  let line = pc lsr shift in
+  if Array.unsafe_get tags (line land mask) <> line then
+    (let p = Cache.access_uncounted m.icache pc in
+     if p <> 0 then m.cycles <- m.cycles + p);
+  step_inner m pc
+
+(* Block-dispatch run loop: resident block -> [exec_chain]; no block
+   yet -> compile, cache, retry; uncompilable entry / insufficient fuel
+   for a whole block -> one interpreted instruction.  (No delay slots,
+   so any pc is a valid block entry.) *)
+let rec run_blocks_go m tags shift mask fuel =
+  let pc = m.pc in
+  if pc <> halt_addr then begin
+    if fuel = 0 then raise (Machine_error "out of fuel (infinite loop?)");
+    match Block_cache.find m.bc pc with
+    | Some b when b.n <= fuel ->
+      let fuel = exec_chain m b fuel in
+      run_blocks_go m tags shift mask fuel
+    | Some _ ->
+      step_one m tags shift mask;
+      run_blocks_go m tags shift mask (fuel - 1)
+    | None -> (
+      match compile_block m pc with
+      | Some b ->
+        Block_cache.set m.bc pc b;
+        run_blocks_go m tags shift mask fuel
+      | None ->
+        step_one m tags shift mask;
+        run_blocks_go m tags shift mask (fuel - 1))
+  end
+
 let run ?(fuel = default_fuel) m =
   let i0 = m.insns in
   let mi0 = Cache.misses m.icache in
@@ -313,7 +810,9 @@ let run ?(fuel = default_fuel) m =
     Cache.add_hits m.icache (retired - (Cache.misses m.icache - mi0))
   in
   let tags, shift, mask = Cache.probe m.icache in
-  (try run_go m tags shift mask fuel
+  (try
+     if m.blocks then run_blocks_go m tags shift mask fuel
+     else run_go m tags shift mask fuel
    with e ->
      finish ();
      raise e);
@@ -374,4 +873,5 @@ let reset_stats m =
 let flush_caches m =
   Cache.flush m.icache;
   Cache.flush m.dcache;
-  Decode_cache.clear m.pdc
+  Decode_cache.clear m.pdc;
+  Block_cache.clear m.bc

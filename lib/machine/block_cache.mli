@@ -1,0 +1,64 @@
+(** A superblock translation cache shared by the four CPU simulators.
+
+    Maps a basic-block entry address to a target-compiled block value
+    (a record of closures executing the whole decoded straight-line
+    run) so the run loops can retire instructions without
+    per-instruction dispatch, chaining block to block on taken
+    branches.  ['b] is the owning simulator's block type; the cache
+    only needs its byte length (the [len_bytes] accessor fixed at
+    {!create}) to resolve store/block overlap during invalidation.
+
+    Purely a host-side accelerator: the timing {!Cache} model still
+    sees every fetch (the simulators probe the icache from inside
+    compiled blocks), so simulated cycle counts and cache statistics
+    are bit-identical with the cache off — see
+    test/test_block_cache.ml. *)
+
+(** Raised by a compiled store closure that finds {!dirty} set: the
+    store just invalidated a resident block, possibly the executing
+    one, so the rest of the run must be abandoned.  The raising
+    instruction has fully retired; the simulator fixes up pc/npc for
+    the *next* instruction and returns to its dispatch loop. *)
+exception Retired
+
+(** block-length cap, in instructions: simulators must not compile
+    longer runs, which in turn bounds the invalidation scan window *)
+val max_insns : int
+
+type 'b t
+
+(** [create ~mem_bytes ~len_bytes] — [mem_bytes] bounds the entry
+    address space; [len_bytes b] must return the code bytes covered by
+    block [b] (at most [4 * max_insns]) *)
+val create : mem_bytes:int -> len_bytes:('b -> int) -> 'b t
+
+(** the block compiled for entry address [addr], if resident.
+    Misaligned and out-of-memory addresses miss.  No hit counter is
+    maintained (hot path); engagement is observable as the compile
+    count of {!stats} staying flat while instructions retire. *)
+val find : 'b t -> int -> 'b option
+
+(** record the block compiled for entry [addr] *)
+val set : 'b t -> int -> 'b -> unit
+
+(** [invalidate t addr len]: drop every resident block whose covered
+    code range overlaps [addr, addr+len), setting the {!dirty} flag if
+    any was dropped.  Registered by the simulators as a {!Mem} write
+    watcher, next to {!Decode_cache.invalidate}. *)
+val invalidate : 'b t -> int -> int -> unit
+
+(** drop everything — the block-cache analogue of v_end's icache
+    flush; also sets {!dirty} *)
+val clear : 'b t -> unit
+
+(** [begin_block] clears the dirty flag; the simulator calls it as it
+    enters a compiled block, and its store closures raise {!Retired}
+    when {!dirty} turns up set afterwards *)
+val begin_block : 'b t -> unit
+
+val dirty : 'b t -> bool
+
+(** [(compiles, invalidations)] since the last [reset_stats] *)
+val stats : 'b t -> int * int
+
+val reset_stats : 'b t -> unit

@@ -28,6 +28,17 @@ let big_endian t = t.big_endian
 
 let set_write_watcher t f = t.on_write <- f
 
+(* Composable registration: each new watcher runs after the already
+   registered ones.  The common case (the first watcher) installs [f]
+   directly, so a single-watcher memory pays no wrapper closure on its
+   store path. *)
+let add_write_watcher t f =
+  if t.on_write == ignore_write then t.on_write <- f
+  else begin
+    let prev = t.on_write in
+    t.on_write <- (fun addr len -> prev addr len; f addr len)
+  end
+
 (* Fault construction lives out of line so the bounds checks inlined
    into the simulators' load/store path stay a couple of compares. *)
 let[@inline never] bounds_fail t addr len what =

@@ -18,9 +18,16 @@ val big_endian : t -> bool
     after every mutation of the memory — scalar stores, the bulk
     helpers, and {!install_code}.  The simulators hang
     {!Decode_cache.invalidate} here so predecoded instructions can
-    never be executed stale.  One watcher per memory; registering
-    replaces the previous one. *)
+    never be executed stale.  Registering replaces {e all} previously
+    registered watchers; use {!add_write_watcher} to compose. *)
 val set_write_watcher : t -> (int -> int -> unit) -> unit
+
+(** [add_write_watcher t f] registers [f] {e in addition to} any
+    already-registered watchers; on a store, watchers run in
+    registration order.  The simulators register both
+    {!Decode_cache.invalidate} and {!Block_cache.invalidate} this
+    way. *)
+val add_write_watcher : t -> (int -> int -> unit) -> unit
 
 val read_u8 : t -> int -> int
 val write_u8 : t -> int -> int -> unit

@@ -25,6 +25,8 @@ type t = {
   dcache : Cache.t;
   pdc : Mips_asm.t Decode_cache.t; (* host-side predecode; no cycle effect *)
   predecode : bool;
+  bc : block Block_cache.t; (* superblock translation cache; no cycle effect *)
+  blocks : bool;
   cfg : Mconfig.t;
   regs : int array;   (* 32, sign-extended 32-bit *)
   fregs : int array;  (* 32, raw 32-bit patterns; doubles use even pairs *)
@@ -34,19 +36,37 @@ type t = {
   mutable pc : int;
   mutable npc : int;
   mutable btarget : int; (* branch-target scratch for [step]; avoids a per-step ref *)
+  mutable blk_i : int; (* index of the block instruction in flight; abort-fixup scratch *)
   mutable cycles : int;
   mutable insns : int;
   mutable stack_top : int;
 }
 
-let create ?(predecode = true) (cfg : Mconfig.t) =
+(* A compiled straight-line run: one closure per instruction, ending at
+   the first control transfer (compiled in, together with its delay
+   slot) or the [Block_cache.max_insns] cap. *)
+and block = {
+  entry : int;          (* code address of the first instruction *)
+  n : int;              (* instruction count, terminator + delay slot included *)
+  run : unit -> unit;   (* the whole straight-line run fused into one closure:
+                           per-instruction icache probes, [blk_i] updates and
+                           the final pc/npc/insns commit are baked in at
+                           compile time *)
+  has_delay : bool;     (* ends in branch + delay slot (vs. capped fallthrough) *)
+}
+
+let create ?(predecode = true) ?(blocks = true) (cfg : Mconfig.t) =
   let mem = Mem.create ~big_endian:false ~size:cfg.mem_bytes () in
   let pdc = Decode_cache.create ~mem_bytes:cfg.mem_bytes in
-  Mem.set_write_watcher mem (Decode_cache.invalidate pdc);
+  let bc = Block_cache.create ~mem_bytes:cfg.mem_bytes ~len_bytes:(fun b -> 4 * b.n) in
+  Mem.add_write_watcher mem (Decode_cache.invalidate pdc);
+  Mem.add_write_watcher mem (Block_cache.invalidate bc);
   {
     mem;
     pdc;
     predecode;
+    bc;
+    blocks;
     icache = Cache.create ~size_bytes:cfg.icache_bytes ~line_bytes:cfg.line_bytes
                ~miss_penalty:cfg.imiss_penalty;
     dcache = Cache.create ~size_bytes:cfg.dcache_bytes ~line_bytes:cfg.line_bytes
@@ -60,6 +80,7 @@ let create ?(predecode = true) (cfg : Mconfig.t) =
     pc = 0;
     npc = 4;
     btarget = 0;
+    blk_i = 0;
     cycles = 0;
     insns = 0;
     stack_top = cfg.mem_bytes - 256;
@@ -296,6 +317,455 @@ let step_inner m pc =
   m.npc <- m.btarget
 
 (* ------------------------------------------------------------------ *)
+(* Superblock translation (see {!Vmachine.Block_cache}): compile a
+   straight-line decoded run into one closure per instruction, executed
+   by [exec_chain] without per-instruction dispatch.  Each closure
+   replicates its [step_inner] arm exactly — same arithmetic, same
+   memory-access order, same cycle surcharges — so a block retires with
+   the same architectural state and timing as the interpreter.  pc/npc
+   are not maintained per instruction; the straight-line values are
+   reconstructed on the (rare) abort paths from [blk_i]. *)
+
+(* Compiled action for one *body* (non-control) instruction; [None]
+   when the instruction terminates a block (branches/jumps compile via
+   [term_of]; Break never compiles, so the interpreter raises on it).
+   Store closures test the block cache's dirty flag after writing: a
+   store that invalidated a resident block — possibly the very one
+   running — aborts the rest of the run with [Block_cache.Retired]. *)
+let act_of m (insn : Mips_asm.t) : (unit -> unit) option =
+  match insn with
+  | Nop -> Some (fun () -> ())
+  | Sll (rd, rt, sh) -> Some (fun () -> set_reg m rd (rget m rt lsl sh))
+  | Srl (rd, rt, sh) -> Some (fun () -> set_reg m rd (u32 (rget m rt) lsr sh))
+  | Sra (rd, rt, sh) -> Some (fun () -> set_reg m rd (rget m rt asr sh))
+  | Sllv (rd, rt, rs) -> Some (fun () -> set_reg m rd (rget m rt lsl (rget m rs land 31)))
+  | Srlv (rd, rt, rs) -> Some (fun () -> set_reg m rd (u32 (rget m rt) lsr (rget m rs land 31)))
+  | Srav (rd, rt, rs) -> Some (fun () -> set_reg m rd (rget m rt asr (rget m rs land 31)))
+  | Mfhi rd -> Some (fun () -> set_reg m rd m.hi)
+  | Mflo rd -> Some (fun () -> set_reg m rd m.lo)
+  | Mult (rs, rt) ->
+    Some
+      (fun () ->
+        m.cycles <- m.cycles + 11;
+        let p = Int64.mul (Int64.of_int (rget m rs)) (Int64.of_int (rget m rt)) in
+        m.lo <- sext32 (Int64.to_int (Int64.logand p 0xFFFFFFFFL));
+        m.hi <- sext32 (Int64.to_int (Int64.logand (Int64.shift_right_logical p 32) 0xFFFFFFFFL)))
+  | Multu (rs, rt) ->
+    Some
+      (fun () ->
+        m.cycles <- m.cycles + 11;
+        let p = Int64.mul (Int64.of_int (u32 (rget m rs))) (Int64.of_int (u32 (rget m rt))) in
+        m.lo <- sext32 (Int64.to_int (Int64.logand p 0xFFFFFFFFL));
+        m.hi <- sext32 (Int64.to_int (Int64.logand (Int64.shift_right_logical p 32) 0xFFFFFFFFL)))
+  | Div (rs, rt) ->
+    Some
+      (fun () ->
+        m.cycles <- m.cycles + 34;
+        let a = rget m rs and b = rget m rt in
+        if b = 0 then begin m.lo <- 0; m.hi <- 0 end
+        else begin
+          let q = if (a < 0) <> (b < 0) then -(abs a / abs b) else abs a / abs b in
+          let rm = a - (q * b) in
+          m.lo <- sext32 q;
+          m.hi <- sext32 rm
+        end)
+  | Divu (rs, rt) ->
+    Some
+      (fun () ->
+        m.cycles <- m.cycles + 34;
+        let a = u32 (rget m rs) and b = u32 (rget m rt) in
+        if b = 0 then begin m.lo <- 0; m.hi <- 0 end
+        else begin
+          m.lo <- sext32 (a / b);
+          m.hi <- sext32 (a mod b)
+        end)
+  | Addu (rd, rs, rt) -> Some (fun () -> set_reg m rd (rget m rs + rget m rt))
+  | Subu (rd, rs, rt) -> Some (fun () -> set_reg m rd (rget m rs - rget m rt))
+  | And (rd, rs, rt) -> Some (fun () -> set_reg m rd (rget m rs land rget m rt))
+  | Or (rd, rs, rt) -> Some (fun () -> set_reg m rd (rget m rs lor rget m rt))
+  | Xor (rd, rs, rt) -> Some (fun () -> set_reg m rd (rget m rs lxor rget m rt))
+  | Nor (rd, rs, rt) -> Some (fun () -> set_reg m rd (lnot (rget m rs lor rget m rt)))
+  | Slt (rd, rs, rt) -> Some (fun () -> set_reg m rd (if rget m rs < rget m rt then 1 else 0))
+  | Sltu (rd, rs, rt) ->
+    Some (fun () -> set_reg m rd (if u32 (rget m rs) < u32 (rget m rt) then 1 else 0))
+  | Addiu (rt, rs, i) -> Some (fun () -> set_reg m rt (rget m rs + i))
+  | Slti (rt, rs, i) -> Some (fun () -> set_reg m rt (if rget m rs < i then 1 else 0))
+  | Sltiu (rt, rs, i) ->
+    Some (fun () -> set_reg m rt (if u32 (rget m rs) < u32 (sext32 i) then 1 else 0))
+  | Andi (rt, rs, i) -> Some (fun () -> set_reg m rt (rget m rs land i))
+  | Ori (rt, rs, i) -> Some (fun () -> set_reg m rt (rget m rs lor i))
+  | Xori (rt, rs, i) -> Some (fun () -> set_reg m rt (rget m rs lxor i))
+  | Lui (rt, i) -> Some (fun () -> set_reg m rt (i lsl 16))
+  | Lb (rt, b, o) ->
+    Some
+      (fun () ->
+        let a = u32 (rget m b) + o in
+        daccess m a;
+        let v = Mem.read_u8 m.mem a in
+        set_reg m rt (if v land 0x80 <> 0 then v - 0x100 else v))
+  | Lbu (rt, b, o) ->
+    Some
+      (fun () ->
+        let a = u32 (rget m b) + o in
+        daccess m a;
+        set_reg m rt (Mem.read_u8 m.mem a))
+  | Lh (rt, b, o) ->
+    Some
+      (fun () ->
+        let a = u32 (rget m b) + o in
+        daccess m a;
+        let v = Mem.read_u16 m.mem a in
+        set_reg m rt (if v land 0x8000 <> 0 then v - 0x10000 else v))
+  | Lhu (rt, b, o) ->
+    Some
+      (fun () ->
+        let a = u32 (rget m b) + o in
+        daccess m a;
+        set_reg m rt (Mem.read_u16 m.mem a))
+  | Lw (rt, b, o) ->
+    Some
+      (fun () ->
+        let a = u32 (rget m b) + o in
+        daccess m a;
+        set_reg m rt (Mem.read_u32 m.mem a))
+  | Sb (rt, b, o) ->
+    Some
+      (fun () ->
+        let a = u32 (rget m b) + o in
+        waccess m a;
+        Mem.write_u8 m.mem a (rget m rt);
+        if Block_cache.dirty m.bc then raise Block_cache.Retired)
+  | Sh (rt, b, o) ->
+    Some
+      (fun () ->
+        let a = u32 (rget m b) + o in
+        waccess m a;
+        Mem.write_u16 m.mem a (rget m rt);
+        if Block_cache.dirty m.bc then raise Block_cache.Retired)
+  | Sw (rt, b, o) ->
+    Some
+      (fun () ->
+        let a = u32 (rget m b) + o in
+        waccess m a;
+        Mem.write_u32 m.mem a (u32 (rget m rt));
+        if Block_cache.dirty m.bc then raise Block_cache.Retired)
+  | Lwc1 (ft, b, o) ->
+    Some
+      (fun () ->
+        let a = u32 (rget m b) + o in
+        daccess m a;
+        m.fregs.(ft) <- Mem.read_u32 m.mem a)
+  | Swc1 (ft, b, o) ->
+    Some
+      (fun () ->
+        let a = u32 (rget m b) + o in
+        waccess m a;
+        Mem.write_u32 m.mem a m.fregs.(ft);
+        if Block_cache.dirty m.bc then raise Block_cache.Retired)
+  | Ldc1 (ft, b, o) ->
+    Some
+      (fun () ->
+        let a = u32 (rget m b) + o in
+        daccess m a;
+        m.fregs.(ft) <- Mem.read_u32 m.mem a;
+        m.fregs.(ft + 1) <- Mem.read_u32 m.mem (a + 4))
+  | Sdc1 (ft, b, o) ->
+    Some
+      (fun () ->
+        let a = u32 (rget m b) + o in
+        waccess m a;
+        Mem.write_u32 m.mem a m.fregs.(ft);
+        Mem.write_u32 m.mem (a + 4) m.fregs.(ft + 1);
+        if Block_cache.dirty m.bc then raise Block_cache.Retired)
+  | Mtc1 (rt, fs) -> Some (fun () -> m.fregs.(fs) <- u32 (rget m rt))
+  | Mfc1 (rt, fs) -> Some (fun () -> set_reg m rt m.fregs.(fs))
+  | Fadd (fmt, fd, fs, ft) ->
+    Some
+      (fun () ->
+        m.cycles <- m.cycles + 1;
+        set_fmt m fmt fd (get_fmt m fmt fs +. get_fmt m fmt ft))
+  | Fsub (fmt, fd, fs, ft) ->
+    Some
+      (fun () ->
+        m.cycles <- m.cycles + 1;
+        set_fmt m fmt fd (get_fmt m fmt fs -. get_fmt m fmt ft))
+  | Fmul (fmt, fd, fs, ft) ->
+    let c = match fmt with Mips_asm.FS -> 3 | _ -> 4 in
+    Some
+      (fun () ->
+        m.cycles <- m.cycles + c;
+        set_fmt m fmt fd (get_fmt m fmt fs *. get_fmt m fmt ft))
+  | Fdiv (fmt, fd, fs, ft) ->
+    let c = match fmt with Mips_asm.FS -> 11 | _ -> 18 in
+    Some
+      (fun () ->
+        m.cycles <- m.cycles + c;
+        set_fmt m fmt fd (get_fmt m fmt fs /. get_fmt m fmt ft))
+  | Fsqrt (fmt, fd, fs) ->
+    let c = match fmt with Mips_asm.FS -> 13 | _ -> 25 in
+    Some
+      (fun () ->
+        m.cycles <- m.cycles + c;
+        set_fmt m fmt fd (sqrt (get_fmt m fmt fs)))
+  | Fabs (fmt, fd, fs) -> Some (fun () -> set_fmt m fmt fd (abs_float (get_fmt m fmt fs)))
+  | Fmov (fmt, fd, fs) -> (
+    match fmt with
+    | FS | FW -> Some (fun () -> m.fregs.(fd) <- m.fregs.(fs))
+    | FD ->
+      Some
+        (fun () ->
+          m.fregs.(fd) <- m.fregs.(fs);
+          m.fregs.(fd + 1) <- m.fregs.(fs + 1)))
+  | Fneg (fmt, fd, fs) -> Some (fun () -> set_fmt m fmt fd (-.get_fmt m fmt fs))
+  | Truncw (fmt, fd, fs) ->
+    Some
+      (fun () ->
+        let v = get_fmt m fmt fs in
+        m.fregs.(fd) <- u32 (int_of_float (Float.trunc v)))
+  | Cvt (to_, from, fd, fs) -> Some (fun () -> set_fmt m to_ fd (get_fmt m from fs))
+  | Fcmp (c, fmt, fs, ft) ->
+    Some
+      (match c with
+      | CEq -> fun () -> m.fcc <- get_fmt m fmt fs = get_fmt m fmt ft
+      | CLt -> fun () -> m.fcc <- get_fmt m fmt fs < get_fmt m fmt ft
+      | CLe -> fun () -> m.fcc <- get_fmt m fmt fs <= get_fmt m fmt ft)
+  | Jr _ | Jalr _ | J _ | Jal _ | Beq _ | Bne _ | Blez _ | Bgtz _ | Bltz _ | Bgez _
+  | Bc1t _ | Bc1f _ | Break _ ->
+    None
+
+(* Compiled closure for a block *terminator* at address [pc]: leaves
+   the control-transfer target in [m.btarget] (fallthrough [pc + 8] for
+   an untaken branch) — exactly the interpreter's btarget discipline.
+   The delay-slot action runs next and the block commit moves
+   btarget into pc. *)
+let term_of m pc (insn : Mips_asm.t) : (unit -> unit) option =
+  let ft = pc + 8 in
+  match insn with
+  | Jr rs -> Some (fun () -> m.btarget <- u32 (rget m rs))
+  | Jalr (rd, rs) ->
+    Some
+      (fun () ->
+        set_reg m rd (pc + 8);
+        m.btarget <- u32 (rget m rs))
+  | J t ->
+    let tgt = (u32 (pc + 4) land 0xF0000000) lor (t * 4) in
+    Some (fun () -> m.btarget <- tgt)
+  | Jal t ->
+    let tgt = (u32 (pc + 4) land 0xF0000000) lor (t * 4) in
+    Some
+      (fun () ->
+        set_reg m 31 (pc + 8);
+        m.btarget <- tgt)
+  | Beq (rs, rt, off) ->
+    let tk = pc + 4 + (4 * off) in
+    Some (fun () -> m.btarget <- (if rget m rs = rget m rt then tk else ft))
+  | Bne (rs, rt, off) ->
+    let tk = pc + 4 + (4 * off) in
+    Some (fun () -> m.btarget <- (if rget m rs <> rget m rt then tk else ft))
+  | Blez (rs, off) ->
+    let tk = pc + 4 + (4 * off) in
+    Some (fun () -> m.btarget <- (if rget m rs <= 0 then tk else ft))
+  | Bgtz (rs, off) ->
+    let tk = pc + 4 + (4 * off) in
+    Some (fun () -> m.btarget <- (if rget m rs > 0 then tk else ft))
+  | Bltz (rs, off) ->
+    let tk = pc + 4 + (4 * off) in
+    Some (fun () -> m.btarget <- (if rget m rs < 0 then tk else ft))
+  | Bgez (rs, off) ->
+    let tk = pc + 4 + (4 * off) in
+    Some (fun () -> m.btarget <- (if rget m rs >= 0 then tk else ft))
+  | Bc1t off ->
+    let tk = pc + 4 + (4 * off) in
+    Some (fun () -> m.btarget <- (if m.fcc then tk else ft))
+  | Bc1f off ->
+    let tk = pc + 4 + (4 * off) in
+    Some (fun () -> m.btarget <- (if not m.fcc then tk else ft))
+  | _ -> None
+
+(* instructions allowed before the terminator + delay-slot pair within
+   the [Block_cache.max_insns] cap *)
+let max_body = Block_cache.max_insns - 2
+
+(* Only closures for these instructions can raise: a memory fault from
+   a load/store, or [Block_cache.Retired] from a store that invalidated
+   a resident block.  Everything else [act_of] compiles is pure OCaml
+   arithmetic that cannot raise (the division arms are zero-guarded),
+   and MIPS terminators only write [m.btarget], so the per-instruction
+   [m.blk_i] bookkeeping is baked in at compile time for can-raise
+   instructions alone and elided everywhere else. *)
+let act_raises (insn : Mips_asm.t) : bool =
+  match insn with
+  | Lb _ | Lbu _ | Lh _ | Lhu _ | Lw _ | Sb _ | Sh _ | Sw _
+  | Lwc1 _ | Swc1 _ | Ldc1 _ | Sdc1 _ -> true
+  | _ -> false
+
+(* Fuse a list of action closures into one, sequencing by direct calls
+   in chunks of four: one chunk-closure entry per four instructions
+   instead of a per-instruction array load and loop-counter update.
+   Exceptions propagate out of the fused closure unchanged. *)
+let rec seq (cs : (unit -> unit) list) : unit -> unit =
+  match cs with
+  | [] -> fun () -> ()
+  | [ a ] -> a
+  | [ a; b ] -> fun () -> a (); b ()
+  | [ a; b; c ] -> fun () -> a (); b (); c ()
+  | [ a; b; c; d ] -> fun () -> a (); b (); c (); d ()
+  | a :: b :: c :: d :: rest ->
+    let r = seq rest in
+    fun () -> a (); b (); c (); d (); r ()
+
+(* Compile the straight-line run entered at [entry]: body instructions
+   up to the first control transfer (compiled in together with its
+   delay slot), a non-compilable instruction (Break, an illegal word,
+   unmapped memory — left for the interpreter to trap on), or the
+   length cap.  [None] if not even one instruction compiles.
+
+   Timing is baked into the closures: the instruction that starts a new
+   icache line carries the registerized probe (a later same-line fetch
+   is a guaranteed hit — a block spans at most 256 consecutive bytes,
+   far below the icache size, so it cannot evict its own lines, and a
+   guaranteed hit is a no-op under bulk hit reconciliation).  Capturing
+   the tag array here is safe because [Cache.flush] clears it in
+   place. *)
+let compile_block m entry =
+  let tags, shift, mask = Cache.probe m.icache in
+  let fetch_opt pc =
+    match fetch m pc with
+    | i -> Some i
+    | exception (Machine_error _ | Mem.Fault _) -> None
+  in
+  let body = ref [] and nbody = ref 0 in
+  let fin = ref None in
+  let stop = ref false in
+  let pc = ref entry in
+  while (not !stop) && !nbody < max_body do
+    match fetch_opt !pc with
+    | None -> stop := true
+    | Some insn -> (
+      match act_of m insn with
+      | Some a ->
+        body := (act_raises insn, a) :: !body;
+        incr nbody;
+        pc := !pc + 4
+      | None -> (
+        stop := true;
+        match term_of m !pc insn with
+        | None -> () (* Break: end the block just before it *)
+        | Some t -> (
+          (* the delay slot must itself be a plain body instruction *)
+          match fetch_opt (!pc + 4) with
+          | None -> ()
+          | Some d -> (
+            match act_of m d with
+            | None -> ()
+            | Some da -> fin := Some (t, act_raises d, da)))))
+  done;
+  let tail, has_delay =
+    match !fin with
+    | Some (t, dr, da) -> ([ (false, t); (dr, da) ], true)
+    | None -> ([], false)
+  in
+  match List.rev_append !body tail with
+  | [] -> None
+  | all ->
+    let n = List.length all in
+    let wrap i (raises, act) =
+      let addr = entry + (4 * i) in
+      let line = addr lsr shift in
+      let boundary = i = 0 || line <> (addr - 4) lsr shift in
+      if boundary then begin
+        let idx = line land mask in
+        if raises then
+          fun () ->
+            m.blk_i <- i;
+            if Array.unsafe_get tags idx <> line then begin
+              let p = Cache.access_uncounted m.icache addr in
+              if p <> 0 then m.cycles <- m.cycles + p
+            end;
+            act ()
+        else
+          fun () ->
+            if Array.unsafe_get tags idx <> line then begin
+              let p = Cache.access_uncounted m.icache addr in
+              if p <> 0 then m.cycles <- m.cycles + p
+            end;
+            act ()
+      end
+      else if raises then
+        fun () ->
+          m.blk_i <- i;
+          act ()
+      else act
+    in
+    (* the commit is one more cannot-raise action fused onto the end:
+       if anything earlier raises, it never runs, and the fixup
+       handlers in [exec_chain] account the partial run instead *)
+    let commit =
+      if has_delay then
+        fun () ->
+          m.insns <- m.insns + n;
+          let t = m.btarget in
+          m.pc <- t;
+          m.npc <- t + 4
+      else begin
+        let ft = entry + (4 * n) in
+        fun () ->
+          m.insns <- m.insns + n;
+          m.pc <- ft;
+          m.npc <- ft + 4
+      end
+    in
+    Some { entry; n; run = seq (List.mapi wrap all @ [ commit ]); has_delay }
+
+(* Execute [b] (preconditions: [b.n <= fuel], [m.npc = b.entry + 4]),
+   then chain directly into the next resident block while fuel lasts.
+   Returns the remaining fuel.  The three exits leave exactly the state
+   the interpreter would:
+   - clean commit: pc/npc move past the block (branch target or capped
+     fallthrough), [insns] advances by the whole run;
+   - [Retired] (a store invalidated a resident block): the aborting
+     instruction has retired, pc/npc name its successor, and control
+     returns to the dispatch loop without chaining;
+   - a fault: the faulting instruction counts as issued (the
+     interpreter increments [insns] before executing), pc names it and
+     npc its successor — just as [run_go] would leave them. *)
+let rec exec_chain m (b : block) fuel =
+  Block_cache.begin_block m.bc;
+  match b.run () with
+  | () ->
+    let fuel = fuel - b.n in
+    if m.pc = halt_addr then fuel
+    else if m.pc = b.entry && b.n <= fuel then
+      (* self-loop fast path: a clean exit means no resident block was
+         invalidated, so [b] is certainly still cached for [entry] *)
+      exec_chain m b fuel
+    else (
+      match Block_cache.find m.bc m.pc with
+      | Some nb when nb.n <= fuel -> exec_chain m nb fuel
+      | _ -> fuel)
+  | exception Block_cache.Retired ->
+    let i = m.blk_i in
+    m.insns <- m.insns + i + 1;
+    if b.has_delay && i = b.n - 1 then begin
+      let t = m.btarget in
+      m.pc <- t;
+      m.npc <- t + 4
+    end
+    else begin
+      let a = b.entry + (4 * i) in
+      m.pc <- a + 4;
+      m.npc <- a + 8
+    end;
+    fuel - (i + 1)
+  | exception e ->
+    let i = m.blk_i in
+    m.insns <- m.insns + i + 1;
+    let a = b.entry + (4 * i) in
+    m.pc <- a;
+    m.npc <- (if b.has_delay && i = b.n - 1 then m.btarget else a + 4);
+    raise e
+
+(* ------------------------------------------------------------------ *)
 (* Harness                                                             *)
 
 let default_fuel = 200_000_000
@@ -328,6 +798,48 @@ let rec run_go m tags shift mask fuel =
     run_go m tags shift mask (fuel - 1)
   end
 
+(* one interpreted instruction inside the block-dispatch loop: the
+   registerized icache probe of [run_go], then [step_inner] *)
+let[@inline] step_one m tags shift mask =
+  let pc = m.pc in
+  let line = pc lsr shift in
+  if Array.unsafe_get tags (line land mask) <> line then
+    (let p = Cache.access_uncounted m.icache pc in
+     if p <> 0 then m.cycles <- m.cycles + p);
+  step_inner m pc
+
+(* Block-dispatch run loop: resident block -> [exec_chain]; no block
+   yet -> compile, cache, retry; uncompilable entry / insufficient fuel
+   for a whole block / delay-slot entry (npc off the straight line,
+   e.g. after a public [step]) -> one interpreted instruction.  Fuel
+   discipline is identical to [run_go]: a block only runs when it fits
+   whole, so the out-of-fuel point falls on the same instruction. *)
+let rec run_blocks_go m tags shift mask fuel =
+  let pc = m.pc in
+  if pc <> halt_addr then begin
+    if fuel = 0 then raise (Machine_error "out of fuel (infinite loop?)");
+    if m.npc = pc + 4 then (
+      match Block_cache.find m.bc pc with
+      | Some b when b.n <= fuel ->
+        let fuel = exec_chain m b fuel in
+        run_blocks_go m tags shift mask fuel
+      | Some _ ->
+        step_one m tags shift mask;
+        run_blocks_go m tags shift mask (fuel - 1)
+      | None -> (
+        match compile_block m pc with
+        | Some b ->
+          Block_cache.set m.bc pc b;
+          run_blocks_go m tags shift mask fuel
+        | None ->
+          step_one m tags shift mask;
+          run_blocks_go m tags shift mask (fuel - 1)))
+    else begin
+      step_one m tags shift mask;
+      run_blocks_go m tags shift mask (fuel - 1)
+    end
+  end
+
 let run ?(fuel = default_fuel) m =
   let i0 = m.insns in
   let mi0 = Cache.misses m.icache in
@@ -337,7 +849,9 @@ let run ?(fuel = default_fuel) m =
     Cache.add_hits m.icache (retired - (Cache.misses m.icache - mi0))
   in
   let tags, shift, mask = Cache.probe m.icache in
-  (try run_go m tags shift mask fuel
+  (try
+     if m.blocks then run_blocks_go m tags shift mask fuel
+     else run_go m tags shift mask fuel
    with e ->
      finish ();
      raise e);
@@ -403,6 +917,7 @@ let reset_stats m =
 let flush_caches m =
   Cache.flush m.icache;
   Cache.flush m.dcache;
-  Decode_cache.clear m.pdc
+  Decode_cache.clear m.pdc;
+  Block_cache.clear m.bc
 
 let flush_dcache m = Cache.flush m.dcache

@@ -20,6 +20,8 @@ type t = {
   dcache : Cache.t;
   pdc : A.t Decode_cache.t; (* host-side predecode; no cycle effect *)
   predecode : bool;
+  bc : block Block_cache.t; (* superblock translation cache; no cycle effect *)
+  blocks : bool;
   cfg : Mconfig.t;
   regs : int array;    (* 32, sign-extended 32-bit *)
   fregs : int64 array; (* 32, raw bit patterns *)
@@ -30,19 +32,37 @@ type t = {
   mutable cr_eq : bool;
   mutable pc : int;
   mutable nextpc : int; (* next-pc scratch for [step]; avoids a per-step ref *)
+  mutable blk_i : int; (* index of the block instruction in flight; abort-fixup scratch *)
   mutable cycles : int;
   mutable insns : int;
   mutable stack_top : int;
 }
 
-let create ?(predecode = true) (cfg : Mconfig.t) =
+(* A compiled straight-line run: one closure per instruction, ending at
+   the first control transfer (compiled in; no delay slots on PPC) or
+   the [Block_cache.max_insns] cap. *)
+and block = {
+  entry : int;          (* code address of the first instruction *)
+  n : int;              (* instruction count, terminator included *)
+  run : unit -> unit;   (* the whole straight-line run fused into one closure:
+                           per-instruction icache probes, [blk_i] updates and
+                           the final pc/nextpc/insns commit are baked in at
+                           compile time *)
+  has_term : bool;      (* ends in a control transfer (vs. capped fallthrough) *)
+}
+
+let create ?(predecode = true) ?(blocks = true) (cfg : Mconfig.t) =
   let mem = Mem.create ~big_endian:true ~size:cfg.mem_bytes () in
   let pdc = Decode_cache.create ~mem_bytes:cfg.mem_bytes in
-  Mem.set_write_watcher mem (Decode_cache.invalidate pdc);
+  let bc = Block_cache.create ~mem_bytes:cfg.mem_bytes ~len_bytes:(fun b -> 4 * b.n) in
+  Mem.add_write_watcher mem (Decode_cache.invalidate pdc);
+  Mem.add_write_watcher mem (Block_cache.invalidate bc);
   {
     mem;
     pdc;
     predecode;
+    bc;
+    blocks;
     icache = Cache.create ~size_bytes:cfg.icache_bytes ~line_bytes:cfg.line_bytes
                ~miss_penalty:cfg.imiss_penalty;
     dcache = Cache.create ~size_bytes:cfg.dcache_bytes ~line_bytes:cfg.line_bytes
@@ -57,6 +77,7 @@ let create ?(predecode = true) (cfg : Mconfig.t) =
     cr_eq = false;
     pc = 0;
     nextpc = 0;
+    blk_i = 0;
     cycles = 0;
     insns = 0;
     stack_top = cfg.mem_bytes - 256;
@@ -268,6 +289,424 @@ let step_inner m pc =
     m.cr_eq <- x = y);
   m.pc <- m.nextpc
 
+(* ------------------------------------------------------------------ *)
+(* Superblock translation (see {!Vmachine.Block_cache}): compile a
+   straight-line decoded run into one closure per instruction, executed
+   by [exec_chain] without per-instruction dispatch.  Each closure
+   replicates its [step_inner] arm exactly — same arithmetic, same
+   memory-access order, same cycle surcharges — so a block retires with
+   the same architectural state and timing as the interpreter.  PPC has
+   no delay slots: a block is body instructions plus (optionally) the
+   control transfer itself, whose closure leaves the target in
+   [m.nextpc] for the block commit.  A [Bc] with an unsupported BO
+   field compiles to a closure raising the interpreter's exact
+   machine error. *)
+
+(* Compiled action for one *body* (non-control) instruction; [None]
+   for the control transfers compiled via [term_of].  Store closures
+   test the block cache's dirty flag after writing and abort with
+   [Block_cache.Retired]. *)
+let act_of m (insn : A.t) : (unit -> unit) option =
+  match insn with
+  | A.Addi (rt, ra, si) -> Some (fun () -> set m rt (get0 m ra + si))
+  | A.Addis (rt, ra, si) ->
+    let v = si * 65536 in
+    Some (fun () -> set m rt (get0 m ra + v))
+  | A.Mulli (rt, ra, si) ->
+    Some
+      (fun () ->
+        m.cycles <- m.cycles + 4;
+        set m rt (get m ra * si))
+  | A.Cmpi (ra, si) -> Some (fun () -> set_cr_signed m (get m ra) si)
+  | A.Cmpli (ra, ui) -> Some (fun () -> set_cr_unsigned m (get m ra) ui)
+  | A.Ori (ra, rs, ui) -> Some (fun () -> set m ra (get m rs lor ui))
+  | A.Oris (ra, rs, ui) ->
+    let v = ui lsl 16 in
+    Some (fun () -> set m ra (get m rs lor v))
+  | A.Xori (ra, rs, ui) -> Some (fun () -> set m ra (get m rs lxor ui))
+  | A.Andi (ra, rs, ui) ->
+    Some
+      (fun () ->
+        let v = get m rs land ui in
+        set m ra v;
+        set_cr_signed m (sext32 v) 0)
+  | A.Add (rt, ra, rb) -> Some (fun () -> set m rt (get m ra + get m rb))
+  | A.Subf (rt, ra, rb) -> Some (fun () -> set m rt (get m rb - get m ra))
+  | A.Mullw (rt, ra, rb) ->
+    Some
+      (fun () ->
+        m.cycles <- m.cycles + 4;
+        set m rt (get m ra * get m rb))
+  | A.Divw (rt, ra, rb) ->
+    Some
+      (fun () ->
+        m.cycles <- m.cycles + 19;
+        let a = get m ra and b = get m rb in
+        if b = 0 then set m rt 0 else set m rt (Int.div a b))
+  | A.Divwu (rt, ra, rb) ->
+    Some
+      (fun () ->
+        m.cycles <- m.cycles + 19;
+        let a = u32 (get m ra) and b = u32 (get m rb) in
+        if b = 0 then set m rt 0 else set m rt (a / b))
+  | A.Neg (rt, ra) -> Some (fun () -> set m rt (-get m ra))
+  | A.And (ra, rs, rb) -> Some (fun () -> set m ra (get m rs land get m rb))
+  | A.Or (ra, rs, rb) -> Some (fun () -> set m ra (get m rs lor get m rb))
+  | A.Xor (ra, rs, rb) -> Some (fun () -> set m ra (get m rs lxor get m rb))
+  | A.Nor (ra, rs, rb) -> Some (fun () -> set m ra (lnot (get m rs lor get m rb)))
+  | A.Slw (ra, rs, rb) ->
+    Some
+      (fun () ->
+        let sh = get m rb land 63 in
+        set m ra (if sh > 31 then 0 else get m rs lsl sh))
+  | A.Srw (ra, rs, rb) ->
+    Some
+      (fun () ->
+        let sh = get m rb land 63 in
+        set m ra (if sh > 31 then 0 else u32 (get m rs) lsr sh))
+  | A.Sraw (ra, rs, rb) ->
+    Some
+      (fun () ->
+        let sh = get m rb land 63 in
+        set m ra (get m rs asr min sh 31))
+  | A.Srawi (ra, rs, sh) -> Some (fun () -> set m ra (get m rs asr sh))
+  | A.Cntlzw (ra, rs) ->
+    Some
+      (fun () ->
+        let v = u32 (get m rs) in
+        let rec go n bit =
+          if bit < 0 || v land (1 lsl bit) <> 0 then n else go (n + 1) (bit - 1)
+        in
+        set m ra (if v = 0 then 32 else go 0 31))
+  | A.Cmp (ra, rb) -> Some (fun () -> set_cr_signed m (get m ra) (get m rb))
+  | A.Cmpl (ra, rb) -> Some (fun () -> set_cr_unsigned m (get m ra) (get m rb))
+  | A.Rlwinm (ra, rs, sh, mb, me) ->
+    let mask = rlwinm_mask mb me in
+    Some (fun () -> set m ra (rotl32 (get m rs) sh land mask))
+  | A.Lbz (rt, ra, d) ->
+    Some
+      (fun () ->
+        let a = u32 (get0 m ra) + d in
+        daccess m a;
+        set m rt (Mem.read_u8 m.mem a))
+  | A.Lhz (rt, ra, d) ->
+    Some
+      (fun () ->
+        let a = u32 (get0 m ra) + d in
+        daccess m a;
+        set m rt (Mem.read_u16 m.mem a))
+  | A.Lha (rt, ra, d) ->
+    Some
+      (fun () ->
+        let a = u32 (get0 m ra) + d in
+        daccess m a;
+        let v = Mem.read_u16 m.mem a in
+        set m rt (if v land 0x8000 <> 0 then v - 0x10000 else v))
+  | A.Lwz (rt, ra, d) ->
+    Some
+      (fun () ->
+        let a = u32 (get0 m ra) + d in
+        daccess m a;
+        set m rt (Mem.read_u32 m.mem a))
+  | A.Stb (rt, ra, d) ->
+    Some
+      (fun () ->
+        let a = u32 (get0 m ra) + d in
+        waccess m a;
+        Mem.write_u8 m.mem a (get m rt);
+        if Block_cache.dirty m.bc then raise Block_cache.Retired)
+  | A.Sth (rt, ra, d) ->
+    Some
+      (fun () ->
+        let a = u32 (get0 m ra) + d in
+        waccess m a;
+        Mem.write_u16 m.mem a (get m rt);
+        if Block_cache.dirty m.bc then raise Block_cache.Retired)
+  | A.Stw (rt, ra, d) ->
+    Some
+      (fun () ->
+        let a = u32 (get0 m ra) + d in
+        waccess m a;
+        Mem.write_u32 m.mem a (u32 (get m rt));
+        if Block_cache.dirty m.bc then raise Block_cache.Retired)
+  | A.Lfs (t, ra, d) ->
+    Some
+      (fun () ->
+        let a = u32 (get0 m ra) + d in
+        daccess m a;
+        set_fval m t (Int32.float_of_bits (Int32.of_int (Mem.read_u32 m.mem a))))
+  | A.Lfd (t, ra, d) ->
+    Some
+      (fun () ->
+        let a = u32 (get0 m ra) + d in
+        daccess m a;
+        m.fregs.(t) <- Mem.read_u64 m.mem a)
+  | A.Stfs (t, ra, d) ->
+    Some
+      (fun () ->
+        let a = u32 (get0 m ra) + d in
+        waccess m a;
+        Mem.write_u32 m.mem a (Int32.to_int (Int32.bits_of_float (fval m t)) land 0xFFFFFFFF);
+        if Block_cache.dirty m.bc then raise Block_cache.Retired)
+  | A.Stfd (t, ra, d) ->
+    Some
+      (fun () ->
+        let a = u32 (get0 m ra) + d in
+        waccess m a;
+        Mem.write_u64 m.mem a m.fregs.(t);
+        if Block_cache.dirty m.bc then raise Block_cache.Retired)
+  | A.Mflr rt -> Some (fun () -> set m rt m.lr)
+  | A.Mtlr rs -> Some (fun () -> m.lr <- u32 (get m rs))
+  | A.Mtctr rs -> Some (fun () -> m.ctr <- u32 (get m rs))
+  | A.Fadd (t, a, b) ->
+    Some
+      (fun () ->
+        m.cycles <- m.cycles + 2;
+        set_fval m t (fval m a +. fval m b))
+  | A.Fsub (t, a, b) ->
+    Some
+      (fun () ->
+        m.cycles <- m.cycles + 2;
+        set_fval m t (fval m a -. fval m b))
+  | A.Fmul (t, a, c) ->
+    Some
+      (fun () ->
+        m.cycles <- m.cycles + 3;
+        set_fval m t (fval m a *. fval m c))
+  | A.Fdiv (t, a, b) ->
+    Some
+      (fun () ->
+        m.cycles <- m.cycles + 17;
+        set_fval m t (fval m a /. fval m b))
+  | A.Fadds (t, a, b) ->
+    Some
+      (fun () ->
+        m.cycles <- m.cycles + 2;
+        set_fval m t (single (fval m a +. fval m b)))
+  | A.Fsubs (t, a, b) ->
+    Some
+      (fun () ->
+        m.cycles <- m.cycles + 2;
+        set_fval m t (single (fval m a -. fval m b)))
+  | A.Fmuls (t, a, c) ->
+    Some
+      (fun () ->
+        m.cycles <- m.cycles + 3;
+        set_fval m t (single (fval m a *. fval m c)))
+  | A.Fdivs (t, a, b) ->
+    Some
+      (fun () ->
+        m.cycles <- m.cycles + 17;
+        set_fval m t (single (fval m a /. fval m b)))
+  | A.Fneg (t, b) -> Some (fun () -> set_fval m t (-.fval m b))
+  | A.Fmr (t, b) -> Some (fun () -> m.fregs.(t) <- m.fregs.(b))
+  | A.Frsp (t, b) -> Some (fun () -> set_fval m t (single (fval m b)))
+  | A.Fctiwz (t, b) ->
+    Some
+      (fun () ->
+        let v = Int64.of_float (Float.trunc (fval m b)) in
+        m.fregs.(t) <- Int64.logand v 0xFFFFFFFFL)
+  | A.Fcmpu (a, b) ->
+    Some
+      (fun () ->
+        let x = fval m a and y = fval m b in
+        m.cr_lt <- x < y;
+        m.cr_gt <- x > y;
+        m.cr_eq <- x = y)
+  | A.B _ | A.Bl _ | A.Bc _ | A.Blr | A.Bctr | A.Bctrl -> None
+
+(* Compiled closure for a block *terminator* at address [pc]: leaves
+   the control-transfer target in [m.nextpc] (fallthrough [pc + 4] for
+   an untaken branch) — exactly the interpreter's nextpc discipline;
+   the block commit moves nextpc into pc. *)
+let term_of m pc (insn : A.t) : (unit -> unit) option =
+  let ft = pc + 4 in
+  match insn with
+  | A.B li ->
+    let tk = pc + (4 * li) in
+    Some (fun () -> m.nextpc <- tk)
+  | A.Bl li ->
+    let tk = pc + (4 * li) in
+    Some
+      (fun () ->
+        m.lr <- pc + 4;
+        m.nextpc <- tk)
+  | A.Bc (bo, bi, bd) -> (
+    let tk = pc + (4 * bd) in
+    let bit () = match bi with 0 -> m.cr_lt | 1 -> m.cr_gt | 2 -> m.cr_eq | _ -> false in
+    match bo with
+    | 12 -> Some (fun () -> m.nextpc <- (if bit () then tk else ft))
+    | 4 -> Some (fun () -> m.nextpc <- (if not (bit ()) then tk else ft))
+    | 20 -> Some (fun () -> m.nextpc <- tk)
+    | _ ->
+      Some
+        (fun () -> raise (Machine_error (Printf.sprintf "unsupported BO %d at 0x%x" bo pc))))
+  | A.Blr -> Some (fun () -> m.nextpc <- u32 m.lr)
+  | A.Bctr -> Some (fun () -> m.nextpc <- u32 m.ctr)
+  | A.Bctrl ->
+    Some
+      (fun () ->
+        m.lr <- pc + 4;
+        m.nextpc <- u32 m.ctr)
+  | _ -> None
+
+(* instructions allowed before the terminator within the
+   [Block_cache.max_insns] cap *)
+let max_body = Block_cache.max_insns - 1
+
+(* Only closures for these instructions can raise: a memory fault from
+   a load/store, or [Block_cache.Retired] from a store that invalidated
+   a resident block.  Everything else [act_of] compiles is pure OCaml
+   arithmetic that cannot raise (the division arms are zero-guarded),
+   so the per-instruction [m.blk_i] bookkeeping is baked in at compile
+   time for can-raise instructions alone and elided everywhere else.
+   The terminator is always classified can-raise: the unsupported-BO
+   trap raises from inside its closure. *)
+let act_raises (insn : A.t) : bool =
+  match insn with
+  | A.Lbz _ | A.Lhz _ | A.Lha _ | A.Lwz _ | A.Stb _ | A.Sth _ | A.Stw _
+  | A.Lfs _ | A.Lfd _ | A.Stfs _ | A.Stfd _ -> true
+  | _ -> false
+
+(* Fuse a list of action closures into one, sequencing by direct calls
+   in chunks of four: one chunk-closure entry per four instructions
+   instead of a per-instruction array load and loop-counter update.
+   Exceptions propagate out of the fused closure unchanged. *)
+let rec seq (cs : (unit -> unit) list) : unit -> unit =
+  match cs with
+  | [] -> fun () -> ()
+  | [ a ] -> a
+  | [ a; b ] -> fun () -> a (); b ()
+  | [ a; b; c ] -> fun () -> a (); b (); c ()
+  | [ a; b; c; d ] -> fun () -> a (); b (); c (); d ()
+  | a :: b :: c :: d :: rest ->
+    let r = seq rest in
+    fun () -> a (); b (); c (); d (); r ()
+
+(* Compile the straight-line run entered at [entry]: body instructions
+   up to and including the first control transfer, a non-compilable
+   word (illegal, unmapped — left for the interpreter to trap on), or
+   the length cap.  [None] if not even one instruction compiles.
+
+   Timing is baked into the closures: the instruction that starts a new
+   icache line carries the registerized probe (a later same-line fetch
+   is a guaranteed hit — a block spans at most 256 consecutive bytes,
+   far below the icache size, so it cannot evict its own lines, and a
+   guaranteed hit is a no-op under bulk hit reconciliation).  Capturing
+   the tag array here is safe because [Cache.flush] clears it in
+   place. *)
+let compile_block m entry =
+  let tags, shift, mask = Cache.probe m.icache in
+  let fetch_opt pc =
+    match fetch m pc with
+    | i -> Some i
+    | exception (Machine_error _ | Mem.Fault _) -> None
+  in
+  let body = ref [] and nbody = ref 0 in
+  let fin = ref None in
+  let stop = ref false in
+  let pc = ref entry in
+  while (not !stop) && !nbody < max_body do
+    match fetch_opt !pc with
+    | None -> stop := true
+    | Some insn -> (
+      match act_of m insn with
+      | Some a ->
+        body := (act_raises insn, a) :: !body;
+        incr nbody;
+        pc := !pc + 4
+      | None ->
+        stop := true;
+        fin := term_of m !pc insn)
+  done;
+  let tail, has_term = match !fin with Some t -> ([ (true, t) ], true) | None -> ([], false) in
+  match List.rev_append !body tail with
+  | [] -> None
+  | all ->
+    let n = List.length all in
+    let wrap i (raises, act) =
+      let addr = entry + (4 * i) in
+      let line = addr lsr shift in
+      let boundary = i = 0 || line <> (addr - 4) lsr shift in
+      if boundary then begin
+        let idx = line land mask in
+        if raises then
+          fun () ->
+            m.blk_i <- i;
+            if Array.unsafe_get tags idx <> line then begin
+              let p = Cache.access_uncounted m.icache addr in
+              if p <> 0 then m.cycles <- m.cycles + p
+            end;
+            act ()
+        else
+          fun () ->
+            if Array.unsafe_get tags idx <> line then begin
+              let p = Cache.access_uncounted m.icache addr in
+              if p <> 0 then m.cycles <- m.cycles + p
+            end;
+            act ()
+      end
+      else if raises then
+        fun () ->
+          m.blk_i <- i;
+          act ()
+      else act
+    in
+    (* the commit is one more cannot-raise action fused onto the end:
+       if anything earlier raises, it never runs, and the fixup
+       handlers in [exec_chain] account the partial run instead *)
+    let commit =
+      if has_term then
+        fun () ->
+          m.insns <- m.insns + n;
+          m.pc <- m.nextpc
+      else begin
+        let ft = entry + (4 * n) in
+        fun () ->
+          m.insns <- m.insns + n;
+          m.nextpc <- ft;
+          m.pc <- ft
+      end
+    in
+    Some { entry; n; run = seq (List.mapi wrap all @ [ commit ]); has_term }
+
+(* Execute [b] (precondition: [b.n <= fuel]), then chain directly into
+   the next resident block while fuel lasts.  Returns the remaining
+   fuel; the three exits (clean commit, [Retired] store-abort, fault)
+   leave exactly the state the interpreter would — see the MIPS twin of
+   this function for the case analysis (simpler here: no delay slots,
+   so the post-instruction pc is always the straight-line successor for
+   aborts; the unsupported-BO trap raises before assigning nextpc, like
+   any body fault). *)
+let rec exec_chain m (b : block) fuel =
+  Block_cache.begin_block m.bc;
+  match b.run () with
+  | () ->
+    let fuel = fuel - b.n in
+    if m.pc = halt_addr then fuel
+    else if m.pc = b.entry && b.n <= fuel then
+      (* self-loop fast path: a clean exit means no resident block was
+         invalidated, so [b] is certainly still cached for [entry] *)
+      exec_chain m b fuel
+    else (
+      match Block_cache.find m.bc m.pc with
+      | Some nb when nb.n <= fuel -> exec_chain m nb fuel
+      | _ -> fuel)
+  | exception Block_cache.Retired ->
+    let i = m.blk_i in
+    m.insns <- m.insns + i + 1;
+    let a = b.entry + (4 * i) in
+    m.nextpc <- a + 4;
+    m.pc <- a + 4;
+    fuel - (i + 1)
+  | exception e ->
+    let i = m.blk_i in
+    m.insns <- m.insns + i + 1;
+    let a = b.entry + (4 * i) in
+    m.pc <- a;
+    m.nextpc <- a + 4;
+    raise e
+
 let default_fuel = 200_000_000
 
 (* Tight tail-recursive loop: the fuel check is a register countdown
@@ -302,6 +741,43 @@ let rec run_go m tags shift mask fuel =
     run_go m tags shift mask (fuel - 1)
   end
 
+(* one interpreted step inside the block-dispatch loop (cold path:
+   block-cache miss on an uncompilable word, or a block too long for
+   the remaining fuel) *)
+let step_one m tags shift mask pc =
+  let line = pc lsr shift in
+  if Array.unsafe_get tags (line land mask) <> line then
+    (let p = Cache.access_uncounted m.icache pc in
+     if p <> 0 then m.cycles <- m.cycles + p);
+  step_inner m pc
+
+(* Block-dispatching twin of [run_go]: execute resident compiled blocks
+   (chaining block-to-block inside [exec_chain]), compile on first
+   touch, and fall back to single-stepping where no block applies.
+   Fault points, retirement counts and cycle accounting are identical
+   to [run_go] by construction. *)
+let rec run_blocks_go m tags shift mask fuel =
+  let pc = m.pc in
+  if pc <> halt_addr then begin
+    if fuel = 0 then raise (Machine_error "out of fuel (infinite loop?)");
+    match Block_cache.find m.bc pc with
+    | Some b ->
+      if b.n <= fuel then
+        run_blocks_go m tags shift mask (exec_chain m b fuel)
+      else begin
+        step_one m tags shift mask pc;
+        run_blocks_go m tags shift mask (fuel - 1)
+      end
+    | None -> (
+      match compile_block m pc with
+      | Some b ->
+        Block_cache.set m.bc pc b;
+        run_blocks_go m tags shift mask fuel
+      | None ->
+        step_one m tags shift mask pc;
+        run_blocks_go m tags shift mask (fuel - 1))
+  end
+
 let run ?(fuel = default_fuel) m =
   let i0 = m.insns in
   let mi0 = Cache.misses m.icache in
@@ -311,7 +787,8 @@ let run ?(fuel = default_fuel) m =
     Cache.add_hits m.icache (retired - (Cache.misses m.icache - mi0))
   in
   let tags, shift, mask = Cache.probe m.icache in
-  (try run_go m tags shift mask fuel
+  let go = if m.blocks then run_blocks_go else run_go in
+  (try go m tags shift mask fuel
    with e ->
      finish ();
      raise e);
@@ -377,4 +854,5 @@ let reset_stats m =
 let flush_caches m =
   Cache.flush m.icache;
   Cache.flush m.dcache;
-  Decode_cache.clear m.pdc
+  Decode_cache.clear m.pdc;
+  Block_cache.clear m.bc

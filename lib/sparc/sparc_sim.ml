@@ -25,6 +25,8 @@ type t = {
   dcache : Cache.t;
   pdc : Sparc_asm.t Decode_cache.t; (* host-side predecode; no cycle effect *)
   predecode : bool;
+  bc : block Block_cache.t; (* superblock translation cache; no cycle effect *)
+  blocks : bool;
   cfg : Mconfig.t;
   globals : int array;              (* g0-g7; g0 pinned to 0 *)
   wins : int array;                 (* nwindows * 16: locals + ins *)
@@ -40,19 +42,37 @@ type t = {
   mutable pc : int;
   mutable npc : int;
   mutable btarget : int; (* branch-target scratch for [step]; avoids a per-step ref *)
+  mutable blk_i : int; (* index of the block instruction in flight; abort-fixup scratch *)
   mutable cycles : int;
   mutable insns : int;
   mutable stack_top : int;
 }
 
-let create ?(predecode = true) (cfg : Mconfig.t) =
+(* A compiled straight-line run: one closure per instruction, ending at
+   the first control transfer (compiled in, together with its delay
+   slot) or the [Block_cache.max_insns] cap. *)
+and block = {
+  entry : int;          (* code address of the first instruction *)
+  n : int;              (* instruction count, terminator + delay slot included *)
+  run : unit -> unit;   (* the whole straight-line run fused into one closure:
+                           per-instruction icache probes, [blk_i] updates and
+                           the final pc/npc/insns commit are baked in at
+                           compile time *)
+  has_delay : bool;     (* ends in branch + delay slot (vs. capped fallthrough) *)
+}
+
+let create ?(predecode = true) ?(blocks = true) (cfg : Mconfig.t) =
   let mem = Mem.create ~big_endian:true ~size:cfg.mem_bytes () in
   let pdc = Decode_cache.create ~mem_bytes:cfg.mem_bytes in
-  Mem.set_write_watcher mem (Decode_cache.invalidate pdc);
+  let bc = Block_cache.create ~mem_bytes:cfg.mem_bytes ~len_bytes:(fun b -> 4 * b.n) in
+  Mem.add_write_watcher mem (Decode_cache.invalidate pdc);
+  Mem.add_write_watcher mem (Block_cache.invalidate bc);
   {
     mem;
     pdc;
     predecode;
+    bc;
+    blocks;
     icache = Cache.create ~size_bytes:cfg.icache_bytes ~line_bytes:cfg.line_bytes
                ~miss_penalty:cfg.imiss_penalty;
     dcache = Cache.create ~size_bytes:cfg.dcache_bytes ~line_bytes:cfg.line_bytes
@@ -62,6 +82,7 @@ let create ?(predecode = true) (cfg : Mconfig.t) =
     wins = Array.make (nwindows * 16) 0;
     cwp = 0;
     depth = 0;
+    blk_i = 0;
     fregs = Array.make 32 0;
     y = 0;
     icc_n = false;
@@ -345,6 +366,487 @@ let step_inner m pc =
   m.pc <- next;
   m.npc <- m.btarget
 
+(* ------------------------------------------------------------------ *)
+(* Superblock translation (see {!Vmachine.Block_cache}): compile a
+   straight-line decoded run into one closure per instruction, executed
+   by [exec_chain] without per-instruction dispatch.  Each closure
+   replicates its [step_inner] arm exactly — same arithmetic, same
+   memory-access and window-shift order, same cycle surcharges — so a
+   block retires with the same architectural state and timing as the
+   interpreter.  Save/Restore stay block *body* instructions: their
+   window overflow/underflow checks raise before touching state, which
+   the fault fixup of [exec_chain] handles like any other trap. *)
+
+(* Compiled action for one *body* (non-control) instruction; [None]
+   when the instruction terminates a block (Bicc/Fbfcc/Call/Jmpl,
+   compiled via [term_of]).  Store closures test the block cache's
+   dirty flag after writing and abort with [Block_cache.Retired]. *)
+let act_of m (insn : Sparc_asm.t) : (unit -> unit) option =
+  match insn with
+  | Sparc_asm.Nop -> Some (fun () -> ())
+  | Sparc_asm.Sethi (rd, imm22) -> Some (fun () -> set_reg m rd (imm22 lsl 10))
+  | Sparc_asm.Alu (a, rd, rs1, ri) ->
+    Some
+      (match a with
+      | Sparc_asm.Add -> fun () -> set_reg m rd (get_reg m rs1 + ri_val m ri)
+      | Sparc_asm.Sub -> fun () -> set_reg m rd (get_reg m rs1 - ri_val m ri)
+      | Sparc_asm.And -> fun () -> set_reg m rd (get_reg m rs1 land ri_val m ri)
+      | Sparc_asm.Or -> fun () -> set_reg m rd (get_reg m rs1 lor ri_val m ri)
+      | Sparc_asm.Xor -> fun () -> set_reg m rd (get_reg m rs1 lxor ri_val m ri)
+      | Sparc_asm.Andn -> fun () -> set_reg m rd (get_reg m rs1 land lnot (ri_val m ri))
+      | Sparc_asm.Orn -> fun () -> set_reg m rd (get_reg m rs1 lor lnot (ri_val m ri))
+      | Sparc_asm.Xnor -> fun () -> set_reg m rd (lnot (get_reg m rs1 lxor ri_val m ri))
+      | Sparc_asm.Addx ->
+        fun () -> set_reg m rd (get_reg m rs1 + ri_val m ri + if m.icc_c then 1 else 0)
+      | Sparc_asm.Sll -> fun () -> set_reg m rd (get_reg m rs1 lsl (ri_val m ri land 31))
+      | Sparc_asm.Srl -> fun () -> set_reg m rd (u32 (get_reg m rs1) lsr (ri_val m ri land 31))
+      | Sparc_asm.Sra -> fun () -> set_reg m rd (get_reg m rs1 asr (ri_val m ri land 31))
+      | Sparc_asm.Umul ->
+        fun () ->
+          m.cycles <- m.cycles + 18;
+          let x = get_reg m rs1 and y = ri_val m ri in
+          let p = Int64.mul (Int64.of_int (u32 x)) (Int64.of_int (u32 y)) in
+          m.y <- Int64.to_int (Int64.shift_right_logical p 32) land 0xFFFFFFFF;
+          set_reg m rd (Int64.to_int (Int64.logand p 0xFFFFFFFFL))
+      | Sparc_asm.Smul ->
+        fun () ->
+          m.cycles <- m.cycles + 18;
+          let x = get_reg m rs1 and y = ri_val m ri in
+          let p = Int64.mul (Int64.of_int x) (Int64.of_int y) in
+          m.y <- Int64.to_int (Int64.shift_right_logical p 32) land 0xFFFFFFFF;
+          set_reg m rd (Int64.to_int (Int64.logand p 0xFFFFFFFFL))
+      | Sparc_asm.Udiv ->
+        fun () ->
+          m.cycles <- m.cycles + 36;
+          let x = get_reg m rs1 and y = ri_val m ri in
+          let dividend =
+            Int64.logor
+              (Int64.shift_left (Int64.of_int (u32 m.y)) 32)
+              (Int64.of_int (u32 x))
+          in
+          let dv = u32 y in
+          if dv = 0 then set_reg m rd 0
+          else set_reg m rd (Int64.to_int (Int64.div dividend (Int64.of_int dv)))
+      | Sparc_asm.Sdiv ->
+        fun () ->
+          m.cycles <- m.cycles + 36;
+          let x = get_reg m rs1 and y = ri_val m ri in
+          let dividend =
+            Int64.logor
+              (Int64.shift_left (Int64.of_int (u32 m.y)) 32)
+              (Int64.of_int (u32 x))
+          in
+          if y = 0 then set_reg m rd 0
+          else set_reg m rd (Int64.to_int (Int64.div dividend (Int64.of_int y)))
+      | Sparc_asm.Addcc ->
+        fun () ->
+          let x = get_reg m rs1 and y = ri_val m ri in
+          let r = x + y in
+          m.icc_z <- u32 r = 0;
+          m.icc_n <- r land 0x80000000 <> 0;
+          m.icc_v <- lnot (x lxor y) land (x lxor r) land 0x80000000 <> 0;
+          m.icc_c <- u32 r < u32 x;
+          set_reg m rd r
+      | Sparc_asm.Subcc ->
+        fun () ->
+          let x = get_reg m rs1 and y = ri_val m ri in
+          let r = x - y in
+          set_icc_sub m x y r;
+          set_reg m rd r)
+  | Sparc_asm.Save (rd, rs1, ri) ->
+    Some
+      (fun () ->
+        if m.depth >= nwindows - 2 then raise (Machine_error "register window overflow");
+        let v = get_reg m rs1 + ri_val m ri in
+        m.cwp <- (m.cwp - 1 + nwindows) mod nwindows;
+        m.depth <- m.depth + 1;
+        set_reg m rd v)
+  | Sparc_asm.Restore (rd, rs1, ri) ->
+    Some
+      (fun () ->
+        if m.depth <= 0 then raise (Machine_error "register window underflow");
+        let v = get_reg m rs1 + ri_val m ri in
+        m.cwp <- (m.cwp + 1) mod nwindows;
+        m.depth <- m.depth - 1;
+        set_reg m rd v)
+  | Sparc_asm.Rdy rd -> Some (fun () -> set_reg m rd m.y)
+  | Sparc_asm.Wry (rs1, ri) -> Some (fun () -> m.y <- u32 (get_reg m rs1 lxor ri_val m ri))
+  | Sparc_asm.Ld (rd, rs1, ri) ->
+    Some
+      (fun () ->
+        let a = u32 (get_reg m rs1 + ri_val m ri) in
+        daccess m a;
+        set_reg m rd (Mem.read_u32 m.mem a))
+  | Sparc_asm.Ldsb (rd, rs1, ri) ->
+    Some
+      (fun () ->
+        let a = u32 (get_reg m rs1 + ri_val m ri) in
+        daccess m a;
+        let v = Mem.read_u8 m.mem a in
+        set_reg m rd (if v land 0x80 <> 0 then v - 0x100 else v))
+  | Sparc_asm.Ldub (rd, rs1, ri) ->
+    Some
+      (fun () ->
+        let a = u32 (get_reg m rs1 + ri_val m ri) in
+        daccess m a;
+        set_reg m rd (Mem.read_u8 m.mem a))
+  | Sparc_asm.Ldsh (rd, rs1, ri) ->
+    Some
+      (fun () ->
+        let a = u32 (get_reg m rs1 + ri_val m ri) in
+        daccess m a;
+        let v = Mem.read_u16 m.mem a in
+        set_reg m rd (if v land 0x8000 <> 0 then v - 0x10000 else v))
+  | Sparc_asm.Lduh (rd, rs1, ri) ->
+    Some
+      (fun () ->
+        let a = u32 (get_reg m rs1 + ri_val m ri) in
+        daccess m a;
+        set_reg m rd (Mem.read_u16 m.mem a))
+  | Sparc_asm.St (rd, rs1, ri) ->
+    Some
+      (fun () ->
+        let a = u32 (get_reg m rs1 + ri_val m ri) in
+        waccess m a;
+        Mem.write_u32 m.mem a (u32 (get_reg m rd));
+        if Block_cache.dirty m.bc then raise Block_cache.Retired)
+  | Sparc_asm.Stb (rd, rs1, ri) ->
+    Some
+      (fun () ->
+        let a = u32 (get_reg m rs1 + ri_val m ri) in
+        waccess m a;
+        Mem.write_u8 m.mem a (get_reg m rd);
+        if Block_cache.dirty m.bc then raise Block_cache.Retired)
+  | Sparc_asm.Sth (rd, rs1, ri) ->
+    Some
+      (fun () ->
+        let a = u32 (get_reg m rs1 + ri_val m ri) in
+        waccess m a;
+        Mem.write_u16 m.mem a (get_reg m rd);
+        if Block_cache.dirty m.bc then raise Block_cache.Retired)
+  | Sparc_asm.Ldf (rd, rs1, ri) ->
+    Some
+      (fun () ->
+        let a = u32 (get_reg m rs1 + ri_val m ri) in
+        daccess m a;
+        m.fregs.(rd) <- Mem.read_u32 m.mem a)
+  | Sparc_asm.Lddf (rd, rs1, ri) ->
+    Some
+      (fun () ->
+        let a = u32 (get_reg m rs1 + ri_val m ri) in
+        daccess m a;
+        m.fregs.(rd) <- Mem.read_u32 m.mem a;
+        m.fregs.(rd + 1) <- Mem.read_u32 m.mem (a + 4))
+  | Sparc_asm.Stf (rd, rs1, ri) ->
+    Some
+      (fun () ->
+        let a = u32 (get_reg m rs1 + ri_val m ri) in
+        waccess m a;
+        Mem.write_u32 m.mem a m.fregs.(rd);
+        if Block_cache.dirty m.bc then raise Block_cache.Retired)
+  | Sparc_asm.Stdf (rd, rs1, ri) ->
+    Some
+      (fun () ->
+        let a = u32 (get_reg m rs1 + ri_val m ri) in
+        waccess m a;
+        Mem.write_u32 m.mem a m.fregs.(rd);
+        Mem.write_u32 m.mem (a + 4) m.fregs.(rd + 1);
+        if Block_cache.dirty m.bc then raise Block_cache.Retired)
+  | Sparc_asm.Fpop (p, rd, rs1, rs2) ->
+    Some
+      (let open Sparc_asm in
+       match p with
+       | Fadds ->
+         fun () ->
+           m.cycles <- m.cycles + 1;
+           set_single m rd (get_single m rs1 +. get_single m rs2)
+       | Faddd ->
+         fun () ->
+           m.cycles <- m.cycles + 1;
+           set_double m rd (get_double m rs1 +. get_double m rs2)
+       | Fsubs ->
+         fun () ->
+           m.cycles <- m.cycles + 1;
+           set_single m rd (get_single m rs1 -. get_single m rs2)
+       | Fsubd ->
+         fun () ->
+           m.cycles <- m.cycles + 1;
+           set_double m rd (get_double m rs1 -. get_double m rs2)
+       | Fmuls ->
+         fun () ->
+           m.cycles <- m.cycles + 3;
+           set_single m rd (get_single m rs1 *. get_single m rs2)
+       | Fmuld ->
+         fun () ->
+           m.cycles <- m.cycles + 4;
+           set_double m rd (get_double m rs1 *. get_double m rs2)
+       | Fdivs ->
+         fun () ->
+           m.cycles <- m.cycles + 12;
+           set_single m rd (get_single m rs1 /. get_single m rs2)
+       | Fdivd ->
+         fun () ->
+           m.cycles <- m.cycles + 18;
+           set_double m rd (get_double m rs1 /. get_double m rs2)
+       | Fmovs -> fun () -> m.fregs.(rd) <- m.fregs.(rs2)
+       | Fnegs -> fun () -> set_single m rd (-.get_single m rs2)
+       | Fabss -> fun () -> set_single m rd (abs_float (get_single m rs2))
+       | Fsqrts ->
+         fun () ->
+           m.cycles <- m.cycles + 13;
+           set_single m rd (sqrt (get_single m rs2))
+       | Fsqrtd ->
+         fun () ->
+           m.cycles <- m.cycles + 25;
+           set_double m rd (sqrt (get_double m rs2))
+       | Fitos -> fun () -> set_single m rd (float_of_int (sext32 m.fregs.(rs2)))
+       | Fitod -> fun () -> set_double m rd (float_of_int (sext32 m.fregs.(rs2)))
+       | Fstoi -> fun () -> m.fregs.(rd) <- u32 (int_of_float (Float.trunc (get_single m rs2)))
+       | Fdtoi -> fun () -> m.fregs.(rd) <- u32 (int_of_float (Float.trunc (get_double m rs2)))
+       | Fstod -> fun () -> set_double m rd (get_single m rs2)
+       | Fdtos -> fun () -> set_single m rd (get_double m rs2))
+  | Sparc_asm.Fcmps (rs1, rs2) ->
+    Some
+      (fun () ->
+        let a = get_single m rs1 and b = get_single m rs2 in
+        m.fcc <- (if a = b then 0 else if a < b then 1 else 2))
+  | Sparc_asm.Fcmpd (rs1, rs2) ->
+    Some
+      (fun () ->
+        let a = get_double m rs1 and b = get_double m rs2 in
+        m.fcc <- (if a = b then 0 else if a < b then 1 else 2))
+  | Sparc_asm.Bicc _ | Sparc_asm.Fbfcc _ | Sparc_asm.Call _ | Sparc_asm.Jmpl _ -> None
+
+(* Compiled closure for a block *terminator* at address [pc]: leaves
+   the control-transfer target in [m.btarget] (fallthrough [pc + 8] for
+   an untaken branch) — exactly the interpreter's btarget discipline.
+   The delay-slot action runs next and the block commit moves btarget
+   into pc. *)
+let term_of m pc (insn : Sparc_asm.t) : (unit -> unit) option =
+  let ft = pc + 8 in
+  match insn with
+  | Sparc_asm.Bicc (c, disp) ->
+    let tk = pc + (4 * disp) in
+    Some
+      (let open Sparc_asm in
+       match c with
+       | BA -> fun () -> m.btarget <- tk
+       | BN -> fun () -> m.btarget <- ft
+       | BNE -> fun () -> m.btarget <- (if not m.icc_z then tk else ft)
+       | BE -> fun () -> m.btarget <- (if m.icc_z then tk else ft)
+       | BG -> fun () -> m.btarget <- (if not (m.icc_z || m.icc_n <> m.icc_v) then tk else ft)
+       | BLE -> fun () -> m.btarget <- (if m.icc_z || m.icc_n <> m.icc_v then tk else ft)
+       | BGE -> fun () -> m.btarget <- (if m.icc_n = m.icc_v then tk else ft)
+       | BL -> fun () -> m.btarget <- (if m.icc_n <> m.icc_v then tk else ft)
+       | BGU -> fun () -> m.btarget <- (if (not m.icc_c) && not m.icc_z then tk else ft)
+       | BLEU -> fun () -> m.btarget <- (if m.icc_c || m.icc_z then tk else ft)
+       | BCC -> fun () -> m.btarget <- (if not m.icc_c then tk else ft)
+       | BCS -> fun () -> m.btarget <- (if m.icc_c then tk else ft)
+       | BPOS -> fun () -> m.btarget <- (if not m.icc_n then tk else ft)
+       | BNEG -> fun () -> m.btarget <- (if m.icc_n then tk else ft))
+  | Sparc_asm.Fbfcc (c, disp) ->
+    let tk = pc + (4 * disp) in
+    Some
+      (let open Sparc_asm in
+       match c with
+       | FBE -> fun () -> m.btarget <- (if m.fcc = 0 then tk else ft)
+       | FBNE -> fun () -> m.btarget <- (if m.fcc <> 0 then tk else ft)
+       | FBL -> fun () -> m.btarget <- (if m.fcc = 1 then tk else ft)
+       | FBG -> fun () -> m.btarget <- (if m.fcc = 2 then tk else ft)
+       | FBLE -> fun () -> m.btarget <- (if m.fcc = 0 || m.fcc = 1 then tk else ft)
+       | FBGE -> fun () -> m.btarget <- (if m.fcc = 0 || m.fcc = 2 then tk else ft))
+  | Sparc_asm.Call disp ->
+    let tk = pc + (4 * disp) in
+    Some
+      (fun () ->
+        set_reg m 15 pc;
+        m.btarget <- tk)
+  | Sparc_asm.Jmpl (rd, rs1, ri) ->
+    Some
+      (fun () ->
+        set_reg m rd pc;
+        m.btarget <- u32 (get_reg m rs1 + ri_val m ri))
+  | _ -> None
+
+(* instructions allowed before the terminator + delay-slot pair within
+   the [Block_cache.max_insns] cap *)
+let max_body = Block_cache.max_insns - 2
+
+(* Only closures for these instructions can raise: a memory fault from
+   a load/store, a window spill/fill from Save/Restore, or
+   [Block_cache.Retired] from a store that invalidated a resident
+   block.  Everything else [act_of] compiles is pure OCaml arithmetic
+   that cannot raise (the division arms are zero-guarded), and SPARC
+   terminators only write [m.btarget], so the per-instruction
+   [m.blk_i] bookkeeping is baked in at compile time for can-raise
+   instructions alone and elided everywhere else. *)
+let act_raises (insn : Sparc_asm.t) : bool =
+  match insn with
+  | Sparc_asm.Save _ | Sparc_asm.Restore _
+  | Sparc_asm.Ld _ | Sparc_asm.Ldsb _ | Sparc_asm.Ldub _ | Sparc_asm.Ldsh _ | Sparc_asm.Lduh _
+  | Sparc_asm.St _ | Sparc_asm.Stb _ | Sparc_asm.Sth _
+  | Sparc_asm.Ldf _ | Sparc_asm.Lddf _ | Sparc_asm.Stf _ | Sparc_asm.Stdf _ -> true
+  | _ -> false
+
+(* Fuse a list of action closures into one, sequencing by direct calls
+   in chunks of four: one chunk-closure entry per four instructions
+   instead of a per-instruction array load and loop-counter update.
+   Exceptions propagate out of the fused closure unchanged. *)
+let rec seq (cs : (unit -> unit) list) : unit -> unit =
+  match cs with
+  | [] -> fun () -> ()
+  | [ a ] -> a
+  | [ a; b ] -> fun () -> a (); b ()
+  | [ a; b; c ] -> fun () -> a (); b (); c ()
+  | [ a; b; c; d ] -> fun () -> a (); b (); c (); d ()
+  | a :: b :: c :: d :: rest ->
+    let r = seq rest in
+    fun () -> a (); b (); c (); d (); r ()
+
+(* Compile the straight-line run entered at [entry]: body instructions
+   up to the first control transfer (compiled in together with its
+   delay slot), a non-compilable instruction (an illegal word, unmapped
+   memory — left for the interpreter to trap on), or the length cap.
+   [None] if not even one instruction compiles.
+
+   Timing is baked into the closures: the instruction that starts a new
+   icache line carries the registerized probe (a later same-line fetch
+   is a guaranteed hit — a block spans at most 256 consecutive bytes,
+   far below the icache size, so it cannot evict its own lines, and a
+   guaranteed hit is a no-op under bulk hit reconciliation).  Capturing
+   the tag array here is safe because [Cache.flush] clears it in
+   place. *)
+let compile_block m entry =
+  let tags, shift, mask = Cache.probe m.icache in
+  let fetch_opt pc =
+    match fetch m pc with
+    | i -> Some i
+    | exception (Machine_error _ | Mem.Fault _) -> None
+  in
+  let body = ref [] and nbody = ref 0 in
+  let fin = ref None in
+  let stop = ref false in
+  let pc = ref entry in
+  while (not !stop) && !nbody < max_body do
+    match fetch_opt !pc with
+    | None -> stop := true
+    | Some insn -> (
+      match act_of m insn with
+      | Some a ->
+        body := (act_raises insn, a) :: !body;
+        incr nbody;
+        pc := !pc + 4
+      | None -> (
+        stop := true;
+        match term_of m !pc insn with
+        | None -> ()
+        | Some t -> (
+          (* the delay slot must itself be a plain body instruction *)
+          match fetch_opt (!pc + 4) with
+          | None -> ()
+          | Some d -> (
+            match act_of m d with
+            | None -> ()
+            | Some da -> fin := Some (t, act_raises d, da)))))
+  done;
+  let tail, has_delay =
+    match !fin with
+    | Some (t, dr, da) -> ([ (false, t); (dr, da) ], true)
+    | None -> ([], false)
+  in
+  match List.rev_append !body tail with
+  | [] -> None
+  | all ->
+    let n = List.length all in
+    let wrap i (raises, act) =
+      let addr = entry + (4 * i) in
+      let line = addr lsr shift in
+      let boundary = i = 0 || line <> (addr - 4) lsr shift in
+      if boundary then begin
+        let idx = line land mask in
+        if raises then
+          fun () ->
+            m.blk_i <- i;
+            if Array.unsafe_get tags idx <> line then begin
+              let p = Cache.access_uncounted m.icache addr in
+              if p <> 0 then m.cycles <- m.cycles + p
+            end;
+            act ()
+        else
+          fun () ->
+            if Array.unsafe_get tags idx <> line then begin
+              let p = Cache.access_uncounted m.icache addr in
+              if p <> 0 then m.cycles <- m.cycles + p
+            end;
+            act ()
+      end
+      else if raises then
+        fun () ->
+          m.blk_i <- i;
+          act ()
+      else act
+    in
+    (* the commit is one more cannot-raise action fused onto the end:
+       if anything earlier raises, it never runs, and the fixup
+       handlers in [exec_chain] account the partial run instead *)
+    let commit =
+      if has_delay then
+        fun () ->
+          m.insns <- m.insns + n;
+          let t = m.btarget in
+          m.pc <- t;
+          m.npc <- t + 4
+      else begin
+        let ft = entry + (4 * n) in
+        fun () ->
+          m.insns <- m.insns + n;
+          m.pc <- ft;
+          m.npc <- ft + 4
+      end
+    in
+    Some { entry; n; run = seq (List.mapi wrap all @ [ commit ]); has_delay }
+
+(* Execute [b] (preconditions: [b.n <= fuel], [m.npc = b.entry + 4]),
+   then chain directly into the next resident block while fuel lasts.
+   Returns the remaining fuel; the three exits (clean commit, [Retired]
+   store-abort, fault) leave exactly the state the interpreter would —
+   see the MIPS twin of this function for the case analysis. *)
+let rec exec_chain m (b : block) fuel =
+  Block_cache.begin_block m.bc;
+  match b.run () with
+  | () ->
+    let fuel = fuel - b.n in
+    if m.pc = halt_addr then fuel
+    else if m.pc = b.entry && b.n <= fuel then
+      (* self-loop fast path: a clean exit means no resident block was
+         invalidated, so [b] is certainly still cached for [entry] *)
+      exec_chain m b fuel
+    else (
+      match Block_cache.find m.bc m.pc with
+      | Some nb when nb.n <= fuel -> exec_chain m nb fuel
+      | _ -> fuel)
+  | exception Block_cache.Retired ->
+    let i = m.blk_i in
+    m.insns <- m.insns + i + 1;
+    if b.has_delay && i = b.n - 1 then begin
+      let t = m.btarget in
+      m.pc <- t;
+      m.npc <- t + 4
+    end
+    else begin
+      let a = b.entry + (4 * i) in
+      m.pc <- a + 4;
+      m.npc <- a + 8
+    end;
+    fuel - (i + 1)
+  | exception e ->
+    let i = m.blk_i in
+    m.insns <- m.insns + i + 1;
+    let a = b.entry + (4 * i) in
+    m.pc <- a;
+    m.npc <- (if b.has_delay && i = b.n - 1 then m.btarget else a + 4);
+    raise e
+
 let default_fuel = 200_000_000
 
 (* Tight tail-recursive loop: the fuel check is a register countdown
@@ -379,6 +881,46 @@ let rec run_go m tags shift mask fuel =
     run_go m tags shift mask (fuel - 1)
   end
 
+(* one interpreted instruction inside the block-dispatch loop: the
+   registerized icache probe of [run_go], then [step_inner] *)
+let[@inline] step_one m tags shift mask =
+  let pc = m.pc in
+  let line = pc lsr shift in
+  if Array.unsafe_get tags (line land mask) <> line then
+    (let p = Cache.access_uncounted m.icache pc in
+     if p <> 0 then m.cycles <- m.cycles + p);
+  step_inner m pc
+
+(* Block-dispatch run loop: resident block -> [exec_chain]; no block
+   yet -> compile, cache, retry; uncompilable entry / insufficient fuel
+   for a whole block / delay-slot entry (npc off the straight line,
+   e.g. after a public [step]) -> one interpreted instruction. *)
+let rec run_blocks_go m tags shift mask fuel =
+  let pc = m.pc in
+  if pc <> halt_addr then begin
+    if fuel = 0 then raise (Machine_error "out of fuel (infinite loop?)");
+    if m.npc = pc + 4 then (
+      match Block_cache.find m.bc pc with
+      | Some b when b.n <= fuel ->
+        let fuel = exec_chain m b fuel in
+        run_blocks_go m tags shift mask fuel
+      | Some _ ->
+        step_one m tags shift mask;
+        run_blocks_go m tags shift mask (fuel - 1)
+      | None -> (
+        match compile_block m pc with
+        | Some b ->
+          Block_cache.set m.bc pc b;
+          run_blocks_go m tags shift mask fuel
+        | None ->
+          step_one m tags shift mask;
+          run_blocks_go m tags shift mask (fuel - 1)))
+    else begin
+      step_one m tags shift mask;
+      run_blocks_go m tags shift mask (fuel - 1)
+    end
+  end
+
 let run ?(fuel = default_fuel) m =
   let i0 = m.insns in
   let mi0 = Cache.misses m.icache in
@@ -388,7 +930,9 @@ let run ?(fuel = default_fuel) m =
     Cache.add_hits m.icache (retired - (Cache.misses m.icache - mi0))
   in
   let tags, shift, mask = Cache.probe m.icache in
-  (try run_go m tags shift mask fuel
+  (try
+     if m.blocks then run_blocks_go m tags shift mask fuel
+     else run_go m tags shift mask fuel
    with e ->
      finish ();
      raise e);
@@ -451,4 +995,5 @@ let reset_stats m =
 let flush_caches m =
   Cache.flush m.icache;
   Cache.flush m.dcache;
-  Decode_cache.clear m.pdc
+  Decode_cache.clear m.pdc;
+  Block_cache.clear m.bc

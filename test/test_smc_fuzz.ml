@@ -1,0 +1,292 @@
+(* Self-modifying-code fuzz over the superblock translation layer.
+
+   On every port: a hand-assembled loop executes a long patchable
+   straight-line run (longer than Block_cache.max_insns, so it spans
+   several compiled blocks).  Each round the host rewrites a few of the
+   patchable code words — biased toward the block-boundary indices —
+   with random instructions from a per-port pool of pure ALU ops on the
+   accumulator, then calls the function on a blocks-on and a blocks-off
+   machine in lockstep.  The return value (the accumulator, a checksum
+   of the whole ALU history, i.e. of every executed instruction) and
+   the full statistics bundle (cycles, retired instructions, icache and
+   dcache hits/misses) must match exactly: any stale block, miscounted
+   cycle, or skipped icache probe after an invalidation shows up as a
+   divergence.  Seeded PRNG, so failures replay. *)
+
+let check = Alcotest.check
+
+let rounds = 200
+
+(* patchable slots per program: > max_insns so the run spans several
+   compiled blocks and patches land on both sides of the seams *)
+let n_patch = (3 * Vmachine.Block_cache.max_insns / 2) + 2
+
+(* ret + (cycles, insns, icache, dcache) *)
+let result =
+  Alcotest.(pair int (pair int (pair int (pair (pair int int) (pair int int)))))
+
+(* slot choice: half uniform, half pinned to the seams (the first and
+   last slots, and the indices straddling each max_insns multiple) *)
+let boundary_slots =
+  let b = Vmachine.Block_cache.max_insns in
+  [ 0; 1; n_patch - 2; n_patch - 1; b - 2; b - 1; b; b + 1 ]
+
+let pick_slot rs =
+  if Random.State.bool rs then
+    List.nth boundary_slots (Random.State.int rs (List.length boundary_slots))
+  else Random.State.int rs n_patch
+
+(* Per-port harness: calling [call n] runs the program with loop count
+   [n] from a reset-stats state; [patch i w] rewrites patchable slot
+   [i] with encoded word [w] (a host write, so it rides the write-
+   watcher invalidation path); [invalidations ()] reads the block
+   cache's drop counter. *)
+type harness = {
+  call : int -> int * (int * (int * ((int * int) * (int * int))));
+  patch : int -> int -> unit;
+  invalidations : unit -> int;
+}
+
+let drive name (mk : blocks:bool -> harness) (pool : Random.State.t -> int) =
+  let on = mk ~blocks:true and off = mk ~blocks:false in
+  let rs = Random.State.make [| 0x5eed; Hashtbl.hash name |] in
+  for round = 1 to rounds do
+    let npatches = 1 + Random.State.int rs 3 in
+    for _ = 1 to npatches do
+      let s = pick_slot rs and w = pool rs in
+      on.patch s w;
+      off.patch s w
+    done;
+    let n = 3 + Random.State.int rs 20 in
+    check result
+      (Printf.sprintf "%s: round %d (n=%d) matches blocks-off" name round n)
+      (off.call n) (on.call n)
+  done;
+  check Alcotest.bool (name ^ ": patches actually dropped compiled blocks") true
+    (on.invalidations () > 0)
+
+(* ------------------------------------------------------------------ *)
+(* MIPS                                                                *)
+
+let test_mips () =
+  let module S = Vmips.Mips_sim in
+  let module A = Vmips.Mips_asm in
+  let base = 0x1000 in
+  let p = n_patch in
+  (* v0 (r2) = acc, a0 (r4) = loop count *)
+  let out_idx = 3 + p + 3 in
+  let program =
+    [ A.Addiu (2, 0, 0); (* 0: acc <- 0           *)
+      A.Blez (4, out_idx - 2); (* 1: loop: n <= 0 -> out *)
+      A.Nop (* 2: delay              *) ]
+    @ List.init p (fun _ -> A.Addiu (2, 2, 1)) (* 3..p+2: patchable *)
+    @ [ A.Addiu (4, 4, -1); (* p+3: n <- n - 1   *)
+        A.J ((base / 4) + 1); (* p+4: -> loop      *)
+        A.Nop; (* p+5: delay        *)
+        A.Jr 31; (* p+6 = out         *)
+        A.Nop (* p+7: delay        *) ]
+  in
+  let pool rs =
+    let k = 1 + Random.State.int rs 100 and sh = 1 + Random.State.int rs 7 in
+    A.encode
+      (match Random.State.int rs 8 with
+      | 0 -> A.Addiu (2, 2, k)
+      | 1 -> A.Ori (2, 2, k)
+      | 2 -> A.Xori (2, 2, k)
+      | 3 -> A.Andi (2, 2, k lor 0xF0)
+      | 4 -> A.Addu (2, 2, 2)
+      | 5 -> A.Sll (2, 2, sh)
+      | 6 -> A.Srl (2, 2, sh)
+      | _ -> A.Nop)
+  in
+  let mk ~blocks =
+    let m = S.create ~blocks Vmachine.Mconfig.test_config in
+    List.iteri
+      (fun i insn -> Vmachine.Mem.write_u32 m.S.mem (base + (4 * i)) (A.encode insn))
+      program;
+    {
+      call =
+        (fun n ->
+          S.reset_stats m;
+          S.call m ~entry:base [ S.Int n ];
+          ( S.ret_int m,
+            ( m.S.cycles,
+              ( m.S.insns,
+                (Vmachine.Cache.stats m.S.icache, Vmachine.Cache.stats m.S.dcache) ) ) ));
+      patch = (fun i w -> Vmachine.Mem.write_u32 m.S.mem (base + (4 * (3 + i))) w);
+      invalidations = (fun () -> snd (Vmachine.Block_cache.stats m.S.bc));
+    }
+  in
+  drive "mips" mk pool
+
+(* ------------------------------------------------------------------ *)
+(* SPARC                                                               *)
+
+let test_sparc () =
+  let module S = Vsparc.Sparc_sim in
+  let module A = Vsparc.Sparc_asm in
+  let base = 0x1000 in
+  let p = n_patch in
+  (* %g1 (r1) = acc, %o0 (r8) = loop count and return value; leaf
+     routine, no register window *)
+  let out_idx = 4 + p + 3 in
+  let program =
+    [ A.Alu (A.Or, 1, 0, A.Imm 0); (* 0: acc <- 0              *)
+      A.Alu (A.Subcc, 0, 8, A.Imm 0); (* 1: loop: icc <- n cmp 0  *)
+      A.Bicc (A.BLE, out_idx - 2); (* 2: n <= 0 -> out         *)
+      A.Nop (* 3: delay                 *) ]
+    @ List.init p (fun _ -> A.Alu (A.Add, 1, 1, A.Imm 1)) (* 4..p+3: patchable *)
+    @ [ A.Alu (A.Sub, 8, 8, A.Imm 1); (* p+4: n <- n - 1     *)
+        A.Bicc (A.BA, 1 - (4 + p + 1)); (* p+5: -> loop        *)
+        A.Nop; (* p+6: delay          *)
+        A.Jmpl (0, 15, A.Imm 8); (* p+7 = out: ret      *)
+        A.Alu (A.Add, 8, 1, A.Imm 0) (* p+8: delay: %o0 <- acc *) ]
+  in
+  let pool rs =
+    let k = 1 + Random.State.int rs 100 and sh = 1 + Random.State.int rs 7 in
+    A.encode
+      (match Random.State.int rs 8 with
+      | 0 -> A.Alu (A.Add, 1, 1, A.Imm k)
+      | 1 -> A.Alu (A.Or, 1, 1, A.Imm k)
+      | 2 -> A.Alu (A.Xor, 1, 1, A.Imm k)
+      | 3 -> A.Alu (A.And, 1, 1, A.Imm (k lor 0xF0))
+      | 4 -> A.Alu (A.Sll, 1, 1, A.Imm sh)
+      | 5 -> A.Alu (A.Srl, 1, 1, A.Imm sh)
+      | 6 -> A.Sethi (1, k)
+      | _ -> A.Nop)
+  in
+  let mk ~blocks =
+    let m = S.create ~blocks Vmachine.Mconfig.test_config in
+    List.iteri
+      (fun i insn -> Vmachine.Mem.write_u32 m.S.mem (base + (4 * i)) (A.encode insn))
+      program;
+    {
+      call =
+        (fun n ->
+          S.reset_stats m;
+          S.call m ~entry:base [ S.Int n ];
+          ( S.ret_int m,
+            ( m.S.cycles,
+              ( m.S.insns,
+                (Vmachine.Cache.stats m.S.icache, Vmachine.Cache.stats m.S.dcache) ) ) ));
+      patch = (fun i w -> Vmachine.Mem.write_u32 m.S.mem (base + (4 * (4 + i))) w);
+      invalidations = (fun () -> snd (Vmachine.Block_cache.stats m.S.bc));
+    }
+  in
+  drive "sparc" mk pool
+
+(* ------------------------------------------------------------------ *)
+(* Alpha                                                               *)
+
+let test_alpha () =
+  let module S = Valpha.Alpha_sim in
+  let module A = Valpha.Alpha_asm in
+  let base = 0x1000 in
+  let p = n_patch in
+  (* r0 = acc and return value, r16 = loop count *)
+  let out_idx = 2 + p + 2 in
+  let program =
+    [ A.Intop (A.Bis, 31, A.L 0, 0); (* 0: acc <- 0            *)
+      A.Ble (16, out_idx - 2) (* 1: loop: n <= 0 -> out *) ]
+    @ List.init p (fun _ -> A.Intop (A.Addq, 0, A.L 1, 0)) (* 2..p+1: patchable *)
+    @ [ A.Intop (A.Subq, 16, A.L 1, 16); (* p+2: n <- n - 1 *)
+        A.Br (31, 1 - (2 + p + 2)); (* p+3: -> loop    *)
+        A.Retj (31, 26) (* p+4 = out: ret  *) ]
+  in
+  let pool rs =
+    let k = 1 + Random.State.int rs 100 and sh = 1 + Random.State.int rs 7 in
+    A.encode
+      (match Random.State.int rs 8 with
+      | 0 -> A.Intop (A.Addq, 0, A.L k, 0)
+      | 1 -> A.Intop (A.Bis, 0, A.L k, 0)
+      | 2 -> A.Intop (A.Xor, 0, A.L k, 0)
+      | 3 -> A.Intop (A.And, 0, A.L (k lor 0xF0), 0)
+      | 4 -> A.Intop (A.Sll, 0, A.L sh, 0)
+      | 5 -> A.Intop (A.Srl, 0, A.L sh, 0)
+      | 6 -> A.Intop (A.Addl, 0, A.L k, 0)
+      | _ -> A.Intop (A.Bis, 31, A.R 31, 31) (* canonical nop *))
+  in
+  let mk ~blocks =
+    let m = S.create ~blocks Vmachine.Mconfig.test_config in
+    List.iteri
+      (fun i insn -> Vmachine.Mem.write_u32 m.S.mem (base + (4 * i)) (A.encode insn))
+      program;
+    {
+      call =
+        (fun n ->
+          S.reset_stats m;
+          S.call m ~entry:base [ S.Int n ];
+          ( S.ret_int m land 0xFFFFFFFF,
+            ( m.S.cycles,
+              ( m.S.insns,
+                (Vmachine.Cache.stats m.S.icache, Vmachine.Cache.stats m.S.dcache) ) ) ));
+      patch = (fun i w -> Vmachine.Mem.write_u32 m.S.mem (base + (4 * (2 + i))) w);
+      invalidations = (fun () -> snd (Vmachine.Block_cache.stats m.S.bc));
+    }
+  in
+  drive "alpha" mk pool
+
+(* ------------------------------------------------------------------ *)
+(* PowerPC                                                             *)
+
+let test_ppc () =
+  let module S = Vppc.Ppc_sim in
+  let module A = Vppc.Ppc_asm in
+  let base = 0x1000 in
+  let p = n_patch in
+  (* r4 = acc, r3 = loop count and return value *)
+  let out_idx = 3 + p + 2 in
+  let program =
+    [ A.Addi (4, 0, 0); (* 0: acc <- 0            *)
+      A.Cmpi (3, 0); (* 1: loop: cr0 <- n cmp 0 *)
+      A.Bc (4, 1, out_idx - 2) (* 2: not gt -> out       *) ]
+    @ List.init p (fun _ -> A.Addi (4, 4, 1)) (* 3..p+2: patchable *)
+    @ [ A.Addi (3, 3, -1); (* p+3: n <- n - 1  *)
+        A.B (1 - (3 + p + 1)); (* p+4: -> loop     *)
+        A.Or (3, 4, 4); (* p+5 = out: r3 <- acc *)
+        A.Blr (* p+6: ret          *) ]
+  in
+  let pool rs =
+    let k = 1 + Random.State.int rs 100 and sh = 1 + Random.State.int rs 7 in
+    A.encode
+      (match Random.State.int rs 8 with
+      | 0 -> A.Addi (4, 4, k)
+      | 1 -> A.Ori (4, 4, k)
+      | 2 -> A.Xori (4, 4, k)
+      | 3 -> A.Add (4, 4, 4)
+      | 4 -> A.Srawi (4, 4, sh)
+      | 5 -> A.Neg (4, 4)
+      | 6 -> A.Rlwinm (4, 4, sh, 0, 31)
+      | _ -> A.Ori (4, 4, 0) (* canonical nop *))
+  in
+  let mk ~blocks =
+    let m = S.create ~blocks Vmachine.Mconfig.test_config in
+    List.iteri
+      (fun i insn -> Vmachine.Mem.write_u32 m.S.mem (base + (4 * i)) (A.encode insn))
+      program;
+    {
+      call =
+        (fun n ->
+          S.reset_stats m;
+          S.call m ~entry:base [ S.Int n ];
+          ( S.ret_int m,
+            ( m.S.cycles,
+              ( m.S.insns,
+                (Vmachine.Cache.stats m.S.icache, Vmachine.Cache.stats m.S.dcache) ) ) ));
+      patch = (fun i w -> Vmachine.Mem.write_u32 m.S.mem (base + (4 * (3 + i))) w);
+      invalidations = (fun () -> snd (Vmachine.Block_cache.stats m.S.bc));
+    }
+  in
+  drive "ppc" mk pool
+
+let () =
+  Alcotest.run "smc-fuzz"
+    [
+      ( "lockstep",
+        [
+          Alcotest.test_case "mips" `Quick test_mips;
+          Alcotest.test_case "sparc" `Quick test_sparc;
+          Alcotest.test_case "alpha" `Quick test_alpha;
+          Alcotest.test_case "ppc" `Quick test_ppc;
+        ] );
+    ]
