@@ -23,10 +23,15 @@
 
 open Vcodebase
 module V = Vcode.Make (Vmips.Mips_backend)
+module VU = Vcode.Make_unchecked (Vmips.Mips_backend)
 module D = Dcg.Make (Vmips.Mips_backend)
 module Sim = Vmips.Mips_sim
 
 let insns_per_body = 200
+
+(* enough buffer for the 200-insn body plus prologue/epilogue, so the
+   steady state of every codegen fixture is allocation-free *)
+let body_capacity = 320
 
 (* ------------------------------------------------------------------ *)
 (* Machine-readable results: every section records its headline numbers
@@ -63,29 +68,51 @@ let slug s =
 (* Codegen-cost fixtures: the same 200-instruction function, specified
    through each system.                                                *)
 
-(* a realistic instruction mix: ALU, immediates, loads/stores *)
+(* A realistic instruction mix: ALU, immediates, loads/stores.  The
+   fixtures call the core checked emitters ([arith], [load_imm], ...)
+   directly — the paper's v_addii &c. are macros that expand to exactly
+   this, and the [Names] aliases are one extra OCaml call the C macros
+   don't have. *)
 let vcode_body g (r0 : Reg.t) (r1 : Reg.t) (p : Reg.t) =
-  let open V.Names in
   for _ = 1 to insns_per_body / 8 do
-    addii g r0 r0 1;
-    addi g r1 r1 r0;
-    lshii g r0 r0 2;
-    xori g r0 r0 r1;
-    ldii g r1 p 0;
-    stii g r0 p 4;
-    subi g r0 r0 r1;
-    orii g r1 r1 255
+    V.arith_imm g Op.Add Vtype.I r0 r0 1;
+    V.arith g Op.Add Vtype.I r1 r1 r0;
+    V.arith_imm g Op.Lsh Vtype.I r0 r0 2;
+    V.arith g Op.Xor Vtype.I r0 r0 r1;
+    V.load_imm g Vtype.I r1 p 0;
+    V.store_imm g Vtype.I r0 p 4;
+    V.arith g Op.Sub Vtype.I r0 r0 r1;
+    V.arith_imm g Op.Or Vtype.I r1 r1 255
   done
 
 let gen_vcode_checked () =
-  let g, args = V.lambda ~base:0x1000 ~leaf:true "%i%i%p" in
+  let g, args = V.lambda ~base:0x1000 ~leaf:true ~capacity:body_capacity "%i%i%p" in
   vcode_body g args.(0) args.(1) args.(2);
   V.Names.reti g args.(0);
   V.end_gen g
 
+(* the same mix through the unchecked instantiation (checks compiled out) *)
+let vcode_body_u g (r0 : Reg.t) (r1 : Reg.t) (p : Reg.t) =
+  for _ = 1 to insns_per_body / 8 do
+    VU.arith_imm g Op.Add Vtype.I r0 r0 1;
+    VU.arith g Op.Add Vtype.I r1 r1 r0;
+    VU.arith_imm g Op.Lsh Vtype.I r0 r0 2;
+    VU.arith g Op.Xor Vtype.I r0 r0 r1;
+    VU.load_imm g Vtype.I r1 p 0;
+    VU.store_imm g Vtype.I r0 p 4;
+    VU.arith g Op.Sub Vtype.I r0 r0 r1;
+    VU.arith_imm g Op.Or Vtype.I r1 r1 255
+  done
+
+let gen_vcode_unchecked () =
+  let g, args = VU.lambda ~base:0x1000 ~leaf:true ~capacity:body_capacity "%i%i%p" in
+  vcode_body_u g args.(0) args.(1) args.(2);
+  VU.Names.reti g args.(0);
+  VU.end_gen g
+
 (* hard-coded register names (section 5.3): no allocator interaction *)
 let gen_vcode_hard_regs () =
-  let g, args = V.lambda ~base:0x1000 ~leaf:true "%p" in
+  let g, args = V.lambda ~base:0x1000 ~leaf:true ~capacity:body_capacity "%p" in
   let r0 = V.treg 0 and r1 = V.treg 1 in
   vcode_body g r0 r1 args.(0);
   V.Names.reti g r0;
@@ -94,15 +121,15 @@ let gen_vcode_hard_regs () =
 (* raw backend emitters, bypassing the checked layer *)
 let gen_vcode_raw () =
   let module T = Vmips.Mips_backend in
-  let g, args = V.lambda ~base:0x1000 ~leaf:true "%i%i%p" in
+  let g, args = V.lambda ~base:0x1000 ~leaf:true ~capacity:body_capacity "%i%i%p" in
   let r0 = args.(0) and r1 = args.(1) and p = args.(2) in
   for _ = 1 to insns_per_body / 8 do
     T.arith_imm g Op.Add Vtype.I r0 r0 1;
     T.arith g Op.Add Vtype.I r1 r1 r0;
     T.arith_imm g Op.Lsh Vtype.I r0 r0 2;
     T.arith g Op.Xor Vtype.I r0 r0 r1;
-    T.load g Vtype.I r1 p (Gen.Oimm 0);
-    T.store g Vtype.I r0 p (Gen.Oimm 4);
+    T.load_imm g Vtype.I r1 p 0;
+    T.store_imm g Vtype.I r0 p 4;
     T.arith g Op.Sub Vtype.I r0 r0 r1;
     T.arith_imm g Op.Or Vtype.I r1 r1 255
   done;
@@ -144,7 +171,7 @@ open Toolkit
 let run_benchmarks (tests : Test.t list) =
   let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
   let instances = Instance.[ monotonic_clock ] in
-  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let cfg = Benchmark.cfg ~limit:3000 ~quota:(Time.second 1.0) ~kde:None () in
   let tbl = Hashtbl.create 17 in
   List.iter
     (fun test ->
@@ -171,6 +198,7 @@ let bench_codegen () =
   let tests =
     [
       Test.make ~name:"vcode" (Staged.stage (fun () -> Sys.opaque_identity (gen_vcode_checked ())));
+      Test.make ~name:"vcode-unchecked" (Staged.stage (fun () -> Sys.opaque_identity (gen_vcode_unchecked ())));
       Test.make ~name:"vcode-hard-regs" (Staged.stage (fun () -> Sys.opaque_identity (gen_vcode_hard_regs ())));
       Test.make ~name:"vcode-raw-emitters" (Staged.stage (fun () -> Sys.opaque_identity (gen_vcode_raw ())));
       Test.make ~name:"dcg-ir" (Staged.stage (fun () -> Sys.opaque_identity (gen_dcg ())));
@@ -182,28 +210,37 @@ let bench_codegen () =
   let rows =
     [
       ("vcode (checked API)", per "vcode");
+      ("vcode (unchecked API)", per "vcode-unchecked");
       ("vcode (hard-coded registers)", per "vcode-hard-regs");
       ("vcode (raw backend emitters)", per "vcode-raw-emitters");
       ("dcg (IR build + consume)", per "dcg-ir");
     ]
   in
   List.iter (fun n -> record ("codegen." ^ slug n ^ ".ns_per_insn") (per n))
-    [ "vcode"; "vcode-hard-regs"; "vcode-raw-emitters"; "dcg-ir" ];
+    [ "vcode"; "vcode-unchecked"; "vcode-hard-regs"; "vcode-raw-emitters"; "dcg-ir" ];
   Printf.printf "   %-34s %14s %10s\n" "system" "ns/generated" "vs vcode";
   let base = per "vcode" in
   List.iter
     (fun (name, ns) -> Printf.printf "   %-34s %14.1f %9.2fx\n" name ns (ns /. base))
     rows;
-  let aw_v = minor_words_of gen_vcode_checked /. float_of_int insns_per_body in
-  let aw_d = minor_words_of gen_dcg /. float_of_int insns_per_body in
-  Printf.printf "\n   heap words allocated per instruction: vcode %.1f, dcg %.1f (%.1fx)\n"
-    aw_v aw_d (aw_d /. aw_v);
+  let per_insn_words f = minor_words_of f /. float_of_int insns_per_body in
+  let aw_v = per_insn_words gen_vcode_checked in
+  let aw_u = per_insn_words gen_vcode_unchecked in
+  let aw_r = per_insn_words gen_vcode_raw in
+  let aw_d = per_insn_words gen_dcg in
+  Printf.printf
+    "\n   heap words allocated per instruction: vcode %.2f, unchecked %.2f, raw %.2f, dcg %.1f (%.1fx)\n"
+    aw_v aw_u aw_r aw_d (aw_d /. aw_v);
   Printf.printf "   paper: vcode ~6-10 host insns/insn; DCG ~35x slower than vcode.\n";
   Printf.printf "   (the raw-emitter row is the closest analogue of the paper's C\n";
-  Printf.printf "   macros, which performed no per-instruction validation.)\n\n";
+  Printf.printf "   macros; the unchecked row is its NDEBUG build of v_* macros.)\n\n";
   record "codegen.dcg_vs_vcode" (per "dcg-ir" /. base);
   record "codegen.dcg_vs_raw" (per "dcg-ir" /. per "vcode-raw-emitters");
+  record "codegen.unchecked_vs_raw" (per "vcode-unchecked" /. per "vcode-raw-emitters");
+  record "codegen.checked_vs_unchecked" (base /. per "vcode-unchecked");
   record "codegen.alloc_words_vcode" aw_v;
+  record "codegen.alloc_words_vcode_unchecked" aw_u;
+  record "codegen.alloc_words_vcode_raw" aw_r;
   record "codegen.alloc_words_dcg" aw_d;
   (per "dcg-ir" /. base, per "dcg-ir" /. per "vcode-raw-emitters", aw_d /. aw_v)
 

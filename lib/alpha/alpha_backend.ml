@@ -189,7 +189,7 @@ let emit_sdivmod g (t : Vtype.t) rd rs1 rs2 ~want_rem =
 (* ------------------------------------------------------------------ *)
 (* ALU                                                                 *)
 
-let arith g (op : Op.binop) (t : Vtype.t) rd rs1 rs2 =
+let arith_core g (op : Op.binop) (t : Vtype.t) rd rs1 rs2 =
   if Vtype.is_float t then begin
     let dbl = t <> Vtype.F in
     let d = rnum rd and a = rnum rs1 and b = rnum rs2 in
@@ -242,13 +242,20 @@ let arith g (op : Op.binop) (t : Vtype.t) rd rs1 rs2 =
       else if signed_ty t then e g (A.Intop (A.Sra, a, b, d))
       else e g (A.Intop (A.Srl, a, b, d))
 
+let arith g op t rd rs1 rs2 =
+  Gen.note_write g rd;
+  Gen.count_insn g;
+  arith_core g op t rd rs1 rs2
+
 let arith_imm g (op : Op.binop) (t : Vtype.t) rd rs1 imm =
+  Gen.note_write g rd;
+  Gen.count_insn g;
   let d = rnum rd and a = rnum rs1 in
   let small = imm >= 0 && imm <= 255 in
   let lit = A.L (imm land 0xFF) in
   let via_reg () =
     emit_const g mr_b (Int64.of_int imm);
-    arith g op t rd rs1 (Reg.R mr_b)
+    arith_core g op t rd rs1 (Reg.R mr_b)
   in
   match op with
   | Op.Add when small -> e g (A.Intop ((if is_32 t then A.Addl else A.Addq), a, lit, d))
@@ -278,6 +285,8 @@ let arith_imm g (op : Op.binop) (t : Vtype.t) rd rs1 imm =
   | Op.Add | Op.Sub | Op.Mul | Op.Div | Op.Mod | Op.And | Op.Or | Op.Xor -> via_reg ()
 
 let unary g (op : Op.unop) (t : Vtype.t) rd rs =
+  Gen.note_write g rd;
+  Gen.count_insn g;
   if Vtype.is_float t then begin
     let d = rnum rd and s = rnum rs in
     match op with
@@ -296,16 +305,20 @@ let unary g (op : Op.unop) (t : Vtype.t) rd rs =
     | Op.Neg -> e g (A.Intop ((if is_32 t then A.Subl else A.Subq), zero, A.R s, d))
 
 let set g (t : Vtype.t) rd imm64 =
+  Gen.note_write g rd;
+  Gen.count_insn g;
   let v = if is_32 t then Int64.shift_right (Int64.shift_left imm64 32) 32 else imm64 in
   emit_const g (rnum rd) v
 
 let setf g (t : Vtype.t) rd v =
+  Gen.note_write g rd;
+  Gen.count_insn g;
   let dbl = match t with Vtype.D -> true | _ -> false in
   let site = Codebuf.length g.Gen.buf in
   e g (A.Ldah (at, zero, 0));
   e g (if dbl then A.Ldt (rnum rd, at, 0) else A.Lds (rnum rd, at, 0));
   let bits = if dbl then Int64.bits_of_float v else Int64.of_int32 (Int32.bits_of_float v) in
-  g.Gen.fimms <- (site, bits, dbl) :: g.Gen.fimms
+  Gen.add_fimm g ~site ~bits ~dbl
 
 (* ------------------------------------------------------------------ *)
 (* Branches                                                            *)
@@ -397,6 +410,8 @@ let branch_imm g (c : Op.cond) (t : Vtype.t) rs1 imm lab =
 (* Conversions                                                         *)
 
 let cvt g ~(from : Vtype.t) ~(to_ : Vtype.t) rd rs =
+  Gen.note_write g rd;
+  Gen.count_insn g;
   if (not (Vtype.is_float from)) && not (Vtype.is_float to_) then begin
     (* word-class conversions: adjust the 32/64-bit representation *)
     let d = rnum rd and s = rnum rs in
@@ -457,7 +472,7 @@ let addr_into_at g base (off : Gen.offset) =
     e g (A.Intop (A.Addq, at, A.R (rnum base), at))
   | Gen.Oreg r -> e g (A.Intop (A.Addq, rnum base, A.R (rnum r), at))
 
-let load g (t : Vtype.t) rd base off =
+let load_off g (t : Vtype.t) rd base off =
   match t with
   | Vtype.I | Vtype.U ->
     let b, o = mem_addr g base off in
@@ -494,7 +509,7 @@ let load g (t : Vtype.t) rd base off =
     e g (A.Intop (A.Sra, rnum rd, A.L 48, rnum rd))
   | Vtype.V -> Verror.fail (Verror.Bad_type "ld.v")
 
-let store g (t : Vtype.t) rv base off =
+let store_off g (t : Vtype.t) rv base off =
   match t with
   | Vtype.I | Vtype.U ->
     let b, o = mem_addr g base off in
@@ -524,6 +539,14 @@ let store g (t : Vtype.t) rv base off =
     e g (A.Intop (A.Bis, mr_q, A.R mr_b, mr_q));
     e g (A.Stq_u (mr_q, at, 0))
   | Vtype.V -> Verror.fail (Verror.Bad_type "st.v")
+
+(* The Target.S imm/reg-specialized memory entry points.  The sub-word
+   synthesis above keeps the offset-dispatch form internally; the split
+   matters for ports on the allocation-free fast path (MIPS). *)
+let load_imm g t rd base off = Gen.note_write g rd; Gen.count_insn g; load_off g t rd base (Gen.Oimm off)
+let load_reg g t rd base idx = Gen.note_write g rd; Gen.count_insn g; load_off g t rd base (Gen.Oreg idx)
+let store_imm g t rv base off = Gen.count_insn g; store_off g t rv base (Gen.Oimm off)
+let store_reg g t rv base idx = Gen.count_insn g; store_off g t rv base (Gen.Oreg idx)
 
 (* ------------------------------------------------------------------ *)
 (* Control                                                             *)
@@ -592,7 +615,7 @@ let lambda g (tys : Vtype.t array) : Reg.t array =
             | None -> Verror.fail (Verror.Registers_exhausted "incoming arguments"))
         in
         Gen.note_write g r;
-        g.Gen.arg_loads <- (s, r, t) :: g.Gen.arg_loads;
+        Gen.add_arg_load g ~slot:s r t;
         r)
     locs
 
@@ -615,18 +638,17 @@ let ret g (t : Vtype.t) (r : Reg.t option) =
 
 let save_layout g = Gen.save_layout g ~first_off:save_base ~int_bytes:8 ~limit:locals_base
 
-let push_arg g (t : Vtype.t) (r : Reg.t) = g.Gen.call_args <- (t, r) :: g.Gen.call_args
+let push_arg g (t : Vtype.t) (r : Reg.t) = Gen.push_call_arg g t r
 
 let do_call g (target : Gen.jtarget) =
-  let args = Array.of_list (List.rev g.Gen.call_args) in
-  g.Gen.call_args <- [];
-  let tys = Array.map fst args in
+  let n = Gen.call_arg_count g in
+  let tys = Array.init n (Gen.call_arg_ty g) in
   let locs = assign_slots tys in
-  if Array.length args > max_arg_slots then
+  if n > max_arg_slots then
     Verror.fail (Verror.Unsupported "more than 12 outgoing argument slots");
   Array.iteri
     (fun i ((t : Vtype.t), loc) ->
-      let _, src = args.(i) in
+      let src = Gen.call_arg_reg g i in
       match loc with
       | On_stack s -> (
         match t with
@@ -637,12 +659,13 @@ let do_call g (target : Gen.jtarget) =
     locs;
   Array.iteri
     (fun i (_, loc) ->
-      let _, src = args.(i) in
+      let src = Gen.call_arg_reg g i in
       match loc with
       | In_ireg n -> if rnum src <> n then e g (A.Intop (A.Bis, rnum src, A.R (rnum src), n))
       | In_freg n -> if rnum src <> n then e g (A.Fpop (A.Cpys, rnum src, rnum src, n))
       | On_stack _ -> ())
     locs;
+  Gen.clear_call_args g;
   jal g target
 
 let retval g (t : Vtype.t) (r : Reg.t) =
@@ -689,15 +712,13 @@ let finish g =
       | `Int (n, off) -> add (A.Stq (n, sp, off))
       | `Fp (n, off) -> add (A.Stt (n, sp, off)))
     saves;
-  List.iter
-    (fun (s, r, (t : Vtype.t)) ->
-      let off = frame + (8 * s) in
+  Gen.iter_arg_loads g (fun ~slot r (t : Vtype.t) ->
+      let off = frame + (8 * slot) in
       match t with
       | Vtype.F -> add (A.Lds (rnum r, sp, off))
       | Vtype.D -> add (A.Ldt (rnum r, sp, off))
       | Vtype.I | Vtype.U -> add (A.Ldl (rnum r, sp, off))
-      | _ -> add (A.Ldq (rnum r, sp, off)))
-    (List.rev g.Gen.arg_loads);
+      | _ -> add (A.Ldq (rnum r, sp, off)));
   let pro = List.rev !prologue in
   let k = List.length pro in
   if k > reserve_words then Verror.fail (Verror.Unsupported "prologue overflow");

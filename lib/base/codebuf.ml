@@ -5,7 +5,14 @@
    structure anywhere else in the system.  All three supported targets
    (MIPS-I, SPARC-V8, Alpha) have fixed 32-bit instruction words, so the
    buffer is word-oriented.  Words are stored as OCaml ints in
-   [0, 2^32). *)
+   [0, 2^32).
+
+   [emit] is the hottest function in the generator: every backend
+   encoder funnels through it once per machine instruction.  It is kept
+   to a straight-line store — one capacity test, an unsafe write (the
+   capacity test just established the index is in range), a length
+   bump — and marked [@inline] so the optimizer can flatten it into the
+   backend emit helpers. *)
 
 type t = {
   mutable words : int array;
@@ -23,10 +30,10 @@ let grow t =
   t.words <- w
 
 (* Append one instruction word; returns its index. *)
-let emit t w =
-  if t.len = Array.length t.words then grow t;
+let[@inline] emit t w =
   let i = t.len in
-  t.words.(i) <- w land 0xFFFFFFFF;
+  if i = Array.length t.words then grow t;
+  Array.unsafe_set t.words i (w land 0xFFFFFFFF);
   t.len <- i + 1;
   i
 
@@ -38,18 +45,21 @@ let reserve t ~n ~fill =
   first
 
 let get t i =
-  if i < 0 || i >= t.len then invalid_arg "Codebuf.get";
-  t.words.(i)
+  if i < 0 || i >= t.len then
+    Verror.fail (Verror.Bad_operand (Printf.sprintf "Codebuf.get: index %d outside [0,%d)" i t.len));
+  Array.unsafe_get t.words i
 
 (* Backpatch a previously emitted word. *)
 let set t i w =
-  if i < 0 || i >= t.len then invalid_arg "Codebuf.set";
-  t.words.(i) <- w land 0xFFFFFFFF
+  if i < 0 || i >= t.len then
+    Verror.fail (Verror.Bad_operand (Printf.sprintf "Codebuf.set: index %d outside [0,%d)" i t.len));
+  Array.unsafe_set t.words i (w land 0xFFFFFFFF)
 
 (* Drop words emitted after index [len]; used by the delay-slot scheduler
    to lift an instruction into a branch's slot. *)
 let truncate t len =
-  if len < 0 || len > t.len then invalid_arg "Codebuf.truncate";
+  if len < 0 || len > t.len then
+    Verror.fail (Verror.Bad_operand (Printf.sprintf "Codebuf.truncate: length %d outside [0,%d]" len t.len));
   t.len <- len
 
 let to_array t = Array.sub t.words 0 t.len

@@ -12,7 +12,8 @@ val create : ?capacity:int -> unit -> t
 val length : t -> int
 
 (** append one instruction word (interpreted modulo 2^32); returns the
-    word's index for later backpatching *)
+    word's index for later backpatching.  The hot path of the whole
+    generator: one capacity test and a straight-line store. *)
 val emit : t -> int -> int
 
 (** reserve [n] words filled with [fill] (typically the target's nop);
@@ -20,13 +21,17 @@ val emit : t -> int -> int
     section 5.2. *)
 val reserve : t -> n:int -> fill:int -> int
 
+(** @raise Verror.Error on an out-of-range index (like every other
+    misuse condition in the library) *)
 val get : t -> int -> int
 
-(** backpatch a previously emitted word *)
+(** backpatch a previously emitted word;
+    @raise Verror.Error on an out-of-range index *)
 val set : t -> int -> int -> unit
 
 (** drop words emitted after index [len]; used by the delay-slot
-    scheduler to lift an instruction into a branch's slot *)
+    scheduler to lift an instruction into a branch's slot.
+    @raise Verror.Error on an out-of-range length *)
 val truncate : t -> int -> unit
 
 val to_array : t -> int array

@@ -20,13 +20,20 @@ type offset = Oimm of int | Oreg of Reg.t
    addresses (paper Table 2: "jump to immediate, register, or label"). *)
 type jtarget = Jlabel of int | Jreg of Reg.t | Jaddr of int
 
-(* An unresolved reference from an emitted instruction to a label.  The
-   [kind] is interpreted by the target's [apply_reloc]. *)
-type reloc = { site : int; lab : int; kind : int }
-
 (* Section 5.3: clients may dynamically reclassify any physical register
    for the duration of one generated function. *)
 type cls_override = Odefault | Ocallee | Ocaller | Ounavail
+
+(* The four side tables that used to be OCaml lists are growable
+   int-packed arrays: recording a relocation, FP immediate, incoming
+   argument reload or outgoing call argument costs zero GC words in the
+   steady state (the table doubles amortized-rarely, and an empty table
+   is the shared [[||]]).  Packed strides:
+
+     relocs     3  site, label id, target-interpreted kind
+     fimms      4  load site, low 32 bits, high 32 bits, is_double
+     arg_loads  3  arg slot, Reg.to_int, Vtype.to_int
+     call_args  2  Vtype.to_int, Reg.to_int                            *)
 
 type t = {
   desc : Machdesc.t;
@@ -34,7 +41,8 @@ type t = {
   base : int;  (* simulated load address of buf word 0 *)
   mutable labels : int array;  (* label id -> code index, -1 if unbound *)
   mutable nlabels : int;
-  mutable relocs : reloc list;
+  mutable relocs : int array;  (* packed, stride 3 *)
+  mutable nrelocs : int;
   mutable leaf : bool;
   mutable in_function : bool;
   mutable finished : bool;
@@ -48,27 +56,41 @@ type t = {
   mutable entry_index : int;    (* set by finish: index of first live insn *)
   mutable epilogue_lab : int;
   mutable ret_type : Vtype.t;
-  mutable fimms : (int * int64 * bool) list; (* site, bits, is_double *)
-  (* stack-passed incoming arguments whose reload into a register must be
-     emitted in the patched prologue: (arg slot, destination, type) *)
-  mutable arg_loads : (int * Reg.t * Vtype.t) list;
-  mutable call_args : (Vtype.t * Reg.t) list; (* reversed push_arg list *)
+  mutable fimms : int array;    (* packed, stride 4 *)
+  mutable nfimms : int;
+  mutable arg_loads : int array;  (* packed, stride 3 *)
+  mutable narg_loads : int;
+  mutable call_args : int array;  (* packed, stride 2; push_arg order *)
+  mutable ncall_args : int;
   mutable int_in_use : int;  (* allocator bitmask over the int file *)
   mutable flt_in_use : int;
   overrides : cls_override array;
   foverrides : cls_override array;
+  mutable eff_callee_mask : int;  (* callee_mask folded with overrides *)
+  mutable eff_fcallee_mask : int;
   mutable insn_count : int;  (* VCODE-level instructions emitted *)
   mutable tstate : int;      (* target-private scratch (e.g. SPARC leaf) *)
 }
 
-let create ?(base = 0) (desc : Machdesc.t) =
+let empty_table : int array = [||]
+
+(* Grow a packed table so at least [needed] more slots fit after the
+   [used] occupied ones.  Out of line: the amortized-cold path. *)
+let grow_table a used needed =
+  let cap = max 24 (max (2 * Array.length a) (used + needed)) in
+  let b = Array.make cap 0 in
+  Array.blit a 0 b 0 used;
+  b
+
+let create ?(base = 0) ?capacity (desc : Machdesc.t) =
   {
     desc;
-    buf = Codebuf.create ();
+    buf = Codebuf.create ?capacity ();
     base;
     labels = Array.make 16 (-1);
     nlabels = 0;
-    relocs = [];
+    relocs = empty_table;
+    nrelocs = 0;
     leaf = false;
     in_function = false;
     finished = false;
@@ -82,18 +104,23 @@ let create ?(base = 0) (desc : Machdesc.t) =
     entry_index = 0;
     epilogue_lab = -1;
     ret_type = Vtype.V;
-    fimms = [];
-    arg_loads = [];
-    call_args = [];
+    fimms = empty_table;
+    nfimms = 0;
+    arg_loads = empty_table;
+    narg_loads = 0;
+    call_args = empty_table;
+    ncall_args = 0;
     int_in_use = 0;
     flt_in_use = 0;
     overrides = Array.make desc.Machdesc.nregs Odefault;
     foverrides = Array.make desc.Machdesc.nfregs Odefault;
+    eff_callee_mask = desc.Machdesc.callee_mask;
+    eff_fcallee_mask = desc.Machdesc.fcallee_mask;
     insn_count = 0;
     tstate = 0;
   }
 
-let check_open g =
+let[@inline] check_open g =
   if g.finished then Verror.fail Verror.Already_finished
 
 (* ------------------------------------------------------------------ *)
@@ -117,17 +144,34 @@ let bind_label g l =
 
 let label_defined g l = l >= 0 && l < g.nlabels && g.labels.(l) >= 0
 
-let add_reloc g ~site ~lab ~kind = g.relocs <- { site; lab; kind } :: g.relocs
+let[@inline] add_reloc g ~site ~lab ~kind =
+  let i = 3 * g.nrelocs in
+  if i + 3 > Array.length g.relocs then g.relocs <- grow_table g.relocs i 3;
+  let a = g.relocs in
+  Array.unsafe_set a i site;
+  Array.unsafe_set a (i + 1) lab;
+  Array.unsafe_set a (i + 2) kind;
+  g.nrelocs <- g.nrelocs + 1
+
+(* Drop the most recently recorded relocation.  Used by ports that
+   truncate the buffer and re-emit a span (e.g. SPARC rewriting its
+   epilogue branch). *)
+let pop_reloc g =
+  if g.nrelocs = 0 then Verror.failf "pop_reloc: no pending relocations";
+  g.nrelocs <- g.nrelocs - 1
+
+let reloc_count g = g.nrelocs
 
 (* Resolve every recorded relocation through the target's patcher. *)
 let resolve_relocs g ~(apply : kind:int -> site:int -> dest:int -> unit) =
-  List.iter
-    (fun { site; lab; kind } ->
-      let dest = g.labels.(lab) in
-      if dest < 0 then Verror.fail (Verror.Unresolved_label lab);
-      apply ~kind ~site ~dest)
-    g.relocs;
-  g.relocs <- []
+  let a = g.relocs in
+  for r = 0 to g.nrelocs - 1 do
+    let site = a.(3 * r) and lab = a.((3 * r) + 1) and kind = a.((3 * r) + 2) in
+    let dest = g.labels.(lab) in
+    if dest < 0 then Verror.fail (Verror.Unresolved_label lab);
+    apply ~kind ~site ~dest
+  done;
+  g.nrelocs <- 0
 
 (* ------------------------------------------------------------------ *)
 (* Register allocation (paper section 3: priority-ordered pools; the
@@ -152,10 +196,29 @@ let mark_free g (r : Reg.t) =
 let override_of g (r : Reg.t) =
   match r with Reg.R n -> g.overrides.(n) | Reg.F n -> g.foverrides.(n)
 
+(* Fold the target's callee mask with the per-register overrides into
+   one bitmask so [note_write] is a branch-free mask-and-or. *)
+let recompute_eff_masks g =
+  let d = g.desc in
+  let fold base overrides =
+    let m = ref base in
+    Array.iteri
+      (fun n c ->
+        match c with
+        | Ocallee -> m := !m lor (1 lsl n)
+        | Ocaller -> m := !m land lnot (1 lsl n)
+        | Odefault | Ounavail -> ())
+      overrides;
+    !m
+  in
+  g.eff_callee_mask <- fold d.Machdesc.callee_mask g.overrides;
+  g.eff_fcallee_mask <- fold d.Machdesc.fcallee_mask g.foverrides
+
 let set_reg_class g (r : Reg.t) (c : cls_override) =
   (match r with
   | Reg.R n -> g.overrides.(n) <- c
-  | Reg.F n -> g.foverrides.(n) <- c)
+  | Reg.F n -> g.foverrides.(n) <- c);
+  recompute_eff_masks g
 
 let pool_of g ~(cls : [ `Temp | `Var ]) ~(float : bool) =
   let d = g.desc in
@@ -190,19 +253,19 @@ let putreg g r = mark_free g r
    registers the patched prologue must save.  A register counts as
    callee-saved if the target says so, or if the client forced it with a
    class override (the interrupt-handler scenario of section 5.3). *)
-let note_write g (r : Reg.t) =
-  let d = g.desc in
+let[@inline] note_write g (r : Reg.t) =
+  (* branch-free: the effective masks already fold in the §5.3 class
+     overrides (see [recompute_eff_masks]) *)
   match r with
-  | Reg.R n ->
-    let forced = g.overrides.(n) = Ocallee in
-    let relaxed = g.overrides.(n) = Ocaller in
-    if (d.Machdesc.callee_mask land (1 lsl n) <> 0 && not relaxed) || forced then
-      g.used_callee <- g.used_callee lor (1 lsl n)
+  | Reg.R n -> g.used_callee <- g.used_callee lor (g.eff_callee_mask land (1 lsl n))
   | Reg.F n ->
-    let forced = g.foverrides.(n) = Ocallee in
-    let relaxed = g.foverrides.(n) = Ocaller in
-    if (d.Machdesc.fcallee_mask land (1 lsl n) <> 0 && not relaxed) || forced then
-      g.used_fcallee <- g.used_fcallee lor (1 lsl n)
+    g.used_fcallee <- g.used_fcallee lor (g.eff_fcallee_mask land (1 lsl n))
+
+(* One VCODE-level instruction emitted.  Ports call this at each public
+   emitter entry; multi-instruction expansions (immediate fallbacks,
+   call sequences) go through internal *_core helpers so each API-level
+   instruction counts exactly once. *)
+let[@inline] count_insn g = g.insn_count <- g.insn_count + 1
 
 let count_bits m =
   let rec go m acc = if m = 0 then acc else go (m lsr 1) (acc + (m land 1)) in
@@ -223,6 +286,57 @@ let alloc_local g ~bytes ~align =
   off
 
 (* ------------------------------------------------------------------ *)
+(* Pending floating-point immediates, incoming-argument reloads and
+   outgoing call arguments (packed tables)                             *)
+
+(* Record an FP constant load at [site]; the constant itself is placed
+   after the code by [place_fimms]. *)
+let add_fimm g ~site ~(bits : int64) ~dbl =
+  let i = 4 * g.nfimms in
+  if i + 4 > Array.length g.fimms then g.fimms <- grow_table g.fimms i 4;
+  let a = g.fimms in
+  Array.unsafe_set a i site;
+  Array.unsafe_set a (i + 1) (Int64.to_int (Int64.logand bits 0xFFFFFFFFL));
+  Array.unsafe_set a (i + 2)
+    (Int64.to_int (Int64.logand (Int64.shift_right_logical bits 32) 0xFFFFFFFFL));
+  Array.unsafe_set a (i + 3) (if dbl then 1 else 0);
+  g.nfimms <- g.nfimms + 1
+
+let fimm_count g = g.nfimms
+
+(* Record a stack-passed incoming argument whose reload into [r] must be
+   emitted in the patched prologue. *)
+let add_arg_load g ~slot (r : Reg.t) (ty : Vtype.t) =
+  let i = 3 * g.narg_loads in
+  if i + 3 > Array.length g.arg_loads then g.arg_loads <- grow_table g.arg_loads i 3;
+  let a = g.arg_loads in
+  Array.unsafe_set a i slot;
+  Array.unsafe_set a (i + 1) (Reg.to_int r);
+  Array.unsafe_set a (i + 2) (Vtype.to_int ty);
+  g.narg_loads <- g.narg_loads + 1
+
+(* Visit the recorded argument reloads in the order they were added. *)
+let iter_arg_loads g f =
+  for j = 0 to g.narg_loads - 1 do
+    let i = 3 * j in
+    f ~slot:g.arg_loads.(i) (Reg.of_int g.arg_loads.(i + 1))
+      (Vtype.of_int g.arg_loads.(i + 2))
+  done
+
+let[@inline] push_call_arg g (ty : Vtype.t) (r : Reg.t) =
+  let i = 2 * g.ncall_args in
+  if i + 2 > Array.length g.call_args then g.call_args <- grow_table g.call_args i 2;
+  let a = g.call_args in
+  Array.unsafe_set a i (Vtype.to_int ty);
+  Array.unsafe_set a (i + 1) (Reg.to_int r);
+  g.ncall_args <- g.ncall_args + 1
+
+let call_arg_count g = g.ncall_args
+let call_arg_ty g i = Vtype.of_int g.call_args.(2 * i)
+let call_arg_reg g i = Reg.of_int g.call_args.((2 * i) + 1)
+let clear_call_args g = g.ncall_args <- 0
+
+(* ------------------------------------------------------------------ *)
 (* Shared finalization helpers used by the target ports                *)
 
 (* Place the pending floating-point immediates after the code (paper
@@ -231,32 +345,31 @@ let alloc_local g ~bytes ~align =
    order, and call [patch] with each load site and its constant's
    address. *)
 let place_fimms g ~big_endian ~(patch : site:int -> addr:int -> unit) =
-  if g.fimms <> [] then begin
+  if g.nfimms > 0 then begin
     if (g.base + (4 * Codebuf.length g.buf)) land 7 <> 0 then
       ignore (Codebuf.emit g.buf 0);
-    List.iter
-      (fun (site, bits, dbl) ->
-        let daddr = g.base + (4 * Codebuf.length g.buf) in
-        let lo32 = Int64.to_int (Int64.logand bits 0xFFFFFFFFL) in
-        let hi32 =
-          Int64.to_int (Int64.logand (Int64.shift_right_logical bits 32) 0xFFFFFFFFL)
-        in
-        if dbl then
-          if big_endian then begin
-            ignore (Codebuf.emit g.buf hi32);
-            ignore (Codebuf.emit g.buf lo32)
-          end
-          else begin
-            ignore (Codebuf.emit g.buf lo32);
-            ignore (Codebuf.emit g.buf hi32)
-          end
+    for j = 0 to g.nfimms - 1 do
+      let i = 4 * j in
+      let site = g.fimms.(i) in
+      let lo32 = g.fimms.(i + 1) and hi32 = g.fimms.(i + 2) in
+      let dbl = g.fimms.(i + 3) <> 0 in
+      let daddr = g.base + (4 * Codebuf.length g.buf) in
+      if dbl then
+        if big_endian then begin
+          ignore (Codebuf.emit g.buf hi32);
+          ignore (Codebuf.emit g.buf lo32)
+        end
         else begin
           ignore (Codebuf.emit g.buf lo32);
-          ignore (Codebuf.emit g.buf 0)
-        end;
-        patch ~site ~addr:daddr)
-      (List.rev g.fimms);
-    g.fimms <- []
+          ignore (Codebuf.emit g.buf hi32)
+        end
+      else begin
+        ignore (Codebuf.emit g.buf lo32);
+        ignore (Codebuf.emit g.buf 0)
+      end;
+      patch ~site ~addr:daddr
+    done;
+    g.nfimms <- 0
   end
 
 (* Resolve a set of parallel register moves (integer file), breaking
@@ -306,11 +419,13 @@ let save_layout g ~first_off ~int_bytes ~limit =
 (* ------------------------------------------------------------------ *)
 (* Space accounting for the in-place-generation experiment             *)
 
+let table_words a = if Array.length a = 0 then 0 else Array.length a + 1
+
 let live_words g =
   Codebuf.heap_words g.buf
   + Array.length g.labels + 3
-  + (4 * List.length g.relocs)
-  + (4 * List.length g.fimms)
+  + table_words g.relocs + table_words g.fimms
+  + table_words g.arg_loads + table_words g.call_args
 
 let code_addr g idx = g.base + (4 * idx)
 let here g = Codebuf.length g.buf

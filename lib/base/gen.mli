@@ -16,21 +16,24 @@ type offset = Oimm of int | Oreg of Reg.t
 (** a jump target: label, register, or absolute address (Table 2) *)
 type jtarget = Jlabel of int | Jreg of Reg.t | Jaddr of int
 
-(** an unresolved reference from an emitted instruction to a label;
-    [kind] is interpreted by the target's relocation patcher *)
-type reloc = { site : int; lab : int; kind : int }
-
 (** section 5.3: clients may dynamically reclassify any physical
     register for the duration of one generated function *)
 type cls_override = Odefault | Ocallee | Ocaller | Ounavail
 
+(** The four side tables (relocations, pending FP constants, incoming
+    argument reloads, outgoing call arguments) are growable int-packed
+    arrays rather than lists: recording an entry allocates zero GC words
+    in the steady state.  Ports access them only through the accessors
+    below ([add_reloc], [add_fimm], [add_arg_load], [push_call_arg],
+    ...); the packing strides are private to [Gen]. *)
 type t = {
   desc : Machdesc.t;
   buf : Codebuf.t;
   base : int;  (** simulated load address of buf word 0 *)
   mutable labels : int array;  (** label id -> code index, -1 if unbound *)
   mutable nlabels : int;
-  mutable relocs : reloc list;
+  mutable relocs : int array;  (** packed, stride 3: site, lab, kind *)
+  mutable nrelocs : int;
   mutable leaf : bool;
   mutable in_function : bool;
   mutable finished : bool;
@@ -44,21 +47,34 @@ type t = {
   mutable entry_index : int;    (** set by finish: first live instruction *)
   mutable epilogue_lab : int;
   mutable ret_type : Vtype.t;
-  mutable fimms : (int * int64 * bool) list;
-      (** pending FP constants: load site, bits, is_double (§5.2) *)
-  mutable arg_loads : (int * Reg.t * Vtype.t) list;
-      (** stack-passed incoming arguments to reload in the patched
-          prologue: (arg slot, destination, type) *)
-  mutable call_args : (Vtype.t * Reg.t) list;  (** reversed push_arg list *)
+  mutable fimms : int array;
+      (** packed, stride 4: load site, lo32, hi32, is_double (§5.2) *)
+  mutable nfimms : int;
+  mutable arg_loads : int array;
+      (** packed, stride 3: arg slot, [Reg.to_int], [Vtype.to_int] —
+          stack-passed incoming arguments to reload in the patched
+          prologue *)
+  mutable narg_loads : int;
+  mutable call_args : int array;
+      (** packed, stride 2: [Vtype.to_int], [Reg.to_int]; push order *)
+  mutable ncall_args : int;
   mutable int_in_use : int;  (** allocator bitmask over the int file *)
   mutable flt_in_use : int;
   overrides : cls_override array;
   foverrides : cls_override array;
+  mutable eff_callee_mask : int;
+      (** [callee_mask] folded with the class overrides; kept current by
+          [set_reg_class] so [note_write] is a branch-free mask-and-or *)
+  mutable eff_fcallee_mask : int;
   mutable insn_count : int;  (** VCODE-level instructions emitted *)
   mutable tstate : int;      (** target-private scratch *)
 }
 
-val create : ?base:int -> Machdesc.t -> t
+(** [capacity] is an instruction-count hint forwarded to
+    {!Codebuf.create}: pass the expected code size to avoid doubling
+    copies (large functions) or a needlessly big buffer (small DPF-style
+    filters). *)
+val create : ?base:int -> ?capacity:int -> Machdesc.t -> t
 
 (** @raise Verror.Error if v_end already ran *)
 val check_open : t -> unit
@@ -70,9 +86,42 @@ val bind_label : t -> int -> unit
 val label_defined : t -> int -> bool
 val add_reloc : t -> site:int -> lab:int -> kind:int -> unit
 
+(** drop the most recently recorded relocation (ports that truncate the
+    buffer and re-emit a span);
+    @raise Verror.Error when none are pending *)
+val pop_reloc : t -> unit
+
+val reloc_count : t -> int
+
 (** resolve every recorded relocation through the target's patcher;
     @raise Verror.Error on undefined labels *)
 val resolve_relocs : t -> apply:(kind:int -> site:int -> dest:int -> unit) -> unit
+
+(** {2 FP immediates, argument reloads and call arguments} *)
+
+(** record an FP constant load at [site]; the constant is placed after
+    the code by {!place_fimms} *)
+val add_fimm : t -> site:int -> bits:int64 -> dbl:bool -> unit
+
+val fimm_count : t -> int
+
+(** record a stack-passed incoming argument whose reload must be emitted
+    in the patched prologue *)
+val add_arg_load : t -> slot:int -> Reg.t -> Vtype.t -> unit
+
+(** visit the recorded argument reloads in the order they were added *)
+val iter_arg_loads : t -> (slot:int -> Reg.t -> Vtype.t -> unit) -> unit
+
+(** record one outgoing call argument (push order) *)
+val push_call_arg : t -> Vtype.t -> Reg.t -> unit
+
+val call_arg_count : t -> int
+
+(** the i-th pushed argument's type / register, 0-based in push order *)
+val call_arg_ty : t -> int -> Vtype.t
+
+val call_arg_reg : t -> int -> Reg.t
+val clear_call_args : t -> unit
 
 (** {2 Register allocation (section 3: priority-ordered pools)} *)
 
@@ -92,6 +141,10 @@ val putreg : t -> Reg.t -> unit
 (** record a register write for prologue backpatching; honours the
     section-5.3 class overrides *)
 val note_write : t -> Reg.t -> unit
+
+(** count one VCODE-level instruction; ports call this once per public
+    emitter entry *)
+val count_insn : t -> unit
 
 val count_bits : int -> int
 

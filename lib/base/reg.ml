@@ -9,8 +9,14 @@ type t =
   | R of int  (** integer register file *)
   | F of int  (** floating-point register file *)
 
-let idx = function R n -> n | F n -> n
-let is_float = function F _ -> true | R _ -> false
+let[@inline] idx = function R n -> n | F n -> n
+let[@inline] is_float = function F _ -> true | R _ -> false
+
+(* A register packed into one non-negative int (low bit: register file).
+   Used by Gen's int-packed side tables so recording a register during
+   emission allocates nothing. *)
+let[@inline] to_int = function R n -> n lsl 1 | F n -> (n lsl 1) lor 1
+let[@inline] of_int i = if i land 1 = 0 then R (i lsr 1) else F (i lsr 1)
 let equal (a : t) (b : t) = a = b
 let compare (a : t) (b : t) = compare a b
 
@@ -32,5 +38,5 @@ let expect_float ctx r =
   | R _ -> Verror.fail (Verror.Bad_operand (ctx ^ ": expected float register"))
 
 (* The register class expected for operands of a given vtype. *)
-let matches_type (t : Vtype.t) (r : t) =
+let[@inline] matches_type (t : Vtype.t) (r : t) =
   if Vtype.is_float t then is_float r else not (is_float r)

@@ -11,6 +11,13 @@ type t =
 
 val idx : t -> int
 val is_float : t -> bool
+
+(** pack a register into one non-negative int (low bit selects the
+    file); [of_int] inverts [to_int].  Used by [Gen]'s int-packed side
+    tables so recording a register during emission allocates nothing. *)
+val to_int : t -> int
+
+val of_int : int -> t
 val equal : t -> t -> bool
 val compare : t -> t -> int
 val to_string : t -> string

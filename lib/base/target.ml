@@ -41,8 +41,15 @@ module type S = sig
   val set : Gen.t -> Vtype.t -> Reg.t -> int64 -> unit
   val setf : Gen.t -> Vtype.t -> Reg.t -> float -> unit
   val cvt : Gen.t -> from:Vtype.t -> to_:Vtype.t -> Reg.t -> Reg.t -> unit
-  val load : Gen.t -> Vtype.t -> Reg.t -> Reg.t -> Gen.offset -> unit
-  val store : Gen.t -> Vtype.t -> Reg.t -> Reg.t -> Gen.offset -> unit
+  (* Loads and stores come in immediate-offset and register-offset forms
+     (rather than one entry point taking a [Gen.offset]) so the dominant
+     immediate case passes its offset as an unboxed int — no variant
+     block is allocated per memory instruction.  [Vcode] provides the
+     offset-dispatching convenience wrapper on top. *)
+  val load_imm : Gen.t -> Vtype.t -> Reg.t -> Reg.t -> int -> unit
+  val load_reg : Gen.t -> Vtype.t -> Reg.t -> Reg.t -> Reg.t -> unit
+  val store_imm : Gen.t -> Vtype.t -> Reg.t -> Reg.t -> int -> unit
+  val store_reg : Gen.t -> Vtype.t -> Reg.t -> Reg.t -> Reg.t -> unit
   val jump : Gen.t -> Gen.jtarget -> unit
   val jal : Gen.t -> Gen.jtarget -> unit
   val branch : Gen.t -> Op.cond -> Vtype.t -> Reg.t -> Reg.t -> int -> unit

@@ -21,6 +21,16 @@ type t =
 
 let all = [ V; C; UC; S; US; I; U; L; UL; P; F; D ]
 
+(* Table 1 ordinal, for packing a type into Gen's int side tables. *)
+let to_int = function
+  | V -> 0 | C -> 1 | UC -> 2 | S -> 3 | US -> 4 | I -> 5
+  | U -> 6 | L -> 7 | UL -> 8 | P -> 9 | F -> 10 | D -> 11
+
+let of_int = function
+  | 0 -> V | 1 -> C | 2 -> UC | 3 -> S | 4 -> US | 5 -> I
+  | 6 -> U | 7 -> L | 8 -> UL | 9 -> P | 10 -> F | 11 -> D
+  | n -> Verror.fail (Verror.Bad_type (Printf.sprintf "Vtype.of_int: %d" n))
+
 let to_string = function
   | V -> "v" | C -> "c" | UC -> "uc" | S -> "s" | US -> "us"
   | I -> "i" | U -> "u" | L -> "l" | UL -> "ul" | P -> "p"
@@ -34,7 +44,7 @@ let c_equivalent = function
 
 let pp fmt t = Fmt.string fmt (to_string t)
 
-let is_float = function F | D -> true | _ -> false
+let[@inline] is_float = function F | D -> true | _ -> false
 
 let is_signed = function
   | C | S | I | L | F | D -> true

@@ -22,6 +22,13 @@ type t =
 (** all twelve types, in Table 1 order *)
 val all : t list
 
+(** Table 1 ordinal, for packing a type into [Gen]'s int side tables;
+    [of_int] inverts it.
+    @raise Verror.Error when the int is not a valid ordinal *)
+val to_int : t -> int
+
+val of_int : int -> t
+
 val to_string : t -> string
 
 (** the C equivalent from Table 1, e.g. [P] is ["void *"] *)

@@ -36,8 +36,115 @@ type code = {
 
 module type TARGET = Target.S
 
-module Make (T : Target.S) = struct
+(* Operand-validation switch, the paper's NDEBUG discipline: the C
+   VCODE compiles its assertion macros out for production use.  [Make]
+   instantiates the API with checks on (the default); [Make_unchecked]
+   with checks off.  Both run the same emission code and produce
+   bit-for-bit identical machine words — only the misuse diagnostics
+   (type/class/lifecycle validation) are elided. *)
+module type CHECKS = sig
+  val enabled : bool
+end
+
+module Checked : CHECKS = struct let enabled = true end
+module Unchecked : CHECKS = struct let enabled = false end
+
+(* ------------------------------------------------------------------ *)
+(* Operand validation, shared by every [Make_gen] instantiation.
+
+   These live outside the functor and are deliberately [@inline never]:
+   in a checked instantiation an emitter pays one direct call here; in
+   an unchecked one the guard compiles down to a load-test-branch with
+   the call in the never-taken arm, so the emitter's inlined body stays
+   a few instructions instead of dragging a dead copy of the validation
+   (and its diagnostic-string construction) into every call site. *)
+
+let[@inline never] bad name t =
+  Verror.fail
+    (Verror.Bad_type (Printf.sprintf "%s.%s" name (Vtype.to_string t)))
+
+(* Cold path: the diagnostic string is built only on failure — the hot
+   path tests [Reg.matches_type] inline and never touches the
+   instruction name. *)
+let[@inline never] bad_reg name t r =
+  Verror.fail
+    (Verror.Bad_operand
+       (Printf.sprintf "%s.%s: register %s has the wrong class" name
+          (Vtype.to_string t) (Reg.to_string r)))
+
+let[@inline] chk_reg name t r = if not (Reg.matches_type t r) then bad_reg name t r
+
+let word_ty = function
+  | Vtype.I | Vtype.U | Vtype.L | Vtype.UL | Vtype.P -> true
+  | _ -> false
+
+let[@inline never] validate_arith g (op : Op.binop) (t : Vtype.t) rd rs1 rs2 =
+  Gen.check_open g;
+  let ok =
+    match op with
+    | Op.Add | Op.Sub | Op.Mul | Op.Div -> word_ty t || Vtype.is_float t
+    | Op.Mod -> word_ty t
+    | Op.And | Op.Or | Op.Xor | Op.Lsh | Op.Rsh -> (
+      match t with Vtype.P -> false | _ -> word_ty t)
+  in
+  if not ok then bad (Op.binop_to_string op) t;
+  if not (Reg.matches_type t rd) then bad_reg (Op.binop_to_string op) t rd;
+  if not (Reg.matches_type t rs1) then bad_reg (Op.binop_to_string op) t rs1;
+  if not (Reg.matches_type t rs2) then bad_reg (Op.binop_to_string op) t rs2
+
+let[@inline never] validate_arith_imm g (op : Op.binop) (t : Vtype.t) rd rs1 =
+  Gen.check_open g;
+  if Vtype.is_float t then bad (Op.binop_to_string op ^ "i") t;
+  if not (word_ty t) then bad (Op.binop_to_string op ^ "i") t;
+  if not (Reg.matches_type t rd) then bad_reg (Op.binop_to_string op) t rd;
+  if not (Reg.matches_type t rs1) then bad_reg (Op.binop_to_string op) t rs1
+
+let[@inline never] validate_unary g (op : Op.unop) (t : Vtype.t) rd rs =
+  Gen.check_open g;
+  let ok =
+    match op with
+    | Op.Com | Op.Not -> (match t with Vtype.P -> false | _ -> word_ty t)
+    | Op.Mov -> word_ty t || Vtype.is_float t
+    | Op.Neg -> (
+      match t with Vtype.P -> false | _ -> word_ty t || Vtype.is_float t)
+  in
+  if not ok then bad (Op.unop_to_string op) t;
+  if not (Reg.matches_type t rd) then bad_reg (Op.unop_to_string op) t rd;
+  if not (Reg.matches_type t rs) then bad_reg (Op.unop_to_string op) t rs
+
+let[@inline never] validate_set g (t : Vtype.t) rd =
+  Gen.check_open g;
+  if not (word_ty t) then bad "set" t;
+  chk_reg "set" t rd
+
+let[@inline never] validate_setf g (t : Vtype.t) rd =
+  Gen.check_open g;
+  if not (Vtype.is_float t) then bad "setf" t;
+  chk_reg "setf" t rd
+
+let[@inline never] validate_cvt g ~from ~to_ rd rs =
+  Gen.check_open g;
+  if not (Op.conversion_ok ~from ~to_) then
+    bad (Printf.sprintf "cv%s2" (Vtype.to_string from)) to_;
+  chk_reg "cvt" to_ rd;
+  chk_reg "cvt" from rs
+
+let[@inline never] validate_mem g name (t : Vtype.t) r base =
+  Gen.check_open g;
+  (match t with Vtype.V -> bad name t | _ -> ());
+  chk_reg name t r;
+  chk_reg name Vtype.P base
+
+let[@inline never] validate_mem_reg g name (t : Vtype.t) r base idx =
+  Gen.check_open g;
+  (match t with Vtype.V -> bad name t | _ -> ());
+  chk_reg name t r;
+  chk_reg name Vtype.P base;
+  chk_reg name Vtype.P idx
+
+module Make_gen (C : CHECKS) (T : Target.S) = struct
   let desc = T.desc
+  let checks_enabled = C.enabled
 
   type gen = Gen.t
   type nonrec code = code
@@ -48,11 +155,13 @@ module Make (T : Target.S) = struct
   (* Begin generating a function.  [sig_] is the paper's parameter type
      string, e.g. "%i%p"; [base] is the address the code will be
      installed at; [leaf] asserts the function makes no calls
-     (V_LEAF).  Returns the generation state and the registers holding
-     the incoming parameters. *)
-  let lambda ?(base = 0) ?(leaf = false) (sig_ : string) : gen * Reg.t array =
-    if base land 7 <> 0 then Verror.fail (Verror.Bad_operand "base must be 8-aligned");
-    let g = Gen.create ~base T.desc in
+     (V_LEAF); [capacity] is an expected-code-size hint in words,
+     forwarded to the code buffer.  Returns the generation state and
+     the registers holding the incoming parameters. *)
+  let lambda ?(base = 0) ?(leaf = false) ?capacity (sig_ : string) : gen * Reg.t array =
+    if C.enabled && base land 7 <> 0 then
+      Verror.fail (Verror.Bad_operand "base must be 8-aligned");
+    let g = Gen.create ~base ?capacity T.desc in
     g.Gen.leaf <- leaf;
     g.Gen.in_function <- true;
     let tys = Array.of_list (Vtype.parse_signature sig_) in
@@ -62,7 +171,7 @@ module Make (T : Target.S) = struct
   (* Finish generation: backpatch prologue/epilogue, place constants,
      resolve jumps (v_end). *)
   let end_gen (g : gen) : code =
-    Gen.check_open g;
+    if C.enabled then Gen.check_open g;
     T.finish g;
     g.Gen.finished <- true;
     {
@@ -127,157 +236,161 @@ module Make (T : Target.S) = struct
     let off = Gen.alloc_local g ~bytes ~align in
     { loc_off = off; loc_ty = Vtype.P }
 
-  (* ---------------------------------------------------------------- *)
-  (* Validation helpers                                                *)
-
-  let bad name t =
-    Verror.fail
-      (Verror.Bad_type (Printf.sprintf "%s.%s" name (Vtype.to_string t)))
-
-  let chk_reg name t r =
-    if not (Reg.matches_type t r) then
-      Verror.fail
-        (Verror.Bad_operand
-           (Printf.sprintf "%s.%s: register %s has the wrong class" name
-              (Vtype.to_string t) (Reg.to_string r)))
-
-  let word_ty = function
-    | Vtype.I | Vtype.U | Vtype.L | Vtype.UL | Vtype.P -> true
-    | _ -> false
-
-  let count g = g.Gen.insn_count <- g.Gen.insn_count + 1
+  let[@inline] count g = g.Gen.insn_count <- g.Gen.insn_count + 1
 
   (* ---------------------------------------------------------------- *)
-  (* Generic emitters                                                  *)
+  (* Generic emitters.  Validation is one guarded call to the shared
+     top-level validators.  Destination-register bookkeeping
+     ([Gen.note_write]) and instruction counting ([Gen.count_insn])
+     live in the backends so every emission path — checked, unchecked,
+     or raw [T.*] calls — keeps the prologue save/restore masks and
+     statistics correct.  Control-flow emitters below still [count]
+     here because ports treat them as multi-word sequences.            *)
 
-  let arith g (op : Op.binop) (t : Vtype.t) rd rs1 rs2 =
-    Gen.check_open g;
-    let ok =
-      match op with
-      | Op.Add | Op.Sub | Op.Mul | Op.Div -> word_ty t || Vtype.is_float t
-      | Op.Mod -> word_ty t
-      | Op.And | Op.Or | Op.Xor | Op.Lsh | Op.Rsh -> word_ty t && t <> Vtype.P
-    in
-    if not ok then bad (Op.binop_to_string op) t;
-    chk_reg (Op.binop_to_string op) t rd;
-    chk_reg (Op.binop_to_string op) t rs1;
-    chk_reg (Op.binop_to_string op) t rs2;
-    Gen.note_write g rd;
-    count g;
-    T.arith g op t rd rs1 rs2
+  (* Each hot emitter is selected once, at functor-application time:
+     the unchecked instantiation binds the port's emitter itself (zero
+     interposed frames — [VU.arith] IS [T.arith]), while the checked
+     one prepends its validator.  [C.enabled] never appears on the
+     per-instruction path. *)
 
-  let arith_imm g (op : Op.binop) (t : Vtype.t) rd rs1 imm =
-    Gen.check_open g;
-    if Vtype.is_float t then bad (Op.binop_to_string op ^ "i") t;
-    if not (word_ty t) then bad (Op.binop_to_string op ^ "i") t;
-    chk_reg (Op.binop_to_string op) t rd;
-    chk_reg (Op.binop_to_string op) t rs1;
-    Gen.note_write g rd;
-    count g;
-    T.arith_imm g op t rd rs1 imm
+  let arith =
+    if not C.enabled then T.arith
+    else
+      fun g (op : Op.binop) (t : Vtype.t) rd rs1 rs2 ->
+        validate_arith g op t rd rs1 rs2;
+        T.arith g op t rd rs1 rs2
+
+  let arith_imm =
+    if not C.enabled then T.arith_imm
+    else
+      fun g (op : Op.binop) (t : Vtype.t) rd rs1 imm ->
+        validate_arith_imm g op t rd rs1;
+        T.arith_imm g op t rd rs1 imm
 
   (* materialize the address of a local variable/block into [rd] *)
   let local_addr g (l : local) rd =
     arith_imm g Op.Add Vtype.P rd T.desc.Machdesc.sp
       (T.desc.Machdesc.locals_base + l.loc_off)
 
-  let unary g (op : Op.unop) (t : Vtype.t) rd rs =
-    Gen.check_open g;
-    let ok =
-      match op with
-      | Op.Com | Op.Not -> word_ty t && t <> Vtype.P
-      | Op.Mov -> word_ty t || Vtype.is_float t
-      | Op.Neg -> (word_ty t && t <> Vtype.P) || Vtype.is_float t
-    in
-    if not ok then bad (Op.unop_to_string op) t;
-    chk_reg (Op.unop_to_string op) t rd;
-    chk_reg (Op.unop_to_string op) t rs;
-    Gen.note_write g rd;
-    count g;
-    T.unary g op t rd rs
+  let unary =
+    if not C.enabled then T.unary
+    else
+      fun g (op : Op.unop) (t : Vtype.t) rd rs ->
+        validate_unary g op t rd rs;
+        T.unary g op t rd rs
 
-  let set g (t : Vtype.t) rd imm =
-    Gen.check_open g;
-    if not (word_ty t) then bad "set" t;
-    chk_reg "set" t rd;
-    Gen.note_write g rd;
-    count g;
-    T.set g t rd imm
+  let set =
+    if not C.enabled then T.set
+    else
+      fun g (t : Vtype.t) rd imm ->
+        validate_set g t rd;
+        T.set g t rd imm
 
-  let setf g (t : Vtype.t) rd v =
-    Gen.check_open g;
-    if not (Vtype.is_float t) then bad "setf" t;
-    chk_reg "setf" t rd;
-    Gen.note_write g rd;
-    count g;
-    T.setf g t rd v
+  let setf =
+    if not C.enabled then T.setf
+    else
+      fun g (t : Vtype.t) rd v ->
+        validate_setf g t rd;
+        T.setf g t rd v
 
-  let cvt g ~from ~to_ rd rs =
-    Gen.check_open g;
-    if not (Op.conversion_ok ~from ~to_) then
-      bad (Printf.sprintf "cv%s2" (Vtype.to_string from)) to_;
-    chk_reg "cvt" to_ rd;
-    chk_reg "cvt" from rs;
-    Gen.note_write g rd;
-    count g;
-    T.cvt g ~from ~to_ rd rs
+  let cvt =
+    if not C.enabled then T.cvt
+    else
+      fun g ~from ~to_ rd rs ->
+        validate_cvt g ~from ~to_ rd rs;
+        T.cvt g ~from ~to_ rd rs
+
+  (* Memory accesses come in immediate- and register-offset forms.  The
+     immediate form is the hot one — it passes the displacement as an
+     unboxed int, so steady-state emission allocates nothing.  The
+     [Gen.offset]-taking [load]/[store] below are compatibility
+     wrappers that dispatch on the variant. *)
+  let load_imm =
+    if not C.enabled then T.load_imm
+    else
+      fun g (t : Vtype.t) rd base (off : int) ->
+        validate_mem g "ld" t rd base;
+        T.load_imm g t rd base off
+
+  let load_reg =
+    if not C.enabled then T.load_reg
+    else
+      fun g (t : Vtype.t) rd base (idx : Reg.t) ->
+        validate_mem_reg g "ld" t rd base idx;
+        T.load_reg g t rd base idx
+
+  let store_imm =
+    if not C.enabled then T.store_imm
+    else
+      fun g (t : Vtype.t) rv base (off : int) ->
+        validate_mem g "st" t rv base;
+        T.store_imm g t rv base off
+
+  let store_reg =
+    if not C.enabled then T.store_reg
+    else
+      fun g (t : Vtype.t) rv base (idx : Reg.t) ->
+        validate_mem_reg g "st" t rv base idx;
+        T.store_reg g t rv base idx
 
   let load g (t : Vtype.t) rd base (off : Gen.offset) =
-    Gen.check_open g;
-    if t = Vtype.V then bad "ld" t;
-    chk_reg "ld" t rd;
-    chk_reg "ld" Vtype.P base;
-    Gen.note_write g rd;
-    count g;
-    T.load g t rd base off
+    match off with
+    | Gen.Oimm i -> load_imm g t rd base i
+    | Gen.Oreg r -> load_reg g t rd base r
 
   let store g (t : Vtype.t) rv base (off : Gen.offset) =
-    Gen.check_open g;
-    if t = Vtype.V then bad "st" t;
-    chk_reg "st" t rv;
-    chk_reg "st" Vtype.P base;
-    count g;
-    T.store g t rv base off
+    match off with
+    | Gen.Oimm i -> store_imm g t rv base i
+    | Gen.Oreg r -> store_reg g t rv base r
 
   let jump g (t : Gen.jtarget) =
-    Gen.check_open g;
+    if C.enabled then Gen.check_open g;
     count g;
     T.jump g t
 
   let jal g (t : Gen.jtarget) =
-    Gen.check_open g;
-    if g.Gen.leaf then Verror.fail Verror.Leaf_call;
+    if C.enabled then begin
+      Gen.check_open g;
+      if g.Gen.leaf then Verror.fail Verror.Leaf_call
+    end;
     g.Gen.made_call <- true;
     count g;
     T.jal g t
 
   let branch g (c : Op.cond) (t : Vtype.t) rs1 rs2 lab =
-    Gen.check_open g;
-    if t = Vtype.V || (not (word_ty t)) && not (Vtype.is_float t) then
-      bad (Op.cond_to_string c) t;
-    chk_reg "branch" t rs1;
-    chk_reg "branch" t rs2;
+    if C.enabled then begin
+      Gen.check_open g;
+      (match t with
+      | Vtype.V -> bad (Op.cond_to_string c) t
+      | _ -> if (not (word_ty t)) && not (Vtype.is_float t) then bad (Op.cond_to_string c) t);
+      chk_reg "branch" t rs1;
+      chk_reg "branch" t rs2
+    end;
     count g;
     T.branch g c t rs1 rs2 lab
 
   let branch_imm g (c : Op.cond) (t : Vtype.t) rs1 imm lab =
-    Gen.check_open g;
-    if not (word_ty t) then bad (Op.cond_to_string c ^ "i") t;
-    chk_reg "branch" t rs1;
+    if C.enabled then begin
+      Gen.check_open g;
+      if not (word_ty t) then bad (Op.cond_to_string c ^ "i") t;
+      chk_reg "branch" t rs1
+    end;
     count g;
     T.branch_imm g c t rs1 imm lab
 
   let ret g (t : Vtype.t) (r : Reg.t option) =
-    Gen.check_open g;
-    (match (t, r) with
-    | Vtype.V, _ -> ()
-    | _, Some r -> chk_reg "ret" t r
-    | _, None -> Verror.fail (Verror.Bad_operand "ret: missing value register"));
+    if C.enabled then begin
+      Gen.check_open g;
+      match (t, r) with
+      | Vtype.V, _ -> ()
+      | _, Some r -> chk_reg "ret" t r
+      | _, None -> Verror.fail (Verror.Bad_operand "ret: missing value register")
+    end;
     count g;
     T.ret g t r
 
   let nop g =
-    Gen.check_open g;
+    if C.enabled then Gen.check_open g;
     count g;
     T.nop g
 
@@ -285,20 +398,26 @@ module Make (T : Target.S) = struct
   (* Calls with dynamically constructed argument lists                 *)
 
   let push_arg g (t : Vtype.t) (r : Reg.t) =
-    Gen.check_open g;
-    chk_reg "arg" t r;
+    if C.enabled then begin
+      Gen.check_open g;
+      chk_reg "arg" t r
+    end;
     T.push_arg g t r
 
   let do_call g (target : Gen.jtarget) =
-    Gen.check_open g;
-    if g.Gen.leaf then Verror.fail Verror.Leaf_call;
+    if C.enabled then begin
+      Gen.check_open g;
+      if g.Gen.leaf then Verror.fail Verror.Leaf_call
+    end;
     g.Gen.made_call <- true;
     count g;
     T.do_call g target
 
   let retval g (t : Vtype.t) (r : Reg.t) =
-    Gen.check_open g;
-    chk_reg "retval" t r;
+    if C.enabled then begin
+      Gen.check_open g;
+      chk_reg "retval" t r
+    end;
     count g;
     T.retval g t r
 
@@ -312,10 +431,10 @@ module Make (T : Target.S) = struct
   (* Locals access                                                     *)
 
   let ld_local g (l : local) rd =
-    load g l.loc_ty rd T.desc.Machdesc.sp (Gen.Oimm (T.desc.Machdesc.locals_base + l.loc_off))
+    load_imm g l.loc_ty rd T.desc.Machdesc.sp (T.desc.Machdesc.locals_base + l.loc_off)
 
   let st_local g (l : local) rv =
-    store g l.loc_ty rv T.desc.Machdesc.sp (Gen.Oimm (T.desc.Machdesc.locals_base + l.loc_off))
+    store_imm g l.loc_ty rv T.desc.Machdesc.sp (T.desc.Machdesc.locals_base + l.loc_off)
 
   (* ---------------------------------------------------------------- *)
   (* Portable instruction scheduling (section 5.3)                     *)
@@ -327,12 +446,10 @@ module Make (T : Target.S) = struct
        branch. *)
     let schedule_delay g ~(branch : unit -> unit) ~(slot : unit -> unit) =
       let p0 = Codebuf.length g.Gen.buf in
-      let r0 = List.length g.Gen.relocs and f0 = List.length g.Gen.fimms in
+      let r0 = Gen.reloc_count g and f0 = Gen.fimm_count g in
       slot ();
       let n = Codebuf.length g.Gen.buf - p0 in
-      let clean =
-        List.length g.Gen.relocs = r0 && List.length g.Gen.fimms = f0
-      in
+      let clean = Gen.reloc_count g = r0 && Gen.fimm_count g = f0 in
       if T.desc.Machdesc.branch_delay_slots = 1 && n = 1 && clean then begin
         let w = Codebuf.get g.Gen.buf p0 in
         Codebuf.truncate g.Gen.buf p0;
@@ -477,8 +594,8 @@ module Make (T : Target.S) = struct
     let g_set = set
     let g_branch = branch
     let g_branch_imm = branch_imm
-    let g_load = load
-    let g_store = store
+    let g_load_imm = load_imm
+    let g_store_imm = store_imm
     let g_ret = ret
 
     type place = Phys of Reg.t | Slot of local
@@ -530,8 +647,8 @@ module Make (T : Target.S) = struct
       match s.places.(v.vid) with
       | Phys r -> r
       | Slot l ->
-        g_load s.vg l.loc_ty shuttle T.desc.Machdesc.sp
-          (Gen.Oimm (T.desc.Machdesc.locals_base + l.loc_off));
+        g_load_imm s.vg l.loc_ty shuttle T.desc.Machdesc.sp
+          (T.desc.Machdesc.locals_base + l.loc_off);
         shuttle
 
     (* the physical register a result should be computed into *)
@@ -543,8 +660,8 @@ module Make (T : Target.S) = struct
       match s.places.(v.vid) with
       | Phys _ -> ()
       | Slot l ->
-        g_store s.vg l.loc_ty s.sh0 T.desc.Machdesc.sp
-          (Gen.Oimm (T.desc.Machdesc.locals_base + l.loc_off))
+        g_store_imm s.vg l.loc_ty s.sh0 T.desc.Machdesc.sp
+          (T.desc.Machdesc.locals_base + l.loc_off)
 
     let arith (s : t) op ty (d : vreg) (a : vreg) (b : vreg) =
       let ra = read s a s.sh1 in
@@ -951,52 +1068,54 @@ module Make (T : Target.S) = struct
     let cvd2l g d s = cvt g ~from:Vtype.D ~to_:Vtype.L d s
     let cvd2f g d s = cvt g ~from:Vtype.D ~to_:Vtype.F d s
 
-    (* memory: register-indexed and immediate-offset forms *)
-    let ldc g d b o = load g Vtype.C d b (Gen.Oreg o)
-    let lduc g d b o = load g Vtype.UC d b (Gen.Oreg o)
-    let lds g d b o = load g Vtype.S d b (Gen.Oreg o)
-    let ldus g d b o = load g Vtype.US d b (Gen.Oreg o)
-    let ldi g d b o = load g Vtype.I d b (Gen.Oreg o)
-    let ldu g d b o = load g Vtype.U d b (Gen.Oreg o)
-    let ldl g d b o = load g Vtype.L d b (Gen.Oreg o)
-    let ldul g d b o = load g Vtype.UL d b (Gen.Oreg o)
-    let ldp g d b o = load g Vtype.P d b (Gen.Oreg o)
-    let ldf g d b o = load g Vtype.F d b (Gen.Oreg o)
-    let ldd g d b o = load g Vtype.D d b (Gen.Oreg o)
-    let ldci g d b o = load g Vtype.C d b (Gen.Oimm o)
-    let lduci g d b o = load g Vtype.UC d b (Gen.Oimm o)
-    let ldsi g d b o = load g Vtype.S d b (Gen.Oimm o)
-    let ldusi g d b o = load g Vtype.US d b (Gen.Oimm o)
-    let ldii g d b o = load g Vtype.I d b (Gen.Oimm o)
-    let ldui g d b o = load g Vtype.U d b (Gen.Oimm o)
-    let ldli g d b o = load g Vtype.L d b (Gen.Oimm o)
-    let lduli g d b o = load g Vtype.UL d b (Gen.Oimm o)
-    let ldpi g d b o = load g Vtype.P d b (Gen.Oimm o)
-    let ldfi g d b o = load g Vtype.F d b (Gen.Oimm o)
-    let lddi g d b o = load g Vtype.D d b (Gen.Oimm o)
+    (* memory: register-indexed and immediate-offset forms.  These go
+       straight to the specialized emitters so the offset never has to
+       be boxed into a [Gen.offset] variant. *)
+    let ldc g d b o = load_reg g Vtype.C d b o
+    let lduc g d b o = load_reg g Vtype.UC d b o
+    let lds g d b o = load_reg g Vtype.S d b o
+    let ldus g d b o = load_reg g Vtype.US d b o
+    let ldi g d b o = load_reg g Vtype.I d b o
+    let ldu g d b o = load_reg g Vtype.U d b o
+    let ldl g d b o = load_reg g Vtype.L d b o
+    let ldul g d b o = load_reg g Vtype.UL d b o
+    let ldp g d b o = load_reg g Vtype.P d b o
+    let ldf g d b o = load_reg g Vtype.F d b o
+    let ldd g d b o = load_reg g Vtype.D d b o
+    let ldci g d b o = load_imm g Vtype.C d b o
+    let lduci g d b o = load_imm g Vtype.UC d b o
+    let ldsi g d b o = load_imm g Vtype.S d b o
+    let ldusi g d b o = load_imm g Vtype.US d b o
+    let ldii g d b o = load_imm g Vtype.I d b o
+    let ldui g d b o = load_imm g Vtype.U d b o
+    let ldli g d b o = load_imm g Vtype.L d b o
+    let lduli g d b o = load_imm g Vtype.UL d b o
+    let ldpi g d b o = load_imm g Vtype.P d b o
+    let ldfi g d b o = load_imm g Vtype.F d b o
+    let lddi g d b o = load_imm g Vtype.D d b o
 
-    let stc g v b o = store g Vtype.C v b (Gen.Oreg o)
-    let stuc g v b o = store g Vtype.UC v b (Gen.Oreg o)
-    let sts g v b o = store g Vtype.S v b (Gen.Oreg o)
-    let stus g v b o = store g Vtype.US v b (Gen.Oreg o)
-    let sti g v b o = store g Vtype.I v b (Gen.Oreg o)
-    let stu g v b o = store g Vtype.U v b (Gen.Oreg o)
-    let stl g v b o = store g Vtype.L v b (Gen.Oreg o)
-    let stul g v b o = store g Vtype.UL v b (Gen.Oreg o)
-    let stp g v b o = store g Vtype.P v b (Gen.Oreg o)
-    let stf g v b o = store g Vtype.F v b (Gen.Oreg o)
-    let std g v b o = store g Vtype.D v b (Gen.Oreg o)
-    let stci g v b o = store g Vtype.C v b (Gen.Oimm o)
-    let stuci g v b o = store g Vtype.UC v b (Gen.Oimm o)
-    let stsi g v b o = store g Vtype.S v b (Gen.Oimm o)
-    let stusi g v b o = store g Vtype.US v b (Gen.Oimm o)
-    let stii g v b o = store g Vtype.I v b (Gen.Oimm o)
-    let stui g v b o = store g Vtype.U v b (Gen.Oimm o)
-    let stli g v b o = store g Vtype.L v b (Gen.Oimm o)
-    let stuli g v b o = store g Vtype.UL v b (Gen.Oimm o)
-    let stpi g v b o = store g Vtype.P v b (Gen.Oimm o)
-    let stfi g v b o = store g Vtype.F v b (Gen.Oimm o)
-    let stdi g v b o = store g Vtype.D v b (Gen.Oimm o)
+    let stc g v b o = store_reg g Vtype.C v b o
+    let stuc g v b o = store_reg g Vtype.UC v b o
+    let sts g v b o = store_reg g Vtype.S v b o
+    let stus g v b o = store_reg g Vtype.US v b o
+    let sti g v b o = store_reg g Vtype.I v b o
+    let stu g v b o = store_reg g Vtype.U v b o
+    let stl g v b o = store_reg g Vtype.L v b o
+    let stul g v b o = store_reg g Vtype.UL v b o
+    let stp g v b o = store_reg g Vtype.P v b o
+    let stf g v b o = store_reg g Vtype.F v b o
+    let std g v b o = store_reg g Vtype.D v b o
+    let stci g v b o = store_imm g Vtype.C v b o
+    let stuci g v b o = store_imm g Vtype.UC v b o
+    let stsi g v b o = store_imm g Vtype.S v b o
+    let stusi g v b o = store_imm g Vtype.US v b o
+    let stii g v b o = store_imm g Vtype.I v b o
+    let stui g v b o = store_imm g Vtype.U v b o
+    let stli g v b o = store_imm g Vtype.L v b o
+    let stuli g v b o = store_imm g Vtype.UL v b o
+    let stpi g v b o = store_imm g Vtype.P v b o
+    let stfi g v b o = store_imm g Vtype.F v b o
+    let stdi g v b o = store_imm g Vtype.D v b o
 
     (* branches *)
     let blti g a b l = branch g Op.Lt Vtype.I a b l
@@ -1092,3 +1211,9 @@ module Make (T : Target.S) = struct
     let jalpi g a = jal g (Gen.Jaddr a)
   end
 end
+
+(* The default, checked instantiation (the paper's debugging mode) and
+   the production instantiation with operand validation compiled out.
+   Both produce bit-for-bit identical code. *)
+module Make (T : Target.S) = Make_gen (Checked) (T)
+module Make_unchecked (T : Target.S) = Make_gen (Unchecked) (T)

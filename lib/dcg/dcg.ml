@@ -76,8 +76,8 @@ module Make (T : Target.S) = struct
   (* ---------------------------------------------------------------- *)
   (* IR construction (what DCG clients do per dynamic instruction)     *)
 
-  let lambda ?base ?leaf sig_ : t * Reg.t array =
-    let gen, args = V.lambda ?base ?leaf sig_ in
+  let lambda ?base ?leaf ?capacity sig_ : t * Reg.t array =
+    let gen, args = V.lambda ?base ?leaf ?capacity sig_ in
     ({ gen; args; stmts = []; nstmts = 0 }, args)
 
   let stmt c s =
@@ -203,7 +203,7 @@ module Make (T : Target.S) = struct
       | Ld (t, _, off), Some aa, _ ->
         let ra = emit_exp c aa in
         let rd = getreg_or_spill c t in
-        T.load g t rd ra (Gen.Oimm off);
+        T.load_imm g t rd ra off;
         release c ra aa;
         rd
       | Bin (op, t, _, _), Some ax, Some ay -> (
@@ -263,7 +263,7 @@ module Make (T : Target.S) = struct
       let aa = label addr and av = label v in
       let ra = emit_exp c aa in
       let rv = emit_exp c av in
-      T.store g t rv ra (Gen.Oimm off);
+      T.store_imm g t rv ra off;
       release c ra aa;
       release c rv av
     | Sret (t, None) -> T.ret g t None

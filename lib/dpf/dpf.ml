@@ -99,7 +99,8 @@ module Make (T : Target.S) = struct
           (fun (f : Filter.t) acc -> Trie.Alt (Trie.of_filters [ f ], acc))
           native Trie.Fail
     in
-    let g, args = V.lambda ~base ~leaf:true "%p%i" in
+    (* demultiplexors are small: ~100 words covers typical merged tries *)
+    let g, args = V.lambda ~base ~leaf:true ~capacity:128 "%p%i" in
     let pkt = args.(0) and len = args.(1) in
     let rbase = V.getreg_exn g ~cls:`Temp Vtype.P in
     let rv = V.getreg_exn g ~cls:`Temp Vtype.U in
@@ -134,7 +135,7 @@ module Make (T : Target.S) = struct
     let full_mask = function 1 -> 0xFF | 2 -> 0xFFFF | _ -> 0xFFFFFFFF in
     let load_field ~off ~size ~mask ~fail =
       check_bounds ~off ~size ~fail;
-      V.load g (vt_of_size size) rv rbase (Gen.Oimm off);
+      V.load_imm g (vt_of_size size) rv rbase off;
       if mask land full_mask size <> full_mask size then andui g rv rv mask
     in
     (* wire-order load of a Shift field on a little-endian host needs a

@@ -107,7 +107,7 @@ let hi_lo addr =
 
 let signed_ty (t : Vtype.t) = Vtype.is_signed t
 
-let arith g (op : Op.binop) (t : Vtype.t) rd rs1 rs2 =
+let arith_core g (op : Op.binop) (t : Vtype.t) rd rs1 rs2 =
   if Vtype.is_float t then begin
     let fmt = match t with Vtype.F -> A.FS | _ -> A.FD in
     let d = rnum rd and a = rnum rs1 and b = rnum rs2 in
@@ -139,11 +139,18 @@ let arith g (op : Op.binop) (t : Vtype.t) rd rs1 rs2 =
     | Op.Lsh -> ew g (A.W.sllv d a b)
     | Op.Rsh -> ew g (if signed_ty t then A.W.srav d a b else A.W.srlv d a b)
 
+let arith g op t rd rs1 rs2 =
+  Gen.note_write g rd;
+  Gen.count_insn g;
+  arith_core g op t rd rs1 rs2
+
 let arith_imm g (op : Op.binop) (t : Vtype.t) rd rs1 imm =
+  Gen.note_write g rd;
+  Gen.count_insn g;
   let d = rnum rd and a = rnum rs1 in
   let via_reg () =
     load_const g scratch imm;
-    arith g op t rd rs1 (Reg.R scratch)
+    arith_core g op t rd rs1 (Reg.R scratch)
   in
   match op with
   | Op.Add -> if fits16s imm then ew g (A.W.addiu d a imm) else via_reg ()
@@ -155,7 +162,7 @@ let arith_imm g (op : Op.binop) (t : Vtype.t) rd rs1 imm =
   | Op.Rsh -> ew g (if signed_ty t then A.W.sra d a imm else A.W.srl d a imm)
   | Op.Mul | Op.Div | Op.Mod -> via_reg ()
 
-let unary g (op : Op.unop) (t : Vtype.t) rd rs =
+let unary_core g (op : Op.unop) (t : Vtype.t) rd rs =
   if Vtype.is_float t then begin
     let fmt = match t with Vtype.F -> A.FS | _ -> A.FD in
     let d = rnum rd and s = rnum rs in
@@ -172,7 +179,14 @@ let unary g (op : Op.unop) (t : Vtype.t) rd rs =
     | Op.Mov -> ew g (A.W.or_ d s 0)
     | Op.Neg -> ew g (A.W.subu d 0 s)
 
+let unary g op t rd rs =
+  Gen.note_write g rd;
+  Gen.count_insn g;
+  unary_core g op t rd rs
+
 let set g (_t : Vtype.t) rd imm64 =
+  Gen.note_write g rd;
+  Gen.count_insn g;
   if Int64.compare imm64 (-0x80000000L) < 0 || Int64.compare imm64 0xFFFFFFFFL > 0 then
     Verror.fail (Verror.Range (Int64.to_string imm64));
   load_const g (rnum rd) (Int64.to_int imm64)
@@ -181,14 +195,19 @@ let set g (_t : Vtype.t) rd imm64 =
    record it; [finish] places the constant after the code and patches the
    pair (paper section 5.2: constants at the end of the function's
    instruction stream so they are reclaimed with it). *)
-let setf g (t : Vtype.t) rd v =
+let setf_core g (t : Vtype.t) rd v =
   let dbl = match t with Vtype.D -> true | _ -> false in
   let site = Codebuf.length g.Gen.buf in
   e g (A.Lui (scratch, 0));
   e g (if dbl then A.Ldc1 (rnum rd, scratch, 0) else A.Lwc1 (rnum rd, scratch, 0));
   let bits = if dbl then Int64.bits_of_float v
     else Int64.of_int32 (Int32.bits_of_float v) in
-  g.Gen.fimms <- (site, bits, dbl) :: g.Gen.fimms
+  Gen.add_fimm g ~site ~bits ~dbl
+
+let setf g t rd v =
+  Gen.note_write g rd;
+  Gen.count_insn g;
+  setf_core g t rd v
 
 (* ------------------------------------------------------------------ *)
 (* Branches                                                            *)
@@ -285,6 +304,8 @@ let branch_imm g (c : Op.cond) (t : Vtype.t) rs1 imm lab =
 (* Conversions                                                         *)
 
 let cvt g ~(from : Vtype.t) ~(to_ : Vtype.t) rd rs =
+  Gen.note_write g rd;
+  Gen.count_insn g;
   if (not (Vtype.is_float from)) && not (Vtype.is_float to_) then
     (* all word-class types share a representation on a 32-bit machine *)
     e g (A.Or (rnum rd, rnum rs, 0))
@@ -306,7 +327,7 @@ let cvt g ~(from : Vtype.t) ~(to_ : Vtype.t) rd rs =
       e g (A.Bgez (rnum rs, 0));
       Gen.add_reloc g ~site ~lab:skip ~kind:k_branch;
       e g A.Nop;
-      setf g Vtype.D (Reg.F fscratch) 4294967296.0;
+      setf_core g Vtype.D (Reg.F fscratch) 4294967296.0;
       e g (A.Fadd (A.FD, rnum rd, rnum rd, fscratch));
       Gen.bind_label g skip
     | Vtype.F, (Vtype.I | Vtype.L) ->
@@ -325,20 +346,10 @@ let cvt g ~(from : Vtype.t) ~(to_ : Vtype.t) rd rs =
 (* ------------------------------------------------------------------ *)
 (* Memory                                                              *)
 
-let mem_addr g base (off : Gen.offset) : int * int =
-  (* returns (base register, 16-bit offset), synthesizing into $at *)
-  match off with
-  | Gen.Oimm i when fits16s i -> (rnum base, i)
-  | Gen.Oimm i ->
-    load_const g scratch i;
-    ew g (A.W.addu scratch scratch (rnum base));
-    (scratch, 0)
-  | Gen.Oreg r ->
-    ew g (A.W.addu scratch (rnum base) (rnum r));
-    (scratch, 0)
-
-let load g (t : Vtype.t) rd base off =
-  let b, o = mem_addr g base off in
+(* Emit the access given a base register number and an in-range 16-bit
+   offset.  The immediate-offset entry points below keep the dominant
+   fits-in-16-bits case a straight encode with no allocation. *)
+let[@inline] emit_load g (t : Vtype.t) rd b o =
   match t with
   | Vtype.C -> ew g (A.W.lb (rnum rd) b o)
   | Vtype.UC -> ew g (A.W.lbu (rnum rd) b o)
@@ -349,8 +360,7 @@ let load g (t : Vtype.t) rd base off =
   | Vtype.D -> e g (A.Ldc1 (rnum rd, b, o))
   | Vtype.V -> Verror.fail (Verror.Bad_type "ld.v")
 
-let store g (t : Vtype.t) rv base off =
-  let b, o = mem_addr g base off in
+let[@inline] emit_store g (t : Vtype.t) rv b o =
   match t with
   | Vtype.C | Vtype.UC -> ew g (A.W.sb (rnum rv) b o)
   | Vtype.S | Vtype.US -> ew g (A.W.sh (rnum rv) b o)
@@ -358,6 +368,39 @@ let store g (t : Vtype.t) rv base off =
   | Vtype.F -> e g (A.Swc1 (rnum rv, b, o))
   | Vtype.D -> e g (A.Sdc1 (rnum rv, b, o))
   | Vtype.V -> Verror.fail (Verror.Bad_type "st.v")
+
+let load_imm g (t : Vtype.t) rd base off =
+  Gen.note_write g rd;
+  Gen.count_insn g;
+  if fits16s off then emit_load g t rd (rnum base) off
+  else begin
+    load_const g scratch off;
+    ew g (A.W.addu scratch scratch (rnum base));
+    emit_load g t rd scratch 0
+  end
+
+let load_reg g (t : Vtype.t) rd base idx =
+  Gen.note_write g rd;
+  Gen.count_insn g;
+  ew g (A.W.addu scratch (rnum base) (rnum idx));
+  emit_load g t rd scratch 0
+
+let store_imm_core g (t : Vtype.t) rv base off =
+  if fits16s off then emit_store g t rv (rnum base) off
+  else begin
+    load_const g scratch off;
+    ew g (A.W.addu scratch scratch (rnum base));
+    emit_store g t rv scratch 0
+  end
+
+let store_imm g t rv base off =
+  Gen.count_insn g;
+  store_imm_core g t rv base off
+
+let store_reg g (t : Vtype.t) rv base idx =
+  Gen.count_insn g;
+  ew g (A.W.addu scratch (rnum base) (rnum idx));
+  emit_store g t rv scratch 0
 
 (* ------------------------------------------------------------------ *)
 (* Control                                                             *)
@@ -442,7 +485,7 @@ let lambda g (tys : Vtype.t array) : Reg.t array =
             | None -> Verror.fail (Verror.Registers_exhausted "incoming arguments"))
         in
         Gen.note_write g r;
-        g.Gen.arg_loads <- (s, r, t) :: g.Gen.arg_loads;
+        Gen.add_arg_load g ~slot:s r t;
         r)
     locs
 
@@ -462,21 +505,19 @@ let ret g (t : Vtype.t) (r : Reg.t option) =
   match (t, r) with
   | Vtype.V, _ | _, None -> e g A.Nop
   | (Vtype.F as t), Some r | (Vtype.D as t), Some r ->
-    if rnum r <> 0 then unary g Op.Mov t (Reg.F 0) r else e g A.Nop
-  | t, Some r -> if rnum r <> 2 then unary g Op.Mov t (Reg.R 2) r else e g A.Nop
+    if rnum r <> 0 then unary_core g Op.Mov t (Reg.F 0) r else e g A.Nop
+  | t, Some r -> if rnum r <> 2 then unary_core g Op.Mov t (Reg.R 2) r else e g A.Nop
 
 (* Save-slot assignment: slot 0 (save_base) is $ra; integer registers
    follow, then doubles (shared layout logic in {!Gen.save_layout}). *)
 let save_layout g =
   Gen.save_layout g ~first_off:(save_base + 4) ~int_bytes:4 ~limit:locals_base
 
-let push_arg g (t : Vtype.t) (r : Reg.t) =
-  g.Gen.call_args <- (t, r) :: g.Gen.call_args
+let push_arg g (t : Vtype.t) (r : Reg.t) = Gen.push_call_arg g t r
 
 let do_call g (target : Gen.jtarget) =
-  let args = Array.of_list (List.rev g.Gen.call_args) in
-  g.Gen.call_args <- [];
-  let tys = Array.map fst args in
+  let n = Gen.call_arg_count g in
+  let tys = Array.init n (Gen.call_arg_ty g) in
   let locs = assign_slots tys in
   let nslots =
     Array.fold_left
@@ -489,26 +530,31 @@ let do_call g (target : Gen.jtarget) =
   (* stack args first, then register moves *)
   Array.iteri
     (fun i (t, loc) ->
-      let _, src = args.(i) in
+      let src = Gen.call_arg_reg g i in
       match loc with
-      | On_stack s -> store g t src (Reg.R 29) (Gen.Oimm (outarg_base + (4 * s)))
+      | On_stack s -> store_imm_core g t src (Reg.R 29) (outarg_base + (4 * s))
       | In_ireg _ | In_freg _ -> ())
     locs;
   Array.iteri
     (fun i (t, loc) ->
-      let _, src = args.(i) in
+      let src = Gen.call_arg_reg g i in
       match loc with
-      | In_ireg n -> if rnum src <> n then unary g Op.Mov t (Reg.R n) src
-      | In_freg n -> if rnum src <> n then unary g Op.Mov t (Reg.F n) src
+      | In_ireg n -> if rnum src <> n then unary_core g Op.Mov t (Reg.R n) src
+      | In_freg n -> if rnum src <> n then unary_core g Op.Mov t (Reg.F n) src
       | On_stack _ -> ())
     locs;
+  Gen.clear_call_args g;
   jal g target
 
 let retval g (t : Vtype.t) (r : Reg.t) =
   match t with
   | Vtype.V -> ()
-  | Vtype.F | Vtype.D -> if rnum r <> 0 then unary g Op.Mov t r (Reg.F 0)
-  | _ -> if rnum r <> 2 then unary g Op.Mov t r (Reg.R 2)
+  | Vtype.F | Vtype.D ->
+    Gen.note_write g r;
+    if rnum r <> 0 then unary_core g Op.Mov t r (Reg.F 0)
+  | _ ->
+    Gen.note_write g r;
+    if rnum r <> 2 then unary_core g Op.Mov t r (Reg.R 2)
 
 (* ------------------------------------------------------------------ *)
 (* Function finalization (section 5.2 backpatching)                    *)
@@ -543,14 +589,12 @@ let finish g =
       | `Int (n, off) -> add (A.Sw (n, 29, off))
       | `Fp (n, off) -> add (A.Sdc1 (n, 29, off)))
     saves;
-  List.iter
-    (fun (s, r, t) ->
-      let off = frame + outarg_base + (4 * s) in
+  Gen.iter_arg_loads g (fun ~slot r t ->
+      let off = frame + outarg_base + (4 * slot) in
       match t with
       | Vtype.F -> add (A.Lwc1 (rnum r, 29, off))
       | Vtype.D -> add (A.Ldc1 (rnum r, 29, off))
-      | _ -> add (A.Lw (rnum r, 29, off)))
-    (List.rev g.Gen.arg_loads);
+      | _ -> add (A.Lw (rnum r, 29, off)));
   let pro = List.rev !prologue in
   let k = List.length pro in
   if k > reserve_words then Verror.fail (Verror.Unsupported "prologue overflow");

@@ -115,7 +115,7 @@ let emit_mod g signed d a b =
   e g (A.Mullw (scratch, scratch, b));
   e g (A.Subf (d, scratch, a))
 
-let arith g (op : Op.binop) (t : Vtype.t) rd rs1 rs2 =
+let arith_core g (op : Op.binop) (t : Vtype.t) rd rs1 rs2 =
   if Vtype.is_float t then begin
     let dbl = t <> Vtype.F in
     let d = rnum rd and a = rnum rs1 and b = rnum rs2 in
@@ -148,11 +148,18 @@ let arith g (op : Op.binop) (t : Vtype.t) rd rs1 rs2 =
       if signed_ty t then masked_shift (fun sh -> A.Sraw (d, a, sh))
       else masked_shift (fun sh -> A.Srw (d, a, sh))
 
+let arith g op t rd rs1 rs2 =
+  Gen.note_write g rd;
+  Gen.count_insn g;
+  arith_core g op t rd rs1 rs2
+
 let arith_imm g (op : Op.binop) (t : Vtype.t) rd rs1 imm =
+  Gen.note_write g rd;
+  Gen.count_insn g;
   let d = rnum rd and a = rnum rs1 in
   let via_reg () =
     load_const g scratch2 imm;
-    arith g op t rd rs1 (Reg.R scratch2)
+    arith_core g op t rd rs1 (Reg.R scratch2)
   in
   match op with
   | Op.Add -> if fits16s imm then e g (A.Addi (d, a, imm)) else via_reg ()
@@ -172,6 +179,8 @@ let arith_imm g (op : Op.binop) (t : Vtype.t) rd rs1 imm =
   | Op.Div | Op.Mod -> via_reg ()
 
 let unary g (op : Op.unop) (t : Vtype.t) rd rs =
+  Gen.note_write g rd;
+  Gen.count_insn g;
   if Vtype.is_float t then begin
     let d = rnum rd and s = rnum rs in
     match op with
@@ -191,17 +200,24 @@ let unary g (op : Op.unop) (t : Vtype.t) rd rs =
     | Op.Neg -> e g (A.Neg (d, s))
 
 let set g (_t : Vtype.t) rd imm64 =
+  Gen.note_write g rd;
+  Gen.count_insn g;
   if Int64.compare imm64 (-0x80000000L) < 0 || Int64.compare imm64 0xFFFFFFFFL > 0 then
     Verror.fail (Verror.Range (Int64.to_string imm64));
   load_const g (rnum rd) (Int64.to_int imm64)
 
-let setf g (t : Vtype.t) rd v =
+let setf_core g (t : Vtype.t) rd v =
   let dbl = match t with Vtype.D -> true | _ -> false in
   let site = Codebuf.length g.Gen.buf in
   e g (A.Addis (scratch, 0, 0));
   e g (if dbl then A.Lfd (rnum rd, scratch, 0) else A.Lfs (rnum rd, scratch, 0));
   let bits = if dbl then Int64.bits_of_float v else Int64.of_int32 (Int32.bits_of_float v) in
-  g.Gen.fimms <- (site, bits, dbl) :: g.Gen.fimms
+  Gen.add_fimm g ~site ~bits ~dbl
+
+let setf g t rd v =
+  Gen.note_write g rd;
+  Gen.count_insn g;
+  setf_core g t rd v
 
 (* ------------------------------------------------------------------ *)
 (* Branches                                                            *)
@@ -256,6 +272,8 @@ let magic_signed = Int64.float_of_bits 0x4330000080000000L
 let magic_unsigned = Int64.float_of_bits 0x4330000000000000L
 
 let cvt g ~(from : Vtype.t) ~(to_ : Vtype.t) rd rs =
+  Gen.note_write g rd;
+  Gen.count_insn g;
   if (not (Vtype.is_float from)) && not (Vtype.is_float to_) then
     e g (A.Or (rnum rd, rnum rs, rnum rs))
   else
@@ -267,7 +285,7 @@ let cvt g ~(from : Vtype.t) ~(to_ : Vtype.t) rd rs =
       e g (A.Addis (scratch2, rnum rs, 0x8000)); (* adds 2^31 mod 2^32 = bit flip *)
       e g (A.Stw (scratch2, sp, xfer + 4));
       e g (A.Lfd (rnum rd, sp, xfer));
-      setf g Vtype.D (Reg.F fscratch) magic_signed;
+      setf_core g Vtype.D (Reg.F fscratch) magic_signed;
       e g (A.Fsub (rnum rd, rnum rd, fscratch));
       if to_ = Vtype.F then e g (A.Frsp (rnum rd, rnum rd))
     | (Vtype.U | Vtype.UL), Vtype.D ->
@@ -275,7 +293,7 @@ let cvt g ~(from : Vtype.t) ~(to_ : Vtype.t) rd rs =
       e g (A.Stw (scratch, sp, xfer));
       e g (A.Stw (rnum rs, sp, xfer + 4));
       e g (A.Lfd (rnum rd, sp, xfer));
-      setf g Vtype.D (Reg.F fscratch) magic_unsigned;
+      setf_core g Vtype.D (Reg.F fscratch) magic_unsigned;
       e g (A.Fsub (rnum rd, rnum rd, fscratch))
     | (Vtype.F | Vtype.D), (Vtype.I | Vtype.L) ->
       e g (A.Fctiwz (fscratch, rnum rs));
@@ -292,19 +310,9 @@ let cvt g ~(from : Vtype.t) ~(to_ : Vtype.t) rd rs =
 (* ------------------------------------------------------------------ *)
 (* Memory                                                              *)
 
-let mem_addr g base (off : Gen.offset) : int * int =
-  match off with
-  | Gen.Oimm i when fits16s i -> (rnum base, i)
-  | Gen.Oimm i ->
-    load_const g scratch i;
-    e g (A.Add (scratch, scratch, rnum base));
-    (scratch, 0)
-  | Gen.Oreg r ->
-    e g (A.Add (scratch, rnum base, rnum r));
-    (scratch, 0)
-
-let load g (t : Vtype.t) rd base off =
-  let b, o = mem_addr g base off in
+(* Emit the access given a base register number and an in-range 16-bit
+   displacement. *)
+let emit_load g (t : Vtype.t) rd b o =
   match t with
   | Vtype.C ->
     e g (A.Lbz (rnum rd, b, o));
@@ -319,8 +327,7 @@ let load g (t : Vtype.t) rd base off =
   | Vtype.D -> e g (A.Lfd (rnum rd, b, o))
   | Vtype.V -> Verror.fail (Verror.Bad_type "ld.v")
 
-let store g (t : Vtype.t) rv base off =
-  let b, o = mem_addr g base off in
+let emit_store g (t : Vtype.t) rv b o =
   match t with
   | Vtype.C | Vtype.UC -> e g (A.Stb (rnum rv, b, o))
   | Vtype.S | Vtype.US -> e g (A.Sth (rnum rv, b, o))
@@ -328,6 +335,36 @@ let store g (t : Vtype.t) rv base off =
   | Vtype.F -> e g (A.Stfs (rnum rv, b, o))
   | Vtype.D -> e g (A.Stfd (rnum rv, b, o))
   | Vtype.V -> Verror.fail (Verror.Bad_type "st.v")
+
+let load_imm g (t : Vtype.t) rd base off =
+  Gen.note_write g rd;
+  Gen.count_insn g;
+  if fits16s off then emit_load g t rd (rnum base) off
+  else begin
+    load_const g scratch off;
+    e g (A.Add (scratch, scratch, rnum base));
+    emit_load g t rd scratch 0
+  end
+
+let load_reg g (t : Vtype.t) rd base idx =
+  Gen.note_write g rd;
+  Gen.count_insn g;
+  e g (A.Add (scratch, rnum base, rnum idx));
+  emit_load g t rd scratch 0
+
+let store_imm g (t : Vtype.t) rv base off =
+  Gen.count_insn g;
+  if fits16s off then emit_store g t rv (rnum base) off
+  else begin
+    load_const g scratch off;
+    e g (A.Add (scratch, scratch, rnum base));
+    emit_store g t rv scratch 0
+  end
+
+let store_reg g (t : Vtype.t) rv base idx =
+  Gen.count_insn g;
+  e g (A.Add (scratch, rnum base, rnum idx));
+  emit_store g t rv scratch 0
 
 (* ------------------------------------------------------------------ *)
 (* Control                                                             *)
@@ -422,7 +459,7 @@ let lambda g (tys : Vtype.t array) : Reg.t array =
             | None -> Verror.fail (Verror.Registers_exhausted "incoming arguments"))
         in
         Gen.note_write g r;
-        g.Gen.arg_loads <- (s, r, t) :: g.Gen.arg_loads;
+        Gen.add_arg_load g ~slot:s r t;
         r)
     locs
 
@@ -442,7 +479,7 @@ let ret g (t : Vtype.t) (r : Reg.t option) =
   e g (A.B 0);
   Gen.add_reloc g ~site ~lab:g.Gen.epilogue_lab ~kind:k_retj
 
-let push_arg g (t : Vtype.t) (r : Reg.t) = g.Gen.call_args <- (t, r) :: g.Gen.call_args
+let push_arg g (t : Vtype.t) (r : Reg.t) = Gen.push_call_arg g t r
 
 (* Argument moves are a parallel-move problem on this target (the temp
    pool overlaps the argument registers); cycles break through r12. *)
@@ -452,9 +489,8 @@ let parallel_moves g (moves : (int * int) list) =
     moves
 
 let do_call g (target : Gen.jtarget) =
-  let args = Array.of_list (List.rev g.Gen.call_args) in
-  g.Gen.call_args <- [];
-  let tys = Array.map fst args in
+  let n = Gen.call_arg_count g in
+  let tys = Array.init n (Gen.call_arg_ty g) in
   let locs = assign_slots tys in
   let nstack =
     Array.fold_left
@@ -466,7 +502,7 @@ let do_call g (target : Gen.jtarget) =
   (* stack stores first *)
   Array.iteri
     (fun i ((t : Vtype.t), loc) ->
-      let _, src = args.(i) in
+      let src = Gen.call_arg_reg g i in
       match loc with
       | On_stack s -> (
         let off = outarg_base + (4 * s) in
@@ -480,7 +516,7 @@ let do_call g (target : Gen.jtarget) =
      unless already in place); integers go through the resolver *)
   Array.iteri
     (fun i (_, loc) ->
-      let _, src = args.(i) in
+      let src = Gen.call_arg_reg g i in
       match loc with
       | In_freg n -> if rnum src <> n then e g (A.Fmr (n, rnum src))
       | In_ireg _ | On_stack _ -> ())
@@ -488,12 +524,13 @@ let do_call g (target : Gen.jtarget) =
   let imoves = ref [] in
   Array.iteri
     (fun i (_, loc) ->
-      let _, src = args.(i) in
+      let src = Gen.call_arg_reg g i in
       match loc with
       | In_ireg n -> imoves := (n, rnum src) :: !imoves
       | In_freg _ | On_stack _ -> ())
     locs;
   parallel_moves g (List.rev !imoves);
+  Gen.clear_call_args g;
   jal g target
 
 let retval g (t : Vtype.t) (r : Reg.t) =
@@ -543,14 +580,12 @@ let finish g =
       | `Int (n, off) -> add (A.Stw (n, sp, off))
       | `Fp (n, off) -> add (A.Stfd (n, sp, off)))
     saves;
-  List.iter
-    (fun (s, r, (t : Vtype.t)) ->
-      let off = frame + outarg_base + (4 * s) in
+  Gen.iter_arg_loads g (fun ~slot r (t : Vtype.t) ->
+      let off = frame + outarg_base + (4 * slot) in
       match t with
       | Vtype.F -> add (A.Lfs (rnum r, sp, off))
       | Vtype.D -> add (A.Lfd (rnum r, sp, off))
-      | _ -> add (A.Lwz (rnum r, sp, off)))
-    (List.rev g.Gen.arg_loads);
+      | _ -> add (A.Lwz (rnum r, sp, off)));
   let pro = List.rev !prologue in
   let k = List.length pro in
   if k > reserve_words then Verror.fail (Verror.Unsupported "prologue overflow");

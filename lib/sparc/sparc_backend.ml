@@ -123,7 +123,7 @@ let emit_udiv g rd a b_ri =
   e g (A.Wry (g0, A.Imm 0));
   e g (A.Alu (A.Udiv, rd, a, b_ri))
 
-let arith g (op : Op.binop) (t : Vtype.t) rd rs1 rs2 =
+let arith_core g (op : Op.binop) (t : Vtype.t) rd rs1 rs2 =
   if Vtype.is_float t then begin
     let dbl = t <> Vtype.F in
     let d = rnum rd and a = rnum rs1 and b = rnum rs2 in
@@ -160,14 +160,21 @@ let arith g (op : Op.binop) (t : Vtype.t) rd rs1 rs2 =
     | Op.Lsh -> e g (A.Alu (A.Sll, d, a, b))
     | Op.Rsh -> e g (A.Alu ((if signed_ty t then A.Sra else A.Srl), d, a, b))
 
+let arith g op t rd rs1 rs2 =
+  Gen.note_write g rd;
+  Gen.count_insn g;
+  arith_core g op t rd rs1 rs2
+
 let arith_imm g (op : Op.binop) (t : Vtype.t) rd rs1 imm =
+  Gen.note_write g rd;
+  Gen.count_insn g;
   let d = rnum rd and a = rnum rs1 in
   let via_reg () =
     (* division synthesis uses %g1 internally, so wide divisor
        immediates go through %g5 instead *)
     let s = match op with Op.Div | Op.Mod -> g5 | _ -> g1 in
     load_const g s imm;
-    arith g op t rd rs1 (Reg.R s)
+    arith_core g op t rd rs1 (Reg.R s)
   in
   match op with
   | Op.Add -> if fits13 imm then e g (A.Alu (A.Add, d, a, A.Imm imm)) else via_reg ()
@@ -182,6 +189,8 @@ let arith_imm g (op : Op.binop) (t : Vtype.t) rd rs1 imm =
   | Op.Mul | Op.Div | Op.Mod -> via_reg ()
 
 let unary g (op : Op.unop) (t : Vtype.t) rd rs =
+  Gen.note_write g rd;
+  Gen.count_insn g;
   if Vtype.is_float t then begin
     let dbl = t <> Vtype.F in
     let d = rnum rd and s = rnum rs in
@@ -203,11 +212,13 @@ let unary g (op : Op.unop) (t : Vtype.t) rd rs =
     | Op.Neg -> e g (A.Alu (A.Sub, d, g0, A.R s))
 
 let set g (_t : Vtype.t) rd imm64 =
+  Gen.note_write g rd;
+  Gen.count_insn g;
   if Int64.compare imm64 (-0x80000000L) < 0 || Int64.compare imm64 0xFFFFFFFFL > 0 then
     Verror.fail (Verror.Range (Int64.to_string imm64));
   load_const g (rnum rd) (Int64.to_int imm64)
 
-let setf g (t : Vtype.t) rd v =
+let setf_core g (t : Vtype.t) rd v =
   let dbl = match t with Vtype.D -> true | _ -> false in
   let site = Codebuf.length g.Gen.buf in
   e g (A.Sethi (g1, 0));
@@ -215,7 +226,12 @@ let setf g (t : Vtype.t) rd v =
   let bits =
     if dbl then Int64.bits_of_float v else Int64.of_int32 (Int32.bits_of_float v)
   in
-  g.Gen.fimms <- (site, bits, dbl) :: g.Gen.fimms
+  Gen.add_fimm g ~site ~bits ~dbl
+
+let setf g t rd v =
+  Gen.note_write g rd;
+  Gen.count_insn g;
+  setf_core g t rd v
 
 (* ------------------------------------------------------------------ *)
 (* Branches                                                            *)
@@ -276,6 +292,8 @@ let branch_imm g (c : Op.cond) (t : Vtype.t) rs1 imm lab =
 (* Conversions                                                         *)
 
 let cvt g ~(from : Vtype.t) ~(to_ : Vtype.t) rd rs =
+  Gen.note_write g rd;
+  Gen.count_insn g;
   if (not (Vtype.is_float from)) && not (Vtype.is_float to_) then
     e g (A.Alu (A.Or, rnum rd, g0, A.R (rnum rs)))
   else
@@ -296,7 +314,7 @@ let cvt g ~(from : Vtype.t) ~(to_ : Vtype.t) rd rs =
       e g (A.Bicc (A.BGE, 0));
       Gen.add_reloc g ~site ~lab:skip ~kind:k_branch;
       e g A.Nop;
-      setf g Vtype.D (Reg.F fscratch) 4294967296.0;
+      setf_core g Vtype.D (Reg.F fscratch) 4294967296.0;
       e g (A.Fpop (A.Faddd, rnum rd, rnum rd, fscratch));
       Gen.bind_label g skip
     | (Vtype.F | Vtype.D), (Vtype.I | Vtype.L) ->
@@ -314,16 +332,8 @@ let cvt g ~(from : Vtype.t) ~(to_ : Vtype.t) rd rs =
 (* ------------------------------------------------------------------ *)
 (* Memory                                                              *)
 
-let mem_operand g base (off : Gen.offset) : int * A.ri =
-  match off with
-  | Gen.Oimm i when fits13 i -> (rnum base, A.Imm i)
-  | Gen.Oimm i ->
-    load_const g g1 i;
-    (rnum base, A.R g1)
-  | Gen.Oreg r -> (rnum base, A.R (rnum r))
-
-let load g (t : Vtype.t) rd base off =
-  let b, ri = mem_operand g base off in
+(* Emit the access given the base register number and a ready operand. *)
+let emit_load g (t : Vtype.t) rd b (ri : A.ri) =
   match t with
   | Vtype.C -> e g (A.Ldsb (rnum rd, b, ri))
   | Vtype.UC -> e g (A.Ldub (rnum rd, b, ri))
@@ -334,8 +344,7 @@ let load g (t : Vtype.t) rd base off =
   | Vtype.D -> e g (A.Lddf (rnum rd, b, ri))
   | Vtype.V -> Verror.fail (Verror.Bad_type "ld.v")
 
-let store g (t : Vtype.t) rv base off =
-  let b, ri = mem_operand g base off in
+let emit_store g (t : Vtype.t) rv b (ri : A.ri) =
   match t with
   | Vtype.C | Vtype.UC -> e g (A.Stb (rnum rv, b, ri))
   | Vtype.S | Vtype.US -> e g (A.Sth (rnum rv, b, ri))
@@ -343,6 +352,29 @@ let store g (t : Vtype.t) rv base off =
   | Vtype.F -> e g (A.Stf (rnum rv, b, ri))
   | Vtype.D -> e g (A.Stdf (rnum rv, b, ri))
   | Vtype.V -> Verror.fail (Verror.Bad_type "st.v")
+
+let load_imm g (t : Vtype.t) rd base off =
+  Gen.note_write g rd;
+  Gen.count_insn g;
+  if fits13 off then emit_load g t rd (rnum base) (A.Imm off)
+  else begin
+    load_const g g1 off;
+    emit_load g t rd (rnum base) (A.R g1)
+  end
+
+let load_reg g (t : Vtype.t) rd base idx = Gen.note_write g rd; Gen.count_insn g; emit_load g t rd (rnum base) (A.R (rnum idx))
+
+let store_imm g (t : Vtype.t) rv base off =
+  Gen.count_insn g;
+  if fits13 off then emit_store g t rv (rnum base) (A.Imm off)
+  else begin
+    load_const g g1 off;
+    emit_store g t rv (rnum base) (A.R g1)
+  end
+
+let store_reg g (t : Vtype.t) rv base idx =
+  Gen.count_insn g;
+  emit_store g t rv (rnum base) (A.R (rnum idx))
 
 (* ------------------------------------------------------------------ *)
 (* Control                                                             *)
@@ -422,7 +454,7 @@ let lambda g (tys : Vtype.t array) : Reg.t array =
             | Some r -> r
             | None -> Verror.fail (Verror.Registers_exhausted "incoming arguments"))
         in
-        g.Gen.arg_loads <- (s, r, t) :: g.Gen.arg_loads;
+        Gen.add_arg_load g ~slot:s r t;
         r)
     locs
 
@@ -441,7 +473,7 @@ let ret g (t : Vtype.t) (r : Reg.t option) =
     (* two instructions needed: do the move before the jump instead *)
     if rnum r <> 0 then begin
       Codebuf.truncate g.Gen.buf site;
-      g.Gen.relocs <- List.tl g.Gen.relocs;
+      Gen.pop_reloc g;
       fmov_d g 0 (rnum r);
       let site = Codebuf.length g.Gen.buf in
       e g (A.Bicc (A.BA, 0));
@@ -452,12 +484,11 @@ let ret g (t : Vtype.t) (r : Reg.t option) =
   | _, Some r ->
     if rnum r <> i0 then e g (A.Alu (A.Or, i0, g0, A.R (rnum r))) else e g A.Nop
 
-let push_arg g (t : Vtype.t) (r : Reg.t) = g.Gen.call_args <- (t, r) :: g.Gen.call_args
+let push_arg g (t : Vtype.t) (r : Reg.t) = Gen.push_call_arg g t r
 
 let do_call g (target : Gen.jtarget) =
-  let args = Array.of_list (List.rev g.Gen.call_args) in
-  g.Gen.call_args <- [];
-  let tys = Array.map fst args in
+  let n = Gen.call_arg_count g in
+  let tys = Array.init n (Gen.call_arg_ty g) in
   let locs = assign_slots ~callee:false tys in
   let nslots =
     Array.fold_left
@@ -469,7 +500,7 @@ let do_call g (target : Gen.jtarget) =
   g.Gen.max_call_args <- max g.Gen.max_call_args nslots;
   Array.iteri
     (fun i ((t : Vtype.t), loc) ->
-      let _, src = args.(i) in
+      let src = Gen.call_arg_reg g i in
       match loc with
       | On_stack s -> (
         let off = arg_bias + (4 * s) in
@@ -485,7 +516,7 @@ let do_call g (target : Gen.jtarget) =
   let imoves = ref [] in
   Array.iteri
     (fun i (_, loc) ->
-      let _, src = args.(i) in
+      let src = Gen.call_arg_reg g i in
       match loc with
       | In_reg n -> imoves := (n, rnum src) :: !imoves
       | On_stack _ -> ())
@@ -493,6 +524,7 @@ let do_call g (target : Gen.jtarget) =
   Gen.parallel_moves ~scratch:g1
     ~emit_mov:(fun d s -> if d <> s then e g (A.Alu (A.Or, d, g0, A.R s)))
     (List.rev !imoves);
+  Gen.clear_call_args g;
   jal g target
 
 let retval g (t : Vtype.t) (r : Reg.t) =
@@ -520,14 +552,12 @@ let finish g =
   (* prologue: save + incoming stack-argument reloads *)
   let prologue = ref [ A.Save (sp, sp, A.Imm (-frame)) ] in
   let add i = prologue := i :: !prologue in
-  List.iter
-    (fun (s, r, (t : Vtype.t)) ->
-      let off = arg_bias + (4 * s) in
+  Gen.iter_arg_loads g (fun ~slot r (t : Vtype.t) ->
+      let off = arg_bias + (4 * slot) in
       match t with
       | Vtype.F -> add (A.Ldf (rnum r, fp, A.Imm off))
       | Vtype.D -> add (A.Lddf (rnum r, fp, A.Imm off))
-      | _ -> add (A.Ld (rnum r, fp, A.Imm off)))
-    (List.rev g.Gen.arg_loads);
+      | _ -> add (A.Ld (rnum r, fp, A.Imm off)));
   let pro = List.rev !prologue in
   let k = List.length pro in
   if k > reserve_words then Verror.fail (Verror.Unsupported "prologue overflow");

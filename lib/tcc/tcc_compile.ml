@@ -161,7 +161,7 @@ module Make (T : Target.S) = struct
           let a = temp ctx (Tptr gv.g_ty) in
           V.set ctx.g Vtype.P a (Int64.of_int gv.g_addr);
           let r = temp ctx gv.g_ty in
-          V.load ctx.g (mem_vt gv.g_ty) r a (Vcodebase.Gen.Oimm 0);
+          V.load_imm ctx.g (mem_vt gv.g_ty) r a 0;
           free ctx a ~owned:true;
           (r, gv.g_ty, true)
         | None -> cfail "undefined variable %s" name))
@@ -214,12 +214,12 @@ module Make (T : Target.S) = struct
       let r, t, owned = gen_expr ctx e in
       let pointee = match t with Tptr p -> p | _ -> cfail "dereference of non-pointer" in
       let rd = if owned then r else temp ctx pointee in
-      V.load ctx.g (mem_vt pointee) rd r (Gen.Oimm 0);
+      V.load_imm ctx.g (mem_vt pointee) rd r 0;
       (rd, pointee, true)
     | Eindex (base, idx) ->
       let addr, pointee, owned = gen_addr_index ctx base idx in
       let rd = if owned then addr else temp ctx pointee in
-      V.load ctx.g (mem_vt pointee) rd addr (Gen.Oimm 0);
+      V.load_imm ctx.g (mem_vt pointee) rd addr 0;
       (rd, pointee, true)
     | Ebin ((Blt | Ble | Bgt | Bge | Beq | Bne | Bland | Blor), _, _) ->
       (* boolean in value position: materialize 0/1 *)
@@ -344,7 +344,7 @@ module Make (T : Target.S) = struct
           let rv, _, ov = gen_expr ctx rhs in
           let a = temp ctx (Tptr gv.g_ty) in
           V.set ctx.g Vtype.P a (Int64.of_int gv.g_addr);
-          V.store ctx.g (mem_vt gv.g_ty) rv a (Vcodebase.Gen.Oimm 0);
+          V.store_imm ctx.g (mem_vt gv.g_ty) rv a 0;
           free ctx a ~owned:true;
           (rv, gv.g_ty, ov)
         | Some _ -> cfail "cannot assign to array %s" name
@@ -355,7 +355,7 @@ module Make (T : Target.S) = struct
       let (rp, op_), (rv, _, ov) =
         eval_protected ctx (rp, tp, op_) rhs (fun () -> gen_expr ctx rhs)
       in
-      V.store ctx.g (mem_vt pointee) rv rp (Gen.Oimm 0);
+      V.store_imm ctx.g (mem_vt pointee) rv rp 0;
       free ctx rp ~owned:op_;
       (rv, pointee, ov)
     | Eindex (base, idx) ->
@@ -363,7 +363,7 @@ module Make (T : Target.S) = struct
       let (addr, oa), (rv, _, ov) =
         eval_protected ctx (addr, Tptr pointee, oa) rhs (fun () -> gen_expr ctx rhs)
       in
-      V.store ctx.g (mem_vt pointee) rv addr (Gen.Oimm 0);
+      V.store_imm ctx.g (mem_vt pointee) rv addr 0;
       free ctx addr ~owned:oa;
       (rv, pointee, ov)
     | _ -> cfail "invalid assignment target"
@@ -667,7 +667,8 @@ module Make (T : Target.S) = struct
     let sig_ =
       String.concat "" (List.map (fun (t, _) -> "%" ^ Vtype.to_string (value_vt t)) f.fparams)
     in
-    let g, arg_regs = V.lambda ~base ~leaf sig_ in
+    (* size hint: compiled C functions run a few words per statement *)
+    let g, arg_regs = V.lambda ~base ~leaf ~capacity:256 sig_ in
     let ctx =
       {
         g; syms; globals; vars = []; addressed; ret_ty = f.fret;
