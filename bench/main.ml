@@ -40,6 +40,14 @@ let body_capacity = 320
 let json_results : (string * float) list ref = ref []
 let record key v = json_results := (key, v) :: !json_results
 
+(* --telemetry: one enabled sink threaded into the Table 3 / Table 4
+   workload simulators and generators; --json then appends its contents
+   as a nested "telemetry" object (counters, distribution summaries,
+   event total).  Off by default, so plain runs keep the disabled sink
+   and its zero-overhead path. *)
+let tel_sink : Vmachine.Telemetry.t option ref = ref None
+let tel () = match !tel_sink with Some t -> t | None -> Vmachine.Telemetry.disabled
+
 let json_float v =
   match Float.classify_float v with
   | FP_nan | FP_infinite -> "null"
@@ -48,12 +56,39 @@ let json_float v =
 let write_json path =
   let items = List.rev !json_results in
   let n = List.length items in
+  let tel_on = match !tel_sink with Some _ -> true | None -> false in
   let oc = open_out path in
   output_string oc "{\n";
   List.iteri
     (fun i (k, v) ->
-      Printf.fprintf oc "  %S: %s%s\n" k (json_float v) (if i < n - 1 then "," else ""))
+      Printf.fprintf oc "  %S: %s%s\n" k (json_float v)
+        (if i < n - 1 || tel_on then "," else ""))
     items;
+  (match !tel_sink with
+  | None -> ()
+  | Some t ->
+    let module T = Vmachine.Telemetry in
+    let collect iter = (* registration-ordered (name, payload) list *)
+      let acc = ref [] in
+      iter t (fun name v -> acc := (name, v) :: !acc);
+      List.rev !acc
+    in
+    let emit_obj indent kvs payload =
+      let n = List.length kvs in
+      List.iteri
+        (fun i (k, v) ->
+          Printf.fprintf oc "%s%S: %s%s\n" indent k (payload v)
+            (if i < n - 1 then "," else ""))
+        kvs
+    in
+    output_string oc "  \"telemetry\": {\n    \"counters\": {\n";
+    emit_obj "      " (collect T.iter_counters) string_of_int;
+    output_string oc "    },\n    \"dists\": {\n";
+    emit_obj "      " (collect T.iter_dists) (fun (st : T.dist_stats) ->
+        Printf.sprintf "{ \"count\": %d, \"sum\": %d, \"min\": %d, \"max\": %d }"
+          st.T.count st.T.sum st.T.min st.T.max);
+    Printf.fprintf oc "    },\n    \"events_seen\": %d\n  }\n" (T.events_seen t);
+    ());
   output_string oc "}\n";
   close_out oc;
   Printf.printf "wrote %d results to %s\n" n path
@@ -270,7 +305,8 @@ let bench_table3 () =
   (* DPF *)
   let dpf_us, dpf_code_words =
     let c = DP.compile ~base:0x1000 ~table_base:0x200000 filters in
-    let m = Sim.create cfg in
+    Vmachine.Telemetry.note_gen (tel ()) ~prefix:"table3.dpf" c.Dpf.code.Vcode.gen;
+    let m = Sim.create ~telemetry:(tel ()) cfg in
     Vmachine.Mem.install_code m.Sim.mem ~addr:c.Dpf.code.Vcode.base
       c.Dpf.code.Vcode.gen.Gen.buf;
     DP.install_tables m.Sim.mem c;
@@ -287,7 +323,7 @@ let bench_table3 () =
   (* interpreter harness *)
   let interp source fname write_image =
     let prog = TC.compile ~base:0x8000 source in
-    let m = Sim.create cfg in
+    let m = Sim.create ~telemetry:(tel ()) cfg in
     List.iter
       (fun (_, code) ->
         Vmachine.Mem.install_code m.Sim.mem ~addr:code.Vcode.base code.Vcode.gen.Gen.buf)
@@ -348,7 +384,7 @@ let dst_addr = 0x312000 (* distinct cache sets from src *)
 
 let table4_row cfg ops =
   let nwords = 2048 in
-  let m = Sim.create cfg in
+  let m = Sim.create ~telemetry:(tel ()) cfg in
   let passes = ASH.gen_separate ~base:0x1000 ops in
   List.iter
     (fun (_, c) ->
@@ -357,6 +393,7 @@ let table4_row cfg ops =
   let integ = ASH.gen_integrated ~base:0x8000 ops in
   Vmachine.Mem.install_code m.Sim.mem ~addr:integ.Vcode.base integ.Vcode.gen.Gen.buf;
   let ash = ASH.gen_ash ~base:0xA000 ops in
+  Vmachine.Telemetry.note_gen (tel ()) ~prefix:"table4.ash" ash.Vcode.gen;
   Vmachine.Mem.install_code m.Sim.mem ~addr:ash.Vcode.base ash.Vcode.gen.Gen.buf;
   let data = Bytes.init (4 * nwords) (fun i -> Char.chr ((i * 131) land 0xff)) in
   Vmachine.Mem.blit_bytes m.Sim.mem ~addr:src_addr data;
@@ -929,7 +966,7 @@ let run_all () =
 
 let usage () =
   prerr_endline
-    "usage: main.exe [--json FILE] [MODE...]\n\
+    "usage: main.exe [--json FILE] [--telemetry] [MODE...]\n\
      modes: all (default) codegen table3 table4 space ablations wallclock\n\
      \       sim-throughput json-selftest";
   exit 2
@@ -955,6 +992,9 @@ let () =
   let rec parse modes json = function
     | [] -> (List.rev modes, json)
     | "--json" :: path :: rest -> parse modes (Some path) rest
+    | "--telemetry" :: rest ->
+        if !tel_sink = None then tel_sink := Some (Vmachine.Telemetry.create ());
+        parse modes json rest
     | [ "--json" ] ->
         prerr_endline "--json requires a file path";
         usage ()

@@ -244,12 +244,12 @@ let arith_core g (op : Op.binop) (t : Vtype.t) rd rs1 rs2 =
 
 let arith g op t rd rs1 rs2 =
   Gen.note_write g rd;
-  Gen.count_insn g;
+  Gen.count_insn g (Opk.arith op);
   arith_core g op t rd rs1 rs2
 
 let arith_imm g (op : Op.binop) (t : Vtype.t) rd rs1 imm =
   Gen.note_write g rd;
-  Gen.count_insn g;
+  Gen.count_insn g (Opk.arith_imm op);
   let d = rnum rd and a = rnum rs1 in
   let small = imm >= 0 && imm <= 255 in
   let lit = A.L (imm land 0xFF) in
@@ -286,7 +286,7 @@ let arith_imm g (op : Op.binop) (t : Vtype.t) rd rs1 imm =
 
 let unary g (op : Op.unop) (t : Vtype.t) rd rs =
   Gen.note_write g rd;
-  Gen.count_insn g;
+  Gen.count_insn g (Opk.unary op);
   if Vtype.is_float t then begin
     let d = rnum rd and s = rnum rs in
     match op with
@@ -306,13 +306,13 @@ let unary g (op : Op.unop) (t : Vtype.t) rd rs =
 
 let set g (t : Vtype.t) rd imm64 =
   Gen.note_write g rd;
-  Gen.count_insn g;
+  Gen.count_insn g Opk.set;
   let v = if is_32 t then Int64.shift_right (Int64.shift_left imm64 32) 32 else imm64 in
   emit_const g (rnum rd) v
 
 let setf g (t : Vtype.t) rd v =
   Gen.note_write g rd;
-  Gen.count_insn g;
+  Gen.count_insn g Opk.setf;
   let dbl = match t with Vtype.D -> true | _ -> false in
   let site = Codebuf.length g.Gen.buf in
   e g (A.Ldah (at, zero, 0));
@@ -411,7 +411,7 @@ let branch_imm g (c : Op.cond) (t : Vtype.t) rs1 imm lab =
 
 let cvt g ~(from : Vtype.t) ~(to_ : Vtype.t) rd rs =
   Gen.note_write g rd;
-  Gen.count_insn g;
+  Gen.count_insn g Opk.cvt;
   if (not (Vtype.is_float from)) && not (Vtype.is_float to_) then begin
     (* word-class conversions: adjust the 32/64-bit representation *)
     let d = rnum rd and s = rnum rs in
@@ -543,10 +543,10 @@ let store_off g (t : Vtype.t) rv base off =
 (* The Target.S imm/reg-specialized memory entry points.  The sub-word
    synthesis above keeps the offset-dispatch form internally; the split
    matters for ports on the allocation-free fast path (MIPS). *)
-let load_imm g t rd base off = Gen.note_write g rd; Gen.count_insn g; load_off g t rd base (Gen.Oimm off)
-let load_reg g t rd base idx = Gen.note_write g rd; Gen.count_insn g; load_off g t rd base (Gen.Oreg idx)
-let store_imm g t rv base off = Gen.count_insn g; store_off g t rv base (Gen.Oimm off)
-let store_reg g t rv base idx = Gen.count_insn g; store_off g t rv base (Gen.Oreg idx)
+let load_imm g t rd base off = Gen.note_write g rd; Gen.count_insn g Opk.ld; load_off g t rd base (Gen.Oimm off)
+let load_reg g t rd base idx = Gen.note_write g rd; Gen.count_insn g Opk.ld; load_off g t rd base (Gen.Oreg idx)
+let store_imm g t rv base off = Gen.count_insn g Opk.st; store_off g t rv base (Gen.Oimm off)
+let store_reg g t rv base idx = Gen.count_insn g Opk.st; store_off g t rv base (Gen.Oreg idx)
 
 (* ------------------------------------------------------------------ *)
 (* Control                                                             *)

@@ -17,17 +17,20 @@
 type t = {
   mutable words : int array;
   mutable len : int;
+  mutable growths : int;  (* doubling copies taken; a capacity-hint gauge *)
 }
 
 let create ?(capacity = 256) () =
-  { words = Array.make (max 16 capacity) 0; len = 0 }
+  { words = Array.make (max 16 capacity) 0; len = 0; growths = 0 }
 
 let length t = t.len
+let growths t = t.growths
 
 let grow t =
   let w = Array.make (2 * Array.length t.words) 0 in
   Array.blit t.words 0 w 0 t.len;
-  t.words <- w
+  t.words <- w;
+  t.growths <- t.growths + 1
 
 (* Append one instruction word; returns its index. *)
 let[@inline] emit t w =

@@ -11,6 +11,10 @@ type t
 val create : ?capacity:int -> unit -> t
 val length : t -> int
 
+(** number of capacity-doubling copies taken so far — 0 means the
+    [create] capacity hint was sufficient *)
+val growths : t -> int
+
 (** append one instruction word (interpreted modulo 2^32); returns the
     word's index for later backpatching.  The hot path of the whole
     generator: one capacity test and a straight-line store. *)

@@ -43,6 +43,9 @@ type t = {
   mutable nlabels : int;
   mutable relocs : int array;  (* packed, stride 3 *)
   mutable nrelocs : int;
+  mutable resolved_relocs : int; (* relocs consumed by [resolve_relocs]; the
+                                    first [resolved_relocs] triples of [relocs]
+                                    keep their bound sites for post-hoc reading *)
   mutable leaf : bool;
   mutable in_function : bool;
   mutable finished : bool;
@@ -69,6 +72,8 @@ type t = {
   mutable eff_callee_mask : int;  (* callee_mask folded with overrides *)
   mutable eff_fcallee_mask : int;
   mutable insn_count : int;  (* VCODE-level instructions emitted *)
+  op_counts : int array;     (* per-{!Opk} slot emission counts; their sum
+                                is [insn_count] by construction *)
   mutable tstate : int;      (* target-private scratch (e.g. SPARC leaf) *)
 }
 
@@ -91,6 +96,7 @@ let create ?(base = 0) ?capacity (desc : Machdesc.t) =
     nlabels = 0;
     relocs = empty_table;
     nrelocs = 0;
+    resolved_relocs = 0;
     leaf = false;
     in_function = false;
     finished = false;
@@ -117,6 +123,7 @@ let create ?(base = 0) ?capacity (desc : Machdesc.t) =
     eff_callee_mask = desc.Machdesc.callee_mask;
     eff_fcallee_mask = desc.Machdesc.fcallee_mask;
     insn_count = 0;
+    op_counts = Array.make Opk.slots 0;
     tstate = 0;
   }
 
@@ -161,6 +168,7 @@ let pop_reloc g =
   g.nrelocs <- g.nrelocs - 1
 
 let reloc_count g = g.nrelocs
+let total_relocs g = max g.nrelocs g.resolved_relocs
 
 (* Resolve every recorded relocation through the target's patcher. *)
 let resolve_relocs g ~(apply : kind:int -> site:int -> dest:int -> unit) =
@@ -171,6 +179,7 @@ let resolve_relocs g ~(apply : kind:int -> site:int -> dest:int -> unit) =
     if dest < 0 then Verror.fail (Verror.Unresolved_label lab);
     apply ~kind ~site ~dest
   done;
+  g.resolved_relocs <- g.resolved_relocs + g.nrelocs;
   g.nrelocs <- 0
 
 (* ------------------------------------------------------------------ *)
@@ -265,7 +274,28 @@ let[@inline] note_write g (r : Reg.t) =
    emitter entry; multi-instruction expansions (immediate fallbacks,
    call sequences) go through internal *_core helpers so each API-level
    instruction counts exactly once. *)
-let[@inline] count_insn g = g.insn_count <- g.insn_count + 1
+(* [k] is the instruction's {!Opk} slot; the per-opcode table is
+   preallocated at [create], so both updates are plain int stores.  [k]
+   comes from the fixed call sites in the ports (never user data), so
+   the unsafe index is justified. *)
+let[@inline] count_insn g k =
+  g.insn_count <- g.insn_count + 1;
+  Array.unsafe_set g.op_counts k (Array.unsafe_get g.op_counts k + 1)
+
+let op_count g k =
+  if k < 0 || k >= Opk.slots then Verror.failf "op_count: bad opcode slot %d" k;
+  g.op_counts.(k)
+
+(* Visit each bound relocation's (site, destination) pair — meaningful
+   after [resolve_relocs] has run (v_end), when every label is bound.
+   Unbound labels are skipped so the iterator is safe mid-generation. *)
+let iter_reloc_spans g f =
+  let a = g.relocs in
+  for r = 0 to max g.nrelocs g.resolved_relocs - 1 do
+    let site = a.(3 * r) and lab = a.((3 * r) + 1) in
+    let dest = g.labels.(lab) in
+    if dest >= 0 then f ~site ~dest
+  done
 
 let count_bits m =
   let rec go m acc = if m = 0 then acc else go (m lsr 1) (acc + (m land 1)) in

@@ -34,6 +34,7 @@ type t = {
   mutable nlabels : int;
   mutable relocs : int array;  (** packed, stride 3: site, lab, kind *)
   mutable nrelocs : int;
+  mutable resolved_relocs : int; (* relocs already consumed by resolve_relocs *)
   mutable leaf : bool;
   mutable in_function : bool;
   mutable finished : bool;
@@ -67,6 +68,9 @@ type t = {
           [set_reg_class] so [note_write] is a branch-free mask-and-or *)
   mutable eff_fcallee_mask : int;
   mutable insn_count : int;  (** VCODE-level instructions emitted *)
+  op_counts : int array;
+      (** per-{!Opk}-slot emission counts; their sum is [insn_count] by
+          construction — every counting site passes its slot *)
   mutable tstate : int;      (** target-private scratch *)
 }
 
@@ -92,6 +96,10 @@ val add_reloc : t -> site:int -> lab:int -> kind:int -> unit
 val pop_reloc : t -> unit
 
 val reloc_count : t -> int
+
+(** pending plus already-resolved relocations — the total the
+    generator ever recorded, still meaningful after [resolve_relocs] *)
+val total_relocs : t -> int
 
 (** resolve every recorded relocation through the target's patcher;
     @raise Verror.Error on undefined labels *)
@@ -142,9 +150,21 @@ val putreg : t -> Reg.t -> unit
     section-5.3 class overrides *)
 val note_write : t -> Reg.t -> unit
 
-(** count one VCODE-level instruction; ports call this once per public
-    emitter entry *)
-val count_insn : t -> unit
+(** count one VCODE-level instruction under its {!Opk} slot; ports call
+    this once per public emitter entry.  Both the total and the
+    per-opcode table are plain int-array stores. *)
+val count_insn : t -> int -> unit
+
+(** the emission count recorded for one {!Opk} slot;
+    @raise Verror.Error on an out-of-range slot *)
+val op_count : t -> int -> int
+
+(** visit each relocation's (code-index site, code-index destination)
+    pair; relocations whose label is still unbound are skipped.  After
+    v_end every label is bound, so this enumerates exactly the
+    backpatches taken — telemetry derives its backpatch-distance
+    distribution from it. *)
+val iter_reloc_spans : t -> (site:int -> dest:int -> unit) -> unit
 
 val count_bits : int -> int
 

@@ -1,0 +1,79 @@
+(* Opcode-kind slots for per-opcode emission statistics.
+
+   Every public VCODE emitter maps to one slot in a small dense index
+   space, so {!Gen} can keep per-opcode emission counts in a single
+   preallocated [int array] — one unsafe increment per emitted
+   instruction, zero GC words, no hashing.  The space is the Table 2
+   instruction vocabulary at the granularity clients see: binops split
+   register/immediate, branches split by condition, memory collapsed to
+   ld/st (the immediate- and register-offset forms emit the same VCODE
+   instruction).
+
+   The slot assignment is a stable ABI within one build only; reporting
+   always goes through [name]. *)
+
+let n_binops = 10
+let n_unops = 4
+let n_conds = 6
+
+let binop_index : Op.binop -> int = function
+  | Add -> 0 | Sub -> 1 | Mul -> 2 | Div -> 3 | Mod -> 4
+  | And -> 5 | Or -> 6 | Xor -> 7 | Lsh -> 8 | Rsh -> 9
+
+let unop_index : Op.unop -> int = function
+  | Com -> 0 | Not -> 1 | Mov -> 2 | Neg -> 3
+
+let cond_index : Op.cond -> int = function
+  | Lt -> 0 | Le -> 1 | Gt -> 2 | Ge -> 3 | Eq -> 4 | Ne -> 5
+
+(* Fixed slot layout.  Keep [slots] in sync when adding families. *)
+let arith_base = 0
+let arith_imm_base = arith_base + n_binops
+let unary_base = arith_imm_base + n_binops
+let set = unary_base + n_unops
+let setf = set + 1
+let cvt = setf + 1
+let ld = cvt + 1
+let st = ld + 1
+let jmp = st + 1
+let jal = jmp + 1
+let branch_base = jal + 1
+let branch_imm_base = branch_base + n_conds
+let ret = branch_imm_base + n_conds
+let nop = ret + 1
+let call = nop + 1
+let retval = call + 1
+let ext = retval + 1
+let slots = ext + 1
+
+let[@inline] arith op = arith_base + binop_index op
+let[@inline] arith_imm op = arith_imm_base + binop_index op
+let[@inline] unary op = unary_base + unop_index op
+let[@inline] branch c = branch_base + cond_index c
+let[@inline] branch_imm c = branch_imm_base + cond_index c
+
+let binop_of_index i =
+  List.nth Op.all_binops i
+
+let unop_of_index i = List.nth Op.all_unops i
+let cond_of_index i = List.nth Op.all_conds i
+
+let name k =
+  if k < arith_imm_base then Op.binop_to_string (binop_of_index (k - arith_base))
+  else if k < unary_base then Op.binop_to_string (binop_of_index (k - arith_imm_base)) ^ "i"
+  else if k < set then Op.unop_to_string (unop_of_index (k - unary_base))
+  else if k = set then "set"
+  else if k = setf then "setf"
+  else if k = cvt then "cvt"
+  else if k = ld then "ld"
+  else if k = st then "st"
+  else if k = jmp then "jmp"
+  else if k = jal then "jal"
+  else if k < branch_imm_base then Op.cond_to_string (cond_of_index (k - branch_base))
+  else if k < ret then Op.cond_to_string (cond_of_index (k - branch_imm_base)) ^ "i"
+  else if k = ret then "ret"
+  else if k = nop then "nop"
+  else if k = call then "call"
+  else if k = retval then "retval"
+  else if k = ext then "ext"
+  else invalid_arg (Printf.sprintf "Opk.name: bad slot %d" k)

@@ -1,0 +1,35 @@
+(** Opcode-kind slots for per-opcode emission statistics.
+
+    A small dense index space over the Table 2 instruction vocabulary,
+    at the granularity clients see (binops split register/immediate,
+    branches split by condition, memory collapsed to ld/st).  {!Gen}
+    keeps one preallocated counter per slot; ports pass the slot to
+    [Gen.count_insn] at each public emitter entry. *)
+
+(** total number of slots; valid slots are [0 .. slots - 1] *)
+val slots : int
+
+val arith : Op.binop -> int
+val arith_imm : Op.binop -> int
+val unary : Op.unop -> int
+val branch : Op.cond -> int
+val branch_imm : Op.cond -> int
+
+val set : int
+val setf : int
+val cvt : int
+val ld : int
+val st : int
+val jmp : int
+val jal : int
+val ret : int
+val nop : int
+val call : int
+val retval : int
+
+(** extension instructions registered through [Vcode.Ext] *)
+val ext : int
+
+(** the reporting name of a slot, e.g. ["add"], ["addi"], ["blt"];
+    @raise Invalid_argument on an out-of-range slot *)
+val name : int -> string

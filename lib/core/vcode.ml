@@ -236,7 +236,7 @@ module Make_gen (C : CHECKS) (T : Target.S) = struct
     let off = Gen.alloc_local g ~bytes ~align in
     { loc_off = off; loc_ty = Vtype.P }
 
-  let[@inline] count g = g.Gen.insn_count <- g.Gen.insn_count + 1
+  let[@inline] count g k = Gen.count_insn g k
 
   (* ---------------------------------------------------------------- *)
   (* Generic emitters.  Validation is one guarded call to the shared
@@ -345,7 +345,7 @@ module Make_gen (C : CHECKS) (T : Target.S) = struct
 
   let jump g (t : Gen.jtarget) =
     if C.enabled then Gen.check_open g;
-    count g;
+    count g Opk.jmp;
     T.jump g t
 
   let jal g (t : Gen.jtarget) =
@@ -354,7 +354,7 @@ module Make_gen (C : CHECKS) (T : Target.S) = struct
       if g.Gen.leaf then Verror.fail Verror.Leaf_call
     end;
     g.Gen.made_call <- true;
-    count g;
+    count g Opk.jal;
     T.jal g t
 
   let branch g (c : Op.cond) (t : Vtype.t) rs1 rs2 lab =
@@ -366,7 +366,7 @@ module Make_gen (C : CHECKS) (T : Target.S) = struct
       chk_reg "branch" t rs1;
       chk_reg "branch" t rs2
     end;
-    count g;
+    count g (Opk.branch c);
     T.branch g c t rs1 rs2 lab
 
   let branch_imm g (c : Op.cond) (t : Vtype.t) rs1 imm lab =
@@ -375,7 +375,7 @@ module Make_gen (C : CHECKS) (T : Target.S) = struct
       if not (word_ty t) then bad (Op.cond_to_string c ^ "i") t;
       chk_reg "branch" t rs1
     end;
-    count g;
+    count g (Opk.branch_imm c);
     T.branch_imm g c t rs1 imm lab
 
   let ret g (t : Vtype.t) (r : Reg.t option) =
@@ -386,12 +386,12 @@ module Make_gen (C : CHECKS) (T : Target.S) = struct
       | _, Some r -> chk_reg "ret" t r
       | _, None -> Verror.fail (Verror.Bad_operand "ret: missing value register")
     end;
-    count g;
+    count g Opk.ret;
     T.ret g t r
 
   let nop g =
     if C.enabled then Gen.check_open g;
-    count g;
+    count g Opk.nop;
     T.nop g
 
   (* ---------------------------------------------------------------- *)
@@ -410,7 +410,7 @@ module Make_gen (C : CHECKS) (T : Target.S) = struct
       if g.Gen.leaf then Verror.fail Verror.Leaf_call
     end;
     g.Gen.made_call <- true;
-    count g;
+    count g Opk.call;
     T.do_call g target
 
   let retval g (t : Vtype.t) (r : Reg.t) =
@@ -418,7 +418,7 @@ module Make_gen (C : CHECKS) (T : Target.S) = struct
       Gen.check_open g;
       chk_reg "retval" t r
     end;
-    count g;
+    count g Opk.retval;
     T.retval g t r
 
   (* Convenience: a complete call in one step. *)
@@ -748,7 +748,7 @@ module Make_gen (C : CHECKS) (T : Target.S) = struct
     let emit g ~name ~(ty : Vtype.t) (args : Reg.t array) =
       match Hashtbl.find_opt table (name, ty) with
       | Some f ->
-        count g;
+        count g Opk.ext;
         f g args
       | None ->
         Verror.fail
@@ -758,7 +758,7 @@ module Make_gen (C : CHECKS) (T : Target.S) = struct
     let emit_imm g ~name ~(ty : Vtype.t) (args : Reg.t array) imm =
       match Hashtbl.find_opt imm_table (name, ty) with
       | Some f ->
-        count g;
+        count g Opk.ext;
         f g args imm
       | None ->
         Verror.fail

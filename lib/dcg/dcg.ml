@@ -181,8 +181,6 @@ module Make (T : Target.S) = struct
   (* Pass 2: emission — consume the trees, allocating temporaries in
      Sethi-Ullman order, bottoming out in the shared target encoders.  *)
 
-  exception Spill
-
   let rec emit_exp c (a : aexp) : Reg.t =
     let g = c.gen in
     match a.const with

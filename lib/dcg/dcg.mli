@@ -1,0 +1,64 @@
+(** DCG-style baseline code generator.
+
+    The comparison system for the paper's headline claim: VCODE is
+    ~35x faster at generating code than DCG (Engler & Proebsting,
+    ASPLOS-VI).  DCG clients build intermediate-representation trees
+    at runtime; code generation then makes passes over those trees — a
+    labeling pass (Sethi-Ullman register counting, constant folding
+    and BURS cost matching) and an emission pass.  Every instruction
+    costs heap allocation plus two traversals, whereas VCODE's
+    in-place interface costs a few stores.
+
+    To keep the comparison honest the emission pass bottoms out in the
+    {e same} target encoders as VCODE ([Make] is a functor over the
+    same {!Vcodebase.Target.S}), so binary emission cost is identical;
+    only the IR-vs-in-place difference is measured. *)
+
+(** expression trees (lcc-flavoured) *)
+type exp =
+  | Cnst of Vcodebase.Vtype.t * int64
+  | Regv of Vcodebase.Vtype.t * Vcodebase.Reg.t
+  | Bin of Vcodebase.Op.binop * Vcodebase.Vtype.t * exp * exp
+  | Un of Vcodebase.Op.unop * Vcodebase.Vtype.t * exp
+  | Ld of Vcodebase.Vtype.t * exp * int  (** load ty [addr + off] *)
+
+type stmt =
+  | Sassign of Vcodebase.Reg.t * exp
+  | Sstore of Vcodebase.Vtype.t * exp * int * exp
+      (** store ty [addr + off] <- value *)
+  | Sret of Vcodebase.Vtype.t * exp option
+  | Slabel of int
+  | Sjump of int
+  | Scjump of Vcodebase.Op.cond * Vcodebase.Vtype.t * exp * exp * int
+
+module Make (T : Vcodebase.Target.S) : sig
+  (** one function under construction: a generator plus the
+      accumulated (unconsumed) IR statements *)
+  type t
+
+  (** same contract as [Vcode.Make(T).lambda]; also returns the
+      argument registers *)
+  val lambda :
+    ?base:int -> ?leaf:bool -> ?capacity:int -> string -> t * Vcodebase.Reg.t array
+
+  (** append one IR statement — what a DCG client does per dynamic
+      instruction.  Nothing is emitted until {!finish}. *)
+  val stmt : t -> stmt -> unit
+
+  val genlabel : t -> int
+
+  val getreg :
+    t -> cls:[ `Temp | `Var ] -> Vcodebase.Vtype.t -> Vcodebase.Reg.t option
+
+  val getreg_exn : t -> cls:[ `Temp | `Var ] -> Vcodebase.Vtype.t -> Vcodebase.Reg.t
+  val putreg : t -> Vcodebase.Reg.t -> unit
+
+  (** consume the accumulated IR — label each tree, then emit it
+      bottom-up in Sethi-Ullman order — and finalize the function.
+      This is "code generation" in DCG. *)
+  val finish : t -> Vcode.code
+
+  (** rough live-heap accounting for the space comparison: DCG state
+      grows with the number of IR nodes *)
+  val live_words : t -> int
+end

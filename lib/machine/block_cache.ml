@@ -58,14 +58,24 @@ type 'b t = {
   mutable dirty : bool;            (* a block was dropped since [begin_block] *)
   mutable compiles : int;
   mutable invalidations : int;
+  tel : Telemetry.t;               (* stats mirror + block-length dist +
+                                      ring events; disabled -> scratch *)
+  c_compiles : Telemetry.counter;
+  c_evicts : Telemetry.counter;
+  c_invals : Telemetry.counter;
+  d_block_len : Telemetry.dist;
+  mutable execs : int array;       (* per-entry execution profile, same
+                                      indexing as [slots]; [||] unless the
+                                      sink is enabled *)
 }
 
 let initial_words = 4096
 
-let create ~mem_bytes ~len_bytes =
+let create ?(tel = Telemetry.disabled) ?(name = "bc") ~mem_bytes ~len_bytes () =
   let limit_words = (mem_bytes + 3) / 4 in
+  let words = min initial_words limit_words in
   {
-    slots = Array.make (min initial_words limit_words) None;
+    slots = Array.make words None;
     limit_words;
     len_bytes;
     lo = max_int;
@@ -73,6 +83,12 @@ let create ~mem_bytes ~len_bytes =
     dirty = false;
     compiles = 0;
     invalidations = 0;
+    tel;
+    c_compiles = Telemetry.counter tel (name ^ ".compiles");
+    c_evicts = Telemetry.counter tel (name ^ ".evictions");
+    c_invals = Telemetry.counter tel (name ^ ".invalidations");
+    d_block_len = Telemetry.dist tel (name ^ ".block_len");
+    execs = (if Telemetry.is_enabled tel then Array.make words 0 else [||]);
   }
 
 (* Look up the block compiled for entry address [addr].  [None] means
@@ -96,7 +112,12 @@ let grow t needed_idx =
   if n > cur then begin
     let slots = Array.make n None in
     Array.blit t.slots 0 slots 0 cur;
-    t.slots <- slots
+    t.slots <- slots;
+    if t.execs <> [||] then begin
+      let execs = Array.make n 0 in
+      Array.blit t.execs 0 execs 0 (Array.length t.execs);
+      t.execs <- execs
+    end
   end
 
 (* Record the block compiled for entry [addr].  Entries outside the
@@ -105,10 +126,19 @@ let set t addr block =
   let idx = addr lsr 2 in
   if idx < t.limit_words then begin
     if idx >= Array.length t.slots then grow t idx;
+    let insns = t.len_bytes block / 4 in
+    (match t.slots.(idx) with
+    | Some _ ->
+      Telemetry.bump t.tel t.c_evicts;
+      Telemetry.event t.tel Telemetry.Block_evict ~a:addr ~b:insns
+    | None -> ());
     t.slots.(idx) <- Some block;
     if addr < t.lo then t.lo <- addr;
     if addr + 4 > t.hi then t.hi <- addr + 4;
-    t.compiles <- t.compiles + 1
+    t.compiles <- t.compiles + 1;
+    Telemetry.bump t.tel t.c_compiles;
+    Telemetry.observe t.tel t.d_block_len insns;
+    Telemetry.event t.tel Telemetry.Block_compile ~a:addr ~b:insns
   end
 
 (* Drop every block whose covered code range overlaps [addr, addr+len).
@@ -135,7 +165,9 @@ let invalidate t addr len =
     done;
     if !dropped then begin
       t.dirty <- true;
-      t.invalidations <- t.invalidations + 1
+      t.invalidations <- t.invalidations + 1;
+      Telemetry.bump t.tel t.c_invals;
+      Telemetry.event t.tel Telemetry.Smc_retire ~a:addr ~b:len
     end
   end
 
@@ -143,6 +175,8 @@ let invalidate t addr len =
 let clear t =
   if t.hi > t.lo then begin
     t.invalidations <- t.invalidations + 1;
+    Telemetry.bump t.tel t.c_invals;
+    Telemetry.event t.tel Telemetry.Cache_invalidate ~a:t.lo ~b:(t.hi - t.lo);
     t.dirty <- true;
     let w1 = min ((t.hi - 1) lsr 2) (Array.length t.slots - 1) in
     for w = t.lo lsr 2 to w1 do
@@ -157,6 +191,21 @@ let clear t =
    set afterwards. *)
 let[@inline] begin_block t = t.dirty <- false
 let[@inline] dirty t = t.dirty
+
+(* Per-entry execution profile.  [note_exec] is called once per block
+   execution from inside the simulators' chained dispatch, guarded by
+   their probe's enabled flag; the length test below also makes it a
+   no-op when profiling is off ([execs] is [[||]]). *)
+let[@inline] note_exec t addr =
+  let idx = addr lsr 2 in
+  if idx < Array.length t.execs then
+    Array.unsafe_set t.execs idx (Array.unsafe_get t.execs idx + 1)
+
+let hot_blocks ?(limit = 20) t =
+  let acc = ref [] in
+  Array.iteri (fun idx n -> if n > 0 then acc := (4 * idx, n) :: !acc) t.execs;
+  let sorted = List.sort (fun (_, a) (_, b) -> compare b a) !acc in
+  List.filteri (fun i _ -> i < limit) sorted
 
 let stats t = (t.compiles, t.invalidations)
 

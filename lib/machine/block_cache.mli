@@ -27,10 +27,16 @@ val max_insns : int
 
 type 'b t
 
-(** [create ~mem_bytes ~len_bytes] — [mem_bytes] bounds the entry
+(** [create ~mem_bytes ~len_bytes ()] — [mem_bytes] bounds the entry
     address space; [len_bytes b] must return the code bytes covered by
-    block [b] (at most [4 * max_insns]) *)
-val create : mem_bytes:int -> len_bytes:('b -> int) -> 'b t
+    block [b] (at most [4 * max_insns]).  [tel]/[name] mirror the
+    compile/evict/invalidate statistics into a {!Telemetry} sink
+    ([<name>.compiles], [<name>.evictions], [<name>.invalidations],
+    the [<name>.block_len] distribution and the corresponding ring
+    events) and enable the per-entry execution profile behind
+    {!note_exec}/{!hot_blocks}; the default is the disabled sink. *)
+val create :
+  ?tel:Telemetry.t -> ?name:string -> mem_bytes:int -> len_bytes:('b -> int) -> unit -> 'b t
 
 (** the block compiled for entry address [addr], if resident.
     Misaligned and out-of-memory addresses miss.  No hit counter is
@@ -57,6 +63,18 @@ val clear : 'b t -> unit
 val begin_block : 'b t -> unit
 
 val dirty : 'b t -> bool
+
+(** count one execution of the block entered at [addr] toward the
+    per-entry profile.  No-op unless {!create} received an enabled
+    [tel]; the simulators guard the call behind their probe's enabled
+    flag, so the disabled cost is zero. *)
+val note_exec : 'b t -> int -> unit
+
+(** the per-entry execution profile, hottest first: (entry address,
+    executions), at most [limit] (default 20) entries.  Counts are
+    cumulative across recompiles and invalidations of the same entry.
+    Empty unless {!create} received an enabled [tel]. *)
+val hot_blocks : ?limit:int -> 'b t -> (int * int) list
 
 (** [(compiles, invalidations)] since the last [reset_stats] *)
 val stats : 'b t -> int * int

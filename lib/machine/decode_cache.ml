@@ -32,11 +32,16 @@ type 'a t = {
   mutable hi : int;                (*   entries: [lo, hi), conservative *)
   mutable fills : int;
   mutable invalidations : int;
+  tel : Telemetry.t;               (* mirror of the two stats above; the
+                                      disabled sink makes the mirroring
+                                      stores land in scratch *)
+  c_fills : Telemetry.counter;
+  c_invals : Telemetry.counter;
 }
 
 let initial_words = 4096 (* covers 16KB of code before the first growth *)
 
-let create ~mem_bytes =
+let create ?(tel = Telemetry.disabled) ?(name = "pdc") ~mem_bytes () =
   let limit_words = (mem_bytes + 3) / 4 in
   {
     slots = Array.make (min initial_words limit_words) None;
@@ -45,6 +50,9 @@ let create ~mem_bytes =
     hi = 0;
     fills = 0;
     invalidations = 0;
+    tel;
+    c_fills = Telemetry.counter tel (name ^ ".fills");
+    c_invals = Telemetry.counter tel (name ^ ".invalidations");
   }
 
 (* Look up the decoded instruction at byte address [addr].  [None] means
@@ -84,7 +92,8 @@ let set t addr insn =
     t.slots.(idx) <- Some insn;
     if addr < t.lo then t.lo <- addr;
     if addr + 4 > t.hi then t.hi <- addr + 4;
-    t.fills <- t.fills + 1
+    t.fills <- t.fills + 1;
+    Telemetry.bump t.tel t.c_fills
   end
 
 (* Drop every entry whose word overlaps [addr, addr + len).  Cheap when
@@ -93,6 +102,8 @@ let set t addr insn =
 let invalidate t addr len =
   if len > 0 && addr < t.hi && addr + len > t.lo then begin
     t.invalidations <- t.invalidations + 1;
+    Telemetry.bump t.tel t.c_invals;
+    Telemetry.event t.tel Telemetry.Cache_invalidate ~a:addr ~b:len;
     let w0 = max (addr lsr 2) (t.lo lsr 2) in
     let w1 = min ((addr + len - 1) lsr 2) ((t.hi - 1) lsr 2) in
     let w1 = min w1 (Array.length t.slots - 1) in
@@ -105,6 +116,8 @@ let invalidate t addr len =
 let clear t =
   if t.hi > t.lo then begin
     t.invalidations <- t.invalidations + 1;
+    Telemetry.bump t.tel t.c_invals;
+    Telemetry.event t.tel Telemetry.Cache_invalidate ~a:t.lo ~b:(t.hi - t.lo);
     let w1 = min ((t.hi - 1) lsr 2) (Array.length t.slots - 1) in
     for w = t.lo lsr 2 to w1 do
       t.slots.(w) <- None

@@ -19,9 +19,13 @@
 
 type 'a t
 
-(** [create ~mem_bytes] covers the address range [\[0, mem_bytes)].  The
-    backing store starts small and grows on demand. *)
-val create : mem_bytes:int -> 'a t
+(** [create ~mem_bytes ()] covers the address range [\[0, mem_bytes)].
+    The backing store starts small and grows on demand.  [tel]/[name]
+    mirror the fill/invalidation statistics into a {!Telemetry} sink as
+    [<name>.fills] / [<name>.invalidations] (plus [Cache_invalidate]
+    events); the default is the disabled sink, which reduces the
+    mirroring to scratch stores. *)
+val create : ?tel:Telemetry.t -> ?name:string -> mem_bytes:int -> unit -> 'a t
 
 (** [find t addr] is the cached decoded instruction at byte address
     [addr], or [None] if it must be fetched and decoded (then recorded

@@ -1,0 +1,79 @@
+(* The shared simulator probe: one instrumentation surface used by all
+   four CPU simulators, so the ports cannot drift in what or how they
+   report.  A probe is created once per simulator instance against a
+   {!Telemetry} sink with the port's name and engine mode; every
+   counter and distribution id is registered up front, so the calls the
+   simulators make are branch-free stores (or, on the per-block path,
+   one [enabled] test around a handful of stores).
+
+   Counter names:
+     <port>.retired.<mode>   instructions retired (bulk, at run exit)
+     <port>.faults           Machine_error / Mem.Fault escapes
+     <port>.smc_retires      blocks aborted mid-run by the Retired protocol
+     <port>.block_execs      compiled-block executions (chains included)
+     <port>.block_chains     direct block-to-block transitions
+   Distribution:
+     <port>.chain_len        blocks executed per dispatch-loop entry *)
+
+type t = {
+  tel : Telemetry.t;
+  enabled : bool;
+  retired : Telemetry.counter;
+  faults : Telemetry.counter;
+  smc_retires : Telemetry.counter;
+  block_execs : Telemetry.counter;
+  block_chains : Telemetry.counter;
+  chain_len : Telemetry.dist;
+  mutable run_len : int; (* blocks executed since the last dispatch *)
+}
+
+let mode_name ~predecode ~blocks =
+  if blocks then "blocks" else if predecode then "predecode" else "off"
+
+let create tel ~port ~predecode ~blocks =
+  {
+    tel;
+    enabled = Telemetry.is_enabled tel;
+    retired = Telemetry.counter tel (port ^ ".retired." ^ mode_name ~predecode ~blocks);
+    faults = Telemetry.counter tel (port ^ ".faults");
+    smc_retires = Telemetry.counter tel (port ^ ".smc_retires");
+    block_execs = Telemetry.counter tel (port ^ ".block_execs");
+    block_chains = Telemetry.counter tel (port ^ ".block_chains");
+    chain_len = Telemetry.dist tel (port ^ ".chain_len");
+    run_len = 0;
+  }
+
+let enabled p = p.enabled
+
+(* bulk, at run exit (normal or exceptional): the retired-instruction
+   delta the simulator just reconciled into its cycle count *)
+let retired p n = Telemetry.add p.tel p.retired n
+
+(* a fault escaped the run loop *)
+let fault p ~pc =
+  Telemetry.bump p.tel p.faults;
+  Telemetry.event p.tel Telemetry.Trap ~a:pc ~b:0
+
+(* a running block aborted via the dirty/Retired protocol after
+   retiring instruction [i] of the block at [entry] *)
+let abort p ~entry ~i =
+  Telemetry.bump p.tel p.smc_retires;
+  Telemetry.event p.tel Telemetry.Block_abort ~a:entry ~b:i
+
+(* one compiled-block execution ([exec_chain] entry, self-loops
+   included); only called when [enabled] *)
+let block_exec p ~entry =
+  Telemetry.bump p.tel p.block_execs;
+  p.run_len <- p.run_len + 1;
+  if p.run_len > 1 then begin
+    Telemetry.bump p.tel p.block_chains;
+    Telemetry.event p.tel Telemetry.Block_chain ~a:entry ~b:p.run_len
+  end
+
+(* close the current chained run (next dispatch-loop iteration or run
+   exit): record its length *)
+let chain_flush p =
+  if p.run_len > 0 then begin
+    Telemetry.observe p.tel p.chain_len p.run_len;
+    p.run_len <- 0
+  end

@@ -1,0 +1,35 @@
+(** The shared simulator probe: the one instrumentation surface all
+    four CPU simulators report through, so the ports cannot drift.
+    Registers per-mode retired-instruction and fault counters plus the
+    block-execution/chain statistics against a {!Telemetry} sink; the
+    calls the simulators make are allocation-free stores. *)
+
+type t
+
+val create : Telemetry.t -> port:string -> predecode:bool -> blocks:bool -> t
+
+(** whether the underlying sink records anything; simulators use this
+    to skip the per-block instrumentation calls entirely *)
+val enabled : t -> bool
+
+(** credit [n] retired instructions to [<port>.retired.<mode>] — bulk,
+    at run exit, mirroring the simulators' cycle reconciliation *)
+val retired : t -> int -> unit
+
+(** a fault (Machine_error / Mem.Fault) escaped the run loop at [pc]:
+    bumps [<port>.faults] and records a [Trap] event *)
+val fault : t -> pc:int -> unit
+
+(** a running block aborted via the dirty/[Retired] protocol after
+    retiring instruction [i] of the block at [entry]: bumps
+    [<port>.smc_retires] and records a [Block_abort] event *)
+val abort : t -> entry:int -> i:int -> unit
+
+(** one compiled-block execution (chains and self-loops included);
+    call only when [enabled] *)
+val block_exec : t -> entry:int -> unit
+
+(** close the current chained run and record its length in
+    [<port>.chain_len]; call at each dispatch-loop re-entry and at run
+    exit *)
+val chain_flush : t -> unit

@@ -1,0 +1,297 @@
+(* Structured telemetry for the codegen ladder and the simulators.
+
+   One sink holds three kinds of pre-allocated storage:
+
+   - named monotonic counters: a registry mapping names to dense int
+     ids; the value store is a plain [int array], so the hot-path
+     operation ([bump]/[add]) is one unsafe load/store pair;
+
+   - value distributions: per-distribution packed stats (count, sum,
+     min, max) plus a fixed array of log2 buckets, all in one int
+     array at a fixed stride — [observe] is straight-line int
+     arithmetic, no allocation;
+
+   - a bounded structured event ring: fixed-capacity, fixed-stride int
+     ring recording (kind, a, b) triples; once full, new events
+     overwrite the oldest.  [events_seen] keeps the true total.
+
+   The compile-out path is the [disabled] sink: registration on it
+   always returns id 0 and its stores are tiny shared scratch arrays,
+   so every instrumentation site stays a branch-free store that lands
+   in scratch — no conditional, no allocation, and nothing observable.
+   Instrumented code can also consult [is_enabled] to skip whole
+   instrumentation blocks (the simulators do this on their per-block
+   path).
+
+   Telemetry never touches the simulated clock or the timing {!Cache}
+   statistics, so cycle counts and cache stats are bit-identical with
+   the sink disabled or absent (pinned by test_telemetry_overhead). *)
+
+type counter = int
+type dist = int
+
+type kind =
+  | Block_compile
+  | Block_evict
+  | Block_chain
+  | Block_abort
+  | Cache_invalidate
+  | Smc_retire
+  | Trap
+
+let kind_to_int = function
+  | Block_compile -> 0
+  | Block_evict -> 1
+  | Block_chain -> 2
+  | Block_abort -> 3
+  | Cache_invalidate -> 4
+  | Smc_retire -> 5
+  | Trap -> 6
+
+let kind_of_int = function
+  | 0 -> Block_compile
+  | 1 -> Block_evict
+  | 2 -> Block_chain
+  | 3 -> Block_abort
+  | 4 -> Cache_invalidate
+  | 5 -> Smc_retire
+  | _ -> Trap
+
+let kind_name = function
+  | Block_compile -> "block_compile"
+  | Block_evict -> "block_evict"
+  | Block_chain -> "block_chain"
+  | Block_abort -> "block_abort"
+  | Cache_invalidate -> "cache_invalidate"
+  | Smc_retire -> "smc_retire"
+  | Trap -> "trap"
+
+(* distribution packing: count, sum, min, max, then [n_buckets] log2
+   buckets (bucket i counts values v with floor(log2 (max v 1)) = i;
+   v <= 0 lands in bucket 0) *)
+let n_buckets = 32
+let d_stride = 4 + n_buckets
+
+let ring_entries = 512 (* power of two; stride-3 int triples *)
+
+type t = {
+  on : bool;
+  mutable cnames : string array;
+  mutable cvals : int array;
+  mutable ncounters : int;
+  mutable dnames : string array;
+  mutable dvals : int array;
+  mutable ndists : int;
+  ring : int array;
+  ring_mask : int; (* in entries *)
+  mutable seen : int;
+}
+
+let create () =
+  {
+    on = true;
+    cnames = Array.make 16 "";
+    cvals = Array.make 16 0;
+    ncounters = 0;
+    dnames = Array.make 4 "";
+    dvals = Array.make (4 * d_stride) 0;
+    ndists = 0;
+    ring = Array.make (3 * ring_entries) 0;
+    ring_mask = ring_entries - 1;
+    seen = 0;
+  }
+
+(* The disabled sink: one scratch slot of each kind.  Registration
+   returns id 0, so every store any instrumentation site can issue
+   lands inside the scratch — the sites stay branch-free. *)
+let disabled =
+  {
+    on = false;
+    cnames = [||];
+    cvals = Array.make 1 0;
+    ncounters = 0;
+    dnames = [||];
+    dvals = Array.make d_stride 0;
+    ndists = 0;
+    ring = Array.make 3 0;
+    ring_mask = 0;
+    seen = 0;
+  }
+
+let is_enabled t = t.on
+
+let init_dist_slot t id =
+  let o = id * d_stride in
+  t.dvals.(o) <- 0;
+  t.dvals.(o + 1) <- 0;
+  t.dvals.(o + 2) <- max_int;
+  t.dvals.(o + 3) <- min_int;
+  Array.fill t.dvals (o + 4) n_buckets 0
+
+(* Registration is cold: linear scan for idempotence (re-registering a
+   name returns the existing id, so probes can be re-created against
+   one sink), amortized doubling for growth. *)
+let counter t name =
+  if not t.on then 0
+  else begin
+    let rec find i = if i >= t.ncounters then -1 else if t.cnames.(i) = name then i else find (i + 1) in
+    let i = find 0 in
+    if i >= 0 then i
+    else begin
+      if t.ncounters = Array.length t.cvals then begin
+        let n = 2 * t.ncounters in
+        let cn = Array.make n "" and cv = Array.make n 0 in
+        Array.blit t.cnames 0 cn 0 t.ncounters;
+        Array.blit t.cvals 0 cv 0 t.ncounters;
+        t.cnames <- cn;
+        t.cvals <- cv
+      end;
+      let id = t.ncounters in
+      t.cnames.(id) <- name;
+      t.cvals.(id) <- 0;
+      t.ncounters <- id + 1;
+      id
+    end
+  end
+
+let dist t name =
+  if not t.on then 0
+  else begin
+    let rec find i = if i >= t.ndists then -1 else if t.dnames.(i) = name then i else find (i + 1) in
+    let i = find 0 in
+    if i >= 0 then i
+    else begin
+      if t.ndists = Array.length t.dnames then begin
+        let n = 2 * t.ndists in
+        let dn = Array.make n "" and dv = Array.make (n * d_stride) 0 in
+        Array.blit t.dnames 0 dn 0 t.ndists;
+        Array.blit t.dvals 0 dv 0 (t.ndists * d_stride);
+        t.dnames <- dn;
+        t.dvals <- dv
+      end;
+      let id = t.ndists in
+      t.dnames.(id) <- name;
+      t.ndists <- id + 1;
+      init_dist_slot t id;
+      id
+    end
+  end
+
+(* hot path: ids come from [counter]/[dist] against the same sink, so
+   they index in range by construction (the disabled sink's scratch is
+   id 0) *)
+let[@inline] bump t c =
+  Array.unsafe_set t.cvals c (Array.unsafe_get t.cvals c + 1)
+
+let[@inline] add t c n =
+  Array.unsafe_set t.cvals c (Array.unsafe_get t.cvals c + n)
+
+let[@inline] log2_bucket v =
+  if v <= 1 then 0
+  else begin
+    let b = ref 0 and v = ref v in
+    while !v > 1 do
+      v := !v lsr 1;
+      incr b
+    done;
+    if !b >= n_buckets then n_buckets - 1 else !b
+  end
+
+let observe t d v =
+  let o = d * d_stride in
+  let a = t.dvals in
+  Array.unsafe_set a o (Array.unsafe_get a o + 1);
+  Array.unsafe_set a (o + 1) (Array.unsafe_get a (o + 1) + v);
+  if v < Array.unsafe_get a (o + 2) then Array.unsafe_set a (o + 2) v;
+  if v > Array.unsafe_get a (o + 3) then Array.unsafe_set a (o + 3) v;
+  let b = o + 4 + log2_bucket v in
+  Array.unsafe_set a b (Array.unsafe_get a b + 1)
+
+let event t k ~a ~b =
+  let i = 3 * (t.seen land t.ring_mask) in
+  let r = t.ring in
+  Array.unsafe_set r i (kind_to_int k);
+  Array.unsafe_set r (i + 1) a;
+  Array.unsafe_set r (i + 2) b;
+  t.seen <- t.seen + 1
+
+(* ------------------------------------------------------------------ *)
+(* Reading the sink (cold)                                             *)
+
+let value t c = if c < 0 || c >= t.ncounters then 0 else t.cvals.(c)
+
+let find t name =
+  let rec go i =
+    if i >= t.ncounters then None
+    else if t.cnames.(i) = name then Some t.cvals.(i)
+    else go (i + 1)
+  in
+  go 0
+
+type dist_stats = { count : int; sum : int; min : int; max : int; buckets : int array }
+
+let dist_stats t d =
+  if d < 0 || d >= t.ndists then { count = 0; sum = 0; min = 0; max = 0; buckets = Array.make n_buckets 0 }
+  else begin
+    let o = d * d_stride in
+    let count = t.dvals.(o) in
+    {
+      count;
+      sum = t.dvals.(o + 1);
+      min = (if count = 0 then 0 else t.dvals.(o + 2));
+      max = (if count = 0 then 0 else t.dvals.(o + 3));
+      buckets = Array.sub t.dvals (o + 4) n_buckets;
+    }
+  end
+
+let iter_counters t f =
+  for i = 0 to t.ncounters - 1 do
+    f t.cnames.(i) t.cvals.(i)
+  done
+
+let iter_dists t f =
+  for i = 0 to t.ndists - 1 do
+    f t.dnames.(i) (dist_stats t i)
+  done
+
+let events_seen t = t.seen
+
+let events t =
+  let n = min t.seen (t.ring_mask + 1) in
+  let first = t.seen - n in
+  List.init n (fun j ->
+      let i = 3 * ((first + j) land t.ring_mask) in
+      (kind_of_int t.ring.(i), t.ring.(i + 1), t.ring.(i + 2)))
+
+let reset t =
+  if t.on then begin
+    Array.fill t.cvals 0 t.ncounters 0;
+    for d = 0 to t.ndists - 1 do
+      init_dist_slot t d
+    done;
+    t.seen <- 0
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Codegen harvest                                                     *)
+
+(* Fold one generator's emission statistics into the sink: per-opcode
+   counts (named [gen.emit.<op>]), the total, capacity growths and the
+   backpatch-distance distribution (|dest - site| in instruction
+   words, from the resolved relocation table).  Called after v_end —
+   harvesting keeps {!Gen} free of any telemetry dependency while its
+   hot path stays the PR 3 packed-int-array design. *)
+let note_gen t ?(prefix = "gen") (g : Vcodebase.Gen.t) =
+  if t.on then begin
+    let open Vcodebase in
+    for k = 0 to Opk.slots - 1 do
+      let n = Gen.op_count g k in
+      if n > 0 then add t (counter t (prefix ^ ".emit." ^ Opk.name k)) n
+    done;
+    add t (counter t (prefix ^ ".insns")) g.Gen.insn_count;
+    add t (counter t (prefix ^ ".code_words")) (Codebuf.length g.Gen.buf);
+    add t (counter t (prefix ^ ".capacity_growths")) (Codebuf.growths g.Gen.buf);
+    add t (counter t (prefix ^ ".relocs")) (Gen.total_relocs g);
+    let d = dist t (prefix ^ ".backpatch_words") in
+    Gen.iter_reloc_spans g (fun ~site ~dest -> observe t d (abs (dest - site)))
+  end

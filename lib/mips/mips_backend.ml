@@ -141,12 +141,12 @@ let arith_core g (op : Op.binop) (t : Vtype.t) rd rs1 rs2 =
 
 let arith g op t rd rs1 rs2 =
   Gen.note_write g rd;
-  Gen.count_insn g;
+  Gen.count_insn g (Opk.arith op);
   arith_core g op t rd rs1 rs2
 
 let arith_imm g (op : Op.binop) (t : Vtype.t) rd rs1 imm =
   Gen.note_write g rd;
-  Gen.count_insn g;
+  Gen.count_insn g (Opk.arith_imm op);
   let d = rnum rd and a = rnum rs1 in
   let via_reg () =
     load_const g scratch imm;
@@ -181,12 +181,12 @@ let unary_core g (op : Op.unop) (t : Vtype.t) rd rs =
 
 let unary g op t rd rs =
   Gen.note_write g rd;
-  Gen.count_insn g;
+  Gen.count_insn g (Opk.unary op);
   unary_core g op t rd rs
 
 let set g (_t : Vtype.t) rd imm64 =
   Gen.note_write g rd;
-  Gen.count_insn g;
+  Gen.count_insn g Opk.set;
   if Int64.compare imm64 (-0x80000000L) < 0 || Int64.compare imm64 0xFFFFFFFFL > 0 then
     Verror.fail (Verror.Range (Int64.to_string imm64));
   load_const g (rnum rd) (Int64.to_int imm64)
@@ -206,7 +206,7 @@ let setf_core g (t : Vtype.t) rd v =
 
 let setf g t rd v =
   Gen.note_write g rd;
-  Gen.count_insn g;
+  Gen.count_insn g Opk.setf;
   setf_core g t rd v
 
 (* ------------------------------------------------------------------ *)
@@ -305,7 +305,7 @@ let branch_imm g (c : Op.cond) (t : Vtype.t) rs1 imm lab =
 
 let cvt g ~(from : Vtype.t) ~(to_ : Vtype.t) rd rs =
   Gen.note_write g rd;
-  Gen.count_insn g;
+  Gen.count_insn g Opk.cvt;
   if (not (Vtype.is_float from)) && not (Vtype.is_float to_) then
     (* all word-class types share a representation on a 32-bit machine *)
     e g (A.Or (rnum rd, rnum rs, 0))
@@ -371,7 +371,7 @@ let[@inline] emit_store g (t : Vtype.t) rv b o =
 
 let load_imm g (t : Vtype.t) rd base off =
   Gen.note_write g rd;
-  Gen.count_insn g;
+  Gen.count_insn g Opk.ld;
   if fits16s off then emit_load g t rd (rnum base) off
   else begin
     load_const g scratch off;
@@ -381,7 +381,7 @@ let load_imm g (t : Vtype.t) rd base off =
 
 let load_reg g (t : Vtype.t) rd base idx =
   Gen.note_write g rd;
-  Gen.count_insn g;
+  Gen.count_insn g Opk.ld;
   ew g (A.W.addu scratch (rnum base) (rnum idx));
   emit_load g t rd scratch 0
 
@@ -394,11 +394,11 @@ let store_imm_core g (t : Vtype.t) rv base off =
   end
 
 let store_imm g t rv base off =
-  Gen.count_insn g;
+  Gen.count_insn g Opk.st;
   store_imm_core g t rv base off
 
 let store_reg g (t : Vtype.t) rv base idx =
-  Gen.count_insn g;
+  Gen.count_insn g Opk.st;
   ew g (A.W.addu scratch (rnum base) (rnum idx));
   emit_store g t rv scratch 0
 

@@ -27,6 +27,7 @@ type t = {
   predecode : bool;
   bc : block Block_cache.t; (* superblock translation cache; no cycle effect *)
   blocks : bool;
+  probe : Sim_probe.t;      (* shared telemetry probe; never touches timing *)
   cfg : Mconfig.t;
   regs : int array;   (* 32, sign-extended 32-bit *)
   fregs : int array;  (* 32, raw 32-bit patterns; doubles use even pairs *)
@@ -55,10 +56,12 @@ and block = {
   has_delay : bool;     (* ends in branch + delay slot (vs. capped fallthrough) *)
 }
 
-let create ?(predecode = true) ?(blocks = true) (cfg : Mconfig.t) =
+let create ?(predecode = true) ?(blocks = true)
+    ?(telemetry = Telemetry.disabled) (cfg : Mconfig.t) =
   let mem = Mem.create ~big_endian:false ~size:cfg.mem_bytes () in
-  let pdc = Decode_cache.create ~mem_bytes:cfg.mem_bytes in
-  let bc = Block_cache.create ~mem_bytes:cfg.mem_bytes ~len_bytes:(fun b -> 4 * b.n) in
+  let pdc = Decode_cache.create ~tel:telemetry ~name:"mips.pdc" ~mem_bytes:cfg.mem_bytes () in
+  let bc = Block_cache.create ~tel:telemetry ~name:"mips.bc" ~mem_bytes:cfg.mem_bytes
+      ~len_bytes:(fun b -> 4 * b.n) () in
   Mem.add_write_watcher mem (Decode_cache.invalidate pdc);
   Mem.add_write_watcher mem (Block_cache.invalidate bc);
   {
@@ -67,6 +70,7 @@ let create ?(predecode = true) ?(blocks = true) (cfg : Mconfig.t) =
     predecode;
     bc;
     blocks;
+    probe = Sim_probe.create telemetry ~port:"mips" ~predecode ~blocks;
     icache = Cache.create ~size_bytes:cfg.icache_bytes ~line_bytes:cfg.line_bytes
                ~miss_penalty:cfg.imiss_penalty;
     dcache = Cache.create ~size_bytes:cfg.dcache_bytes ~line_bytes:cfg.line_bytes
@@ -730,6 +734,10 @@ let compile_block m entry =
      interpreter increments [insns] before executing), pc names it and
      npc its successor — just as [run_go] would leave them. *)
 let rec exec_chain m (b : block) fuel =
+  if Sim_probe.enabled m.probe then begin
+    Sim_probe.block_exec m.probe ~entry:b.entry;
+    Block_cache.note_exec m.bc b.entry
+  end;
   Block_cache.begin_block m.bc;
   match b.run () with
   | () ->
@@ -746,6 +754,7 @@ let rec exec_chain m (b : block) fuel =
   | exception Block_cache.Retired ->
     let i = m.blk_i in
     m.insns <- m.insns + i + 1;
+    Sim_probe.abort m.probe ~entry:b.entry ~i;
     if b.has_delay && i = b.n - 1 then begin
       let t = m.btarget in
       m.pc <- t;
@@ -822,6 +831,7 @@ let rec run_blocks_go m tags shift mask fuel =
       match Block_cache.find m.bc pc with
       | Some b when b.n <= fuel ->
         let fuel = exec_chain m b fuel in
+        Sim_probe.chain_flush m.probe;
         run_blocks_go m tags shift mask fuel
       | Some _ ->
         step_one m tags shift mask;
@@ -846,7 +856,9 @@ let run ?(fuel = default_fuel) m =
   let finish () =
     let retired = m.insns - i0 in
     m.cycles <- m.cycles + retired;
-    Cache.add_hits m.icache (retired - (Cache.misses m.icache - mi0))
+    Cache.add_hits m.icache (retired - (Cache.misses m.icache - mi0));
+    Sim_probe.chain_flush m.probe;
+    Sim_probe.retired m.probe retired
   in
   let tags, shift, mask = Cache.probe m.icache in
   (try
@@ -854,6 +866,7 @@ let run ?(fuel = default_fuel) m =
      else run_go m tags shift mask fuel
    with e ->
      finish ();
+     Sim_probe.fault m.probe ~pc:m.pc;
      raise e);
   finish ()
 

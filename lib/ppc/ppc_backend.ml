@@ -150,12 +150,12 @@ let arith_core g (op : Op.binop) (t : Vtype.t) rd rs1 rs2 =
 
 let arith g op t rd rs1 rs2 =
   Gen.note_write g rd;
-  Gen.count_insn g;
+  Gen.count_insn g (Opk.arith op);
   arith_core g op t rd rs1 rs2
 
 let arith_imm g (op : Op.binop) (t : Vtype.t) rd rs1 imm =
   Gen.note_write g rd;
-  Gen.count_insn g;
+  Gen.count_insn g (Opk.arith_imm op);
   let d = rnum rd and a = rnum rs1 in
   let via_reg () =
     load_const g scratch2 imm;
@@ -180,7 +180,7 @@ let arith_imm g (op : Op.binop) (t : Vtype.t) rd rs1 imm =
 
 let unary g (op : Op.unop) (t : Vtype.t) rd rs =
   Gen.note_write g rd;
-  Gen.count_insn g;
+  Gen.count_insn g (Opk.unary op);
   if Vtype.is_float t then begin
     let d = rnum rd and s = rnum rs in
     match op with
@@ -201,7 +201,7 @@ let unary g (op : Op.unop) (t : Vtype.t) rd rs =
 
 let set g (_t : Vtype.t) rd imm64 =
   Gen.note_write g rd;
-  Gen.count_insn g;
+  Gen.count_insn g Opk.set;
   if Int64.compare imm64 (-0x80000000L) < 0 || Int64.compare imm64 0xFFFFFFFFL > 0 then
     Verror.fail (Verror.Range (Int64.to_string imm64));
   load_const g (rnum rd) (Int64.to_int imm64)
@@ -216,7 +216,7 @@ let setf_core g (t : Vtype.t) rd v =
 
 let setf g t rd v =
   Gen.note_write g rd;
-  Gen.count_insn g;
+  Gen.count_insn g Opk.setf;
   setf_core g t rd v
 
 (* ------------------------------------------------------------------ *)
@@ -273,7 +273,7 @@ let magic_unsigned = Int64.float_of_bits 0x4330000000000000L
 
 let cvt g ~(from : Vtype.t) ~(to_ : Vtype.t) rd rs =
   Gen.note_write g rd;
-  Gen.count_insn g;
+  Gen.count_insn g Opk.cvt;
   if (not (Vtype.is_float from)) && not (Vtype.is_float to_) then
     e g (A.Or (rnum rd, rnum rs, rnum rs))
   else
@@ -338,7 +338,7 @@ let emit_store g (t : Vtype.t) rv b o =
 
 let load_imm g (t : Vtype.t) rd base off =
   Gen.note_write g rd;
-  Gen.count_insn g;
+  Gen.count_insn g Opk.ld;
   if fits16s off then emit_load g t rd (rnum base) off
   else begin
     load_const g scratch off;
@@ -348,12 +348,12 @@ let load_imm g (t : Vtype.t) rd base off =
 
 let load_reg g (t : Vtype.t) rd base idx =
   Gen.note_write g rd;
-  Gen.count_insn g;
+  Gen.count_insn g Opk.ld;
   e g (A.Add (scratch, rnum base, rnum idx));
   emit_load g t rd scratch 0
 
 let store_imm g (t : Vtype.t) rv base off =
-  Gen.count_insn g;
+  Gen.count_insn g Opk.st;
   if fits16s off then emit_store g t rv (rnum base) off
   else begin
     load_const g scratch off;
@@ -362,7 +362,7 @@ let store_imm g (t : Vtype.t) rv base off =
   end
 
 let store_reg g (t : Vtype.t) rv base idx =
-  Gen.count_insn g;
+  Gen.count_insn g Opk.st;
   e g (A.Add (scratch, rnum base, rnum idx));
   emit_store g t rv scratch 0
 

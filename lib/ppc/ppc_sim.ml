@@ -22,6 +22,7 @@ type t = {
   predecode : bool;
   bc : block Block_cache.t; (* superblock translation cache; no cycle effect *)
   blocks : bool;
+  probe : Sim_probe.t;      (* shared telemetry probe; never touches timing *)
   cfg : Mconfig.t;
   regs : int array;    (* 32, sign-extended 32-bit *)
   fregs : int64 array; (* 32, raw bit patterns *)
@@ -51,10 +52,12 @@ and block = {
   has_term : bool;      (* ends in a control transfer (vs. capped fallthrough) *)
 }
 
-let create ?(predecode = true) ?(blocks = true) (cfg : Mconfig.t) =
+let create ?(predecode = true) ?(blocks = true)
+    ?(telemetry = Telemetry.disabled) (cfg : Mconfig.t) =
   let mem = Mem.create ~big_endian:true ~size:cfg.mem_bytes () in
-  let pdc = Decode_cache.create ~mem_bytes:cfg.mem_bytes in
-  let bc = Block_cache.create ~mem_bytes:cfg.mem_bytes ~len_bytes:(fun b -> 4 * b.n) in
+  let pdc = Decode_cache.create ~tel:telemetry ~name:"ppc.pdc" ~mem_bytes:cfg.mem_bytes () in
+  let bc = Block_cache.create ~tel:telemetry ~name:"ppc.bc" ~mem_bytes:cfg.mem_bytes
+      ~len_bytes:(fun b -> 4 * b.n) () in
   Mem.add_write_watcher mem (Decode_cache.invalidate pdc);
   Mem.add_write_watcher mem (Block_cache.invalidate bc);
   {
@@ -63,6 +66,7 @@ let create ?(predecode = true) ?(blocks = true) (cfg : Mconfig.t) =
     predecode;
     bc;
     blocks;
+    probe = Sim_probe.create telemetry ~port:"ppc" ~predecode ~blocks;
     icache = Cache.create ~size_bytes:cfg.icache_bytes ~line_bytes:cfg.line_bytes
                ~miss_penalty:cfg.imiss_penalty;
     dcache = Cache.create ~size_bytes:cfg.dcache_bytes ~line_bytes:cfg.line_bytes
@@ -679,6 +683,10 @@ let compile_block m entry =
    aborts; the unsupported-BO trap raises before assigning nextpc, like
    any body fault). *)
 let rec exec_chain m (b : block) fuel =
+  if Sim_probe.enabled m.probe then begin
+    Sim_probe.block_exec m.probe ~entry:b.entry;
+    Block_cache.note_exec m.bc b.entry
+  end;
   Block_cache.begin_block m.bc;
   match b.run () with
   | () ->
@@ -695,6 +703,7 @@ let rec exec_chain m (b : block) fuel =
   | exception Block_cache.Retired ->
     let i = m.blk_i in
     m.insns <- m.insns + i + 1;
+    Sim_probe.abort m.probe ~entry:b.entry ~i;
     let a = b.entry + (4 * i) in
     m.nextpc <- a + 4;
     m.pc <- a + 4;
@@ -762,8 +771,11 @@ let rec run_blocks_go m tags shift mask fuel =
     if fuel = 0 then raise (Machine_error "out of fuel (infinite loop?)");
     match Block_cache.find m.bc pc with
     | Some b ->
-      if b.n <= fuel then
-        run_blocks_go m tags shift mask (exec_chain m b fuel)
+      if b.n <= fuel then begin
+        let fuel = exec_chain m b fuel in
+        Sim_probe.chain_flush m.probe;
+        run_blocks_go m tags shift mask fuel
+      end
       else begin
         step_one m tags shift mask pc;
         run_blocks_go m tags shift mask (fuel - 1)
@@ -784,13 +796,16 @@ let run ?(fuel = default_fuel) m =
   let finish () =
     let retired = m.insns - i0 in
     m.cycles <- m.cycles + retired;
-    Cache.add_hits m.icache (retired - (Cache.misses m.icache - mi0))
+    Cache.add_hits m.icache (retired - (Cache.misses m.icache - mi0));
+    Sim_probe.chain_flush m.probe;
+    Sim_probe.retired m.probe retired
   in
   let tags, shift, mask = Cache.probe m.icache in
   let go = if m.blocks then run_blocks_go else run_go in
   (try go m tags shift mask fuel
    with e ->
      finish ();
+     Sim_probe.fault m.probe ~pc:m.pc;
      raise e);
   finish ()
 

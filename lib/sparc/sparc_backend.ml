@@ -162,12 +162,12 @@ let arith_core g (op : Op.binop) (t : Vtype.t) rd rs1 rs2 =
 
 let arith g op t rd rs1 rs2 =
   Gen.note_write g rd;
-  Gen.count_insn g;
+  Gen.count_insn g (Opk.arith op);
   arith_core g op t rd rs1 rs2
 
 let arith_imm g (op : Op.binop) (t : Vtype.t) rd rs1 imm =
   Gen.note_write g rd;
-  Gen.count_insn g;
+  Gen.count_insn g (Opk.arith_imm op);
   let d = rnum rd and a = rnum rs1 in
   let via_reg () =
     (* division synthesis uses %g1 internally, so wide divisor
@@ -190,7 +190,7 @@ let arith_imm g (op : Op.binop) (t : Vtype.t) rd rs1 imm =
 
 let unary g (op : Op.unop) (t : Vtype.t) rd rs =
   Gen.note_write g rd;
-  Gen.count_insn g;
+  Gen.count_insn g (Opk.unary op);
   if Vtype.is_float t then begin
     let dbl = t <> Vtype.F in
     let d = rnum rd and s = rnum rs in
@@ -213,7 +213,7 @@ let unary g (op : Op.unop) (t : Vtype.t) rd rs =
 
 let set g (_t : Vtype.t) rd imm64 =
   Gen.note_write g rd;
-  Gen.count_insn g;
+  Gen.count_insn g Opk.set;
   if Int64.compare imm64 (-0x80000000L) < 0 || Int64.compare imm64 0xFFFFFFFFL > 0 then
     Verror.fail (Verror.Range (Int64.to_string imm64));
   load_const g (rnum rd) (Int64.to_int imm64)
@@ -230,7 +230,7 @@ let setf_core g (t : Vtype.t) rd v =
 
 let setf g t rd v =
   Gen.note_write g rd;
-  Gen.count_insn g;
+  Gen.count_insn g Opk.setf;
   setf_core g t rd v
 
 (* ------------------------------------------------------------------ *)
@@ -293,7 +293,7 @@ let branch_imm g (c : Op.cond) (t : Vtype.t) rs1 imm lab =
 
 let cvt g ~(from : Vtype.t) ~(to_ : Vtype.t) rd rs =
   Gen.note_write g rd;
-  Gen.count_insn g;
+  Gen.count_insn g Opk.cvt;
   if (not (Vtype.is_float from)) && not (Vtype.is_float to_) then
     e g (A.Alu (A.Or, rnum rd, g0, A.R (rnum rs)))
   else
@@ -355,17 +355,17 @@ let emit_store g (t : Vtype.t) rv b (ri : A.ri) =
 
 let load_imm g (t : Vtype.t) rd base off =
   Gen.note_write g rd;
-  Gen.count_insn g;
+  Gen.count_insn g Opk.ld;
   if fits13 off then emit_load g t rd (rnum base) (A.Imm off)
   else begin
     load_const g g1 off;
     emit_load g t rd (rnum base) (A.R g1)
   end
 
-let load_reg g (t : Vtype.t) rd base idx = Gen.note_write g rd; Gen.count_insn g; emit_load g t rd (rnum base) (A.R (rnum idx))
+let load_reg g (t : Vtype.t) rd base idx = Gen.note_write g rd; Gen.count_insn g Opk.ld; emit_load g t rd (rnum base) (A.R (rnum idx))
 
 let store_imm g (t : Vtype.t) rv base off =
-  Gen.count_insn g;
+  Gen.count_insn g Opk.st;
   if fits13 off then emit_store g t rv (rnum base) (A.Imm off)
   else begin
     load_const g g1 off;
@@ -373,7 +373,7 @@ let store_imm g (t : Vtype.t) rv base off =
   end
 
 let store_reg g (t : Vtype.t) rv base idx =
-  Gen.count_insn g;
+  Gen.count_insn g Opk.st;
   emit_store g t rv (rnum base) (A.R (rnum idx))
 
 (* ------------------------------------------------------------------ *)

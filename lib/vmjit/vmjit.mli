@@ -1,0 +1,79 @@
+(** A bytecode virtual machine with a VCODE JIT.
+
+    The paper's first motivating use of dynamic code generation
+    (section 1): "interpreters that compile frequently used code to
+    machine code and then execute it directly".  This library packages
+    the substrate for that experiment: a small stack-machine bytecode
+    with a symbolic assembler, a reference interpreter, the same
+    interpreter in the tcc C subset (so the "interpreted" side of a
+    comparison is itself compiled code on the same simulated CPU), and
+    [Jit]: a one-pass bytecode-to-VCODE translator portable over every
+    VCODE target. *)
+
+(** {2 Bytecode} *)
+
+type bop = PUSH | LOAD | STORE | ADD | SUB | MUL | LT | JZ | JMP | RET
+
+val opcode : bop -> int
+val op_name : bop -> string
+
+(** one instruction per element: (operation, operand); the operand is 0
+    for operations that take none *)
+type program = (bop * int) array
+
+val pp_program : Format.formatter -> program -> unit
+
+(** symbolic assembler input: jumps name labels instead of absolute
+    indices *)
+type 'l sinsn =
+  | Push of int
+  | Load of int
+  | Store of int
+  | Add
+  | Sub
+  | Mul
+  | Lt
+  | Jz of 'l
+  | Jmp of 'l
+  | Ret
+  | Label of 'l
+
+(** labels occupy no space in the assembled program;
+    @raise Invalid_argument on a jump to an undefined label *)
+val assemble : 'l sinsn list -> program
+
+(** serialize as (opcode, operand) 32-bit word pairs — the in-memory
+    format the tcc interpreter consumes *)
+val image : program -> int array
+
+(** {2 Reference semantics} *)
+
+(** raised by {!reference} on stack over/underflow, runaway programs and
+    falling off the end, and by {!Jit.translate} when the bytecode
+    exceeds [max_stack] *)
+exception Vm_error of string
+
+(** sign-extend from 32 bits (the VM's wrapping arithmetic) *)
+val sext32 : int -> int
+
+(** interpret with 32-bit wrapping arithmetic; [fuel] bounds runaway
+    programs (default 1_000_000 steps) *)
+val reference : ?fuel:int -> program -> int -> int
+
+(** {2 The interpreter in the tcc C subset} *)
+
+val interpreter_source : string
+val interpreter_function : string
+
+(** {2 The JIT} *)
+
+module Jit (T : Vcodebase.Target.S) : sig
+  (** Translate a program to machine code.  The operand stack is
+      mapped to registers at translation time (the classic technique);
+      [max_stack] bounds the depth the program may use and
+      [max_locals] the locals it may address.  Assumes — like any
+      single-pass JIT of this design — that stack depth is consistent
+      at join points.
+      @raise Vm_error when the bytecode exceeds [max_stack] *)
+  val translate : ?base:int -> ?max_stack:int -> ?max_locals:int -> program -> Vcode.code
+end

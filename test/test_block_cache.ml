@@ -301,7 +301,7 @@ let test_blocks_engaged () =
 (* Block_cache unit behaviour                                          *)
 
 (* test blocks are (entry, len_bytes) pairs *)
-let mk_bc () = Vmachine.Block_cache.create ~mem_bytes:(1 lsl 20) ~len_bytes:snd
+let mk_bc () = Vmachine.Block_cache.create ~mem_bytes:(1 lsl 20) ~len_bytes:snd ()
 
 let find_entry bc addr = Option.map fst (Vmachine.Block_cache.find bc addr)
 

@@ -365,7 +365,7 @@ let test_timing_table4_ash () =
 (* Decode_cache unit behaviour                                         *)
 
 let test_unit_invalidate () =
-  let dc = Vmachine.Decode_cache.create ~mem_bytes:(1 lsl 20) in
+  let dc = Vmachine.Decode_cache.create ~mem_bytes:(1 lsl 20) () in
   check Alcotest.(option int) "empty" None (Vmachine.Decode_cache.find dc 0x100);
   Vmachine.Decode_cache.set dc 0x100 11;
   Vmachine.Decode_cache.set dc 0x104 22;
