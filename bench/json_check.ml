@@ -8,7 +8,11 @@
    measurement, the regression that [json_float]'s null fallback
    exists to prevent.
 
-   usage: json_check.exe FILE...                                       *)
+   [--require-schema N] additionally demands that every file carry a
+   top-level "schema" key equal to N — the version pin for the
+   bench/vprof/vtrace JSON layouts (each documents its own number).
+
+   usage: json_check.exe [--require-schema N] FILE...                   *)
 
 exception Bad of string
 
@@ -105,11 +109,15 @@ let parse_number st =
 let parse_literal st lit =
   String.iter (fun c -> expect st c) lit
 
-let rec parse_value st =
+(* raw text of the top-level "schema" member of the last parsed file,
+   for --require-schema *)
+let schema_literal : string option ref = ref None
+
+let rec parse_value ?(top = false) st =
   skip_ws st;
   match peek st with
   | Some '"' -> ignore (parse_string st)
-  | Some '{' -> parse_object st
+  | Some '{' -> parse_object ~top st
   | Some '[' -> parse_array st
   | Some 't' -> parse_literal st "true"
   | Some 'f' -> parse_literal st "false"
@@ -118,7 +126,7 @@ let rec parse_value st =
   | Some c -> fail "unexpected %C at offset %d" c st.i
   | None -> fail "unexpected end of input at offset %d" st.i
 
-and parse_object st =
+and parse_object ~top st =
   expect st '{';
   skip_ws st;
   if peek st = Some '}' then ignore (next st)
@@ -131,7 +139,11 @@ and parse_object st =
       Hashtbl.add seen key ();
       skip_ws st;
       expect st ':';
+      skip_ws st;
+      let vstart = st.i in
       parse_value st;
+      if top && key = "schema" then
+        schema_literal := Some (String.sub st.s vstart (st.i - vstart));
       skip_ws st;
       match next st with
       | ',' -> member ()
@@ -155,28 +167,51 @@ and parse_array st =
     in
     element ()
 
-let check_file path =
+let check_file ?require_schema path =
   let ic = open_in_bin path in
   let n = in_channel_length ic in
   let s = really_input_string ic n in
   close_in ic;
   let st = { s; i = 0 } in
+  schema_literal := None;
   skip_ws st;
   if peek st <> Some '{' then fail "top level must be an object";
-  parse_value st;
+  parse_value ~top:true st;
   skip_ws st;
-  if st.i <> String.length s then fail "trailing garbage at offset %d" st.i
+  if st.i <> String.length s then fail "trailing garbage at offset %d" st.i;
+  match require_schema with
+  | None -> ()
+  | Some want -> (
+    match !schema_literal with
+    | None -> fail "missing top-level \"schema\" key (expected %d)" want
+    | Some lit ->
+      if int_of_string_opt lit <> Some want then
+        fail "schema %s, expected %d" lit want)
+
+let usage () =
+  prerr_endline "usage: json_check.exe [--require-schema N] FILE...";
+  exit 2
 
 let () =
-  let files = List.tl (Array.to_list Sys.argv) in
-  if files = [] then begin
-    prerr_endline "usage: json_check.exe FILE...";
-    exit 2
-  end;
+  let rec parse files require = function
+    | [] -> (List.rev files, require)
+    | "--require-schema" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some v -> parse files (Some v) rest
+      | None ->
+        prerr_endline "--require-schema needs an integer";
+        usage ())
+    | [ "--require-schema" ] ->
+      prerr_endline "--require-schema needs an integer";
+      usage ()
+    | f :: rest -> parse (f :: files) require rest
+  in
+  let files, require_schema = parse [] None (List.tl (Array.to_list Sys.argv)) in
+  if files = [] then usage ();
   let bad = ref false in
   List.iter
     (fun path ->
-      match check_file path with
+      match check_file ?require_schema path with
       | () -> Printf.printf "%s: ok\n" path
       | exception Bad msg ->
         Printf.eprintf "%s: invalid JSON: %s\n" path msg;

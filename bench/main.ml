@@ -53,12 +53,19 @@ let json_float v =
   | FP_nan | FP_infinite -> "null"
   | _ -> Printf.sprintf "%.6g" v
 
+(* version of the --json document layout; bump when keys change.
+   bench/json_check.exe --require-schema pins it in the test suite.
+   (1 = pre-schema-field dumps; 2 added this field.) *)
+let json_schema_version = 2
+
 let write_json path =
   let items = List.rev !json_results in
   let n = List.length items in
   let tel_on = match !tel_sink with Some _ -> true | None -> false in
   let oc = open_out path in
   output_string oc "{\n";
+  Printf.fprintf oc "  \"schema\": %d%s\n" json_schema_version
+    (if n > 0 || tel_on then "," else "");
   List.iteri
     (fun i (k, v) ->
       Printf.fprintf oc "  %S: %s%s\n" k (json_float v)
@@ -690,220 +697,58 @@ let bench_wallclock () =
 (* (interpreter, predecode, predecode+blocks) insns/sec *)
 type tput_rates = { r_off : float; r_pre : float; r_blk : float }
 
-module type TPUT_PORT = sig
-  val name : string
+(* The port adapters and workload fixtures live in {!Workloads}
+   (lib/harness), shared with bin/vprof.exe and bin/vtrace.exe; this
+   section only keeps the timing discipline.
 
-  (* rates executing a tight generated ALU loop *)
-  val loop_rates : unit -> tput_rates
-end
-
-module Make_tput
-    (T : Target.S)
-    (S : sig
-      type t
-
-      val create : predecode:bool -> blocks:bool -> t
-      val install : t -> Vcode.code -> unit
-      val call_ints : t -> entry:int -> int list -> int
-      val insns : t -> int
-      val reset_stats : t -> unit
-    end) : TPUT_PORT = struct
-  module VT = Vcode.Make (T)
-
-  let name = T.desc.Machdesc.name
-
-  (* the same mixed-ALU loop the decode-cache tests time *)
-  let gen_loop () =
-    let g, args = VT.lambda ~base:0x10000 ~leaf:true "%i" in
-    let open VT.Names in
-    let acc = VT.getreg_exn g ~cls:`Temp Vtype.I in
-    let i = VT.getreg_exn g ~cls:`Temp Vtype.I in
-    seti g acc 0;
-    seti g i 0;
-    let top = VT.genlabel g and out = VT.genlabel g in
-    VT.label g top;
-    bgei g i args.(0) out;
-    addi g acc acc i;
-    orii g acc acc 3;
-    addii g i i 1;
-    jv g top;
-    VT.label g out;
-    reti g acc;
-    VT.end_gen g
-
-  (* One ~0.15s measurement window returning insns/sec.  The modes are
-     measured in interleaved rounds (off, predecode, blocks, off, ...)
-     and each reports its best window: that way CPU-frequency drift or
-     scheduler noise hits every mode alike instead of skewing whichever
-     happened to run last, and a bad window can only deflate a single
-     round. *)
-  let measure_window m entry =
-    S.reset_stats m;
+   One ~0.15s measurement window returns insns/sec.  The modes are
+   measured in interleaved rounds (off, predecode, blocks, off, ...)
+   and each reports its best window: that way CPU-frequency drift or
+   scheduler noise hits every mode alike instead of skewing whichever
+   happened to run last, and a bad window can only deflate a single
+   round. *)
+let tput_rates (module P : Workloads.PORT) ~cfg ~workload ~iters =
+  let setup ~predecode ~blocks =
+    let m = P.create ~cfg ~predecode ~blocks () in
+    let prep = P.prepare m ~workload ~iters in
+    prep.Workloads.run ();
+    (* warm *)
+    (m, prep.Workloads.run)
+  in
+  let measure_window (m, run) =
+    P.reset_stats m;
     let t0 = Sys.time () in
     let elapsed = ref 0.0 in
     while !elapsed < 0.15 do
-      ignore (S.call_ints m ~entry [ 10_000 ]);
+      run ();
       elapsed := Sys.time () -. t0
     done;
-    float_of_int (S.insns m) /. !elapsed
-
-  let loop_rates () =
-    let code = gen_loop () in
-    let entry = code.Vcode.entry_addr in
-    let setup ~predecode ~blocks =
-      let m = S.create ~predecode ~blocks in
-      S.install m code;
-      ignore (S.call_ints m ~entry [ 10_000 ]);
-      (* warm *)
-      m
-    in
-    let m_off = setup ~predecode:false ~blocks:false in
-    let m_pre = setup ~predecode:true ~blocks:false in
-    let m_blk = setup ~predecode:true ~blocks:true in
-    let best_off = ref 0.0 and best_pre = ref 0.0 and best_blk = ref 0.0 in
-    for _ = 1 to 3 do
-      let r = measure_window m_off entry in
-      if r > !best_off then best_off := r;
-      let r = measure_window m_pre entry in
-      if r > !best_pre then best_pre := r;
-      let r = measure_window m_blk entry in
-      if r > !best_blk then best_blk := r
-    done;
-    { r_off = !best_off; r_pre = !best_pre; r_blk = !best_blk }
-end
-
-module Mips_tput =
-  Make_tput
-    (Vmips.Mips_backend)
-    (struct
-      module S = Vmips.Mips_sim
-
-      type t = S.t
-
-      let create ~predecode ~blocks = S.create ~predecode ~blocks Vmachine.Mconfig.test_config
-
-      let install m (c : Vcode.code) =
-        Vmachine.Mem.install_code m.S.mem ~addr:c.Vcode.base c.Vcode.gen.Gen.buf
-
-      let call_ints m ~entry vals =
-        S.call m ~entry (List.map (fun v -> S.Int v) vals);
-        S.ret_int m
-
-      let insns (m : t) = m.S.insns
-      let reset_stats = S.reset_stats
-    end)
-
-module Sparc_tput =
-  Make_tput
-    (Vsparc.Sparc_backend)
-    (struct
-      module S = Vsparc.Sparc_sim
-
-      type t = S.t
-
-      let create ~predecode ~blocks = S.create ~predecode ~blocks Vmachine.Mconfig.test_config
-
-      let install m (c : Vcode.code) =
-        Vmachine.Mem.install_code m.S.mem ~addr:c.Vcode.base c.Vcode.gen.Gen.buf
-
-      let call_ints m ~entry vals =
-        S.call m ~entry (List.map (fun v -> S.Int v) vals);
-        S.ret_int m
-
-      let insns (m : t) = m.S.insns
-      let reset_stats = S.reset_stats
-    end)
-
-module Alpha_tput =
-  Make_tput
-    (Valpha.Alpha_backend)
-    (struct
-      module S = Valpha.Alpha_sim
-
-      type t = S.t
-
-      let create ~predecode ~blocks = S.create ~predecode ~blocks Vmachine.Mconfig.test_config
-
-      let install m (c : Vcode.code) =
-        Vmachine.Mem.install_code m.S.mem ~addr:c.Vcode.base c.Vcode.gen.Gen.buf
-
-      let call_ints m ~entry vals =
-        S.call m ~entry (List.map (fun v -> S.Int v) vals);
-        S.ret_int m
-
-      let insns (m : t) = m.S.insns
-      let reset_stats = S.reset_stats
-    end)
-
-module Ppc_tput =
-  Make_tput
-    (Vppc.Ppc_backend)
-    (struct
-      module S = Vppc.Ppc_sim
-
-      type t = S.t
-
-      let create ~predecode ~blocks = S.create ~predecode ~blocks Vmachine.Mconfig.test_config
-
-      let install m (c : Vcode.code) =
-        Vmachine.Mem.install_code m.S.mem ~addr:c.Vcode.base c.Vcode.gen.Gen.buf
-
-      let insns (m : t) = m.S.insns
-      let reset_stats = S.reset_stats
-
-      let call_ints m ~entry vals =
-        S.call m ~entry (List.map (fun v -> S.Int v) vals);
-        S.ret_int m
-    end)
-
-let tput_ports : (module TPUT_PORT) list =
-  [ (module Mips_tput); (module Sparc_tput); (module Alpha_tput); (module Ppc_tput) ]
-
-(* the MIPS DPF classify workload (the Table 3 fixture) end-to-end;
-   same interleaved best-of-three discipline as [Make_tput] *)
-let dpf_classify_rates () =
-  let filters = Dpf.Filter.tcpip_filters 10 in
-  let c = DP.compile ~base:0x1000 ~table_base:0x200000 filters in
-  let entry = c.Dpf.entry in
-  let setup ~predecode ~blocks =
-    let m = Sim.create ~predecode ~blocks Vmachine.Mconfig.dec5000 in
-    Vmachine.Mem.install_code m.Sim.mem ~addr:c.Dpf.code.Vcode.base
-      c.Dpf.code.Vcode.gen.Gen.buf;
-    DP.install_tables m.Sim.mem c;
-    Dpf.Packet.install m.Sim.mem ~addr:pkt_addr (Dpf.Packet.tcp ~dst_port:1004 ());
-    Sim.call m ~entry [ Sim.Int pkt_addr; Sim.Int 40 ];
-    assert (Sim.ret_int m = 4);
-    (* warm *)
-    m
+    float_of_int (P.insns m) /. !elapsed
   in
   let m_off = setup ~predecode:false ~blocks:false in
   let m_pre = setup ~predecode:true ~blocks:false in
   let m_blk = setup ~predecode:true ~blocks:true in
-  let args = [ Sim.Int pkt_addr; Sim.Int 40 ] in
-  (* classifications are short (~50 insns); batch them so the clock reads
-     stay off the measured path *)
-  let window m =
-    Sim.reset_stats m;
-    let t0 = Sys.time () in
-    let elapsed = ref 0.0 in
-    while !elapsed < 0.15 do
-      for _ = 1 to 1000 do
-        Sim.call m ~entry args
-      done;
-      elapsed := Sys.time () -. t0
-    done;
-    float_of_int m.Sim.insns /. !elapsed
-  in
   let best_off = ref 0.0 and best_pre = ref 0.0 and best_blk = ref 0.0 in
   for _ = 1 to 3 do
-    let r = window m_off in
+    let r = measure_window m_off in
     if r > !best_off then best_off := r;
-    let r = window m_pre in
+    let r = measure_window m_pre in
     if r > !best_pre then best_pre := r;
-    let r = window m_blk in
+    let r = measure_window m_blk in
     if r > !best_blk then best_blk := r
   done;
   { r_off = !best_off; r_pre = !best_pre; r_blk = !best_blk }
+
+(* rates executing a tight generated ALU loop *)
+let loop_rates p = tput_rates p ~cfg:Vmachine.Mconfig.test_config ~workload:"alu-loop" ~iters:10_000
+
+(* the MIPS DPF classify workload (the Table 3 fixture) end-to-end;
+   classifications are short (~50 insns), so the workload batches 1000
+   per window to keep the clock reads off the measured path *)
+let dpf_classify_rates () =
+  tput_rates
+    (module Workloads.Mips_port)
+    ~cfg:Vmachine.Mconfig.dec5000 ~workload:"dpf-classify" ~iters:1000
 
 let bench_sim_throughput () =
   Printf.printf "== sim-throughput (simulated insns per host second) ==\n";
@@ -925,8 +770,8 @@ let bench_sim_throughput () =
       (r.r_blk /. r.r_pre)
   in
   List.iter
-    (fun (module P : TPUT_PORT) -> row P.name "alu-loop" (P.loop_rates ()))
-    tput_ports;
+    (fun (name, p) -> row name "alu-loop" (loop_rates p))
+    Workloads.ports;
   row "mips" "dpf-classify" (dpf_classify_rates ());
   Printf.printf "\n"
 

@@ -5,232 +5,76 @@
    report: the hottest compiled superblocks (per-entry execution counts
    from {!Vmachine.Block_cache}), every registered counter, the
    distribution summaries, and the tail of the structured event ring.
+   [--json FILE] writes the same data machine-readably (schema below);
+   bench/json_check.exe validates it in the test suite.
 
    Examples:
      vprof                                    # dpf-classify, mips, blocks
      vprof -w table4-ash -p sparc -m predecode
-     vprof -w alu-loop -p alpha --top 5
+     vprof -w alu-loop -p alpha --top 5 --json prof.json
 
-   EXPERIMENTS.md ("Reading a vprof report") walks through the default
-   report line by line. *)
+   The port/workload/mode vocabulary and the workload fixtures live in
+   {!Workloads} (lib/harness), shared with bench/main.exe and
+   bin/vtrace.exe.  EXPERIMENTS.md ("Reading a vprof report") walks
+   through the default report line by line. *)
 
-open Vcodebase
 module Tel = Vmachine.Telemetry
+module W = Workloads
 
-let pkt_addr = 0x80000
-let src_addr = 0x300000
-let dst_addr = 0x312000
+(* schema version of the --json document; bump when keys change *)
+let json_schema_version = 1
 
-(* one simulated port, glued behind the shape the report needs *)
-module type PORT = sig
-  type m
+let json_escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
 
-  val name : string
+type outcome = {
+  o_insns : int;
+  o_cycles : int;
+  o_hot : (int * int) list; (* all entries, hottest first *)
+  o_disasm : int -> string; (* first instruction at an entry address *)
+  o_counters : (string * int) list; (* registration order *)
+  o_dists : (string * Tel.dist_stats) list;
+  o_events_seen : int;
+}
 
-  val run :
-    Tel.t -> workload:string -> predecode:bool -> blocks:bool -> iters:int -> m
-
-  val mem : m -> Vmachine.Mem.t
-  val insns : m -> int
-  val cycles : m -> int
-  val hot_blocks : limit:int -> m -> (int * int) list
-  val disasm : word:int -> addr:int -> string
-end
-
-module Make_port
-    (T : Target.S)
-    (S : sig
-      type t
-
-      val create : Tel.t -> predecode:bool -> blocks:bool -> t
-      val mem : t -> Vmachine.Mem.t
-      val call_ints : t -> entry:int -> int list -> int
-      val insns : t -> int
-      val cycles : t -> int
-      val hot_blocks : limit:int -> t -> (int * int) list
-    end) : PORT = struct
-  module V = Vcode.Make (T)
-  module DP = Dpf.Make (T)
-  module ASH = Ash.Make (T)
-
-  type m = S.t
-
-  let name = T.desc.Machdesc.name
-  let mem = S.mem
-  let insns = S.insns
-  let cycles = S.cycles
-  let hot_blocks = S.hot_blocks
-  let disasm = T.disasm
-
-  (* the mixed-ALU loop the throughput benchmarks time *)
-  let gen_loop () =
-    let g, args = V.lambda ~base:0x10000 ~leaf:true "%i" in
-    let open V.Names in
-    let acc = V.getreg_exn g ~cls:`Temp Vtype.I in
-    let i = V.getreg_exn g ~cls:`Temp Vtype.I in
-    seti g acc 0;
-    seti g i 0;
-    let top = V.genlabel g and out = V.genlabel g in
-    V.label g top;
-    bgei g i args.(0) out;
-    addi g acc acc i;
-    orii g acc acc 3;
-    addii g i i 1;
-    jv g top;
-    V.label g out;
-    reti g acc;
-    V.end_gen g
-
-  let run tel ~workload ~predecode ~blocks ~iters =
-    let m = S.create tel ~predecode ~blocks in
-    (match workload with
-    | "dpf-classify" ->
-      (* the Table 3 fixture: ten TCP/IP session filters, packets
-         destined uniformly to each *)
-      let c =
-        DP.compile ~base:0x1000 ~table_base:0x200000 (Dpf.Filter.tcpip_filters 10)
-      in
-      Tel.note_gen tel ~prefix:"dpf" c.Dpf.code.Vcode.gen;
-      Vmachine.Mem.install_code (S.mem m) ~addr:c.Dpf.code.Vcode.base
-        c.Dpf.code.Vcode.gen.Gen.buf;
-      DP.install_tables (S.mem m) c;
-      for k = 0 to iters - 1 do
-        let port = 1000 + (k mod 10) in
-        Dpf.Packet.install (S.mem m) ~addr:pkt_addr (Dpf.Packet.tcp ~dst_port:port ());
-        if S.call_ints m ~entry:c.Dpf.entry [ pkt_addr; 40 ] <> port - 1000 then
-          failwith "dpf-classify: misclassified packet"
-      done
-    | "table4-ash" ->
-      (* the Table 4 fixture: the dynamically composed copy+checksum
-         pipeline over 8KB; [iters] scales the number of passes *)
-      let code = ASH.gen_ash ~base:0x8000 [ Ash.Copy; Ash.Checksum ] in
-      Tel.note_gen tel ~prefix:"ash" code.Vcode.gen;
-      Vmachine.Mem.install_code (S.mem m) ~addr:code.Vcode.base code.Vcode.gen.Gen.buf;
-      let nwords = 2048 in
-      let data = Bytes.init (4 * nwords) (fun i -> Char.chr ((i * 131) land 0xff)) in
-      Vmachine.Mem.blit_bytes (S.mem m) ~addr:src_addr data;
-      for _ = 1 to max 1 (iters / 250) do
-        ignore (S.call_ints m ~entry:code.Vcode.entry_addr [ dst_addr; src_addr; nwords ])
-      done
-    | "alu-loop" ->
-      let code = gen_loop () in
-      Tel.note_gen tel ~prefix:"loop" code.Vcode.gen;
-      Vmachine.Mem.install_code (S.mem m) ~addr:code.Vcode.base code.Vcode.gen.Gen.buf;
-      ignore (S.call_ints m ~entry:code.Vcode.entry_addr [ iters ])
-    | w -> Printf.ksprintf failwith "unknown workload %S" w);
-    m
-end
-
-module Mips_port =
-  Make_port
-    (Vmips.Mips_backend)
-    (struct
-      module S = Vmips.Mips_sim
-
-      type t = S.t
-
-      let create telemetry ~predecode ~blocks =
-        S.create ~predecode ~blocks ~telemetry Vmachine.Mconfig.dec5000
-
-      let mem (m : t) = m.S.mem
-
-      let call_ints m ~entry vals =
-        S.call m ~entry (List.map (fun v -> S.Int v) vals);
-        S.ret_int m
-
-      let insns (m : t) = m.S.insns
-      let cycles (m : t) = m.S.cycles
-      let hot_blocks ~limit (m : t) = Vmachine.Block_cache.hot_blocks ~limit m.S.bc
-    end)
-
-module Sparc_port =
-  Make_port
-    (Vsparc.Sparc_backend)
-    (struct
-      module S = Vsparc.Sparc_sim
-
-      type t = S.t
-
-      let create telemetry ~predecode ~blocks =
-        S.create ~predecode ~blocks ~telemetry Vmachine.Mconfig.dec5000
-
-      let mem (m : t) = m.S.mem
-
-      let call_ints m ~entry vals =
-        S.call m ~entry (List.map (fun v -> S.Int v) vals);
-        S.ret_int m
-
-      let insns (m : t) = m.S.insns
-      let cycles (m : t) = m.S.cycles
-      let hot_blocks ~limit (m : t) = Vmachine.Block_cache.hot_blocks ~limit m.S.bc
-    end)
-
-module Alpha_port =
-  Make_port
-    (Valpha.Alpha_backend)
-    (struct
-      module S = Valpha.Alpha_sim
-
-      type t = S.t
-
-      let create telemetry ~predecode ~blocks =
-        S.create ~predecode ~blocks ~telemetry Vmachine.Mconfig.dec5000
-
-      let mem (m : t) = m.S.mem
-
-      let call_ints m ~entry vals =
-        S.call m ~entry (List.map (fun v -> S.Int v) vals);
-        S.ret_int m
-
-      let insns (m : t) = m.S.insns
-      let cycles (m : t) = m.S.cycles
-      let hot_blocks ~limit (m : t) = Vmachine.Block_cache.hot_blocks ~limit m.S.bc
-    end)
-
-module Ppc_port =
-  Make_port
-    (Vppc.Ppc_backend)
-    (struct
-      module S = Vppc.Ppc_sim
-
-      type t = S.t
-
-      let create telemetry ~predecode ~blocks =
-        S.create ~predecode ~blocks ~telemetry Vmachine.Mconfig.dec5000
-
-      let mem (m : t) = m.S.mem
-
-      let call_ints m ~entry vals =
-        S.call m ~entry (List.map (fun v -> S.Int v) vals);
-        S.ret_int m
-
-      let insns (m : t) = m.S.insns
-      let cycles (m : t) = m.S.cycles
-      let hot_blocks ~limit (m : t) = Vmachine.Block_cache.hot_blocks ~limit m.S.bc
-    end)
-
-let ports : (string * (module PORT)) list =
-  [
-    ("mips", (module Mips_port));
-    ("sparc", (module Sparc_port));
-    ("alpha", (module Alpha_port));
-    ("ppc", (module Ppc_port));
-  ]
-
-let modes =
-  [ ("off", (false, false)); ("predecode", (true, false)); ("blocks", (true, true)) ]
-
-let workloads = [ "dpf-classify"; "table4-ash"; "alu-loop" ]
-
-let report (module P : PORT) ~workload ~mode ~iters ~top =
-  let predecode, blocks = List.assoc mode modes in
+let measure (module P : W.PORT) ~workload ~mode ~iters =
+  let predecode, blocks = W.mode_exn ~tool:"vprof" mode in
   let tel = Tel.create () in
-  let m = P.run tel ~workload ~predecode ~blocks ~iters in
-  Printf.printf "vprof: %s on %s, %s mode (%d iterations)\n" workload P.name mode iters;
-  Printf.printf "  %d simulated instructions retired in %d cycles\n\n" (P.insns m)
-    (P.cycles m);
+  let m = P.create ~telemetry:tel ~predecode ~blocks () in
+  let prep = P.prepare ~tel m ~workload ~iters in
+  prep.W.run ();
+  let collect iter =
+    let acc = ref [] in
+    iter tel (fun name v -> acc := (name, v) :: !acc);
+    List.rev !acc
+  in
+  {
+    o_insns = P.insns m;
+    o_cycles = P.cycles m;
+    o_hot = P.hot_blocks ~limit:max_int m;
+    o_disasm = (fun addr -> P.disasm ~word:(Vmachine.Mem.read_u32 (P.mem m) addr) ~addr);
+    o_counters = collect Tel.iter_counters;
+    o_dists = collect Tel.iter_dists;
+    o_events_seen = Tel.events_seen tel;
+  }
+
+let report ~port ~workload ~mode ~iters ~top (o : outcome) =
+  Printf.printf "vprof: %s on %s, %s mode (%d iterations)\n" workload port mode iters;
+  Printf.printf "  %d simulated instructions retired in %d cycles\n\n" o.o_insns o.o_cycles;
   (* hottest compiled superblocks *)
-  (match P.hot_blocks ~limit:max_int m with
+  (match o.o_hot with
   | [] ->
     Printf.printf "hot blocks: none (superblock mode off or nothing compiled)\n"
   | all ->
@@ -241,34 +85,58 @@ let report (module P : PORT) ~workload ~mode ~iters ~top =
     Printf.printf "  %-10s %12s %7s  %s\n" "entry" "execs" "share" "first instruction";
     List.iter
       (fun (addr, n) ->
-        let word = Vmachine.Mem.read_u32 (P.mem m) addr in
         Printf.printf "  0x%08x %12d %6.1f%%  %s\n" addr n
           (100.0 *. float_of_int n /. float_of_int total)
-          (P.disasm ~word ~addr))
+          (o.o_disasm addr))
       shown);
   (* counters, largest first *)
-  let cs = ref [] in
-  Tel.iter_counters tel (fun k v -> if v > 0 then cs := (k, v) :: !cs);
-  let cs = List.sort (fun (_, a) (_, b) -> compare b a) !cs in
+  let cs = List.filter (fun (_, v) -> v > 0) o.o_counters in
+  let cs = List.sort (fun (_, a) (_, b) -> compare b a) cs in
   Printf.printf "\ncounters (nonzero, largest first):\n";
   List.iter (fun (k, v) -> Printf.printf "  %-36s %12d\n" k v) cs;
   (* distribution summaries *)
   Printf.printf "\ndistributions:\n";
-  Tel.iter_dists tel (fun k (st : Tel.dist_stats) ->
+  List.iter
+    (fun (k, (st : Tel.dist_stats)) ->
       if st.Tel.count > 0 then
         Printf.printf "  %-28s count %-9d min %-6d max %-6d avg %.1f\n" k st.Tel.count
           st.Tel.min st.Tel.max
-          (float_of_int st.Tel.sum /. float_of_int st.Tel.count));
-  (* the tail of the event ring *)
-  let evs = Tel.events tel in
-  let nev = List.length evs in
-  let shown = List.filteri (fun i _ -> i >= nev - 8) evs in
-  Printf.printf "\nevents (last %d of %d recorded):\n" (List.length shown)
-    (Tel.events_seen tel);
-  List.iter
-    (fun (kind, a, b) ->
-      Printf.printf "  %-18s a=0x%x b=%d\n" (Tel.kind_name kind) a b)
-    shown
+          (float_of_int st.Tel.sum /. float_of_int st.Tel.count))
+    o.o_dists;
+  Printf.printf "\nevents recorded: %d\n" o.o_events_seen
+
+let write_json path ~port ~workload ~mode ~iters ~top (o : outcome) =
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"schema\": %d,\n  \"tool\": \"vprof\",\n" json_schema_version;
+  Printf.fprintf oc "  \"port\": \"%s\",\n  \"mode\": \"%s\",\n  \"workload\": \"%s\",\n"
+    (json_escape port) (json_escape mode) (json_escape workload);
+  Printf.fprintf oc "  \"iters\": %d,\n  \"insns\": %d,\n  \"cycles\": %d,\n" iters
+    o.o_insns o.o_cycles;
+  let hot = List.filteri (fun i _ -> i < top) o.o_hot in
+  output_string oc "  \"hot_blocks\": [";
+  List.iteri
+    (fun i (addr, n) ->
+      Printf.fprintf oc "%s\n    { \"entry\": %d, \"execs\": %d, \"disasm\": \"%s\" }"
+        (if i > 0 then "," else "") addr n
+        (json_escape (o.o_disasm addr)))
+    hot;
+  output_string oc (if hot = [] then "],\n" else "\n  ],\n");
+  let emit_obj key kvs payload =
+    Printf.fprintf oc "  \"%s\": {" key;
+    List.iteri
+      (fun i (k, v) ->
+        Printf.fprintf oc "%s\n    \"%s\": %s" (if i > 0 then "," else "")
+          (json_escape k) (payload v))
+      kvs;
+    output_string oc (if kvs = [] then "},\n" else "\n  },\n")
+  in
+  emit_obj "counters" o.o_counters string_of_int;
+  emit_obj "dists" o.o_dists (fun (st : Tel.dist_stats) ->
+      Printf.sprintf "{ \"count\": %d, \"sum\": %d, \"min\": %d, \"max\": %d }" st.Tel.count
+        st.Tel.sum st.Tel.min st.Tel.max);
+  Printf.fprintf oc "  \"events_seen\": %d\n}\n" o.o_events_seen;
+  close_out oc;
+  Printf.printf "\nwrote %s\n" path
 
 (* ------------------------------------------------------------------ *)
 (* Command line                                                        *)
@@ -292,20 +160,25 @@ let top_arg = Arg.(value & opt int 10 & info [ "top" ] ~docv:"N" ~doc:"hot-block
 let iters_arg =
   Arg.(value & opt int 1000 & info [ "iters" ] ~docv:"N" ~doc:"workload iterations")
 
-let main port workload mode top iters =
-  match (List.assoc_opt port ports, List.mem_assoc mode modes, List.mem workload workloads) with
-  | None, _, _ ->
-    Printf.eprintf "vprof: unknown port %S (mips|sparc|alpha|ppc)\n" port;
-    exit 1
-  | _, false, _ ->
-    Printf.eprintf "vprof: unknown mode %S (off|predecode|blocks)\n" mode;
-    exit 1
-  | _, _, false ->
-    Printf.eprintf "vprof: unknown workload %S (%s)\n" workload (String.concat "|" workloads);
-    exit 1
-  | Some p, true, true -> report p ~workload ~mode ~iters ~top
+let json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE" ~doc:"also write the report as JSON (schema 1)")
+
+let main port workload mode top iters json =
+  let p = W.port_exn ~tool:"vprof" port in
+  let workload = W.workload_exn ~tool:"vprof" workload in
+  ignore (W.mode_exn ~tool:"vprof" mode);
+  let o = measure p ~workload ~mode ~iters in
+  report ~port ~workload ~mode ~iters ~top o;
+  match json with
+  | None -> ()
+  | Some path -> write_json path ~port ~workload ~mode ~iters ~top o
 
 let () =
   let info = Cmd.info "vprof" ~doc:"telemetry profiler for the simulated workloads" in
-  let term = Term.(const main $ port_arg $ workload_arg $ mode_arg $ top_arg $ iters_arg) in
+  let term =
+    Term.(const main $ port_arg $ workload_arg $ mode_arg $ top_arg $ iters_arg $ json_arg)
+  in
   exit (Cmd.eval (Cmd.v info term))

@@ -25,6 +25,7 @@ type t = {
   bc : block Block_cache.t; (* superblock translation cache; no cycle effect *)
   blocks : bool;
   probe : Sim_probe.t;      (* shared telemetry probe; never touches timing *)
+  tr : Trace.t;             (* execution trace; the disabled sink is scratch *)
   cfg : Mconfig.t;
   regs : int64 array;
   fregs : int64 array; (* bit patterns *)
@@ -50,11 +51,11 @@ and block = {
 }
 
 let create ?(predecode = true) ?(blocks = true)
-    ?(telemetry = Telemetry.disabled) (cfg : Mconfig.t) =
+    ?(telemetry = Telemetry.disabled) ?(trace = Trace.disabled) (cfg : Mconfig.t) =
   let mem = Mem.create ~big_endian:false ~size:cfg.mem_bytes () in
   Alpha_runtime.install mem;
-  let pdc = Decode_cache.create ~tel:telemetry ~name:"alpha.pdc" ~mem_bytes:cfg.mem_bytes () in
-  let bc = Block_cache.create ~tel:telemetry ~name:"alpha.bc" ~mem_bytes:cfg.mem_bytes
+  let pdc = Decode_cache.create ~tel:telemetry ~trace ~name:"alpha.pdc" ~mem_bytes:cfg.mem_bytes () in
+  let bc = Block_cache.create ~tel:telemetry ~trace ~name:"alpha.bc" ~mem_bytes:cfg.mem_bytes
       ~len_bytes:(fun b -> 4 * b.n) () in
   Mem.add_write_watcher mem (Decode_cache.invalidate pdc);
   Mem.add_write_watcher mem (Block_cache.invalidate bc);
@@ -64,7 +65,8 @@ let create ?(predecode = true) ?(blocks = true)
     predecode;
     bc;
     blocks;
-    probe = Sim_probe.create telemetry ~port:"alpha" ~predecode ~blocks;
+    probe = Sim_probe.create ~trace telemetry ~port:"alpha" ~predecode ~blocks;
+    tr = trace;
     icache = Cache.create ~size_bytes:cfg.icache_bytes ~line_bytes:cfg.line_bytes
                ~miss_penalty:cfg.imiss_penalty;
     dcache = Cache.create ~size_bytes:cfg.dcache_bytes ~line_bytes:cfg.line_bytes
@@ -682,6 +684,19 @@ let compile_block m entry =
           act ()
       else act
     in
+    (* traced runs re-bind [wrap] so each closure records its issue
+       before acting (issue order = the interpreter's retire stream);
+       untraced compilation keeps the exact closures above *)
+    let wrap =
+      if not (Trace.is_enabled m.tr) then wrap
+      else
+        fun i ra ->
+          let f = wrap i ra in
+          let addr = entry + (4 * i) in
+          fun () ->
+            Trace.retire m.tr addr;
+            f ()
+    in
     (* the commit is one more cannot-raise action fused onto the end:
        if anything earlier raises, it never runs, and the fixup
        handlers in [exec_chain] account the partial run instead *)
@@ -708,6 +723,7 @@ let compile_block m entry =
    so the post-instruction pc is always the straight-line successor for
    aborts, and terminators never fault or abort). *)
 let rec exec_chain m (b : block) fuel =
+  Trace.mark m.tr Trace.Block_enter b.entry;
   if Sim_probe.enabled m.probe then begin
     Sim_probe.block_exec m.probe ~entry:b.entry;
     Block_cache.note_exec m.bc b.entry
@@ -750,6 +766,7 @@ let step m =
   let mi0 = Cache.misses m.icache in
   (let p = Cache.access_uncounted m.icache m.pc in
    if p <> 0 then m.cycles <- m.cycles + p);
+  Trace.retire m.tr m.pc;
   step_inner m m.pc;
   m.cycles <- m.cycles + 1;
   Cache.add_hits m.icache (1 - (Cache.misses m.icache - mi0))
@@ -771,6 +788,7 @@ let rec run_go m tags shift mask fuel =
     if Array.unsafe_get tags (line land mask) <> line then
       (let p = Cache.access_uncounted m.icache pc in
        if p <> 0 then m.cycles <- m.cycles + p);
+    Trace.retire m.tr pc;
     step_inner m pc;
     run_go m tags shift mask (fuel - 1)
   end
@@ -783,6 +801,7 @@ let[@inline] step_one m tags shift mask =
   if Array.unsafe_get tags (line land mask) <> line then
     (let p = Cache.access_uncounted m.icache pc in
      if p <> 0 then m.cycles <- m.cycles + p);
+  Trace.retire m.tr pc;
   step_inner m pc
 
 (* Block-dispatch run loop: resident block -> [exec_chain]; no block

@@ -74,6 +74,11 @@ type t = {
   mutable insn_count : int;  (* VCODE-level instructions emitted *)
   op_counts : int array;     (* per-{!Opk} slot emission counts; their sum
                                 is [insn_count] by construction *)
+  prov_on : bool;            (* record emit-site provenance *)
+  mutable prov : int array;  (* packed, stride 2: start word index (at
+                                emitter entry, i.e. before the words),
+                                Opk slot; slot -1 closes the table *)
+  mutable nprov : int;
   mutable tstate : int;      (* target-private scratch (e.g. SPARC leaf) *)
 }
 
@@ -87,7 +92,16 @@ let grow_table a used needed =
   Array.blit a 0 b 0 used;
   b
 
-let create ?(base = 0) ?capacity (desc : Machdesc.t) =
+(* Emit-site provenance is opt-in per process (the profiling/trace
+   tools flip it before generating their workloads) so the default
+   codegen fast path keeps [count_insn] at two int stores and a
+   predicted-untaken branch.  A per-[create] flag rather than a
+   mutable field: the recorded table is only meaningful when every
+   site of the function was recorded. *)
+let provenance_default = ref false
+let set_provenance_default b = provenance_default := b
+
+let create ?(base = 0) ?provenance ?capacity (desc : Machdesc.t) =
   {
     desc;
     buf = Codebuf.create ?capacity ();
@@ -124,6 +138,9 @@ let create ?(base = 0) ?capacity (desc : Machdesc.t) =
     eff_fcallee_mask = desc.Machdesc.fcallee_mask;
     insn_count = 0;
     op_counts = Array.make Opk.slots 0;
+    prov_on = (match provenance with Some b -> b | None -> !provenance_default);
+    prov = empty_table;
+    nprov = 0;
     tstate = 0;
   }
 
@@ -278,9 +295,21 @@ let[@inline] note_write g (r : Reg.t) =
    preallocated at [create], so both updates are plain int stores.  [k]
    comes from the fixed call sites in the ports (never user data), so
    the unsafe index is justified. *)
+(* Provenance recording, out of line: every counting site runs before
+   its emitter writes any word, so [Codebuf.length] here is the
+   instruction's start index — spans are recovered by pairing each
+   start with the next record's. *)
+let[@inline never] prov_record g k =
+  if 2 * g.nprov >= Array.length g.prov then g.prov <- grow_table g.prov (2 * g.nprov) 2;
+  let o = 2 * g.nprov in
+  g.prov.(o) <- Codebuf.length g.buf;
+  g.prov.(o + 1) <- k;
+  g.nprov <- g.nprov + 1
+
 let[@inline] count_insn g k =
   g.insn_count <- g.insn_count + 1;
-  Array.unsafe_set g.op_counts k (Array.unsafe_get g.op_counts k + 1)
+  Array.unsafe_set g.op_counts k (Array.unsafe_get g.op_counts k + 1);
+  if g.prov_on then prov_record g k
 
 let op_count g k =
   if k < 0 || k >= Opk.slots then Verror.failf "op_count: bad opcode slot %d" k;
@@ -456,6 +485,87 @@ let live_words g =
   + Array.length g.labels + 3
   + table_words g.relocs + table_words g.fimms
   + table_words g.arg_loads + table_words g.call_args
+  + table_words g.prov
 
 let code_addr g idx = g.base + (4 * idx)
 let here g = Codebuf.length g.buf
+
+(* ------------------------------------------------------------------ *)
+(* Emit-site provenance (cold readers)                                 *)
+
+let provenance_on g = g.prov_on
+
+(* The closing sentinel: everything emitted after it (the epilogue and
+   the FP-immediate pool placed by the target's [finish]) belongs to no
+   client emitter.  Called by Vcode's [end_gen] just before the target
+   finalizer runs; idempotent. *)
+let prov_sentinel = -1
+
+let close_provenance g =
+  if
+    g.prov_on
+    && (g.nprov = 0 || g.prov.((2 * g.nprov) - 1) <> prov_sentinel)
+  then prov_record g prov_sentinel
+
+let prov_count g = g.nprov
+
+(* Visit the recorded spans in emission order: [slot] is the {!Opk}
+   slot ([-1] for the closing epilogue/data sentinel), [first]/[last]
+   the covered word-index range (last exclusive; the next record's
+   start, or the buffer end for the final one).  Words below the first
+   span are the reserved prologue area. *)
+let iter_prov_spans g f =
+  for i = 0 to g.nprov - 1 do
+    let first = g.prov.(2 * i) and slot = g.prov.((2 * i) + 1) in
+    let last = if i + 1 < g.nprov then g.prov.(2 * (i + 1)) else Codebuf.length g.buf in
+    f ~ordinal:i ~slot ~first ~last
+  done
+
+(* The span covering word index [idx] — binary search over the sorted
+   start column.  [None] for indices before the first span (the
+   prologue) or with no provenance recorded. *)
+let prov_find g idx =
+  if g.nprov = 0 || idx < g.prov.(0) then None
+  else begin
+    let lo = ref 0 and hi = ref (g.nprov - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi + 1) / 2 in
+      if g.prov.(2 * mid) <= idx then lo := mid else hi := mid - 1
+    done;
+    let i = !lo in
+    Some (i, g.prov.((2 * i) + 1), g.prov.(2 * i))
+  end
+
+(* The label whose binding most closely precedes word index [idx]
+   (ties go to the first label bound there), with the word offset from
+   it — "which branch target does this instruction belong to". *)
+let enclosing_label g idx =
+  let best = ref (-1) and best_at = ref (-1) in
+  for l = 0 to g.nlabels - 1 do
+    let at = g.labels.(l) in
+    if at >= 0 && at <= idx && at > !best_at then begin
+      best := l;
+      best_at := at
+    end
+  done;
+  if !best < 0 then None else Some (!best, idx - !best_at)
+
+(* Symbolize the instruction covering word index [idx]:
+   "addii#12@L3+2" = the 12th emitted VCODE op, an addii, two words
+   past the binding of label 3.  Reserved areas name themselves. *)
+let prov_symbol g idx =
+  if idx < 0 || idx >= Codebuf.length g.buf then None
+  else
+    match prov_find g idx with
+    | None -> if g.nprov > 0 then Some "prologue" else None
+    | Some (ordinal, slot, _first) ->
+      if slot = prov_sentinel then Some "epilogue"
+      else begin
+        let base = Printf.sprintf "%s#%d" (Opk.name slot) ordinal in
+        match enclosing_label g idx with
+        | None -> Some base
+        | Some (l, off) ->
+          Some
+            (if off = 0 then Printf.sprintf "%s@L%d" base l
+             else Printf.sprintf "%s@L%d+%d" base l off)
+      end

@@ -71,14 +71,26 @@ type t = {
   op_counts : int array;
       (** per-{!Opk}-slot emission counts; their sum is [insn_count] by
           construction — every counting site passes its slot *)
+  prov_on : bool;  (** record emit-site provenance (see {!iter_prov_spans}) *)
+  mutable prov : int array;
+      (** packed, stride 2: start word index, {!Opk} slot (-1 closes) *)
+  mutable nprov : int;
   mutable tstate : int;      (** target-private scratch *)
 }
 
 (** [capacity] is an instruction-count hint forwarded to
     {!Codebuf.create}: pass the expected code size to avoid doubling
     copies (large functions) or a needlessly big buffer (small DPF-style
-    filters). *)
-val create : ?base:int -> ?capacity:int -> Machdesc.t -> t
+    filters).  [provenance] turns the emit-site side table on for this
+    function (default: {!set_provenance_default}'s process-wide flag,
+    initially off). *)
+val create : ?base:int -> ?provenance:bool -> ?capacity:int -> Machdesc.t -> t
+
+(** flip the process-wide default for [create]'s [provenance] — the
+    profiling/trace tools set it before generating their workloads so
+    code produced behind [Vcode.lambda] gets symbolized without every
+    signature threading the flag *)
+val set_provenance_default : bool -> unit
 
 (** @raise Verror.Error if v_end already ran *)
 val check_open : t -> unit
@@ -201,3 +213,44 @@ val save_layout :
 val live_words : t -> int
 val code_addr : t -> int -> int
 val here : t -> int
+
+(** {2 Emit-site provenance}
+
+    When enabled (see {!create}), every {!count_insn} site also records
+    its start word index, giving a side table mapping each emitted code
+    word back to the client-level [v_*] call that produced it.  The
+    table is harvested post-[v_end] like [Telemetry.note_gen]; with
+    provenance off, {!count_insn} costs one predicted-untaken branch
+    more than the PR 3 two-store fast path and records nothing. *)
+
+val provenance_on : t -> bool
+
+(** record the closing sentinel: words emitted after this point (the
+    epilogue, the FP-immediate pool) belong to no client emitter.
+    Called by [Vcode]'s [end_gen] before the target finalizer runs;
+    idempotent, no-op with provenance off. *)
+val close_provenance : t -> unit
+
+(** recorded sites, sentinel included *)
+val prov_count : t -> int
+
+(** visit the recorded spans in emission order: [slot] is the {!Opk}
+    slot (-1 for the closing sentinel), [ordinal] the emission index,
+    [first]/[last] the covered word-index range (last exclusive).
+    Words below the first span are the reserved prologue area. *)
+val iter_prov_spans :
+  t -> (ordinal:int -> slot:int -> first:int -> last:int -> unit) -> unit
+
+(** the span covering word index [idx] as [(ordinal, slot, first)];
+    [None] in the prologue or with no provenance recorded *)
+val prov_find : t -> int -> (int * int * int) option
+
+(** the label bound closest at or before word index [idx] and the word
+    offset from it; [None] when no label precedes [idx] *)
+val enclosing_label : t -> int -> (int * int) option
+
+(** symbolize the instruction covering word index [idx], e.g.
+    ["addii#12@L3+2"] — the 12th emitted VCODE op, two words past
+    label 3 — or ["prologue"]/["epilogue"] for the reserved areas.
+    [None] when out of range or provenance was off. *)
+val prov_symbol : t -> int -> string option

@@ -172,6 +172,10 @@ module Make_gen (C : CHECKS) (T : Target.S) = struct
      resolve jumps (v_end). *)
   let end_gen (g : gen) : code =
     if C.enabled then Gen.check_open g;
+    (* close the emit-site provenance table before the target finalizer
+       appends the epilogue and FP pool, so those words symbolize as
+       "epilogue" rather than extending the last client span *)
+    Gen.close_provenance g;
     T.finish g;
     g.Gen.finished <- true;
     {

@@ -1,0 +1,336 @@
+(* The shared port/workload/mode harness behind bin/vprof.exe,
+   bin/vtrace.exe and bench/main.exe.
+
+   Each tool used to carry its own copy of the same glue: four
+   per-port adapter structs (create-with-config, install code, call,
+   read counters) and the name tables mapping "mips"/"blocks"/
+   "dpf-classify" strings to implementations.  This module is the one
+   copy.  A port is a first-class module of type {!PORT}; the three
+   evaluation workloads (the Table 3 DPF classifier, the Table 4 ASH
+   pipeline, and the mixed-ALU loop the throughput benchmarks time)
+   are set up by {!PORT.prepare}, which installs the generated code
+   and returns a re-runnable closure plus the code regions for
+   emit-site symbolization (see {!symbol_of}). *)
+
+open Vcodebase
+module Tel = Vmachine.Telemetry
+module Trace = Vmachine.Trace
+
+let pkt_addr = 0x80000
+let src_addr = 0x300000
+let dst_addr = 0x312000
+
+(* one generated-code span: [base, limit) bytes of simulated memory,
+   plus the generator that emitted it (for {!Gen.prov_symbol}) *)
+type code_region = {
+  r_name : string;
+  r_base : int;
+  r_limit : int;
+  r_gen : Gen.t;
+}
+
+type prepared = {
+  run : unit -> unit; (* one full workload pass; re-runnable *)
+  regions : code_region list;
+}
+
+let region name (c : Vcode.code) =
+  { r_name = name; r_base = c.Vcode.base; r_limit = c.Vcode.base + c.Vcode.code_bytes;
+    r_gen = c.Vcode.gen }
+
+(* emit-site symbol for simulated address [pc]: find the covering
+   generated region and ask its provenance table.  [None] when no
+   region covers [pc] or its generator ran without provenance. *)
+let symbol_of regions pc =
+  let rec go = function
+    | [] -> None
+    | r :: rest ->
+      if pc >= r.r_base && pc < r.r_limit then
+        match Gen.prov_symbol r.r_gen ((pc - r.r_base) / 4) with
+        | Some s -> Some (r.r_name ^ ":" ^ s)
+        | None -> None
+      else go rest
+  in
+  go regions
+
+module type PORT = sig
+  type m
+
+  val name : string
+
+  val create :
+    ?cfg:Vmachine.Mconfig.t ->
+    ?telemetry:Tel.t ->
+    ?trace:Trace.t ->
+    predecode:bool ->
+    blocks:bool ->
+    unit ->
+    m
+
+  val mem : m -> Vmachine.Mem.t
+  val insns : m -> int
+  val cycles : m -> int
+  val reset_stats : m -> unit
+  val hot_blocks : limit:int -> m -> (int * int) list
+  val disasm : word:int -> addr:int -> string
+  val call_ints : ?fuel:int -> m -> entry:int -> int list -> int
+
+  (** stale-translation injection (see {!Vmachine.Block_cache.alias}) *)
+  val alias_block : m -> at:int -> from:int -> bool
+
+  (** generate + install the named workload's code into [m]; [iters]
+      is baked into the returned closure.  [tel] receives the
+      generation-cost note ({!Tel.note_gen}); [provenance] runs the
+      generators with emit-site provenance tables on. *)
+  val prepare :
+    ?tel:Tel.t -> ?provenance:bool -> ?fuel:int -> m -> workload:string -> iters:int -> prepared
+end
+
+(* the per-simulator surface [Make_port] needs; four tiny instances below *)
+module type SIM = sig
+  type t
+
+  val create :
+    ?cfg:Vmachine.Mconfig.t -> ?telemetry:Tel.t -> ?trace:Trace.t ->
+    predecode:bool -> blocks:bool -> unit -> t
+
+  val mem : t -> Vmachine.Mem.t
+  val insns : t -> int
+  val cycles : t -> int
+  val reset_stats : t -> unit
+  val hot_blocks : limit:int -> t -> (int * int) list
+  val alias_block : t -> at:int -> from:int -> bool
+  val call_ints : ?fuel:int -> t -> entry:int -> int list -> int
+end
+
+module Make_port (T : Target.S) (S : SIM) : PORT = struct
+  module V = Vcode.Make (T)
+  module DP = Dpf.Make (T)
+  module ASH = Ash.Make (T)
+
+  type m = S.t
+
+  let name = T.desc.Machdesc.name
+  let create = S.create
+  let mem = S.mem
+  let insns = S.insns
+  let cycles = S.cycles
+  let reset_stats = S.reset_stats
+  let hot_blocks = S.hot_blocks
+  let disasm = T.disasm
+  let call_ints = S.call_ints
+  let alias_block = S.alias_block
+
+  (* the mixed-ALU loop the throughput benchmarks time *)
+  let gen_loop () =
+    let g, args = V.lambda ~base:0x10000 ~leaf:true "%i" in
+    let open V.Names in
+    let acc = V.getreg_exn g ~cls:`Temp Vtype.I in
+    let i = V.getreg_exn g ~cls:`Temp Vtype.I in
+    seti g acc 0;
+    seti g i 0;
+    let top = V.genlabel g and out = V.genlabel g in
+    V.label g top;
+    bgei g i args.(0) out;
+    addi g acc acc i;
+    orii g acc acc 3;
+    addii g i i 1;
+    jv g top;
+    V.label g out;
+    reti g acc;
+    V.end_gen g
+
+  let install m (c : Vcode.code) =
+    Vmachine.Mem.install_code (S.mem m) ~addr:c.Vcode.base c.Vcode.gen.Gen.buf
+
+  let prepare ?(tel = Tel.disabled) ?(provenance = false) ?fuel m ~workload ~iters =
+    (* the generators create their own [Gen.t]s behind [lambda], so
+       provenance is requested through the process-wide default; it is
+       restored before any simulated code runs *)
+    let generate f =
+      if not provenance then f ()
+      else begin
+        Gen.set_provenance_default true;
+        Fun.protect ~finally:(fun () -> Gen.set_provenance_default false) f
+      end
+    in
+    match workload with
+    | "dpf-classify" ->
+      (* the Table 3 fixture: ten TCP/IP session filters, packets
+         destined uniformly to each *)
+      let c =
+        generate (fun () ->
+            DP.compile ~base:0x1000 ~table_base:0x200000 (Dpf.Filter.tcpip_filters 10))
+      in
+      Tel.note_gen tel ~prefix:"dpf" c.Dpf.code.Vcode.gen;
+      install m c.Dpf.code;
+      DP.install_tables (S.mem m) c;
+      let run () =
+        for k = 0 to iters - 1 do
+          let port = 1000 + (k mod 10) in
+          Dpf.Packet.install (S.mem m) ~addr:pkt_addr (Dpf.Packet.tcp ~dst_port:port ());
+          if S.call_ints ?fuel m ~entry:c.Dpf.entry [ pkt_addr; 40 ] <> port - 1000 then
+            failwith "dpf-classify: misclassified packet"
+        done
+      in
+      { run; regions = [ region "dpf" c.Dpf.code ] }
+    | "table4-ash" ->
+      (* the Table 4 fixture: the dynamically composed copy+checksum
+         pipeline over 8KB; [iters] scales the number of passes *)
+      let code = generate (fun () -> ASH.gen_ash ~base:0x8000 [ Ash.Copy; Ash.Checksum ]) in
+      Tel.note_gen tel ~prefix:"ash" code.Vcode.gen;
+      install m code;
+      let nwords = 2048 in
+      let data = Bytes.init (4 * nwords) (fun i -> Char.chr ((i * 131) land 0xff)) in
+      Vmachine.Mem.blit_bytes (S.mem m) ~addr:src_addr data;
+      let run () =
+        for _ = 1 to max 1 (iters / 250) do
+          ignore (S.call_ints ?fuel m ~entry:code.Vcode.entry_addr [ dst_addr; src_addr; nwords ])
+        done
+      in
+      { run; regions = [ region "ash" code ] }
+    | "alu-loop" ->
+      let code = generate gen_loop in
+      Tel.note_gen tel ~prefix:"loop" code.Vcode.gen;
+      install m code;
+      let run () = ignore (S.call_ints ?fuel m ~entry:code.Vcode.entry_addr [ iters ]) in
+      { run; regions = [ region "loop" code ] }
+    | w -> Printf.ksprintf failwith "unknown workload %S" w
+end
+
+module Mips_port =
+  Make_port
+    (Vmips.Mips_backend)
+    (struct
+      module S = Vmips.Mips_sim
+
+      type t = S.t
+
+      let create ?(cfg = Vmachine.Mconfig.dec5000) ?telemetry ?trace ~predecode ~blocks () =
+        S.create ?telemetry ?trace ~predecode ~blocks cfg
+
+      let mem (m : t) = m.S.mem
+      let insns (m : t) = m.S.insns
+      let cycles (m : t) = m.S.cycles
+      let reset_stats = S.reset_stats
+      let hot_blocks ~limit (m : t) = Vmachine.Block_cache.hot_blocks ~limit m.S.bc
+      let alias_block (m : t) ~at ~from = Vmachine.Block_cache.alias m.S.bc ~at ~from
+
+      let call_ints ?fuel m ~entry vals =
+        S.call ?fuel m ~entry (List.map (fun v -> S.Int v) vals);
+        S.ret_int m
+    end)
+
+module Sparc_port =
+  Make_port
+    (Vsparc.Sparc_backend)
+    (struct
+      module S = Vsparc.Sparc_sim
+
+      type t = S.t
+
+      let create ?(cfg = Vmachine.Mconfig.dec5000) ?telemetry ?trace ~predecode ~blocks () =
+        S.create ?telemetry ?trace ~predecode ~blocks cfg
+
+      let mem (m : t) = m.S.mem
+      let insns (m : t) = m.S.insns
+      let cycles (m : t) = m.S.cycles
+      let reset_stats = S.reset_stats
+      let hot_blocks ~limit (m : t) = Vmachine.Block_cache.hot_blocks ~limit m.S.bc
+      let alias_block (m : t) ~at ~from = Vmachine.Block_cache.alias m.S.bc ~at ~from
+
+      let call_ints ?fuel m ~entry vals =
+        S.call ?fuel m ~entry (List.map (fun v -> S.Int v) vals);
+        S.ret_int m
+    end)
+
+module Alpha_port =
+  Make_port
+    (Valpha.Alpha_backend)
+    (struct
+      module S = Valpha.Alpha_sim
+
+      type t = S.t
+
+      let create ?(cfg = Vmachine.Mconfig.dec5000) ?telemetry ?trace ~predecode ~blocks () =
+        S.create ?telemetry ?trace ~predecode ~blocks cfg
+
+      let mem (m : t) = m.S.mem
+      let insns (m : t) = m.S.insns
+      let cycles (m : t) = m.S.cycles
+      let reset_stats = S.reset_stats
+      let hot_blocks ~limit (m : t) = Vmachine.Block_cache.hot_blocks ~limit m.S.bc
+      let alias_block (m : t) ~at ~from = Vmachine.Block_cache.alias m.S.bc ~at ~from
+
+      let call_ints ?fuel m ~entry vals =
+        S.call ?fuel m ~entry (List.map (fun v -> S.Int v) vals);
+        S.ret_int m
+    end)
+
+module Ppc_port =
+  Make_port
+    (Vppc.Ppc_backend)
+    (struct
+      module S = Vppc.Ppc_sim
+
+      type t = S.t
+
+      let create ?(cfg = Vmachine.Mconfig.dec5000) ?telemetry ?trace ~predecode ~blocks () =
+        S.create ?telemetry ?trace ~predecode ~blocks cfg
+
+      let mem (m : t) = m.S.mem
+      let insns (m : t) = m.S.insns
+      let cycles (m : t) = m.S.cycles
+      let reset_stats = S.reset_stats
+      let hot_blocks ~limit (m : t) = Vmachine.Block_cache.hot_blocks ~limit m.S.bc
+      let alias_block (m : t) ~at ~from = Vmachine.Block_cache.alias m.S.bc ~at ~from
+
+      let call_ints ?fuel m ~entry vals =
+        S.call ?fuel m ~entry (List.map (fun v -> S.Int v) vals);
+        S.ret_int m
+    end)
+
+(* ------------------------------------------------------------------ *)
+(* Name tables — the single copy of the CLI vocabulary                 *)
+
+let ports : (string * (module PORT)) list =
+  [
+    ("mips", (module Mips_port));
+    ("sparc", (module Sparc_port));
+    ("alpha", (module Alpha_port));
+    ("ppc", (module Ppc_port));
+  ]
+
+(* mode name -> (predecode, blocks) *)
+let modes =
+  [ ("off", (false, false)); ("predecode", (true, false)); ("blocks", (true, true)) ]
+
+let workload_names = [ "dpf-classify"; "table4-ash"; "alu-loop" ]
+let port_names = List.map fst ports
+let mode_names = List.map fst modes
+let find_port name = List.assoc_opt name ports
+let mode_flags name = List.assoc_opt name modes
+
+(* resolve-or-die helpers for the command-line tools; [tool] prefixes
+   the error message *)
+let port_exn ~tool name =
+  match find_port name with
+  | Some p -> p
+  | None ->
+    Printf.eprintf "%s: unknown port %S (%s)\n" tool name (String.concat "|" port_names);
+    exit 1
+
+let mode_exn ~tool name =
+  match mode_flags name with
+  | Some f -> f
+  | None ->
+    Printf.eprintf "%s: unknown mode %S (%s)\n" tool name (String.concat "|" mode_names);
+    exit 1
+
+let workload_exn ~tool name =
+  if List.mem name workload_names then name
+  else begin
+    Printf.eprintf "%s: unknown workload %S (%s)\n" tool name
+      (String.concat "|" workload_names);
+    exit 1
+  end

@@ -60,6 +60,7 @@ type 'b t = {
   mutable invalidations : int;
   tel : Telemetry.t;               (* stats mirror + block-length dist +
                                       ring events; disabled -> scratch *)
+  tr : Trace.t;                    (* Inval markers; disabled -> scratch *)
   c_compiles : Telemetry.counter;
   c_evicts : Telemetry.counter;
   c_invals : Telemetry.counter;
@@ -71,7 +72,8 @@ type 'b t = {
 
 let initial_words = 4096
 
-let create ?(tel = Telemetry.disabled) ?(name = "bc") ~mem_bytes ~len_bytes () =
+let create ?(tel = Telemetry.disabled) ?(trace = Trace.disabled) ?(name = "bc")
+    ~mem_bytes ~len_bytes () =
   let limit_words = (mem_bytes + 3) / 4 in
   let words = min initial_words limit_words in
   {
@@ -84,6 +86,7 @@ let create ?(tel = Telemetry.disabled) ?(name = "bc") ~mem_bytes ~len_bytes () =
     compiles = 0;
     invalidations = 0;
     tel;
+    tr = trace;
     c_compiles = Telemetry.counter tel (name ^ ".compiles");
     c_evicts = Telemetry.counter tel (name ^ ".evictions");
     c_invals = Telemetry.counter tel (name ^ ".invalidations");
@@ -167,7 +170,8 @@ let invalidate t addr len =
       t.dirty <- true;
       t.invalidations <- t.invalidations + 1;
       Telemetry.bump t.tel t.c_invals;
-      Telemetry.event t.tel Telemetry.Smc_retire ~a:addr ~b:len
+      Telemetry.event t.tel Telemetry.Smc_retire ~a:addr ~b:len;
+      Trace.mark t.tr Trace.Inval addr
     end
   end
 
@@ -177,6 +181,7 @@ let clear t =
     t.invalidations <- t.invalidations + 1;
     Telemetry.bump t.tel t.c_invals;
     Telemetry.event t.tel Telemetry.Cache_invalidate ~a:t.lo ~b:(t.hi - t.lo);
+    Trace.mark t.tr Trace.Inval t.lo;
     t.dirty <- true;
     let w1 = min ((t.hi - 1) lsr 2) (Array.length t.slots - 1) in
     for w = t.lo lsr 2 to w1 do
@@ -212,3 +217,27 @@ let stats t = (t.compiles, t.invalidations)
 let reset_stats t =
   t.compiles <- 0;
   t.invalidations <- 0
+
+(* Fault-injection hook for the trace differ (bin/vtrace.ml --inject,
+   test/test_trace.ml): make entry [at] answer with the block compiled
+   for [from], i.e. a deliberately wrong translation.  The dispatch
+   loop then executes [from]'s instructions when control reaches [at]
+   — exactly the class of translation-cache corruption the cross-mode
+   differ exists to localize.  [false] when no block is resident at
+   [from] or [at] is out of range.  The aliased slot is dropped by
+   invalidation like any other (it covers [from]'s byte range, so a
+   store near [at] may *miss* it — which is the point: a stale
+   mapping). *)
+let alias t ~at ~from =
+  match find t from with
+  | None -> false
+  | Some b ->
+    let idx = at lsr 2 in
+    if at land 3 <> 0 || idx >= t.limit_words then false
+    else begin
+      if idx >= Array.length t.slots then grow t idx;
+      t.slots.(idx) <- Some b;
+      if at < t.lo then t.lo <- at;
+      if at + 4 > t.hi then t.hi <- at + 4;
+      true
+    end

@@ -34,9 +34,17 @@ type 'b t
     ([<name>.compiles], [<name>.evictions], [<name>.invalidations],
     the [<name>.block_len] distribution and the corresponding ring
     events) and enable the per-entry execution profile behind
-    {!note_exec}/{!hot_blocks}; the default is the disabled sink. *)
+    {!note_exec}/{!hot_blocks}; the default is the disabled sink.
+    [trace] mirrors invalidations that actually dropped blocks into a
+    {!Trace} ring as [Inval] markers. *)
 val create :
-  ?tel:Telemetry.t -> ?name:string -> mem_bytes:int -> len_bytes:('b -> int) -> unit -> 'b t
+  ?tel:Telemetry.t ->
+  ?trace:Trace.t ->
+  ?name:string ->
+  mem_bytes:int ->
+  len_bytes:('b -> int) ->
+  unit ->
+  'b t
 
 (** the block compiled for entry address [addr], if resident.
     Misaligned and out-of-memory addresses miss.  No hit counter is
@@ -80,3 +88,10 @@ val hot_blocks : ?limit:int -> 'b t -> (int * int) list
 val stats : 'b t -> int * int
 
 val reset_stats : 'b t -> unit
+
+(** fault-injection hook for the trace differ: make entry [at] answer
+    with the block resident at [from] — a deliberately stale
+    translation, so a blocks-mode run diverges from the interpreter at
+    [at]'s next dispatch.  [false] when nothing is resident at [from]
+    or [at] is misaligned/out of range.  Test/tool use only. *)
+val alias : 'b t -> at:int -> from:int -> bool

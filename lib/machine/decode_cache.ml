@@ -35,13 +35,15 @@ type 'a t = {
   tel : Telemetry.t;               (* mirror of the two stats above; the
                                       disabled sink makes the mirroring
                                       stores land in scratch *)
+  tr : Trace.t;                    (* Inval markers; disabled -> scratch *)
   c_fills : Telemetry.counter;
   c_invals : Telemetry.counter;
 }
 
 let initial_words = 4096 (* covers 16KB of code before the first growth *)
 
-let create ?(tel = Telemetry.disabled) ?(name = "pdc") ~mem_bytes () =
+let create ?(tel = Telemetry.disabled) ?(trace = Trace.disabled) ?(name = "pdc")
+    ~mem_bytes () =
   let limit_words = (mem_bytes + 3) / 4 in
   {
     slots = Array.make (min initial_words limit_words) None;
@@ -51,6 +53,7 @@ let create ?(tel = Telemetry.disabled) ?(name = "pdc") ~mem_bytes () =
     fills = 0;
     invalidations = 0;
     tel;
+    tr = trace;
     c_fills = Telemetry.counter tel (name ^ ".fills");
     c_invals = Telemetry.counter tel (name ^ ".invalidations");
   }
@@ -104,6 +107,7 @@ let invalidate t addr len =
     t.invalidations <- t.invalidations + 1;
     Telemetry.bump t.tel t.c_invals;
     Telemetry.event t.tel Telemetry.Cache_invalidate ~a:addr ~b:len;
+    Trace.mark t.tr Trace.Inval addr;
     let w0 = max (addr lsr 2) (t.lo lsr 2) in
     let w1 = min ((addr + len - 1) lsr 2) ((t.hi - 1) lsr 2) in
     let w1 = min w1 (Array.length t.slots - 1) in

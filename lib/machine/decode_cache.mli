@@ -24,8 +24,10 @@ type 'a t
     mirror the fill/invalidation statistics into a {!Telemetry} sink as
     [<name>.fills] / [<name>.invalidations] (plus [Cache_invalidate]
     events); the default is the disabled sink, which reduces the
-    mirroring to scratch stores. *)
-val create : ?tel:Telemetry.t -> ?name:string -> mem_bytes:int -> unit -> 'a t
+    mirroring to scratch stores.  [trace] mirrors invalidations into a
+    {!Trace} ring as [Inval] markers. *)
+val create :
+  ?tel:Telemetry.t -> ?trace:Trace.t -> ?name:string -> mem_bytes:int -> unit -> 'a t
 
 (** [find t addr] is the cached decoded instruction at byte address
     [addr], or [None] if it must be fetched and decoded (then recorded

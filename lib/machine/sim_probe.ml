@@ -17,6 +17,7 @@
 
 type t = {
   tel : Telemetry.t;
+  tr : Trace.t; (* fault/abort markers; the disabled sink is scratch *)
   enabled : bool;
   retired : Telemetry.counter;
   faults : Telemetry.counter;
@@ -30,9 +31,10 @@ type t = {
 let mode_name ~predecode ~blocks =
   if blocks then "blocks" else if predecode then "predecode" else "off"
 
-let create tel ~port ~predecode ~blocks =
+let create ?(trace = Trace.disabled) tel ~port ~predecode ~blocks =
   {
     tel;
+    tr = trace;
     enabled = Telemetry.is_enabled tel;
     retired = Telemetry.counter tel (port ^ ".retired." ^ mode_name ~predecode ~blocks);
     faults = Telemetry.counter tel (port ^ ".faults");
@@ -52,13 +54,16 @@ let retired p n = Telemetry.add p.tel p.retired n
 (* a fault escaped the run loop *)
 let fault p ~pc =
   Telemetry.bump p.tel p.faults;
-  Telemetry.event p.tel Telemetry.Trap ~a:pc ~b:0
+  Telemetry.event p.tel Telemetry.Trap ~a:pc ~b:0;
+  Trace.mark p.tr Trace.Fault pc
 
 (* a running block aborted via the dirty/Retired protocol after
-   retiring instruction [i] of the block at [entry] *)
+   retiring instruction [i] of the block at [entry]; every port's
+   instructions are 4 bytes, so the aborting pc is [entry + 4*i] *)
 let abort p ~entry ~i =
   Telemetry.bump p.tel p.smc_retires;
-  Telemetry.event p.tel Telemetry.Block_abort ~a:entry ~b:i
+  Telemetry.event p.tel Telemetry.Block_abort ~a:entry ~b:i;
+  Trace.mark p.tr Trace.Smc_abort (entry + (4 * i))
 
 (* one compiled-block execution ([exec_chain] entry, self-loops
    included); only called when [enabled] *)

@@ -6,7 +6,12 @@
 
 type t
 
-val create : Telemetry.t -> port:string -> predecode:bool -> blocks:bool -> t
+(** [trace] additionally mirrors faults and SMC aborts into a
+    {!Trace} ring as [Fault]/[Smc_abort] markers, so the trace streams
+    carry the same exceptional events the telemetry ring does;
+    defaults to the branch-free disabled sink *)
+val create :
+  ?trace:Trace.t -> Telemetry.t -> port:string -> predecode:bool -> blocks:bool -> t
 
 (** whether the underlying sink records anything; simulators use this
     to skip the per-block instrumentation calls entirely *)

@@ -1,0 +1,334 @@
+(* Execution tracing for the four CPU simulators.
+
+   {!Telemetry} answers "how many" — aggregate counters and
+   distributions; this module answers "what, exactly, in what order":
+   a per-simulator stream of retired-instruction and marker records
+   captured into a preallocated int-array ring.  The intended use is
+   the cross-mode differ (bin/vtrace.ml): run the same workload under
+   two engine modes, extract the two retired-pc streams and report the
+   first ordinal where they disagree — turning the bit-identity test
+   suites' pass/fail into a bisection tool for translation-cache bugs.
+
+   Hot-path discipline (the same as Telemetry's):
+
+   - a record is ONE int: the kind tag in bits 48+, the payload (a
+     simulated address — far below 2^48 on every port) in the low 48.
+     Retired-instruction records are the overwhelming majority and
+     carry kind 0, so [retire] skips even the tag arithmetic: one
+     unsafe store plus a counter increment;
+
+   - the {!disabled} sink is a shared 1-slot scratch ring with mask 0,
+     so every record any site can emit lands in scratch — the sites
+     stay branch-free stores with no allocation, and a simulator
+     created without a trace behaves bit-identically (pinned by
+     test/test_trace.ml in the style of test_telemetry_overhead.ml);
+
+   - once the ring is full new records overwrite the oldest; [seen]
+     keeps the true total, so [dropped] is exact.
+
+   Tracing never touches the simulated clock or the timing {!Cache}
+   statistics: a traced and an untraced run retire the same
+   instructions in the same cycles. *)
+
+type kind =
+  | Retire       (* one instruction issued at [payload] (pc) *)
+  | Block_enter  (* compiled-block dispatch at [payload] (entry) *)
+  | Fault        (* Machine_error / Mem.Fault escaped at [payload] (pc) *)
+  | Smc_abort    (* dirty/Retired block abort; [payload] = aborting insn *)
+  | Inval        (* predecode/translation state dropped at [payload] *)
+  | Mark         (* tool-defined checkpoint; payload is caller's *)
+
+let kind_to_int = function
+  | Retire -> 0
+  | Block_enter -> 1
+  | Fault -> 2
+  | Smc_abort -> 3
+  | Inval -> 4
+  | Mark -> 5
+
+let kind_of_int = function
+  | 0 -> Retire
+  | 1 -> Block_enter
+  | 2 -> Fault
+  | 3 -> Smc_abort
+  | 4 -> Inval
+  | _ -> Mark
+
+let kind_name = function
+  | Retire -> "retire"
+  | Block_enter -> "block_enter"
+  | Fault -> "fault"
+  | Smc_abort -> "smc_abort"
+  | Inval -> "inval"
+  | Mark -> "mark"
+
+(* record packing: kind in bits 48.., payload in the low 48 *)
+let payload_bits = 48
+let payload_mask = (1 lsl payload_bits) - 1
+
+type t = {
+  on : bool;
+  ring : int array;
+  mask : int; (* capacity - 1 (power of two); 0 on the disabled sink *)
+  mutable seen : int;
+}
+
+(* capacity bounds: 2^8 keeps unit tests cheap, 2^24 (128MB of ints)
+   is already far past any workload this repo simulates in one call *)
+let min_capacity_pow2 = 8
+let max_capacity_pow2 = 24
+let default_capacity_pow2 = 16
+
+let create ?(capacity_pow2 = default_capacity_pow2) () =
+  let p = min max_capacity_pow2 (max min_capacity_pow2 capacity_pow2) in
+  { on = true; ring = Array.make (1 lsl p) 0; mask = (1 lsl p) - 1; seen = 0 }
+
+(* the shared no-op sink: mask 0 folds every store into one scratch
+   slot, so instrumentation sites need no enabled test *)
+let disabled = { on = false; ring = Array.make 1 0; mask = 0; seen = 0 }
+
+let is_enabled t = t.on
+
+(* one instruction issued at [pc] — the hot record.  Emitted *before*
+   the instruction executes (issue order), so a faulting instruction is
+   the last record of its stream in every engine mode. *)
+let[@inline] retire t pc =
+  Array.unsafe_set t.ring (t.seen land t.mask) pc;
+  t.seen <- t.seen + 1
+
+(* a marker record; also branch-free on the disabled sink *)
+let[@inline] mark t k payload =
+  Array.unsafe_set t.ring (t.seen land t.mask)
+    ((kind_to_int k lsl payload_bits) lor (payload land payload_mask));
+  t.seen <- t.seen + 1
+
+(* ------------------------------------------------------------------ *)
+(* Reading the ring (cold)                                             *)
+
+let capacity t = t.mask + 1
+let seen t = t.seen
+let retained t = if t.on then min t.seen (t.mask + 1) else 0
+let dropped t = if t.on then max 0 (t.seen - (t.mask + 1)) else 0
+let reset t = if t.on then t.seen <- 0
+
+let[@inline] decode w = (kind_of_int (w lsr payload_bits), w land payload_mask)
+
+(* retained records, oldest first *)
+let records t =
+  let n = retained t in
+  let first = t.seen - n in
+  Array.init n (fun j -> decode t.ring.((first + j) land t.mask))
+
+(* just the retired-instruction pcs, oldest retained first — the
+   differ's input *)
+let retired_pcs t =
+  let n = retained t in
+  let first = t.seen - n in
+  let acc = Array.make n 0 in
+  let k = ref 0 in
+  for j = 0 to n - 1 do
+    let w = t.ring.((first + j) land t.mask) in
+    if w lsr payload_bits = 0 then begin
+      acc.(!k) <- w land payload_mask;
+      incr k
+    end
+  done;
+  Array.sub acc 0 !k
+
+(* ------------------------------------------------------------------ *)
+(* The differ                                                          *)
+
+type divergence = {
+  ordinal : int;  (* 0-based retired-instruction index of the mismatch *)
+  a_pc : int;     (* -1: stream [a] ended before [ordinal] *)
+  b_pc : int;     (* -1: stream [b] ended before [ordinal] *)
+}
+
+(* First position where two retired-pc streams disagree, [None] when
+   one is a prefix of the other and lengths match... streams of equal
+   content and length are identical; a short stream that is a strict
+   prefix of the other diverges at its end (the longer stream kept
+   retiring). *)
+let first_divergence a b =
+  let na = Array.length a and nb = Array.length b in
+  let n = min na nb in
+  let rec go i =
+    if i < n then
+      if a.(i) <> b.(i) then Some { ordinal = i; a_pc = a.(i); b_pc = b.(i) } else go (i + 1)
+    else if na = nb then None
+    else
+      Some
+        {
+          ordinal = n;
+          a_pc = (if na > n then a.(n) else -1);
+          b_pc = (if nb > n then b.(n) else -1);
+        }
+  in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Exporters                                                           *)
+
+(* JSON schema version of the Chrome trace_event export; bumped on any
+   incompatible change and asserted by bench/json_check.exe
+   --require-schema in runtest and CI. *)
+let json_schema_version = 1
+
+(* Compact binary format, version 1 (all integers little-endian):
+     "VTRC"                     4-byte magic
+     u32  version
+     u16+bytes                  port   (length-prefixed)
+     u16+bytes                  mode
+     u16+bytes                  workload
+     u64  seen                  records ever emitted
+     u64  dropped               seen - retained
+     u64  count                 retained records that follow
+     count * u64                (kind << 48) | payload, oldest first *)
+let binary_version = 1
+
+let put_u16 oc v =
+  output_byte oc (v land 0xff);
+  output_byte oc ((v lsr 8) land 0xff)
+
+let put_u32 oc v =
+  put_u16 oc (v land 0xffff);
+  put_u16 oc ((v lsr 16) land 0xffff)
+
+let put_u64 oc v =
+  put_u32 oc (v land 0xffffffff);
+  put_u32 oc ((v lsr 32) land 0x7fffffff)
+
+let put_str oc s =
+  if String.length s > 0xffff then invalid_arg "Trace.write_binary: string too long";
+  put_u16 oc (String.length s);
+  output_string oc s
+
+let write_binary oc ~port ~mode ~workload t =
+  output_string oc "VTRC";
+  put_u32 oc binary_version;
+  put_str oc port;
+  put_str oc mode;
+  put_str oc workload;
+  put_u64 oc t.seen;
+  put_u64 oc (dropped t);
+  let n = retained t in
+  put_u64 oc n;
+  let first = t.seen - n in
+  for j = 0 to n - 1 do
+    put_u64 oc t.ring.((first + j) land t.mask)
+  done
+
+type dump = {
+  d_port : string;
+  d_mode : string;
+  d_workload : string;
+  d_seen : int;
+  d_dropped : int;
+  d_records : (kind * int) array;
+}
+
+exception Corrupt of string
+
+let get_byte ic =
+  match input_char ic with
+  | c -> Char.code c
+  | exception End_of_file -> raise (Corrupt "truncated trace file")
+
+let get_u16 ic =
+  let a = get_byte ic in
+  a lor (get_byte ic lsl 8)
+
+let get_u32 ic =
+  let a = get_u16 ic in
+  a lor (get_u16 ic lsl 16)
+
+let get_u64 ic =
+  let a = get_u32 ic in
+  a lor (get_u32 ic lsl 32)
+
+let get_str ic =
+  let n = get_u16 ic in
+  let b = Bytes.create n in
+  (try really_input ic b 0 n with End_of_file -> raise (Corrupt "truncated string"));
+  Bytes.to_string b
+
+let read_binary ic =
+  let magic = Bytes.create 4 in
+  (try really_input ic magic 0 4 with End_of_file -> raise (Corrupt "no magic"));
+  if Bytes.to_string magic <> "VTRC" then raise (Corrupt "bad magic (not a VTRC trace)");
+  let v = get_u32 ic in
+  if v <> binary_version then raise (Corrupt (Printf.sprintf "unsupported version %d" v));
+  let d_port = get_str ic in
+  let d_mode = get_str ic in
+  let d_workload = get_str ic in
+  let d_seen = get_u64 ic in
+  let d_dropped = get_u64 ic in
+  let count = get_u64 ic in
+  if count < 0 || count > 1 lsl max_capacity_pow2 then
+    raise (Corrupt (Printf.sprintf "implausible record count %d" count));
+  let d_records = Array.init count (fun _ -> decode (get_u64 ic)) in
+  { d_port; d_mode; d_workload; d_seen; d_dropped; d_records }
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace_event JSON (Perfetto / chrome://tracing loadable)      *)
+
+let json_escape b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+(* The export is the "JSON object format": a top-level object whose
+   [traceEvents] array Perfetto renders and whose extra keys it keeps
+   as metadata.  Retired instructions become "X" (complete) events of
+   duration 1 on tid 1, one tick per ordinal, so the instruction
+   stream reads left-to-right on the timeline; block dispatches land
+   on tid 2; faults/aborts/invalidations are "i" (instant) events.
+   [symbol] maps a simulated address to an emit-site name (from
+   {!Vcodebase.Gen} provenance); addresses it declines are rendered as
+   hex. *)
+let write_chrome b ?(symbol = fun _ -> None) ~port ~mode ~workload t =
+  let name_of addr =
+    match symbol addr with Some s -> s | None -> Printf.sprintf "0x%x" addr
+  in
+  Buffer.add_string b "{";
+  Buffer.add_string b (Printf.sprintf "\"schema\": %d, " json_schema_version);
+  Buffer.add_string b "\"tool\": \"vtrace\", ";
+  let str k v =
+    Buffer.add_string b "\"";
+    json_escape b k;
+    Buffer.add_string b "\": \"";
+    json_escape b v;
+    Buffer.add_string b "\", "
+  in
+  str "port" port;
+  str "mode" mode;
+  str "workload" workload;
+  Buffer.add_string b (Printf.sprintf "\"seen\": %d, " t.seen);
+  Buffer.add_string b (Printf.sprintf "\"dropped\": %d, " (dropped t));
+  Buffer.add_string b "\"displayTimeUnit\": \"ns\", ";
+  Buffer.add_string b "\"traceEvents\": [";
+  let recs = records t in
+  let emitted = ref 0 in
+  Array.iteri
+    (fun ts (k, payload) ->
+      let common name ph tid extra =
+        if !emitted > 0 then Buffer.add_string b ",";
+        incr emitted;
+        Buffer.add_string b "\n  {\"name\": \"";
+        json_escape b name;
+        Buffer.add_string b
+          (Printf.sprintf
+             "\", \"ph\": \"%s\", \"ts\": %d, %s\"pid\": 1, \"tid\": %d, \"args\": {\"addr\": \"0x%x\", \"kind\": \"%s\"}}"
+             ph ts extra tid payload (kind_name k))
+      in
+      match k with
+      | Retire -> common (name_of payload) "X" 1 "\"dur\": 1, "
+      | Block_enter -> common (name_of payload) "X" 2 "\"dur\": 1, "
+      | Fault | Smc_abort | Inval | Mark -> common (kind_name k) "i" 1 "\"s\": \"t\", ")
+    recs;
+  Buffer.add_string b "\n]}\n"

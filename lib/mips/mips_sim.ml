@@ -28,6 +28,7 @@ type t = {
   bc : block Block_cache.t; (* superblock translation cache; no cycle effect *)
   blocks : bool;
   probe : Sim_probe.t;      (* shared telemetry probe; never touches timing *)
+  tr : Trace.t;             (* execution trace; the disabled sink is scratch *)
   cfg : Mconfig.t;
   regs : int array;   (* 32, sign-extended 32-bit *)
   fregs : int array;  (* 32, raw 32-bit patterns; doubles use even pairs *)
@@ -57,10 +58,12 @@ and block = {
 }
 
 let create ?(predecode = true) ?(blocks = true)
-    ?(telemetry = Telemetry.disabled) (cfg : Mconfig.t) =
+    ?(telemetry = Telemetry.disabled) ?(trace = Trace.disabled) (cfg : Mconfig.t) =
   let mem = Mem.create ~big_endian:false ~size:cfg.mem_bytes () in
-  let pdc = Decode_cache.create ~tel:telemetry ~name:"mips.pdc" ~mem_bytes:cfg.mem_bytes () in
-  let bc = Block_cache.create ~tel:telemetry ~name:"mips.bc" ~mem_bytes:cfg.mem_bytes
+  let pdc =
+    Decode_cache.create ~tel:telemetry ~trace ~name:"mips.pdc" ~mem_bytes:cfg.mem_bytes ()
+  in
+  let bc = Block_cache.create ~tel:telemetry ~trace ~name:"mips.bc" ~mem_bytes:cfg.mem_bytes
       ~len_bytes:(fun b -> 4 * b.n) () in
   Mem.add_write_watcher mem (Decode_cache.invalidate pdc);
   Mem.add_write_watcher mem (Block_cache.invalidate bc);
@@ -70,7 +73,8 @@ let create ?(predecode = true) ?(blocks = true)
     predecode;
     bc;
     blocks;
-    probe = Sim_probe.create telemetry ~port:"mips" ~predecode ~blocks;
+    probe = Sim_probe.create ~trace telemetry ~port:"mips" ~predecode ~blocks;
+    tr = trace;
     icache = Cache.create ~size_bytes:cfg.icache_bytes ~line_bytes:cfg.line_bytes
                ~miss_penalty:cfg.imiss_penalty;
     dcache = Cache.create ~size_bytes:cfg.dcache_bytes ~line_bytes:cfg.line_bytes
@@ -701,6 +705,22 @@ let compile_block m entry =
           act ()
       else act
     in
+    (* Traced runs re-bind [wrap] so every per-insn closure records its
+       issue before acting — issue order matches the interpreter's
+       retire stream exactly, including a faulting instruction being the
+       last record.  Untraced compilation takes the [if] arm above
+       untouched, so its closures are the exact same values as before
+       tracing existed (bit-identical behaviour, zero overhead). *)
+    let wrap =
+      if not (Trace.is_enabled m.tr) then wrap
+      else
+        fun i ra ->
+          let f = wrap i ra in
+          let addr = entry + (4 * i) in
+          fun () ->
+            Trace.retire m.tr addr;
+            f ()
+    in
     (* the commit is one more cannot-raise action fused onto the end:
        if anything earlier raises, it never runs, and the fixup
        handlers in [exec_chain] account the partial run instead *)
@@ -734,6 +754,7 @@ let compile_block m entry =
      interpreter increments [insns] before executing), pc names it and
      npc its successor — just as [run_go] would leave them. *)
 let rec exec_chain m (b : block) fuel =
+  Trace.mark m.tr Trace.Block_enter b.entry;
   if Sim_probe.enabled m.probe then begin
     Sim_probe.block_exec m.probe ~entry:b.entry;
     Block_cache.note_exec m.bc b.entry
@@ -787,6 +808,7 @@ let step m =
   let mi0 = Cache.misses m.icache in
   (let p = Cache.access_uncounted m.icache m.pc in
    if p <> 0 then m.cycles <- m.cycles + p);
+  Trace.retire m.tr m.pc;
   step_inner m m.pc;
   m.cycles <- m.cycles + 1;
   Cache.add_hits m.icache (1 - (Cache.misses m.icache - mi0))
@@ -803,6 +825,7 @@ let rec run_go m tags shift mask fuel =
     if Array.unsafe_get tags (line land mask) <> line then
       (let p = Cache.access_uncounted m.icache pc in
        if p <> 0 then m.cycles <- m.cycles + p);
+    Trace.retire m.tr pc;
     step_inner m pc;
     run_go m tags shift mask (fuel - 1)
   end
@@ -815,6 +838,7 @@ let[@inline] step_one m tags shift mask =
   if Array.unsafe_get tags (line land mask) <> line then
     (let p = Cache.access_uncounted m.icache pc in
      if p <> 0 then m.cycles <- m.cycles + p);
+  Trace.retire m.tr pc;
   step_inner m pc
 
 (* Block-dispatch run loop: resident block -> [exec_chain]; no block

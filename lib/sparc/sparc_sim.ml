@@ -28,6 +28,7 @@ type t = {
   bc : block Block_cache.t; (* superblock translation cache; no cycle effect *)
   blocks : bool;
   probe : Sim_probe.t;      (* shared telemetry probe; never touches timing *)
+  tr : Trace.t;             (* execution trace; the disabled sink is scratch *)
   cfg : Mconfig.t;
   globals : int array;              (* g0-g7; g0 pinned to 0 *)
   wins : int array;                 (* nwindows * 16: locals + ins *)
@@ -63,10 +64,10 @@ and block = {
 }
 
 let create ?(predecode = true) ?(blocks = true)
-    ?(telemetry = Telemetry.disabled) (cfg : Mconfig.t) =
+    ?(telemetry = Telemetry.disabled) ?(trace = Trace.disabled) (cfg : Mconfig.t) =
   let mem = Mem.create ~big_endian:true ~size:cfg.mem_bytes () in
-  let pdc = Decode_cache.create ~tel:telemetry ~name:"sparc.pdc" ~mem_bytes:cfg.mem_bytes () in
-  let bc = Block_cache.create ~tel:telemetry ~name:"sparc.bc" ~mem_bytes:cfg.mem_bytes
+  let pdc = Decode_cache.create ~tel:telemetry ~trace ~name:"sparc.pdc" ~mem_bytes:cfg.mem_bytes () in
+  let bc = Block_cache.create ~tel:telemetry ~trace ~name:"sparc.bc" ~mem_bytes:cfg.mem_bytes
       ~len_bytes:(fun b -> 4 * b.n) () in
   Mem.add_write_watcher mem (Decode_cache.invalidate pdc);
   Mem.add_write_watcher mem (Block_cache.invalidate bc);
@@ -76,7 +77,8 @@ let create ?(predecode = true) ?(blocks = true)
     predecode;
     bc;
     blocks;
-    probe = Sim_probe.create telemetry ~port:"sparc" ~predecode ~blocks;
+    probe = Sim_probe.create ~trace telemetry ~port:"sparc" ~predecode ~blocks;
+    tr = trace;
     icache = Cache.create ~size_bytes:cfg.icache_bytes ~line_bytes:cfg.line_bytes
                ~miss_penalty:cfg.imiss_penalty;
     dcache = Cache.create ~size_bytes:cfg.dcache_bytes ~line_bytes:cfg.line_bytes
@@ -790,6 +792,19 @@ let compile_block m entry =
           act ()
       else act
     in
+    (* traced runs re-bind [wrap] so each closure records its issue
+       before acting (issue order = the interpreter's retire stream);
+       untraced compilation keeps the exact closures above *)
+    let wrap =
+      if not (Trace.is_enabled m.tr) then wrap
+      else
+        fun i ra ->
+          let f = wrap i ra in
+          let addr = entry + (4 * i) in
+          fun () ->
+            Trace.retire m.tr addr;
+            f ()
+    in
     (* the commit is one more cannot-raise action fused onto the end:
        if anything earlier raises, it never runs, and the fixup
        handlers in [exec_chain] account the partial run instead *)
@@ -816,6 +831,7 @@ let compile_block m entry =
    store-abort, fault) leave exactly the state the interpreter would —
    see the MIPS twin of this function for the case analysis. *)
 let rec exec_chain m (b : block) fuel =
+  Trace.mark m.tr Trace.Block_enter b.entry;
   if Sim_probe.enabled m.probe then begin
     Sim_probe.block_exec m.probe ~entry:b.entry;
     Block_cache.note_exec m.bc b.entry
@@ -865,6 +881,7 @@ let step m =
   let mi0 = Cache.misses m.icache in
   (let p = Cache.access_uncounted m.icache m.pc in
    if p <> 0 then m.cycles <- m.cycles + p);
+  Trace.retire m.tr m.pc;
   step_inner m m.pc;
   m.cycles <- m.cycles + 1;
   Cache.add_hits m.icache (1 - (Cache.misses m.icache - mi0))
@@ -886,6 +903,7 @@ let rec run_go m tags shift mask fuel =
     if Array.unsafe_get tags (line land mask) <> line then
       (let p = Cache.access_uncounted m.icache pc in
        if p <> 0 then m.cycles <- m.cycles + p);
+    Trace.retire m.tr pc;
     step_inner m pc;
     run_go m tags shift mask (fuel - 1)
   end
@@ -898,6 +916,7 @@ let[@inline] step_one m tags shift mask =
   if Array.unsafe_get tags (line land mask) <> line then
     (let p = Cache.access_uncounted m.icache pc in
      if p <> 0 then m.cycles <- m.cycles + p);
+  Trace.retire m.tr pc;
   step_inner m pc
 
 (* Block-dispatch run loop: resident block -> [exec_chain]; no block

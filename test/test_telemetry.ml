@@ -325,13 +325,16 @@ let test_ring_overwrites_oldest () =
   check Alcotest.int "seen keeps the true total" 600 (Tel.events_seen tel);
   let evs = Tel.events tel in
   check Alcotest.int "ring retains 512" 512 (List.length evs);
-  (match evs with
-  | (Tel.Block_chain, 89, 0) :: _ -> ()
-  | (k, a, b) :: _ -> Alcotest.failf "oldest retained is %s a=%d b=%d" (Tel.kind_name k) a b
-  | [] -> Alcotest.fail "empty ring");
-  match List.rev evs with
-  | (Tel.Block_chain, 600, 0) :: _ -> ()
-  | _ -> Alcotest.fail "newest retained should be the last event"
+  (* the retained tail is exactly events 89..600, oldest to newest: the
+     ring drops only the overwritten head and never reorders *)
+  List.iteri
+    (fun idx ev ->
+      match ev with
+      | Tel.Block_chain, a, 0 when a = 89 + idx -> ()
+      | k, a, b ->
+        Alcotest.failf "slot %d holds %s a=%d b=%d (want Block_chain a=%d)" idx
+          (Tel.kind_name k) a b (89 + idx))
+    evs
 
 let test_disabled_sink () =
   let tel = Tel.disabled in
