@@ -55,8 +55,9 @@ let json_float v =
 
 (* version of the --json document layout; bump when keys change.
    bench/json_check.exe --require-schema pins it in the test suite.
-   (1 = pre-schema-field dumps; 2 added this field.) *)
-let json_schema_version = 2
+   (1 = pre-schema-field dumps; 2 added this field; 3 added the
+   sim-throughput regions tier and the region-loop workload rows.) *)
+let json_schema_version = 3
 
 let write_json path =
   let items = List.rev !json_results in
@@ -686,16 +687,18 @@ let bench_wallclock () =
 
 (* ------------------------------------------------------------------ *)
 (* Section: sim-throughput -- host-side simulator speed (simulated
-   instructions retired per host second) in three engine modes:
+   instructions retired per host second) in four engine modes:
    plain interpretation ("off"), the shared predecode layer
-   (Vmachine.Decode_cache, "predecode"), and superblock translation on
-   top of predecode (Vmachine.Block_cache, "blocks").  This measures
-   the harness itself, not the paper: the simulated cycle counts are
-   bit-identical in all three modes (test/test_decode_cache.ml and
-   test/test_block_cache.ml pin that). *)
+   (Vmachine.Decode_cache, "predecode"), superblock translation on
+   top of predecode (Vmachine.Block_cache, "blocks"), and hot-trace
+   region recompilation on top of blocks (Vmachine.Region_cache,
+   "regions").  This measures the harness itself, not the paper: the
+   simulated cycle counts are bit-identical in all four modes
+   (test/test_decode_cache.ml, test/test_block_cache.ml and
+   test/test_smc_fuzz.ml pin that). *)
 
-(* (interpreter, predecode, predecode+blocks) insns/sec *)
-type tput_rates = { r_off : float; r_pre : float; r_blk : float }
+(* (interpreter, predecode, +blocks, +regions) insns/sec *)
+type tput_rates = { r_off : float; r_pre : float; r_blk : float; r_reg : float }
 
 (* The port adapters and workload fixtures live in {!Workloads}
    (lib/harness), shared with bin/vprof.exe and bin/vtrace.exe; this
@@ -708,8 +711,8 @@ type tput_rates = { r_off : float; r_pre : float; r_blk : float }
    happened to run last, and a bad window can only deflate a single
    round. *)
 let tput_rates (module P : Workloads.PORT) ~cfg ~workload ~iters =
-  let setup ~predecode ~blocks =
-    let m = P.create ~cfg ~predecode ~blocks () in
+  let setup ~predecode ~blocks ~regions =
+    let m = P.create ~cfg ~predecode ~blocks ~regions () in
     let prep = P.prepare m ~workload ~iters in
     prep.Workloads.run ();
     (* warm *)
@@ -725,19 +728,23 @@ let tput_rates (module P : Workloads.PORT) ~cfg ~workload ~iters =
     done;
     float_of_int (P.insns m) /. !elapsed
   in
-  let m_off = setup ~predecode:false ~blocks:false in
-  let m_pre = setup ~predecode:true ~blocks:false in
-  let m_blk = setup ~predecode:true ~blocks:true in
-  let best_off = ref 0.0 and best_pre = ref 0.0 and best_blk = ref 0.0 in
+  let m_off = setup ~predecode:false ~blocks:false ~regions:false in
+  let m_pre = setup ~predecode:true ~blocks:false ~regions:false in
+  let m_blk = setup ~predecode:true ~blocks:true ~regions:false in
+  let m_reg = setup ~predecode:true ~blocks:true ~regions:true in
+  let best_off = ref 0.0 and best_pre = ref 0.0 in
+  let best_blk = ref 0.0 and best_reg = ref 0.0 in
   for _ = 1 to 3 do
     let r = measure_window m_off in
     if r > !best_off then best_off := r;
     let r = measure_window m_pre in
     if r > !best_pre then best_pre := r;
     let r = measure_window m_blk in
-    if r > !best_blk then best_blk := r
+    if r > !best_blk then best_blk := r;
+    let r = measure_window m_reg in
+    if r > !best_reg then best_reg := r
   done;
-  { r_off = !best_off; r_pre = !best_pre; r_blk = !best_blk }
+  { r_off = !best_off; r_pre = !best_pre; r_blk = !best_blk; r_reg = !best_reg }
 
 (* rates executing a tight generated ALU loop *)
 let loop_rates p = tput_rates p ~cfg:Vmachine.Mconfig.test_config ~workload:"alu-loop" ~iters:10_000
@@ -750,27 +757,39 @@ let dpf_classify_rates () =
     (module Workloads.Mips_port)
     ~cfg:Vmachine.Mconfig.dec5000 ~workload:"dpf-classify" ~iters:1000
 
+(* rates executing the nested region-friendly loop (hot superblock
+   chains with heavily-biased interior branches — the tier-3 showcase) *)
+let region_loop_rates p =
+  tput_rates p ~cfg:Vmachine.Mconfig.test_config ~workload:"region-loop" ~iters:20_000
+
 let bench_sim_throughput () =
   Printf.printf "== sim-throughput (simulated insns per host second) ==\n";
   Printf.printf "   predecode memoizes instruction decode by code address; blocks\n";
-  Printf.printf "   compiles decoded runs into chained closures.  Simulated cycle\n";
-  Printf.printf "   counts are identical in all three modes.\n\n";
-  Printf.printf "   %-8s %-14s %11s %11s %11s %8s %8s\n" "target" "workload" "off (M/s)"
-    "pre (M/s)" "blk (M/s)" "pre/off" "blk/pre";
+  Printf.printf "   compiles decoded runs into chained closures; regions recompile\n";
+  Printf.printf "   hot superblock chains into fused traces.  Simulated cycle\n";
+  Printf.printf "   counts are identical in all four modes.\n\n";
+  Printf.printf "   %-8s %-14s %10s %10s %10s %10s %8s %8s\n" "target" "workload" "off (M/s)"
+    "pre (M/s)" "blk (M/s)" "reg (M/s)" "blk/pre" "reg/blk";
   let row target workload (r : tput_rates) =
     let key m_ = Printf.sprintf "sim_throughput.%s.%s.%s" (slug target) (slug workload) m_ in
     record (key "off_insns_per_sec") r.r_off;
     record (key "predecode_insns_per_sec") r.r_pre;
     record (key "blocks_insns_per_sec") r.r_blk;
+    record (key "regions_insns_per_sec") r.r_reg;
     record (key "predecode_speedup") (r.r_pre /. r.r_off);
     record (key "blocks_speedup") (r.r_blk /. r.r_pre);
     record (key "blocks_total_speedup") (r.r_blk /. r.r_off);
-    Printf.printf "   %-8s %-14s %11.2f %11.2f %11.2f %7.2fx %7.2fx\n" target workload
-      (r.r_off /. 1e6) (r.r_pre /. 1e6) (r.r_blk /. 1e6) (r.r_pre /. r.r_off)
-      (r.r_blk /. r.r_pre)
+    record (key "regions_speedup") (r.r_reg /. r.r_blk);
+    record (key "regions_total_speedup") (r.r_reg /. r.r_off);
+    Printf.printf "   %-8s %-14s %10.2f %10.2f %10.2f %10.2f %7.2fx %7.2fx\n" target workload
+      (r.r_off /. 1e6) (r.r_pre /. 1e6) (r.r_blk /. 1e6) (r.r_reg /. 1e6)
+      (r.r_blk /. r.r_pre) (r.r_reg /. r.r_blk)
   in
   List.iter
     (fun (name, p) -> row name "alu-loop" (loop_rates p))
+    Workloads.ports;
+  List.iter
+    (fun (name, p) -> row name "region-loop" (region_loop_rates p))
     Workloads.ports;
   row "mips" "dpf-classify" (dpf_classify_rates ());
   Printf.printf "\n"

@@ -21,8 +21,11 @@
 module Tel = Vmachine.Telemetry
 module W = Workloads
 
-(* schema version of the --json document; bump when keys change *)
-let json_schema_version = 1
+(* schema version of the --json document; bump when keys change.
+   2: added the per-tier "tiers" object (block/region dispatch counts,
+   promotions, side exits and the side-exit rate) and the "regions"
+   mode. *)
+let json_schema_version = 2
 
 let json_escape s =
   let b = Buffer.create (String.length s + 2) in
@@ -49,10 +52,35 @@ type outcome = {
   o_events_seen : int;
 }
 
+(* the four-tier dispatch profile, extracted from the port's counters *)
+type tiers = {
+  t_block_execs : int;     (* tier-2 superblock dispatches *)
+  t_block_chains : int;
+  t_region_execs : int;    (* tier-3 region dispatches *)
+  t_side_exits : int;      (* specialized branches that went the other way *)
+  t_promotions : int;      (* superblocks recompiled as regions *)
+  t_invalidations : int;   (* region drops from stores into region code *)
+}
+
+let tiers_of (o : outcome) ~port =
+  let c name = Option.value ~default:0 (List.assoc_opt (port ^ "." ^ name) o.o_counters) in
+  {
+    t_block_execs = c "block_execs";
+    t_block_chains = c "block_chains";
+    t_region_execs = c "region_execs";
+    t_side_exits = c "region_side_exits";
+    t_promotions = c "rc.promotions";
+    t_invalidations = c "rc.invalidations";
+  }
+
+let side_exit_rate (t : tiers) =
+  if t.t_region_execs = 0 then 0.0
+  else 100.0 *. float_of_int t.t_side_exits /. float_of_int t.t_region_execs
+
 let measure (module P : W.PORT) ~workload ~mode ~iters =
-  let predecode, blocks = W.mode_exn ~tool:"vprof" mode in
+  let predecode, blocks, regions = W.mode_exn ~tool:"vprof" mode in
   let tel = Tel.create () in
-  let m = P.create ~telemetry:tel ~predecode ~blocks () in
+  let m = P.create ~telemetry:tel ~predecode ~blocks ~regions () in
   let prep = P.prepare ~tel m ~workload ~iters in
   prep.W.run ();
   let collect iter =
@@ -89,6 +117,16 @@ let report ~port ~workload ~mode ~iters ~top (o : outcome) =
           (100.0 *. float_of_int n /. float_of_int total)
           (o.o_disasm addr))
       shown);
+  (* the four-tier dispatch profile *)
+  let t = tiers_of o ~port in
+  Printf.printf "\ntiers:\n";
+  Printf.printf "  %-28s %12d\n" "block execs (tier 2)" t.t_block_execs;
+  Printf.printf "  %-28s %12d\n" "block chains" t.t_block_chains;
+  Printf.printf "  %-28s %12d\n" "region execs (tier 3)" t.t_region_execs;
+  Printf.printf "  %-28s %12d\n" "region promotions" t.t_promotions;
+  Printf.printf "  %-28s %12d\n" "region invalidations" t.t_invalidations;
+  Printf.printf "  %-28s %12d (%.1f%% of region execs)\n" "region side exits"
+    t.t_side_exits (side_exit_rate t);
   (* counters, largest first *)
   let cs = List.filter (fun (_, v) -> v > 0) o.o_counters in
   let cs = List.sort (fun (_, a) (_, b) -> compare b a) cs in
@@ -130,6 +168,13 @@ let write_json path ~port ~workload ~mode ~iters ~top (o : outcome) =
       kvs;
     output_string oc (if kvs = [] then "},\n" else "\n  },\n")
   in
+  let t = tiers_of o ~port in
+  Printf.fprintf oc
+    "  \"tiers\": { \"block_execs\": %d, \"block_chains\": %d, \"region_execs\": %d, \
+     \"region_promotions\": %d, \"region_invalidations\": %d, \"region_side_exits\": %d, \
+     \"side_exit_rate\": %.4f },\n"
+    t.t_block_execs t.t_block_chains t.t_region_execs t.t_promotions t.t_invalidations
+    t.t_side_exits (side_exit_rate t);
   emit_obj "counters" o.o_counters string_of_int;
   emit_obj "dists" o.o_dists (fun (st : Tel.dist_stats) ->
       Printf.sprintf "{ \"count\": %d, \"sum\": %d, \"min\": %d, \"max\": %d }" st.Tel.count
@@ -150,10 +195,14 @@ let workload_arg =
   Arg.(
     value
     & opt string "dpf-classify"
-    & info [ "w"; "workload" ] ~docv:"WORKLOAD" ~doc:"dpf-classify|table4-ash|alu-loop")
+    & info [ "w"; "workload" ] ~docv:"WORKLOAD"
+        ~doc:"dpf-classify|table4-ash|alu-loop|region-loop")
 
 let mode_arg =
-  Arg.(value & opt string "blocks" & info [ "m"; "mode" ] ~docv:"MODE" ~doc:"off|predecode|blocks")
+  Arg.(
+    value
+    & opt string "blocks"
+    & info [ "m"; "mode" ] ~docv:"MODE" ~doc:"off|predecode|blocks|regions")
 
 let top_arg = Arg.(value & opt int 10 & info [ "top" ] ~docv:"N" ~doc:"hot-block rows to print")
 
@@ -164,7 +213,7 @@ let json_arg =
   Arg.(
     value
     & opt (some string) None
-    & info [ "json" ] ~docv:"FILE" ~doc:"also write the report as JSON (schema 1)")
+    & info [ "json" ] ~docv:"FILE" ~doc:"also write the report as JSON (schema 2)")
 
 let main port workload mode top iters json =
   let p = W.port_exn ~tool:"vprof" port in

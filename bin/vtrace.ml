@@ -41,10 +41,10 @@ module W = Workloads
    out-of-fuel exception in the measured pass is reported, not fatal:
    the trace up to that point is exactly what the differ needs. *)
 let traced_run (module P : W.PORT) ~workload ~mode ~iters ~cap ~fuel ?(inject_hot = false) () =
-  let predecode, blocks = W.mode_exn ~tool:"vtrace" mode in
+  let predecode, blocks, regions = W.mode_exn ~tool:"vtrace" mode in
   let tel = Tel.create () in
   let tr = Trace.create ~capacity_pow2:cap () in
-  let m = P.create ~telemetry:tel ~trace:tr ~predecode ~blocks () in
+  let m = P.create ~telemetry:tel ~trace:tr ~predecode ~blocks ~regions () in
   let prep = P.prepare ~tel ~provenance:true ~fuel m ~workload ~iters in
   let abort = ref None in
   let pass () = try prep.W.run () with e -> abort := Some (Printexc.to_string e) in
@@ -184,7 +184,8 @@ let workload_arg =
   Arg.(
     value
     & opt string "alu-loop"
-    & info [ "w"; "workload" ] ~docv:"WORKLOAD" ~doc:"dpf-classify|table4-ash|alu-loop")
+    & info [ "w"; "workload" ] ~docv:"WORKLOAD"
+        ~doc:"dpf-classify|table4-ash|alu-loop|region-loop")
 
 let iters_arg =
   Arg.(value & opt int 200 & info [ "iters" ] ~docv:"N" ~doc:"workload iterations")
@@ -202,7 +203,8 @@ let fuel_arg =
 let capture_cmd =
   let mode_arg =
     Arg.(
-      value & opt string "blocks" & info [ "m"; "mode" ] ~docv:"MODE" ~doc:"off|predecode|blocks")
+      value & opt string "blocks"
+      & info [ "m"; "mode" ] ~docv:"MODE" ~doc:"off|predecode|blocks|regions")
   in
   let bin_arg =
     Arg.(

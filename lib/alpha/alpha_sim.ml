@@ -24,6 +24,8 @@ type t = {
   predecode : bool;
   bc : block Block_cache.t; (* superblock translation cache; no cycle effect *)
   blocks : bool;
+  rc : region Region_cache.t; (* tier-3 region cache; no cycle effect *)
+  regions : bool;
   probe : Sim_probe.t;      (* shared telemetry probe; never touches timing *)
   tr : Trace.t;             (* execution trace; the disabled sink is scratch *)
   cfg : Mconfig.t;
@@ -50,22 +52,43 @@ and block = {
   has_term : bool;      (* ends in a control transfer (vs. capped fallthrough) *)
 }
 
-let create ?(predecode = true) ?(blocks = true)
+(* A tier-3 region (see the MIPS twin for the full commentary): a hot
+   block plus its dominant direct-chained successors fused into one
+   closure per pass, interior branches specialized to their dominant
+   direction with a [Region_cache.Side_exit] guard, and a probe-free
+   fast pass for self-looping traces whose icache lines don't
+   conflict.  Simpler than the delay-slot ports: Alpha terminators
+   never raise, so the abort/fault fixups never involve a branch. *)
+and region = {
+  r_entry : int;
+  r_n : int;                   (* instructions retired per full pass *)
+  r_spans : (int * int) array; (* constituent-block (addr, bytes) *)
+  r_run : unit -> unit;        (* one pass, icache probes included *)
+  r_fast : unit -> unit;       (* one pass, probes elided *)
+  r_addrs : int array;         (* region insn index -> code address *)
+}
+
+let create ?(predecode = true) ?(blocks = true) ?(regions = false)
     ?(telemetry = Telemetry.disabled) ?(trace = Trace.disabled) (cfg : Mconfig.t) =
   let mem = Mem.create ~big_endian:false ~size:cfg.mem_bytes () in
   Alpha_runtime.install mem;
   let pdc = Decode_cache.create ~tel:telemetry ~trace ~name:"alpha.pdc" ~mem_bytes:cfg.mem_bytes () in
   let bc = Block_cache.create ~tel:telemetry ~trace ~name:"alpha.bc" ~mem_bytes:cfg.mem_bytes
       ~len_bytes:(fun b -> 4 * b.n) () in
+  let rc = Region_cache.create ~tel:telemetry ~name:"alpha.rc" ~mem_bytes:cfg.mem_bytes
+      ~spans:(fun r -> r.r_spans) () in
   Mem.add_write_watcher mem (Decode_cache.invalidate pdc);
   Mem.add_write_watcher mem (Block_cache.invalidate bc);
+  if regions then Mem.add_write_watcher mem (Region_cache.invalidate rc);
   {
     mem;
     pdc;
     predecode;
     bc;
     blocks;
-    probe = Sim_probe.create ~trace telemetry ~port:"alpha" ~predecode ~blocks;
+    rc;
+    regions;
+    probe = Sim_probe.create ~trace telemetry ~port:"alpha" ~predecode ~blocks ~regions;
     tr = trace;
     icache = Cache.create ~size_bytes:cfg.icache_bytes ~line_bytes:cfg.line_bytes
                ~miss_penalty:cfg.imiss_penalty;
@@ -615,20 +638,14 @@ let rec seq (cs : (unit -> unit) list) : unit -> unit =
     let r = seq rest in
     fun () -> a (); b (); c (); d (); r ()
 
-(* Compile the straight-line run entered at [entry]: body instructions
-   up to and including the first control transfer, a non-compilable
-   word (illegal, unmapped — left for the interpreter to trap on), or
-   the length cap.  [None] if not even one instruction compiles.
-
-   Timing is baked into the closures: the instruction that starts a new
-   icache line carries the registerized probe (a later same-line fetch
-   is a guaranteed hit — a block spans at most 256 consecutive bytes,
-   far below the icache size, so it cannot evict its own lines, and a
-   guaranteed hit is a no-op under bulk hit reconciliation).  Capturing
-   the tag array here is safe because [Cache.flush] clears it in
-   place. *)
-let compile_block m entry =
-  let tags, shift, mask = Cache.probe m.icache in
+(* Scan the straight-line run entered at [entry]: body instructions up
+   to and including the first control transfer, a non-compilable word
+   (illegal, unmapped — left for the interpreter to trap on), or the
+   length cap.  Returns the per-instruction (can-raise, action) list
+   and whether it ends in a terminator; [None] if not even one
+   instruction compiles.  Shared by the superblock and region
+   compilers. *)
+let scan_run m entry =
   let fetch_opt pc =
     match fetch m pc with
     | i -> Some i
@@ -654,7 +671,22 @@ let compile_block m entry =
   let tail, has_term = match !fin with Some t -> ([ (false, t) ], true) | None -> ([], false) in
   match List.rev_append !body tail with
   | [] -> None
-  | all ->
+  | all -> Some (all, has_term)
+
+(* Compile the straight-line run entered at [entry] into a superblock.
+
+   Timing is baked into the closures: the instruction that starts a new
+   icache line carries the registerized probe (a later same-line fetch
+   is a guaranteed hit — a block spans at most 256 consecutive bytes,
+   far below the icache size, so it cannot evict its own lines, and a
+   guaranteed hit is a no-op under bulk hit reconciliation).  Capturing
+   the tag array here is safe because [Cache.flush] clears it in
+   place. *)
+let compile_block m entry =
+  let tags, shift, mask = Cache.probe m.icache in
+  match scan_run m entry with
+  | None -> None
+  | Some (all, has_term) ->
     let n = List.length all in
     let wrap i (raises, act) =
       let addr = entry + (4 * i) in
@@ -757,6 +789,254 @@ let rec exec_chain m (b : block) fuel =
     m.nextpc <- a + 4;
     raise e
 
+(* ------------------------------------------------------------------ *)
+(* Tier-3 regions: the MIPS twin carries the full commentary; here the
+   branch scratch is [m.nextpc] (terminators write it for both arms, so
+   the guard compares it against the trace's next entry) and the
+   abort/fault fixups never involve a terminator — Alpha terminators
+   cannot raise. *)
+
+let compile_region m entry =
+  let tags, shift, mask = Cache.probe m.icache in
+  let rec collect pc first_len acc nblocks =
+    match scan_run m pc with
+    | None -> List.rev acc
+    | Some (all, has_term) ->
+      let n = List.length all in
+      let acc = (pc, all, has_term, n) :: acc in
+      let nblocks = nblocks + 1 in
+      let succ =
+        if has_term then Region_cache.dominant_succ m.rc pc
+        else Some (pc + (4 * n))
+      in
+      (match succ with
+      | Some s when s land 3 = 0 && s > 0 ->
+        if s = entry then begin
+          let fl = match first_len with None -> nblocks | Some f -> f in
+          if
+            nblocks + fl <= Region_cache.max_blocks
+            && nblocks < Region_cache.max_unroll * fl
+          then collect s (Some fl) acc nblocks
+          else List.rev acc
+        end
+        else if nblocks < Region_cache.max_blocks then collect s first_len acc nblocks
+        else List.rev acc
+      | _ -> List.rev acc)
+  in
+  match collect entry None [] 0 with
+  | [] | [ _ ] -> None (* a single block gains nothing over tier 2 *)
+  | blks ->
+    let blks = Array.of_list blks in
+    let nb = Array.length blks in
+    let r_n = Array.fold_left (fun a (_, _, _, n) -> a + n) 0 blks in
+    let spans = Array.map (fun (p, _, _, n) -> (p, 4 * n)) blks in
+    let addrs = Array.make r_n 0 in
+    let traced = Trace.is_enabled m.tr in
+    (* Unconditional direct branches (br, bsr) pin nextpc statically:
+       a guard matching the trace successor can never fire and is
+       omitted (see the MIPS twin for the rationale). *)
+    let static_jump_target p n =
+      let tpc = p + (4 * (n - 1)) in
+      match fetch m tpc with
+      | A.Br (_, d) | A.Bsr (_, d) -> Some (tpc + 4 + (4 * d))
+      | _ -> None
+      | exception (Machine_error _ | Mem.Fault _) -> None
+    in
+    let probed = ref [] and fastc = ref [] in
+    let push_insn i addr raises act boundary =
+      let line = addr lsr shift in
+      let idx = line land mask in
+      let pr =
+        if boundary then
+          if raises then
+            fun () ->
+              m.blk_i <- i;
+              if Array.unsafe_get tags idx <> line then begin
+                let p = Cache.access_uncounted m.icache addr in
+                if p <> 0 then m.cycles <- m.cycles + p
+              end;
+              act ()
+          else
+            fun () ->
+              if Array.unsafe_get tags idx <> line then begin
+                let p = Cache.access_uncounted m.icache addr in
+                if p <> 0 then m.cycles <- m.cycles + p
+              end;
+              act ()
+        else if raises then
+          fun () ->
+            m.blk_i <- i;
+            act ()
+        else act
+      in
+      let fa =
+        if raises then
+          fun () ->
+            m.blk_i <- i;
+            act ()
+        else act
+      in
+      let pr, fa =
+        if not traced then (pr, fa)
+        else
+          ( (fun () -> Trace.retire m.tr addr; pr ()),
+            fun () -> Trace.retire m.tr addr; fa () )
+      in
+      probed := pr :: !probed;
+      fastc := fa :: !fastc
+    in
+    let k = ref 0 in
+    let prev_line = ref min_int in
+    Array.iteri
+      (fun bi (p, all, has_term, n) ->
+        List.iteri
+          (fun j (raises, act) ->
+            let i = !k in
+            let addr = p + (4 * j) in
+            addrs.(i) <- addr;
+            let line = addr lsr shift in
+            push_insn i addr raises act (line <> !prev_line);
+            prev_line := line;
+            incr k)
+          all;
+        if bi < nb - 1 && has_term then begin
+          let expected = (fun (p, _, _, _) -> p) blks.(bi + 1) in
+          match static_jump_target p n with
+          | Some t when t = expected -> () (* guard provably never fires *)
+          | _ ->
+            let kk = !k in
+            let g () =
+              if m.nextpc <> expected then raise (Region_cache.Side_exit kk)
+            in
+            probed := g :: !probed;
+            fastc := g :: !fastc
+        end)
+      blks;
+    let commit =
+      let p_last, _, last_term, n_last = blks.(nb - 1) in
+      if last_term then
+        fun () ->
+          m.insns <- m.insns + r_n;
+          m.pc <- m.nextpc
+      else begin
+        let ft = p_last + (4 * n_last) in
+        fun () ->
+          m.insns <- m.insns + r_n;
+          m.nextpc <- ft;
+          m.pc <- ft
+      end
+    in
+    let r_run = seq (List.rev (commit :: !probed)) in
+    (* fast-pass tail: deferred commit via [Loop_exit] (see the MIPS
+       twin for the full commentary) *)
+    let fast_tail =
+      let _, _, last_term, _ = blks.(nb - 1) in
+      if last_term then
+        (fun () ->
+          m.insns <- m.insns + r_n;
+          if m.nextpc <> entry then raise Region_cache.Loop_exit)
+      else commit
+    in
+    let lines =
+      List.sort_uniq compare (Array.to_list (Array.map (fun a -> a lsr shift) addrs))
+    in
+    let fast_ok =
+      List.length (List.sort_uniq compare (List.map (fun l -> l land mask) lines))
+      = List.length lines
+    in
+    let r_fast = if fast_ok then seq (List.rev (fast_tail :: !fastc)) else r_run in
+    Some { r_entry = entry; r_n; r_spans = spans; r_run; r_fast; r_addrs = addrs }
+
+let promote m entry =
+  match compile_region m entry with
+  | Some r -> Region_cache.set m.rc entry ~insns:r.r_n r
+  | None -> Region_cache.mark_unpromotable m.rc entry
+
+let exec_region m (r : region) fuel0 =
+  Trace.mark m.tr Trace.Block_enter r.r_entry;
+  if Sim_probe.enabled m.probe then Sim_probe.region_exec m.probe ~entry:r.r_entry;
+  Block_cache.begin_block m.bc;
+  let fuel = ref fuel0 in
+  match
+    r.r_run ();
+    fuel := !fuel - r.r_n;
+    let entry = r.r_entry and rn = r.r_n and fast = r.r_fast in
+    while m.pc = entry && rn <= !fuel do
+      fast ();
+      fuel := !fuel - rn
+    done
+  with
+  | () -> !fuel
+  | exception Region_cache.Loop_exit ->
+    (* the raising fast pass ran to completion and credited itself;
+       perform its deferred commit *)
+    m.pc <- m.nextpc;
+    !fuel - r.r_n
+  | exception Region_cache.Side_exit k ->
+    m.insns <- m.insns + k;
+    Sim_probe.side_exit m.probe ~entry:r.r_entry ~i:k;
+    m.pc <- m.nextpc;
+    !fuel - k
+  | exception Block_cache.Retired ->
+    let i = m.blk_i in
+    m.insns <- m.insns + i + 1;
+    Sim_probe.abort m.probe ~entry:r.r_entry ~i;
+    let a = r.r_addrs.(i) in
+    m.nextpc <- a + 4;
+    m.pc <- a + 4;
+    !fuel - (i + 1)
+  | exception e ->
+    let i = m.blk_i in
+    m.insns <- m.insns + i + 1;
+    let a = r.r_addrs.(i) in
+    m.pc <- a;
+    m.nextpc <- a + 4;
+    raise e
+
+(* [exec_chain] for regions mode: identical block chaining plus the
+   tier-3 hooks — per-dispatch hotness counting (promoting on the
+   threshold crossing), successor-edge profiling after each clean
+   commit, and chaining into a resident region when one exists at the
+   next pc. *)
+let rec exec_chain_r m (b : block) fuel =
+  Trace.mark m.tr Trace.Block_enter b.entry;
+  if Sim_probe.enabled m.probe then begin
+    Sim_probe.block_exec m.probe ~entry:b.entry;
+    Block_cache.note_exec m.bc b.entry
+  end;
+  if Region_cache.note_dispatch m.rc b.entry then promote m b.entry;
+  Block_cache.begin_block m.bc;
+  match b.run () with
+  | () ->
+    let fuel = fuel - b.n in
+    if m.pc = halt_addr then fuel
+    else begin
+      Region_cache.note_succ m.rc b.entry m.pc;
+      match Region_cache.find m.rc m.pc with
+      | Some r when r.r_n <= fuel -> exec_region m r fuel
+      | _ ->
+        if m.pc = b.entry && b.n <= fuel then exec_chain_r m b fuel
+        else (
+          match Block_cache.find m.bc m.pc with
+          | Some nb when nb.n <= fuel -> exec_chain_r m nb fuel
+          | _ -> fuel)
+    end
+  | exception Block_cache.Retired ->
+    let i = m.blk_i in
+    m.insns <- m.insns + i + 1;
+    Sim_probe.abort m.probe ~entry:b.entry ~i;
+    let a = b.entry + (4 * i) in
+    m.nextpc <- a + 4;
+    m.pc <- a + 4;
+    fuel - (i + 1)
+  | exception e ->
+    let i = m.blk_i in
+    m.insns <- m.insns + i + 1;
+    let a = b.entry + (4 * i) in
+    m.pc <- a;
+    m.nextpc <- a + 4;
+    raise e
+
 let default_fuel = 200_000_000
 
 (* Tight tail-recursive loop: the fuel check is a register countdown
@@ -830,6 +1110,39 @@ let rec run_blocks_go m tags shift mask fuel =
         run_blocks_go m tags shift mask (fuel - 1))
   end
 
+(* Region-dispatch run loop: [run_blocks_go] with a region probe ahead
+   of the block probe, and chaining through [exec_chain_r] so hotness
+   and successor profiles accumulate.  Fuel discipline is unchanged —
+   a region pass only runs when it fits whole, and when it does not,
+   dispatch falls through to the identical block/interpreter ladder. *)
+let rec run_regions_go m tags shift mask fuel =
+  let pc = m.pc in
+  if pc <> halt_addr then begin
+    if fuel = 0 then raise (Machine_error "out of fuel (infinite loop?)");
+    match Region_cache.find m.rc pc with
+    | Some r when r.r_n <= fuel ->
+      let fuel = exec_region m r fuel in
+      Sim_probe.chain_flush m.probe;
+      run_regions_go m tags shift mask fuel
+    | _ -> (
+      match Block_cache.find m.bc pc with
+      | Some b when b.n <= fuel ->
+        let fuel = exec_chain_r m b fuel in
+        Sim_probe.chain_flush m.probe;
+        run_regions_go m tags shift mask fuel
+      | Some _ ->
+        step_one m tags shift mask;
+        run_regions_go m tags shift mask (fuel - 1)
+      | None -> (
+        match compile_block m pc with
+        | Some b ->
+          Block_cache.set m.bc pc b;
+          run_regions_go m tags shift mask fuel
+        | None ->
+          step_one m tags shift mask;
+          run_regions_go m tags shift mask (fuel - 1)))
+  end
+
 let run ?(fuel = default_fuel) m =
   let i0 = m.insns in
   let mi0 = Cache.misses m.icache in
@@ -842,7 +1155,8 @@ let run ?(fuel = default_fuel) m =
   in
   let tags, shift, mask = Cache.probe m.icache in
   (try
-     if m.blocks then run_blocks_go m tags shift mask fuel
+     if m.regions then run_regions_go m tags shift mask fuel
+     else if m.blocks then run_blocks_go m tags shift mask fuel
      else run_go m tags shift mask fuel
    with e ->
      finish ();
@@ -906,4 +1220,5 @@ let flush_caches m =
   Cache.flush m.icache;
   Cache.flush m.dcache;
   Decode_cache.clear m.pdc;
-  Block_cache.clear m.bc
+  Block_cache.clear m.bc;
+  Region_cache.clear m.rc

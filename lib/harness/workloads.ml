@@ -64,6 +64,7 @@ module type PORT = sig
     ?trace:Trace.t ->
     predecode:bool ->
     blocks:bool ->
+    regions:bool ->
     unit ->
     m
 
@@ -92,7 +93,7 @@ module type SIM = sig
 
   val create :
     ?cfg:Vmachine.Mconfig.t -> ?telemetry:Tel.t -> ?trace:Trace.t ->
-    predecode:bool -> blocks:bool -> unit -> t
+    predecode:bool -> blocks:bool -> regions:bool -> unit -> t
 
   val mem : t -> Vmachine.Mem.t
   val insns : t -> int
@@ -136,6 +137,54 @@ module Make_port (T : Target.S) (S : SIM) : PORT = struct
     orii g acc acc 3;
     addii g i i 1;
     jv g top;
+    V.label g out;
+    reti g acc;
+    V.end_gen g
+
+  (* The region-friendly nested loop: the 64-iteration inner loop's
+     body is a chain of one-operation stages linked by direct jumps —
+     the dispatch-dominated shape tier 3 targets, since in tier 2
+     every jump edge costs a full block dispatch while a region fuses
+     the chain and (the jumps' targets being static) crosses each edge
+     for free — plus one biased conditional stage whose rare arm,
+     taken once per inner loop (j = 43), exercises branch-direction
+     specialization and side exits; [args.(0)] is the outer count. *)
+  let gen_region_loop () =
+    let g, args = V.lambda ~base:0x10000 ~leaf:true "%i" in
+    let open V.Names in
+    let acc = V.getreg_exn g ~cls:`Temp Vtype.I in
+    let i = V.getreg_exn g ~cls:`Temp Vtype.I in
+    let j = V.getreg_exn g ~cls:`Temp Vtype.I in
+    let t = V.getreg_exn g ~cls:`Temp Vtype.I in
+    seti g acc 0;
+    seti g i 0;
+    let outer = V.genlabel g and inner = V.genlabel g and out = V.genlabel g in
+    V.label g outer;
+    bgei g i args.(0) out;
+    seti g j 0;
+    V.label g inner;
+    let stage op =
+      let next = V.genlabel g in
+      op ();
+      jv g next;
+      V.label g next
+    in
+    stage (fun () -> addi g acc acc j);
+    stage (fun () -> xorii g acc acc 33);
+    stage (fun () -> addii g acc acc 7);
+    (* biased conditional: (j + 21) land 63 = 0 only at j = 43 *)
+    let skip = V.genlabel g in
+    addii g t j 21;
+    andii g t t 63;
+    bneii g t 0 skip;
+    addii g acc acc 77;
+    V.label g skip;
+    stage (fun () -> orii g acc acc 9);
+    stage (fun () -> xorii g acc acc 57);
+    addii g j j 1;
+    bltii g j 64 inner;
+    addii g i i 1;
+    jv g outer;
     V.label g out;
     reti g acc;
     V.end_gen g
@@ -195,6 +244,15 @@ module Make_port (T : Target.S) (S : SIM) : PORT = struct
       install m code;
       let run () = ignore (S.call_ints ?fuel m ~entry:code.Vcode.entry_addr [ iters ]) in
       { run; regions = [ region "loop" code ] }
+    | "region-loop" ->
+      (* [iters] counts inner-loop iterations like alu-loop, so the
+         bench's insns/sec rates are comparable across workloads *)
+      let code = generate gen_region_loop in
+      Tel.note_gen tel ~prefix:"rloop" code.Vcode.gen;
+      install m code;
+      let outer = max 1 (iters / 64) in
+      let run () = ignore (S.call_ints ?fuel m ~entry:code.Vcode.entry_addr [ outer ]) in
+      { run; regions = [ region "rloop" code ] }
     | w -> Printf.ksprintf failwith "unknown workload %S" w
 end
 
@@ -206,8 +264,9 @@ module Mips_port =
 
       type t = S.t
 
-      let create ?(cfg = Vmachine.Mconfig.dec5000) ?telemetry ?trace ~predecode ~blocks () =
-        S.create ?telemetry ?trace ~predecode ~blocks cfg
+      let create ?(cfg = Vmachine.Mconfig.dec5000) ?telemetry ?trace ~predecode ~blocks
+          ~regions () =
+        S.create ?telemetry ?trace ~predecode ~blocks ~regions cfg
 
       let mem (m : t) = m.S.mem
       let insns (m : t) = m.S.insns
@@ -229,8 +288,9 @@ module Sparc_port =
 
       type t = S.t
 
-      let create ?(cfg = Vmachine.Mconfig.dec5000) ?telemetry ?trace ~predecode ~blocks () =
-        S.create ?telemetry ?trace ~predecode ~blocks cfg
+      let create ?(cfg = Vmachine.Mconfig.dec5000) ?telemetry ?trace ~predecode ~blocks
+          ~regions () =
+        S.create ?telemetry ?trace ~predecode ~blocks ~regions cfg
 
       let mem (m : t) = m.S.mem
       let insns (m : t) = m.S.insns
@@ -252,8 +312,9 @@ module Alpha_port =
 
       type t = S.t
 
-      let create ?(cfg = Vmachine.Mconfig.dec5000) ?telemetry ?trace ~predecode ~blocks () =
-        S.create ?telemetry ?trace ~predecode ~blocks cfg
+      let create ?(cfg = Vmachine.Mconfig.dec5000) ?telemetry ?trace ~predecode ~blocks
+          ~regions () =
+        S.create ?telemetry ?trace ~predecode ~blocks ~regions cfg
 
       let mem (m : t) = m.S.mem
       let insns (m : t) = m.S.insns
@@ -275,8 +336,9 @@ module Ppc_port =
 
       type t = S.t
 
-      let create ?(cfg = Vmachine.Mconfig.dec5000) ?telemetry ?trace ~predecode ~blocks () =
-        S.create ?telemetry ?trace ~predecode ~blocks cfg
+      let create ?(cfg = Vmachine.Mconfig.dec5000) ?telemetry ?trace ~predecode ~blocks
+          ~regions () =
+        S.create ?telemetry ?trace ~predecode ~blocks ~regions cfg
 
       let mem (m : t) = m.S.mem
       let insns (m : t) = m.S.insns
@@ -301,11 +363,16 @@ let ports : (string * (module PORT)) list =
     ("ppc", (module Ppc_port));
   ]
 
-(* mode name -> (predecode, blocks) *)
+(* mode name -> (predecode, blocks, regions): the four-tier ladder *)
 let modes =
-  [ ("off", (false, false)); ("predecode", (true, false)); ("blocks", (true, true)) ]
+  [
+    ("off", (false, false, false));
+    ("predecode", (true, false, false));
+    ("blocks", (true, true, false));
+    ("regions", (true, true, true));
+  ]
 
-let workload_names = [ "dpf-classify"; "table4-ash"; "alu-loop" ]
+let workload_names = [ "dpf-classify"; "table4-ash"; "alu-loop"; "region-loop" ]
 let port_names = List.map fst ports
 let mode_names = List.map fst modes
 let find_port name = List.assoc_opt name ports

@@ -206,10 +206,19 @@ let[@inline] note_exec t addr =
   if idx < Array.length t.execs then
     Array.unsafe_set t.execs idx (Array.unsafe_get t.execs idx + 1)
 
+(* Stable ordering: execution count descending, entry address ascending
+   on ties.  The tie-break matters because this list doubles as the
+   region-promotion scan — equal-count candidates must be visited in a
+   deterministic order or promotion choices (and thus telemetry) would
+   depend on Array.iteri accumulation order. *)
 let hot_blocks ?(limit = 20) t =
   let acc = ref [] in
   Array.iteri (fun idx n -> if n > 0 then acc := (4 * idx, n) :: !acc) t.execs;
-  let sorted = List.sort (fun (_, a) (_, b) -> compare b a) !acc in
+  let sorted =
+    List.sort
+      (fun (ea, ca) (eb, cb) -> if ca <> cb then compare cb ca else compare ea eb)
+      !acc
+  in
   List.filteri (fun i _ -> i < limit) sorted
 
 let stats t = (t.compiles, t.invalidations)

@@ -78,10 +78,13 @@ val dirty : 'b t -> bool
     flag, so the disabled cost is zero. *)
 val note_exec : 'b t -> int -> unit
 
-(** the per-entry execution profile, hottest first: (entry address,
-    executions), at most [limit] (default 20) entries.  Counts are
-    cumulative across recompiles and invalidations of the same entry.
-    Empty unless {!create} received an enabled [tel]. *)
+(** the per-entry execution profile in a stable, documented order:
+    execution count descending, entry address ascending on ties —
+    (entry address, executions), at most [limit] (default 20) entries.
+    The deterministic tie-break matters because this list doubles as
+    the region-promotion scan.  Counts are cumulative across
+    recompiles and invalidations of the same entry.  Empty unless
+    {!create} received an enabled [tel]. *)
 val hot_blocks : ?limit:int -> 'b t -> (int * int) list
 
 (** [(compiles, invalidations)] since the last [reset_stats] *)

@@ -12,6 +12,8 @@
      <port>.smc_retires      blocks aborted mid-run by the Retired protocol
      <port>.block_execs      compiled-block executions (chains included)
      <port>.block_chains     direct block-to-block transitions
+     <port>.region_execs     compiled-region dispatches (tier 3)
+     <port>.region_side_exits  specialized-trace side exits taken
    Distribution:
      <port>.chain_len        blocks executed per dispatch-loop entry *)
 
@@ -24,23 +26,32 @@ type t = {
   smc_retires : Telemetry.counter;
   block_execs : Telemetry.counter;
   block_chains : Telemetry.counter;
+  region_execs : Telemetry.counter;
+  region_side_exits : Telemetry.counter;
   chain_len : Telemetry.dist;
   mutable run_len : int; (* blocks executed since the last dispatch *)
 }
 
-let mode_name ~predecode ~blocks =
-  if blocks then "blocks" else if predecode then "predecode" else "off"
+let mode_name ~predecode ~blocks ~regions =
+  if regions then "regions"
+  else if blocks then "blocks"
+  else if predecode then "predecode"
+  else "off"
 
-let create ?(trace = Trace.disabled) tel ~port ~predecode ~blocks =
+let create ?(trace = Trace.disabled) tel ~port ~predecode ~blocks ~regions =
   {
     tel;
     tr = trace;
     enabled = Telemetry.is_enabled tel;
-    retired = Telemetry.counter tel (port ^ ".retired." ^ mode_name ~predecode ~blocks);
+    retired =
+      Telemetry.counter tel
+        (port ^ ".retired." ^ mode_name ~predecode ~blocks ~regions);
     faults = Telemetry.counter tel (port ^ ".faults");
     smc_retires = Telemetry.counter tel (port ^ ".smc_retires");
     block_execs = Telemetry.counter tel (port ^ ".block_execs");
     block_chains = Telemetry.counter tel (port ^ ".block_chains");
+    region_execs = Telemetry.counter tel (port ^ ".region_execs");
+    region_side_exits = Telemetry.counter tel (port ^ ".region_side_exits");
     chain_len = Telemetry.dist tel (port ^ ".chain_len");
     run_len = 0;
   }
@@ -74,6 +85,22 @@ let block_exec p ~entry =
     Telemetry.bump p.tel p.block_chains;
     Telemetry.event p.tel Telemetry.Block_chain ~a:entry ~b:p.run_len
   end
+
+(* one compiled-region dispatch (tier 3); counts toward the chained-run
+   length like a block execution; only called when [enabled] *)
+let region_exec p ~entry =
+  Telemetry.bump p.tel p.region_execs;
+  p.run_len <- p.run_len + 1;
+  if p.run_len > 1 then begin
+    Telemetry.bump p.tel p.block_chains;
+    Telemetry.event p.tel Telemetry.Block_chain ~a:entry ~b:p.run_len
+  end
+
+(* a specialized region took its side exit after retiring instruction
+   [i] of the region at [entry] *)
+let side_exit p ~entry ~i =
+  Telemetry.bump p.tel p.region_side_exits;
+  Telemetry.event p.tel Telemetry.Region_side_exit ~a:entry ~b:i
 
 (* close the current chained run (next dispatch-loop iteration or run
    exit): record its length *)

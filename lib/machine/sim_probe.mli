@@ -11,7 +11,13 @@ type t
     carry the same exceptional events the telemetry ring does;
     defaults to the branch-free disabled sink *)
 val create :
-  ?trace:Trace.t -> Telemetry.t -> port:string -> predecode:bool -> blocks:bool -> t
+  ?trace:Trace.t ->
+  Telemetry.t ->
+  port:string ->
+  predecode:bool ->
+  blocks:bool ->
+  regions:bool ->
+  t
 
 (** whether the underlying sink records anything; simulators use this
     to skip the per-block instrumentation calls entirely *)
@@ -33,6 +39,15 @@ val abort : t -> entry:int -> i:int -> unit
 (** one compiled-block execution (chains and self-loops included);
     call only when [enabled] *)
 val block_exec : t -> entry:int -> unit
+
+(** one compiled-region dispatch (tier 3; chains included); call only
+    when [enabled] *)
+val region_exec : t -> entry:int -> unit
+
+(** a specialized region took its side exit after retiring instruction
+    [i] of the region at [entry]: bumps [<port>.region_side_exits] and
+    records a [Region_side_exit] event *)
+val side_exit : t -> entry:int -> i:int -> unit
 
 (** close the current chained run and record its length in
     [<port>.chain_len]; call at each dispatch-loop re-entry and at run

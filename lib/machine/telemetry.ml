@@ -38,6 +38,8 @@ type kind =
   | Cache_invalidate
   | Smc_retire
   | Trap
+  | Region_promote
+  | Region_side_exit
 
 let kind_to_int = function
   | Block_compile -> 0
@@ -47,6 +49,8 @@ let kind_to_int = function
   | Cache_invalidate -> 4
   | Smc_retire -> 5
   | Trap -> 6
+  | Region_promote -> 7
+  | Region_side_exit -> 8
 
 let kind_of_int = function
   | 0 -> Block_compile
@@ -55,6 +59,8 @@ let kind_of_int = function
   | 3 -> Block_abort
   | 4 -> Cache_invalidate
   | 5 -> Smc_retire
+  | 7 -> Region_promote
+  | 8 -> Region_side_exit
   | _ -> Trap
 
 let kind_name = function
@@ -65,6 +71,8 @@ let kind_name = function
   | Cache_invalidate -> "cache_invalidate"
   | Smc_retire -> "smc_retire"
   | Trap -> "trap"
+  | Region_promote -> "region_promote"
+  | Region_side_exit -> "region_side_exit"
 
 (* distribution packing: count, sum, min, max, then [n_buckets] log2
    buckets (bucket i counts values v with floor(log2 (max v 1)) = i;

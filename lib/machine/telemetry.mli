@@ -30,6 +30,8 @@ type kind =
   | Cache_invalidate   (** a store dropped predecode/translation state: (addr, len) *)
   | Smc_retire         (** a store retired resident translations: (addr, len) *)
   | Trap               (** a fault escaped a run loop: (pc, 0) *)
+  | Region_promote     (** a hot superblock was recompiled as a region: (entry, insns) *)
+  | Region_side_exit   (** a specialized region took its side exit: (entry, insn index) *)
 
 val create : unit -> t
 

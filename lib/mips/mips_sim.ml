@@ -27,6 +27,8 @@ type t = {
   predecode : bool;
   bc : block Block_cache.t; (* superblock translation cache; no cycle effect *)
   blocks : bool;
+  rc : region Region_cache.t; (* tier-3 region cache; no cycle effect *)
+  regions : bool;
   probe : Sim_probe.t;      (* shared telemetry probe; never touches timing *)
   tr : Trace.t;             (* execution trace; the disabled sink is scratch *)
   cfg : Mconfig.t;
@@ -57,7 +59,25 @@ and block = {
   has_delay : bool;     (* ends in branch + delay slot (vs. capped fallthrough) *)
 }
 
-let create ?(predecode = true) ?(blocks = true)
+(* A tier-3 region: a hot block plus its dominant direct-chained
+   successors fused into one closure per pass, with interior branches
+   specialized to their dominant direction (a mismatch raises
+   [Region_cache.Side_exit]) and the final block committing pc/npc
+   generically.  [r_fast] is the probe-free pass used after the first
+   ([r_run]) pass of a self-looping region has installed every icache
+   line; it equals [r_run] when two region lines conflict in the
+   direct-mapped icache. *)
+and region = {
+  r_entry : int;
+  r_n : int;                   (* instructions retired per full pass *)
+  r_spans : (int * int) array; (* constituent-block (addr, bytes) *)
+  r_run : unit -> unit;        (* one pass, icache probes included *)
+  r_fast : unit -> unit;       (* one pass, probes elided *)
+  r_addrs : int array;         (* region insn index -> code address *)
+  r_delay : bool array;        (* index is its block's delay slot *)
+}
+
+let create ?(predecode = true) ?(blocks = true) ?(regions = false)
     ?(telemetry = Telemetry.disabled) ?(trace = Trace.disabled) (cfg : Mconfig.t) =
   let mem = Mem.create ~big_endian:false ~size:cfg.mem_bytes () in
   let pdc =
@@ -65,15 +85,20 @@ let create ?(predecode = true) ?(blocks = true)
   in
   let bc = Block_cache.create ~tel:telemetry ~trace ~name:"mips.bc" ~mem_bytes:cfg.mem_bytes
       ~len_bytes:(fun b -> 4 * b.n) () in
+  let rc = Region_cache.create ~tel:telemetry ~name:"mips.rc" ~mem_bytes:cfg.mem_bytes
+      ~spans:(fun r -> r.r_spans) () in
   Mem.add_write_watcher mem (Decode_cache.invalidate pdc);
   Mem.add_write_watcher mem (Block_cache.invalidate bc);
+  if regions then Mem.add_write_watcher mem (Region_cache.invalidate rc);
   {
     mem;
     pdc;
     predecode;
     bc;
     blocks;
-    probe = Sim_probe.create ~trace telemetry ~port:"mips" ~predecode ~blocks;
+    rc;
+    regions;
+    probe = Sim_probe.create ~trace telemetry ~port:"mips" ~predecode ~blocks ~regions;
     tr = trace;
     icache = Cache.create ~size_bytes:cfg.icache_bytes ~line_bytes:cfg.line_bytes
                ~miss_penalty:cfg.imiss_penalty;
@@ -622,21 +647,15 @@ let rec seq (cs : (unit -> unit) list) : unit -> unit =
     let r = seq rest in
     fun () -> a (); b (); c (); d (); r ()
 
-(* Compile the straight-line run entered at [entry]: body instructions
-   up to the first control transfer (compiled in together with its
-   delay slot), a non-compilable instruction (Break, an illegal word,
+(* Scan the straight-line run entered at [entry]: body instructions up
+   to the first control transfer (collected together with its delay
+   slot), a non-compilable instruction (Break, an illegal word,
    unmapped memory — left for the interpreter to trap on), or the
-   length cap.  [None] if not even one instruction compiles.
-
-   Timing is baked into the closures: the instruction that starts a new
-   icache line carries the registerized probe (a later same-line fetch
-   is a guaranteed hit — a block spans at most 256 consecutive bytes,
-   far below the icache size, so it cannot evict its own lines, and a
-   guaranteed hit is a no-op under bulk hit reconciliation).  Capturing
-   the tag array here is safe because [Cache.flush] clears it in
-   place. *)
-let compile_block m entry =
-  let tags, shift, mask = Cache.probe m.icache in
+   length cap.  Returns the per-instruction (can-raise, action) list
+   and whether it ends in a terminator + delay-slot pair; [None] if
+   not even one instruction compiles.  Shared by the superblock and
+   region compilers. *)
+let scan_run m entry =
   let fetch_opt pc =
     match fetch m pc with
     | i -> Some i
@@ -675,7 +694,22 @@ let compile_block m entry =
   in
   match List.rev_append !body tail with
   | [] -> None
-  | all ->
+  | all -> Some (all, has_delay)
+
+(* Compile the straight-line run entered at [entry] into a superblock.
+
+   Timing is baked into the closures: the instruction that starts a new
+   icache line carries the registerized probe (a later same-line fetch
+   is a guaranteed hit — a block spans at most 256 consecutive bytes,
+   far below the icache size, so it cannot evict its own lines, and a
+   guaranteed hit is a no-op under bulk hit reconciliation).  Capturing
+   the tag array here is safe because [Cache.flush] clears it in
+   place. *)
+let compile_block m entry =
+  let tags, shift, mask = Cache.probe m.icache in
+  match scan_run m entry with
+  | None -> None
+  | Some (all, has_delay) ->
     let n = List.length all in
     let wrap i (raises, act) =
       let addr = entry + (4 * i) in
@@ -796,6 +830,333 @@ let rec exec_chain m (b : block) fuel =
     raise e
 
 (* ------------------------------------------------------------------ *)
+(* Tier-3 regions (see {!Vmachine.Region_cache}): follow the dominant
+   chain of straight-line runs from a hot entry and fuse the whole
+   trace into one closure per pass.  Interior branch-terminated blocks
+   are specialized to their profiled direction: after the terminator
+   and its delay slot retire, a guard compares the branch scratch
+   against the trace's next block and raises [Side_exit] with the
+   pass-relative retired count on a mismatch.  The final block commits
+   pc/npc generically (so a self-looping trace naturally re-enters the
+   pass loop, and any other exit falls back to block dispatch).  The
+   closures are the same [act_of]/[term_of] values the superblock
+   compiler uses, so architectural state, memory order, cycle
+   surcharges and the dirty/[Retired] abort protocol are shared with
+   tier 2 by construction. *)
+
+let compile_region m entry =
+  let tags, shift, mask = Cache.probe m.icache in
+  (* Follow dominant successors: a branch-terminated block extends
+     through its profiled edge, a capped block through its static
+     fallthrough.  A closed loop (back to [entry]) is *unrolled*:
+     further copies of the loop body are appended while whole copies
+     fit under the block cap, so a short hot loop amortizes the
+     per-pass commit and self-loop check over several iterations (the
+     unrolled backedges are specialized like any interior branch, and
+     for an unconditional jump the guard is omitted entirely).  Stop
+     on an unprofiled edge, an unscannable run, or the cap. *)
+  let rec collect pc first_len acc nblocks =
+    match scan_run m pc with
+    | None -> List.rev acc
+    | Some (all, has_delay) ->
+      let n = List.length all in
+      let acc = (pc, all, has_delay, n) :: acc in
+      let nblocks = nblocks + 1 in
+      let succ =
+        if has_delay then Region_cache.dominant_succ m.rc pc
+        else Some (pc + (4 * n))
+      in
+      (match succ with
+      | Some s when s land 3 = 0 && s > 0 ->
+        if s = entry then begin
+          let fl = match first_len with None -> nblocks | Some f -> f in
+          if
+            nblocks + fl <= Region_cache.max_blocks
+            && nblocks < Region_cache.max_unroll * fl
+          then collect s (Some fl) acc nblocks
+          else List.rev acc
+        end
+        else if nblocks < Region_cache.max_blocks then collect s first_len acc nblocks
+        else List.rev acc
+      | _ -> List.rev acc)
+  in
+  match collect entry None [] 0 with
+  | [] | [ _ ] -> None (* a single block gains nothing over tier 2 *)
+  | blks ->
+    let blks = Array.of_list blks in
+    let nb = Array.length blks in
+    let r_n = Array.fold_left (fun a (_, _, _, n) -> a + n) 0 blks in
+    let spans = Array.map (fun (p, _, _, n) -> (p, 4 * n)) blks in
+    let addrs = Array.make r_n 0 in
+    let delay = Array.make r_n false in
+    let traced = Trace.is_enabled m.tr in
+    (* An unconditional direct jump pins the next pc statically: when
+       it matches the trace successor the guard can never fire and is
+       omitted, so jump-chained code pays nothing between fused
+       blocks.  The decode reads current memory, and any later store
+       to that word invalidates the containing block span (and with it
+       the region). *)
+    let static_jump_target p n =
+      let tpc = p + (4 * (n - 2)) in
+      match fetch m tpc with
+      | J t | Jal t -> Some ((u32 (tpc + 4) land 0xF0000000) lor (t * 4))
+      | _ -> None
+      | exception (Machine_error _ | Mem.Fault _) -> None
+    in
+    (* two closure lists built in step: the probed first pass and the
+       probe-free fast pass; [blk_i]/trace wrapping is identical.
+       [elide] drops the instruction from the fast pass entirely:
+       delay-slot nops retire nothing architectural, and the fast pass
+       neither probes nor traces nor counts per-insn, so the closure
+       call is pure overhead — on jump-chained code a third of the
+       trace.  Positions ([blk_i], side-exit payloads) are assigned at
+       build time, so eliding a closure shifts no index. *)
+    let probed = ref [] and fastc = ref [] in
+    let push_insn i addr raises act boundary elide =
+      let line = addr lsr shift in
+      let idx = line land mask in
+      let pr =
+        if boundary then
+          if raises then
+            fun () ->
+              m.blk_i <- i;
+              if Array.unsafe_get tags idx <> line then begin
+                let p = Cache.access_uncounted m.icache addr in
+                if p <> 0 then m.cycles <- m.cycles + p
+              end;
+              act ()
+          else
+            fun () ->
+              if Array.unsafe_get tags idx <> line then begin
+                let p = Cache.access_uncounted m.icache addr in
+                if p <> 0 then m.cycles <- m.cycles + p
+              end;
+              act ()
+        else if raises then
+          fun () ->
+            m.blk_i <- i;
+            act ()
+        else act
+      in
+      let fa =
+        if raises then
+          fun () ->
+            m.blk_i <- i;
+            act ()
+        else act
+      in
+      let pr, fa =
+        if not traced then (pr, fa)
+        else
+          ( (fun () -> Trace.retire m.tr addr; pr ()),
+            fun () -> Trace.retire m.tr addr; fa () )
+      in
+      probed := pr :: !probed;
+      if not elide then fastc := fa :: !fastc
+    in
+    let k = ref 0 in
+    let prev_line = ref min_int in
+    Array.iteri
+      (fun bi (p, all, has_delay, n) ->
+        List.iteri
+          (fun j (raises, act) ->
+            let i = !k in
+            let addr = p + (4 * j) in
+            addrs.(i) <- addr;
+            if has_delay && j = n - 1 then delay.(i) <- true;
+            let line = addr lsr shift in
+            let elide =
+              (not traced) && (not raises)
+              && (match fetch m addr with
+                 | Nop -> true
+                 | _ -> false
+                 | exception (Machine_error _ | Mem.Fault _) -> false)
+            in
+            push_insn i addr raises act (line <> !prev_line) elide;
+            prev_line := line;
+            incr k)
+          all;
+        if bi < nb - 1 && has_delay then begin
+          (* branch-direction specialization: the pass continues into
+             the profiled successor; anything else side-exits with the
+             instructions retired so far (this block included) *)
+          let expected = (fun (p, _, _, _) -> p) blks.(bi + 1) in
+          match static_jump_target p n with
+          | Some t when t = expected -> () (* guard provably never fires *)
+          | _ ->
+            let kk = !k in
+            let g () =
+              if m.btarget <> expected then raise (Region_cache.Side_exit kk)
+            in
+            probed := g :: !probed;
+            fastc := g :: !fastc
+        end)
+      blks;
+    let commit =
+      let p_last, _, last_delay, n_last = blks.(nb - 1) in
+      if last_delay then
+        fun () ->
+          m.insns <- m.insns + r_n;
+          let t = m.btarget in
+          m.pc <- t;
+          m.npc <- t + 4
+      else begin
+        let ft = p_last + (4 * n_last) in
+        fun () ->
+          m.insns <- m.insns + r_n;
+          m.pc <- ft;
+          m.npc <- ft + 4
+      end
+    in
+    let r_run = seq (List.rev (commit :: !probed)) in
+    (* The fast pass defers even the pc/npc commit: while the trace
+       self-loops, pc stays at the entry (the probed pass committed it
+       there and nothing inside a pass writes it), so the tail only
+       credits the pass and checks the backedge, raising [Loop_exit]
+       for [exec_region] to commit the exit target once the self-loop
+       finally breaks.  A capped final block has a static fallthrough,
+       so it keeps the generic commit (the driver's pc check ends the
+       loop). *)
+    let fast_tail =
+      let _, _, last_delay, _ = blks.(nb - 1) in
+      if last_delay then
+        (fun () ->
+          m.insns <- m.insns + r_n;
+          if m.btarget <> entry then raise Region_cache.Loop_exit)
+      else commit
+    in
+    (* The probe-free pass is only sound when no two distinct region
+       lines collide in the direct-mapped icache: then a completed
+       probed pass leaves every line resident and later passes are
+       guaranteed hits (no-ops under bulk hit reconciliation).  The
+       dcache is separate and nothing else runs between passes. *)
+    let lines =
+      List.sort_uniq compare (Array.to_list (Array.map (fun a -> a lsr shift) addrs))
+    in
+    let fast_ok =
+      List.length (List.sort_uniq compare (List.map (fun l -> l land mask) lines))
+      = List.length lines
+    in
+    let r_fast = if fast_ok then seq (List.rev (fast_tail :: !fastc)) else r_run in
+    Some { r_entry = entry; r_n; r_spans = spans; r_run; r_fast; r_addrs = addrs;
+           r_delay = delay }
+
+let promote m entry =
+  match compile_region m entry with
+  | Some r -> Region_cache.set m.rc entry ~insns:r.r_n r
+  | None -> Region_cache.mark_unpromotable m.rc entry
+
+(* Execute region [r] (preconditions: [r.r_n <= fuel], [m.npc =
+   r.r_entry + 4]): a probed first pass, then probe-free passes while
+   the trace self-loops and fuel lasts.  Exits mirror [exec_chain]
+   exactly, with [r_addrs]/[r_delay] standing in for the straight-line
+   address arithmetic; the extra exit is [Side_exit k], which credits
+   the [k] instructions the pass retired and resumes generic dispatch
+   at the branch scratch. *)
+let exec_region m (r : region) fuel0 =
+  Trace.mark m.tr Trace.Block_enter r.r_entry;
+  if Sim_probe.enabled m.probe then Sim_probe.region_exec m.probe ~entry:r.r_entry;
+  Block_cache.begin_block m.bc;
+  let fuel = ref fuel0 in
+  match
+    r.r_run ();
+    fuel := !fuel - r.r_n;
+    let entry = r.r_entry and rn = r.r_n and fast = r.r_fast in
+    while m.pc = entry && rn <= !fuel do
+      fast ();
+      fuel := !fuel - rn
+    done
+  with
+  | () -> !fuel
+  | exception Region_cache.Loop_exit ->
+    (* the raising fast pass ran to completion and credited itself;
+       perform its deferred commit *)
+    let t = m.btarget in
+    m.pc <- t;
+    m.npc <- t + 4;
+    !fuel - r.r_n
+  | exception Region_cache.Side_exit k ->
+    m.insns <- m.insns + k;
+    Sim_probe.side_exit m.probe ~entry:r.r_entry ~i:k;
+    let t = m.btarget in
+    m.pc <- t;
+    m.npc <- t + 4;
+    !fuel - k
+  | exception Block_cache.Retired ->
+    let i = m.blk_i in
+    m.insns <- m.insns + i + 1;
+    Sim_probe.abort m.probe ~entry:r.r_entry ~i;
+    if r.r_delay.(i) then begin
+      let t = m.btarget in
+      m.pc <- t;
+      m.npc <- t + 4
+    end
+    else begin
+      let a = r.r_addrs.(i) in
+      m.pc <- a + 4;
+      m.npc <- a + 8
+    end;
+    !fuel - (i + 1)
+  | exception e ->
+    let i = m.blk_i in
+    m.insns <- m.insns + i + 1;
+    let a = r.r_addrs.(i) in
+    m.pc <- a;
+    m.npc <- (if r.r_delay.(i) then m.btarget else a + 4);
+    raise e
+
+(* [exec_chain] for regions mode: identical block chaining plus the
+   tier-3 hooks — per-dispatch hotness counting (promoting on the
+   threshold crossing), successor-edge profiling after each clean
+   commit, and chaining into a resident region when one exists at the
+   next pc. *)
+let rec exec_chain_r m (b : block) fuel =
+  Trace.mark m.tr Trace.Block_enter b.entry;
+  if Sim_probe.enabled m.probe then begin
+    Sim_probe.block_exec m.probe ~entry:b.entry;
+    Block_cache.note_exec m.bc b.entry
+  end;
+  if Region_cache.note_dispatch m.rc b.entry then promote m b.entry;
+  Block_cache.begin_block m.bc;
+  match b.run () with
+  | () ->
+    let fuel = fuel - b.n in
+    if m.pc = halt_addr then fuel
+    else begin
+      Region_cache.note_succ m.rc b.entry m.pc;
+      match Region_cache.find m.rc m.pc with
+      | Some r when r.r_n <= fuel -> exec_region m r fuel
+      | _ ->
+        if m.pc = b.entry && b.n <= fuel then exec_chain_r m b fuel
+        else (
+          match Block_cache.find m.bc m.pc with
+          | Some nb when nb.n <= fuel -> exec_chain_r m nb fuel
+          | _ -> fuel)
+    end
+  | exception Block_cache.Retired ->
+    let i = m.blk_i in
+    m.insns <- m.insns + i + 1;
+    Sim_probe.abort m.probe ~entry:b.entry ~i;
+    if b.has_delay && i = b.n - 1 then begin
+      let t = m.btarget in
+      m.pc <- t;
+      m.npc <- t + 4
+    end
+    else begin
+      let a = b.entry + (4 * i) in
+      m.pc <- a + 4;
+      m.npc <- a + 8
+    end;
+    fuel - (i + 1)
+  | exception e ->
+    let i = m.blk_i in
+    m.insns <- m.insns + i + 1;
+    let a = b.entry + (4 * i) in
+    m.pc <- a;
+    m.npc <- (if b.has_delay && i = b.n - 1 then m.btarget else a + 4);
+    raise e
+
+(* ------------------------------------------------------------------ *)
 (* Harness                                                             *)
 
 let default_fuel = 200_000_000
@@ -874,6 +1235,44 @@ let rec run_blocks_go m tags shift mask fuel =
     end
   end
 
+(* Region-dispatch run loop: [run_blocks_go] with a region probe ahead
+   of the block probe, and chaining through [exec_chain_r] so hotness
+   and successor profiles accumulate.  Fuel discipline is unchanged —
+   a region pass only runs when it fits whole, and when it does not,
+   dispatch falls through to the identical block/interpreter ladder. *)
+let rec run_regions_go m tags shift mask fuel =
+  let pc = m.pc in
+  if pc <> halt_addr then begin
+    if fuel = 0 then raise (Machine_error "out of fuel (infinite loop?)");
+    if m.npc = pc + 4 then (
+      match Region_cache.find m.rc pc with
+      | Some r when r.r_n <= fuel ->
+        let fuel = exec_region m r fuel in
+        Sim_probe.chain_flush m.probe;
+        run_regions_go m tags shift mask fuel
+      | _ -> (
+        match Block_cache.find m.bc pc with
+        | Some b when b.n <= fuel ->
+          let fuel = exec_chain_r m b fuel in
+          Sim_probe.chain_flush m.probe;
+          run_regions_go m tags shift mask fuel
+        | Some _ ->
+          step_one m tags shift mask;
+          run_regions_go m tags shift mask (fuel - 1)
+        | None -> (
+          match compile_block m pc with
+          | Some b ->
+            Block_cache.set m.bc pc b;
+            run_regions_go m tags shift mask fuel
+          | None ->
+            step_one m tags shift mask;
+            run_regions_go m tags shift mask (fuel - 1))))
+    else begin
+      step_one m tags shift mask;
+      run_regions_go m tags shift mask (fuel - 1)
+    end
+  end
+
 let run ?(fuel = default_fuel) m =
   let i0 = m.insns in
   let mi0 = Cache.misses m.icache in
@@ -886,7 +1285,8 @@ let run ?(fuel = default_fuel) m =
   in
   let tags, shift, mask = Cache.probe m.icache in
   (try
-     if m.blocks then run_blocks_go m tags shift mask fuel
+     if m.regions then run_regions_go m tags shift mask fuel
+     else if m.blocks then run_blocks_go m tags shift mask fuel
      else run_go m tags shift mask fuel
    with e ->
      finish ();
@@ -955,6 +1355,7 @@ let flush_caches m =
   Cache.flush m.icache;
   Cache.flush m.dcache;
   Decode_cache.clear m.pdc;
-  Block_cache.clear m.bc
+  Block_cache.clear m.bc;
+  Region_cache.clear m.rc
 
 let flush_dcache m = Cache.flush m.dcache

@@ -4,9 +4,9 @@
    straight-line runs into chained closures; it is a host-side
    accelerator only, so the load-bearing property is *timing
    neutrality*: simulated cycle counts and cache hit/miss statistics
-   must be bit-identical across all three engine modes — plain
-   interpretation, predecode only, and predecode + blocks — on every
-   port.  The first half pins that on the mixed-ALU loop and on the
+   must be bit-identical across all four engine modes — plain
+   interpretation, predecode only, predecode + blocks, and the
+   region tier on top — on every port.  The first half pins that on the mixed-ALU loop and on the
    paper's Table 3 (DPF) and Table 4 (ASH) workloads; the second half
    covers the Block_cache unit contract (overlap invalidation, the
    dirty/Retired protocol's flag) and the composable Mem write
@@ -23,7 +23,7 @@ module type PORT = sig
   type sim
 
   val name : string
-  val create : predecode:bool -> blocks:bool -> sim
+  val create : predecode:bool -> blocks:bool -> regions:bool -> sim
   val install : sim -> Vcode.code -> unit
   val call_ints : sim -> entry:int -> int list -> int
   val flush_caches : sim -> unit
@@ -37,7 +37,7 @@ module Make_port
     (S : sig
       type t
 
-      val create : predecode:bool -> blocks:bool -> t
+      val create : predecode:bool -> blocks:bool -> regions:bool -> t
       val install : t -> Vcode.code -> unit
       val call_ints : t -> entry:int -> int list -> int
       val flush_caches : t -> unit
@@ -86,7 +86,8 @@ module Mips_port =
 
       type t = S.t
 
-      let create ~predecode ~blocks = S.create ~predecode ~blocks Vmachine.Mconfig.test_config
+      let create ~predecode ~blocks ~regions =
+        S.create ~predecode ~blocks ~regions Vmachine.Mconfig.test_config
 
       let install m (c : Vcode.code) =
         Vmachine.Mem.install_code m.S.mem ~addr:c.Vcode.base c.Vcode.gen.Gen.buf
@@ -109,7 +110,8 @@ module Sparc_port =
 
       type t = S.t
 
-      let create ~predecode ~blocks = S.create ~predecode ~blocks Vmachine.Mconfig.test_config
+      let create ~predecode ~blocks ~regions =
+        S.create ~predecode ~blocks ~regions Vmachine.Mconfig.test_config
 
       let install m (c : Vcode.code) =
         Vmachine.Mem.install_code m.S.mem ~addr:c.Vcode.base c.Vcode.gen.Gen.buf
@@ -132,7 +134,8 @@ module Alpha_port =
 
       type t = S.t
 
-      let create ~predecode ~blocks = S.create ~predecode ~blocks Vmachine.Mconfig.test_config
+      let create ~predecode ~blocks ~regions =
+        S.create ~predecode ~blocks ~regions Vmachine.Mconfig.test_config
 
       let install m (c : Vcode.code) =
         Vmachine.Mem.install_code m.S.mem ~addr:c.Vcode.base c.Vcode.gen.Gen.buf
@@ -155,7 +158,8 @@ module Ppc_port =
 
       type t = S.t
 
-      let create ~predecode ~blocks = S.create ~predecode ~blocks Vmachine.Mconfig.test_config
+      let create ~predecode ~blocks ~regions =
+        S.create ~predecode ~blocks ~regions Vmachine.Mconfig.test_config
 
       let install m (c : Vcode.code) =
         Vmachine.Mem.install_code m.S.mem ~addr:c.Vcode.base c.Vcode.gen.Gen.buf
@@ -173,15 +177,19 @@ module Ppc_port =
 (* ------------------------------------------------------------------ *)
 (* Three-way timing identity                                           *)
 
-(* the three engine modes of interest (predecode, blocks) *)
-let modes = [ ("off", (false, false)); ("predecode", (true, false)); ("blocks", (true, true)) ]
+(* the four engine modes of interest (predecode, blocks, regions) *)
+let modes =
+  [ ("off", (false, false, false));
+    ("predecode", (true, false, false));
+    ("blocks", (true, true, false));
+    ("regions", (true, true, true)) ]
 
 let quad = Alcotest.(pair int (pair int (pair (pair int int) (pair int int))))
 let as_quad (a, b, c, d) = (a, (b, (c, d)))
 
 let loop_timing_case (type s) (module P : PORT with type sim = s) gen_loop () =
-  let run (predecode, blocks) =
-    let m = P.create ~predecode ~blocks in
+  let run (predecode, blocks, regions) =
+    let m = P.create ~predecode ~blocks ~regions in
     let code = gen_loop () in
     P.install m code;
     let entry = code.Vcode.entry_addr in
@@ -211,11 +219,11 @@ let test_timing_table3_dpf () =
   let module DP = Dpf.Make (Vmips.Mips_backend) in
   let module S = Vmips.Mips_sim in
   let pkt_addr = 0x80000 in
-  let run (predecode, blocks) =
+  let run (predecode, blocks, regions) =
     let cfg = Vmachine.Mconfig.dec5000 in
     let filters = Dpf.Filter.tcpip_filters 10 in
     let c = DP.compile ~base:0x1000 ~table_base:0x200000 filters in
-    let m = S.create ~predecode ~blocks cfg in
+    let m = S.create ~predecode ~blocks ~regions cfg in
     Vmachine.Mem.install_code m.S.mem ~addr:c.Dpf.code.Vcode.base c.Dpf.code.Vcode.gen.Gen.buf;
     DP.install_tables m.S.mem c;
     let total = ref 0 in
@@ -242,9 +250,9 @@ let test_timing_table4_ash () =
   let module ASH = Ash.Make (Vmips.Mips_backend) in
   let module S = Vmips.Mips_sim in
   let src_addr = 0x300000 and dst_addr = 0x312000 in
-  let run (predecode, blocks) =
+  let run (predecode, blocks, regions) =
     let cfg = Vmachine.Mconfig.dec5000 in
-    let m = S.create ~predecode ~blocks cfg in
+    let m = S.create ~predecode ~blocks ~regions cfg in
     let ash = ASH.gen_ash ~base:0x8000 [ Ash.Copy; Ash.Checksum ] in
     Vmachine.Mem.install_code m.S.mem ~addr:ash.Vcode.base ash.Vcode.gen.Gen.buf;
     let data = Bytes.init (4 * 2048) (fun i -> Char.chr ((i * 131) land 0xff)) in
@@ -349,6 +357,36 @@ let test_unit_invalidate () =
   check Alcotest.bool "clear sets dirty" true (B.dirty bc)
 
 (* ------------------------------------------------------------------ *)
+(* hot_blocks ordering: execution count descending, entry address
+   ascending on ties — documented and load-bearing, because the list
+   doubles as the region-promotion scan and vtrace's --inject-hot
+   victim choice.                                                      *)
+
+let test_unit_hot_blocks () =
+  let module B = Vmachine.Block_cache in
+  let bc =
+    B.create ~tel:(Vmachine.Telemetry.create ()) ~mem_bytes:(1 lsl 20) ~len_bytes:snd ()
+  in
+  List.iter (fun e -> B.set bc e (e, 8)) [ 0x100; 0x200; 0x300; 0x400; 0x500 ];
+  let bump e n = for _ = 1 to n do B.note_exec bc e done in
+  bump 0x100 3;
+  bump 0x200 7;
+  bump 0x300 3;
+  bump 0x400 7;
+  bump 0x500 1;
+  check
+    Alcotest.(list (pair int int))
+    "count descending, address ascending on ties"
+    [ (0x200, 7); (0x400, 7); (0x100, 3); (0x300, 3); (0x500, 1) ]
+    (B.hot_blocks bc);
+  check
+    Alcotest.(list (pair int int))
+    "limit truncates the same ordering"
+    [ (0x200, 7); (0x400, 7); (0x100, 3) ]
+    (B.hot_blocks ~limit:3 bc);
+  check Alcotest.(list (pair int int)) "no executions, no rows" [] (B.hot_blocks ~limit:0 bc)
+
+(* ------------------------------------------------------------------ *)
 (* Composable write watchers: both registered watchers observe one
    store (the contract the double registration of Decode_cache and
    Block_cache invalidation relies on).                                *)
@@ -398,6 +436,7 @@ let () =
         [
           Alcotest.test_case "blocks engaged" `Quick test_blocks_engaged;
           Alcotest.test_case "invalidate/clear/dirty" `Quick test_unit_invalidate;
+          Alcotest.test_case "hot_blocks ordering" `Quick test_unit_hot_blocks;
           Alcotest.test_case "composable write watchers" `Quick test_add_write_watcher;
         ] );
     ]

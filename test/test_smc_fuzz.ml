@@ -1,17 +1,26 @@
-(* Self-modifying-code fuzz over the superblock translation layer.
+(* Self-modifying-code fuzz over the superblock and region
+   translation layers.
 
    On every port: a hand-assembled loop executes a long patchable
    straight-line run (longer than Block_cache.max_insns, so it spans
-   several compiled blocks).  Each round the host rewrites a few of the
-   patchable code words — biased toward the block-boundary indices —
-   with random instructions from a per-port pool of pure ALU ops on the
-   accumulator, then calls the function on a blocks-on and a blocks-off
-   machine in lockstep.  The return value (the accumulator, a checksum
-   of the whole ALU history, i.e. of every executed instruction) and
-   the full statistics bundle (cycles, retired instructions, icache and
-   dcache hits/misses) must match exactly: any stale block, miscounted
-   cycle, or skipped icache probe after an invalidation shows up as a
-   divergence.  Seeded PRNG, so failures replay. *)
+   several compiled blocks, which regions then fuse).  The loop body
+   also *stores into its own code*: it reloads one patchable word and
+   writes it straight back — architecturally a no-op, but the write
+   watcher fires with the translation mid-flight, so on the blocks
+   machine every iteration aborts a compiled block via dirty/Retired,
+   and on the regions machine the store lands mid-region: the resident
+   region is invalidated under its own executing pass and the abort
+   fixup has to recover the exact interpreter state.  Each round the
+   host additionally rewrites a few of the patchable code words —
+   biased toward the block-boundary indices — with random instructions
+   from a per-port pool of pure ALU ops on the accumulator, then calls
+   the function on blocks-off, blocks-on and regions-on machines in
+   lockstep.  The return value (the accumulator, a checksum of the
+   whole ALU history, i.e. of every executed instruction) and the full
+   statistics bundle (cycles, retired instructions, icache and dcache
+   hits/misses) must match exactly: any stale block or region,
+   miscounted cycle, or skipped icache probe after an invalidation
+   shows up as a divergence.  Seeded PRNG, so failures replay. *)
 
 let check = Alcotest.check
 
@@ -36,34 +45,53 @@ let pick_slot rs =
     List.nth boundary_slots (Random.State.int rs (List.length boundary_slots))
   else Random.State.int rs n_patch
 
+(* the patchable slot the guest program itself stores into each
+   iteration: a block seam, so the store lands mid-run — and once the
+   trace is hot, mid-region *)
+let smc_slot = Vmachine.Block_cache.max_insns
+
 (* Per-port harness: calling [call n] runs the program with loop count
    [n] from a reset-stats state; [patch i w] rewrites patchable slot
    [i] with encoded word [w] (a host write, so it rides the write-
    watcher invalidation path); [invalidations ()] reads the block
-   cache's drop counter. *)
+   cache's drop counter and [rstats ()] the region cache's cumulative
+   (promotions, invalidations). *)
 type harness = {
   call : int -> int * (int * (int * ((int * int) * (int * int))));
   patch : int -> int -> unit;
   invalidations : unit -> int;
+  rstats : unit -> int * int;
 }
 
-let drive name (mk : blocks:bool -> harness) (pool : Random.State.t -> int) =
-  let on = mk ~blocks:true and off = mk ~blocks:false in
+let drive name (mk : blocks:bool -> regions:bool -> harness) (pool : Random.State.t -> int) =
+  let off = mk ~blocks:false ~regions:false in
+  let blk = mk ~blocks:true ~regions:false in
+  let reg = mk ~blocks:true ~regions:true in
   let rs = Random.State.make [| 0x5eed; Hashtbl.hash name |] in
   for round = 1 to rounds do
     let npatches = 1 + Random.State.int rs 3 in
     for _ = 1 to npatches do
       let s = pick_slot rs and w = pool rs in
-      on.patch s w;
-      off.patch s w
+      off.patch s w;
+      blk.patch s w;
+      reg.patch s w
     done;
     let n = 3 + Random.State.int rs 20 in
+    let expect = off.call n in
     check result
-      (Printf.sprintf "%s: round %d (n=%d) matches blocks-off" name round n)
-      (off.call n) (on.call n)
+      (Printf.sprintf "%s: round %d (n=%d) blocks matches off" name round n)
+      expect (blk.call n);
+    check result
+      (Printf.sprintf "%s: round %d (n=%d) regions matches off" name round n)
+      expect (reg.call n)
   done;
   check Alcotest.bool (name ^ ": patches actually dropped compiled blocks") true
-    (on.invalidations () > 0)
+    (blk.invalidations () > 0);
+  let promotions, region_invals = reg.rstats () in
+  check Alcotest.bool (name ^ ": hot traces actually promoted to regions") true
+    (promotions > 0);
+  check Alcotest.bool (name ^ ": stores actually dropped live regions") true
+    (region_invals > 0)
 
 (* ------------------------------------------------------------------ *)
 (* MIPS                                                                *)
@@ -73,18 +101,23 @@ let test_mips () =
   let module A = Vmips.Mips_asm in
   let base = 0x1000 in
   let p = n_patch in
-  (* v0 (r2) = acc, a0 (r4) = loop count *)
-  let out_idx = 3 + p + 3 in
+  (* v0 (r2) = acc, a0 (r4) = loop count, t0/t1 (r8/r9) = self-store
+     scratch *)
+  let smc_addr = base + (4 * (6 + smc_slot)) in
+  let out_idx = 6 + p + 3 in
   let program =
     [ A.Addiu (2, 0, 0); (* 0: acc <- 0           *)
       A.Blez (4, out_idx - 2); (* 1: loop: n <= 0 -> out *)
-      A.Nop (* 2: delay              *) ]
-    @ List.init p (fun _ -> A.Addiu (2, 2, 1)) (* 3..p+2: patchable *)
-    @ [ A.Addiu (4, 4, -1); (* p+3: n <- n - 1   *)
-        A.J ((base / 4) + 1); (* p+4: -> loop      *)
-        A.Nop; (* p+5: delay        *)
-        A.Jr 31; (* p+6 = out         *)
-        A.Nop (* p+7: delay        *) ]
+      A.Nop; (* 2: delay              *)
+      A.Addiu (8, 0, smc_addr); (* 3: t0 <- &slot        *)
+      A.Lw (9, 8, 0); (* 4: t1 <- [t0]         *)
+      A.Sw (9, 8, 0) (* 5: [t0] <- t1 (SMC!)  *) ]
+    @ List.init p (fun _ -> A.Addiu (2, 2, 1)) (* 6..p+5: patchable *)
+    @ [ A.Addiu (4, 4, -1); (* p+6: n <- n - 1   *)
+        A.J ((base / 4) + 1); (* p+7: -> loop      *)
+        A.Nop; (* p+8: delay        *)
+        A.Jr 31; (* p+9 = out         *)
+        A.Nop (* p+10: delay       *) ]
   in
   let pool rs =
     let k = 1 + Random.State.int rs 100 and sh = 1 + Random.State.int rs 7 in
@@ -99,8 +132,8 @@ let test_mips () =
       | 6 -> A.Srl (2, 2, sh)
       | _ -> A.Nop)
   in
-  let mk ~blocks =
-    let m = S.create ~blocks Vmachine.Mconfig.test_config in
+  let mk ~blocks ~regions =
+    let m = S.create ~blocks ~regions Vmachine.Mconfig.test_config in
     List.iteri
       (fun i insn -> Vmachine.Mem.write_u32 m.S.mem (base + (4 * i)) (A.encode insn))
       program;
@@ -113,8 +146,9 @@ let test_mips () =
             ( m.S.cycles,
               ( m.S.insns,
                 (Vmachine.Cache.stats m.S.icache, Vmachine.Cache.stats m.S.dcache) ) ) ));
-      patch = (fun i w -> Vmachine.Mem.write_u32 m.S.mem (base + (4 * (3 + i))) w);
+      patch = (fun i w -> Vmachine.Mem.write_u32 m.S.mem (base + (4 * (6 + i))) w);
       invalidations = (fun () -> snd (Vmachine.Block_cache.stats m.S.bc));
+      rstats = (fun () -> Vmachine.Region_cache.stats m.S.rc);
     }
   in
   drive "mips" mk pool
@@ -127,20 +161,25 @@ let test_sparc () =
   let module A = Vsparc.Sparc_asm in
   let base = 0x1000 in
   let p = n_patch in
-  (* %g1 (r1) = acc, %o0 (r8) = loop count and return value; leaf
-     routine, no register window *)
-  let out_idx = 4 + p + 3 in
+  (* %g1 (r1) = acc, %o0 (r8) = loop count and return value, %g2/%g3
+     (r2/r3) = self-store scratch; leaf routine, no register window *)
+  let smc_addr = base + (4 * (8 + smc_slot)) in
+  let out_idx = 8 + p + 3 in
   let program =
     [ A.Alu (A.Or, 1, 0, A.Imm 0); (* 0: acc <- 0              *)
       A.Alu (A.Subcc, 0, 8, A.Imm 0); (* 1: loop: icc <- n cmp 0  *)
       A.Bicc (A.BLE, out_idx - 2); (* 2: n <= 0 -> out         *)
-      A.Nop (* 3: delay                 *) ]
-    @ List.init p (fun _ -> A.Alu (A.Add, 1, 1, A.Imm 1)) (* 4..p+3: patchable *)
-    @ [ A.Alu (A.Sub, 8, 8, A.Imm 1); (* p+4: n <- n - 1     *)
-        A.Bicc (A.BA, 1 - (4 + p + 1)); (* p+5: -> loop        *)
-        A.Nop; (* p+6: delay          *)
-        A.Jmpl (0, 15, A.Imm 8); (* p+7 = out: ret      *)
-        A.Alu (A.Add, 8, 1, A.Imm 0) (* p+8: delay: %o0 <- acc *) ]
+      A.Nop; (* 3: delay                 *)
+      A.Sethi (2, smc_addr lsr 10); (* 4: %g2 <- hi(&slot)      *)
+      A.Alu (A.Or, 2, 2, A.Imm (smc_addr land 0x3FF)); (* 5: .. lo *)
+      A.Ld (3, 2, A.Imm 0); (* 6: %g3 <- [%g2]          *)
+      A.St (3, 2, A.Imm 0) (* 7: [%g2] <- %g3 (SMC!)   *) ]
+    @ List.init p (fun _ -> A.Alu (A.Add, 1, 1, A.Imm 1)) (* 8..p+7: patchable *)
+    @ [ A.Alu (A.Sub, 8, 8, A.Imm 1); (* p+8: n <- n - 1     *)
+        A.Bicc (A.BA, 1 - (8 + p + 1)); (* p+9: -> loop        *)
+        A.Nop; (* p+10: delay         *)
+        A.Jmpl (0, 15, A.Imm 8); (* p+11 = out: ret     *)
+        A.Alu (A.Add, 8, 1, A.Imm 0) (* p+12: delay: %o0 <- acc *) ]
   in
   let pool rs =
     let k = 1 + Random.State.int rs 100 and sh = 1 + Random.State.int rs 7 in
@@ -155,8 +194,8 @@ let test_sparc () =
       | 6 -> A.Sethi (1, k)
       | _ -> A.Nop)
   in
-  let mk ~blocks =
-    let m = S.create ~blocks Vmachine.Mconfig.test_config in
+  let mk ~blocks ~regions =
+    let m = S.create ~blocks ~regions Vmachine.Mconfig.test_config in
     List.iteri
       (fun i insn -> Vmachine.Mem.write_u32 m.S.mem (base + (4 * i)) (A.encode insn))
       program;
@@ -169,8 +208,9 @@ let test_sparc () =
             ( m.S.cycles,
               ( m.S.insns,
                 (Vmachine.Cache.stats m.S.icache, Vmachine.Cache.stats m.S.dcache) ) ) ));
-      patch = (fun i w -> Vmachine.Mem.write_u32 m.S.mem (base + (4 * (4 + i))) w);
+      patch = (fun i w -> Vmachine.Mem.write_u32 m.S.mem (base + (4 * (8 + i))) w);
       invalidations = (fun () -> snd (Vmachine.Block_cache.stats m.S.bc));
+      rstats = (fun () -> Vmachine.Region_cache.stats m.S.rc);
     }
   in
   drive "sparc" mk pool
@@ -183,15 +223,20 @@ let test_alpha () =
   let module A = Valpha.Alpha_asm in
   let base = 0x1000 in
   let p = n_patch in
-  (* r0 = acc and return value, r16 = loop count *)
-  let out_idx = 2 + p + 2 in
+  (* r0 = acc and return value, r16 = loop count, r1 = self-store
+     scratch (r31 reads as zero, so the 16-bit displacement alone
+     addresses the slot) *)
+  let smc_addr = base + (4 * (4 + smc_slot)) in
+  let out_idx = 4 + p + 2 in
   let program =
     [ A.Intop (A.Bis, 31, A.L 0, 0); (* 0: acc <- 0            *)
-      A.Ble (16, out_idx - 2) (* 1: loop: n <= 0 -> out *) ]
-    @ List.init p (fun _ -> A.Intop (A.Addq, 0, A.L 1, 0)) (* 2..p+1: patchable *)
-    @ [ A.Intop (A.Subq, 16, A.L 1, 16); (* p+2: n <- n - 1 *)
-        A.Br (31, 1 - (2 + p + 2)); (* p+3: -> loop    *)
-        A.Retj (31, 26) (* p+4 = out: ret  *) ]
+      A.Ble (16, out_idx - 2); (* 1: loop: n <= 0 -> out *)
+      A.Ldl (1, 31, smc_addr); (* 2: r1 <- [slot]        *)
+      A.Stl (1, 31, smc_addr) (* 3: [slot] <- r1 (SMC!) *) ]
+    @ List.init p (fun _ -> A.Intop (A.Addq, 0, A.L 1, 0)) (* 4..p+3: patchable *)
+    @ [ A.Intop (A.Subq, 16, A.L 1, 16); (* p+4: n <- n - 1 *)
+        A.Br (31, 1 - (p + 6)); (* p+5: -> loop    *)
+        A.Retj (31, 26) (* p+6 = out: ret  *) ]
   in
   let pool rs =
     let k = 1 + Random.State.int rs 100 and sh = 1 + Random.State.int rs 7 in
@@ -206,8 +251,8 @@ let test_alpha () =
       | 6 -> A.Intop (A.Addl, 0, A.L k, 0)
       | _ -> A.Intop (A.Bis, 31, A.R 31, 31) (* canonical nop *))
   in
-  let mk ~blocks =
-    let m = S.create ~blocks Vmachine.Mconfig.test_config in
+  let mk ~blocks ~regions =
+    let m = S.create ~blocks ~regions Vmachine.Mconfig.test_config in
     List.iteri
       (fun i insn -> Vmachine.Mem.write_u32 m.S.mem (base + (4 * i)) (A.encode insn))
       program;
@@ -220,8 +265,9 @@ let test_alpha () =
             ( m.S.cycles,
               ( m.S.insns,
                 (Vmachine.Cache.stats m.S.icache, Vmachine.Cache.stats m.S.dcache) ) ) ));
-      patch = (fun i w -> Vmachine.Mem.write_u32 m.S.mem (base + (4 * (2 + i))) w);
+      patch = (fun i w -> Vmachine.Mem.write_u32 m.S.mem (base + (4 * (4 + i))) w);
       invalidations = (fun () -> snd (Vmachine.Block_cache.stats m.S.bc));
+      rstats = (fun () -> Vmachine.Region_cache.stats m.S.rc);
     }
   in
   drive "alpha" mk pool
@@ -234,17 +280,22 @@ let test_ppc () =
   let module A = Vppc.Ppc_asm in
   let base = 0x1000 in
   let p = n_patch in
-  (* r4 = acc, r3 = loop count and return value *)
-  let out_idx = 3 + p + 2 in
+  (* r4 = acc, r3 = loop count and return value, r5/r6 = self-store
+     scratch *)
+  let smc_addr = base + (4 * (6 + smc_slot)) in
+  let out_idx = 6 + p + 2 in
   let program =
     [ A.Addi (4, 0, 0); (* 0: acc <- 0            *)
       A.Cmpi (3, 0); (* 1: loop: cr0 <- n cmp 0 *)
-      A.Bc (4, 1, out_idx - 2) (* 2: not gt -> out       *) ]
-    @ List.init p (fun _ -> A.Addi (4, 4, 1)) (* 3..p+2: patchable *)
-    @ [ A.Addi (3, 3, -1); (* p+3: n <- n - 1  *)
-        A.B (1 - (3 + p + 1)); (* p+4: -> loop     *)
-        A.Or (3, 4, 4); (* p+5 = out: r3 <- acc *)
-        A.Blr (* p+6: ret          *) ]
+      A.Bc (4, 1, out_idx - 2); (* 2: not gt -> out       *)
+      A.Addi (5, 0, smc_addr); (* 3: r5 <- &slot         *)
+      A.Lwz (6, 5, 0); (* 4: r6 <- [r5]          *)
+      A.Stw (6, 5, 0) (* 5: [r5] <- r6 (SMC!)   *) ]
+    @ List.init p (fun _ -> A.Addi (4, 4, 1)) (* 6..p+5: patchable *)
+    @ [ A.Addi (3, 3, -1); (* p+6: n <- n - 1  *)
+        A.B (1 - (6 + p + 1)); (* p+7: -> loop     *)
+        A.Or (3, 4, 4); (* p+8 = out: r3 <- acc *)
+        A.Blr (* p+9: ret          *) ]
   in
   let pool rs =
     let k = 1 + Random.State.int rs 100 and sh = 1 + Random.State.int rs 7 in
@@ -259,8 +310,8 @@ let test_ppc () =
       | 6 -> A.Rlwinm (4, 4, sh, 0, 31)
       | _ -> A.Ori (4, 4, 0) (* canonical nop *))
   in
-  let mk ~blocks =
-    let m = S.create ~blocks Vmachine.Mconfig.test_config in
+  let mk ~blocks ~regions =
+    let m = S.create ~blocks ~regions Vmachine.Mconfig.test_config in
     List.iteri
       (fun i insn -> Vmachine.Mem.write_u32 m.S.mem (base + (4 * i)) (A.encode insn))
       program;
@@ -273,8 +324,9 @@ let test_ppc () =
             ( m.S.cycles,
               ( m.S.insns,
                 (Vmachine.Cache.stats m.S.icache, Vmachine.Cache.stats m.S.dcache) ) ) ));
-      patch = (fun i w -> Vmachine.Mem.write_u32 m.S.mem (base + (4 * (3 + i))) w);
+      patch = (fun i w -> Vmachine.Mem.write_u32 m.S.mem (base + (4 * (6 + i))) w);
       invalidations = (fun () -> snd (Vmachine.Block_cache.stats m.S.bc));
+      rstats = (fun () -> Vmachine.Region_cache.stats m.S.rc);
     }
   in
   drive "ppc" mk pool
