@@ -197,6 +197,12 @@ let clear t =
 let[@inline] begin_block t = t.dirty <- false
 let[@inline] dirty t = t.dirty
 
+(* Raise [dirty] on behalf of a sibling translation tier: the
+   regions-mode write watcher calls this when a store drops a region
+   whose constituent blocks may not all be resident here, so the store
+   closures' dirty test aborts the running pass unconditionally. *)
+let[@inline] mark_dirty t = t.dirty <- true
+
 (* Per-entry execution profile.  [note_exec] is called once per block
    execution from inside the simulators' chained dispatch, guarded by
    their probe's enabled flag; the length test below also makes it a

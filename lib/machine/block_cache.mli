@@ -72,6 +72,13 @@ val begin_block : 'b t -> unit
 
 val dirty : 'b t -> bool
 
+(** raise the dirty flag on behalf of a sibling translation tier —
+    the regions-mode write watcher calls this when
+    {!Region_cache.invalidate} drops a region, so store closures abort
+    the running pass even when the overwritten constituent block is
+    not resident here *)
+val mark_dirty : 'b t -> unit
+
 (** count one execution of the block entered at [addr] toward the
     per-entry profile.  No-op unless {!create} received an enabled
     [tel]; the simulators guard the call behind their probe's enabled

@@ -27,22 +27,28 @@
      builder does not retry every subsequent dispatch.
 
    - successor profiling ([note_succ]): per entry, a Boyer–Moore
-     majority vote over observed next-block entries.  [dominant_succ]
-     answers the candidate only when its vote margin pins the true
-     frequency at >= 75% of a minimum sample, which is what licenses
-     branch-direction specialization: the region follows the dominant
-     edge and compiles the other direction as a side exit.
+     majority vote over observed next-block entries plus a
+     confirmation counter of samples that matched the surviving
+     candidate.  [dominant_succ] answers the candidate only when the
+     confirmed hits pin the true frequency at >= 75% of a minimum
+     sample, which is what licenses branch-direction specialization:
+     the region follows the dominant edge and compiles the other
+     direction as a side exit.
 
-   Mid-region self-modification needs no machinery of its own: every
-   constituent block of a resident region is also resident in the
-   owning {!Block_cache} (regions are built from resident blocks, and
-   any store overlapping a region span overlaps a constituent block,
-   dropping it there and raising that cache's [dirty] flag), so the
-   simulators' compiled store closures — shared between tiers — abort
-   via the same dirty/[Retired] protocol, and [invalidate] here drops
-   the region itself.  Like the lower tiers this is purely a host-side
-   accelerator: the timing {!Cache} model still sees every fetch, so
-   cycle counts and cache statistics are bit-identical across tiers. *)
+   Mid-region self-modification rides the lower tier's dirty/[Retired]
+   abort protocol, but regions must raise that flag themselves: a
+   region's constituent blocks are usually also resident in the owning
+   {!Block_cache} (so a store overlapping a region span drops a block
+   there and raises its [dirty] flag), yet that is not an invariant —
+   a constituent can be dropped from the block cache and never
+   re-dispatched at tier 2 while the region stays resident.
+   [invalidate] therefore reports whether it dropped a region, and the
+   simulators' regions-mode write watcher raises the block cache's
+   [dirty] flag on [true], so the compiled store closures — shared
+   between tiers — abort the running pass unconditionally.  Like the
+   lower tiers this is purely a host-side accelerator: the timing
+   {!Cache} model still sees every fetch, so cycle counts and cache
+   statistics are bit-identical across tiers. *)
 
 (* Raised by a region's compiled guard when a specialized branch went
    the non-dominant way: the payload is the number of instructions of
@@ -96,7 +102,9 @@ type 'r t = {
                                       pins an entry unpromotable *)
   mutable s_cand : int array;      (* Boyer–Moore successor candidate *)
   mutable s_votes : int array;     (* candidate vote margin *)
+  mutable s_hits : int array;      (* samples matching the surviving candidate *)
   mutable s_total : int array;     (* successor samples *)
+  mutable pinned : int list;       (* entries pinned by [mark_unpromotable] *)
   mutable promotions : int;
   mutable invalidations : int;
   tel : Telemetry.t;
@@ -120,7 +128,9 @@ let create ?(tel = Telemetry.disabled) ?(name = "rc") ~mem_bytes ~spans () =
     hot = Array.make words 0;
     s_cand = Array.make words 0;
     s_votes = Array.make words 0;
+    s_hits = Array.make words 0;
     s_total = Array.make words 0;
+    pinned = [];
     promotions = 0;
     invalidations = 0;
     tel;
@@ -148,6 +158,7 @@ let grow t needed_idx =
     t.hot <- grow_ints t.hot;
     t.s_cand <- grow_ints t.s_cand;
     t.s_votes <- grow_ints t.s_votes;
+    t.s_hits <- grow_ints t.s_hits;
     t.s_total <- grow_ints t.s_total
   end
 
@@ -177,18 +188,25 @@ let[@inline] note_dispatch t addr =
   else false
 
 (* Pin entry [addr] so [note_dispatch] never answers [true] for it
-   again (until invalidation resets it): the region builder found no
-   profitable trace there. *)
+   again: the region builder found no profitable trace there.  Pinned
+   entries are remembered so [invalidate] can unpin one whose code is
+   overwritten — a pin describes the *current* code at [addr], and new
+   code there deserves a fresh promotion attempt. *)
 let mark_unpromotable t addr =
   let idx = addr lsr 2 in
   if addr land 3 = 0 && idx < t.limit_words then begin
     if idx >= Array.length t.hot then grow t idx;
+    if t.hot.(idx) <> min_int then t.pinned <- addr :: t.pinned;
     t.hot.(idx) <- min_int
   end
 
 (* Record that the block at [entry] was followed by the block at
-   [succ] in a chained run: Boyer–Moore vote, so the per-entry state
-   is three ints regardless of how many distinct successors appear. *)
+   [succ] in a chained run: Boyer–Moore vote plus a confirmation
+   counter, so the per-entry state is four ints regardless of how many
+   distinct successors appear.  [s_hits] counts samples that matched
+   the candidate *while it held the candidacy* (it resets whenever a
+   new candidate is installed), so it is a lower bound on the
+   candidate's true occurrence count. *)
 let[@inline] note_succ t entry succ =
   let idx = entry lsr 2 in
   if entry land 3 = 0 && idx < t.limit_words then begin
@@ -196,24 +214,31 @@ let[@inline] note_succ t entry succ =
     let votes = Array.unsafe_get t.s_votes idx in
     if votes = 0 then begin
       Array.unsafe_set t.s_cand idx succ;
-      Array.unsafe_set t.s_votes idx 1
+      Array.unsafe_set t.s_votes idx 1;
+      Array.unsafe_set t.s_hits idx 1
     end
-    else if Array.unsafe_get t.s_cand idx = succ then
-      Array.unsafe_set t.s_votes idx (votes + 1)
+    else if Array.unsafe_get t.s_cand idx = succ then begin
+      Array.unsafe_set t.s_votes idx (votes + 1);
+      Array.unsafe_set t.s_hits idx (Array.unsafe_get t.s_hits idx + 1)
+    end
     else Array.unsafe_set t.s_votes idx (votes - 1);
     Array.unsafe_set t.s_total idx (Array.unsafe_get t.s_total idx + 1)
   end
 
 (* The dominant successor of [entry], if the profile pins one.  The
-   vote margin lower-bounds the candidate's frequency f: votes >=
-   (2f - 1) * total, so requiring votes * 2 >= total certifies
-   f >= 75% without keeping exact per-successor counts. *)
+   Boyer–Moore margin alone only bounds the candidate's frequency f at
+   >= 50% (votes <= count), so the trigger uses the confirmation
+   counter instead: hits <= count by construction, so requiring
+   hits * 4 >= total * 3 certifies f >= 75% without keeping exact
+   per-successor counts.  A genuinely dominant edge installs its
+   candidate early and accumulates hits at nearly its true rate; noisy
+   ~50/50 edges churn the candidacy and never reach the floor. *)
 let dominant_succ t entry =
   let idx = entry lsr 2 in
   if entry land 3 <> 0 || idx >= Array.length t.s_total then None
   else begin
     let total = t.s_total.(idx) in
-    if total >= min_succ_samples && t.s_votes.(idx) * 2 >= total then
+    if total >= min_succ_samples && t.s_hits.(idx) * 4 >= total * 3 then
       Some t.s_cand.(idx)
     else None
   end
@@ -238,22 +263,46 @@ let set t addr ~insns region =
     Telemetry.event t.tel Telemetry.Region_promote ~a:addr ~b:insns
   end
 
+let reset_profile t idx =
+  t.hot.(idx) <- 0;
+  t.s_cand.(idx) <- 0;
+  t.s_votes.(idx) <- 0;
+  t.s_hits.(idx) <- 0;
+  t.s_total.(idx) <- 0
+
 let drop t entry =
   let idx = entry lsr 2 in
   t.slots.(idx) <- None;
   t.resident <- List.filter (fun e -> e <> entry) t.resident;
   (* the entry may become hot and re-promote once recompiled *)
-  t.hot.(idx) <- 0;
-  t.s_cand.(idx) <- 0;
-  t.s_votes.(idx) <- 0;
-  t.s_total.(idx) <- 0
+  reset_profile t idx
 
 (* Drop every region one of whose constituent-block spans overlaps
-   [addr, addr+len).  Registered as a {!Mem} write watcher next to the
-   Block_cache and Decode_cache watchers; the resident list is short
-   (only hot entries are promoted), and [lo, hi) makes the common case
-   — a data store nowhere near code — two comparisons. *)
+   [addr, addr+len); [true] iff at least one was dropped — the owning
+   simulator's write watcher must then raise its Block_cache's [dirty]
+   flag so a running pass aborts via the shared dirty/[Retired]
+   protocol even when the overwritten constituent is not itself
+   resident in the block cache.  Registered as a {!Mem} write watcher
+   next to the Block_cache and Decode_cache watchers; the resident
+   list is short (only hot entries are promoted), and [lo, hi) makes
+   the common case — a data store nowhere near code — two comparisons.
+
+   The store also unpins any [mark_unpromotable] entry whose code
+   window it overlaps: a pin describes the code the builder saw, and a
+   failed trace starts with (at most) one block, so the window is the
+   block-length cap.  The pin list is almost always empty, making this
+   a nil check per store. *)
 let invalidate t addr len =
+  if len > 0 && t.pinned <> [] then
+    t.pinned <-
+      List.filter
+        (fun e ->
+          if addr < e + (4 * Block_cache.max_insns) && addr + len > e then begin
+            reset_profile t (e lsr 2);
+            false
+          end
+          else true)
+        t.pinned;
   if len > 0 && addr < t.hi && addr + len > t.lo then begin
     let victims =
       List.filter
@@ -269,18 +318,23 @@ let invalidate t addr len =
     if victims <> [] then begin
       List.iter (fun e -> drop t e) victims;
       t.invalidations <- t.invalidations + 1;
-      Telemetry.bump t.tel t.c_invals
+      Telemetry.bump t.tel t.c_invals;
+      true
     end
+    else false
   end
+  else false
 
-(* Drop everything, profiles included — called from the simulators'
-   flush_caches next to Block_cache.clear. *)
+(* Drop everything, profiles and pins included — called from the
+   simulators' flush_caches next to Block_cache.clear. *)
 let clear t =
   List.iter (fun e -> drop t e) t.resident;
   Array.fill t.hot 0 (Array.length t.hot) 0;
   Array.fill t.s_cand 0 (Array.length t.s_cand) 0;
   Array.fill t.s_votes 0 (Array.length t.s_votes) 0;
+  Array.fill t.s_hits 0 (Array.length t.s_hits) 0;
   Array.fill t.s_total 0 (Array.length t.s_total) 0;
+  t.pinned <- [];
   t.lo <- max_int;
   t.hi <- 0
 

@@ -62,16 +62,20 @@ val find : 'r t -> int -> 'r option
     the cue to attempt promotion *)
 val note_dispatch : 'r t -> int -> bool
 
-(** pin entry [addr] so {!note_dispatch} never triggers for it again
-    (until invalidation or {!clear} resets it) *)
+(** pin entry [addr] so {!note_dispatch} never triggers for it again —
+    until a store overlapping the pinned block's code window
+    ([addr, addr + 4 * Block_cache.max_insns), via {!invalidate}) or
+    {!clear} resets it; new code at a pinned address gets a fresh
+    promotion attempt *)
 val mark_unpromotable : 'r t -> int -> unit
 
 (** [note_succ t entry succ]: the block at [entry] was followed by the
-    block at [succ] in a chained run (Boyer–Moore vote) *)
+    block at [succ] in a chained run (Boyer–Moore vote plus a
+    confirmation counter for the surviving candidate) *)
 val note_succ : 'r t -> int -> int -> unit
 
-(** the dominant successor of [entry] when the vote margin certifies
-    its frequency at >= 75% of at least a minimum sample *)
+(** the dominant successor of [entry] when the confirmation counter
+    certifies its frequency at >= 75% of at least a minimum sample *)
 val dominant_succ : 'r t -> int -> int option
 
 (** [set t addr ~insns region] records the region promoted at entry
@@ -80,12 +84,16 @@ val set : 'r t -> int -> insns:int -> 'r -> unit
 
 (** [invalidate t addr len]: drop every region one of whose
     constituent-block spans overlaps [addr, addr+len), resetting the
-    dropped entries' profiles.  Registered by the simulators as a
-    {!Mem} write watcher next to the Block_cache and Decode_cache
-    watchers. *)
-val invalidate : 'r t -> int -> int -> unit
+    dropped entries' profiles, and unpin any {!mark_unpromotable}
+    entry whose code window the store overlaps.  [true] iff a region
+    was dropped: the owning simulator's write watcher (registered next
+    to the Block_cache and Decode_cache watchers) must then raise its
+    Block_cache's dirty flag, so a running region pass aborts via the
+    shared dirty/[Retired] protocol even when the overwritten
+    constituent block is not itself resident in the block cache. *)
+val invalidate : 'r t -> int -> int -> bool
 
-(** drop everything, profiles included *)
+(** drop everything, profiles and pins included *)
 val clear : 'r t -> unit
 
 (** resident region count (for vprof) *)
