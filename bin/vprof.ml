@@ -24,8 +24,10 @@ module W = Workloads
 (* schema version of the --json document; bump when keys change.
    2: added the per-tier "tiers" object (block/region dispatch counts,
    promotions, side exits and the side-exit rate) and the "regions"
-   mode. *)
-let json_schema_version = 2
+   mode.
+   3: added the "registry" object (code-region registry and slab-arena
+   gauges from the server.* counters) and the "router" workload. *)
+let json_schema_version = 3
 
 let json_escape s =
   let b = Buffer.create (String.length s + 2) in
@@ -77,6 +79,39 @@ let side_exit_rate (t : tiers) =
   if t.t_region_execs = 0 then 0.0
   else 100.0 *. float_of_int t.t_side_exits /. float_of_int t.t_region_execs
 
+(* the code-region registry profile (router workload), extracted from
+   the server.* counters the {!Vserver.Server} instance registers;
+   all zero for workloads that don't run a registry *)
+type registry = {
+  r_installs : int;
+  r_replaces : int;
+  r_evictions : int;       (* explicit evicts *)
+  r_cap_evictions : int;   (* forced by a full arena or max_live *)
+  r_live : int;            (* gauge: resident regions *)
+  r_slabs_live : int;      (* gauge: arena slabs in use *)
+  r_slabs_free : int;      (* gauge: slabs parked on free lists *)
+  r_bump_words : int;      (* gauge: words ever claimed from the frontier *)
+  r_hits : int;
+  r_misses : int;
+}
+
+let registry_of (o : outcome) =
+  let c name = Option.value ~default:0 (List.assoc_opt ("server." ^ name) o.o_counters) in
+  {
+    r_installs = c "install";
+    r_replaces = c "replace";
+    r_evictions = c "evict";
+    r_cap_evictions = c "evict_capacity";
+    r_live = c "live_regions";
+    r_slabs_live = c "arena.live_slabs";
+    r_slabs_free = c "arena.free_slabs";
+    r_bump_words = c "arena.bump_words";
+    r_hits = c "lookup.hit";
+    r_misses = c "lookup.miss";
+  }
+
+let registry_active (r : registry) = r.r_installs > 0 || r.r_live > 0
+
 let measure (module P : W.PORT) ~workload ~mode ~iters =
   let predecode, blocks, regions = W.mode_exn ~tool:"vprof" mode in
   let tel = Tel.create () in
@@ -127,6 +162,20 @@ let report ~port ~workload ~mode ~iters ~top (o : outcome) =
   Printf.printf "  %-28s %12d\n" "region invalidations" t.t_invalidations;
   Printf.printf "  %-28s %12d (%.1f%% of region execs)\n" "region side exits"
     t.t_side_exits (side_exit_rate t);
+  (* the code-region registry (router workload only) *)
+  let r = registry_of o in
+  if registry_active r then begin
+    Printf.printf "\nregistry:\n";
+    Printf.printf "  %-28s %12d\n" "installs" r.r_installs;
+    Printf.printf "  %-28s %12d\n" "replaces" r.r_replaces;
+    Printf.printf "  %-28s %12d\n" "evictions" r.r_evictions;
+    Printf.printf "  %-28s %12d\n" "capacity evictions" r.r_cap_evictions;
+    Printf.printf "  %-28s %12d\n" "live regions" r.r_live;
+    Printf.printf "  %-28s %12d live / %d free\n" "arena slabs" r.r_slabs_live
+      r.r_slabs_free;
+    Printf.printf "  %-28s %12d\n" "arena bump words" r.r_bump_words;
+    Printf.printf "  %-28s %12d hit / %d miss\n" "lookups" r.r_hits r.r_misses
+  end;
   (* counters, largest first *)
   let cs = List.filter (fun (_, v) -> v > 0) o.o_counters in
   let cs = List.sort (fun (_, a) (_, b) -> compare b a) cs in
@@ -175,6 +224,13 @@ let write_json path ~port ~workload ~mode ~iters ~top (o : outcome) =
      \"side_exit_rate\": %.4f },\n"
     t.t_block_execs t.t_block_chains t.t_region_execs t.t_promotions t.t_invalidations
     t.t_side_exits (side_exit_rate t);
+  let r = registry_of o in
+  Printf.fprintf oc
+    "  \"registry\": { \"installs\": %d, \"replaces\": %d, \"evictions\": %d, \
+     \"capacity_evictions\": %d, \"live_regions\": %d, \"slabs_live\": %d, \
+     \"slabs_free\": %d, \"bump_words\": %d, \"lookup_hits\": %d, \"lookup_misses\": %d },\n"
+    r.r_installs r.r_replaces r.r_evictions r.r_cap_evictions r.r_live r.r_slabs_live
+    r.r_slabs_free r.r_bump_words r.r_hits r.r_misses;
   emit_obj "counters" o.o_counters string_of_int;
   emit_obj "dists" o.o_dists (fun (st : Tel.dist_stats) ->
       Printf.sprintf "{ \"count\": %d, \"sum\": %d, \"min\": %d, \"max\": %d }" st.Tel.count
@@ -196,7 +252,7 @@ let workload_arg =
     value
     & opt string "dpf-classify"
     & info [ "w"; "workload" ] ~docv:"WORKLOAD"
-        ~doc:"dpf-classify|table4-ash|alu-loop|region-loop")
+        ~doc:"dpf-classify|table4-ash|alu-loop|region-loop|router")
 
 let mode_arg =
   Arg.(
@@ -213,7 +269,7 @@ let json_arg =
   Arg.(
     value
     & opt (some string) None
-    & info [ "json" ] ~docv:"FILE" ~doc:"also write the report as JSON (schema 2)")
+    & info [ "json" ] ~docv:"FILE" ~doc:"also write the report as JSON (schema 3)")
 
 let main port workload mode top iters json =
   let p = W.port_exn ~tool:"vprof" port in

@@ -26,6 +26,17 @@ let create ?(capacity = 256) () =
 let length t = t.len
 let growths t = t.growths
 
+(* Forget the contents but keep the backing array: the word array is
+   not shrunk or zeroed (every slot below [len] is overwritten before
+   it can be read again, because [emit]/[reserve] are the only ways to
+   extend [len]).  [growths] restarts from 0 so the capacity-hint gauge
+   reflects the buffer's current tenant, not its whole history — the
+   server's slab arena resets a scratch buffer once per compiled
+   filter, and a batch that never grows should report 0. *)
+let reset t =
+  t.len <- 0;
+  t.growths <- 0
+
 let grow t =
   let w = Array.make (2 * Array.length t.words) 0 in
   Array.blit t.words 0 w 0 t.len;

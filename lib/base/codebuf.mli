@@ -15,6 +15,15 @@ val length : t -> int
     [create] capacity hint was sufficient *)
 val growths : t -> int
 
+(** [reset t] zeroes the length and the {!growths} baseline but keeps
+    the backing capacity, so the buffer can be reused for the next
+    function without reallocating.  Previously emitted words become
+    unreachable ({!get}/{!set}/{!truncate} are checked against the new
+    length).  This is what lets a compile queue recycle one slab
+    buffer across thousands of small functions instead of allocating a
+    heap buffer per function. *)
+val reset : t -> unit
+
 (** append one instruction word (interpreted modulo 2^32); returns the
     word's index for later backpatching.  The hot path of the whole
     generator: one capacity test and a straight-line store. *)

@@ -101,10 +101,20 @@ let grow_table a used needed =
 let provenance_default = ref false
 let set_provenance_default b = provenance_default := b
 
-let create ?(base = 0) ?provenance ?capacity (desc : Machdesc.t) =
+let create ?(base = 0) ?provenance ?capacity ?buf (desc : Machdesc.t) =
+  (* [buf] lets a compile queue hand in a recycled slab buffer (reset
+     here, so callers can't accidentally append to a previous tenant);
+     the [capacity] hint only applies to a freshly allocated buffer *)
+  let buf =
+    match buf with
+    | Some b ->
+      Codebuf.reset b;
+      b
+    | None -> Codebuf.create ?capacity ()
+  in
   {
     desc;
-    buf = Codebuf.create ?capacity ();
+    buf;
     base;
     labels = Array.make 16 (-1);
     nlabels = 0;

@@ -83,8 +83,13 @@ type t = {
     copies (large functions) or a needlessly big buffer (small DPF-style
     filters).  [provenance] turns the emit-site side table on for this
     function (default: {!set_provenance_default}'s process-wide flag,
-    initially off). *)
-val create : ?base:int -> ?provenance:bool -> ?capacity:int -> Machdesc.t -> t
+    initially off).  [buf] supplies a recycled code buffer instead of
+    allocating one — it is {!Codebuf.reset} here and then owned by this
+    generator until v_end; a batched compile queue passes the same slab
+    buffer for every function so N small compiles allocate zero buffers
+    ([capacity] is ignored in that case). *)
+val create :
+  ?base:int -> ?provenance:bool -> ?capacity:int -> ?buf:Codebuf.t -> Machdesc.t -> t
 
 (** flip the process-wide default for [create]'s [provenance] — the
     profiling/trace tools set it before generating their workloads so

@@ -156,12 +156,13 @@ module Make_gen (C : CHECKS) (T : Target.S) = struct
      string, e.g. "%i%p"; [base] is the address the code will be
      installed at; [leaf] asserts the function makes no calls
      (V_LEAF); [capacity] is an expected-code-size hint in words,
-     forwarded to the code buffer.  Returns the generation state and
-     the registers holding the incoming parameters. *)
-  let lambda ?(base = 0) ?(leaf = false) ?capacity (sig_ : string) : gen * Reg.t array =
+     forwarded to the code buffer; [buf] recycles a slab buffer instead
+     (see {!Gen.create}).  Returns the generation state and the
+     registers holding the incoming parameters. *)
+  let lambda ?(base = 0) ?(leaf = false) ?capacity ?buf (sig_ : string) : gen * Reg.t array =
     if C.enabled && base land 7 <> 0 then
       Verror.fail (Verror.Bad_operand "base must be 8-aligned");
-    let g = Gen.create ~base ?capacity T.desc in
+    let g = Gen.create ~base ?capacity ?buf T.desc in
     g.Gen.leaf <- leaf;
     g.Gen.in_function <- true;
     let tys = Array.of_list (Vtype.parse_signature sig_) in

@@ -86,8 +86,11 @@ module Make (T : Target.S) = struct
 
   let u32 v = v land 0xFFFFFFFF
 
+  (* [buf] recycles a slab code buffer across compiles (the server's
+     batched install queue passes one scratch buffer for thousands of
+     small per-filter compiles); see {!Gen.create}. *)
   let compile ?(base = 0x1000) ?(table_base = 0x200000) ?(dispatch = Auto)
-      ?(merge = true) (filters : Filter.t list) : compiled =
+      ?(merge = true) ?buf (filters : Filter.t list) : compiled =
     let big_endian = T.desc.Machdesc.big_endian in
     let native = List.map (Filter.to_native ~big_endian) filters in
     (* [merge = false] is the ablation: each filter compiled as its own
@@ -100,7 +103,7 @@ module Make (T : Target.S) = struct
           native Trie.Fail
     in
     (* demultiplexors are small: ~100 words covers typical merged tries *)
-    let g, args = V.lambda ~base ~leaf:true ~capacity:128 "%p%i" in
+    let g, args = V.lambda ~base ~leaf:true ~capacity:128 ?buf "%p%i" in
     let pkt = args.(0) and len = args.(1) in
     let rbase = V.getreg_exn g ~cls:`Temp Vtype.P in
     let rv = V.getreg_exn g ~cls:`Temp Vtype.U in

@@ -34,6 +34,24 @@ type prepared = {
   regions : code_region list;
 }
 
+(* The synthetic router: a {!Vserver.Server} registry of compiled DPF
+   filters driven under churn.  Closures rather than a functor result
+   so the CLI tools can hold one regardless of port. *)
+type router = {
+  rt_install : n:int -> batched:bool -> unit;
+      (* install the next [n] keys; [batched] uses the scratch-buffer
+         compile queue, otherwise one fresh buffer per filter *)
+  rt_packets : n:int -> churn_every:int -> unit;
+      (* demultiplex [n] packets against live filters (hot-skewed key
+         choice, each classification checked against the installed
+         fid); every [churn_every] packets the oldest filter is
+         evicted and a fresh one installed in its place *)
+  rt_live : unit -> int;
+  rt_installs : unit -> int; (* filters ever installed *)
+  rt_drops : unit -> int; (* lookups that missed (evicted keys) *)
+  rt_sync : unit -> unit; (* push registry gauges into telemetry *)
+}
+
 let region name (c : Vcode.code) =
   { r_name = name; r_base = c.Vcode.base; r_limit = c.Vcode.base + c.Vcode.code_bytes;
     r_gen = c.Vcode.gen }
@@ -79,6 +97,12 @@ module type PORT = sig
   (** stale-translation injection (see {!Vmachine.Block_cache.alias}) *)
   val alias_block : m -> at:int -> from:int -> bool
 
+  (** a fresh router over [m]'s memory; [max_live] caps resident
+      filters (capacity evictions past it); [arena_slabs] sizes the
+      code window to that many 128-word slabs (the single-filter slab
+      class), the lever for driving the registry at capacity *)
+  val router : ?tel:Tel.t -> ?fuel:int -> ?max_live:int -> ?arena_slabs:int -> m -> router
+
   (** generate + install the named workload's code into [m]; [iters]
       is baked into the returned closure.  [tel] receives the
       generation-cost note ({!Tel.note_gen}); [provenance] runs the
@@ -108,6 +132,7 @@ module Make_port (T : Target.S) (S : SIM) : PORT = struct
   module V = Vcode.Make (T)
   module DP = Dpf.Make (T)
   module ASH = Ash.Make (T)
+  module SV = Vserver.Server.Make (T)
 
   type m = S.t
 
@@ -192,6 +217,91 @@ module Make_port (T : Target.S) (S : SIM) : PORT = struct
   let install m (c : Vcode.code) =
     Vmachine.Mem.install_code (S.mem m) ~addr:c.Vcode.base c.Vcode.gen.Gen.buf
 
+  (* The router workload.  Keys are monotonic endpoint ids; the live
+     set is the sliding window [oldest, next_key).  Each packet picks a
+     key (skewed 3:1 toward the newest quarter — new connections are
+     hot), pokes that key's destination port into the resident packet
+     header, looks the filter up and runs it; the classification must
+     return the installed fid, which is what makes every packet an
+     oracle against stale translations at reused slab addresses. *)
+  let router ?(tel = Tel.disabled) ?fuel ?max_live ?arena_slabs m =
+    let mem = S.mem m in
+    let arena_base = 0x100000 in
+    let arena_limit =
+      Option.map (fun n -> arena_base + (4 * 128 * n)) arena_slabs
+    in
+    let sv = SV.create ~tel ?max_live ~arena_base ?arena_limit mem in
+    Dpf.Packet.install mem ~addr:pkt_addr (Dpf.Packet.tcp ());
+    let next_key = ref 0 and oldest = ref 0 and drops = ref 0 in
+    (* dst_port is a 16-bit field: fold keys into [1000, 61000) *)
+    let port_of_key k = 1000 + (k mod 60000) in
+    let filter_of_key k =
+      Dpf.Filter.tcpip_session ~fid:k ~dst_ip:0x0A000001 ~dst_port:(port_of_key k)
+    in
+    (* deterministic LCG so runs are reproducible across hosts *)
+    let rng = ref 0x2545F491 in
+    let rand bound =
+      rng := ((!rng * 1103515245) + 12345) land 0x3FFFFFFF;
+      !rng mod bound
+    in
+    let rt_install ~n ~batched =
+      let k0 = !next_key in
+      next_key := k0 + n;
+      if batched then begin
+        (* drain the queue in bounded chunks: one monolithic 10k-pair
+           list would stay live across every minor collection the
+           compiles trigger, and re-scanning it costs more than the
+           scratch buffer saves *)
+        let chunk = 256 in
+        let k = ref k0 in
+        while !k < k0 + n do
+          let c = min chunk (k0 + n - !k) in
+          let b = !k in
+          SV.install_batch sv (List.init c (fun i -> (b + i, filter_of_key (b + i))));
+          k := b + c
+        done
+      end
+      else
+        for k = k0 to k0 + n - 1 do
+          ignore (SV.install sv ~key:k (filter_of_key k) : int)
+        done
+    in
+    let rt_packets ~n ~churn_every =
+      for i = 1 to n do
+        let span = !next_key - !oldest in
+        if span <= 0 then invalid_arg "router: no filters installed";
+        let k =
+          if !oldest > 0 && rand 16 = 0 then rand !oldest (* an evicted endpoint *)
+          else if rand 4 < 3 then !next_key - 1 - rand (max 1 (span / 4))
+          else !oldest + rand span
+        in
+        let port = port_of_key k in
+        Vmachine.Mem.write_u8 mem (pkt_addr + 22) ((port lsr 8) land 0xff);
+        Vmachine.Mem.write_u8 mem (pkt_addr + 23) (port land 0xff);
+        (match SV.lookup sv k with
+        | None -> incr drops
+        | Some entry ->
+          let got = S.call_ints ?fuel m ~entry [ pkt_addr; 40 ] in
+          if got <> k then
+            Printf.ksprintf failwith "router: packet for key %d classified as %d" k got);
+        if churn_every > 0 && i mod churn_every = 0 then begin
+          ignore (SV.evict sv !oldest : bool);
+          incr oldest;
+          let k' = !next_key in
+          incr next_key;
+          SV.install_batch sv [ (k', filter_of_key k') ]
+        end
+      done
+    in
+    {
+      rt_install;
+      rt_packets;
+      rt_live = (fun () -> SV.live sv);
+      rt_installs = (fun () -> (SV.stats sv).SV.installs);
+      rt_drops = (fun () -> !drops);
+      rt_sync = (fun () -> SV.sync_gauges sv);
+    }
+
   let prepare ?(tel = Tel.disabled) ?(provenance = false) ?fuel m ~workload ~iters =
     (* the generators create their own [Gen.t]s behind [lambda], so
        provenance is requested through the process-wide default; it is
@@ -253,6 +363,18 @@ module Make_port (T : Target.S) (S : SIM) : PORT = struct
       let outer = max 1 (iters / 64) in
       let run () = ignore (S.call_ints ?fuel m ~entry:code.Vcode.entry_addr [ outer ]) in
       { run; regions = [ region "rloop" code ] }
+    | "router" ->
+      (* registry churn fixture: [iters] packets over a filter table
+         sized to the packet count (16..4096 filters), one churn
+         (evict oldest + install fresh) every 32 packets *)
+      let r = router ~tel ?fuel m in
+      let nf = max 16 (min 4096 (iters / 4)) in
+      r.rt_install ~n:nf ~batched:true;
+      let run () =
+        r.rt_packets ~n:iters ~churn_every:32;
+        r.rt_sync ()
+      in
+      { run; regions = [] }
     | w -> Printf.ksprintf failwith "unknown workload %S" w
 end
 
@@ -372,7 +494,7 @@ let modes =
     ("regions", (true, true, true));
   ]
 
-let workload_names = [ "dpf-classify"; "table4-ash"; "alu-loop"; "region-loop" ]
+let workload_names = [ "dpf-classify"; "table4-ash"; "alu-loop"; "region-loop"; "router" ]
 let port_names = List.map fst ports
 let mode_names = List.map fst modes
 let find_port name = List.assoc_opt name ports

@@ -54,4 +54,11 @@ let test_config = {
   mem_bytes = 4 * 1024 * 1024;
 }
 
+(* The router-service machine: DEC5000 timing with enough memory for a
+   10k-filter resident code arena (~5MB of slabs) plus headroom.  The
+   translation caches size their tables lazily from the touched
+   address range, so the larger ceiling costs nothing until code
+   actually lands high. *)
+let router = { dec5000 with name = "DEC5000-router"; mem_bytes = 8 * 1024 * 1024 }
+
 let cycles_to_us t cycles = float_of_int cycles /. t.clock_mhz

@@ -24,4 +24,8 @@ val dec5000 : t
     by instruction counts *)
 val test_config : t
 
+(** DEC5000 timing with 8MB of memory: room for the router workload's
+    10k-filter slab arena *)
+val router : t
+
 val cycles_to_us : t -> int -> float

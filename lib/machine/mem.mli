@@ -14,6 +14,9 @@ val create : ?big_endian:bool -> size:int -> unit -> t
 val size : t -> int
 val big_endian : t -> bool
 
+(** handle naming one registered write watcher, for later removal *)
+type watcher
+
 (** [set_write_watcher t f] registers [f] to be called as [f addr len]
     after every mutation of the memory — scalar stores, the bulk
     helpers, and {!install_code}.  The simulators hang
@@ -23,11 +26,23 @@ val big_endian : t -> bool
 val set_write_watcher : t -> (int -> int -> unit) -> unit
 
 (** [add_write_watcher t f] registers [f] {e in addition to} any
-    already-registered watchers; on a store, watchers run in
-    registration order.  The simulators register both
-    {!Decode_cache.invalidate} and {!Block_cache.invalidate} this
-    way. *)
-val add_write_watcher : t -> (int -> int -> unit) -> unit
+    already-registered watchers and returns a handle for
+    {!remove_write_watcher}; on a store, watchers run in registration
+    order.  The simulators register {!Decode_cache.invalidate} and
+    {!Block_cache.invalidate} this way.  Per-store dispatch cost is
+    O(live watchers) — zero watchers hit a shared no-op, a single
+    watcher is called bare (no wrapper closure), and k > 1 share one
+    array walk — never O(registrations ever made), so install/evict
+    churn that adds and removes watchers leaves the store path flat. *)
+val add_write_watcher : t -> (int -> int -> unit) -> watcher
+
+(** [remove_write_watcher t w] unregisters the watcher named by [w];
+    idempotent — removing a handle twice (or one superseded by
+    {!set_write_watcher}) is a no-op *)
+val remove_write_watcher : t -> watcher -> unit
+
+(** live registered watchers (tests pin the store-path cost model) *)
+val watcher_count : t -> int
 
 val read_u8 : t -> int -> int
 val write_u8 : t -> int -> int -> unit

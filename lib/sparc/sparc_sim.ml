@@ -89,15 +89,17 @@ let create ?(predecode = true) ?(blocks = true) ?(regions = false)
       ~len_bytes:(fun b -> 4 * b.n) () in
   let rc = Region_cache.create ~tel:telemetry ~name:"sparc.rc" ~mem_bytes:cfg.mem_bytes
       ~spans:(fun r -> r.r_spans) () in
-  Mem.add_write_watcher mem (Decode_cache.invalidate pdc);
-  Mem.add_write_watcher mem (Block_cache.invalidate bc);
+  ignore (Mem.add_write_watcher mem (Decode_cache.invalidate pdc) : Mem.watcher);
+  ignore (Mem.add_write_watcher mem (Block_cache.invalidate bc) : Mem.watcher);
   (* A dropped region must abort a running pass even when the
      overwritten constituent block is no longer bc-resident (so the
      Block_cache watcher above dropped nothing): raise bc's dirty flag
      unconditionally and let the shared store closures raise Retired. *)
   if regions then
-    Mem.add_write_watcher mem (fun addr len ->
-        if Region_cache.invalidate rc addr len then Block_cache.mark_dirty bc);
+    ignore
+      (Mem.add_write_watcher mem (fun addr len ->
+           if Region_cache.invalidate rc addr len then Block_cache.mark_dirty bc)
+        : Mem.watcher);
   {
     mem;
     pdc;

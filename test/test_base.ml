@@ -98,6 +98,46 @@ let test_codebuf_blit_endianness () =
   check Alcotest.string "little" "\x44\x33\x22\x11" (Bytes.to_string le);
   check Alcotest.string "big" "\x11\x22\x33\x44" (Bytes.to_string be)
 
+(* reset keeps the backing capacity (heap_words flat, no growths on
+   re-emission) while making the old contents unreachable *)
+let test_codebuf_reset_reuse () =
+  let b = Codebuf.create ~capacity:2 () in
+  for i = 0 to 999 do
+    ignore (Codebuf.emit b i)
+  done;
+  let grew = Codebuf.growths b in
+  check Alcotest.bool "grew past the hint" true (grew > 0);
+  let hw = Codebuf.heap_words b in
+  Codebuf.reset b;
+  check Alcotest.int "reset length" 0 (Codebuf.length b);
+  check Alcotest.int "reset growths baseline" 0 (Codebuf.growths b);
+  check Alcotest.int "capacity kept (heap_words flat)" hw (Codebuf.heap_words b);
+  for i = 0 to 999 do
+    ignore (Codebuf.emit b (i * 3))
+  done;
+  check Alcotest.int "re-emitted" 1000 (Codebuf.length b);
+  check Alcotest.int "no growths on reuse" 0 (Codebuf.growths b);
+  check Alcotest.int "heap_words still flat" hw (Codebuf.heap_words b);
+  check Alcotest.int "fresh contents" 42 (Codebuf.get b 14)
+
+(* old indices are dead after reset: get/set/truncate check against the
+   new length *)
+let test_codebuf_reset_truncate () =
+  let b = Codebuf.create () in
+  for i = 0 to 9 do
+    ignore (Codebuf.emit b i)
+  done;
+  Codebuf.truncate b 4;
+  check Alcotest.int "truncated" 4 (Codebuf.length b);
+  Codebuf.reset b;
+  ignore (Codebuf.emit b 7);
+  Alcotest.check_raises "get past reset length"
+    (Verror.Error (Verror.Bad_operand "Codebuf.get: index 3 outside [0,1)")) (fun () ->
+      ignore (Codebuf.get b 3));
+  Alcotest.check_raises "truncate past reset length"
+    (Verror.Error (Verror.Bad_operand "Codebuf.truncate: length 4 outside [0,1]"))
+    (fun () -> Codebuf.truncate b 4)
+
 let prop_codebuf_word_identity =
   QCheck.Test.make ~name:"codebuf stores 32-bit words exactly" ~count:500
     QCheck.(list (int_bound 0xFFFFFFF))
@@ -373,6 +413,8 @@ let () =
           Alcotest.test_case "growth" `Quick test_codebuf_growth;
           Alcotest.test_case "reserve" `Quick test_codebuf_reserve;
           Alcotest.test_case "blit endianness" `Quick test_codebuf_blit_endianness;
+          Alcotest.test_case "reset reuse" `Quick test_codebuf_reset_reuse;
+          Alcotest.test_case "reset vs truncate" `Quick test_codebuf_reset_truncate;
           qtest prop_codebuf_word_identity;
         ] );
       ( "gen",

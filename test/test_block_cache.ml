@@ -395,8 +395,8 @@ let test_add_write_watcher () =
   let module M = Vmachine.Mem in
   let mem = M.create ~size:4096 () in
   let log = ref [] in
-  M.add_write_watcher mem (fun addr len -> log := ("first", addr, len) :: !log);
-  M.add_write_watcher mem (fun addr len -> log := ("second", addr, len) :: !log);
+  let w1 = M.add_write_watcher mem (fun addr len -> log := ("first", addr, len) :: !log) in
+  let _w2 = M.add_write_watcher mem (fun addr len -> log := ("second", addr, len) :: !log) in
   M.write_u32 mem 0x40 0xdeadbeef;
   check
     Alcotest.(list (triple string int int))
@@ -410,6 +410,18 @@ let test_add_write_watcher () =
     "byte store reported to both"
     [ ("first", 0x91, 1); ("second", 0x91, 1) ]
     (List.rev !log);
+  (* removing the first leaves only the second on the store path *)
+  log := [];
+  M.remove_write_watcher mem w1;
+  M.write_u32 mem 0x44 1;
+  check
+    Alcotest.(list (triple string int int))
+    "removed watcher no longer fires"
+    [ ("second", 0x44, 4) ]
+    (List.rev !log);
+  (* removal is idempotent *)
+  M.remove_write_watcher mem w1;
+  Alcotest.(check int) "one live watcher" 1 (M.watcher_count mem);
   (* set_write_watcher still replaces everything *)
   log := [];
   M.set_write_watcher mem (fun addr len -> log := ("only", addr, len) :: !log);
@@ -418,7 +430,21 @@ let test_add_write_watcher () =
     Alcotest.(list (triple string int int))
     "set_write_watcher replaces previous watchers"
     [ ("only", 0x10, 2) ]
-    (List.rev !log)
+    (List.rev !log);
+  Alcotest.(check int) "set leaves one live watcher" 1 (M.watcher_count mem);
+  (* N add/remove cycles leave the store path flat: after churn only the
+     survivor fires, exactly once per store, and the live count is 1 —
+     the dispatcher is rebuilt from live watchers, not wrapped per
+     historical registration *)
+  let fires = ref 0 in
+  M.set_write_watcher mem (fun _ _ -> incr fires);
+  for _ = 1 to 1000 do
+    let w = M.add_write_watcher mem (fun _ _ -> ()) in
+    M.remove_write_watcher mem w
+  done;
+  Alcotest.(check int) "churn leaves one live watcher" 1 (M.watcher_count mem);
+  M.write_u32 mem 0x80 5;
+  Alcotest.(check int) "survivor fires exactly once after churn" 1 !fires
 
 let () =
   Alcotest.run "block-cache"

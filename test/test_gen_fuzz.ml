@@ -17,7 +17,9 @@ let qtest = QCheck_alcotest.to_alcotest
 (* The common surface of both instantiations, as a first-class module  *)
 
 module type EMITTER = sig
-  val lambda : ?base:int -> ?leaf:bool -> ?capacity:int -> string -> Gen.t * Reg.t array
+  val lambda :
+    ?base:int -> ?leaf:bool -> ?capacity:int -> ?buf:Codebuf.t -> string ->
+    Gen.t * Reg.t array
   val end_gen : Gen.t -> Vcode.code
   val getreg_exn : Gen.t -> cls:[ `Temp | `Var ] -> Vtype.t -> Reg.t
   val genlabel : Gen.t -> int
