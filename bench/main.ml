@@ -24,6 +24,7 @@
 open Vcodebase
 module V = Vcode.Make (Vmips.Mips_backend)
 module VU = Vcode.Make_unchecked (Vmips.Mips_backend)
+module VP = Vcode.Make_unchecked (Vcode.Make_peephole (Vmips.Mips_backend))
 module D = Dcg.Make (Vmips.Mips_backend)
 module Sim = Vmips.Mips_sim
 
@@ -58,8 +59,10 @@ let json_float v =
    (1 = pre-schema-field dumps; 2 added this field; 3 added the
    sim-throughput regions tier and the region-loop workload rows;
    4 added the router section: registry install/demux rates under
-   churn.) *)
-let json_schema_version = 4
+   churn; 5 added the peephole section: peephole-on table3/table4
+   rows, the codegen vcode-peephole ladder row, and the rewrite
+   counters.) *)
+let json_schema_version = 5
 
 let write_json path =
   let items = List.rev !json_results in
@@ -155,6 +158,26 @@ let gen_vcode_unchecked () =
   VU.Names.reti g args.(0);
   VU.end_gen g
 
+(* the same mix through the peephole-wrapped unchecked port: measures
+   the sliding-window overhead against the unchecked floor *)
+let vcode_body_p g (r0 : Reg.t) (r1 : Reg.t) (p : Reg.t) =
+  for _ = 1 to insns_per_body / 8 do
+    VP.arith_imm g Op.Add Vtype.I r0 r0 1;
+    VP.arith g Op.Add Vtype.I r1 r1 r0;
+    VP.arith_imm g Op.Lsh Vtype.I r0 r0 2;
+    VP.arith g Op.Xor Vtype.I r0 r0 r1;
+    VP.load_imm g Vtype.I r1 p 0;
+    VP.store_imm g Vtype.I r0 p 4;
+    VP.arith g Op.Sub Vtype.I r0 r0 r1;
+    VP.arith_imm g Op.Or Vtype.I r1 r1 255
+  done
+
+let gen_vcode_peephole () =
+  let g, args = VP.lambda ~base:0x1000 ~leaf:true ~capacity:body_capacity "%i%i%p" in
+  vcode_body_p g args.(0) args.(1) args.(2);
+  VP.Names.reti g args.(0);
+  VP.end_gen g
+
 (* hard-coded register names (section 5.3): no allocator interaction *)
 let gen_vcode_hard_regs () =
   let g, args = V.lambda ~base:0x1000 ~leaf:true ~capacity:body_capacity "%p" in
@@ -244,6 +267,7 @@ let bench_codegen () =
     [
       Test.make ~name:"vcode" (Staged.stage (fun () -> Sys.opaque_identity (gen_vcode_checked ())));
       Test.make ~name:"vcode-unchecked" (Staged.stage (fun () -> Sys.opaque_identity (gen_vcode_unchecked ())));
+      Test.make ~name:"vcode-peephole" (Staged.stage (fun () -> Sys.opaque_identity (gen_vcode_peephole ())));
       Test.make ~name:"vcode-hard-regs" (Staged.stage (fun () -> Sys.opaque_identity (gen_vcode_hard_regs ())));
       Test.make ~name:"vcode-raw-emitters" (Staged.stage (fun () -> Sys.opaque_identity (gen_vcode_raw ())));
       Test.make ~name:"dcg-ir" (Staged.stage (fun () -> Sys.opaque_identity (gen_dcg ())));
@@ -256,13 +280,15 @@ let bench_codegen () =
     [
       ("vcode (checked API)", per "vcode");
       ("vcode (unchecked API)", per "vcode-unchecked");
+      ("vcode (unchecked + peephole)", per "vcode-peephole");
       ("vcode (hard-coded registers)", per "vcode-hard-regs");
       ("vcode (raw backend emitters)", per "vcode-raw-emitters");
       ("dcg (IR build + consume)", per "dcg-ir");
     ]
   in
   List.iter (fun n -> record ("codegen." ^ slug n ^ ".ns_per_insn") (per n))
-    [ "vcode"; "vcode-unchecked"; "vcode-hard-regs"; "vcode-raw-emitters"; "dcg-ir" ];
+    [ "vcode"; "vcode-unchecked"; "vcode-peephole"; "vcode-hard-regs";
+      "vcode-raw-emitters"; "dcg-ir" ];
   Printf.printf "   %-34s %14s %10s\n" "system" "ns/generated" "vs vcode";
   let base = per "vcode" in
   List.iter
@@ -283,6 +309,7 @@ let bench_codegen () =
   record "codegen.dcg_vs_raw" (per "dcg-ir" /. per "vcode-raw-emitters");
   record "codegen.unchecked_vs_raw" (per "vcode-unchecked" /. per "vcode-raw-emitters");
   record "codegen.checked_vs_unchecked" (base /. per "vcode-unchecked");
+  record "codegen.peephole_vs_unchecked" (per "vcode-peephole" /. per "vcode-unchecked");
   record "codegen.alloc_words_vcode" aw_v;
   record "codegen.alloc_words_vcode_unchecked" aw_u;
   record "codegen.alloc_words_vcode_raw" aw_r;
@@ -471,6 +498,103 @@ let bench_table4 () =
     paper;
   Printf.printf "\n   paper shape: integration wins 20-50%% warm and ~2x after a flush;\n";
   Printf.printf "   ASH (specialized) beats hand-integrated C.\n\n"
+
+(* ------------------------------------------------------------------ *)
+(* Section: peephole (PR 8)                                            *)
+
+(* The Table 3 / Table 4 workloads regenerated through
+   [Vcode.Make_peephole]-wrapped ports: same client code, the stage
+   interposed at functor application.  Records the peephole-on rows
+   next to the unchecked baselines, the code-size delta, and the
+   rewrite counters. *)
+module DPP = Dpf.Make (Vcode.Make_peephole (Vmips.Mips_backend))
+module ASHP = Ash.Make (Vcode.Make_peephole (Vmips.Mips_backend))
+
+let bench_peephole () =
+  Printf.printf "== peephole (Make_peephole-wrapped ports on table3/table4) ==\n\n";
+  let cfg = Vmachine.Mconfig.dec5000 in
+  (* table 3: DPF classifier, raw vs wrapped MIPS port *)
+  let run_dpf (compile : Dpf.Filter.t list -> Dpf.compiled)
+      ~(install : Vmachine.Mem.t -> Dpf.compiled -> unit) =
+    let filters = Dpf.Filter.tcpip_filters 10 in
+    let c = compile filters in
+    let m = Sim.create ~telemetry:(tel ()) cfg in
+    Vmachine.Mem.install_code m.Sim.mem ~addr:c.Dpf.code.Vcode.base
+      c.Dpf.code.Vcode.gen.Gen.buf;
+    install m.Sim.mem c;
+    let classify port =
+      Dpf.Packet.install m.Sim.mem ~addr:pkt_addr (Dpf.Packet.tcp ~dst_port:port ());
+      Sim.reset_stats m;
+      Sim.call m ~entry:c.Dpf.entry [ Sim.Int pkt_addr; Sim.Int 40 ];
+      assert (Sim.ret_int m = port - 1000);
+      m.Sim.cycles
+    in
+    let avg = avg_cycles_per_classify ~classify in
+    (Vmachine.Mconfig.cycles_to_us cfg (int_of_float avg), c.Dpf.code)
+  in
+  let dpf_us, dpf_code =
+    run_dpf
+      (fun fs -> DP.compile ~base:0x1000 ~table_base:0x200000 fs)
+      ~install:(fun mem c -> DP.install_tables mem c)
+  in
+  let dpf_p_us, dpf_p_code =
+    run_dpf
+      (fun fs -> DPP.compile ~base:0x1000 ~table_base:0x200000 fs)
+      ~install:(fun mem c -> DPP.install_tables mem c)
+  in
+  Vmachine.Telemetry.note_gen (tel ()) ~prefix:"peephole.dpf" dpf_p_code.Vcode.gen;
+  let words c = c.Vcode.code_bytes / 4 in
+  let p = dpf_p_code.Vcode.gen.Gen.peep in
+  Printf.printf "   %-28s %12s %12s\n" "workload" "raw port" "peephole";
+  Printf.printf "   %-28s %12.2f %12.2f   (us/classify)\n" "table3 dpf" dpf_us dpf_p_us;
+  Printf.printf "   %-28s %12d %12d   (code words)\n" "table3 dpf"
+    (words dpf_code) (words dpf_p_code);
+  Printf.printf
+    "   rewrites: %d moves killed, %d fusions, %d slot fills, %d strength\n"
+    p.Peepwin.moves_killed p.Peepwin.fusions p.Peepwin.slot_fills p.Peepwin.strength;
+  record "table3.peephole.dpf_us" dpf_p_us;
+  record "table3.peephole.dpf_code_words" (float_of_int (words dpf_p_code));
+  record "table3.peephole.dpf_code_words_saved"
+    (float_of_int (words dpf_code - words dpf_p_code));
+  record "peephole.dpf.moves_killed" (float_of_int p.Peepwin.moves_killed);
+  record "peephole.dpf.fusions" (float_of_int p.Peepwin.fusions);
+  record "peephole.dpf.slot_fills" (float_of_int p.Peepwin.slot_fills);
+  record "peephole.dpf.strength" (float_of_int p.Peepwin.strength);
+  (* table 4: the ASH pipeline, raw vs wrapped *)
+  let ops = [ Ash.Copy; Ash.Checksum; Ash.Byteswap ] in
+  let nwords = 2048 in
+  let run_ash (ash : Vcode.code) =
+    let m = Sim.create ~telemetry:(tel ()) cfg in
+    Vmachine.Mem.install_code m.Sim.mem ~addr:ash.Vcode.base ash.Vcode.gen.Gen.buf;
+    let data = Bytes.init (4 * nwords) (fun i -> Char.chr ((i * 131) land 0xff)) in
+    Vmachine.Mem.blit_bytes m.Sim.mem ~addr:src_addr data;
+    let run () =
+      Sim.call m ~entry:ash.Vcode.entry_addr
+        [ Sim.Int dst_addr; Sim.Int src_addr; Sim.Int nwords ];
+      Sim.ret_int m
+    in
+    ignore (run ());
+    Sim.reset_stats m;
+    ignore (run ());
+    Vmachine.Mconfig.cycles_to_us cfg m.Sim.cycles
+  in
+  let ash = ASH.gen_ash ~base:0xA000 ops in
+  let ash_p = ASHP.gen_ash ~base:0xA000 ops in
+  let ash_us = run_ash ash and ash_p_us = run_ash ash_p in
+  Vmachine.Telemetry.note_gen (tel ()) ~prefix:"peephole.ash" ash_p.Vcode.gen;
+  let pa = ash_p.Vcode.gen.Gen.peep in
+  Printf.printf "   %-28s %12.0f %12.0f   (us, DEC5000 cached)\n"
+    "table4 ash copy+cksum+bswap" ash_us ash_p_us;
+  Printf.printf "   %-28s %12d %12d   (code words)\n" "table4 ash"
+    (words ash) (words ash_p);
+  Printf.printf
+    "   rewrites: %d moves killed, %d fusions, %d slot fills, %d strength\n\n"
+    pa.Peepwin.moves_killed pa.Peepwin.fusions pa.Peepwin.slot_fills pa.Peepwin.strength;
+  record "table4.peephole.ash_us" ash_p_us;
+  record "table4.peephole.ash_baseline_us" ash_us;
+  record "table4.peephole.ash_code_words_saved" (float_of_int (words ash - words ash_p));
+  record "peephole.ash.slot_fills" (float_of_int pa.Peepwin.slot_fills);
+  (dpf_us, dpf_p_us, words dpf_code - words dpf_p_code)
 
 (* ------------------------------------------------------------------ *)
 (* Section: generation-space                                           *)
@@ -935,6 +1059,7 @@ let run_all () =
   let dcg_ratio, dcg_raw_ratio, alloc_ratio = bench_codegen () in
   let dpf_us, pf_us, mpf_us = bench_table3 () in
   bench_table4 ();
+  let _, dpf_peep_us, dpf_words_saved = bench_peephole () in
   bench_space ();
   bench_ablation_dpf ();
   bench_ablation_vregs ();
@@ -948,12 +1073,14 @@ let run_all () =
     "   codegen: dcg/vcode %.1fx (vs raw emitters %.1fx; paper ~35x), alloc ratio %.1fx\n"
     dcg_ratio dcg_raw_ratio alloc_ratio;
   Printf.printf "   table 3: DPF %.2fus, PATHFINDER %.2fus (%.1fx), MPF %.2fus (%.1fx)\n"
-    dpf_us pf_us (pf_us /. dpf_us) mpf_us (mpf_us /. dpf_us)
+    dpf_us pf_us (pf_us /. dpf_us) mpf_us (mpf_us /. dpf_us);
+  Printf.printf "   peephole: dpf %.2fus, %d code words saved\n" dpf_peep_us
+    dpf_words_saved
 
 let usage () =
   prerr_endline
     "usage: main.exe [--json FILE] [--telemetry] [MODE...]\n\
-     modes: all (default) codegen table3 table4 space ablations wallclock\n\
+     modes: all (default) codegen table3 table4 peephole space ablations wallclock\n\
      \       sim-throughput router json-selftest";
   exit 2
 
@@ -962,6 +1089,7 @@ let run_mode = function
   | "codegen" -> ignore (bench_codegen ())
   | "table3" -> ignore (bench_table3 ())
   | "table4" -> bench_table4 ()
+  | "peephole" -> ignore (bench_peephole () : float * float * int)
   | "space" -> bench_space ()
   | "ablations" ->
       bench_ablation_dpf ();

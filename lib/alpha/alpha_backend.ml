@@ -746,6 +746,20 @@ let finish g =
 
 let apply_reloc _g ~kind:_ ~site:_ ~dest:_ = ()
 
+(* Peephole interposition hooks: the raw port binds labels directly and
+   needs no window barrier (Alpha also has no delay slots). *)
+let bind_label g l = Gen.bind_label g l
+let sync _g = ()
+
+(* Mirror of [arith_imm]'s single-instruction fast paths: operate-format
+   instructions take an 8-bit zero-extended literal; shift counts are
+   masked by the hardware. *)
+let binop_imm_fits (op : Op.binop) imm =
+  match op with
+  | Op.Add | Op.Sub | Op.And | Op.Or | Op.Xor | Op.Mul -> fits_lit imm
+  | Op.Lsh | Op.Rsh -> true
+  | Op.Div | Op.Mod -> false
+
 let disasm ~word ~addr = A.disasm ~addr word
 
 let extra_insns =

@@ -80,6 +80,9 @@ type t = {
                                 Opk slot; slot -1 closes the table *)
   mutable nprov : int;
   mutable tstate : int;      (* target-private scratch (e.g. SPARC leaf) *)
+  peep : Peepwin.t;          (* peephole window metadata (Vcode.Make_peephole);
+                                fixed-size, allocated once here so wrapped and
+                                unwrapped ports share one Gen.t shape *)
 }
 
 let empty_table : int array = [||]
@@ -152,6 +155,7 @@ let create ?(base = 0) ?provenance ?capacity ?buf (desc : Machdesc.t) =
     prov = empty_table;
     nprov = 0;
     tstate = 0;
+    peep = Peepwin.create ();
   }
 
 let[@inline] check_open g =
@@ -321,9 +325,60 @@ let[@inline] count_insn g k =
   Array.unsafe_set g.op_counts k (Array.unsafe_get g.op_counts k + 1);
   if g.prov_on then prov_record g k
 
+(* Retire a previously counted instruction: the peephole stage calls
+   this when it rewrites the buffer tail and an already-counted
+   instruction (e.g. a dead set-immediate fused into an op-immediate)
+   is removed.  The counters stay equal to what the final buffer
+   actually contains. *)
+let uncount_insn g k =
+  g.insn_count <- g.insn_count - 1;
+  Array.unsafe_set g.op_counts k (Array.unsafe_get g.op_counts k - 1)
+
 let op_count g k =
   if k < 0 || k >= Opk.slots then Verror.failf "op_count: bad opcode slot %d" k;
   g.op_counts.(k)
+
+(* ------------------------------------------------------------------ *)
+(* Peephole fixups: keep the provenance table and the pending
+   relocation sites consistent when the window stage rewrites the
+   buffer tail.  All three are bounded by the window size (a handful
+   of table entries at the very end), so they cost O(window) — the
+   space and time bounds of generation are untouched.                  *)
+
+(* Drop provenance records whose start index is >= [start] — the spans
+   covering a retired tail about to be truncated or re-emitted. *)
+let prov_drop_from g ~start =
+  if g.prov_on then begin
+    let i = ref g.nprov in
+    while !i > 0 && g.prov.((2 * (!i - 1))) >= start do decr i done;
+    g.nprov <- !i
+  end
+
+(* Re-record a span with an explicit start index (the peephole stage
+   knows where the rewritten instruction landed, which is not the
+   current buffer end). *)
+let prov_append g ~start ~slot =
+  if g.prov_on then begin
+    if 2 * g.nprov >= Array.length g.prov then
+      g.prov <- grow_table g.prov (2 * g.nprov) 2;
+    let o = 2 * g.nprov in
+    g.prov.(o) <- start;
+    g.prov.(o + 1) <- slot;
+    g.nprov <- g.nprov + 1
+  end
+
+(* Shift every pending relocation site at or beyond [from] by [by]
+   words: when the peephole stage removes a word (a filled delay-slot
+   nop), patch sites recorded downstream of the removal move with the
+   code.  Labels need no fixup — they bind to buffer indices when the
+   client binds them, which is always after any rewrite of the words
+   they follow (the window flushes at every bind). *)
+let shift_reloc_sites g ~from ~by =
+  let a = g.relocs in
+  for r = 0 to g.nrelocs - 1 do
+    let i = 3 * r in
+    if a.(i) >= from then a.(i) <- a.(i) + by
+  done
 
 (* Visit each bound relocation's (site, destination) pair — meaningful
    after [resolve_relocs] has run (v_end), when every label is bound.

@@ -76,6 +76,9 @@ type t = {
       (** packed, stride 2: start word index, {!Opk} slot (-1 closes) *)
   mutable nprov : int;
   mutable tstate : int;      (** target-private scratch *)
+  peep : Peepwin.t;
+      (** peephole window metadata, driven by [Vcode.Make_peephole];
+          inert (and allocation-free) for unwrapped ports *)
 }
 
 (** [capacity] is an instruction-count hint forwarded to
@@ -172,9 +175,28 @@ val note_write : t -> Reg.t -> unit
     per-opcode table are plain int-array stores. *)
 val count_insn : t -> int -> unit
 
+(** retire a previously counted instruction (peephole rewrites that
+    remove an already-counted instruction from the buffer tail) *)
+val uncount_insn : t -> int -> unit
+
 (** the emission count recorded for one {!Opk} slot;
     @raise Verror.Error on an out-of-range slot *)
 val op_count : t -> int -> int
+
+(** {2 Peephole tail-rewrite fixups}
+
+    Used by [Vcode.Make_peephole] when it rewrites the last few emitted
+    words in place; each is bounded by the window size. *)
+
+(** drop provenance spans starting at or beyond [start] *)
+val prov_drop_from : t -> start:int -> unit
+
+(** re-record a provenance span at an explicit start index *)
+val prov_append : t -> start:int -> slot:int -> unit
+
+(** shift pending relocation sites at or beyond [from] by [by] words
+    (word removal moves downstream patch sites with the code) *)
+val shift_reloc_sites : t -> from:int -> by:int -> unit
 
 (** visit each relocation's (code-index site, code-index destination)
     pair; relocations whose label is still unbound are skipped.  After

@@ -56,6 +56,27 @@ module type S = sig
   val branch_imm : Gen.t -> Op.cond -> Vtype.t -> Reg.t -> int -> int -> unit
   val nop : Gen.t -> unit
 
+  (* --- peephole interposition hooks ---------------------------------- *)
+
+  (* Bind a label at the current buffer position.  Raw ports delegate to
+     [Gen.bind_label]; a peephole stage flushes its window first so no
+     later rewrite can move words a bound label already points at.
+     [Vcode.Make_gen] routes every client label bind through here. *)
+  val bind_label : Gen.t -> int -> unit
+
+  (* Barrier: the caller is about to read or rewrite buffer words behind
+     the target's back (e.g. the portable delay-slot scheduler's
+     truncate-and-patch surgery).  Raw ports no-op; a peephole stage
+     flushes its window. *)
+  val sync : Gen.t -> unit
+
+  (* Whether the port's [arith_imm] encodes [op] with immediate [imm] in
+     its single-instruction fast path (no scratch-register constant
+     synthesis).  Conservative "false" is always sound — the peephole
+     stage uses this purely as a profitability test for fusing
+     set-immediate + op into op-immediate. *)
+  val binop_imm_fits : Op.binop -> int -> bool
+
   (* --- calls --------------------------------------------------------- *)
 
   (* Dynamically constructed calls: arguments are pushed one at a time

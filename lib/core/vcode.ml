@@ -225,7 +225,11 @@ module Make_gen (C : CHECKS) (T : Target.S) = struct
     Array.iter (fun r -> Gen.set_reg_class g r Gen.Ocallee) T.desc.Machdesc.ftemps
 
   let genlabel g = Gen.genlabel g
-  let label g l = Gen.bind_label g l
+
+  (* Route label binds through the target so an interposed peephole
+     stage (Make_peephole) can flush its window before the position is
+     captured; raw ports delegate straight to [Gen.bind_label]. *)
+  let label g l = T.bind_label g l
 
   (* A local variable on the stack (v_local). *)
   type local = { loc_off : int; loc_ty : Vtype.t }
@@ -450,6 +454,10 @@ module Make_gen (C : CHECKS) (T : Target.S) = struct
        with no relocations; otherwise [slot] simply precedes the
        branch. *)
     let schedule_delay g ~(branch : unit -> unit) ~(slot : unit -> unit) =
+      (* barrier: the truncate-and-patch surgery below reads buffer
+         positions behind the target's back, so an interposed peephole
+         window must be flushed first *)
+      T.sync g;
       let p0 = Codebuf.length g.Gen.buf in
       let r0 = Gen.reloc_count g and f0 = Gen.fimm_count g in
       slot ();
@@ -1215,6 +1223,451 @@ module Make_gen (C : CHECKS) (T : Target.S) = struct
     let jalr g r = jal g (Gen.Jreg r)
     let jalpi g a = jal g (Gen.Jaddr a)
   end
+end
+
+(* ------------------------------------------------------------------ *)
+(* Composable peephole stage                                           *)
+
+(* [Make_peephole (T)] is a [Target.S] that wraps a raw port with a
+   sliding-window peephole pass, so any instantiation becomes
+   [Make_gen (C) (Make_peephole (Port))] with zero client changes.
+
+   The window ({!Peepwin}) is pure metadata about the last few emitted
+   instructions: every emitter still writes straight into the code
+   buffer, and a flush just forgets the metadata — no word moves, no
+   allocation — so the paper's O(labels + jumps) space bound is
+   untouched.  Four rewrite classes:
+
+   - redundant moves: [mov r,r] and moves made redundant by a tracked
+     copy fact are skipped before encoding;
+   - immediate fusion: [set rt,k ; op rd,rs,rt] with [rd = rt] (the
+     constant dies) retires the set and re-emits as op-immediate when
+     the port encodes it in one instruction (or strength reduction
+     applies);
+   - strength reduction: mul/div/mod by constant powers of two become
+     shifts/masks, small mul constants become shift-add pairs — on
+     ports whose mul/div go through multi-word synthesis or helper
+     calls this removes whole sequences;
+   - delay-slot filling (MIPS/SPARC): the last independent single-word
+     instruction is moved into the branch delay slot in place of the
+     port's nop, with the branch relocation site and provenance spans
+     shifted to the post-surgery indices.
+
+   Safety protocol: the window flushes at every label bind
+   ([bind_label]), before external buffer surgery ([sync]), and resets
+   whenever the staleness check at each emitter entry sees that the
+   buffer tail no longer matches the top record (any bypass emission —
+   extension instructions, a port's internal truncate — is therefore
+   automatically safe, just unoptimized). *)
+module Make_peephole (T : Target.S) : Target.S = struct
+  let desc = T.desc
+  let scratch_packed = Reg.to_int T.desc.Machdesc.scratch
+
+  (* The port's delay-slot nop encoding, derived once by emitting a nop
+     into a throwaway generator.  Used to recognize "branch word +
+     slot nop" tails without knowing the port's encodings. *)
+  let slot_nop_word =
+    if T.desc.Machdesc.branch_delay_slots = 1 then begin
+      let g = Gen.create T.desc in
+      T.nop g;
+      Codebuf.get g.Gen.buf 0
+    end
+    else 0
+
+  (* Staleness check: run at every wrapped emitter entry.  If anything
+     appended to or truncated the buffer without going through this
+     stage, the record no longer ends at the buffer length and the
+     metadata is dropped.  (In-place patches without a length change
+     only happen in [apply_reloc], reached via [bind_label]/[finish],
+     both of which reset the window first.) *)
+  let[@inline] check_sync g =
+    let w = g.Gen.peep in
+    if w.Peepwin.ko <> 0 && w.Peepwin.end_ <> Codebuf.length g.Gen.buf then
+      Peepwin.reset w
+
+  (* Record the instruction just emitted at [start] when it is a single
+     word; multi-word sequences are unrecordable and flush instead. *)
+  let[@inline] finish1 g ~start ~kind ~def ~u1 ~u2 ~opk =
+    let w = g.Gen.peep in
+    let len = Codebuf.length g.Gen.buf in
+    if len - start = 1 then Peepwin.push w ~start ~end_:len ~kind ~def ~u1 ~u2 ~opk
+    else Peepwin.flush w
+
+  let[@inline] do_arith g op t rd rs1 rs2 =
+    let w = g.Gen.peep in
+    Peepwin.on_def w (Reg.to_int rd);
+    let start = Codebuf.length g.Gen.buf in
+    T.arith g op t rd rs1 rs2;
+    finish1 g ~start ~kind:Peepwin.k_arith ~def:(Reg.to_int rd)
+      ~u1:(Reg.to_int rs1) ~u2:(Reg.to_int rs2) ~opk:(Opk.arith op)
+
+  let[@inline] do_arith_imm g op t rd rs1 imm =
+    let w = g.Gen.peep in
+    Peepwin.on_def w (Reg.to_int rd);
+    let start = Codebuf.length g.Gen.buf in
+    T.arith_imm g op t rd rs1 imm;
+    finish1 g ~start ~kind:Peepwin.k_arith_imm ~def:(Reg.to_int rd)
+      ~u1:(Reg.to_int rs1) ~u2:(-1) ~opk:(Opk.arith_imm op)
+
+  let[@inline] do_unary g op t rd rs =
+    let w = g.Gen.peep in
+    Peepwin.on_def w (Reg.to_int rd);
+    let start = Codebuf.length g.Gen.buf in
+    T.unary g op t rd rs;
+    finish1 g ~start
+      ~kind:(if op = Op.Mov then Peepwin.k_mov else Peepwin.k_unary)
+      ~def:(Reg.to_int rd) ~u1:(Reg.to_int rs) ~u2:(-1) ~opk:(Opk.unary op)
+
+  let do_set g t rd v =
+    let w = g.Gen.peep in
+    Peepwin.on_def w (Reg.to_int rd);
+    let start = Codebuf.length g.Gen.buf in
+    T.set g t rd v;
+    let nw = Codebuf.length g.Gen.buf - start in
+    let iv = Int64.to_int v in
+    (* record only when the value round-trips through int (the fusion
+       and window imm fields are native ints) *)
+    if nw >= 1 && Int64.equal (Int64.of_int iv) v then begin
+      Peepwin.push w ~start ~end_:(start + nw) ~kind:Peepwin.k_set
+        ~def:(Reg.to_int rd) ~u1:(-1) ~u2:(-1) ~opk:Opk.set;
+      w.Peepwin.imm <- iv
+    end
+    else Peepwin.flush w
+
+  (* Redundant-move elimination: [mov r,r] and moves whose source and
+     destination are already known equal are skipped entirely — no
+     words, no counting (the destination's value is unchanged, so the
+     callee-save masks stay correct without a [note_write]). *)
+  let mov_core g t rd rs =
+    let w = g.Gen.peep in
+    let prd = Reg.to_int rd and prs = Reg.to_int rs in
+    if prd = prs || Peepwin.have_fact w prd prs then
+      w.Peepwin.moves_killed <- w.Peepwin.moves_killed + 1
+    else begin
+      do_unary g Op.Mov t rd rs;
+      Peepwin.set_fact w prd prs
+    end
+
+  (* --- strength reduction -------------------------------------------- *)
+
+  let is_pow2 c = c > 0 && c land (c - 1) = 0
+
+  let log2 c =
+    let rec go c k = if c <= 1 then k else go (c lsr 1) (k + 1) in
+    go c 0
+
+  let unsigned_ty (t : Vtype.t) = match t with Vtype.U | Vtype.UL -> true | _ -> false
+
+  (* Can [op rd, rs, #imm] be rewritten into a cheaper shape?  Used both
+     as the [arith_imm] rewrite dispatch and as the fusion
+     profitability test (fusing into a reducible form is a win even
+     when the port has no single-instruction immediate encoding). *)
+  let mul_shift_ok t k = Op.binop_imm_ok Op.Lsh t && T.binop_imm_fits Op.Lsh k
+
+  let reducible (op : Op.binop) (t : Vtype.t) c =
+    match op with
+    | Op.Mul ->
+      (not (Vtype.is_float t))
+      && (c = 0 || c = 1
+         || (c = -1 && t <> Vtype.P)
+         || (is_pow2 c && mul_shift_ok t (log2 c))
+         || (c > 2
+            && (not (T.binop_imm_fits Op.Mul c))
+            && ((is_pow2 (c - 1) && mul_shift_ok t (log2 (c - 1)))
+               || (is_pow2 (c + 1) && mul_shift_ok t (log2 (c + 1))))))
+    | Op.Div ->
+      unsigned_ty t
+      && (c = 1
+         || (is_pow2 c && Op.binop_imm_ok Op.Rsh t && T.binop_imm_fits Op.Rsh (log2 c)))
+    | Op.Mod ->
+      unsigned_ty t && is_pow2 c
+      && Op.binop_imm_ok Op.And t
+      && T.binop_imm_fits Op.And (c - 1)
+    | _ -> false
+
+  (* Strength-reducing [op rd, rs1, #imm] dispatch for the three ops
+     that can reduce; everything else goes straight to [do_arith_imm]
+     from [emit_arith_imm] below without even calling [reducible]. *)
+  let emit_arith_imm_red g op t rd rs1 imm =
+    let w = g.Gen.peep in
+    if not (reducible op t imm) then do_arith_imm g op t rd rs1 imm
+    else begin
+      w.Peepwin.strength <- w.Peepwin.strength + 1;
+      match op with
+      | Op.Mul ->
+        if imm = 0 then do_set g t rd 0L
+        else if imm = 1 then mov_core g t rd rs1
+        else if imm = -1 then do_unary g Op.Neg t rd rs1
+        else if is_pow2 imm then do_arith_imm g Op.Lsh t rd rs1 (log2 imm)
+        else begin
+          (* c = 2^k +/- 1: shift into the assembler temporary, then
+             add/sub the original operand (scratch is dead between
+             client instructions; rd = rs1 is safe — rs1 is read by
+             the shift before rd is written) *)
+          let sc = T.desc.Machdesc.scratch in
+          if is_pow2 (imm - 1) && mul_shift_ok t (log2 (imm - 1)) then begin
+            do_arith_imm g Op.Lsh t sc rs1 (log2 (imm - 1));
+            do_arith g Op.Add t rd sc rs1
+          end
+          else begin
+            do_arith_imm g Op.Lsh t sc rs1 (log2 (imm + 1));
+            do_arith g Op.Sub t rd sc rs1
+          end
+        end
+      | Op.Div ->
+        if imm = 1 then mov_core g t rd rs1
+        else do_arith_imm g Op.Rsh t rd rs1 (log2 imm)
+      | Op.Mod -> do_arith_imm g Op.And t rd rs1 (imm - 1)
+      | _ -> assert false
+    end
+
+  let[@inline] emit_arith_imm g op t rd rs1 imm =
+    match op with
+    | Op.Mul | Op.Div | Op.Mod -> emit_arith_imm_red g op t rd rs1 imm
+    | _ -> do_arith_imm g op t rd rs1 imm
+
+  (* --- immediate fusion ---------------------------------------------- *)
+
+  let commutative (op : Op.binop) =
+    match op with
+    | Op.Add | Op.Mul | Op.And | Op.Or | Op.Xor -> true
+    | Op.Sub | Op.Div | Op.Mod | Op.Lsh | Op.Rsh -> false
+
+  (* [set rt,k ; op rd,rs,rt] with [rd = rt]: the constant register
+     dies here, so retire the set (truncate its words, un-count it,
+     drop its provenance span) and emit op-immediate instead.  Only
+     when the immediate form is a single instruction on this port, or
+     strength reduction applies — fusing into a scratch-synthesized
+     constant would just re-materialize the set. *)
+  let try_fuse_set g op t rd rs1 rs2 =
+    let w = g.Gen.peep in
+    if not (Op.binop_imm_ok op t) then false
+    else begin
+      let rt = Peepwin.def w in
+      let k = w.Peepwin.imm in
+      let prd = Reg.to_int rd and p1 = Reg.to_int rs1 and p2 = Reg.to_int rs2 in
+      let profitable = T.binop_imm_fits op k || reducible op t k in
+      let src =
+        if p2 = rt && p1 <> rt then Some rs1
+        else if p1 = rt && p2 <> rt && commutative op then Some rs2
+        else None
+      in
+      match src with
+      | Some rs when prd = rt && profitable ->
+        Codebuf.truncate g.Gen.buf w.Peepwin.start;
+        Gen.uncount_insn g (Peepwin.opk w);
+        Gen.prov_drop_from g ~start:w.Peepwin.start;
+        Peepwin.pop w;
+        w.Peepwin.fusions <- w.Peepwin.fusions + 1;
+        emit_arith_imm g op t rd rs k;
+        true
+      | _ -> false
+    end
+
+  (* --- delay-slot filling -------------------------------------------- *)
+
+  (* The port just emitted a branch sequence spanning [p0 .. len-1]: a
+     compare prelude of [len-2-p0] words, the relocated branch word at
+     [len-2], and the slot nop at [len-1].  If the top window record is
+     an independent single-word instruction immediately before [p0],
+     move it into the slot: shift the branch words down one, place the
+     candidate last, drop the nop, and re-point the relocation site and
+     the two provenance spans at the post-surgery indices.
+
+     Independence: the candidate must not define a branch source (the
+     compare now reads its inputs before the candidate runs) and must
+     not touch the assembler temporary (the compare prelude may write
+     it).  [max_body] bounds the prelude so only synthesis paths whose
+     prelude writes at most the assembler temporary qualify. *)
+  let try_fill g ~p0 ~r0 ~max_body ~src1 ~src2 ~opk =
+    if T.desc.Machdesc.branch_delay_slots = 1 then begin
+      let w = g.Gen.peep in
+      if Peepwin.have w then begin
+        let s = w.Peepwin.start in
+        let len = Codebuf.length g.Gen.buf in
+        let d = Peepwin.def w in
+        if
+          w.Peepwin.end_ = p0
+          && s + 1 = p0
+          && Gen.reloc_count g = r0 + 1
+          && g.Gen.relocs.((g.Gen.nrelocs - 1) * 3) = len - 2
+          && Codebuf.get g.Gen.buf (len - 1) = slot_nop_word
+          && len - 2 - p0 <= max_body
+          && d <> scratch_packed
+          && Peepwin.u1 w <> scratch_packed
+          && Peepwin.u2 w <> scratch_packed
+          && (d = -1 || (d <> src1 && d <> src2))
+        then begin
+          let cand = Codebuf.get g.Gen.buf s in
+          for j = p0 to len - 2 do
+            Codebuf.set g.Gen.buf (j - 1) (Codebuf.get g.Gen.buf j)
+          done;
+          Codebuf.set g.Gen.buf (len - 2) cand;
+          Codebuf.truncate g.Gen.buf (len - 1);
+          Gen.shift_reloc_sites g ~from:p0 ~by:(-1);
+          Gen.prov_drop_from g ~start:s;
+          Gen.prov_append g ~start:s ~slot:opk;
+          Gen.prov_append g ~start:(len - 2) ~slot:(Peepwin.opk w);
+          w.Peepwin.slot_fills <- w.Peepwin.slot_fills + 1
+        end
+      end
+    end
+
+  (* --- the Target.S surface ------------------------------------------ *)
+
+  let lambda g tys =
+    let r = T.lambda g tys in
+    Peepwin.reset g.Gen.peep;
+    r
+
+  let ret g t r =
+    check_sync g;
+    T.ret g t r;
+    Peepwin.reset g.Gen.peep
+
+  let finish g =
+    Peepwin.reset g.Gen.peep;
+    T.finish g
+
+  (* cheap common-path test inline; the rewrite body out of line *)
+  let[@inline] try_fuse g op t rd rs1 rs2 =
+    let w = g.Gen.peep in
+    (* single compare: ko's kind bits name a live k_set record *)
+    w.Peepwin.ko lsr 16 = Peepwin.k_set + 1 && try_fuse_set g op t rd rs1 rs2
+
+  let arith g op t rd rs1 rs2 =
+    check_sync g;
+    if not (try_fuse g op t rd rs1 rs2) then do_arith g op t rd rs1 rs2
+
+  let arith_imm g op t rd rs1 imm =
+    check_sync g;
+    emit_arith_imm g op t rd rs1 imm
+
+  let unary g op t rd rs =
+    check_sync g;
+    match op with
+    | Op.Mov -> mov_core g t rd rs
+    | _ -> do_unary g op t rd rs
+
+  let set g t rd v =
+    check_sync g;
+    do_set g t rd v
+
+  let setf g t rd v =
+    check_sync g;
+    Peepwin.on_def g.Gen.peep (Reg.to_int rd);
+    T.setf g t rd v;
+    Peepwin.flush g.Gen.peep
+
+  let cvt g ~from ~to_ rd rs =
+    check_sync g;
+    Peepwin.on_def g.Gen.peep (Reg.to_int rd);
+    T.cvt g ~from ~to_ rd rs;
+    (* conversions may bind internal labels and record relocations *)
+    Peepwin.reset g.Gen.peep
+
+  (* Loads are never window candidates (the load-delay hazard would
+     make them unsafe to move into a delay slot), so just flush. *)
+  let load_imm g t rd base off =
+    check_sync g;
+    Peepwin.on_def g.Gen.peep (Reg.to_int rd);
+    T.load_imm g t rd base off;
+    Peepwin.flush g.Gen.peep
+
+  let load_reg g t rd base idx =
+    check_sync g;
+    Peepwin.on_def g.Gen.peep (Reg.to_int rd);
+    T.load_reg g t rd base idx;
+    Peepwin.flush g.Gen.peep
+
+  let store_imm g t rv base off =
+    check_sync g;
+    let start = Codebuf.length g.Gen.buf in
+    T.store_imm g t rv base off;
+    finish1 g ~start ~kind:Peepwin.k_store ~def:(-1) ~u1:(Reg.to_int rv)
+      ~u2:(Reg.to_int base) ~opk:Opk.st
+
+  (* register-offset stores have three source registers — more than the
+     window records — so they are not candidates *)
+  let store_reg g t rv base idx =
+    check_sync g;
+    T.store_reg g t rv base idx;
+    Peepwin.flush g.Gen.peep
+
+  let jump g tgt =
+    check_sync g;
+    let p0 = Codebuf.length g.Gen.buf in
+    let r0 = Gen.reloc_count g in
+    T.jump g tgt;
+    try_fill g ~p0 ~r0 ~max_body:0 ~src1:(-2) ~src2:(-2) ~opk:Opk.jmp;
+    Peepwin.flush g.Gen.peep
+
+  let jal g tgt =
+    check_sync g;
+    T.jal g tgt;
+    (* a call clobbers caller-saved registers: drop the copy fact too *)
+    Peepwin.reset g.Gen.peep
+
+  let branch g c t rs1 rs2 lab =
+    check_sync g;
+    let p0 = Codebuf.length g.Gen.buf in
+    let r0 = Gen.reloc_count g in
+    T.branch g c t rs1 rs2 lab;
+    try_fill g ~p0 ~r0 ~max_body:1 ~src1:(Reg.to_int rs1) ~src2:(Reg.to_int rs2)
+      ~opk:(Opk.branch c);
+    (* the copy fact survives: the fall-through path is unchanged and
+       the taken path lands on a label bind, which resets *)
+    Peepwin.flush g.Gen.peep
+
+  let branch_imm g c t rs1 imm lab =
+    check_sync g;
+    let p0 = Codebuf.length g.Gen.buf in
+    let r0 = Gen.reloc_count g in
+    T.branch_imm g c t rs1 imm lab;
+    try_fill g ~p0 ~r0 ~max_body:1 ~src1:(Reg.to_int rs1) ~src2:(-2)
+      ~opk:(Opk.branch_imm c);
+    Peepwin.flush g.Gen.peep
+
+  let nop g =
+    check_sync g;
+    T.nop g;
+    Peepwin.flush g.Gen.peep
+
+  (* Window must be empty before a label bind: the bound position is
+     about to become a branch target, and no rewrite may move words a
+     label already points at. *)
+  let bind_label g l =
+    Peepwin.reset g.Gen.peep;
+    Gen.bind_label g l
+
+  (* External code is about to rewrite the buffer tail (the portable
+     delay-slot scheduler): forget everything. *)
+  let sync g = Peepwin.reset g.Gen.peep
+  let binop_imm_fits = T.binop_imm_fits
+
+  let push_arg g t r =
+    check_sync g;
+    T.push_arg g t r;
+    Peepwin.flush g.Gen.peep
+
+  let do_call g tgt =
+    check_sync g;
+    T.do_call g tgt;
+    Peepwin.reset g.Gen.peep
+
+  let retval g t r =
+    check_sync g;
+    Peepwin.on_def g.Gen.peep (Reg.to_int r);
+    T.retval g t r;
+    Peepwin.flush g.Gen.peep
+
+  let apply_reloc = T.apply_reloc
+  let disasm = T.disasm
+
+  (* Extension instructions bypass the window by construction; the
+     staleness check at the next wrapped entry drops stale metadata. *)
+  let extra_insns = T.extra_insns
+  let extra_imm_insns = T.extra_imm_insns
 end
 
 (* The default, checked instantiation (the paper's debugging mode) and

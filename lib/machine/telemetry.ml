@@ -300,6 +300,14 @@ let note_gen t ?(prefix = "gen") (g : Vcodebase.Gen.t) =
     add t (counter t (prefix ^ ".code_words")) (Codebuf.length g.Gen.buf);
     add t (counter t (prefix ^ ".capacity_growths")) (Codebuf.growths g.Gen.buf);
     add t (counter t (prefix ^ ".relocs")) (Gen.total_relocs g);
+    (* peephole rewrite counters: all zero unless the port was wrapped
+       in [Vcode.Make_peephole] *)
+    let p = g.Gen.peep in
+    let peep name v = if v > 0 then add t (counter t (prefix ^ ".peep." ^ name)) v in
+    peep "moves_killed" p.Peepwin.moves_killed;
+    peep "fusions" p.Peepwin.fusions;
+    peep "slot_fills" p.Peepwin.slot_fills;
+    peep "strength" p.Peepwin.strength;
     let d = dist t (prefix ^ ".backpatch_words") in
     Gen.iter_reloc_spans g (fun ~site ~dest -> observe t d (abs (dest - site)))
   end

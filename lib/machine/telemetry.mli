@@ -84,7 +84,10 @@ val reset : t -> unit
 
 (** fold one generator's emission statistics into the sink after
     v_end: per-opcode counts ([<prefix>.emit.<op>]), instruction and
-    code-word totals, capacity growths, and the backpatch-distance
-    distribution ([<prefix>.backpatch_words], |dest - site| in
-    instruction words).  [prefix] defaults to ["gen"]. *)
+    code-word totals, capacity growths, peephole rewrite counters
+    ([<prefix>.peep.moves_killed/fusions/slot_fills/strength], nonzero
+    only for [Vcode.Make_peephole]-wrapped ports), and the
+    backpatch-distance distribution ([<prefix>.backpatch_words],
+    |dest - site| in instruction words).  [prefix] defaults to
+    ["gen"]. *)
 val note_gen : t -> ?prefix:string -> Vcodebase.Gen.t -> unit

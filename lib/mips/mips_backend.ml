@@ -212,11 +212,16 @@ let setf g t rd v =
 (* ------------------------------------------------------------------ *)
 (* Branches                                                            *)
 
-(* emit a branch word (offset patched at finish) plus its delay nop *)
-let emit_branch_word g w lab =
+(* The single emission point for every control transfer that carries a
+   relocation and a delay slot: the branch word (offset patched at
+   finish) followed by its slot nop.  Keeping one helper gives the
+   peephole stage ([Vcode.Make_peephole]) exactly one shape to rewrite
+   when it lifts an independent instruction into the slot: the patch
+   site is always the word before the nop. *)
+let emit_branch_with_slot ?(kind = k_branch) g w lab =
   let site = Codebuf.length g.Gen.buf in
   ew g w;
-  Gen.add_reloc g ~site ~lab ~kind:k_branch;
+  Gen.add_reloc g ~site ~lab ~kind;
   ew g A.W.nop (* delay slot *)
 
 let unsigned_cmp (t : Vtype.t) =
@@ -236,27 +241,27 @@ let branch g (c : Op.cond) (t : Vtype.t) rs1 rs2 lab =
       | Op.Ne -> (A.Fcmp (A.CEq, fmt, a, b), false)
     in
     e g cmp;
-    emit_branch_word g (A.encode (if on_true then A.Bc1t 0 else A.Bc1f 0)) lab
+    emit_branch_with_slot g (A.encode (if on_true then A.Bc1t 0 else A.Bc1f 0)) lab
   end
   else begin
     let a = rnum rs1 and b = rnum rs2 in
     let u = unsigned_cmp t in
     let slt x y = if u then A.W.sltu scratch x y else A.W.slt scratch x y in
     match c with
-    | Op.Eq -> emit_branch_word g (A.W.beq a b 0) lab
-    | Op.Ne -> emit_branch_word g (A.W.bne a b 0) lab
+    | Op.Eq -> emit_branch_with_slot g (A.W.beq a b 0) lab
+    | Op.Ne -> emit_branch_with_slot g (A.W.bne a b 0) lab
     | Op.Lt ->
       ew g (slt a b);
-      emit_branch_word g (A.W.bne scratch 0 0) lab
+      emit_branch_with_slot g (A.W.bne scratch 0 0) lab
     | Op.Ge ->
       ew g (slt a b);
-      emit_branch_word g (A.W.beq scratch 0 0) lab
+      emit_branch_with_slot g (A.W.beq scratch 0 0) lab
     | Op.Gt ->
       ew g (slt b a);
-      emit_branch_word g (A.W.bne scratch 0 0) lab
+      emit_branch_with_slot g (A.W.bne scratch 0 0) lab
     | Op.Le ->
       ew g (slt b a);
-      emit_branch_word g (A.W.beq scratch 0 0) lab
+      emit_branch_with_slot g (A.W.beq scratch 0 0) lab
   end
 
 let branch_imm g (c : Op.cond) (t : Vtype.t) rs1 imm lab =
@@ -266,18 +271,18 @@ let branch_imm g (c : Op.cond) (t : Vtype.t) rs1 imm lab =
     let a = rnum rs1 in
     let u = unsigned_cmp t in
     match c with
-    | Op.Eq when imm = 0 -> emit_branch_word g (A.W.beq a 0 0) lab
-    | Op.Ne when imm = 0 -> emit_branch_word g (A.W.bne a 0 0) lab
-    | Op.Lt when (not u) && imm = 0 -> emit_branch_word g (A.encode (A.Bltz (a, 0))) lab
-    | Op.Ge when (not u) && imm = 0 -> emit_branch_word g (A.encode (A.Bgez (a, 0))) lab
-    | Op.Gt when (not u) && imm = 0 -> emit_branch_word g (A.encode (A.Bgtz (a, 0))) lab
-    | Op.Le when (not u) && imm = 0 -> emit_branch_word g (A.encode (A.Blez (a, 0))) lab
+    | Op.Eq when imm = 0 -> emit_branch_with_slot g (A.W.beq a 0 0) lab
+    | Op.Ne when imm = 0 -> emit_branch_with_slot g (A.W.bne a 0 0) lab
+    | Op.Lt when (not u) && imm = 0 -> emit_branch_with_slot g (A.encode (A.Bltz (a, 0))) lab
+    | Op.Ge when (not u) && imm = 0 -> emit_branch_with_slot g (A.encode (A.Bgez (a, 0))) lab
+    | Op.Gt when (not u) && imm = 0 -> emit_branch_with_slot g (A.encode (A.Bgtz (a, 0))) lab
+    | Op.Le when (not u) && imm = 0 -> emit_branch_with_slot g (A.encode (A.Blez (a, 0))) lab
     | Op.Lt when fits16s imm ->
       ew g (if u then A.W.sltiu scratch a imm else A.W.slti scratch a imm);
-      emit_branch_word g (A.W.bne scratch 0 0) lab
+      emit_branch_with_slot g (A.W.bne scratch 0 0) lab
     | Op.Ge when fits16s imm ->
       ew g (if u then A.W.sltiu scratch a imm else A.W.slti scratch a imm);
-      emit_branch_word g (A.W.beq scratch 0 0) lab
+      emit_branch_with_slot g (A.W.beq scratch 0 0) lab
     | Op.Eq | Op.Ne | Op.Lt | Op.Le | Op.Gt | Op.Ge ->
       (* general case: materialize the immediate in $at and use $v1 for
          the comparison result where one is needed *)
@@ -285,20 +290,20 @@ let branch_imm g (c : Op.cond) (t : Vtype.t) rs1 imm lab =
       let b = scratch2 in
       let slt x y = if u then A.W.sltu scratch x y else A.W.slt scratch x y in
       (match c with
-      | Op.Eq -> emit_branch_word g (A.W.beq a b 0) lab
-      | Op.Ne -> emit_branch_word g (A.W.bne a b 0) lab
+      | Op.Eq -> emit_branch_with_slot g (A.W.beq a b 0) lab
+      | Op.Ne -> emit_branch_with_slot g (A.W.bne a b 0) lab
       | Op.Lt ->
         ew g (slt a b);
-        emit_branch_word g (A.W.bne scratch 0 0) lab
+        emit_branch_with_slot g (A.W.bne scratch 0 0) lab
       | Op.Ge ->
         ew g (slt a b);
-        emit_branch_word g (A.W.beq scratch 0 0) lab
+        emit_branch_with_slot g (A.W.beq scratch 0 0) lab
       | Op.Gt ->
         ew g (slt b a);
-        emit_branch_word g (A.W.bne scratch 0 0) lab
+        emit_branch_with_slot g (A.W.bne scratch 0 0) lab
       | Op.Le ->
         ew g (slt b a);
-        emit_branch_word g (A.W.beq scratch 0 0) lab)
+        emit_branch_with_slot g (A.W.beq scratch 0 0) lab)
 
 (* ------------------------------------------------------------------ *)
 (* Conversions                                                         *)
@@ -406,24 +411,24 @@ let store_reg g (t : Vtype.t) rv base idx =
 (* Control                                                             *)
 
 let jump g (t : Gen.jtarget) =
-  (match t with
-  | Gen.Jlabel lab ->
-    let site = Codebuf.length g.Gen.buf in
-    e g (A.J 0);
-    Gen.add_reloc g ~site ~lab ~kind:k_jump
-  | Gen.Jaddr a -> e g (A.J (a lsr 2))
-  | Gen.Jreg r -> e g (A.Jr (rnum r)));
-  e g A.Nop
+  match t with
+  | Gen.Jlabel lab -> emit_branch_with_slot ~kind:k_jump g (A.encode (A.J 0)) lab
+  | Gen.Jaddr a ->
+    e g (A.J (a lsr 2));
+    e g A.Nop
+  | Gen.Jreg r ->
+    e g (A.Jr (rnum r));
+    e g A.Nop
 
 let jal g (t : Gen.jtarget) =
-  (match t with
-  | Gen.Jlabel lab ->
-    let site = Codebuf.length g.Gen.buf in
-    e g (A.Jal 0);
-    Gen.add_reloc g ~site ~lab ~kind:k_call
-  | Gen.Jaddr a -> e g (A.Jal (a lsr 2))
-  | Gen.Jreg r -> e g (A.Jalr (31, rnum r)));
-  e g A.Nop
+  match t with
+  | Gen.Jlabel lab -> emit_branch_with_slot ~kind:k_call g (A.encode (A.Jal 0)) lab
+  | Gen.Jaddr a ->
+    e g (A.Jal (a lsr 2));
+    e g A.Nop
+  | Gen.Jreg r ->
+    e g (A.Jalr (31, rnum r));
+    e g A.Nop
 
 let nop g = e g A.Nop
 
@@ -627,6 +632,20 @@ let finish g =
 let apply_reloc _g ~kind:_ ~site:_ ~dest:_ =
   (* resolution happens inside [finish] where frame context is known *)
   ()
+
+(* Peephole interposition hooks: the raw port binds labels directly and
+   needs no window barrier. *)
+let bind_label g l = Gen.bind_label g l
+let sync _g = ()
+
+(* Mirror of [arith_imm]'s single-instruction fast paths. *)
+let binop_imm_fits (op : Op.binop) imm =
+  match op with
+  | Op.Add -> fits16s imm
+  | Op.Sub -> fits16s (-imm)
+  | Op.And | Op.Or | Op.Xor -> fits16u imm
+  | Op.Lsh | Op.Rsh -> imm >= 0 && imm <= 31
+  | Op.Mul | Op.Div | Op.Mod -> false
 
 let disasm ~word ~addr = A.disasm ~addr word
 

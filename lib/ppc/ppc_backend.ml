@@ -619,6 +619,22 @@ let finish g =
 
 let apply_reloc _g ~kind:_ ~site:_ ~dest:_ = ()
 
+(* Peephole interposition hooks: the raw port binds labels directly and
+   needs no window barrier (PPC has no delay slots). *)
+let bind_label g l = Gen.bind_label g l
+let sync _g = ()
+
+(* Mirror of [arith_imm]'s single-instruction fast paths: addi/mulli are
+   signed-16, the logical immediates unsigned-16, sub negates into addi,
+   and shift counts always encode. *)
+let binop_imm_fits (op : Op.binop) imm =
+  match op with
+  | Op.Add | Op.Mul -> fits16s imm
+  | Op.Sub -> fits16s (-imm)
+  | Op.And | Op.Or | Op.Xor -> fits16u imm
+  | Op.Lsh | Op.Rsh -> true
+  | Op.Div | Op.Mod -> false
+
 let disasm ~word ~addr = A.disasm ~addr word
 
 let extra_insns =

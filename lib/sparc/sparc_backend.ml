@@ -236,10 +236,15 @@ let setf g t rd v =
 (* ------------------------------------------------------------------ *)
 (* Branches                                                            *)
 
-let emit_branch_to g ~(mk : int -> A.t) lab =
+(* The single emission point for every control transfer that carries a
+   relocation and a delay slot: the branch word (displacement patched
+   at finish) followed by its slot nop.  One helper means the peephole
+   stage ([Vcode.Make_peephole]) has exactly one shape to rewrite when
+   filling the slot: the patch site is always the word before the nop. *)
+let emit_branch_with_slot ?(kind = k_branch) g ~(mk : int -> A.t) lab =
   let site = Codebuf.length g.Gen.buf in
   e g (mk 0);
-  Gen.add_reloc g ~site ~lab ~kind:k_branch;
+  Gen.add_reloc g ~site ~lab ~kind;
   e g A.Nop
 
 let unsigned_cmp (t : Vtype.t) =
@@ -272,11 +277,11 @@ let branch g (c : Op.cond) (t : Vtype.t) rs1 rs2 lab =
       | Op.Eq -> A.FBE
       | Op.Ne -> A.FBNE
     in
-    emit_branch_to g ~mk:(fun d -> A.Fbfcc (fc, d)) lab
+    emit_branch_with_slot g ~mk:(fun d -> A.Fbfcc (fc, d)) lab
   end
   else begin
     e g (A.Alu (A.Subcc, g0, rnum rs1, A.R (rnum rs2)));
-    emit_branch_to g ~mk:(fun d -> A.Bicc (icond_for c ~unsigned:(unsigned_cmp t), d)) lab
+    emit_branch_with_slot g ~mk:(fun d -> A.Bicc (icond_for c ~unsigned:(unsigned_cmp t), d)) lab
   end
 
 let branch_imm g (c : Op.cond) (t : Vtype.t) rs1 imm lab =
@@ -286,7 +291,7 @@ let branch_imm g (c : Op.cond) (t : Vtype.t) rs1 imm lab =
     load_const g g1 imm;
     e g (A.Alu (A.Subcc, g0, rnum rs1, A.R g1))
   end;
-  emit_branch_to g ~mk:(fun d -> A.Bicc (icond_for c ~unsigned:(unsigned_cmp t), d)) lab
+  emit_branch_with_slot g ~mk:(fun d -> A.Bicc (icond_for c ~unsigned:(unsigned_cmp t), d)) lab
 
 (* ------------------------------------------------------------------ *)
 (* Conversions                                                         *)
@@ -380,29 +385,27 @@ let store_reg g (t : Vtype.t) rv base idx =
 (* Control                                                             *)
 
 let jump g (t : Gen.jtarget) =
-  (match t with
-  | Gen.Jlabel lab ->
-    let site = Codebuf.length g.Gen.buf in
-    e g (A.Bicc (A.BA, 0));
-    Gen.add_reloc g ~site ~lab ~kind:k_branch
+  match t with
+  | Gen.Jlabel lab -> emit_branch_with_slot g ~mk:(fun d -> A.Bicc (A.BA, d)) lab
   | Gen.Jaddr a ->
     load_const g g1 a;
-    e g (A.Jmpl (g0, g1, A.Imm 0))
-  | Gen.Jreg r -> e g (A.Jmpl (g0, rnum r, A.Imm 0)));
-  e g A.Nop
+    e g (A.Jmpl (g0, g1, A.Imm 0));
+    e g A.Nop
+  | Gen.Jreg r ->
+    e g (A.Jmpl (g0, rnum r, A.Imm 0));
+    e g A.Nop
 
 let jal g (t : Gen.jtarget) =
-  (match t with
-  | Gen.Jlabel lab ->
-    let site = Codebuf.length g.Gen.buf in
-    e g (A.Call 0);
-    Gen.add_reloc g ~site ~lab ~kind:k_call
+  match t with
+  | Gen.Jlabel lab -> emit_branch_with_slot ~kind:k_call g ~mk:(fun d -> A.Call d) lab
   | Gen.Jaddr a ->
     (* call is pc-relative and the site address is known now *)
     let here = g.Gen.base + (4 * Codebuf.length g.Gen.buf) in
-    e g (A.Call ((a - here) asr 2))
-  | Gen.Jreg r -> e g (A.Jmpl (o7, rnum r, A.Imm 0)));
-  e g A.Nop
+    e g (A.Call ((a - here) asr 2));
+    e g A.Nop
+  | Gen.Jreg r ->
+    e g (A.Jmpl (o7, rnum r, A.Imm 0));
+    e g A.Nop
 
 let nop g = e g A.Nop
 
@@ -580,6 +583,19 @@ let finish g =
       else Verror.failf "unknown reloc kind %d" kind)
 
 let apply_reloc _g ~kind:_ ~site:_ ~dest:_ = ()
+
+(* Peephole interposition hooks: the raw port binds labels directly and
+   needs no window barrier. *)
+let bind_label g l = Gen.bind_label g l
+let sync _g = ()
+
+(* Mirror of [arith_imm]'s single-instruction fast paths: most ALU ops
+   take a simm13 operand; shifts always encode (the count is masked). *)
+let binop_imm_fits (op : Op.binop) imm =
+  match op with
+  | Op.Add | Op.Sub | Op.And | Op.Or | Op.Xor | Op.Mul -> fits13 imm
+  | Op.Lsh | Op.Rsh -> true
+  | Op.Div | Op.Mod -> false
 
 let disasm ~word ~addr = A.disasm ~addr word
 

@@ -191,12 +191,28 @@ module Alpha_u = Vcode.Make_unchecked (Valpha.Alpha_backend)
 module Ppc_c = Vcode.Make (Vppc.Ppc_backend)
 module Ppc_u = Vcode.Make_unchecked (Vppc.Ppc_backend)
 
+(* the same ports wrapped with the peephole stage: the functor composes
+   with both instantiations unchanged *)
+module Mips_pc = Vcode.Make (Vcode.Make_peephole (Vmips.Mips_backend))
+module Mips_pu = Vcode.Make_unchecked (Vcode.Make_peephole (Vmips.Mips_backend))
+module Sparc_pc = Vcode.Make (Vcode.Make_peephole (Vsparc.Sparc_backend))
+module Sparc_pu = Vcode.Make_unchecked (Vcode.Make_peephole (Vsparc.Sparc_backend))
+module Alpha_pc = Vcode.Make (Vcode.Make_peephole (Valpha.Alpha_backend))
+module Alpha_pu = Vcode.Make_unchecked (Vcode.Make_peephole (Valpha.Alpha_backend))
+module Ppc_pc = Vcode.Make (Vcode.Make_peephole (Vppc.Ppc_backend))
+module Ppc_pu = Vcode.Make_unchecked (Vcode.Make_peephole (Vppc.Ppc_backend))
+
 let ports : (string * (module EMITTER) * (module EMITTER)) list =
   [
     ("mips", (module Mips_c), (module Mips_u));
     ("sparc", (module Sparc_c), (module Sparc_u));
     ("alpha", (module Alpha_c), (module Alpha_u));
     ("ppc", (module Ppc_c), (module Ppc_u));
+    (* checked vs unchecked must also agree through the peephole stage *)
+    ("mips-peep", (module Mips_pc), (module Mips_pu));
+    ("sparc-peep", (module Sparc_pc), (module Sparc_pu));
+    ("alpha-peep", (module Alpha_pc), (module Alpha_pu));
+    ("ppc-peep", (module Ppc_pc), (module Ppc_pu));
   ]
 
 let diff_tests =
@@ -239,6 +255,228 @@ let test_sink_identical () =
       let b = emit_with unchecked sink_prog in
       Alcotest.(check (array int)) (name ^ ": kitchen-sink program") a b)
     ports
+
+(* ------------------------------------------------------------------ *)
+(* Peephole-on/off architectural differential
+
+   The peephole stage may change the emitted words (that is the point)
+   but never the architectural effect: random programs with forward
+   branches, constant arithmetic and memory traffic must produce the
+   same final state through the raw port and the wrapped port on the
+   port's simulator.  The generator leans into the rewrite surface:
+   redundant moves, set-then-use pairs (fusion), mul/div/mod by small
+   constants (strength reduction) and instructions directly before
+   branches (delay-slot candidates), with labels bound mid-stream to
+   pin the window-flush protocol. *)
+
+type pinsn =
+  | Pbin of Op.binop * int * int * int
+  | Pbini of Op.binop * int * int * int
+  | Pun of Op.unop * int * int
+  | Pset of int * int
+  | Pld of int * int (* slot <- [p + 4w] *)
+  | Pst of int * int (* [p + 4w] <- slot *)
+  | Pbr of Op.cond * int * int * int (* skip the next k instructions *)
+  | Pbri of Op.cond * int * int * int
+  | Pjmp of int (* unconditional skip over k *)
+
+let pmem_words = 8
+
+let pinsn_gen : pinsn QCheck.Gen.t =
+  let open QCheck.Gen in
+  let slot = int_bound (nslots - 1) in
+  let skip = int_bound 3 in
+  let cond = oneofl Op.[ Lt; Le; Gt; Ge; Eq; Ne ] in
+  oneof
+    [
+      (let* op = oneofl Op.[ Add; Sub; Mul; And; Or; Xor ] and* d = slot and* a = slot
+       and* b = slot in
+       return (Pbin (op, d, a, b)));
+      (let* op = oneofl Op.[ Add; Sub; And; Or; Xor ]
+       and* d = slot and* a = slot
+       and* i = oneof [ int_range (-100) 100; return 0x12345 ] in
+       return (Pbini (op, d, a, i)));
+      (* constant multiplies, divides and remainders: the strength
+         reduction surface, including the identities and the 2^k +/- 1
+         shift-add forms *)
+      (let* d = slot and* a = slot
+       and* k = oneofl [ -1; 0; 1; 2; 3; 4; 7; 8; 9; 15; 100; 4096 ] in
+       return (Pbini (Op.Mul, d, a, k)));
+      (let* d = slot and* a = slot and* k = oneofl [ 1; 2; 4; 7; 16; 100 ] in
+       return (Pbini (Op.Div, d, a, k)));
+      (let* d = slot and* a = slot and* k = oneofl [ 2; 8; 10; 32 ] in
+       return (Pbini (Op.Mod, d, a, k)));
+      (let* d = slot and* a = slot and* sh = int_bound 31 in
+       return (Pbini (Op.Lsh, d, a, sh)));
+      (let* d = slot and* a = slot and* sh = int_bound 31 in
+       return (Pbini (Op.Rsh, d, a, sh)));
+      (* moves, including guaranteed-redundant ones *)
+      (let* op = oneofl Op.[ Com; Not; Mov; Neg ] and* d = slot and* a = slot in
+       return (Pun (op, d, a)));
+      (let* a = slot in
+       return (Pun (Op.Mov, a, a)));
+      (let* d = slot and* v = oneof [ int_range (-100) 100; return 0x12345 ] in
+       return (Pset (d, v)));
+      (let* d = slot and* w = int_bound (pmem_words - 1) in
+       return (Pld (d, w)));
+      (let* s = slot and* w = int_bound (pmem_words - 1) in
+       return (Pst (s, w)));
+      (let* c = cond and* a = slot and* b = slot and* k = skip in
+       return (Pbr (c, a, b, k)));
+      (let* c = cond and* a = slot and* i = int_range (-50) 50 and* k = skip in
+       return (Pbri (c, a, i, k)));
+      (let* k = skip in
+       return (Pjmp k));
+    ]
+
+let pprog_gen = QCheck.Gen.(list_size (int_range 1 50) pinsn_gen)
+
+let pprog_print prog =
+  String.concat "; "
+    (List.map
+       (function
+         | Pbin (op, d, a, b) ->
+           Printf.sprintf "r%d=r%d %s r%d" d a (Op.binop_to_string op) b
+         | Pbini (op, d, a, i) ->
+           Printf.sprintf "r%d=r%d %s %d" d a (Op.binop_to_string op) i
+         | Pun (op, d, a) -> Printf.sprintf "r%d=%s r%d" d (Op.unop_to_string op) a
+         | Pset (d, v) -> Printf.sprintf "r%d=%d" d v
+         | Pld (d, w) -> Printf.sprintf "r%d=m[%d]" d w
+         | Pst (s, w) -> Printf.sprintf "m[%d]=r%d" w s
+         | Pbr (c, a, b, k) ->
+           Printf.sprintf "%s r%d,r%d,+%d" (Op.cond_to_string c) a b k
+         | Pbri (c, a, i, k) ->
+           Printf.sprintf "%si r%d,%d,+%d" (Op.cond_to_string c) a i k
+         | Pjmp k -> Printf.sprintf "j +%d" k)
+       prog)
+
+(* Compile [prog] with the given instantiation.  Branches skip forward
+   over the next [k] program instructions via labels bound mid-stream;
+   the epilogue folds every slot and memory word into the return value
+   so any architectural divergence is observable. *)
+let emit_peep_prog (module E : EMITTER) (prog : pinsn list) ~base ~datap : Vcode.code =
+  let insns = Array.of_list prog in
+  let n = Array.length insns in
+  (* forward-branch targets as program indices, then labels *)
+  let target i k = min n (i + 1 + k) in
+  let labs = Hashtbl.create 8 in
+  let lab_for g ti =
+    match Hashtbl.find_opt labs ti with
+    | Some l -> l
+    | None ->
+      let l = E.genlabel g in
+      Hashtbl.add labs ti l;
+      l
+  in
+  let g, args = E.lambda ~base "%i%i" in
+  let slots = Array.init nslots (fun _ -> E.getreg_exn g ~cls:`Var Vtype.I) in
+  let p = E.getreg_exn g ~cls:`Var Vtype.P in
+  E.set g Vtype.P p (Int64.of_int datap);
+  E.unary g Op.Mov Vtype.I slots.(0) args.(0);
+  E.unary g Op.Mov Vtype.I slots.(1) args.(1);
+  E.set g Vtype.I slots.(2) 3L;
+  E.set g Vtype.I slots.(3) (-7L);
+  let tz = E.getreg_exn g ~cls:`Temp Vtype.I in
+  E.set g Vtype.I tz 0L;
+  for w = 0 to pmem_words - 1 do
+    E.store_imm g Vtype.I tz p (4 * w)
+  done;
+  Array.iteri
+    (fun i insn ->
+      (match Hashtbl.find_opt labs i with Some l -> E.label g l | None -> ());
+      match insn with
+      | Pbin (op, d, a, b) -> E.arith g op Vtype.I slots.(d) slots.(a) slots.(b)
+      | Pbini (op, d, a, imm) -> E.arith_imm g op Vtype.I slots.(d) slots.(a) imm
+      | Pun (op, d, a) -> E.unary g op Vtype.I slots.(d) slots.(a)
+      | Pset (d, v) -> E.set g Vtype.I slots.(d) (Int64.of_int v)
+      | Pld (d, w) -> E.load_imm g Vtype.I slots.(d) p (4 * w)
+      | Pst (s, w) -> E.store_imm g Vtype.I slots.(s) p (4 * w)
+      | Pbr (c, a, b, k) -> E.branch g c Vtype.I slots.(a) slots.(b) (lab_for g (target i k))
+      | Pbri (c, a, imm, k) -> E.branch_imm g c Vtype.I slots.(a) imm (lab_for g (target i k))
+      | Pjmp k -> E.jump g (Gen.Jlabel (lab_for g (target i k))))
+    insns;
+  (match Hashtbl.find_opt labs n with Some l -> E.label g l | None -> ());
+  (* fold the full architectural state into the result *)
+  for s = 1 to nslots - 1 do
+    E.arith g Op.Xor Vtype.I slots.(0) slots.(0) slots.(s)
+  done;
+  for w = 0 to pmem_words - 1 do
+    E.load_imm g Vtype.I tz p (4 * w);
+    E.arith g Op.Xor Vtype.I slots.(0) slots.(0) tz;
+    E.arith_imm g Op.Mul Vtype.I slots.(0) slots.(0) 3
+  done;
+  E.ret g Vtype.I (Some slots.(0));
+  E.end_gen g
+
+module type SIMRUN = sig
+  val exec : Vcode.code -> int -> int -> int
+end
+
+module Mips_simrun : SIMRUN = struct
+  let exec (c : Vcode.code) a0 a1 =
+    let m = Vmips.Mips_sim.create Vmachine.Mconfig.test_config in
+    Vmachine.Mem.install_code m.Vmips.Mips_sim.mem ~addr:c.Vcode.base c.Vcode.gen.Gen.buf;
+    Vmips.Mips_sim.call m ~entry:c.Vcode.entry_addr
+      [ Vmips.Mips_sim.Int a0; Vmips.Mips_sim.Int a1 ];
+    Vmips.Mips_sim.ret_int m
+end
+
+module Sparc_simrun : SIMRUN = struct
+  let exec (c : Vcode.code) a0 a1 =
+    let m = Vsparc.Sparc_sim.create Vmachine.Mconfig.test_config in
+    Vmachine.Mem.install_code m.Vsparc.Sparc_sim.mem ~addr:c.Vcode.base c.Vcode.gen.Gen.buf;
+    Vsparc.Sparc_sim.call m ~entry:c.Vcode.entry_addr
+      [ Vsparc.Sparc_sim.Int a0; Vsparc.Sparc_sim.Int a1 ];
+    Vsparc.Sparc_sim.ret_int m
+end
+
+module Alpha_simrun : SIMRUN = struct
+  let exec (c : Vcode.code) a0 a1 =
+    let m = Valpha.Alpha_sim.create Vmachine.Mconfig.test_config in
+    Vmachine.Mem.install_code m.Valpha.Alpha_sim.mem ~addr:c.Vcode.base c.Vcode.gen.Gen.buf;
+    Valpha.Alpha_sim.call m ~entry:c.Vcode.entry_addr
+      [ Valpha.Alpha_sim.Int a0; Valpha.Alpha_sim.Int a1 ];
+    Valpha.Alpha_sim.ret_int m
+end
+
+module Ppc_simrun : SIMRUN = struct
+  let exec (c : Vcode.code) a0 a1 =
+    let m = Vppc.Ppc_sim.create Vmachine.Mconfig.test_config in
+    Vmachine.Mem.install_code m.Vppc.Ppc_sim.mem ~addr:c.Vcode.base c.Vcode.gen.Gen.buf;
+    Vppc.Ppc_sim.call m ~entry:c.Vcode.entry_addr
+      [ Vppc.Ppc_sim.Int a0; Vppc.Ppc_sim.Int a1 ];
+    Vppc.Ppc_sim.ret_int m
+end
+
+let peep_ports : (string * (module EMITTER) * (module EMITTER) * (module SIMRUN)) list =
+  [
+    ("mips", (module Mips_c), (module Mips_pc), (module Mips_simrun));
+    ("sparc", (module Sparc_c), (module Sparc_pc), (module Sparc_simrun));
+    ("alpha", (module Alpha_c), (module Alpha_pc), (module Alpha_simrun));
+    ("ppc", (module Ppc_c), (module Ppc_pc), (module Ppc_simrun));
+  ]
+
+let peep_base = 0x10000
+let peep_datap = 0x20000
+
+let peep_diff_tests =
+  List.map
+    (fun (name, raw, peep, (module S : SIMRUN)) ->
+      QCheck.Test.make ~count:200 ~name:(name ^ "-peephole-equiv")
+        QCheck.(
+          make
+            ~print:(fun (prog, a0, a1) ->
+              Printf.sprintf "a0=%d a1=%d: %s" a0 a1 (pprog_print prog))
+            Gen.(
+              let* prog = pprog_gen
+              and* a0 = int_range (-100) 100
+              and* a1 = int_range (-100) 100 in
+              return (prog, a0, a1)))
+        (fun (prog, a0, a1) ->
+          let c_raw = emit_peep_prog raw prog ~base:peep_base ~datap:peep_datap in
+          let c_pp = emit_peep_prog peep prog ~base:peep_base ~datap:peep_datap in
+          S.exec c_raw a0 a1 = S.exec c_pp a0 a1))
+    peep_ports
 
 (* ------------------------------------------------------------------ *)
 (* Parallel-move resolution                                            *)
@@ -331,6 +569,7 @@ let () =
       ( "checked-vs-unchecked",
         List.map qtest diff_tests
         @ [ Alcotest.test_case "kitchen sink, all ports" `Quick test_sink_identical ] );
+      ("peephole-on-vs-off", List.map qtest peep_diff_tests);
       ( "parallel-moves",
         [
           Alcotest.test_case "2-cycle swap" `Quick test_moves_swap;

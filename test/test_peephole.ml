@@ -1,0 +1,608 @@
+(* Unit and regression tests for the composable peephole stage
+   ([Vcode.Make_peephole]).
+
+   The on/off fuzz differential lives in test_gen_fuzz; here each
+   rewrite class is pinned individually — that it FIRES when it should
+   (word counts shrink, the per-class counters tick, the opcode counts
+   move from the retired shape to the rewritten one) and that it does
+   NOT fire across its safety boundaries (live constant registers,
+   dependent delay-slot candidates, label binds).  Also here: the
+   branch-offset regression — branches whose target words were shifted
+   by an elision must resolve to post-peephole offsets on all four
+   ports — and the interaction with the portable delay-slot scheduler's
+   truncate/patch surgery. *)
+
+open Vcodebase
+
+let check = Alcotest.check
+
+(* ------------------------------------------------------------------ *)
+(* The emitter surface needed by these tests, as a first-class module  *)
+
+module type E = sig
+  val lambda :
+    ?base:int -> ?leaf:bool -> ?capacity:int -> ?buf:Codebuf.t -> string ->
+    Gen.t * Reg.t array
+  val end_gen : Gen.t -> Vcode.code
+  val getreg_exn : Gen.t -> cls:[ `Temp | `Var ] -> Vtype.t -> Reg.t
+  val genlabel : Gen.t -> int
+  val label : Gen.t -> int -> unit
+  val arith : Gen.t -> Op.binop -> Vtype.t -> Reg.t -> Reg.t -> Reg.t -> unit
+  val arith_imm : Gen.t -> Op.binop -> Vtype.t -> Reg.t -> Reg.t -> int -> unit
+  val unary : Gen.t -> Op.unop -> Vtype.t -> Reg.t -> Reg.t -> unit
+  val set : Gen.t -> Vtype.t -> Reg.t -> int64 -> unit
+  val branch : Gen.t -> Op.cond -> Vtype.t -> Reg.t -> Reg.t -> int -> unit
+  val branch_imm : Gen.t -> Op.cond -> Vtype.t -> Reg.t -> int -> int -> unit
+  val jump : Gen.t -> Gen.jtarget -> unit
+  val ret : Gen.t -> Vtype.t -> Reg.t option -> unit
+
+  module Sched : sig
+    val schedule_delay : Gen.t -> branch:(unit -> unit) -> slot:(unit -> unit) -> unit
+  end
+end
+
+module Mips_r = Vcode.Make (Vmips.Mips_backend)
+module Mips_p = Vcode.Make (Vcode.Make_peephole (Vmips.Mips_backend))
+module Sparc_r = Vcode.Make (Vsparc.Sparc_backend)
+module Sparc_p = Vcode.Make (Vcode.Make_peephole (Vsparc.Sparc_backend))
+module Alpha_r = Vcode.Make (Valpha.Alpha_backend)
+module Alpha_p = Vcode.Make (Vcode.Make_peephole (Valpha.Alpha_backend))
+module Ppc_r = Vcode.Make (Vppc.Ppc_backend)
+module Ppc_p = Vcode.Make (Vcode.Make_peephole (Vppc.Ppc_backend))
+
+module type SIMRUN = sig
+  (* result and simulated cycle count *)
+  val exec2 : Vcode.code -> int list -> int * int
+end
+
+let base = 0x10000
+
+module Mips_sim : SIMRUN = struct
+  let exec2 (c : Vcode.code) args =
+    let m = Vmips.Mips_sim.create Vmachine.Mconfig.test_config in
+    Vmachine.Mem.install_code m.Vmips.Mips_sim.mem ~addr:c.Vcode.base c.Vcode.gen.Gen.buf;
+    Vmips.Mips_sim.call m ~entry:c.Vcode.entry_addr
+      (List.map (fun v -> Vmips.Mips_sim.Int v) args);
+    (Vmips.Mips_sim.ret_int m, m.Vmips.Mips_sim.cycles)
+end
+
+module Sparc_sim : SIMRUN = struct
+  let exec2 (c : Vcode.code) args =
+    let m = Vsparc.Sparc_sim.create Vmachine.Mconfig.test_config in
+    Vmachine.Mem.install_code m.Vsparc.Sparc_sim.mem ~addr:c.Vcode.base c.Vcode.gen.Gen.buf;
+    Vsparc.Sparc_sim.call m ~entry:c.Vcode.entry_addr
+      (List.map (fun v -> Vsparc.Sparc_sim.Int v) args);
+    (Vsparc.Sparc_sim.ret_int m, m.Vsparc.Sparc_sim.cycles)
+end
+
+module Alpha_sim : SIMRUN = struct
+  let exec2 (c : Vcode.code) args =
+    let m = Valpha.Alpha_sim.create Vmachine.Mconfig.test_config in
+    Vmachine.Mem.install_code m.Valpha.Alpha_sim.mem ~addr:c.Vcode.base c.Vcode.gen.Gen.buf;
+    Valpha.Alpha_sim.call m ~entry:c.Vcode.entry_addr
+      (List.map (fun v -> Valpha.Alpha_sim.Int v) args);
+    (Valpha.Alpha_sim.ret_int m, m.Valpha.Alpha_sim.cycles)
+end
+
+module Ppc_sim : SIMRUN = struct
+  let exec2 (c : Vcode.code) args =
+    let m = Vppc.Ppc_sim.create Vmachine.Mconfig.test_config in
+    Vmachine.Mem.install_code m.Vppc.Ppc_sim.mem ~addr:c.Vcode.base c.Vcode.gen.Gen.buf;
+    Vppc.Ppc_sim.call m ~entry:c.Vcode.entry_addr
+      (List.map (fun v -> Vppc.Ppc_sim.Int v) args);
+    (Vppc.Ppc_sim.ret_int m, m.Vppc.Ppc_sim.cycles)
+end
+
+(* (name, raw, peephole-wrapped, simulator, has delay slots) *)
+let ports : (string * (module E) * (module E) * (module SIMRUN) * bool) list =
+  [
+    ("mips", (module Mips_r), (module Mips_p), (module Mips_sim), true);
+    ("sparc", (module Sparc_r), (module Sparc_p), (module Sparc_sim), true);
+    ("alpha", (module Alpha_r), (module Alpha_p), (module Alpha_sim), false);
+    ("ppc", (module Ppc_r), (module Ppc_p), (module Ppc_sim), false);
+  ]
+
+let slotted = List.filter (fun (_, _, _, _, d) -> d) ports
+
+(* Emit the same program through the raw and wrapped port, run both on
+   the port simulator over [inputs], and return
+   (raw code, peep code, per-input result pairs). *)
+let both (module R : E) (module P : E) (module S : SIMRUN)
+    (body : (module E) -> Gen.t -> Reg.t array -> unit) ~sig_ ~inputs =
+  let emit (module M : E) =
+    let g, args = M.lambda ~base sig_ in
+    body (module M : E) g args;
+    M.end_gen g
+  in
+  let cr = emit (module R) and cp = emit (module P) in
+  let results = List.map (fun i -> (S.exec2 cr i, S.exec2 cp i)) inputs in
+  (cr, cp, results)
+
+let words (c : Vcode.code) = c.Vcode.code_bytes / 4
+let stats (c : Vcode.code) = c.Vcode.gen.Gen.peep
+
+let check_equiv name results =
+  List.iteri
+    (fun i ((r, _), (p, _)) ->
+      check Alcotest.int (Printf.sprintf "%s: input %d" name i) r p)
+    results
+
+(* the rewritten code must never cost more simulated cycles *)
+let check_cycles name results =
+  List.iteri
+    (fun i ((_, cr), (_, cp)) ->
+      check Alcotest.bool
+        (Printf.sprintf "%s: cycles input %d (%d -> %d)" name i cr cp)
+        true (cp <= cr))
+    results
+
+(* ------------------------------------------------------------------ *)
+(* Redundant-move elimination                                          *)
+
+let test_mov_identity () =
+  List.iter
+    (fun (name, r, p, s, _) ->
+      let body (module M : E) g (args : Reg.t array) =
+        let d = M.getreg_exn g ~cls:`Var Vtype.I in
+        M.unary g Op.Mov Vtype.I d args.(0);
+        M.unary g Op.Mov Vtype.I d d;
+        (* identity: elided *)
+        M.ret g Vtype.I (Some d)
+      in
+      let cr, cp, res = both r p s body ~sig_:"%i" ~inputs:[ [ 42 ] ] in
+      check_equiv (name ^ " mov r,r") res;
+      check Alcotest.int (name ^ ": one word elided") (words cr - 1) (words cp);
+      check Alcotest.bool (name ^ ": moves_killed ticked") true
+        ((stats cp).Peepwin.moves_killed >= 1))
+    ports
+
+let test_mov_copy_fact () =
+  List.iter
+    (fun (name, r, p, s, _) ->
+      let body (module M : E) g (args : Reg.t array) =
+        let d = M.getreg_exn g ~cls:`Var Vtype.I in
+        M.unary g Op.Mov Vtype.I d args.(0);
+        (* d = a0 is now a known copy: moving it back is redundant *)
+        M.unary g Op.Mov Vtype.I args.(0) d;
+        M.arith g Op.Add Vtype.I d d args.(0);
+        M.ret g Vtype.I (Some d)
+      in
+      let cr, cp, res = both r p s body ~sig_:"%i" ~inputs:[ [ 21 ] ] in
+      check_equiv (name ^ " copy-fact mov") res;
+      check Alcotest.int (name ^ ": copy-back elided") (words cr - 1) (words cp))
+    ports
+
+let test_mov_fact_killed_by_redef () =
+  (* negative: redefining one side kills the fact; the move must stay *)
+  List.iter
+    (fun (name, r, p, s, _) ->
+      let body (module M : E) g (args : Reg.t array) =
+        let d = M.getreg_exn g ~cls:`Var Vtype.I in
+        M.unary g Op.Mov Vtype.I d args.(0);
+        M.arith_imm g Op.Add Vtype.I d d 1;
+        M.unary g Op.Mov Vtype.I args.(0) d;
+        (* NOT redundant *)
+        M.ret g Vtype.I (Some args.(0))
+      in
+      let cr, cp, res = both r p s body ~sig_:"%i" ~inputs:[ [ 5 ] ] in
+      check_equiv (name ^ " killed fact") res;
+      check Alcotest.int (name ^ ": nothing elided") (words cr) (words cp))
+    ports
+
+(* ------------------------------------------------------------------ *)
+(* Immediate fusion                                                    *)
+
+let test_fusion_dead_set () =
+  List.iter
+    (fun (name, r, p, s, _) ->
+      let body (module M : E) g (args : Reg.t array) =
+        let t = M.getreg_exn g ~cls:`Var Vtype.I in
+        M.set g Vtype.I t 5L;
+        (* t dies here: fused to add-imm, the set retired *)
+        M.arith g Op.Add Vtype.I t args.(0) t;
+        M.ret g Vtype.I (Some t)
+      in
+      let cr, cp, res = both r p s body ~sig_:"%i" ~inputs:[ [ 37 ]; [ -5 ] ] in
+      check_equiv (name ^ " fused add") res;
+      check Alcotest.int (name ^ ": set retired") (words cr - 1) (words cp);
+      check Alcotest.bool (name ^ ": fusions ticked") true
+        ((stats cp).Peepwin.fusions >= 1);
+      (* the opcode accounting moved with the rewrite: no set, no
+         reg-reg add, one add-imm *)
+      let gp = cp.Vcode.gen in
+      check Alcotest.int (name ^ ": set count") 0 (Gen.op_count gp Opk.set);
+      check Alcotest.int (name ^ ": add count") 0 (Gen.op_count gp (Opk.arith Op.Add));
+      check Alcotest.int (name ^ ": addi count") 1
+        (Gen.op_count gp (Opk.arith_imm Op.Add)))
+    ports
+
+let test_fusion_blocked_live_set () =
+  (* negative: the constant register stays live (rd <> rt) *)
+  List.iter
+    (fun (name, r, p, s, _) ->
+      let body (module M : E) g (args : Reg.t array) =
+        let t = M.getreg_exn g ~cls:`Var Vtype.I in
+        let d = M.getreg_exn g ~cls:`Var Vtype.I in
+        M.set g Vtype.I t 5L;
+        M.arith g Op.Add Vtype.I d args.(0) t;
+        (* t still live: *)
+        M.arith g Op.Add Vtype.I d d t;
+        M.ret g Vtype.I (Some d)
+      in
+      let cr, cp, res = both r p s body ~sig_:"%i" ~inputs:[ [ 10 ] ] in
+      check_equiv (name ^ " live set") res;
+      check Alcotest.int (name ^ ": no fusion") (words cr) (words cp))
+    ports
+
+let test_fusion_blocked_both_sources () =
+  (* negative: op reads the constant register twice — rewriting one
+     operand to an immediate would read a stale value *)
+  List.iter
+    (fun (name, r, p, s, _) ->
+      let body (module M : E) g (_args : Reg.t array) =
+        let t = M.getreg_exn g ~cls:`Var Vtype.I in
+        M.set g Vtype.I t 5L;
+        M.arith g Op.Add Vtype.I t t t;
+        M.ret g Vtype.I (Some t)
+      in
+      let cr, cp, res = both r p s body ~sig_:"%i" ~inputs:[ [ 0 ] ] in
+      check_equiv (name ^ " t+t") res;
+      check Alcotest.int (name ^ ": no fusion") (words cr) (words cp))
+    ports
+
+(* ------------------------------------------------------------------ *)
+(* Strength reduction                                                  *)
+
+let test_strength_mul_pow2 () =
+  List.iter
+    (fun (name, r, p, s, _) ->
+      let body (module M : E) g (args : Reg.t array) =
+        let d = M.getreg_exn g ~cls:`Var Vtype.I in
+        M.arith_imm g Op.Mul Vtype.I d args.(0) 8;
+        M.ret g Vtype.I (Some d)
+      in
+      let cr, cp, res = both r p s body ~sig_:"%i" ~inputs:[ [ 13 ]; [ -5 ] ] in
+      ignore cr;
+      check_equiv (name ^ " mul 8") res;
+      (* on alpha the 32-bit shift form needs a re-canonicalization and
+         can be one word longer than mull-with-literal, but multiply
+         costs 7-18 simulated cycles everywhere: the rewrite must never
+         lose cycles *)
+      check_cycles (name ^ " mul 8") res;
+      check Alcotest.bool (name ^ ": strength ticked") true
+        ((stats cp).Peepwin.strength >= 1))
+    ports;
+  (* MIPS has no mul-immediate at all: the shift must beat the
+     synthesized mult sequence outright *)
+  let body (module M : E) g (args : Reg.t array) =
+    let d = M.getreg_exn g ~cls:`Var Vtype.I in
+    M.arith_imm g Op.Mul Vtype.I d args.(0) 8;
+    M.ret g Vtype.I (Some d)
+  in
+  let cr, cp, _ =
+    both (module Mips_r) (module Mips_p) (module Mips_sim) body ~sig_:"%i"
+      ~inputs:[]
+  in
+  check Alcotest.bool "mips: mul 8 strictly shorter" true (words cp < words cr)
+
+let test_strength_mul_shift_add () =
+  (* 7 = 2^3 - 1 and 9 = 2^3 + 1: shift + add/sub where the port has no
+     fitting mul-immediate *)
+  List.iter
+    (fun (name, r, p, s, _) ->
+      let body (module M : E) g (args : Reg.t array) =
+        let d = M.getreg_exn g ~cls:`Var Vtype.I in
+        let e = M.getreg_exn g ~cls:`Var Vtype.I in
+        M.arith_imm g Op.Mul Vtype.I d args.(0) 7;
+        M.arith_imm g Op.Mul Vtype.I e args.(0) 9;
+        M.arith g Op.Add Vtype.I d d e;
+        M.ret g Vtype.I (Some d)
+      in
+      let _, _, res = both r p s body ~sig_:"%i" ~inputs:[ [ 6 ]; [ -3 ] ] in
+      check_equiv (name ^ " mul 7/9") res)
+    ports
+
+let test_strength_unsigned_div_mod () =
+  List.iter
+    (fun (name, r, p, s, _) ->
+      let body (module M : E) g (args : Reg.t array) =
+        let d = M.getreg_exn g ~cls:`Var Vtype.U in
+        let m = M.getreg_exn g ~cls:`Var Vtype.U in
+        M.arith_imm g Op.Div Vtype.U d args.(0) 4;
+        M.arith_imm g Op.Mod Vtype.U m args.(0) 8;
+        M.arith_imm g Op.Mul Vtype.U d d 100;
+        M.arith g Op.Add Vtype.U d d m;
+        M.ret g Vtype.U (Some d)
+      in
+      let cr, cp, res = both r p s body ~sig_:"%i" ~inputs:[ [ 23 ]; [ 64 ] ] in
+      ignore cr;
+      ignore cp;
+      check_equiv (name ^ " udiv/umod") res;
+      check_cycles (name ^ " udiv/umod") res)
+    ports;
+  (* on MIPS both rewrites drop the divu/mflo sequences *)
+  let body (module M : E) g (args : Reg.t array) =
+    let d = M.getreg_exn g ~cls:`Var Vtype.U in
+    M.arith_imm g Op.Div Vtype.U d args.(0) 4;
+    M.ret g Vtype.U (Some d)
+  in
+  let cr, cp, _ =
+    both (module Mips_r) (module Mips_p) (module Mips_sim) body ~sig_:"%i"
+      ~inputs:[ [ 23 ] ]
+  in
+  check Alcotest.bool "mips: udiv 4 strictly shorter" true (words cp < words cr)
+
+let test_strength_signed_div_untouched () =
+  (* negative: an arithmetic shift rounds toward -inf, signed divide
+     toward zero — the rewrite must not fire at signed types *)
+  List.iter
+    (fun (name, r, p, s, _) ->
+      let body (module M : E) g (args : Reg.t array) =
+        let d = M.getreg_exn g ~cls:`Var Vtype.I in
+        M.arith_imm g Op.Div Vtype.I d args.(0) 4;
+        M.ret g Vtype.I (Some d)
+      in
+      let cr, cp, res = both r p s body ~sig_:"%i" ~inputs:[ [ -7 ]; [ 9 ] ] in
+      check_equiv (name ^ " sdiv 4") res;
+      check Alcotest.int (name ^ ": untouched") (words cr) (words cp);
+      (match res with
+      | ((raw0, _), _) :: _ -> check Alcotest.int (name ^ ": -7/4 = -1") (-1) raw0
+      | [] -> assert false))
+    ports
+
+(* ------------------------------------------------------------------ *)
+(* Delay-slot filling (MIPS and SPARC)                                 *)
+
+let test_slot_fill () =
+  List.iter
+    (fun (name, r, p, s, _) ->
+      let body (module M : E) g (args : Reg.t array) =
+        let d = M.getreg_exn g ~cls:`Var Vtype.I in
+        let l = M.genlabel g in
+        M.arith_imm g Op.Add Vtype.I d args.(0) 1;
+        (* independent of the branch: lifted into the slot *)
+        M.branch g Op.Eq Vtype.I args.(0) args.(1) l;
+        M.arith_imm g Op.Add Vtype.I d d 10;
+        M.label g l;
+        M.ret g Vtype.I (Some d)
+      in
+      let cr, cp, res =
+        both r p s body ~sig_:"%i%i" ~inputs:[ [ 3; 3 ]; [ 3; 4 ] ] in
+      check_equiv (name ^ " slot fill") res;
+      check Alcotest.int (name ^ ": nop gone") (words cr - 1) (words cp);
+      check Alcotest.bool (name ^ ": slot_fills ticked") true
+        ((stats cp).Peepwin.slot_fills >= 1))
+    slotted
+
+let test_slot_fill_jump () =
+  List.iter
+    (fun (name, r, p, s, _) ->
+      let body (module M : E) g (args : Reg.t array) =
+        let d = M.getreg_exn g ~cls:`Var Vtype.I in
+        let l = M.genlabel g in
+        M.arith_imm g Op.Add Vtype.I d args.(0) 5;
+        M.jump g (Gen.Jlabel l);
+        M.arith_imm g Op.Add Vtype.I d d 100 (* skipped *);
+        M.label g l;
+        M.ret g Vtype.I (Some d)
+      in
+      let cr, cp, res = both r p s body ~sig_:"%i" ~inputs:[ [ 2 ] ] in
+      check_equiv (name ^ " jump fill") res;
+      check Alcotest.int (name ^ ": nop gone") (words cr - 1) (words cp))
+    slotted
+
+let test_slot_fill_blocked_dependent () =
+  (* negative: the candidate defines a branch source — moving it past
+     the compare would change the test *)
+  List.iter
+    (fun (name, r, p, s, _) ->
+      let body (module M : E) g (args : Reg.t array) =
+        let d = M.getreg_exn g ~cls:`Var Vtype.I in
+        let l = M.genlabel g in
+        M.unary g Op.Mov Vtype.I d args.(0);
+        M.arith_imm g Op.Add Vtype.I d d 1;
+        M.branch g Op.Eq Vtype.I d args.(1) l;
+        (* reads d *)
+        M.arith_imm g Op.Add Vtype.I d d 10;
+        M.label g l;
+        M.ret g Vtype.I (Some d)
+      in
+      let cr, cp, res =
+        both r p s body ~sig_:"%i%i" ~inputs:[ [ 3; 4 ]; [ 3; 5 ] ] in
+      check_equiv (name ^ " dependent cand") res;
+      check Alcotest.int (name ^ ": nop kept") (words cr) (words cp))
+    slotted
+
+let test_slot_fill_blocked_by_label () =
+  (* negative: a label bound between candidate and branch is a join
+     point — the candidate must stay put *)
+  List.iter
+    (fun (name, r, p, s, _) ->
+      let body (module M : E) g (args : Reg.t array) =
+        let d = M.getreg_exn g ~cls:`Var Vtype.I in
+        let l = M.genlabel g in
+        let join = M.genlabel g in
+        M.arith_imm g Op.Add Vtype.I d args.(0) 1;
+        M.label g join;
+        (* boundary *)
+        M.branch g Op.Eq Vtype.I args.(0) args.(1) l;
+        M.arith_imm g Op.Add Vtype.I d d 10;
+        M.label g l;
+        M.ret g Vtype.I (Some d)
+      in
+      let cr, cp, res =
+        both r p s body ~sig_:"%i%i" ~inputs:[ [ 3; 3 ]; [ 3; 4 ] ] in
+      check_equiv (name ^ " label boundary") res;
+      check Alcotest.int (name ^ ": nop kept") (words cr) (words cp))
+    slotted
+
+(* ------------------------------------------------------------------ *)
+(* Branch offsets across elision (the truncate/patch regression)       *)
+
+(* A forward branch over a region that the peephole shrinks (redundant
+   mov, fused set, reduced mul): the bound label index differs between
+   raw and wrapped emission, and the displacement patched at v_end must
+   land on the post-peephole position.  Run taken and untaken. *)
+let test_branch_over_elided_region () =
+  List.iter
+    (fun (name, r, p, s, _) ->
+      let body (module M : E) g (args : Reg.t array) =
+        let d = M.getreg_exn g ~cls:`Var Vtype.I in
+        let t = M.getreg_exn g ~cls:`Var Vtype.I in
+        let l = M.genlabel g in
+        M.unary g Op.Mov Vtype.I d args.(0);
+        M.branch g Op.Ge Vtype.I args.(0) args.(1) l;
+        (* skipped region, full of elidable material: *)
+        M.unary g Op.Mov Vtype.I d d;
+        M.set g Vtype.I t 1L;
+        M.arith g Op.Add Vtype.I t d t;
+        M.arith_imm g Op.Mul Vtype.I d t 8;
+        M.label g l;
+        M.arith_imm g Op.Add Vtype.I d d 1000;
+        M.ret g Vtype.I (Some d)
+      in
+      let cr, cp, res =
+        both r p s body ~sig_:"%i%i"
+          ~inputs:[ [ 5; 3 ] (* taken *); [ 2; 9 ] (* untaken *) ]
+      in
+      check_equiv (name ^ " fwd branch over elisions") res;
+      check Alcotest.bool (name ^ ": region shrank") true (words cp < words cr))
+    ports
+
+(* A backward branch whose body shrinks: the already-bound target label
+   must resolve against post-peephole indices; on the slotted ports the
+   loop-carried add is also lifted into the backward branch's slot. *)
+let test_backward_branch_shrunk_body () =
+  List.iter
+    (fun (name, r, p, s, _) ->
+      let body (module M : E) g (_args : Reg.t array) =
+        let i = M.getreg_exn g ~cls:`Var Vtype.I in
+        let acc = M.getreg_exn g ~cls:`Var Vtype.I in
+        let top = M.genlabel g in
+        M.set g Vtype.I i 3L;
+        M.set g Vtype.I acc 0L;
+        M.label g top;
+        M.unary g Op.Mov Vtype.I acc acc;
+        (* elided *)
+        M.arith_imm g Op.Sub Vtype.I i i 1;
+        M.arith_imm g Op.Add Vtype.I acc acc 2;
+        (* slot candidate *)
+        M.branch_imm g Op.Gt Vtype.I i 0 top;
+        M.ret g Vtype.I (Some acc)
+      in
+      let cr, cp, res = both r p s body ~sig_:"%i" ~inputs:[ [ 0 ] ] in
+      check_equiv (name ^ " backward branch") res;
+      (match res with
+      | (_, (v, _)) :: _ -> check Alcotest.int (name ^ ": 3 iterations") 6 v
+      | [] -> assert false);
+      check Alcotest.bool (name ^ ": body shrank") true (words cp < words cr))
+    ports
+
+(* ------------------------------------------------------------------ *)
+(* Interaction with the portable delay-slot scheduler                  *)
+
+(* v_schedule_delay truncates and re-emits the slot instruction behind
+   the target's back; the peephole stage must flush at the sync barrier
+   and regenerate correct code around the surgery. *)
+let test_schedule_delay_interplay () =
+  List.iter
+    (fun (name, r, p, s, _) ->
+      let body (module M : E) g (args : Reg.t array) =
+        let d = M.getreg_exn g ~cls:`Var Vtype.I in
+        let l = M.genlabel g in
+        M.unary g Op.Mov Vtype.I d args.(0);
+        M.Sched.schedule_delay g
+          ~branch:(fun () -> M.branch_imm g Op.Ne Vtype.I args.(0) 0 l)
+          ~slot:(fun () -> M.arith_imm g Op.Add Vtype.I d d 7);
+        M.arith_imm g Op.Add Vtype.I d d 100;
+        M.label g l;
+        M.ret g Vtype.I (Some d)
+      in
+      let _, _, res =
+        both r p s body ~sig_:"%i" ~inputs:[ [ 0 ]; [ 5 ] ] in
+      check_equiv (name ^ " schedule_delay") res;
+      (match res with
+      | [ (_, (taken0, _)); (_, (taken1, _)) ] ->
+        (* slot executes exactly once on both paths *)
+        check Alcotest.int (name ^ ": untaken path") 107 taken0;
+        check Alcotest.int (name ^ ": taken path") 12 taken1
+      | _ -> assert false))
+    ports
+
+(* ------------------------------------------------------------------ *)
+(* Provenance spans stay well-formed across tail surgery               *)
+
+let test_provenance_after_rewrites () =
+  Gen.set_provenance_default true;
+  Fun.protect
+    ~finally:(fun () -> Gen.set_provenance_default false)
+    (fun () ->
+      List.iter
+        (fun (name, _, (module P : E), _, _) ->
+          let g, args = P.lambda ~base "%i%i" in
+          let d = P.getreg_exn g ~cls:`Var Vtype.I in
+          let t = P.getreg_exn g ~cls:`Var Vtype.I in
+          let l = P.genlabel g in
+          P.unary g Op.Mov Vtype.I d args.(0);
+          P.unary g Op.Mov Vtype.I d d;
+          P.set g Vtype.I t 3L;
+          P.arith g Op.Add Vtype.I t d t;
+          P.arith_imm g Op.Add Vtype.I d t 1;
+          P.branch g Op.Eq Vtype.I args.(0) args.(1) l;
+          P.arith_imm g Op.Mul Vtype.I d d 8;
+          P.label g l;
+          P.ret g Vtype.I (Some d);
+          let c = P.end_gen g in
+          (* spans must be monotone, non-overlapping and in range *)
+          let prev_last = ref 0 in
+          Gen.iter_prov_spans c.Vcode.gen (fun ~ordinal:_ ~slot:_ ~first ~last ->
+              check Alcotest.bool (name ^ ": span ordered") true (first >= !prev_last);
+              check Alcotest.bool (name ^ ": span nonempty") true (last >= first);
+              prev_last := last);
+          check Alcotest.bool (name ^ ": spans within code") true
+            (!prev_last <= Codebuf.length c.Vcode.gen.Gen.buf))
+        ports)
+
+let () =
+  Alcotest.run "peephole"
+    [
+      ( "moves",
+        [
+          Alcotest.test_case "identity mov elided" `Quick test_mov_identity;
+          Alcotest.test_case "copy fact elides reverse mov" `Quick test_mov_copy_fact;
+          Alcotest.test_case "redefinition kills fact" `Quick test_mov_fact_killed_by_redef;
+        ] );
+      ( "fusion",
+        [
+          Alcotest.test_case "dead set fuses to op-imm" `Quick test_fusion_dead_set;
+          Alcotest.test_case "live set blocks fusion" `Quick test_fusion_blocked_live_set;
+          Alcotest.test_case "both-sources blocks fusion" `Quick
+            test_fusion_blocked_both_sources;
+        ] );
+      ( "strength",
+        [
+          Alcotest.test_case "mul by 2^k" `Quick test_strength_mul_pow2;
+          Alcotest.test_case "mul by 2^k +/- 1" `Quick test_strength_mul_shift_add;
+          Alcotest.test_case "unsigned div/mod by 2^k" `Quick test_strength_unsigned_div_mod;
+          Alcotest.test_case "signed div untouched" `Quick test_strength_signed_div_untouched;
+        ] );
+      ( "delay-slots",
+        [
+          Alcotest.test_case "branch slot filled" `Quick test_slot_fill;
+          Alcotest.test_case "jump slot filled" `Quick test_slot_fill_jump;
+          Alcotest.test_case "dependent candidate blocked" `Quick
+            test_slot_fill_blocked_dependent;
+          Alcotest.test_case "label boundary blocked" `Quick test_slot_fill_blocked_by_label;
+        ] );
+      ( "branch-offsets",
+        [
+          Alcotest.test_case "forward branch over elided region" `Quick
+            test_branch_over_elided_region;
+          Alcotest.test_case "backward branch, shrunk body" `Quick
+            test_backward_branch_shrunk_body;
+        ] );
+      ( "scheduler",
+        [ Alcotest.test_case "schedule_delay surgery" `Quick test_schedule_delay_interplay ] );
+      ( "provenance",
+        [ Alcotest.test_case "spans survive rewrites" `Quick test_provenance_after_rewrites ] );
+    ]
