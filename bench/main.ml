@@ -61,8 +61,9 @@ let json_float v =
    4 added the router section: registry install/demux rates under
    churn; 5 added the peephole section: peephole-on table3/table4
    rows, the codegen vcode-peephole ladder row, and the rewrite
-   counters.) *)
-let json_schema_version = 5
+   counters; 6 added the corpus section: four-mode rates for the
+   external .asm workloads.) *)
+let json_schema_version = 6
 
 let write_json path =
   let items = List.rev !json_results in
@@ -921,6 +922,46 @@ let bench_sim_throughput () =
   Printf.printf "\n"
 
 (* ------------------------------------------------------------------ *)
+(* Section: corpus — the external .asm workloads (workloads/*.asm,
+   assembled by the lib/asm front-end) through the same interleaved
+   best-window timing discipline as sim-throughput.  These are real
+   guest programs (recursion, in-place sorts, indirect-jump state
+   machines) rather than generated fixtures, so the four engine tiers
+   are measured against control flow the generators never emit.  The
+   corpus lives outside the binary; a checkout without workloads/ (or
+   a bare install) skips the section rather than failing. *)
+
+let corpus_rows = [ ("josephus", 64); ("sort", 96); ("statemach", 512) ]
+
+let bench_corpus () =
+  Printf.printf "== corpus (external .asm workloads on simulated mips) ==\n";
+  Printf.printf "   assembled from workloads/*.asm by lib/asm; same modes and\n";
+  Printf.printf "   timing windows as sim-throughput.\n\n";
+  match Workloads.corpus_dir () with
+  | None -> Printf.printf "   workloads/ directory not found; section skipped\n\n"
+  | Some _ ->
+    Printf.printf "   %-8s %-14s %10s %10s %10s %10s %8s %8s\n" "target" "workload"
+      "off (M/s)" "pre (M/s)" "blk (M/s)" "reg (M/s)" "blk/pre" "reg/blk";
+    List.iter
+      (fun (workload, iters) ->
+        let r =
+          tput_rates
+            (module Workloads.Mips_port)
+            ~cfg:Vmachine.Mconfig.dec5000 ~workload:("asm:" ^ workload) ~iters
+        in
+        let key m_ = Printf.sprintf "corpus.mips.%s.%s" (slug workload) m_ in
+        record (key "off_insns_per_sec") r.r_off;
+        record (key "predecode_insns_per_sec") r.r_pre;
+        record (key "blocks_insns_per_sec") r.r_blk;
+        record (key "regions_insns_per_sec") r.r_reg;
+        record (key "regions_total_speedup") (r.r_reg /. r.r_off);
+        Printf.printf "   %-8s %-14s %10.2f %10.2f %10.2f %10.2f %7.2fx %7.2fx\n" "mips"
+          workload (r.r_off /. 1e6) (r.r_pre /. 1e6) (r.r_blk /. 1e6) (r.r_reg /. 1e6)
+          (r.r_blk /. r.r_pre) (r.r_reg /. r.r_blk))
+      corpus_rows;
+    Printf.printf "\n"
+
+(* ------------------------------------------------------------------ *)
 (* Section: router — the multi-tenant registry (lib/server) as a
    synthetic packet router: 10k compiled DPF filters installed into
    slab arenas, then a packet stream demultiplexed against them under
@@ -1066,6 +1107,7 @@ let run_all () =
   bench_ablation_strength ();
   bench_wallclock ();
   bench_sim_throughput ();
+  bench_corpus ();
   let _, _, batch = bench_router () in
   Printf.printf "== summary ==\n";
   Printf.printf "   router: batched installs %.2fx single-buffer installs\n" batch;
@@ -1081,7 +1123,7 @@ let usage () =
   prerr_endline
     "usage: main.exe [--json FILE] [--telemetry] [MODE...]\n\
      modes: all (default) codegen table3 table4 peephole space ablations wallclock\n\
-     \       sim-throughput router json-selftest";
+     \       sim-throughput corpus router json-selftest";
   exit 2
 
 let run_mode = function
@@ -1097,6 +1139,7 @@ let run_mode = function
       bench_ablation_strength ()
   | "wallclock" -> bench_wallclock ()
   | "sim-throughput" -> bench_sim_throughput ()
+  | "corpus" -> bench_corpus ()
   | "router" -> ignore (bench_router () : float * float * float)
   | "json-selftest" -> bench_json_selftest ()
   | m ->

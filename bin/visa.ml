@@ -11,6 +11,7 @@
      visa core         print Table 2 (the core instruction set)
      visa ports        per-port mapping statistics
      visa disasm       disassemble hex instruction words
+     visa asm          assemble a MIPS .asm file (listing or bare hex)
      visa demo         generate plus1 on every port and disassemble it *)
 
 open Vcodebase
@@ -83,7 +84,7 @@ let print_ports () =
 let disasm port words =
   match List.assoc_opt port ports with
   | None ->
-    Printf.eprintf "unknown port %s (mips|sparc|alpha)\n" port;
+    Printf.eprintf "unknown port %s (mips|sparc|alpha|ppc)\n" port;
     exit 1
   | Some (module T : Target.S) ->
     List.iteri
@@ -127,11 +128,62 @@ let disasm_cmd =
   let words =
     Arg.(value & pos_all string [] & info [] ~docv:"WORD" ~doc:"hex instruction words")
   in
-  let run port words =
-    disasm port (List.map (fun w -> int_of_string ("0x" ^ w)) words)
+  (* a bad token is a diagnostic and a non-zero exit, not a silent skip
+     or an uncaught Failure *)
+  let parse_word w =
+    let hex = if String.length w > 2 && (w.[0] = '0' && (w.[1] = 'x' || w.[1] = 'X')) then w else "0x" ^ w in
+    match int_of_string_opt hex with
+    | Some v when v >= 0 && v <= 0xFFFFFFFF -> v
+    | Some v ->
+      Printf.eprintf "visa disasm: word %S out of 32-bit range (%d)\n" w v;
+      exit 1
+    | None ->
+      Printf.eprintf "visa disasm: invalid hex instruction word %S\n" w;
+      exit 1
   in
+  let run port words = disasm port (List.map parse_word words) in
   Cmd.v (Cmd.info "disasm" ~doc:"disassemble instruction words") Term.(const run $ port $ words)
+
+let asm_cmd =
+  let file = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"MIPS assembly source") in
+  let base =
+    Arg.(value & opt string "0x10000" & info [ "base" ] ~docv:"ADDR" ~doc:"load address (decimal or 0x hex)")
+  in
+  let hex =
+    Arg.(value & flag & info [ "hex" ] ~doc:"print bare hex words (pipeable into visa disasm) instead of a listing")
+  in
+  let run file base hex =
+    let base =
+      match int_of_string_opt base with
+      | Some b when b >= 0 -> b
+      | _ ->
+        Printf.eprintf "visa asm: invalid base address %S\n" base;
+        exit 1
+    in
+    match Vasm.assemble_file ~base file with
+    | Error d ->
+      Printf.eprintf "%s:%s\n" file (Vasm.diag_to_string d);
+      exit 1
+    | Ok img ->
+      if hex then
+        Array.iter (fun w -> Printf.printf "%08x\n" w) img.Vasm.words
+      else begin
+        Printf.printf "%s: %d words at 0x%x, entry 0x%x\n" file (Array.length img.Vasm.words)
+          img.Vasm.base img.Vasm.entry;
+        List.iter (fun (s, a) -> Printf.printf "  %08x  %s:\n" a s) img.Vasm.symbols;
+        Printf.printf "\n";
+        Array.iteri
+          (fun i w ->
+            let addr = img.Vasm.base + (4 * i) in
+            Printf.printf "  %08x  %08x  %s\n" addr w
+              (Vmips.Mips_backend.disasm ~word:w ~addr))
+          img.Vasm.words
+      end
+  in
+  Cmd.v
+    (Cmd.info "asm" ~doc:"assemble a MIPS .asm file and list or dump the words")
+    Term.(const run $ file $ base $ hex)
 
 let () =
   let info = Cmd.info "visa" ~doc:"VCODE ISA inspection tool" in
-  exit (Cmd.eval (Cmd.group info [ types_cmd; core_cmd; ports_cmd; disasm_cmd; demo_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ types_cmd; core_cmd; ports_cmd; disasm_cmd; asm_cmd; demo_cmd ]))

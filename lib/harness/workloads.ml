@@ -52,6 +52,44 @@ type router = {
   rt_sync : unit -> unit; (* push registry gauges into telemetry *)
 }
 
+(* ---- the external .asm corpus (workloads/*.asm, assembled by Vasm) ---- *)
+
+let corpus_dirname = "workloads"
+
+(* Search upward from the cwd: finds the repo-root [workloads/] when a
+   tool runs via `dune exec`, and the copy the test stanza's glob deps
+   materialize at _build/default/workloads when running under the
+   runtest sandbox (cwd _build/default/test). *)
+let corpus_dir () =
+  let rec up dir n =
+    let cand = Filename.concat dir corpus_dirname in
+    if Sys.file_exists cand && Sys.is_directory cand then Some cand
+    else
+      let parent = Filename.dirname dir in
+      if n > 8 || parent = dir then None else up parent (n + 1)
+  in
+  up (Sys.getcwd ()) 0
+
+(* [(name, path)] for every corpus program, sorted by name *)
+let corpus_programs () =
+  match corpus_dir () with
+  | None -> []
+  | Some dir ->
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".asm")
+    |> List.sort compare
+    |> List.map (fun f -> (Filename.chop_suffix f ".asm", Filename.concat dir f))
+
+(* a corpus program by name, or a direct path to a .asm file *)
+let corpus_path name =
+  if Filename.check_suffix name ".asm" && Sys.file_exists name then Some name
+  else List.assoc_opt name (corpus_programs ())
+
+let is_asm_workload name = String.length name > 4 && String.sub name 0 4 = "asm:"
+
+let load_asm_image mem (img : Vasm.image) =
+  Array.iteri (fun i w -> Vmachine.Mem.write_u32 mem (img.Vasm.base + (4 * i)) w) img.Vasm.words
+
 let region name (c : Vcode.code) =
   { r_name = name; r_base = c.Vcode.base; r_limit = c.Vcode.base + c.Vcode.code_bytes;
     r_gen = c.Vcode.gen }
@@ -375,6 +413,30 @@ module Make_port (T : Target.S) (S : SIM) : PORT = struct
         r.rt_sync ()
       in
       { run; regions = [] }
+    | w when is_asm_workload w ->
+      (* an external corpus program: assemble with Vasm, load the word
+         image, and call [main] with [iters] as the single argument —
+         the program's own convention is to return a checksum in the
+         result register (bit-identity across modes is pinned by
+         test/test_corpus.ml) *)
+      let prog = String.sub w 4 (String.length w - 4) in
+      if name <> "mips" then
+        Printf.ksprintf failwith
+          "asm workload %S: corpus programs are MIPS assembly (port %s cannot run them)" prog
+          name;
+      let path =
+        match corpus_path prog with
+        | Some p -> p
+        | None -> Printf.ksprintf failwith "asm workload %S: no such corpus program" prog
+      in
+      let img =
+        match Vasm.assemble_file path with
+        | Ok img -> img
+        | Error d -> Printf.ksprintf failwith "%s:%s" path (Vasm.diag_to_string d)
+      in
+      load_asm_image (S.mem m) img;
+      let run () = ignore (S.call_ints ?fuel m ~entry:img.Vasm.entry [ iters ] : int) in
+      { run; regions = [] }
     | w -> Printf.ksprintf failwith "unknown workload %S" w
 end
 
@@ -518,8 +580,21 @@ let mode_exn ~tool name =
 
 let workload_exn ~tool name =
   if List.mem name workload_names then name
+  else if is_asm_workload name then begin
+    (* validate the corpus program now for a located CLI error rather
+       than a failwith out of [prepare] *)
+    let prog = String.sub name 4 (String.length name - 4) in
+    match corpus_path prog with
+    | Some _ -> name
+    | None ->
+      Printf.eprintf "%s: unknown corpus program %S (available: %s)\n" tool prog
+        (match corpus_programs () with
+        | [] -> "none — no workloads/ directory found"
+        | ps -> String.concat "|" (List.map fst ps));
+      exit 1
+  end
   else begin
-    Printf.eprintf "%s: unknown workload %S (%s)\n" tool name
+    Printf.eprintf "%s: unknown workload %S (%s|asm:NAME)\n" tool name
       (String.concat "|" workload_names);
     exit 1
   end

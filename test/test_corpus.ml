@@ -1,0 +1,155 @@
+(* Four-mode lockstep over the external .asm corpus.
+
+   Every workloads/*.asm program is assembled once and then executed
+   under all four engine modes (off / predecode / blocks / regions).
+   The modes must agree bit-for-bit: same return value, same retired
+   instruction count, same cycle count, and the same retired-PC trace
+   stream with zero ring drops.  Three programs additionally carry an
+   OCaml oracle mirroring their arithmetic, pinning the architectural
+   result itself and not just cross-mode consistency. *)
+
+module W = Workloads
+module P = W.Mips_port
+module Trace = Vmachine.Trace
+module A = Vmips.Mips_asm
+
+(* per-program iteration counts, sized so the busiest program stays
+   well inside the 2^18-record trace ring *)
+let iters_for = function
+  | "fib" -> 15
+  | "josephus" -> 48
+  | "sort" -> 64
+  | _ -> 128
+
+type outcome = {
+  ret : int;
+  insns : int;
+  cycles : int;
+  pcs : int array;
+}
+
+let mode_flags mode = List.assoc mode W.modes
+
+let assemble_corpus path =
+  match Vasm.assemble_file path with
+  | Ok img -> img
+  | Error d -> Alcotest.failf "%s: %s" path (Vasm.diag_to_string d)
+
+let run_mode img ~mode ~iters =
+  let predecode, blocks, regions = mode_flags mode in
+  let trace = Trace.create ~capacity_pow2:18 () in
+  let m = P.create ~trace ~predecode ~blocks ~regions () in
+  W.load_asm_image (P.mem m) img;
+  let ret = P.call_ints m ~entry:img.Vasm.entry [ iters ] in
+  if Trace.dropped trace <> 0 then
+    Alcotest.failf "mode %s: trace ring dropped %d records; raise capacity" mode
+      (Trace.dropped trace);
+  { ret; insns = P.insns m; cycles = P.cycles m; pcs = Trace.retired_pcs trace }
+
+let check_lockstep name (reference : outcome) mode (got : outcome) =
+  let ck what = Alcotest.(check int) (Printf.sprintf "%s: %s (off vs %s)" name what mode) in
+  ck "return value" reference.ret got.ret;
+  ck "retired insns" reference.insns got.insns;
+  ck "cycles" reference.cycles got.cycles;
+  ck "trace length" (Array.length reference.pcs) (Array.length got.pcs);
+  match Trace.first_divergence reference.pcs got.pcs with
+  | None -> ()
+  | Some d ->
+    Alcotest.failf "%s: retired streams diverge at index %d (off pc 0x%x, %s pc 0x%x)" name
+      d.Trace.ordinal d.Trace.a_pc mode d.Trace.b_pc
+
+let test_program (name, path) () =
+  let img = assemble_corpus path in
+  let iters = iters_for name in
+  let reference = run_mode img ~mode:"off" ~iters in
+  if reference.insns <= 0 then Alcotest.failf "%s: retired no instructions" name;
+  if Array.length reference.pcs <> reference.insns then
+    Alcotest.failf "%s: trace retained %d pcs for %d retired insns" name
+      (Array.length reference.pcs) reference.insns;
+  List.iter
+    (fun (mode, _) ->
+      if mode <> "off" then check_lockstep name reference mode (run_mode img ~mode ~iters))
+    W.modes
+
+(* ---- architectural oracles for three programs ---- *)
+
+let u32 x = x land 0xFFFFFFFF
+
+let josephus_oracle n_max =
+  let v = ref 0 in
+  for n = 1 to n_max do
+    let f = ref 0 in
+    for i = 2 to n do
+      f := (!f + 3) mod i
+    done;
+    v := u32 ((!v lxor !f) + (!f lsl 1))
+  done;
+  !v
+
+let fib_oracle n =
+  let rec fib n = if n < 2 then n else fib (n - 1) + fib (n - 2) in
+  fib (min n 20)
+
+let sort_oracle n =
+  let n = min n 256 in
+  let a = Array.make n 0 in
+  let s = ref 12345 in
+  for i = 0 to n - 1 do
+    s := u32 ((!s * 1103515245) + 12345);
+    a.(i) <- !s land 0xFFFF
+  done;
+  Array.sort compare a;
+  let v = ref 0 in
+  for i = 0 to n - 1 do
+    v := u32 ((!v lxor a.(i)) + i)
+  done;
+  !v
+
+let run_off name iters =
+  let path =
+    match W.corpus_path name with
+    | Some p -> p
+    | None -> Alcotest.failf "corpus program %s not found" name
+  in
+  (run_mode (assemble_corpus path) ~mode:"off" ~iters).ret
+
+let test_oracles () =
+  Alcotest.(check int) "josephus" (josephus_oracle 48) (u32 (run_off "josephus" 48));
+  Alcotest.(check int) "fib" (fib_oracle 15) (u32 (run_off "fib" 15));
+  Alcotest.(check int) "sort" (sort_oracle 64) (u32 (run_off "sort" 64))
+
+(* ---- harness plumbing: the asm: workload name path ---- *)
+
+let test_harness_prepare () =
+  let m = P.create ~predecode:true ~blocks:true ~regions:true () in
+  let prepared = P.prepare m ~workload:"asm:josephus" ~iters:48 in
+  prepared.W.run ();
+  let first = P.insns m in
+  if first <= 0 then Alcotest.fail "asm:josephus retired no instructions via prepare";
+  prepared.W.run ();
+  Alcotest.(check int) "run closure is re-runnable" (2 * first) (P.insns m)
+
+let test_corpus_enumeration () =
+  let programs = W.corpus_programs () in
+  if List.length programs < 5 then
+    Alcotest.failf "expected at least 5 corpus programs, found %d" (List.length programs);
+  List.iter
+    (fun want ->
+      if not (List.mem_assoc want programs) then Alcotest.failf "missing corpus program %s" want)
+    [ "josephus"; "sort"; "strsearch"; "checksum"; "statemach"; "fib" ]
+
+let () =
+  let programs = W.corpus_programs () in
+  Alcotest.run "corpus"
+    [
+      ( "corpus",
+        [
+          Alcotest.test_case "enumeration" `Quick test_corpus_enumeration;
+          Alcotest.test_case "oracles" `Quick test_oracles;
+          Alcotest.test_case "harness prepare asm:" `Quick test_harness_prepare;
+        ] );
+      ( "lockstep",
+        List.map
+          (fun ((name, _) as p) -> Alcotest.test_case name `Quick (test_program p))
+          programs );
+    ]

@@ -1,0 +1,61 @@
+# checksum.asm — internet-style ones-complement checksum kernel.
+#
+# Fills a word buffer from an xorshift-flavoured generator, then sums
+# it as 16-bit halfwords with end-around carry folding (RFC 1071
+# shape) and returns the complemented checksum.  Exercises sub-word
+# loads (lhu) and a carry-fold data dependence per iteration.
+#
+# entry:  main, $a0 = word count (clamped to 1024)
+# result: $v0 = 16-bit ones-complement checksum of the buffer
+main:
+        li    $t8, 1024
+        ble   $a0, $t8, lok
+        nop
+        move  $a0, $t8
+lok:
+        la    $t0, buf
+        li    $t1, 0              # word index
+        li    $t2, 0x1234         # generator state
+wfill:
+        bge   $t1, $a0, wdone
+        nop
+        sll   $t3, $t2, 5         # xorshift mix
+        xor   $t2, $t2, $t3
+        srl   $t3, $t2, 7
+        xor   $t2, $t2, $t3
+        sll   $t3, $t2, 22
+        xor   $t2, $t2, $t3
+        sll   $t4, $t1, 2
+        addu  $t4, $t4, $t0
+        sw    $t2, 0($t4)
+        addiu $t1, $t1, 1
+        b     wfill
+        nop
+wdone:
+        li    $v0, 0              # running sum
+        li    $t1, 0              # halfword index
+        sll   $t7, $a0, 1         # 2 halves per word
+csum:
+        bge   $t1, $t7, cdone
+        nop
+        sll   $t4, $t1, 1
+        addu  $t4, $t4, $t0
+        lhu   $t3, 0($t4)
+        addu  $v0, $v0, $t3
+        srl   $t3, $v0, 16        # end-around carry
+        andi  $v0, $v0, 0xffff
+        addu  $v0, $v0, $t3
+        addiu $t1, $t1, 1
+        b     csum
+        nop
+cdone:
+        srl   $t3, $v0, 16        # final fold + complement
+        andi  $v0, $v0, 0xffff
+        addu  $v0, $v0, $t3
+        nor   $v0, $v0, $zero
+        andi  $v0, $v0, 0xffff
+        jr    $ra
+        nop
+
+        .align 2
+buf:    .space 4096

@@ -1,0 +1,44 @@
+# fib.asm — naive recursive Fibonacci.
+#
+# The call/return stress case: every node of the call tree is two jal
+# sites, a stack frame, and a jr $ra whose delay slot does the frame
+# pop — deep dynamic call depth with dense short blocks.
+#
+# entry:  main, $a0 = n (clamped to 20)
+# result: $v0 = fib(n)
+main:
+        li    $t8, 20
+        ble   $a0, $t8, nok
+        nop
+        move  $a0, $t8
+nok:
+        move  $t9, $ra            # fib preserves $t9
+        jal   fib
+        nop
+        move  $ra, $t9
+        jr    $ra
+        nop
+fib:
+        slti  $t0, $a0, 2
+        beq   $t0, $zero, rec
+        nop
+        move  $v0, $a0            # fib(0) = 0, fib(1) = 1
+        jr    $ra
+        nop
+rec:
+        addiu $sp, $sp, -12
+        sw    $ra, 0($sp)
+        sw    $a0, 4($sp)
+        addiu $a0, $a0, -1
+        jal   fib
+        nop
+        sw    $v0, 8($sp)
+        lw    $a0, 4($sp)
+        addiu $a0, $a0, -2
+        jal   fib
+        nop
+        lw    $t0, 8($sp)
+        addu  $v0, $v0, $t0
+        lw    $ra, 0($sp)
+        jr    $ra
+        addiu $sp, $sp, 12        # frame pop rides the delay slot

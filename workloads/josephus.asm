@@ -1,0 +1,42 @@
+# josephus.asm — Josephus survivor positions over a range of ring sizes.
+#
+# The classic recurrence f(1) = 0, f(i) = (f(i-1) + k) mod i with k = 3,
+# evaluated for every ring size n = 1..$a0 and folded into a checksum.
+# The mod is a subtract loop (f + k < 2i, so it runs 0..1 times) to keep
+# the inner loop branchy rather than relying on the divider.
+#
+# entry:  main, $a0 = largest ring size (the harness passes --iters)
+# result: $v0 = xor/add-folded survivor positions (0-based)
+main:
+        li    $t9, 3              # k, the elimination step
+        li    $v0, 0              # checksum
+        li    $t0, 1              # n, current ring size
+outer:
+        bgt   $t0, $a0, done
+        nop
+        li    $t1, 0              # f = f(1) = 0
+        li    $t2, 2              # i
+floop:
+        bgt   $t2, $t0, fdone
+        nop
+        addu  $t1, $t1, $t9       # f += k
+modlp:                            # f %= i
+        blt   $t1, $t2, mdone
+        nop
+        subu  $t1, $t1, $t2
+        b     modlp
+        nop
+mdone:
+        addiu $t2, $t2, 1
+        b     floop
+        nop
+fdone:
+        xor   $v0, $v0, $t1       # fold f(n) into the checksum
+        sll   $t3, $t1, 1
+        addu  $v0, $v0, $t3
+        addiu $t0, $t0, 1
+        b     outer
+        nop
+done:
+        jr    $ra
+        nop

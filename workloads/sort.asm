@@ -1,0 +1,88 @@
+# sort.asm — insertion sort over an LCG-filled array, with a built-in
+# sortedness oracle.
+#
+# Fills buf with $a0 pseudo-random 16-bit values (glibc LCG constants),
+# insertion-sorts in place, then walks the result checking monotonicity
+# while folding a checksum.  A sort bug answers -1, so any engine-mode
+# divergence in the data path shows up in the return value as well as
+# the retired-instruction stream.
+#
+# entry:  main, $a0 = element count (clamped to 256)
+# result: $v0 = checksum of the sorted array, or -1 if out of order
+main:
+        li    $t8, 256
+        ble   $a0, $t8, szok
+        nop
+        move  $a0, $t8
+szok:
+        la    $t0, buf
+        li    $t1, 0              # i
+        li    $t2, 12345          # LCG state
+fill:
+        bge   $t1, $a0, fdone
+        nop
+        li    $t3, 1103515245
+        multu $t2, $t3
+        mflo  $t2
+        addiu $t2, $t2, 12345
+        andi  $t3, $t2, 0xffff    # element value
+        sll   $t4, $t1, 2
+        addu  $t4, $t4, $t0
+        sw    $t3, 0($t4)
+        addiu $t1, $t1, 1
+        b     fill
+        nop
+fdone:
+        li    $t1, 1              # insertion sort: i = 1..n-1
+isort:
+        bge   $t1, $a0, sdone
+        nop
+        sll   $t4, $t1, 2
+        addu  $t4, $t4, $t0
+        lw    $t5, 0($t4)         # key = a[i]
+        move  $t2, $t1            # j
+inner:
+        blez  $t2, place
+        nop
+        sll   $t6, $t2, 2
+        addu  $t6, $t6, $t0
+        lw    $t7, -4($t6)        # a[j-1]
+        ble   $t7, $t5, place
+        nop
+        sw    $t7, 0($t6)         # shift right
+        addiu $t2, $t2, -1
+        b     inner
+        nop
+place:
+        sll   $t6, $t2, 2
+        addu  $t6, $t6, $t0
+        sw    $t5, 0($t6)         # a[j] = key
+        addiu $t1, $t1, 1
+        b     isort
+        nop
+sdone:
+        li    $v0, 0              # checksum + oracle walk
+        li    $t1, 0
+        li    $t7, 0              # previous element
+check:
+        bge   $t1, $a0, done
+        nop
+        sll   $t4, $t1, 2
+        addu  $t4, $t4, $t0
+        lw    $t3, 0($t4)
+        bgt   $t7, $t3, bad       # must be nondecreasing
+        nop
+        move  $t7, $t3
+        xor   $v0, $v0, $t3
+        addu  $v0, $v0, $t1
+        addiu $t1, $t1, 1
+        b     check
+        nop
+bad:
+        li    $v0, -1
+done:
+        jr    $ra
+        nop
+
+        .align 2
+buf:    .space 1024

@@ -1,0 +1,76 @@
+# statemach.asm — a branch-dense table-driven state machine.
+#
+# A 4-state DFA dispatched through a jump table: each step generates a
+# symbol, loads table[state*4 + symbol] and jumps to it through jr —
+# genuinely irregular control flow with a data-dependent indirect jump
+# per iteration, the shape that defeats direct block chaining and that
+# the region promoter has to survive rather than speed up.
+#
+# entry:  main, $a0 = number of input symbols (clamped to 4096)
+# result: $v0 = transition signature + final state
+main:
+        li    $t8, 4096
+        ble   $a0, $t8, lok
+        nop
+        move  $a0, $t8
+lok:
+        li    $t0, 0              # state
+        li    $v0, 0              # signature
+        li    $t1, 0              # symbol index
+        li    $t2, 0x2f           # generator state
+        la    $t6, table
+step:
+        bge   $t1, $a0, done
+        nop
+        sll   $t3, $t2, 2         # s = (5s + 7) & 255
+        addu  $t3, $t3, $t2
+        addiu $t2, $t3, 7
+        andi  $t2, $t2, 255
+        srl   $t4, $t2, 2
+        andi  $t4, $t4, 3         # symbol 0..3
+        sll   $t5, $t0, 2         # index = state*4 + symbol
+        addu  $t5, $t5, $t4
+        sll   $t5, $t5, 2
+        addu  $t5, $t5, $t6
+        lw    $t5, 0($t5)         # handler address
+        jr    $t5
+        nop
+s0:
+        li    $t0, 1
+        b     next
+        nop
+s1:
+        li    $t0, 2
+        addiu $v0, $v0, 1
+        b     next
+        nop
+s2:
+        li    $t0, 3
+        xor   $v0, $v0, $t1
+        b     next
+        nop
+s3:
+        li    $t0, 0
+        addiu $v0, $v0, 3
+        b     next
+        nop
+sacc:
+        li    $t0, 0              # accepting transition
+        addiu $v0, $v0, 5
+        b     next
+        nop
+next:
+        addiu $t1, $t1, 1
+        b     step
+        nop
+done:
+        addu  $v0, $v0, $t0       # fold in the final state
+        jr    $ra
+        nop
+
+        .align 2
+table:                            # 4 states x 4 symbols of handlers
+        .word s0, s1, s2, s3
+        .word s1, s2, s3, sacc
+        .word s2, s3, sacc, s0
+        .word s3, sacc, s0, s1

@@ -1,0 +1,72 @@
+# strsearch.asm — naive substring search over a generated text.
+#
+# Generates $a0 bytes over a 4-letter alphabet from a small linear
+# recurrence (dense repeats, so near-matches are common and the inner
+# compare loop's exit point varies), then counts occurrences of the
+# pattern "abab" with the quadratic textbook scan.
+#
+# entry:  main, $a0 = haystack length (clamped to 2048)
+# result: $v0 = match count in the low half, echoed in the high half
+main:
+        li    $t8, 2048
+        ble   $a0, $t8, lenok
+        nop
+        move  $a0, $t8
+lenok:
+        la    $t0, hay
+        li    $t1, 0              # i
+        li    $t2, 7              # generator state
+gen:
+        bge   $t1, $a0, gdone
+        nop
+        sll   $t3, $t2, 1         # s = (5s + 3) & 63
+        sll   $t4, $t2, 2
+        addu  $t3, $t3, $t4
+        subu  $t3, $t3, $t2
+        addiu $t3, $t3, 3
+        andi  $t2, $t3, 63
+        andi  $t4, $t2, 3
+        addiu $t4, $t4, 97        # 'a'..'d'
+        addu  $t5, $t0, $t1
+        sb    $t4, 0($t5)
+        addiu $t1, $t1, 1
+        b     gen
+        nop
+gdone:
+        li    $v0, 0              # match count
+        li    $t1, 0              # scan position
+        la    $t6, pat
+search:
+        subu  $t3, $a0, $t1       # bytes remaining
+        li    $t4, 4              # pattern length
+        blt   $t3, $t4, sdone
+        nop
+        li    $t2, 0              # j over the pattern
+cmp:
+        bge   $t2, $t4, hit
+        nop
+        addu  $t5, $t1, $t2
+        addu  $t5, $t5, $t0
+        lbu   $t3, 0($t5)         # hay[i+j]
+        addu  $t5, $t6, $t2
+        lbu   $t5, 0($t5)         # pat[j]
+        bne   $t3, $t5, miss
+        nop
+        addiu $t2, $t2, 1
+        b     cmp
+        nop
+hit:
+        addiu $v0, $v0, 1
+miss:
+        addiu $t1, $t1, 1
+        b     search
+        nop
+sdone:
+        sll   $t3, $v0, 16
+        or    $v0, $v0, $t3
+        jr    $ra
+        nop
+
+pat:    .asciiz "abab"
+        .align 2
+hay:    .space 2048
