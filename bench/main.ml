@@ -56,14 +56,19 @@ let json_float v =
 
 (* version of the --json document layout; bump when keys change.
    bench/json_check.exe --require-schema pins it in the test suite.
-   (1 = pre-schema-field dumps; 2 added this field; 3 added the
-   sim-throughput regions tier and the region-loop workload rows;
-   4 added the router section: registry install/demux rates under
-   churn; 5 added the peephole section: peephole-on table3/table4
-   rows, the codegen vcode-peephole ladder row, and the rewrite
-   counters; 6 added the corpus section: four-mode rates for the
-   external .asm workloads.) *)
-let json_schema_version = 6
+     1: pre-schema-field dumps
+     2: added this field
+     3: sim-throughput regions tier + region-loop workload rows
+     4: router section (registry install/demux rates under churn)
+     5: peephole section (peephole-on table3/table4 rows, the codegen
+        vcode-peephole ladder row, rewrite counters)
+     6: corpus section (four-mode rates for the external .asm
+        workloads)
+     7: tail-latency percentiles — router.install_ns.* and
+        router.classify_ns.* (p50/p99/p999 interpolated from the
+        telemetry log2 buckets by Telemetry.quantile_of_stats) and
+        corpus.mips.<w>.run_ns.* per-run percentiles *)
+let json_schema_version = 7
 
 let write_json path =
   let items = List.rev !json_results in
@@ -959,6 +964,32 @@ let bench_corpus () =
           workload (r.r_off /. 1e6) (r.r_pre /. 1e6) (r.r_blk /. 1e6) (r.r_reg /. 1e6)
           (r.r_blk /. r.r_pre) (r.r_reg /. r.r_blk))
       corpus_rows;
+    (* per-run tail latency: an enabled sink over 200 blocks-tier
+       timed run calls feeds the mips.run_ns stopwatch dist (the
+       throughput rows above keep the disabled sink's zero-cost path) *)
+    let module T = Vmachine.Telemetry in
+    Printf.printf "\n   per-run latency (host ns, blocks tier, 200 runs):\n";
+    Printf.printf "   %-14s %10s %10s %10s\n" "workload" "p50" "p99" "p999";
+    List.iter
+      (fun (workload, iters) ->
+        let module P = Workloads.Mips_port in
+        let tel_l = T.create () in
+        let m =
+          P.create ~cfg:Vmachine.Mconfig.dec5000 ~telemetry:tel_l ~predecode:true
+            ~blocks:true ~regions:false ()
+        in
+        let prep = P.prepare ~tel:tel_l m ~workload:("asm:" ^ workload) ~iters in
+        for _ = 1 to 200 do
+          prep.Workloads.run ()
+        done;
+        let st = T.dist_stats tel_l (T.dist tel_l "mips.run_ns") in
+        let q x = T.quantile_of_stats st x in
+        let key m_ = Printf.sprintf "corpus.mips.%s.run_ns.%s" (slug workload) m_ in
+        record (key "p50") (float_of_int (q 0.5));
+        record (key "p99") (float_of_int (q 0.99));
+        record (key "p999") (float_of_int (q 0.999));
+        Printf.printf "   %-14s %10d %10d %10d\n" workload (q 0.5) (q 0.99) (q 0.999))
+      corpus_rows;
     Printf.printf "\n"
 
 (* ------------------------------------------------------------------ *)
@@ -1076,6 +1107,30 @@ let bench_router () =
   (match rates with
   | [ _; _; blk; _ ] -> record "router.packets_per_sec" blk
   | _ -> ());
+  (* tail latency: a dedicated enabled sink (independent of
+     --telemetry, so the throughput sections above keep their
+     zero-overhead disabled path) feeds the install/classify stopwatch
+     dists; percentiles interpolated from the log2 buckets.  bin/vstat
+     is the interactive view of the same distributions. *)
+  let module T = Vmachine.Telemetry in
+  let tel_l = T.create () in
+  let m = P.create ~cfg ~telemetry:tel_l ~predecode:true ~blocks:true ~regions:false () in
+  let r = P.router ~tel:tel_l m in
+  r.Workloads.rt_install ~n:2000 ~batched:true;
+  r.Workloads.rt_packets ~n:8000 ~churn_every:32;
+  r.Workloads.rt_sync ();
+  Printf.printf "   tail latency (host ns, blocks tier, 8000 packets, churn/32):\n";
+  Printf.printf "   %-22s %10s %10s %10s\n" "op" "p50" "p99" "p999";
+  List.iter
+    (fun (dist_name, key) ->
+      let st = T.dist_stats tel_l (T.dist tel_l dist_name) in
+      let q x = T.quantile_of_stats st x in
+      let p50 = q 0.5 and p99 = q 0.99 and p999 = q 0.999 in
+      record (Printf.sprintf "router.%s.p50" key) (float_of_int p50);
+      record (Printf.sprintf "router.%s.p99" key) (float_of_int p99);
+      record (Printf.sprintf "router.%s.p999" key) (float_of_int p999);
+      Printf.printf "   %-22s %10d %10d %10d\n" dist_name p50 p99 p999)
+    [ ("server.install_ns", "install_ns"); ("router.classify_ns", "classify_ns") ];
   Printf.printf "\n";
   (inst_single, inst_batched, batch_speedup)
 

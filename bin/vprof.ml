@@ -26,8 +26,11 @@ module W = Workloads
    promotions, side exits and the side-exit rate) and the "regions"
    mode.
    3: added the "registry" object (code-region registry and slab-arena
-   gauges from the server.* counters) and the "router" workload. *)
-let json_schema_version = 3
+   gauges from the server.* counters) and the "router" workload.
+   4: dist objects grew interpolated "p50"/"p90"/"p99"/"p999" keys
+   (from {!Vmachine.Telemetry.quantile_of_stats} over the log2
+   buckets), matching the latency timers that now feed *_ns dists. *)
+let json_schema_version = 4
 
 let json_escape s =
   let b = Buffer.create (String.length s + 2) in
@@ -43,6 +46,32 @@ let json_escape s =
       | c -> Buffer.add_char b c)
     s;
   Buffer.contents b
+
+(* compact log2-bucket sparkline: the nonzero bucket span rendered in
+   eight block heights, labelled with its value range *)
+let spark (st : Tel.dist_stats) =
+  let b = st.Tel.buckets in
+  let lo = ref (-1) and hi = ref (-1) and peak = ref 0 in
+  Array.iteri
+    (fun i n ->
+      if n > 0 then begin
+        if !lo < 0 then lo := i;
+        hi := i;
+        if n > !peak then peak := n
+      end)
+    b;
+  if !lo < 0 then ""
+  else begin
+    let glyphs = [| "\xe2\x96\x81"; "\xe2\x96\x82"; "\xe2\x96\x83"; "\xe2\x96\x84";
+                    "\xe2\x96\x85"; "\xe2\x96\x86"; "\xe2\x96\x87"; "\xe2\x96\x88" |] in
+    let buf = Buffer.create 64 in
+    Buffer.add_string buf (Printf.sprintf "[2^%d..2^%d] " !lo (!hi + 1));
+    for i = !lo to !hi do
+      if b.(i) = 0 then Buffer.add_char buf ' '
+      else Buffer.add_string buf glyphs.(((b.(i) * 7) + !peak - 1) / !peak)
+    done;
+    Buffer.contents buf
+  end
 
 type outcome = {
   o_insns : int;
@@ -181,14 +210,20 @@ let report ~port ~workload ~mode ~iters ~top (o : outcome) =
   let cs = List.sort (fun (_, a) (_, b) -> compare b a) cs in
   Printf.printf "\ncounters (nonzero, largest first):\n";
   List.iter (fun (k, v) -> Printf.printf "  %-36s %12d\n" k v) cs;
-  (* distribution summaries *)
+  (* distribution summaries, with interpolated tail percentiles and a
+     log2-bucket sparkline *)
   Printf.printf "\ndistributions:\n";
   List.iter
     (fun (k, (st : Tel.dist_stats)) ->
-      if st.Tel.count > 0 then
-        Printf.printf "  %-28s count %-9d min %-6d max %-6d avg %.1f\n" k st.Tel.count
-          st.Tel.min st.Tel.max
-          (float_of_int st.Tel.sum /. float_of_int st.Tel.count))
+      if st.Tel.count > 0 then begin
+        Printf.printf
+          "  %-28s count %-9d min %-6d max %-6d avg %-9.1f p50 %-6d p99 %-6d p999 %d\n" k
+          st.Tel.count st.Tel.min st.Tel.max
+          (float_of_int st.Tel.sum /. float_of_int st.Tel.count)
+          (Tel.quantile_of_stats st 0.5) (Tel.quantile_of_stats st 0.99)
+          (Tel.quantile_of_stats st 0.999);
+        Printf.printf "  %-28s %s\n" "" (spark st)
+      end)
     o.o_dists;
   Printf.printf "\nevents recorded: %d\n" o.o_events_seen
 
@@ -233,8 +268,12 @@ let write_json path ~port ~workload ~mode ~iters ~top (o : outcome) =
     r.r_slabs_free r.r_bump_words r.r_hits r.r_misses;
   emit_obj "counters" o.o_counters string_of_int;
   emit_obj "dists" o.o_dists (fun (st : Tel.dist_stats) ->
-      Printf.sprintf "{ \"count\": %d, \"sum\": %d, \"min\": %d, \"max\": %d }" st.Tel.count
-        st.Tel.sum st.Tel.min st.Tel.max);
+      Printf.sprintf
+        "{ \"count\": %d, \"sum\": %d, \"min\": %d, \"max\": %d, \"p50\": %d, \"p90\": %d, \
+         \"p99\": %d, \"p999\": %d }"
+        st.Tel.count st.Tel.sum st.Tel.min st.Tel.max
+        (Tel.quantile_of_stats st 0.5) (Tel.quantile_of_stats st 0.9)
+        (Tel.quantile_of_stats st 0.99) (Tel.quantile_of_stats st 0.999));
   Printf.fprintf oc "  \"events_seen\": %d\n}\n" o.o_events_seen;
   close_out oc;
   Printf.printf "\nwrote %s\n" path
@@ -269,7 +308,7 @@ let json_arg =
   Arg.(
     value
     & opt (some string) None
-    & info [ "json" ] ~docv:"FILE" ~doc:"also write the report as JSON (schema 3)")
+    & info [ "json" ] ~docv:"FILE" ~doc:"also write the report as JSON (schema 4)")
 
 let main port workload mode top iters json =
   let p = W.port_exn ~tool:"vprof" port in

@@ -97,7 +97,7 @@ let capture port workload mode iters cap fuel bin json =
   | None -> ()
   | Some path ->
     let b = Buffer.create 65536 in
-    Trace.write_chrome b ~symbol:(W.symbol_of regions) ~port ~mode ~workload tr;
+    Chrome_trace.write_trace b ~symbol:(W.symbol_of regions) ~port ~mode ~workload tr;
     let oc = open_out path in
     Buffer.output_buffer oc b;
     close_out oc;

@@ -15,6 +15,7 @@
 open Vcodebase
 module Tel = Vmachine.Telemetry
 module Trace = Vmachine.Trace
+module Timeline = Vmachine.Timeline
 
 let pkt_addr = 0x80000
 let src_addr = 0x300000
@@ -50,6 +51,10 @@ type router = {
   rt_installs : unit -> int; (* filters ever installed *)
   rt_drops : unit -> int; (* lookups that missed (evicted keys) *)
   rt_sync : unit -> unit; (* push registry gauges into telemetry *)
+  rt_top : k:int -> (int * int * int * int) list;
+      (* hottest tenants by total classification time, descending:
+         (key, packets, total_ns, max_ns).  Empty unless the router's
+         sink is enabled. *)
 }
 
 (* ---- the external .asm corpus (workloads/*.asm, assembled by Vasm) ---- *)
@@ -135,11 +140,26 @@ module type PORT = sig
   (** stale-translation injection (see {!Vmachine.Block_cache.alias}) *)
   val alias_block : m -> at:int -> from:int -> bool
 
+  (** resident translations per tier: [(blocks, regions)] — cheap
+      reads, safe as {!Timeline} gauges *)
+  val resident : m -> int * int
+
   (** a fresh router over [m]'s memory; [max_live] caps resident
       filters (capacity evictions past it); [arena_slabs] sizes the
       code window to that many 128-word slabs (the single-filter slab
-      class), the lever for driving the registry at capacity *)
-  val router : ?tel:Tel.t -> ?fuel:int -> ?max_live:int -> ?arena_slabs:int -> m -> router
+      class), the lever for driving the registry at capacity.
+      [timeline] receives the registry/arena/engine gauges and one
+      tick per packet; [tel] additionally gets the per-packet
+      [router.classify_ns] distribution and the per-tenant table
+      behind [rt_top]. *)
+  val router :
+    ?tel:Tel.t ->
+    ?timeline:Timeline.t ->
+    ?fuel:int ->
+    ?max_live:int ->
+    ?arena_slabs:int ->
+    m ->
+    router
 
   (** generate + install the named workload's code into [m]; [iters]
       is baked into the returned closure.  [tel] receives the
@@ -163,6 +183,7 @@ module type SIM = sig
   val reset_stats : t -> unit
   val hot_blocks : limit:int -> t -> (int * int) list
   val alias_block : t -> at:int -> from:int -> bool
+  val resident : t -> int * int
   val call_ints : ?fuel:int -> t -> entry:int -> int list -> int
 end
 
@@ -184,6 +205,7 @@ module Make_port (T : Target.S) (S : SIM) : PORT = struct
   let disasm = T.disasm
   let call_ints = S.call_ints
   let alias_block = S.alias_block
+  let resident = S.resident
 
   (* the mixed-ALU loop the throughput benchmarks time *)
   let gen_loop () =
@@ -262,15 +284,40 @@ module Make_port (T : Target.S) (S : SIM) : PORT = struct
      header, looks the filter up and runs it; the classification must
      return the installed fid, which is what makes every packet an
      oracle against stale translations at reused slab addresses. *)
-  let router ?(tel = Tel.disabled) ?fuel ?max_live ?arena_slabs m =
+  let router ?(tel = Tel.disabled) ?(timeline = Timeline.disabled) ?fuel ?max_live
+      ?arena_slabs m =
     let mem = S.mem m in
     let arena_base = 0x100000 in
     let arena_limit =
       Option.map (fun n -> arena_base + (4 * 128 * n)) arena_slabs
     in
     let sv = SV.create ~tel ?max_live ~arena_base ?arena_limit mem in
+    (* timeline gauges: registry occupancy + arena free lists from the
+       server, per-tier resident translations and the event-ring total
+       from the engine.  One tick per packet (below), so counter
+       tracks plot against the packet ordinal. *)
+    if Timeline.is_enabled timeline then begin
+      List.iter (fun (n, f) -> Timeline.gauge timeline n f) (SV.gauge_sources sv);
+      Timeline.gauge timeline "engine.blocks.resident" (fun () -> fst (S.resident m));
+      Timeline.gauge timeline "engine.regions.resident" (fun () -> snd (S.resident m));
+      Timeline.gauge timeline "tel.events_seen" (fun () -> Tel.events_seen tel)
+    end;
     Dpf.Packet.install mem ~addr:pkt_addr (Dpf.Packet.tcp ());
     let next_key = ref 0 and oldest = ref 0 and drops = ref 0 in
+    let tel_on = Tel.is_enabled tel in
+    let d_classify = Tel.dist tel "router.classify_ns" in
+    (* per-tenant attribution: key -> [| packets; total_ns; max_ns |].
+       Only maintained when the sink is enabled, so the disabled
+       packet loop stays allocation-free. *)
+    let tstats : (int, int array) Hashtbl.t = Hashtbl.create (if tel_on then 256 else 1) in
+    let note_tenant k dt =
+      match Hashtbl.find_opt tstats k with
+      | Some c ->
+        c.(0) <- c.(0) + 1;
+        c.(1) <- c.(1) + dt;
+        if dt > c.(2) then c.(2) <- dt
+      | None -> Hashtbl.add tstats k [| 1; dt; dt |]
+    in
     (* dst_port is a 16-bit field: fold keys into [1000, 61000) *)
     let port_of_key k = 1000 + (k mod 60000) in
     let filter_of_key k =
@@ -316,12 +363,30 @@ module Make_port (T : Target.S) (S : SIM) : PORT = struct
         let port = port_of_key k in
         Vmachine.Mem.write_u8 mem (pkt_addr + 22) ((port lsr 8) land 0xff);
         Vmachine.Mem.write_u8 mem (pkt_addr + 23) (port land 0xff);
-        (match SV.lookup sv k with
-        | None -> incr drops
-        | Some entry ->
-          let got = S.call_ints ?fuel m ~entry [ pkt_addr; 40 ] in
-          if got <> k then
-            Printf.ksprintf failwith "router: packet for key %d classified as %d" k got);
+        (* the classification match is duplicated rather than bound to
+           a closure: a per-packet closure would allocate even with
+           telemetry off *)
+        (if tel_on then begin
+           let t0 = Tel.now_ns () in
+           (match SV.lookup sv k with
+           | None -> incr drops
+           | Some entry ->
+             let got = S.call_ints ?fuel m ~entry [ pkt_addr; 40 ] in
+             if got <> k then
+               Printf.ksprintf failwith "router: packet for key %d classified as %d" k got);
+           let dt = Tel.now_ns () - t0 in
+           let dt = if dt < 0 then 0 else dt in
+           Tel.observe tel d_classify dt;
+           note_tenant k dt
+         end
+         else
+           match SV.lookup sv k with
+           | None -> incr drops
+           | Some entry ->
+             let got = S.call_ints ?fuel m ~entry [ pkt_addr; 40 ] in
+             if got <> k then
+               Printf.ksprintf failwith "router: packet for key %d classified as %d" k got);
+        Timeline.tick timeline;
         if churn_every > 0 && i mod churn_every = 0 then begin
           ignore (SV.evict sv !oldest : bool);
           incr oldest;
@@ -338,6 +403,12 @@ module Make_port (T : Target.S) (S : SIM) : PORT = struct
       rt_installs = (fun () -> (SV.stats sv).SV.installs);
       rt_drops = (fun () -> !drops);
       rt_sync = (fun () -> SV.sync_gauges sv);
+      rt_top =
+        (fun ~k ->
+          Hashtbl.fold (fun key c acc -> (key, c.(0), c.(1), c.(2)) :: acc) tstats []
+          |> List.sort (fun (ka, _, ta, _) (kb, _, tb, _) ->
+                 if ta <> tb then compare tb ta else compare ka kb)
+          |> List.filteri (fun i _ -> i < k));
     }
 
   let prepare ?(tel = Tel.disabled) ?(provenance = false) ?fuel m ~workload ~iters =
@@ -459,6 +530,9 @@ module Mips_port =
       let hot_blocks ~limit (m : t) = Vmachine.Block_cache.hot_blocks ~limit m.S.bc
       let alias_block (m : t) ~at ~from = Vmachine.Block_cache.alias m.S.bc ~at ~from
 
+      let resident (m : t) =
+        (Vmachine.Block_cache.resident_count m.S.bc, Vmachine.Region_cache.resident_count m.S.rc)
+
       let call_ints ?fuel m ~entry vals =
         S.call ?fuel m ~entry (List.map (fun v -> S.Int v) vals);
         S.ret_int m
@@ -482,6 +556,9 @@ module Sparc_port =
       let reset_stats = S.reset_stats
       let hot_blocks ~limit (m : t) = Vmachine.Block_cache.hot_blocks ~limit m.S.bc
       let alias_block (m : t) ~at ~from = Vmachine.Block_cache.alias m.S.bc ~at ~from
+
+      let resident (m : t) =
+        (Vmachine.Block_cache.resident_count m.S.bc, Vmachine.Region_cache.resident_count m.S.rc)
 
       let call_ints ?fuel m ~entry vals =
         S.call ?fuel m ~entry (List.map (fun v -> S.Int v) vals);
@@ -507,6 +584,9 @@ module Alpha_port =
       let hot_blocks ~limit (m : t) = Vmachine.Block_cache.hot_blocks ~limit m.S.bc
       let alias_block (m : t) ~at ~from = Vmachine.Block_cache.alias m.S.bc ~at ~from
 
+      let resident (m : t) =
+        (Vmachine.Block_cache.resident_count m.S.bc, Vmachine.Region_cache.resident_count m.S.rc)
+
       let call_ints ?fuel m ~entry vals =
         S.call ?fuel m ~entry (List.map (fun v -> S.Int v) vals);
         S.ret_int m
@@ -530,6 +610,9 @@ module Ppc_port =
       let reset_stats = S.reset_stats
       let hot_blocks ~limit (m : t) = Vmachine.Block_cache.hot_blocks ~limit m.S.bc
       let alias_block (m : t) ~at ~from = Vmachine.Block_cache.alias m.S.bc ~at ~from
+
+      let resident (m : t) =
+        (Vmachine.Block_cache.resident_count m.S.bc, Vmachine.Region_cache.resident_count m.S.rc)
 
       let call_ints ?fuel m ~entry vals =
         S.call ?fuel m ~entry (List.map (fun v -> S.Int v) vals);

@@ -58,6 +58,8 @@ type 'b t = {
   mutable dirty : bool;            (* a block was dropped since [begin_block] *)
   mutable compiles : int;
   mutable invalidations : int;
+  mutable resident : int;          (* Some slots, kept exact so timeline
+                                      gauges never scan the array *)
   tel : Telemetry.t;               (* stats mirror + block-length dist +
                                       ring events; disabled -> scratch *)
   tr : Trace.t;                    (* Inval markers; disabled -> scratch *)
@@ -65,6 +67,7 @@ type 'b t = {
   c_evicts : Telemetry.counter;
   c_invals : Telemetry.counter;
   d_block_len : Telemetry.dist;
+  d_compile_ns : Telemetry.dist;
   mutable execs : int array;       (* per-entry execution profile, same
                                       indexing as [slots]; [||] unless the
                                       sink is enabled *)
@@ -85,12 +88,14 @@ let create ?(tel = Telemetry.disabled) ?(trace = Trace.disabled) ?(name = "bc")
     dirty = false;
     compiles = 0;
     invalidations = 0;
+    resident = 0;
     tel;
     tr = trace;
     c_compiles = Telemetry.counter tel (name ^ ".compiles");
     c_evicts = Telemetry.counter tel (name ^ ".evictions");
     c_invals = Telemetry.counter tel (name ^ ".invalidations");
     d_block_len = Telemetry.dist tel (name ^ ".block_len");
+    d_compile_ns = Telemetry.dist tel (name ^ ".compile_ns");
     execs = (if Telemetry.is_enabled tel then Array.make words 0 else [||]);
   }
 
@@ -134,7 +139,7 @@ let set t addr block =
     | Some _ ->
       Telemetry.bump t.tel t.c_evicts;
       Telemetry.event t.tel Telemetry.Block_evict ~a:addr ~b:insns
-    | None -> ());
+    | None -> t.resident <- t.resident + 1);
     t.slots.(idx) <- Some block;
     if addr < t.lo then t.lo <- addr;
     if addr + 4 > t.hi then t.hi <- addr + 4;
@@ -163,6 +168,7 @@ let invalidate t addr len =
         let entry = w * 4 in
         if entry + t.len_bytes b > addr && entry < addr + len then begin
           t.slots.(w) <- None;
+          t.resident <- t.resident - 1;
           dropped := true
         end
     done;
@@ -186,7 +192,8 @@ let clear t =
     let w1 = min ((t.hi - 1) lsr 2) (Array.length t.slots - 1) in
     for w = t.lo lsr 2 to w1 do
       t.slots.(w) <- None
-    done
+    done;
+    t.resident <- 0
   end;
   t.lo <- max_int;
   t.hi <- 0
@@ -229,6 +236,15 @@ let hot_blocks ?(limit = 20) t =
 
 let stats t = (t.compiles, t.invalidations)
 
+let resident_count t = t.resident
+
+(* Compile-latency stopwatch around the simulators' whole
+   scan+compile+set path, feeding <name>.compile_ns.  Both halves gate
+   on the sink's enabled flag inside Telemetry, so the disabled path
+   never reads the clock. *)
+let compile_start t = Telemetry.timer_start t.tel
+let compile_done t t0 = Telemetry.timer_stop t.tel t.d_compile_ns t0
+
 let reset_stats t =
   t.compiles <- 0;
   t.invalidations <- 0
@@ -251,6 +267,7 @@ let alias t ~at ~from =
     if at land 3 <> 0 || idx >= t.limit_words then false
     else begin
       if idx >= Array.length t.slots then grow t idx;
+      if t.slots.(idx) = None then t.resident <- t.resident + 1;
       t.slots.(idx) <- Some b;
       if at < t.lo then t.lo <- at;
       if at + 4 > t.hi then t.hi <- at + 4;

@@ -99,6 +99,17 @@ val stats : 'b t -> int * int
 
 val reset_stats : 'b t -> unit
 
+(** currently resident blocks, O(1) — safe as a {!Timeline} gauge *)
+val resident_count : 'b t -> int
+
+(** compile-latency stopwatch feeding [<name>.compile_ns]: the
+    simulators bracket their whole scan+compile+[set] path with
+    [compile_start]/[compile_done].  Neither touches the clock when
+    the sink is disabled. *)
+val compile_start : 'b t -> int
+
+val compile_done : 'b t -> int -> unit
+
 (** fault-injection hook for the trace differ: make entry [at] answer
     with the block resident at [from] — a deliberately stale
     translation, so a blocks-mode run diverges from the interpreter at

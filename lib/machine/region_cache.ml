@@ -111,6 +111,7 @@ type 'r t = {
   c_promotions : Telemetry.counter;
   c_invals : Telemetry.counter;
   d_region_len : Telemetry.dist;
+  d_promote_ns : Telemetry.dist;
 }
 
 let initial_words = 4096
@@ -137,6 +138,7 @@ let create ?(tel = Telemetry.disabled) ?(name = "rc") ~mem_bytes ~spans () =
     c_promotions = Telemetry.counter tel (name ^ ".promotions");
     c_invals = Telemetry.counter tel (name ^ ".invalidations");
     d_region_len = Telemetry.dist tel (name ^ ".region_len");
+    d_promote_ns = Telemetry.dist tel (name ^ ".promote_ns");
   }
 
 let grow t needed_idx =
@@ -339,6 +341,12 @@ let clear t =
   t.hi <- 0
 
 let resident_count t = List.length t.resident
+
+(* Promotion-latency stopwatch around the simulators' whole
+   trace-follow+compile+[set] path, feeding <name>.promote_ns; both
+   halves gate on the sink's enabled flag inside Telemetry. *)
+let promote_start t = Telemetry.timer_start t.tel
+let promote_done t t0 = Telemetry.timer_stop t.tel t.d_promote_ns t0
 let stats t = (t.promotions, t.invalidations)
 
 let reset_stats t =

@@ -96,8 +96,16 @@ val invalidate : 'r t -> int -> int -> bool
 (** drop everything, profiles and pins included *)
 val clear : 'r t -> unit
 
-(** resident region count (for vprof) *)
+(** resident region count (for vprof and {!Timeline} gauges) *)
 val resident_count : 'r t -> int
+
+(** promotion-latency stopwatch feeding [<name>.promote_ns]: the
+    simulators bracket their whole trace-follow+compile+[set] path
+    with [promote_start]/[promote_done].  Neither touches the clock
+    when the sink is disabled. *)
+val promote_start : 'r t -> int
+
+val promote_done : 'r t -> int -> unit
 
 (** [(promotions, invalidations)] since the last [reset_stats] *)
 val stats : 'r t -> int * int

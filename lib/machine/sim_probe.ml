@@ -14,8 +14,9 @@
      <port>.block_chains     direct block-to-block transitions
      <port>.region_execs     compiled-region dispatches (tier 3)
      <port>.region_side_exits  specialized-trace side exits taken
-   Distribution:
-     <port>.chain_len        blocks executed per dispatch-loop entry *)
+   Distributions:
+     <port>.chain_len        blocks executed per dispatch-loop entry
+     <port>.run_ns           host wall-clock nanoseconds per run call *)
 
 type t = {
   tel : Telemetry.t;
@@ -29,6 +30,7 @@ type t = {
   region_execs : Telemetry.counter;
   region_side_exits : Telemetry.counter;
   chain_len : Telemetry.dist;
+  run_ns : Telemetry.dist;
   mutable run_len : int; (* blocks executed since the last dispatch *)
 }
 
@@ -53,10 +55,18 @@ let create ?(trace = Trace.disabled) tel ~port ~predecode ~blocks ~regions =
     region_execs = Telemetry.counter tel (port ^ ".region_execs");
     region_side_exits = Telemetry.counter tel (port ^ ".region_side_exits");
     chain_len = Telemetry.dist tel (port ^ ".chain_len");
+    run_ns = Telemetry.dist tel (port ^ ".run_ns");
     run_len = 0;
   }
 
 let enabled p = p.enabled
+
+(* per-run latency: [run_start] at run entry, [run_done] in the run's
+   exit path (normal and exceptional), observing the host-time delta
+   into <port>.run_ns.  Timers gate on the enabled flag inside
+   Telemetry, so the disabled path never reads the clock. *)
+let[@inline] run_start p = Telemetry.timer_start p.tel
+let[@inline] run_done p t0 = Telemetry.timer_stop p.tel p.run_ns t0
 
 (* bulk, at run exit (normal or exceptional): the retired-instruction
    delta the simulator just reconciled into its cycle count *)

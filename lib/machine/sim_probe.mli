@@ -23,6 +23,14 @@ val create :
     to skip the per-block instrumentation calls entirely *)
 val enabled : t -> bool
 
+(** per-run latency stopwatch feeding [<port>.run_ns]: [run_start] at
+    run entry, [run_done] on every exit path (the sims call it from
+    their shared [finish], so exceptional exits are timed too).  On a
+    disabled sink neither touches the clock. *)
+val run_start : t -> int
+
+val run_done : t -> int -> unit
+
 (** credit [n] retired instructions to [<port>.retired.<mode>] — bulk,
     at run exit, mirroring the simulators' cycle reconciliation *)
 val retired : t -> int -> unit

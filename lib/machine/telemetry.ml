@@ -215,6 +215,23 @@ let observe t d v =
   let b = o + 4 + log2_bucket v in
   Array.unsafe_set a b (Array.unsafe_get a b + 1)
 
+(* ------------------------------------------------------------------ *)
+(* Latency timers                                                      *)
+
+(* Host wall-clock in nanoseconds.  [Unix.gettimeofday] is the only
+   clock available without adding a dependency; it is microsecond
+   granularity and (rarely) steps under NTP, so [timer_stop] clamps
+   negative deltas to zero.  The log2 buckets absorb the granularity:
+   anything under 1 us lands in the low buckets either way. *)
+let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+
+(* Timers gate on [t.on] BEFORE touching the clock: [gettimeofday]
+   returns a boxed float, so a branch-free store discipline would
+   allocate on the disabled path.  The disabled timer is two predicted
+   branches and no clock read — pinned zero-allocation by
+   test_telemetry_overhead. *)
+let[@inline] timer_start t = if t.on then now_ns () else 0
+
 let event t k ~a ~b =
   let i = 3 * (t.seen land t.ring_mask) in
   let r = t.ring in
@@ -222,6 +239,12 @@ let event t k ~a ~b =
   Array.unsafe_set r (i + 1) a;
   Array.unsafe_set r (i + 2) b;
   t.seen <- t.seen + 1
+
+let[@inline] timer_stop t d t0 =
+  if t.on then begin
+    let dt = now_ns () - t0 in
+    observe t d (if dt < 0 then 0 else dt)
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Reading the sink (cold)                                             *)
@@ -251,6 +274,41 @@ let dist_stats t d =
       buckets = Array.sub t.dvals (o + 4) n_buckets;
     }
   end
+
+(* Quantile estimation over the log2 buckets.  The rank q*(count-1) is
+   located in the cumulative bucket counts, then linearly interpolated
+   across that bucket's value span ([2^i, 2^(i+1)-1]; bucket 0 spans
+   [0,1] because observe sends v <= 1 there).  The estimate is clamped
+   to the exact recorded [min, max], so single-value and one-bucket
+   distributions report exactly. *)
+let quantile_of_stats (s : dist_stats) q =
+  if s.count = 0 then 0
+  else begin
+    let q = if q < 0. then 0. else if q > 1. then 1. else q in
+    let target = q *. float_of_int (s.count - 1) in
+    let est = ref s.max and cum = ref 0. and i = ref 0 in
+    (try
+       while !i < Array.length s.buckets do
+         let n = s.buckets.(!i) in
+         if n > 0 then begin
+           let fn = float_of_int n in
+           if target < !cum +. fn then begin
+             let frac = (target -. !cum) /. fn in
+             let lo = if !i = 0 then 0. else Float.of_int (1 lsl !i) in
+             let hi = if !i = 0 then 1. else Float.of_int ((1 lsl (!i + 1)) - 1) in
+             est := int_of_float (lo +. (frac *. (hi -. lo)) +. 0.5);
+             raise Exit
+           end;
+           cum := !cum +. fn
+         end;
+         incr i
+       done
+     with Exit -> ());
+    let v = !est in
+    if v < s.min then s.min else if v > s.max then s.max else v
+  end
+
+let quantile t d q = quantile_of_stats (dist_stats t d) q
 
 let iter_counters t f =
   for i = 0 to t.ncounters - 1 do

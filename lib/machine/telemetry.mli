@@ -52,6 +52,29 @@ val add : t -> counter -> int -> unit
 val observe : t -> dist -> int -> unit
 val event : t -> kind -> a:int -> b:int -> unit
 
+(** {2 Latency timers}
+
+    A stopwatch over host wall-clock nanoseconds feeding an ordinary
+    {!dist}.  Unlike the store-based hot path above, timers gate on
+    the enabled flag {e before} touching the clock: the clock read
+    allocates a boxed float, so the disabled path must skip it
+    entirely.  Disabled timers are two predicted branches, zero
+    allocation, and leave nothing observable (pinned by
+    test_telemetry_overhead). *)
+
+(** host wall clock in nanoseconds ([Unix.gettimeofday]-based:
+    microsecond granularity, may step under NTP — deltas are clamped
+    at [timer_stop]) *)
+val now_ns : unit -> int
+
+(** start a stopwatch: the current time on an enabled sink, [0] on the
+    disabled sink (no clock read) *)
+val timer_start : t -> int
+
+(** [timer_stop t d t0] observes the elapsed nanoseconds since
+    [timer_start] into [d]; a no-op on the disabled sink *)
+val timer_stop : t -> dist -> int -> unit
+
 (** {2 Reading the sink (cold)} *)
 
 val value : t -> counter -> int
@@ -68,6 +91,20 @@ type dist_stats = {
 }
 
 val dist_stats : t -> dist -> dist_stats
+
+(** [quantile t d q] estimates the [q]-quantile (q in [0,1], clamped)
+    of a distribution from its log2 buckets: the rank [q*(count-1)] is
+    located in the cumulative bucket counts and linearly interpolated
+    across that bucket's value span, then clamped to the exact
+    recorded [min]/[max] — so empty distributions report 0,
+    single-value distributions report that value at every q, and no
+    estimate ever leaves the observed range. *)
+val quantile : t -> dist -> float -> int
+
+(** the same estimator over an already-extracted {!dist_stats} (used
+    by readers like vprof/vstat that have only the stats record) *)
+val quantile_of_stats : dist_stats -> float -> int
+
 val iter_counters : t -> (string -> int -> unit) -> unit
 val iter_dists : t -> (string -> dist_stats -> unit) -> unit
 

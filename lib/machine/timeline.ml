@@ -1,0 +1,135 @@
+(* A gauge-snapshot ring: the "how does state evolve over a run"
+   companion to Telemetry's whole-run aggregates.
+
+   A timeline holds a fixed set of named gauges — int-returning
+   closures registered up front (registry live count, arena free-list
+   depths, resident translations, ...) — and a preallocated int ring
+   of snapshot rows.  The driver calls [tick] once per unit of work
+   (per packet, per run); every [every] ticks the timeline reads all
+   gauges into the next ring row, stamped with the tick ordinal.  Once
+   the ring is full, new rows overwrite the oldest; [samples_seen]
+   keeps the true total so [dropped] is exact.
+
+   Rows have a fixed stride of [1 + max_gauges] words, so a gauge
+   registered after sampling started simply reads as 0 in older rows.
+
+   The disabled timeline follows the Telemetry discipline adapted to
+   the fact that gauges are closures (calling them is not free): the
+   sampling threshold is pinned to [max_int], so [tick] is one
+   increment and one always-false compare — no closure calls, no
+   allocation, nothing observable (pinned by
+   test_telemetry_overhead). *)
+
+type t = {
+  on : bool;
+  every : int;
+  names : string array; (* length max_gauges; "" = unregistered *)
+  sources : (unit -> int) array;
+  mutable ngauges : int;
+  ring : int array; (* rows * row_words; row = [tick; g0; g1; ...] *)
+  rows : int;
+  row_words : int;
+  mutable ticks : int;
+  mutable next_at : int; (* tick count that triggers the next sample *)
+  mutable samples : int;
+}
+
+let zero_source () = 0
+
+let create ?(every = 64) ?(rows = 1024) ?(max_gauges = 16) () =
+  let every = max 1 every and rows = max 1 rows and max_gauges = max 1 max_gauges in
+  {
+    on = true;
+    every;
+    names = Array.make max_gauges "";
+    sources = Array.make max_gauges zero_source;
+    ngauges = 0;
+    ring = Array.make (rows * (1 + max_gauges)) 0;
+    rows;
+    row_words = 1 + max_gauges;
+    ticks = 0;
+    next_at = every;
+    samples = 0;
+  }
+
+(* One shared no-op timeline.  [next_at = max_int] means the compare
+   in [tick] never fires; the only mutation is the shared tick
+   counter, which nothing reads. *)
+let disabled =
+  {
+    on = false;
+    every = max_int;
+    names = [||];
+    sources = [||];
+    ngauges = 0;
+    ring = Array.make 1 0;
+    rows = 1;
+    row_words = 1;
+    ticks = 0;
+    next_at = max_int;
+    samples = 0;
+  }
+
+let is_enabled t = t.on
+
+(* Registration is cold and idempotent per name (re-registering
+   rebinds the source, so a fresh workload can re-point gauges at a
+   fresh server against one timeline). *)
+let gauge t name source =
+  if t.on then begin
+    let rec find i = if i >= t.ngauges then -1 else if t.names.(i) = name then i else find (i + 1) in
+    let i = find 0 in
+    if i >= 0 then t.sources.(i) <- source
+    else begin
+      if t.ngauges >= Array.length t.names then
+        invalid_arg "Timeline.gauge: max_gauges exceeded";
+      t.names.(t.ngauges) <- name;
+      t.sources.(t.ngauges) <- source;
+      t.ngauges <- t.ngauges + 1
+    end
+  end
+
+let sample_now t =
+  if t.on then begin
+    let base = t.samples mod t.rows * t.row_words in
+    Array.unsafe_set t.ring base t.ticks;
+    for g = 0 to t.ngauges - 1 do
+      Array.unsafe_set t.ring (base + 1 + g) (t.sources.(g) ())
+    done;
+    t.samples <- t.samples + 1
+  end
+
+let[@inline] tick t =
+  t.ticks <- t.ticks + 1;
+  if t.ticks >= t.next_at then begin
+    t.next_at <- t.ticks + t.every;
+    sample_now t
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Reading (cold)                                                      *)
+
+let every t = t.every
+let ticks t = t.ticks
+let samples_seen t = t.samples
+let retained t = min t.samples t.rows
+let dropped t = t.samples - retained t
+let gauge_names t = Array.to_list (Array.sub t.names 0 t.ngauges)
+
+(* retained rows oldest-first; [values] is a fresh array per call *)
+let iter t f =
+  let n = retained t in
+  let first = t.samples - n in
+  for j = 0 to n - 1 do
+    let base = (first + j) mod t.rows * t.row_words in
+    let tick = t.ring.(base) in
+    f ~tick ~values:(Array.sub t.ring (base + 1) t.ngauges)
+  done
+
+let reset t =
+  if t.on then begin
+    t.ticks <- 0;
+    t.next_at <- t.every;
+    t.samples <- 0;
+    Array.fill t.ring 0 (Array.length t.ring) 0
+  end

@@ -268,67 +268,3 @@ let read_binary ic =
     raise (Corrupt (Printf.sprintf "implausible record count %d" count));
   let d_records = Array.init count (fun _ -> decode (get_u64 ic)) in
   { d_port; d_mode; d_workload; d_seen; d_dropped; d_records }
-
-(* ------------------------------------------------------------------ *)
-(* Chrome trace_event JSON (Perfetto / chrome://tracing loadable)      *)
-
-let json_escape b s =
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s
-
-(* The export is the "JSON object format": a top-level object whose
-   [traceEvents] array Perfetto renders and whose extra keys it keeps
-   as metadata.  Retired instructions become "X" (complete) events of
-   duration 1 on tid 1, one tick per ordinal, so the instruction
-   stream reads left-to-right on the timeline; block dispatches land
-   on tid 2; faults/aborts/invalidations are "i" (instant) events.
-   [symbol] maps a simulated address to an emit-site name (from
-   {!Vcodebase.Gen} provenance); addresses it declines are rendered as
-   hex. *)
-let write_chrome b ?(symbol = fun _ -> None) ~port ~mode ~workload t =
-  let name_of addr =
-    match symbol addr with Some s -> s | None -> Printf.sprintf "0x%x" addr
-  in
-  Buffer.add_string b "{";
-  Buffer.add_string b (Printf.sprintf "\"schema\": %d, " json_schema_version);
-  Buffer.add_string b "\"tool\": \"vtrace\", ";
-  let str k v =
-    Buffer.add_string b "\"";
-    json_escape b k;
-    Buffer.add_string b "\": \"";
-    json_escape b v;
-    Buffer.add_string b "\", "
-  in
-  str "port" port;
-  str "mode" mode;
-  str "workload" workload;
-  Buffer.add_string b (Printf.sprintf "\"seen\": %d, " t.seen);
-  Buffer.add_string b (Printf.sprintf "\"dropped\": %d, " (dropped t));
-  Buffer.add_string b "\"displayTimeUnit\": \"ns\", ";
-  Buffer.add_string b "\"traceEvents\": [";
-  let recs = records t in
-  let emitted = ref 0 in
-  Array.iteri
-    (fun ts (k, payload) ->
-      let common name ph tid extra =
-        if !emitted > 0 then Buffer.add_string b ",";
-        incr emitted;
-        Buffer.add_string b "\n  {\"name\": \"";
-        json_escape b name;
-        Buffer.add_string b
-          (Printf.sprintf
-             "\", \"ph\": \"%s\", \"ts\": %d, %s\"pid\": 1, \"tid\": %d, \"args\": {\"addr\": \"0x%x\", \"kind\": \"%s\"}}"
-             ph ts extra tid payload (kind_name k))
-      in
-      match k with
-      | Retire -> common (name_of payload) "X" 1 "\"dur\": 1, "
-      | Block_enter -> common (name_of payload) "X" 2 "\"dur\": 1, "
-      | Fault | Smc_abort | Inval | Mark -> common (kind_name k) "i" 1 "\"s\": \"t\", ")
-    recs;
-  Buffer.add_string b "\n]}\n"

@@ -83,7 +83,8 @@ val first_divergence : int array -> int array -> divergence option
 
 (** {2 Exporters} *)
 
-(** schema version stamped into the Chrome JSON export *)
+(** schema version stamped into the Chrome JSON export (written by the
+    harness [Chrome_trace.write_trace], which vtrace uses) *)
 val json_schema_version : int
 
 (** compact binary format version (see trace.ml for the layout) *)
@@ -105,16 +106,3 @@ exception Corrupt of string
 
 (** @raise Corrupt on a malformed or truncated file *)
 val read_binary : in_channel -> dump
-
-(** append the Chrome [trace_event] "JSON object format" export
-    (loadable in Perfetto / chrome://tracing) to [b].  [symbol] maps a
-    simulated address to an emit-site name; addresses it declines
-    render as hex. *)
-val write_chrome :
-  Buffer.t ->
-  ?symbol:(int -> string option) ->
-  port:string ->
-  mode:string ->
-  workload:string ->
-  t ->
-  unit

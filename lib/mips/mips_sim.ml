@@ -1049,10 +1049,22 @@ let compile_region m entry =
     Some { r_entry = entry; r_n; r_spans = spans; r_run; r_fast; r_addrs = addrs;
            r_delay = delay }
 
+(* latency-instrumented entry points: the stopwatch brackets the whole
+   scan/trace-follow + closure compile + cache insert, feeding the
+   bc.compile_ns / rc.promote_ns distributions (no clock read when the
+   sink is disabled) *)
+let compile_block_timed m entry =
+  let t0 = Block_cache.compile_start m.bc in
+  let r = compile_block m entry in
+  Block_cache.compile_done m.bc t0;
+  r
+
 let promote m entry =
-  match compile_region m entry with
+  let t0 = Region_cache.promote_start m.rc in
+  (match compile_region m entry with
   | Some r -> Region_cache.set m.rc entry ~insns:r.r_n r
-  | None -> Region_cache.mark_unpromotable m.rc entry
+  | None -> Region_cache.mark_unpromotable m.rc entry);
+  Region_cache.promote_done m.rc t0
 
 (* Execute region [r] (preconditions: [r.r_n <= fuel], [m.npc =
    r.r_entry + 4]): a probed first pass, then probe-free passes while
@@ -1230,7 +1242,7 @@ let rec run_blocks_go m tags shift mask fuel =
         step_one m tags shift mask;
         run_blocks_go m tags shift mask (fuel - 1)
       | None -> (
-        match compile_block m pc with
+        match compile_block_timed m pc with
         | Some b ->
           Block_cache.set m.bc pc b;
           run_blocks_go m tags shift mask fuel
@@ -1268,7 +1280,7 @@ let rec run_regions_go m tags shift mask fuel =
           step_one m tags shift mask;
           run_regions_go m tags shift mask (fuel - 1)
         | None -> (
-          match compile_block m pc with
+          match compile_block_timed m pc with
           | Some b ->
             Block_cache.set m.bc pc b;
             run_regions_go m tags shift mask fuel
@@ -1284,12 +1296,14 @@ let rec run_regions_go m tags shift mask fuel =
 let run ?(fuel = default_fuel) m =
   let i0 = m.insns in
   let mi0 = Cache.misses m.icache in
+  let t0 = Sim_probe.run_start m.probe in
   let finish () =
     let retired = m.insns - i0 in
     m.cycles <- m.cycles + retired;
     Cache.add_hits m.icache (retired - (Cache.misses m.icache - mi0));
     Sim_probe.chain_flush m.probe;
-    Sim_probe.retired m.probe retired
+    Sim_probe.retired m.probe retired;
+    Sim_probe.run_done m.probe t0
   in
   let tags, shift, mask = Cache.probe m.icache in
   (try

@@ -97,6 +97,19 @@ let slab_words t addr =
   | None -> None
   | Some ci -> Some t.classes.(ci).size
 
+(* Allocation-free accessors for {!Vmachine.Timeline} gauges: [stats]
+   builds records and walks every free list, which is too heavy to
+   call once per snapshot.  Free lists are bounded by the slab count,
+   so the single-class List.length walks stay cheap. *)
+let live_slabs t = Hashtbl.length t.owner
+let bump_words t = (t.bump - t.base) / 4
+let free_slabs t ~cls = List.length t.classes.(cls).free
+
+let free_slabs_total t =
+  let n = ref 0 in
+  Array.iter (fun (c : class_state) -> n := !n + List.length c.free) t.classes;
+  !n
+
 type class_stats = { size : int; live : int; free : int }
 
 type stats = {

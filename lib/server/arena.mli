@@ -42,6 +42,20 @@ val free : t -> int -> unit
 (** slab words backing the live allocation at [addr] *)
 val slab_words : t -> int -> int option
 
+(** {2 Gauge accessors}
+
+    Cheap reads for {!Vmachine.Timeline} gauges — unlike {!stats},
+    these build no records (the per-class free count is one list walk
+    bounded by the slab count). *)
+
+val live_slabs : t -> int
+val bump_words : t -> int
+
+(** free-list depth of class index [cls] (index into {!class_sizes}) *)
+val free_slabs : t -> cls:int -> int
+
+val free_slabs_total : t -> int
+
 (** per-class occupancy, index-aligned with {!class_sizes} *)
 type class_stats = { size : int; live : int; free : int }
 

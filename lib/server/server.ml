@@ -54,6 +54,10 @@ module Make (T : Target.S) = struct
     c_recompile : Tel.counter;
     c_hit : Tel.counter;
     c_miss : Tel.counter;
+    (* latency distributions (host ns), fed by Tel timers *)
+    d_install_ns : Tel.dist;
+    d_replace_ns : Tel.dist;
+    d_evict_ns : Tel.dist;
     (* gauges, written by sync_gauges *)
     g_live : Tel.counter;
     g_slabs_live : Tel.counter;
@@ -120,6 +124,9 @@ module Make (T : Target.S) = struct
       c_recompile = Tel.counter tel "server.recompile";
       c_hit = Tel.counter tel "server.lookup.hit";
       c_miss = Tel.counter tel "server.lookup.miss";
+      d_install_ns = Tel.dist tel "server.install_ns";
+      d_replace_ns = Tel.dist tel "server.replace_ns";
+      d_evict_ns = Tel.dist tel "server.evict_ns";
       g_live = Tel.counter tel "server.live_regions";
       g_slabs_live = Tel.counter tel "server.arena.live_slabs";
       g_slabs_free = Tel.counter tel "server.arena.free_slabs";
@@ -143,9 +150,11 @@ module Make (T : Target.S) = struct
     match Hashtbl.find_opt (shard t key) key with
     | None -> false
     | Some r ->
+      let t0 = Tel.timer_start t.tel in
       drop_region t r;
       t.s_evictions <- t.s_evictions + 1;
       Tel.bump t.tel t.c_evict;
+      Tel.timer_stop t.tel t.d_evict_ns t0;
       true
 
   (* Coldest = fewest hits, then oldest epoch, then lowest base — a
@@ -237,13 +246,22 @@ module Make (T : Target.S) = struct
   let compile_at t ?buf ~base f =
     DP.compile ~base ~table_base:t.table_base ?buf [ f ]
 
+  (* One stopwatch covers the whole install path — replace scrub,
+     capacity evictions, slab allocation, compile (and the recompile on
+     underestimate), code+table stores — so the install_ns tail
+     reflects what a caller actually waits.  Replacements additionally
+     land in replace_ns, keeping the replace tail separable. *)
   let install_common t ?buf ?(pending = 1) ~key (f : Dpf.Filter.t) =
-    (match Hashtbl.find_opt (shard t key) key with
-    | Some r ->
-      drop_region t r;
-      t.s_replaces <- t.s_replaces + 1;
-      Tel.bump t.tel t.c_replace
-    | None -> ());
+    let t0 = Tel.timer_start t.tel in
+    let replaced =
+      match Hashtbl.find_opt (shard t key) key with
+      | Some r ->
+        drop_region t r;
+        t.s_replaces <- t.s_replaces + 1;
+        Tel.bump t.tel t.c_replace;
+        true
+      | None -> false
+    in
     (match t.max_live with
     | Some cap ->
       while t.s_live >= cap && evict_coldest t do
@@ -288,6 +306,8 @@ module Make (T : Target.S) = struct
     t.s_live <- t.s_live + 1;
     t.s_installs <- t.s_installs + 1;
     Tel.bump t.tel t.c_install;
+    Tel.timer_stop t.tel t.d_install_ns t0;
+    if replaced then Tel.timer_stop t.tel t.d_replace_ns t0;
     r.rg_entry
 
   let install t ~key f = install_common t ~key f
@@ -337,6 +357,23 @@ module Make (T : Target.S) = struct
     }
 
   let arena_stats t = Arena.stats t.arena
+
+  (* Named gauge closures for a {!Vmachine.Timeline}: registry
+     occupancy, arena free-list depths (total and per size class) and
+     the bump frontier.  All allocation-free reads, cheap enough to
+     sample every few packets. *)
+  let gauge_sources t =
+    let a = t.arena in
+    [
+      ("server.live_regions", fun () -> t.s_live);
+      ("server.arena.free_slabs", fun () -> Arena.free_slabs_total a);
+      ("server.arena.live_slabs", fun () -> Arena.live_slabs a);
+      ("server.arena.bump_words", fun () -> Arena.bump_words a);
+    ]
+    @ List.mapi
+        (fun i size ->
+          (Printf.sprintf "server.arena.free.c%d" size, fun () -> Arena.free_slabs a ~cls:i))
+        (Array.to_list Arena.class_sizes)
 
   (* counters are monotonic stores; a gauge is written as the delta to
      the target value so generic consumers (vprof's counter dump) see

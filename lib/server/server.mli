@@ -104,4 +104,16 @@ module Make (T : Vcodebase.Target.S) : sig
       frontier) into the telemetry sink as [server.*] counters, so
       generic reporters (vprof) see them without a Server dependency *)
   val sync_gauges : t -> unit
+
+  (** named allocation-free gauge closures (registry occupancy, arena
+      free-list depths — total and per size class as
+      [server.arena.free.c<size>] — and the bump frontier) for
+      registration on a {!Vmachine.Timeline}; the harness wires them
+      up so a timeline can watch the registry evolve under churn.
+
+      Latency is recorded separately: {!install}/{!install_batch} feed
+      the [server.install_ns] distribution (replacements additionally
+      [server.replace_ns]) and {!evict} feeds [server.evict_ns],
+      whole-path stopwatches over {!Vmachine.Telemetry.timer_start}. *)
+  val gauge_sources : t -> (string * (unit -> int)) list
 end

@@ -17,7 +17,17 @@
      instruction, with the sink disabled or live — the
      instrumentation is plain int-array stores.  Checked on the MIPS
      port (int register file; the 64-bit ports' Int64 registers box
-     independently of telemetry). *)
+     independently of telemetry).
+
+   The latency timers (PR 10) raise the stakes on both: the simulators
+   now bracket every run/compile/promote with
+   [Telemetry.timer_start]/[timer_stop], so the bit-identity matrix
+   below re-pins that the stopwatches never touch simulated state, and
+   a dedicated case pins the disabled path of the timers and of
+   [Timeline.tick] to *exactly* zero minor words — timer_start gates
+   on the sink before reading the clock (the clock read would box a
+   float), and a disabled timeline's tick is one increment plus a
+   never-true compare. *)
 
 open Vcodebase
 module Tel = Vmachine.Telemetry
@@ -287,6 +297,41 @@ let allocation_case tel () =
     Alcotest.failf "allocates %.4f minor words per simulated instruction (%.0f for %d)"
       per_insn allocated retired
 
+(* the disabled stopwatch/timeline fast path: exactly zero minor words
+   across 100k timer brackets and timeline ticks — not just "small per
+   iteration", literally none *)
+let disabled_timer_alloc_case () =
+  let tel = Tel.disabled in
+  let d = Tel.dist tel "probe.loop_ns" in
+  let tl = Vmachine.Timeline.disabled in
+  let sink = ref 0 in
+  let w0 = Gc.minor_words () in
+  for _ = 1 to 100_000 do
+    let t0 = Tel.timer_start tel in
+    Tel.timer_stop tel d t0;
+    Vmachine.Timeline.tick tl;
+    sink := !sink + t0
+  done;
+  let allocated = Gc.minor_words () -. w0 in
+  check Alcotest.int "disabled timer_start returns 0" 0 !sink;
+  check Alcotest.int "disabled timeline records nothing" 0
+    (Vmachine.Timeline.samples_seen tl);
+  if allocated <> 0.0 then
+    Alcotest.failf "disabled timers/timeline allocated %.0f minor words in 100k iterations"
+      allocated
+
+(* a live timer must feed the dist it brackets *)
+let live_timer_case () =
+  let tel = Tel.create () in
+  let d = Tel.dist tel "probe.live_ns" in
+  for _ = 1 to 50 do
+    let t0 = Tel.timer_start tel in
+    Tel.timer_stop tel d t0
+  done;
+  let st = Tel.dist_stats tel d in
+  check Alcotest.int "live timer observed every bracket" 50 st.Tel.count;
+  check Alcotest.bool "durations are non-negative" true (st.Tel.min >= 0)
+
 let () =
   Alcotest.run "telemetry-overhead"
     [
@@ -299,5 +344,8 @@ let () =
           Alcotest.test_case "disabled sink" `Quick (allocation_case None);
           Alcotest.test_case "live sink" `Quick
             (allocation_case (Some (Tel.create ())));
+          Alcotest.test_case "disabled timers and timeline" `Quick
+            disabled_timer_alloc_case;
+          Alcotest.test_case "live timer feeds its dist" `Quick live_timer_case;
         ] );
     ]

@@ -1,0 +1,219 @@
+(* Timeline ring accounting and Telemetry quantile interpolation.
+
+   The timeline sampler (lib/machine/timeline.ml) and the log2-bucket
+   quantile estimator (Telemetry.quantile_of_stats) are the two pieces
+   of PR 10's observability layer with arithmetic worth pinning:
+
+   - ring accounting: samples_seen counts every snapshot ever taken,
+     retained tops out at the ring size, dropped is their exact
+     difference, and iter replays the surviving rows oldest-first with
+     ascending tick stamps even after wraparound;
+   - quantiles: the estimator interpolates inside a log2 bucket's
+     value span, collapses to the exact value on degenerate
+     distributions (empty, single-valued, all-equal), is monotone in
+     q, and never escapes the recorded [min, max]. *)
+
+module Tel = Vmachine.Telemetry
+module Timeline = Vmachine.Timeline
+
+let check = Alcotest.check
+
+(* ------------------------------------------------------------------ *)
+(* Ring accounting                                                     *)
+
+let accounting_case () =
+  let tl = Timeline.create ~every:4 ~rows:8 () in
+  let n = ref 0 in
+  Timeline.gauge tl "n" (fun () -> !n);
+  for _ = 1 to 100 do
+    incr n;
+    Timeline.tick tl
+  done;
+  check Alcotest.int "ticks" 100 (Timeline.ticks tl);
+  (* 100 ticks at period 4 = 25 snapshots; the 8-row ring keeps the
+     last 8 *)
+  check Alcotest.int "samples seen" 25 (Timeline.samples_seen tl);
+  check Alcotest.int "retained" 8 (Timeline.retained tl);
+  check Alcotest.int "dropped" 17 (Timeline.dropped tl);
+  check (Alcotest.list Alcotest.string) "gauge names" [ "n" ] (Timeline.gauge_names tl)
+
+let wraparound_order_case () =
+  let tl = Timeline.create ~every:4 ~rows:8 () in
+  let n = ref 0 in
+  Timeline.gauge tl "n" (fun () -> !n);
+  for _ = 1 to 100 do
+    incr n;
+    Timeline.tick tl
+  done;
+  let rows = ref [] in
+  Timeline.iter tl (fun ~tick ~values -> rows := (tick, values.(0)) :: !rows);
+  let rows = List.rev !rows in
+  check Alcotest.int "iter visits every retained row" 8 (List.length rows);
+  (* snapshots 18..25 survive: ticks 72,76,...,100, each sampled when
+     the gauge equalled the tick count *)
+  List.iteri
+    (fun i (tick, v) ->
+      check Alcotest.int (Printf.sprintf "row %d tick" i) (72 + (4 * i)) tick;
+      check Alcotest.int (Printf.sprintf "row %d value" i) tick v)
+    rows;
+  (* ticks strictly ascend across the wraparound seam *)
+  ignore
+    (List.fold_left
+       (fun prev (tick, _) ->
+         check Alcotest.bool "ticks ascend" true (tick > prev);
+         tick)
+       (-1) rows)
+
+let sample_now_case () =
+  let tl = Timeline.create ~every:1000 ~rows:4 () in
+  let n = ref 7 in
+  Timeline.gauge tl "n" (fun () -> !n);
+  Timeline.sample_now tl;
+  (* off-period bracket rows *)
+  for _ = 1 to 5 do
+    Timeline.tick tl
+  done;
+  n := 42;
+  Timeline.sample_now tl;
+  check Alcotest.int "two forced samples" 2 (Timeline.samples_seen tl);
+  let vals = ref [] in
+  Timeline.iter tl (fun ~tick:_ ~values -> vals := values.(0) :: !vals);
+  check (Alcotest.list Alcotest.int) "bracket rows hold the gauge values" [ 7; 42 ]
+    (List.rev !vals)
+
+let gauge_repoint_case () =
+  let tl = Timeline.create ~every:1 ~rows:4 () in
+  Timeline.gauge tl "g" (fun () -> 1);
+  (* re-registering the same name re-points the source, not a new column *)
+  Timeline.gauge tl "g" (fun () -> 2);
+  check (Alcotest.list Alcotest.string) "one column" [ "g" ] (Timeline.gauge_names tl);
+  Timeline.tick tl;
+  Timeline.iter tl (fun ~tick:_ ~values -> check Alcotest.int "re-pointed" 2 values.(0))
+
+let disabled_case () =
+  let tl = Timeline.disabled in
+  check Alcotest.bool "disabled is disabled" false (Timeline.is_enabled tl);
+  Timeline.gauge tl "ignored" (fun () -> Alcotest.fail "disabled gauge called");
+  for _ = 1 to 10_000 do
+    Timeline.tick tl
+  done;
+  Timeline.sample_now tl;
+  check Alcotest.int "no samples" 0 (Timeline.samples_seen tl);
+  check Alcotest.int "no rows" 0 (Timeline.retained tl);
+  check (Alcotest.list Alcotest.string) "no gauges" [] (Timeline.gauge_names tl)
+
+let reset_case () =
+  let tl = Timeline.create ~every:2 ~rows:4 () in
+  Timeline.gauge tl "g" (fun () -> 3);
+  for _ = 1 to 10 do
+    Timeline.tick tl
+  done;
+  check Alcotest.bool "took samples" true (Timeline.samples_seen tl > 0);
+  Timeline.reset tl;
+  check Alcotest.int "ticks cleared" 0 (Timeline.ticks tl);
+  check Alcotest.int "samples cleared" 0 (Timeline.samples_seen tl);
+  check Alcotest.int "ring cleared" 0 (Timeline.retained tl);
+  check (Alcotest.list Alcotest.string) "gauges survive reset" [ "g" ]
+    (Timeline.gauge_names tl);
+  for _ = 1 to 4 do
+    Timeline.tick tl
+  done;
+  check Alcotest.int "sampling resumes" 2 (Timeline.samples_seen tl)
+
+(* ------------------------------------------------------------------ *)
+(* Quantile interpolation                                              *)
+
+let dist_of values =
+  let tel = Tel.create () in
+  let d = Tel.dist tel "q.probe" in
+  List.iter (Tel.observe tel d) values;
+  Tel.dist_stats tel d
+
+let quantile_empty_case () =
+  let st = dist_of [] in
+  check Alcotest.int "empty dist p50" 0 (Tel.quantile_of_stats st 0.5);
+  check Alcotest.int "empty dist p999" 0 (Tel.quantile_of_stats st 0.999)
+
+let quantile_single_case () =
+  let st = dist_of [ 1234 ] in
+  List.iter
+    (fun q ->
+      check Alcotest.int
+        (Printf.sprintf "single value at q=%g" q)
+        1234
+        (Tel.quantile_of_stats st q))
+    [ 0.0; 0.5; 0.99; 1.0 ]
+
+let quantile_all_equal_case () =
+  let st = dist_of (List.init 100 (fun _ -> 777)) in
+  List.iter
+    (fun q ->
+      check Alcotest.int (Printf.sprintf "all-equal at q=%g" q) 777
+        (Tel.quantile_of_stats st q))
+    [ 0.0; 0.5; 0.9; 0.999 ]
+
+let quantile_bounds_case () =
+  (* one value per power of two: every bucket holds exactly one *)
+  let st = dist_of [ 1; 2; 4; 8; 16; 32; 64; 128 ] in
+  check Alcotest.int "p0 is the min" 1 (Tel.quantile_of_stats st 0.0);
+  check Alcotest.int "p100 is the max" 128 (Tel.quantile_of_stats st 1.0);
+  List.iter
+    (fun q ->
+      let v = Tel.quantile_of_stats st q in
+      check Alcotest.bool (Printf.sprintf "q=%g within [min,max]" q) true
+        (v >= st.Tel.min && v <= st.Tel.max))
+    [ 0.1; 0.25; 0.5; 0.75; 0.9; 0.99 ]
+
+let quantile_monotone_case () =
+  let st = dist_of (List.init 500 (fun i -> (i * 37) mod 4096)) in
+  let qs = [ 0.0; 0.1; 0.25; 0.5; 0.75; 0.9; 0.99; 0.999; 1.0 ] in
+  ignore
+    (List.fold_left
+       (fun prev q ->
+         let v = Tel.quantile_of_stats st q in
+         check Alcotest.bool (Printf.sprintf "monotone at q=%g" q) true (v >= prev);
+         v)
+       min_int qs)
+
+let quantile_tail_case () =
+  (* 90 fast outcomes and 10 slow ones: the median must stay in the
+     fast bucket while the tail quantiles cross into the slow one *)
+  let st = dist_of (List.init 90 (fun _ -> 10) @ List.init 10 (fun _ -> 100_000)) in
+  (* bucket resolution: the estimator only knows 10 landed in the
+     [8,15] bucket, so the median interpolates inside that span *)
+  let p50 = Tel.quantile_of_stats st 0.5 in
+  check Alcotest.bool "p50 stays in the fast bucket" true (p50 >= 8 && p50 <= 15);
+  check Alcotest.bool "p999 reaches the outliers" true
+    (Tel.quantile_of_stats st 0.999 > 50_000)
+
+let quantile_interpolation_case () =
+  (* 64 values spread across bucket 6 ([64,127]): interior quantiles
+     must interpolate inside the span, not snap to an endpoint *)
+  let st = dist_of (List.init 64 (fun i -> 64 + i)) in
+  let p50 = Tel.quantile_of_stats st 0.5 in
+  check Alcotest.bool "p50 interpolates into the bucket interior" true
+    (p50 > 64 && p50 < 127)
+
+let () =
+  Alcotest.run "timeline"
+    [
+      ( "ring accounting",
+        [
+          Alcotest.test_case "counts" `Quick accounting_case;
+          Alcotest.test_case "wraparound order" `Quick wraparound_order_case;
+          Alcotest.test_case "sample_now brackets" `Quick sample_now_case;
+          Alcotest.test_case "gauge re-point" `Quick gauge_repoint_case;
+          Alcotest.test_case "disabled no-ops" `Quick disabled_case;
+          Alcotest.test_case "reset" `Quick reset_case;
+        ] );
+      ( "quantiles",
+        [
+          Alcotest.test_case "empty dist" `Quick quantile_empty_case;
+          Alcotest.test_case "single value" `Quick quantile_single_case;
+          Alcotest.test_case "all equal" `Quick quantile_all_equal_case;
+          Alcotest.test_case "min/max bounds" `Quick quantile_bounds_case;
+          Alcotest.test_case "monotone in q" `Quick quantile_monotone_case;
+          Alcotest.test_case "tail outlier" `Quick quantile_tail_case;
+          Alcotest.test_case "bucket interpolation" `Quick quantile_interpolation_case;
+        ] );
+    ]
